@@ -1,0 +1,404 @@
+//! # omislice-align
+//!
+//! Region-based execution alignment — **Algorithm 1** of *"Towards
+//! Locating Execution Omission Errors"* (PLDI 2007).
+//!
+//! Given an original execution `E` and a re-execution `E'` that is
+//! identical except that one predicate instance `p` had its branch
+//! outcome switched, [`Aligner::match_inst`] finds the instance in `E'`
+//! that corresponds to a given instance `u` of `E` — or establishes that
+//! no such instance exists. Matching individual statement executions
+//! fails in the presence of loops and recursion (switching a predicate
+//! can radically change which instances execute), so the algorithm aligns
+//! whole *regions* (Definition 3: a statement instance plus everything
+//! control-dependent on it) by walking the two region trees in lockstep:
+//!
+//! 1. ascend from `p` to the smallest enclosing region that contains `u`
+//!    (all ancestors of `p` lie in the common prefix, so they correspond
+//!    to themselves in `E'`);
+//! 2. walk sibling sub-regions of the two regions in lockstep until the
+//!    one containing `u` is found; if `E'` runs out of siblings first —
+//!    the single-entry-multiple-exit case of the paper's Figure 3 — there
+//!    is no match;
+//! 3. if the sub-region heads took different branch outcomes, `u` cannot
+//!    have executed in `E'` (no match); otherwise descend.
+//!
+//! ```
+//! use omislice_align::Aligner;
+//! use omislice_analysis::ProgramAnalysis;
+//! use omislice_interp::{run_traced, RunConfig, SwitchSpec};
+//! use omislice_lang::{compile, StmtId};
+//!
+//! let program = compile(
+//!     "global x = 0; fn main() { if input() > 0 { x = 1; } print(x); }",
+//! )?;
+//! let analysis = ProgramAnalysis::build(&program);
+//! let config = RunConfig::with_inputs(vec![0]);
+//! let orig = run_traced(&program, &analysis, &config);
+//! let sw = run_traced(&program, &analysis, &config.switched(SwitchSpec::new(StmtId(0), 0)));
+//!
+//! let aligner = Aligner::new(&orig.trace, &sw.trace);
+//! let p = orig.trace.instances_of(StmtId(0))[0];
+//! let print_inst = orig.trace.instances_of(StmtId(2))[0];
+//! // The print still executes in the switched run, at a shifted position.
+//! let matched = aligner.match_inst(p, print_inst).unwrap();
+//! assert_eq!(sw.trace.event(matched).stmt, StmtId(2));
+//! # Ok::<(), omislice_lang::FrontendError>(())
+//! ```
+
+use omislice_trace::{InstId, RegionTree, Trace};
+
+/// Aligns an original trace against a switched re-execution of the same
+/// program on the same input.
+#[derive(Debug)]
+pub struct Aligner<'a> {
+    orig: &'a Trace,
+    switched: &'a Trace,
+    orig_regions: RegionTree,
+    switched_regions: RegionTree,
+}
+
+impl<'a> Aligner<'a> {
+    /// Builds the region trees for both traces.
+    pub fn new(orig: &'a Trace, switched: &'a Trace) -> Self {
+        Aligner {
+            orig,
+            switched,
+            orig_regions: RegionTree::build(orig),
+            switched_regions: RegionTree::build(switched),
+        }
+    }
+
+    /// The region tree of the original trace.
+    pub fn orig_regions(&self) -> &RegionTree {
+        &self.orig_regions
+    }
+
+    /// The region tree of the switched trace.
+    pub fn switched_regions(&self) -> &RegionTree {
+        &self.switched_regions
+    }
+
+    /// `Match(p, u, p')` — finds the instance of the switched trace
+    /// corresponding to instance `u` of the original trace, where `p` is
+    /// the switched predicate instance (which, by the common-prefix
+    /// property, has the same timestamp in both traces).
+    ///
+    /// Returns `None` when `u` has no counterpart — the defining signal
+    /// for implicit dependence (Definition 2, case (i)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a valid instance of both traces or the two
+    /// traces disagree at `p` (i.e. they were not produced by switching
+    /// `p` on the same program and input).
+    pub fn match_inst(&self, p: InstId, u: InstId) -> Option<InstId> {
+        assert!(
+            p.index() < self.orig.len() && p.index() < self.switched.len(),
+            "switch point {p} must exist in both traces"
+        );
+        assert_eq!(
+            self.orig.event(p).stmt,
+            self.switched.event(p).stmt,
+            "traces disagree at the switch point; not a switched re-execution"
+        );
+        // Instances before (or at) the switch point are in the common
+        // prefix and correspond to themselves.
+        if u <= p {
+            return Some(u);
+        }
+        if u.index() >= self.orig.len() {
+            return None;
+        }
+        // Ascend from p until the region contains u. Ancestors of p are
+        // in the common prefix, so the corresponding region heads in the
+        // switched trace carry the same instance ids.
+        let mut region = self.orig_regions.parent(p);
+        while let Some(head) = region {
+            if self.orig_regions.in_region(head, u) {
+                break;
+            }
+            region = self.orig_regions.parent(head);
+        }
+        self.match_inside(region, region, u)
+    }
+
+    /// `MatchInsideRegion(R, u, R')` — lockstep sibling walk, then descent.
+    /// `None` as a region head denotes the virtual whole-execution region.
+    fn match_inside(&self, r: Option<InstId>, r2: Option<InstId>, u: InstId) -> Option<InstId> {
+        let kids: &[InstId] = match r {
+            Some(h) => self.orig_regions.children(h),
+            None => self.orig_regions.roots(),
+        };
+        let kids2: &[InstId] = match r2 {
+            Some(h) => self.switched_regions.children(h),
+            None => self.switched_regions.roots(),
+        };
+        let mut i = 0;
+        loop {
+            // The sub-region of R containing u must exist since u ∈ R.
+            let c = *kids.get(i)?;
+            // SiblingRegion(r') == NULL: the switched run left this
+            // region early (break/return under the switched branch, or a
+            // loop that stopped iterating) — Figure 3's case.
+            let c2 = *kids2.get(i)?;
+            if self.orig_regions.in_region(c, u) {
+                // Corresponding sub-regions must be instances of the same
+                // statement for the positional correspondence to be
+                // meaningful; a mismatch means control flow diverged.
+                if self.orig.event(c).stmt != self.switched.event(c2).stmt {
+                    return None;
+                }
+                if c == u {
+                    return Some(c2);
+                }
+                // Branch(r) != Branch(r'): switching p flipped a predicate
+                // u is control dependent on, so u did not execute in E'.
+                if self.orig.event(c).branch != self.switched.event(c2).branch {
+                    return None;
+                }
+                return self.match_inside(Some(c), Some(c2), u);
+            }
+            i += 1;
+        }
+    }
+
+    /// Convenience: matches `u` and returns the corresponding event of the
+    /// switched trace.
+    pub fn match_event(&self, p: InstId, u: InstId) -> Option<&omislice_trace::Event> {
+        self.match_inst(p, u).map(|m| self.switched.event(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_analysis::ProgramAnalysis;
+    use omislice_interp::{run_traced, RunConfig, SwitchSpec, TracedRun};
+    use omislice_lang::{compile, Program, StmtId};
+    use omislice_trace::Value;
+
+    fn setup(src: &str) -> (Program, ProgramAnalysis) {
+        let p = compile(src).unwrap();
+        let a = ProgramAnalysis::build(&p);
+        (p, a)
+    }
+
+    fn run_pair(src: &str, inputs: Vec<i64>, pred: u32, occurrence: u32) -> (TracedRun, TracedRun) {
+        let (p, a) = setup(src);
+        let cfg = RunConfig::with_inputs(inputs);
+        let orig = run_traced(&p, &a, &cfg);
+        let sw = run_traced(
+            &p,
+            &a,
+            &cfg.switched(SwitchSpec::new(StmtId(pred), occurrence)),
+        );
+        assert!(sw.switched.is_some(), "switch must land");
+        (orig, sw)
+    }
+
+    /// The paper's Figure 2 program, transcribed. Statement numbering:
+    /// S0 `if p1`, S1 `t = 1`, S2 `x = 7`, S3 `while i < t`, S4 body noop,
+    /// S5 `if c1`, S6 noop, S7 `i = i + 1`, S8 `if 1 == 1`, S9 `if c2 == 0`,
+    /// S10 `print(x)` (the use of x at the paper's line 15), S11 noop.
+    const FIGURE2: &str = "\
+        global i = 0; global t = 0; global x = 0;\
+        global p1 = 0; global c1 = 0; global c2 = 0;\
+        fn main() {\
+            if p1 == 1 { t = 1; x = 7; }\
+            while i < t {\
+                x = x;\
+                if c1 == 1 { x = x; }\
+                i = i + 1;\
+            }\
+            if 1 == 1 {\
+                if c2 == 0 { print(x); }\
+                i = i;\
+            }\
+        }";
+
+    #[test]
+    fn figure2_use_is_matched_in_switched_run() {
+        // Execution (1) vs (2): switch P; the use of x (our S10) is still
+        // executed and must be matched even though the loop body ran in
+        // between.
+        let (orig, sw) = run_pair(FIGURE2, vec![], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let u = orig.trace.instances_of(StmtId(10))[0];
+        let m = aligner.match_inst(p, u).expect("S10 executes in both");
+        assert_eq!(sw.trace.event(m).stmt, StmtId(10));
+        // The original prints x = 0; the switched run prints x = 7,
+        // exposing the implicit dependence.
+        assert_eq!(orig.trace.event(u).value, Some(Value::Int(0)));
+        assert_eq!(sw.trace.event(m).value, Some(Value::Int(7)));
+    }
+
+    /// Figure 2 execution (3): statement 3 is `t = C2 = 1`, so switching P
+    /// makes the `if c2 == 0` take the false branch and the use of x is
+    /// never executed — the matcher must report "no match" rather than
+    /// aligning some other instance.
+    const FIGURE2_VARIANT: &str = "\
+        global i = 0; global t = 0; global x = 0;\
+        global p1 = 0; global c1 = 0; global c2 = 0;\
+        fn main() {\
+            if p1 == 1 { t = 1; c2 = 1; x = 7; }\
+            while i < t {\
+                x = x;\
+                if c1 == 1 { x = x; }\
+                i = i + 1;\
+            }\
+            if 1 == 1 {\
+                if c2 == 0 { print(x); }\
+                i = i;\
+            }\
+        }";
+
+    #[test]
+    fn figure2_variant_reports_no_match() {
+        let (orig, sw) = run_pair(FIGURE2_VARIANT, vec![], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let u = orig.trace.instances_of(StmtId(11))[0]; // print(x)
+        assert!(orig.trace.event(u).value.is_some());
+        assert_eq!(aligner.match_inst(p, u), None);
+        // But the statement *after* the inner if still matches (S12).
+        let after = orig.trace.instances_of(StmtId(12))[0];
+        let m = aligner.match_inst(p, after).expect("S12 executes in both");
+        assert_eq!(sw.trace.event(m).stmt, StmtId(12));
+    }
+
+    /// Figure 3: a `break` under the switched predicate exits the loop
+    /// early, so the use inside the loop has no counterpart — detected by
+    /// running out of sibling regions.
+    #[test]
+    fn figure3_break_exits_loop_no_match() {
+        // S0 `if p1` S1 `c0 = 1` S2 `while` S3 `if c0` S4 `break`
+        // S5 `if c1` S6 `print(x)` S7 `i = i + 1` S8 trailing print.
+        let src = "\
+            global i = 0; global x = 5; global p1 = 0; global c0 = 0; global c1 = 1;\
+            fn main() {\
+                if p1 == 1 { c0 = 1; }\
+                while i < 3 {\
+                    if c0 == 1 { break; }\
+                    if c1 == 1 { print(x); }\
+                    i = i + 1;\
+                }\
+                print(9);\
+            }";
+        let (orig, sw) = run_pair(src, vec![], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        // The use of x in the first iteration has no match: the switched
+        // run breaks immediately.
+        let u = orig.trace.instances_of(StmtId(6))[0];
+        assert_eq!(aligner.match_inst(p, u), None);
+        // The statement after the loop still matches.
+        let after = orig.trace.instances_of(StmtId(8))[0];
+        assert!(aligner.match_inst(p, after).is_some());
+    }
+
+    #[test]
+    fn prefix_instances_match_themselves() {
+        let (orig, sw) = run_pair(FIGURE2, vec![], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        assert_eq!(aligner.match_inst(p, p), Some(p));
+        let _ = &sw;
+    }
+
+    #[test]
+    fn instance_under_switched_predicate_does_not_match() {
+        // u control-dependent on p with the original branch: switching p
+        // makes it unreachable.
+        let src = "global x = 0; fn main() { if input() > 0 { x = 1; print(x); } print(9); }";
+        let (orig, sw) = run_pair(src, vec![5], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let inner = orig.trace.instances_of(StmtId(2))[0];
+        assert_eq!(aligner.match_inst(p, inner), None);
+        let after = orig.trace.instances_of(StmtId(3))[0];
+        assert!(aligner.match_inst(p, after).is_some());
+        let _ = &sw;
+    }
+
+    #[test]
+    fn later_loop_iterations_match_when_unaffected() {
+        // Switch an if *inside* iteration 1 of a loop; iteration 2's
+        // statements still match, in the same iteration.
+        let src = "\
+            global s = 0;\
+            fn main() {\
+                let i = 0;\
+                while i < 3 {\
+                    if i == 0 { s = s + 10; }\
+                    s = s + 1;\
+                    i = i + 1;\
+                }\
+                print(s);\
+            }";
+        let (orig, sw) = run_pair(src, vec![], 2, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(2))[0];
+        let u = orig.trace.instances_of(StmtId(4))[1];
+        let m = aligner.match_inst(p, u).expect("later iterations align");
+        assert_eq!(sw.trace.event(m).stmt, StmtId(4));
+        assert_eq!(
+            sw.trace.occurrence_index(m),
+            1,
+            "must match the same iteration"
+        );
+    }
+
+    #[test]
+    fn loop_exit_by_switch_unmatches_later_iterations() {
+        // Switching the while predicate at occurrence 1 ends the loop, so
+        // iteration-2 statements have no match.
+        let src = "\
+            fn main() {\
+                let i = 0;\
+                while i < 3 { i = i + 1; }\
+                print(i);\
+            }";
+        let (orig, sw) = run_pair(src, vec![], 1, 1);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(1))[1];
+        let u = orig.trace.instances_of(StmtId(2))[1];
+        assert_eq!(aligner.match_inst(p, u), None);
+        // The final print still matches, observing a different value.
+        let out = orig.trace.instances_of(StmtId(3))[0];
+        let m = aligner.match_inst(p, out).unwrap();
+        assert_eq!(sw.trace.event(m).stmt, StmtId(3));
+        assert_eq!(sw.trace.event(m).value, Some(Value::Int(1)));
+        assert_eq!(orig.trace.event(out).value, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn matching_across_call_boundaries() {
+        let src = "\
+            global x = 0;\
+            fn report() { print(x); }\
+            fn main() {\
+                if input() > 0 { x = 1; }\
+                report();\
+            }";
+        let (orig, sw) = run_pair(src, vec![0], 1, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(1))[0];
+        let u = orig.trace.instances_of(StmtId(0))[0]; // print inside report
+        let m = aligner.match_inst(p, u).expect("callee statements align");
+        assert_eq!(sw.trace.event(m).stmt, StmtId(0));
+        assert_eq!(sw.trace.event(m).value, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn match_event_convenience() {
+        let (orig, sw) = run_pair(FIGURE2, vec![], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let u = orig.trace.instances_of(StmtId(10))[0];
+        let ev = aligner.match_event(p, u).unwrap();
+        assert_eq!(ev.stmt, StmtId(10));
+        let _ = (aligner.orig_regions(), aligner.switched_regions(), &sw);
+    }
+}

@@ -1,0 +1,270 @@
+//! A dense fixed-capacity bit set used by the dataflow analyses.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+///
+/// All dataflow lattices in this crate (dominators, reaching definitions)
+/// are powersets of dense id spaces, so a flat bit set is both the fastest
+/// and the simplest representation.
+///
+/// # Examples
+///
+/// ```
+/// use omislice_analysis::bitset::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(64);
+/// assert!(s.contains(3) && s.contains(64) && !s.contains(4));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.capacity;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// The capacity this set was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Adds `value`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
+        let (w, b) = (value / 64, value % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `value`; returns true if it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / 64, value % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Whether `value` is in the set.
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[value / 64] & (1 << (value % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns true if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self −= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects values into a set sized to hold the largest one.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0) && s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_past_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn full_zero_capacity() {
+        let s = BitSet::full(0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a: BitSet = [1usize, 3, 5].into_iter().collect();
+        let b: BitSet = [3usize, 4].into_iter().collect();
+        // Align capacities.
+        let mut a2 = BitSet::new(6);
+        for v in a.iter() {
+            a2.insert(v);
+        }
+        let mut b2 = BitSet::new(6);
+        for v in b.iter() {
+            b2.insert(v);
+        }
+        a = a2.clone();
+        assert!(a.union_with(&b2));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        assert!(!a2.union_with(&a2.clone()));
+        let mut c = a.clone();
+        assert!(c.intersect_with(&b2));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn subtract_removes_members() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(10);
+        b.insert(2);
+        b.insert(3);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for v in [0, 63, 64, 127, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

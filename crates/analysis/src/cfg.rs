@@ -1,0 +1,468 @@
+//! Per-function control-flow graphs.
+//!
+//! One node per statement (predicates become branch nodes with labeled
+//! successors) plus synthetic entry/exit nodes. `break`, `continue`, and
+//! `return` get their natural edges. This plays the role of the paper's
+//! diablo-built binary CFG.
+
+use omislice_lang::{Block, FnDecl, Program, Stmt, StmtId, StmtKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a CFG node, local to one function's graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic function entry.
+    Entry,
+    /// Synthetic function exit.
+    Exit,
+    /// A non-branching statement.
+    Stmt(StmtId),
+    /// A predicate (`if`/`while`) with true/false successors.
+    Branch(StmtId),
+}
+
+impl NodeKind {
+    /// The statement this node carries, if any.
+    pub fn stmt(self) -> Option<StmtId> {
+        match self {
+            NodeKind::Stmt(s) | NodeKind::Branch(s) => Some(s),
+            NodeKind::Entry | NodeKind::Exit => None,
+        }
+    }
+}
+
+/// An outgoing CFG edge; `label` is the branch outcome for branch nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Target node.
+    pub to: NodeId,
+    /// `Some(outcome)` when the source is a branch node.
+    pub label: Option<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    succs: Vec<Edge>,
+    preds: Vec<NodeId>,
+}
+
+/// Control-flow graph of one function.
+///
+/// # Examples
+///
+/// ```
+/// use omislice_analysis::cfg::Cfg;
+/// use omislice_lang::compile;
+///
+/// let program = compile("fn main() { if 1 < 2 { print(1); } print(2); }")?;
+/// let cfg = Cfg::build(&program, "main").unwrap();
+/// // entry, exit, branch, two prints
+/// assert_eq!(cfg.node_count(), 5);
+/// # Ok::<(), omislice_lang::FrontendError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    func: String,
+    nodes: Vec<Node>,
+    entry: NodeId,
+    exit: NodeId,
+    stmt_nodes: HashMap<StmtId, NodeId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of function `func` in `program`.
+    ///
+    /// Returns `None` if the function does not exist.
+    pub fn build(program: &Program, func: &str) -> Option<Cfg> {
+        let decl = program.function(func)?;
+        Some(Builder::new(func).run(decl))
+    }
+
+    /// Builds CFGs for every function, keyed by name.
+    pub fn build_all(program: &Program) -> HashMap<String, Cfg> {
+        program
+            .functions()
+            .map(|f| (f.name.clone(), Builder::new(&f.name).run(f)))
+            .collect()
+    }
+
+    /// The function this graph belongs to.
+    pub fn func(&self) -> &str {
+        &self.func
+    }
+
+    /// Synthetic entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// Synthetic exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// Number of nodes (including entry/exit).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// What node `id` represents.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn succs(&self, id: NodeId) -> &[Edge] {
+        &self.nodes[id.index()].succs
+    }
+
+    /// Predecessor nodes of `id`.
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].preds
+    }
+
+    /// The node carrying statement `stmt`, if it is in this function.
+    pub fn node_of(&self, stmt: StmtId) -> Option<NodeId> {
+        self.stmt_nodes.get(&stmt).copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edges as `(from, edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Edge)> + '_ {
+        self.node_ids()
+            .flat_map(move |n| self.succs(n).iter().map(move |&e| (n, e)))
+    }
+
+    /// Renders the graph in Graphviz DOT form, labelling statement nodes
+    /// with `labels` (typically the statement heads from a
+    /// [`ProgramIndex`](omislice_lang::ProgramIndex)); branch edges carry
+    /// their outcome.
+    pub fn to_dot(&self, labels: impl Fn(StmtId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "digraph cfg_{} {{\n  node [shape=box, fontsize=10];\n",
+            self.func
+        );
+        for n in self.node_ids() {
+            let label = match self.kind(n) {
+                NodeKind::Entry => "ENTRY".to_string(),
+                NodeKind::Exit => "EXIT".to_string(),
+                NodeKind::Stmt(s) | NodeKind::Branch(s) => {
+                    let text = labels(s).replace('\\', "\\\\").replace('"', "\\\"");
+                    format!("{s} {text}")
+                }
+            };
+            let _ = writeln!(out, "  n{} [label=\"{label}\"];", n.0);
+        }
+        for (from, e) in self.edges() {
+            match e.label {
+                Some(b) => {
+                    let _ = writeln!(out, "  n{} -> n{} [label=\"{b}\"];", from.0, e.to.0);
+                }
+                None => {
+                    let _ = writeln!(out, "  n{} -> n{};", from.0, e.to.0);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+struct Builder {
+    func: String,
+    nodes: Vec<Node>,
+    stmt_nodes: HashMap<StmtId, NodeId>,
+}
+
+/// Targets for `break`/`continue`/fallthrough while building a block.
+#[derive(Clone, Copy)]
+struct LoopCtx {
+    /// Where `continue` goes (the loop head).
+    head: NodeId,
+    /// Where `break` goes (the statement after the loop).
+    after: NodeId,
+}
+
+impl Builder {
+    fn new(func: &str) -> Self {
+        Builder {
+            func: func.to_string(),
+            nodes: Vec::new(),
+            stmt_nodes: HashMap::new(),
+        }
+    }
+
+    fn add(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        });
+        if let Some(s) = kind.stmt() {
+            self.stmt_nodes.insert(s, id);
+        }
+        id
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId, label: Option<bool>) {
+        self.nodes[from.index()].succs.push(Edge { to, label });
+        self.nodes[to.index()].preds.push(from);
+    }
+
+    fn run(mut self, decl: &FnDecl) -> Cfg {
+        let entry = self.add(NodeKind::Entry);
+        let exit = self.add(NodeKind::Exit);
+        let body_entry = self.block(&decl.body, exit, exit, None);
+        self.edge(entry, body_entry, None);
+        Cfg {
+            func: self.func,
+            nodes: self.nodes,
+            entry,
+            exit,
+            stmt_nodes: self.stmt_nodes,
+        }
+    }
+
+    /// Builds nodes for `block`; control falls through to `follow`.
+    /// Returns the block's entry node (or `follow` when empty).
+    fn block(
+        &mut self,
+        block: &Block,
+        follow: NodeId,
+        exit: NodeId,
+        loop_ctx: Option<LoopCtx>,
+    ) -> NodeId {
+        let mut next = follow;
+        for stmt in block.stmts.iter().rev() {
+            next = self.stmt(stmt, next, exit, loop_ctx);
+        }
+        next
+    }
+
+    fn stmt(
+        &mut self,
+        stmt: &Stmt,
+        follow: NodeId,
+        exit: NodeId,
+        loop_ctx: Option<LoopCtx>,
+    ) -> NodeId {
+        match &stmt.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                let node = self.add(NodeKind::Branch(stmt.id));
+                let then_entry = self.block(then_blk, follow, exit, loop_ctx);
+                let else_entry = match else_blk {
+                    Some(b) => self.block(b, follow, exit, loop_ctx),
+                    None => follow,
+                };
+                self.edge(node, then_entry, Some(true));
+                self.edge(node, else_entry, Some(false));
+                node
+            }
+            StmtKind::While { body, .. } => {
+                let head = self.add(NodeKind::Branch(stmt.id));
+                let ctx = LoopCtx {
+                    head,
+                    after: follow,
+                };
+                let body_entry = self.block(body, head, exit, Some(ctx));
+                self.edge(head, body_entry, Some(true));
+                self.edge(head, follow, Some(false));
+                head
+            }
+            StmtKind::Break => {
+                let node = self.add(NodeKind::Stmt(stmt.id));
+                let target = loop_ctx.expect("checker rejects break outside loop").after;
+                self.edge(node, target, None);
+                node
+            }
+            StmtKind::Continue => {
+                let node = self.add(NodeKind::Stmt(stmt.id));
+                let target = loop_ctx
+                    .expect("checker rejects continue outside loop")
+                    .head;
+                self.edge(node, target, None);
+                node
+            }
+            StmtKind::Return(_) => {
+                let node = self.add(NodeKind::Stmt(stmt.id));
+                self.edge(node, exit, None);
+                node
+            }
+            _ => {
+                let node = self.add(NodeKind::Stmt(stmt.id));
+                self.edge(node, follow, None);
+                node
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    fn cfg(src: &str) -> Cfg {
+        Cfg::build(&compile(src).unwrap(), "main").unwrap()
+    }
+
+    fn succ_stmts(cfg: &Cfg, stmt: StmtId) -> Vec<(Option<StmtId>, Option<bool>)> {
+        let n = cfg.node_of(stmt).unwrap();
+        cfg.succs(n)
+            .iter()
+            .map(|e| (cfg.kind(e.to).stmt(), e.label))
+            .collect()
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        let c = cfg("fn main() { let a = 1; let b = 2; print(b); }");
+        assert_eq!(succ_stmts(&c, StmtId(0)), vec![(Some(StmtId(1)), None)]);
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(2)), None)]);
+        // Last statement flows to exit.
+        let n = c.node_of(StmtId(2)).unwrap();
+        assert_eq!(c.succs(n)[0].to, c.exit());
+    }
+
+    #[test]
+    fn if_without_else_branches_to_join() {
+        let c = cfg("fn main() { if true { print(1); } print(2); }");
+        let succs = succ_stmts(&c, StmtId(0));
+        assert!(succs.contains(&(Some(StmtId(1)), Some(true))));
+        assert!(succs.contains(&(Some(StmtId(2)), Some(false))));
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(2)), None)]);
+    }
+
+    #[test]
+    fn if_else_both_reach_join() {
+        let c = cfg("fn main() { if true { print(1); } else { print(2); } print(3); }");
+        let succs = succ_stmts(&c, StmtId(0));
+        assert!(succs.contains(&(Some(StmtId(1)), Some(true))));
+        assert!(succs.contains(&(Some(StmtId(2)), Some(false))));
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(3)), None)]);
+        assert_eq!(succ_stmts(&c, StmtId(2)), vec![(Some(StmtId(3)), None)]);
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let c = cfg("fn main() { while true { print(1); } print(2); }");
+        let succs = succ_stmts(&c, StmtId(0));
+        assert!(succs.contains(&(Some(StmtId(1)), Some(true))));
+        assert!(succs.contains(&(Some(StmtId(2)), Some(false))));
+        // Body loops back to head.
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(0)), None)]);
+    }
+
+    #[test]
+    fn break_exits_loop() {
+        let c = cfg("fn main() { while true { break; print(1); } print(2); }");
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(3)), None)]);
+    }
+
+    #[test]
+    fn continue_returns_to_head() {
+        let c = cfg("fn main() { while true { continue; } }");
+        assert_eq!(succ_stmts(&c, StmtId(1)), vec![(Some(StmtId(0)), None)]);
+    }
+
+    #[test]
+    fn return_goes_to_exit() {
+        let c = cfg("fn main() { if true { return; } print(1); }");
+        let n = c.node_of(StmtId(1)).unwrap();
+        assert_eq!(c.succs(n)[0].to, c.exit());
+    }
+
+    #[test]
+    fn nested_loop_break_targets_inner() {
+        let c = cfg("fn main() { while true { while false { break; } print(1); } print(2); }");
+        // Inner break jumps to print(1), not print(2).
+        assert_eq!(succ_stmts(&c, StmtId(2)), vec![(Some(StmtId(3)), None)]);
+    }
+
+    #[test]
+    fn preds_are_symmetric_with_succs() {
+        let c = cfg("fn main() { if 1 < 2 { print(1); } else { print(2); } print(3); }");
+        for n in c.node_ids() {
+            for e in c.succs(n) {
+                assert!(
+                    c.preds(e.to).contains(&n),
+                    "missing pred edge {n}->{}",
+                    e.to
+                );
+            }
+            for &p in c.preds(n) {
+                assert!(c.succs(p).iter().any(|e| e.to == n));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_function_links_entry_to_exit() {
+        let c = cfg("fn main() { }");
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.succs(c.entry())[0].to, c.exit());
+    }
+
+    #[test]
+    fn build_all_covers_every_function() {
+        let p = compile("fn f() { } fn main() { f(); }").unwrap();
+        let all = Cfg::build_all(&p);
+        assert_eq!(all.len(), 2);
+        assert!(all.contains_key("f") && all.contains_key("main"));
+    }
+
+    #[test]
+    fn build_missing_function_is_none() {
+        let p = compile("fn main() { }").unwrap();
+        assert!(Cfg::build(&p, "ghost").is_none());
+    }
+
+    #[test]
+    fn to_dot_renders_nodes_and_labeled_edges() {
+        let p = compile("fn main() { if true { print(1); } print(2); }").unwrap();
+        let idx = omislice_lang::ProgramIndex::build(&p);
+        let c = Cfg::build(&p, "main").unwrap();
+        let dot = c.to_dot(|s| idx.stmt(s).head.clone());
+        assert!(dot.starts_with("digraph cfg_main {"));
+        assert!(dot.contains("ENTRY") && dot.contains("EXIT"));
+        assert!(dot.contains("if true"));
+        assert!(dot.contains("[label=\"true\"]"));
+        assert!(dot.contains("[label=\"false\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn edges_iterator_counts() {
+        let c = cfg("fn main() { if true { print(1); } print(2); }");
+        // entry->branch, branch->print1(T), branch->print2(F),
+        // print1->print2, print2->exit
+        assert_eq!(c.edges().count(), 5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Static control dependence.
+//!
+//! Node `n` is control dependent on branch edge `(p, β)` iff `n`
+//! post-dominates the β-successor of `p` but does not post-dominate `p`
+//! itself (Ferrante–Ottenstein–Warren). We expose both the immediate
+//! relation and its transitive closure at *statement* granularity, which
+//! is what the interpreter (dynamic control dependences), relevant
+//! slicing, and potential-dependence computation consume.
+
+use crate::cfg::{Cfg, NodeKind};
+use crate::dom::{post_dominators, DomSets};
+use omislice_lang::StmtId;
+use std::collections::{HashMap, HashSet};
+
+/// A control-dependence parent: a predicate and the branch outcome under
+/// which the dependent statement executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CdParent {
+    /// The controlling predicate.
+    pub pred: StmtId,
+    /// The branch outcome of `pred` that leads to the dependent statement.
+    pub branch: bool,
+}
+
+/// Statement-level control dependences of one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// Immediate control-dependence parents per statement.
+    imm: HashMap<StmtId, Vec<CdParent>>,
+    /// Statements immediately control dependent on each `(pred, branch)`.
+    children: HashMap<CdParent, Vec<StmtId>>,
+}
+
+impl ControlDeps {
+    /// Computes statement-level control dependences for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let pdom = post_dominators(cfg);
+        let mut imm: HashMap<StmtId, Vec<CdParent>> = HashMap::new();
+        let mut children: HashMap<CdParent, Vec<StmtId>> = HashMap::new();
+
+        for (from, edge) in cfg.edges() {
+            let NodeKind::Branch(pred) = cfg.kind(from) else {
+                continue;
+            };
+            let branch = edge.label.expect("branch edges are labeled");
+            for n in cfg.node_ids() {
+                let Some(stmt) = cfg.kind(n).stmt() else {
+                    continue;
+                };
+                if dominates_or_is(&pdom, n, edge.to) && !pdom.strictly_dominates(n, from) {
+                    let parent = CdParent { pred, branch };
+                    imm.entry(stmt).or_default().push(parent);
+                    children.entry(parent).or_default().push(stmt);
+                }
+            }
+        }
+        for v in imm.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        for v in children.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        ControlDeps { imm, children }
+    }
+
+    /// Immediate control-dependence parents of `stmt` (empty for
+    /// top-level statements).
+    pub fn parents(&self, stmt: StmtId) -> &[CdParent] {
+        self.imm.get(&stmt).map_or(&[], Vec::as_slice)
+    }
+
+    /// Statements immediately control dependent on `(pred, branch)`.
+    pub fn children(&self, pred: StmtId, branch: bool) -> &[StmtId] {
+        self.children
+            .get(&CdParent { pred, branch })
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Transitive control-dependence ancestors of `stmt`, including the
+    /// branch outcomes (a statement may depend on several `(pred, branch)`
+    /// pairs in the presence of `break`).
+    pub fn ancestors(&self, stmt: StmtId) -> HashSet<CdParent> {
+        let mut out = HashSet::new();
+        let mut stack: Vec<StmtId> = vec![stmt];
+        let mut seen: HashSet<StmtId> = HashSet::new();
+        while let Some(s) = stack.pop() {
+            for &p in self.parents(s) {
+                if out.insert(p) && seen.insert(p.pred) {
+                    stack.push(p.pred);
+                }
+            }
+        }
+        out
+    }
+
+    /// Statements transitively control dependent on `(pred, branch)`:
+    /// the statements that execute *because* `pred` took `branch`.
+    pub fn region_stmts(&self, pred: StmtId, branch: bool) -> HashSet<StmtId> {
+        let mut out = HashSet::new();
+        let mut stack: Vec<StmtId> = self.children(pred, branch).to_vec();
+        while let Some(s) = stack.pop() {
+            if out.insert(s) {
+                for b in [true, false] {
+                    stack.extend(self.children(s, b).iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `stmt` transitively depends on `pred` under *either* branch.
+    pub fn depends_on(&self, stmt: StmtId, pred: StmtId) -> bool {
+        self.ancestors(stmt).iter().any(|p| p.pred == pred)
+    }
+}
+
+fn dominates_or_is(pdom: &DomSets, a: crate::cfg::NodeId, b: crate::cfg::NodeId) -> bool {
+    a == b || pdom.dominates(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    fn deps(src: &str) -> ControlDeps {
+        let p = compile(src).unwrap();
+        ControlDeps::compute(&Cfg::build(&p, "main").unwrap())
+    }
+
+    #[test]
+    fn then_branch_depends_on_if_true() {
+        let d = deps("fn main() { if 1 < 2 { print(1); } print(2); }");
+        assert_eq!(
+            d.parents(StmtId(1)),
+            &[CdParent {
+                pred: StmtId(0),
+                branch: true
+            }]
+        );
+        // The join point depends on nothing.
+        assert!(d.parents(StmtId(2)).is_empty());
+    }
+
+    #[test]
+    fn else_branch_depends_on_if_false() {
+        let d = deps("fn main() { if 1 < 2 { print(1); } else { print(2); } }");
+        assert_eq!(
+            d.parents(StmtId(2)),
+            &[CdParent {
+                pred: StmtId(0),
+                branch: false
+            }]
+        );
+    }
+
+    #[test]
+    fn loop_body_and_head_depend_on_head() {
+        let d = deps("fn main() { while 1 < 2 { print(1); } print(2); }");
+        assert_eq!(
+            d.parents(StmtId(1)),
+            &[CdParent {
+                pred: StmtId(0),
+                branch: true
+            }]
+        );
+        // The loop head re-evaluation is control dependent on itself.
+        assert_eq!(
+            d.parents(StmtId(0)),
+            &[CdParent {
+                pred: StmtId(0),
+                branch: true
+            }]
+        );
+        assert!(d.parents(StmtId(2)).is_empty());
+    }
+
+    #[test]
+    fn nested_if_transitive_ancestors() {
+        let d = deps("fn main() { if 1 < 2 { if 2 < 3 { print(1); } } }");
+        let anc = d.ancestors(StmtId(2));
+        assert!(anc.contains(&CdParent {
+            pred: StmtId(0),
+            branch: true
+        }));
+        assert!(anc.contains(&CdParent {
+            pred: StmtId(1),
+            branch: true
+        }));
+        assert!(d.depends_on(StmtId(2), StmtId(0)));
+        assert!(!d.depends_on(StmtId(0), StmtId(2)));
+    }
+
+    #[test]
+    fn break_makes_loop_tail_depend_on_guard() {
+        // while c { if g { break; } tail; }
+        let d = deps("fn main() { while 1 < 2 { if 2 < 3 { break; } print(7); } print(9); }");
+        // tail (print(7)) executes only when g is false.
+        let parents = d.parents(StmtId(3));
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(1),
+            branch: false
+        }));
+        // The loop head re-test depends on the guard being false too.
+        assert!(d.parents(StmtId(0)).contains(&CdParent {
+            pred: StmtId(1),
+            branch: false
+        }));
+        // The post-loop print(9) depends on nothing: it always runs.
+        assert!(d.parents(StmtId(4)).is_empty());
+    }
+
+    #[test]
+    fn region_stmts_of_then_branch() {
+        let d = deps("fn main() { if 1 < 2 { print(1); if 2 < 3 { print(2); } } print(3); }");
+        let region = d.region_stmts(StmtId(0), true);
+        assert!(region.contains(&StmtId(1)));
+        assert!(region.contains(&StmtId(2)));
+        assert!(region.contains(&StmtId(3)));
+        assert!(!region.contains(&StmtId(4)));
+        // False branch region is empty (no else).
+        assert!(d.region_stmts(StmtId(0), false).is_empty());
+    }
+
+    #[test]
+    fn children_inverse_of_parents() {
+        let d = deps("fn main() { if 1 < 2 { print(1); print(2); } }");
+        assert_eq!(d.children(StmtId(0), true), &[StmtId(1), StmtId(2)]);
+        assert!(d.children(StmtId(0), false).is_empty());
+    }
+
+    #[test]
+    fn return_in_branch_makes_tail_dependent() {
+        let d = deps("fn main() { if 1 < 2 { return; } print(1); }");
+        // print(1) executes only when the condition is false.
+        assert_eq!(
+            d.parents(StmtId(2)),
+            &[CdParent {
+                pred: StmtId(0),
+                branch: false
+            }]
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Dominator and post-dominator analysis.
+//!
+//! Iterative bit-set dataflow: `dom(n) = {n} ∪ ⋂ dom(preds(n))`, and the
+//! dual over successors for post-dominators. Functions in the
+//! mini-language are small, so the simple O(N²) fixpoint is plenty fast
+//! and easy to audit.
+//!
+//! Nodes that cannot reach exit (e.g. bodies of `while true {}` without a
+//! `break`) keep the full post-dominator set; the paper assumes analysed
+//! executions terminate, and the control-dependence pass tolerates these
+//! saturated sets conservatively.
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+
+/// Dominator (or post-dominator) sets for one CFG.
+#[derive(Debug, Clone)]
+pub struct DomSets {
+    sets: Vec<BitSet>,
+    root: NodeId,
+}
+
+impl DomSets {
+    /// Whether `a` dominates `b` (reflexive: every node dominates itself).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        self.sets[b.index()].contains(a.index())
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The root of the analysis (entry for dominators, exit for
+    /// post-dominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All dominators of `n`, in node-id order.
+    pub fn dominators_of(&self, n: NodeId) -> Vec<NodeId> {
+        self.sets[n.index()]
+            .iter()
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The immediate dominator of `n`: the unique strict dominator that is
+    /// dominated by every other strict dominator of `n`.
+    ///
+    /// Returns `None` for the root and for nodes unreachable from the root.
+    pub fn immediate(&self, n: NodeId) -> Option<NodeId> {
+        let strict: Vec<NodeId> = self
+            .dominators_of(n)
+            .into_iter()
+            .filter(|&d| d != n)
+            .collect();
+        strict
+            .iter()
+            .copied()
+            .find(|&cand| strict.iter().all(|&o| self.dominates(o, cand)))
+    }
+}
+
+/// Computes dominator sets rooted at the CFG entry.
+pub fn dominators(cfg: &Cfg) -> DomSets {
+    solve(cfg, cfg.entry(), |cfg, n| cfg.preds(n).to_vec())
+}
+
+/// Computes post-dominator sets rooted at the CFG exit.
+pub fn post_dominators(cfg: &Cfg) -> DomSets {
+    solve(cfg, cfg.exit(), |cfg, n| {
+        cfg.succs(n).iter().map(|e| e.to).collect()
+    })
+}
+
+fn solve(cfg: &Cfg, root: NodeId, inputs: impl Fn(&Cfg, NodeId) -> Vec<NodeId>) -> DomSets {
+    let n = cfg.node_count();
+    let mut sets: Vec<BitSet> = (0..n)
+        .map(|i| {
+            if i == root.index() {
+                let mut s = BitSet::new(n);
+                s.insert(i);
+                s
+            } else {
+                BitSet::full(n)
+            }
+        })
+        .collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for node in cfg.node_ids() {
+            if node == root {
+                continue;
+            }
+            let ins = inputs(cfg, node);
+            let mut next = if ins.is_empty() {
+                // Unreachable from root in this direction: keep ⊤.
+                BitSet::full(n)
+            } else {
+                let mut acc = sets[ins[0].index()].clone();
+                for p in &ins[1..] {
+                    acc.intersect_with(&sets[p.index()]);
+                }
+                acc
+            };
+            next.insert(node.index());
+            if next != sets[node.index()] {
+                sets[node.index()] = next;
+                changed = true;
+            }
+        }
+    }
+    DomSets { sets, root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::{compile, StmtId};
+
+    fn cfg(src: &str) -> Cfg {
+        Cfg::build(&compile(src).unwrap(), "main").unwrap()
+    }
+
+    fn node(c: &Cfg, s: u32) -> NodeId {
+        c.node_of(StmtId(s)).unwrap()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let c = cfg("fn main() { if true { print(1); } print(2); }");
+        let dom = dominators(&c);
+        for n in c.node_ids() {
+            assert!(dom.dominates(c.entry(), n));
+        }
+    }
+
+    #[test]
+    fn exit_postdominates_everything() {
+        let c = cfg("fn main() { if true { print(1); } print(2); }");
+        let pdom = post_dominators(&c);
+        for n in c.node_ids() {
+            assert!(pdom.dominates(c.exit(), n));
+        }
+    }
+
+    #[test]
+    fn branch_does_not_dominate_join_sides_unequally() {
+        let c = cfg("fn main() { if true { print(1); } else { print(2); } print(3); }");
+        let dom = dominators(&c);
+        // The branch dominates both arms and the join.
+        assert!(dom.strictly_dominates(node(&c, 0), node(&c, 1)));
+        assert!(dom.strictly_dominates(node(&c, 0), node(&c, 2)));
+        assert!(dom.strictly_dominates(node(&c, 0), node(&c, 3)));
+        // Neither arm dominates the join.
+        assert!(!dom.dominates(node(&c, 1), node(&c, 3)));
+        assert!(!dom.dominates(node(&c, 2), node(&c, 3)));
+    }
+
+    #[test]
+    fn join_postdominates_branch_but_arms_do_not() {
+        let c = cfg("fn main() { if true { print(1); } else { print(2); } print(3); }");
+        let pdom = post_dominators(&c);
+        assert!(pdom.strictly_dominates(node(&c, 3), node(&c, 0)));
+        assert!(!pdom.dominates(node(&c, 1), node(&c, 0)));
+        assert!(!pdom.dominates(node(&c, 2), node(&c, 0)));
+    }
+
+    #[test]
+    fn loop_body_does_not_postdominate_head() {
+        let c = cfg("fn main() { while true { print(1); } print(2); }");
+        let pdom = post_dominators(&c);
+        assert!(!pdom.dominates(node(&c, 1), node(&c, 0)));
+        assert!(pdom.strictly_dominates(node(&c, 2), node(&c, 0)));
+    }
+
+    #[test]
+    fn immediate_dominator_chain() {
+        let c = cfg("fn main() { let a = 1; let b = 2; print(b); }");
+        let dom = dominators(&c);
+        assert_eq!(dom.immediate(node(&c, 1)), Some(node(&c, 0)));
+        assert_eq!(dom.immediate(node(&c, 2)), Some(node(&c, 1)));
+        assert_eq!(dom.immediate(c.entry()), None);
+    }
+
+    #[test]
+    fn post_loop_statement_postdominates_break() {
+        let c = cfg("fn main() { while true { if 1 < 2 { break; } } print(9); }");
+        let pdom = post_dominators(&c);
+        // print(9) postdominates the loop head and the break.
+        assert!(pdom.dominates(node(&c, 3), node(&c, 0)));
+        assert!(pdom.dominates(node(&c, 3), node(&c, 2)));
+        // The loop head does not postdominate the break (break bypasses it).
+        assert!(!pdom.dominates(node(&c, 0), node(&c, 2)));
+    }
+
+    #[test]
+    fn infinite_loop_keeps_saturated_postdom() {
+        let c = cfg("fn main() { while true { print(1); } }");
+        let pdom = post_dominators(&c);
+        // The body can't reach exit... actually `while true` still has a
+        // false edge in our CFG (condition is an expression, statically
+        // unknown), so exit is reachable and postdominates.
+        assert!(pdom.dominates(c.exit(), node(&c, 1)));
+    }
+
+    #[test]
+    fn dominators_of_lists_root() {
+        let c = cfg("fn main() { print(1); }");
+        let dom = dominators(&c);
+        let doms = dom.dominators_of(node(&c, 0));
+        assert!(doms.contains(&c.entry()));
+        assert!(doms.contains(&node(&c, 0)));
+        assert_eq!(dom.root(), c.entry());
+    }
+}

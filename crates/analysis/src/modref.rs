@@ -1,0 +1,163 @@
+//! Interprocedural MOD summaries.
+//!
+//! For each function, the set of *global* variables (scalars and arrays)
+//! it may write, directly or through callees. These summaries stand in for
+//! the paper's points-to facts when modelling calls in reaching-definition
+//! and potential-dependence analysis: a call site conservatively acts as a
+//! weak definition of everything in the callee's MOD set.
+
+use omislice_lang::{ProgramIndex, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// MOD sets for every function of a program.
+#[derive(Debug, Clone)]
+pub struct ModSummaries {
+    per_fn: HashMap<String, HashSet<VarId>>,
+}
+
+impl ModSummaries {
+    /// Computes MOD sets with a fixpoint over the call graph (handles
+    /// recursion and mutual recursion).
+    pub fn compute(index: &ProgramIndex) -> Self {
+        let mut direct: HashMap<String, HashSet<VarId>> = HashMap::new();
+        let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
+        for info in index.stmts() {
+            let entry = direct.entry(info.func.clone()).or_default();
+            if let Some(v) = info.def {
+                if index.vars().is_global(v) {
+                    entry.insert(v);
+                }
+            }
+            calls
+                .entry(info.func.clone())
+                .or_default()
+                .extend(info.calls.iter().cloned());
+        }
+        // Ensure every function appears even if it has no statements.
+        for info in index.stmts() {
+            direct.entry(info.func.clone()).or_default();
+        }
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot: Vec<(String, HashSet<String>)> = calls
+                .iter()
+                .map(|(f, cs)| (f.clone(), cs.clone()))
+                .collect();
+            for (f, callees) in snapshot {
+                for callee in callees {
+                    let callee_mods: Vec<VarId> = direct
+                        .get(&callee)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    let entry = direct.entry(f.clone()).or_default();
+                    for v in callee_mods {
+                        changed |= entry.insert(v);
+                    }
+                }
+            }
+        }
+        ModSummaries { per_fn: direct }
+    }
+
+    /// Globals function `func` may write (directly or transitively).
+    pub fn mods(&self, func: &str) -> impl Iterator<Item = VarId> + '_ {
+        self.per_fn
+            .get(func)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Whether `func` may write global `var`.
+    pub fn may_write(&self, func: &str, var: VarId) -> bool {
+        self.per_fn.get(func).is_some_and(|s| s.contains(&var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::{compile, ProgramIndex};
+
+    fn summaries(src: &str) -> (ModSummaries, ProgramIndex) {
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        (ModSummaries::compute(&idx), idx)
+    }
+
+    #[test]
+    fn direct_global_write() {
+        let (m, idx) = summaries("global g = 0; fn f() { g = 1; } fn main() { f(); }");
+        let g = idx.vars().global("g").unwrap();
+        assert!(m.may_write("f", g));
+        assert!(m.may_write("main", g), "MOD propagates to callers");
+    }
+
+    #[test]
+    fn locals_do_not_escape() {
+        let (m, _) = summaries("fn f() { let x = 1; } fn main() { f(); }");
+        assert_eq!(m.mods("f").count(), 0);
+        assert_eq!(m.mods("main").count(), 0);
+    }
+
+    #[test]
+    fn array_store_counts_as_mod() {
+        let (m, idx) = summaries("global buf = [0; 4]; fn f() { buf[0] = 1; } fn main() { f(); }");
+        let buf = idx.vars().global("buf").unwrap();
+        assert!(m.may_write("f", buf));
+        assert!(m.may_write("main", buf));
+    }
+
+    #[test]
+    fn transitive_chain_of_calls() {
+        let (m, idx) = summaries(
+            "global g = 0; fn c() { g = 1; } fn b() { c(); } fn a() { b(); } fn main() { a(); }",
+        );
+        let g = idx.vars().global("g").unwrap();
+        for f in ["a", "b", "c", "main"] {
+            assert!(m.may_write(f, g), "{f} should MOD g");
+        }
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let (m, idx) = summaries(
+            "global g = 0; fn f(n) { if n > 0 { f(n - 1); g = n; } } fn main() { f(3); }",
+        );
+        let g = idx.vars().global("g").unwrap();
+        assert!(m.may_write("f", g));
+        assert!(m.may_write("main", g));
+    }
+
+    #[test]
+    fn mutual_recursion_reaches_fixpoint() {
+        let (m, idx) = summaries(
+            "global g = 0; fn even(n) { if n > 0 { odd(n - 1); } } \
+             fn odd(n) { if n > 0 { even(n - 1); } g = 1; } fn main() { even(4); }",
+        );
+        let g = idx.vars().global("g").unwrap();
+        assert!(m.may_write("even", g));
+        assert!(m.may_write("odd", g));
+        assert!(m.may_write("main", g));
+    }
+
+    #[test]
+    fn unrelated_function_is_clean() {
+        let (m, idx) = summaries(
+            "global g = 0; fn dirty() { g = 1; } fn clean() { let x = 2; } fn main() { clean(); }",
+        );
+        let g = idx.vars().global("g").unwrap();
+        assert!(!m.may_write("clean", g));
+        assert!(!m.may_write("main", g));
+        assert!(m.may_write("dirty", g));
+    }
+
+    #[test]
+    fn calls_in_expressions_propagate() {
+        let (m, idx) =
+            summaries("global g = 0; fn f() { g = 1; return 2; } fn main() { let x = f() + 1; }");
+        let g = idx.vars().global("g").unwrap();
+        assert!(m.may_write("main", g));
+    }
+}

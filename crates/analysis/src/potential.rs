@@ -1,0 +1,428 @@
+//! Static component of *potential dependence* (Definition 1 of the paper).
+//!
+//! A use `u` of variable `v` *potentially depends* on predicate `p` with
+//! outcome β iff flipping `p` to β could execute a definition of `v` that
+//! reaches `u`. This module computes the static, path-insensitive part:
+//!
+//! > `(p, β) ∈ PD_static(u, v)` iff some definition site `d` of `v` is
+//! > transitively control dependent on `(p, β)` and `d` reaches `u`'s
+//! > program point per reaching-definition analysis.
+//!
+//! The paper's remaining conditions are evaluated against the dynamic
+//! trace by the slicing crate: (i) the instance of `p` executes before
+//! `u`, (ii) `u` is not control dependent on `p`, (iii) the definition
+//! actually reaching `u` occurs before `p`, and the runtime branch of `p`
+//! must be the *opposite* of β.
+//!
+//! Exactly like the paper's static points-to-based computation, this is
+//! conservative — it is the source of the false dependences (e.g. S7→S9
+//! in Figure 1) that relevant slicing suffers from and that implicit-
+//! dependence verification eliminates.
+
+use crate::cfg::Cfg;
+use crate::ctrl_dep::{CdParent, ControlDeps};
+use crate::modref::ModSummaries;
+use crate::reach::{DefSite, ReachingDefs};
+use omislice_lang::{Program, ProgramIndex, StmtId, VarId};
+use std::collections::HashMap;
+
+/// How far the static component of potential dependence reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PdMode {
+    /// Predicates of the use's own function only; a definition performed
+    /// by a callee contributes the predicates controlling the *call*.
+    /// This is the default and what the evaluation uses.
+    #[default]
+    Intraprocedural,
+    /// Additionally include the predicates *inside* callees (and their
+    /// callees, via a call-graph fixpoint) that guard definitions of the
+    /// variable — lifting the documented intraprocedural limitation at
+    /// the cost of more candidates to verify.
+    InterproceduralGuards,
+}
+
+/// The static potential-dependence relation for a whole program.
+#[derive(Debug, Clone)]
+pub struct PotentialDeps {
+    map: HashMap<(StmtId, VarId), Vec<CdParent>>,
+}
+
+/// For each function, the predicates (with branch) inside it — or inside
+/// its callees — that guard a definition of each global. The fixpoint
+/// mirrors [`ModSummaries`].
+fn internal_guards(
+    program: &Program,
+    index: &ProgramIndex,
+    cds: &HashMap<String, ControlDeps>,
+) -> HashMap<(String, VarId), Vec<CdParent>> {
+    let mut out: HashMap<(String, VarId), Vec<CdParent>> = HashMap::new();
+    // Direct: defs of globals under predicates of their own function.
+    for info in index.stmts() {
+        if let Some(var) = info.def {
+            if index.vars().is_global(var) {
+                let entry = out.entry((info.func.clone(), var)).or_default();
+                entry.extend(cds[&info.func].ancestors(info.id));
+            }
+        }
+    }
+    // Transitive: a call inherits the callee's internal guards, plus the
+    // predicates controlling the call itself.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for info in index.stmts() {
+            for callee in &info.calls {
+                let inherited: Vec<(VarId, Vec<CdParent>)> = out
+                    .iter()
+                    .filter(|((f, _), _)| f == callee)
+                    .map(|((_, v), ps)| (*v, ps.clone()))
+                    .collect();
+                let call_guards: Vec<CdParent> =
+                    cds[&info.func].ancestors(info.id).into_iter().collect();
+                for (var, mut parents) in inherited {
+                    parents.extend(call_guards.iter().copied());
+                    let entry = out.entry((info.func.clone(), var)).or_default();
+                    for p in parents {
+                        if !entry.contains(&p) {
+                            entry.push(p);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = program;
+    for v in out.values_mut() {
+        v.sort();
+        v.dedup();
+    }
+    out
+}
+
+impl PotentialDeps {
+    /// Computes `PD_static` for every (statement, used-variable) pair,
+    /// with the default [`PdMode::Intraprocedural`] reach.
+    pub fn compute(
+        program: &Program,
+        index: &ProgramIndex,
+        cfgs: &HashMap<String, Cfg>,
+        cds: &HashMap<String, ControlDeps>,
+        mods: &ModSummaries,
+    ) -> Self {
+        Self::compute_with(program, index, cfgs, cds, mods, PdMode::default())
+    }
+
+    /// Computes `PD_static` with an explicit [`PdMode`].
+    pub fn compute_with(
+        program: &Program,
+        index: &ProgramIndex,
+        cfgs: &HashMap<String, Cfg>,
+        cds: &HashMap<String, ControlDeps>,
+        mods: &ModSummaries,
+        mode: PdMode,
+    ) -> Self {
+        let guards = match mode {
+            PdMode::Intraprocedural => HashMap::new(),
+            PdMode::InterproceduralGuards => internal_guards(program, index, cds),
+        };
+        let mut map: HashMap<(StmtId, VarId), Vec<CdParent>> = HashMap::new();
+        for f in program.functions() {
+            let cfg = &cfgs[&f.name];
+            let cd = &cds[&f.name];
+            let rd = ReachingDefs::compute(cfg, index, mods);
+            for info in index.stmts().iter().filter(|s| s.func == f.name) {
+                for &var in &info.uses {
+                    let key = (info.id, var);
+                    if map.contains_key(&key) {
+                        continue;
+                    }
+                    let mut parents: Vec<CdParent> = Vec::new();
+                    for def in rd.reaching(info.id, var) {
+                        let Some(def_stmt) = def.stmt() else {
+                            continue; // boundary defs are uncontrolled
+                        };
+                        parents.extend(cd.ancestors(def_stmt));
+                        // Interprocedural mode: a call-performed def also
+                        // contributes the callee's internal guards.
+                        if mode == PdMode::InterproceduralGuards {
+                            if let DefSite::CallMod { stmt, .. } = def {
+                                for callee in &index.stmt(stmt).calls {
+                                    if let Some(ps) = guards.get(&(callee.clone(), var)) {
+                                        parents.extend(ps.iter().copied());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    parents.sort();
+                    parents.dedup();
+                    map.insert(key, parents);
+                }
+            }
+        }
+        PotentialDeps { map }
+    }
+
+    /// Predicates (with the branch that would execute a relevant
+    /// definition) that the use of `var` at `stmt` potentially depends on.
+    pub fn static_pd(&self, stmt: StmtId, var: VarId) -> &[CdParent] {
+        self.map.get(&(stmt, var)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over all `(stmt, var)` keys with non-empty PD sets.
+    pub fn iter(&self) -> impl Iterator<Item = ((StmtId, VarId), &[CdParent])> {
+        self.map
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    fn potential(src: &str) -> (PotentialDeps, ProgramIndex) {
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        let cfgs = Cfg::build_all(&p);
+        let cds = cfgs
+            .iter()
+            .map(|(k, c)| (k.clone(), ControlDeps::compute(c)))
+            .collect();
+        let mods = ModSummaries::compute(&idx);
+        let pd = PotentialDeps::compute(&p, &idx, &cfgs, &cds, &mods);
+        (pd, idx)
+    }
+
+    #[test]
+    fn figure1_shape_use_depends_on_untaken_guard() {
+        // Miniature of the paper's Figure 1: flags is defined at S0,
+        // conditionally redefined under the guard, and printed at the end.
+        let (pd, idx) = potential(
+            "global flags = 0; global save = 0; fn main() {\
+               flags = 1;\
+               if save == 1 { flags = 2; }\
+               print(flags);\
+             }",
+        );
+        let flags = idx.vars().global("flags").unwrap();
+        // Statement ids: 0 flags=1; 1 if; 2 flags=2; 3 print.
+        let parents = pd.static_pd(StmtId(3), flags);
+        assert_eq!(
+            parents,
+            &[CdParent {
+                pred: StmtId(1),
+                branch: true
+            }]
+        );
+    }
+
+    #[test]
+    fn killed_definition_is_excluded() {
+        // The paper's condition-(iii) illustration: when a later strong
+        // definition kills everything from the branch, the use does not
+        // potentially depend on the predicate.
+        let (pd, idx) = potential(
+            "global x = 0; fn main() {\
+               if 1 > 2 { x = 1; }\
+               x = 2;\
+               print(x);\
+             }",
+        );
+        let x = idx.vars().global("x").unwrap();
+        assert!(pd.static_pd(StmtId(3), x).is_empty());
+    }
+
+    #[test]
+    fn nested_predicates_both_appear() {
+        let (pd, idx) = potential(
+            "global x = 0; fn main() {\
+               if 1 > 2 { if 2 > 3 { x = 1; } }\
+               print(x);\
+             }",
+        );
+        let x = idx.vars().global("x").unwrap();
+        let parents = pd.static_pd(StmtId(3), x);
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(0),
+            branch: true
+        }));
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(1),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn array_use_depends_on_conditional_store() {
+        // Figure 1's outbuf case: a conditional store into the array makes
+        // later array reads potentially dependent on the guard.
+        let (pd, idx) = potential(
+            "global buf = [0; 4]; global c = 0; fn main() {\
+               buf[0] = 1;\
+               if c == 1 { buf[1] = 7; }\
+               print(buf[1]);\
+             }",
+        );
+        let buf = idx.vars().global("buf").unwrap();
+        let parents = pd.static_pd(StmtId(3), buf);
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(1),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn unconditional_def_gives_no_pd() {
+        let (pd, idx) = potential("global x = 0; fn main() { x = 1; print(x); }");
+        let x = idx.vars().global("x").unwrap();
+        assert!(pd.static_pd(StmtId(1), x).is_empty());
+    }
+
+    #[test]
+    fn call_under_predicate_yields_pd_through_mod() {
+        let (pd, idx) = potential(
+            "global g = 0; fn f() { g = 5; } fn main() {\
+               g = 1;\
+               if 1 > 2 { f(); }\
+               print(g);\
+             }",
+        );
+        let g = idx.vars().global("g").unwrap();
+        let parents = pd.static_pd(StmtId(4), g);
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(2),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn loop_body_definition_creates_pd_on_loop_head() {
+        let (pd, idx) = potential(
+            "global x = 0; fn main() {\
+               let i = input();\
+               while i > 0 { x = i; i = i - 1; }\
+               print(x);\
+             }",
+        );
+        let x = idx.vars().global("x").unwrap();
+        let parents = pd.static_pd(StmtId(4), x);
+        assert!(parents.contains(&CdParent {
+            pred: StmtId(1),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn interprocedural_mode_sees_callee_guards() {
+        // The guard lives inside the callee: intraprocedural PD only sees
+        // predicates controlling the *call*; the interprocedural mode
+        // also surfaces the callee's internal guard.
+        let src = "\
+            global g = 0; global c = 0;\
+            fn update() { if c == 1 { g = 5; } }\
+            fn main() {\
+                c = input();\
+                g = 1;\
+                update();\
+                print(g);\
+            }";
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        let cfgs = Cfg::build_all(&p);
+        let cds: HashMap<String, ControlDeps> = cfgs
+            .iter()
+            .map(|(k, c)| (k.clone(), ControlDeps::compute(c)))
+            .collect();
+        let mods = ModSummaries::compute(&idx);
+        let g = idx.vars().global("g").unwrap();
+        // Statements: S0 `if c==1` S1 `g=5` S2 `c=input` S3 `g=1`
+        // S4 `update();` S5 `print(g)`.
+        let intra =
+            PotentialDeps::compute_with(&p, &idx, &cfgs, &cds, &mods, PdMode::Intraprocedural);
+        assert!(
+            intra.static_pd(StmtId(5), g).is_empty(),
+            "the unguarded call contributes nothing intraprocedurally"
+        );
+        let inter = PotentialDeps::compute_with(
+            &p,
+            &idx,
+            &cfgs,
+            &cds,
+            &mods,
+            PdMode::InterproceduralGuards,
+        );
+        assert!(inter.static_pd(StmtId(5), g).contains(&CdParent {
+            pred: StmtId(0),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn interprocedural_mode_crosses_nested_calls() {
+        let src = "\
+            global g = 0; global c = 0;\
+            fn inner() { if c == 1 { g = 5; } }\
+            fn outer() { inner(); }\
+            fn main() { c = input(); g = 1; outer(); print(g); }";
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        let cfgs = Cfg::build_all(&p);
+        let cds: HashMap<String, ControlDeps> = cfgs
+            .iter()
+            .map(|(k, c)| (k.clone(), ControlDeps::compute(c)))
+            .collect();
+        let mods = ModSummaries::compute(&idx);
+        let g = idx.vars().global("g").unwrap();
+        let inter = PotentialDeps::compute_with(
+            &p,
+            &idx,
+            &cfgs,
+            &cds,
+            &mods,
+            PdMode::InterproceduralGuards,
+        );
+        // print(g) is the last statement; the inner guard is S0.
+        let print_stmt = StmtId(p.stmt_count() - 1);
+        assert!(inter.static_pd(print_stmt, g).contains(&CdParent {
+            pred: StmtId(0),
+            branch: true
+        }));
+    }
+
+    #[test]
+    fn modes_agree_on_single_function_programs() {
+        let src = "global x = 0; fn main() { if input() == 1 { x = 1; } print(x); }";
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        let cfgs = Cfg::build_all(&p);
+        let cds: HashMap<String, ControlDeps> = cfgs
+            .iter()
+            .map(|(k, c)| (k.clone(), ControlDeps::compute(c)))
+            .collect();
+        let mods = ModSummaries::compute(&idx);
+        let x = idx.vars().global("x").unwrap();
+        let a = PotentialDeps::compute_with(&p, &idx, &cfgs, &cds, &mods, PdMode::Intraprocedural);
+        let b = PotentialDeps::compute_with(
+            &p,
+            &idx,
+            &cfgs,
+            &cds,
+            &mods,
+            PdMode::InterproceduralGuards,
+        );
+        assert_eq!(a.static_pd(StmtId(2), x), b.static_pd(StmtId(2), x));
+    }
+
+    #[test]
+    fn iter_exposes_nonempty_sets_only() {
+        let (pd, _) = potential("global x = 0; fn main() { if 1 > 2 { x = 1; } print(x); }");
+        assert!(pd.iter().count() >= 1);
+        for (_, parents) in pd.iter() {
+            assert!(!parents.is_empty());
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Intraprocedural reaching-definition analysis.
+//!
+//! Definition sites per function are:
+//!
+//! * **Statement defs** — `let`/assignment (strong: kill other defs of the
+//!   same variable), array stores and `return` (weak: kill nothing);
+//! * **Call mods** — a statement whose evaluation calls `f` weakly defines
+//!   every global in MOD(`f`);
+//! * **Boundary defs** — at function entry, one per parameter and per
+//!   global, representing values flowing in from outside; boundary defs
+//!   are excluded from potential-dependence candidates because they are
+//!   not controlled by any predicate of this function.
+//!
+//! Uses of synthetic return slots are not modelled statically (their
+//! dataflow crosses function boundaries); the dynamic analyses handle
+//! them precisely.
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, NodeId};
+use crate::modref::ModSummaries;
+use omislice_lang::{ProgramIndex, StmtId, StmtRole, VarId, VarKind};
+use std::collections::HashMap;
+
+/// Dense id of a definition site within one function's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DefId(pub u32);
+
+impl DefId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The statement's own definition (strong unless `weak`).
+    Stmt {
+        /// Defining statement.
+        stmt: StmtId,
+        /// Variable defined.
+        var: VarId,
+        /// Whether the definition kills earlier ones.
+        strong: bool,
+    },
+    /// A possible write of `var` performed by a call occurring in `stmt`.
+    CallMod {
+        /// Statement containing the call.
+        stmt: StmtId,
+        /// Global possibly written.
+        var: VarId,
+    },
+    /// The value of `var` at function entry.
+    Boundary {
+        /// Variable flowing in.
+        var: VarId,
+    },
+}
+
+impl DefSite {
+    /// The variable this site defines.
+    pub fn var(self) -> VarId {
+        match self {
+            DefSite::Stmt { var, .. }
+            | DefSite::CallMod { var, .. }
+            | DefSite::Boundary { var } => var,
+        }
+    }
+
+    /// The statement carrying this definition, if any.
+    pub fn stmt(self) -> Option<StmtId> {
+        match self {
+            DefSite::Stmt { stmt, .. } | DefSite::CallMod { stmt, .. } => Some(stmt),
+            DefSite::Boundary { .. } => None,
+        }
+    }
+}
+
+/// Reaching-definition solution for one function.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    defs: Vec<DefSite>,
+    r#in: Vec<BitSet>,
+    node_of_stmt: HashMap<StmtId, NodeId>,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis for the function `cfg` describes.
+    pub fn compute(cfg: &Cfg, index: &ProgramIndex, mods: &ModSummaries) -> Self {
+        let func = cfg.func();
+        // 1. Enumerate definition sites.
+        let mut defs: Vec<DefSite> = Vec::new();
+        // Boundary defs: parameters and all globals.
+        for (v, info) in index.vars().iter() {
+            let belongs = match &info.kind {
+                VarKind::Global { .. } => true,
+                VarKind::Local { func: f } => f == func,
+                VarKind::Ret { .. } => false,
+            };
+            if belongs {
+                defs.push(DefSite::Boundary { var: v });
+            }
+        }
+        let mut node_defs: HashMap<NodeId, Vec<DefId>> = HashMap::new();
+        for node in cfg.node_ids() {
+            let Some(stmt) = cfg.kind(node).stmt() else {
+                continue;
+            };
+            let info = index.stmt(stmt);
+            if let Some(var) = info.def {
+                // Skip return-slot defs: not modelled statically.
+                if !matches!(index.vars().info(var).kind, VarKind::Ret { .. }) {
+                    let strong = !info.weak_def && info.role != StmtRole::Return;
+                    let id = DefId(defs.len() as u32);
+                    defs.push(DefSite::Stmt { stmt, var, strong });
+                    node_defs.entry(node).or_default().push(id);
+                }
+            }
+            for callee in &info.calls {
+                for var in mods.mods(callee) {
+                    // The statement's own strong def (if to the same var)
+                    // happens after the call; keep both, the kill handles it.
+                    let id = DefId(defs.len() as u32);
+                    defs.push(DefSite::CallMod { stmt, var });
+                    node_defs.entry(node).or_default().push(id);
+                }
+            }
+        }
+
+        // 2. Per-variable def lists for kill sets.
+        let mut defs_of_var: HashMap<VarId, Vec<DefId>> = HashMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            defs_of_var
+                .entry(d.var())
+                .or_default()
+                .push(DefId(i as u32));
+        }
+
+        // 3. Gen/kill per node.
+        let n_defs = defs.len();
+        let n_nodes = cfg.node_count();
+        let mut gen: Vec<BitSet> = vec![BitSet::new(n_defs); n_nodes];
+        let mut kill: Vec<BitSet> = vec![BitSet::new(n_defs); n_nodes];
+        // Entry generates boundary defs.
+        for (i, d) in defs.iter().enumerate() {
+            if matches!(d, DefSite::Boundary { .. }) {
+                gen[cfg.entry().index()].insert(i);
+            }
+        }
+        for (&node, ids) in &node_defs {
+            for &id in ids {
+                gen[node.index()].insert(id.index());
+                if let DefSite::Stmt {
+                    var, strong: true, ..
+                } = defs[id.index()]
+                {
+                    for &other in &defs_of_var[&var] {
+                        if other != id {
+                            kill[node.index()].insert(other.index());
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Iterative forward dataflow.
+        let mut r#in: Vec<BitSet> = vec![BitSet::new(n_defs); n_nodes];
+        let mut out: Vec<BitSet> = vec![BitSet::new(n_defs); n_nodes];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for node in cfg.node_ids() {
+                let mut new_in = BitSet::new(n_defs);
+                for &p in cfg.preds(node) {
+                    new_in.union_with(&out[p.index()]);
+                }
+                let mut new_out = new_in.clone();
+                new_out.subtract(&kill[node.index()]);
+                new_out.union_with(&gen[node.index()]);
+                if new_in != r#in[node.index()] || new_out != out[node.index()] {
+                    r#in[node.index()] = new_in;
+                    out[node.index()] = new_out;
+                    changed = true;
+                }
+            }
+        }
+
+        let node_of_stmt = cfg
+            .node_ids()
+            .filter_map(|n| cfg.kind(n).stmt().map(|s| (s, n)))
+            .collect();
+
+        ReachingDefs {
+            defs,
+            r#in,
+            node_of_stmt,
+        }
+    }
+
+    /// All definition sites of this function's analysis.
+    pub fn defs(&self) -> &[DefSite] {
+        &self.defs
+    }
+
+    /// Definitions of `var` that may reach statement `stmt` (its node's
+    /// IN set, i.e. just before the statement evaluates).
+    pub fn reaching(&self, stmt: StmtId, var: VarId) -> Vec<DefSite> {
+        let Some(&node) = self.node_of_stmt.get(&stmt) else {
+            return Vec::new();
+        };
+        self.r#in[node.index()]
+            .iter()
+            .map(|i| self.defs[i])
+            .filter(|d| d.var() == var)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    struct Setup {
+        cfg: Cfg,
+        idx: ProgramIndex,
+        mods: ModSummaries,
+    }
+
+    fn setup(src: &str) -> (ReachingDefs, Setup) {
+        let p = compile(src).unwrap();
+        let idx = ProgramIndex::build(&p);
+        let mods = ModSummaries::compute(&idx);
+        let cfg = Cfg::build(&p, "main").unwrap();
+        let rd = ReachingDefs::compute(&cfg, &idx, &mods);
+        (rd, Setup { cfg, idx, mods })
+    }
+
+    fn stmt_defs(sites: &[DefSite]) -> Vec<StmtId> {
+        sites.iter().filter_map(|d| d.stmt()).collect()
+    }
+
+    #[test]
+    fn strong_def_kills_previous() {
+        let (rd, s) = setup("global x = 0; fn main() { x = 1; x = 2; print(x); }");
+        let x = s.idx.vars().global("x").unwrap();
+        let reaching = rd.reaching(StmtId(2), x);
+        assert_eq!(stmt_defs(&reaching), vec![StmtId(1)]);
+        // No boundary def survives either.
+        assert!(!reaching
+            .iter()
+            .any(|d| matches!(d, DefSite::Boundary { .. })));
+    }
+
+    #[test]
+    fn both_branches_reach_join() {
+        let (rd, s) =
+            setup("global x = 0; fn main() { if 1 < 2 { x = 1; } else { x = 2; } print(x); }");
+        let x = s.idx.vars().global("x").unwrap();
+        let mut ids = stmt_defs(&rd.reaching(StmtId(3), x));
+        ids.sort();
+        assert_eq!(ids, vec![StmtId(1), StmtId(2)]);
+    }
+
+    #[test]
+    fn untaken_branch_def_still_reaches_statically() {
+        // The definition inside `if` reaches the print regardless of the
+        // actual branch outcome: reaching defs are path-insensitive, which
+        // is exactly what potential dependence needs.
+        let (rd, s) = setup("global x = 0; fn main() { if 1 > 2 { x = 1; } print(x); }");
+        let x = s.idx.vars().global("x").unwrap();
+        let reaching = rd.reaching(StmtId(2), x);
+        assert!(stmt_defs(&reaching).contains(&StmtId(1)));
+        assert!(reaching
+            .iter()
+            .any(|d| matches!(d, DefSite::Boundary { .. })));
+    }
+
+    #[test]
+    fn array_store_is_weak() {
+        let (rd, s) = setup("global a = [0; 4]; fn main() { a[0] = 1; a[1] = 2; print(a[0]); }");
+        let a = s.idx.vars().global("a").unwrap();
+        let reaching = rd.reaching(StmtId(2), a);
+        let ids = stmt_defs(&reaching);
+        assert!(ids.contains(&StmtId(0)) && ids.contains(&StmtId(1)));
+        assert!(reaching
+            .iter()
+            .any(|d| matches!(d, DefSite::Boundary { .. })));
+    }
+
+    #[test]
+    fn loop_body_def_reaches_head() {
+        let (rd, s) = setup(
+            "global x = 0; fn main() { let i = 0; while i < 3 { x = i; i = i + 1; } print(x); }",
+        );
+        let x = s.idx.vars().global("x").unwrap();
+        let ids = stmt_defs(&rd.reaching(StmtId(4), x));
+        assert_eq!(ids, vec![StmtId(2)]);
+        // And x=i reaches the loop head itself (back edge).
+        let at_head = stmt_defs(&rd.reaching(StmtId(1), x));
+        assert!(at_head.contains(&StmtId(2)));
+    }
+
+    #[test]
+    fn call_mod_creates_weak_def() {
+        let (rd, s) = setup("global g = 0; fn f() { g = 5; } fn main() { g = 1; f(); print(g); }");
+        let g = s.idx.vars().global("g").unwrap();
+        assert!(s.mods.may_write("f", g));
+        let reaching = rd.reaching(StmtId(3), g);
+        // Both the direct def and the call-mod def reach the print.
+        assert!(reaching
+            .iter()
+            .any(|d| matches!(d, DefSite::CallMod { stmt, .. } if *stmt == StmtId(2))));
+        assert!(stmt_defs(&reaching).contains(&StmtId(1)));
+    }
+
+    #[test]
+    fn boundary_def_for_parameters() {
+        let p = compile("fn f(a) { print(a); } fn main() { f(1); }").unwrap();
+        let idx = ProgramIndex::build(&p);
+        let mods = ModSummaries::compute(&idx);
+        let cfg = Cfg::build(&p, "f").unwrap();
+        let rd = ReachingDefs::compute(&cfg, &idx, &mods);
+        let a = idx.vars().resolve("f", "a").unwrap();
+        let reaching = rd.reaching(StmtId(0), a);
+        assert_eq!(reaching.len(), 1);
+        assert!(matches!(reaching[0], DefSite::Boundary { .. }));
+    }
+
+    #[test]
+    fn unknown_stmt_returns_empty() {
+        let (rd, s) = setup("global x = 0; fn main() { print(x); }");
+        let x = s.idx.vars().global("x").unwrap();
+        assert!(rd.reaching(StmtId(99), x).is_empty());
+        let _ = &s.cfg;
+    }
+
+    #[test]
+    fn def_site_accessors() {
+        let d = DefSite::Stmt {
+            stmt: StmtId(3),
+            var: VarId(1),
+            strong: true,
+        };
+        assert_eq!(d.var(), VarId(1));
+        assert_eq!(d.stmt(), Some(StmtId(3)));
+        assert_eq!(DefSite::Boundary { var: VarId(0) }.stmt(), None);
+    }
+}

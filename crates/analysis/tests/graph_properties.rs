@@ -1,0 +1,190 @@
+//! Property tests over the static analyses: dominance is a partial
+//! order, control dependence relates only predicates, potential
+//! dependence candidates are well-formed, and reaching definitions
+//! respect variables — all over randomly generated structured programs.
+
+use omislice_analysis::{dominators, post_dominators, Cfg, ControlDeps, ProgramAnalysis};
+use omislice_lang::{compile, Program};
+use proptest::prelude::*;
+
+// --- tiny structured-program generator ----------------------------------
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, usize, i8),
+    Print(usize),
+    If(usize, Vec<S>, Vec<S>),
+    While(u8, Vec<S>),
+    Break,
+    Ret,
+}
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        ((0usize..3), (0usize..3), any::<i8>()).prop_map(|(d, u, k)| S::Assign(d, u, k)),
+        (0usize..3).prop_map(S::Print),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (
+                0usize..3,
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 0..3),
+            )
+                .prop_map(|(v, t, e)| S::If(v, t, e)),
+            ((1u8..4), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(k, b)| S::While(k, b)),
+            Just(S::Break),
+            Just(S::Ret),
+        ]
+    })
+}
+
+fn render(stmts: &[S], out: &mut String, counter: &mut usize, in_loop: bool) {
+    for s in stmts {
+        match s {
+            S::Assign(d, u, k) => {
+                out.push_str(&format!("{} = {} + {};\n", VARS[*d], VARS[*u], k));
+            }
+            S::Print(v) => out.push_str(&format!("print({});\n", VARS[*v])),
+            S::If(v, t, e) => {
+                out.push_str(&format!("if {} > 0 {{\n", VARS[*v]));
+                render(t, out, counter, in_loop);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render(e, out, counter, in_loop);
+                    out.push_str("}\n");
+                }
+            }
+            S::While(k, b) => {
+                let c = *counter;
+                *counter += 1;
+                out.push_str(&format!("let w{c} = 0;\nwhile w{c} < {k} {{\n"));
+                render(b, out, counter, true);
+                out.push_str(&format!("w{c} = w{c} + 1;\n}}\n"));
+            }
+            S::Break => {
+                if in_loop {
+                    out.push_str("break;\n");
+                }
+            }
+            S::Ret => out.push_str("return;\n"),
+        }
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt_strategy(), 1..8).prop_map(|stmts| {
+        let mut body = String::new();
+        let mut counter = 0;
+        render(&stmts, &mut body, &mut counter, false);
+        let src = format!("global a = 1; global b = 2; global c = 3;\nfn main() {{\n{body}}}\n");
+        compile(&src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"))
+    })
+}
+
+// --- properties ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dominance_is_a_partial_order_on_reachable_nodes(program in program_strategy()) {
+        let cfg = Cfg::build(&program, "main").expect("main exists");
+        let dom = dominators(&cfg);
+        // Dominance is only meaningful for nodes reachable from entry;
+        // unreachable ones (e.g. code after `return;`) keep the saturated
+        // top set by convention.
+        let mut reachable = vec![false; cfg.node_count()];
+        let mut stack = vec![cfg.entry()];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut reachable[n.index()], true) {
+                continue;
+            }
+            stack.extend(cfg.succs(n).iter().map(|e| e.to));
+        }
+        let nodes: Vec<_> = cfg.node_ids().filter(|n| reachable[n.index()]).collect();
+        for &x in &nodes {
+            prop_assert!(dom.dominates(x, x), "reflexive");
+            prop_assert!(dom.dominates(cfg.entry(), x), "entry dominates all");
+            for &y in &nodes {
+                if dom.dominates(x, y) && dom.dominates(y, x) {
+                    prop_assert_eq!(x, y, "antisymmetric");
+                }
+                for &z in &nodes {
+                    if dom.dominates(x, y) && dom.dominates(y, z) {
+                        prop_assert!(dom.dominates(x, z), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn postdominance_is_rooted_at_exit(program in program_strategy()) {
+        let cfg = Cfg::build(&program, "main").expect("main exists");
+        let pdom = post_dominators(&cfg);
+        for x in cfg.node_ids() {
+            prop_assert!(pdom.dominates(cfg.exit(), x), "exit postdominates all");
+            prop_assert!(pdom.dominates(x, x));
+        }
+    }
+
+    #[test]
+    fn immediate_dominators_are_strict_and_dominated(program in program_strategy()) {
+        let cfg = Cfg::build(&program, "main").expect("main exists");
+        let dom = dominators(&cfg);
+        for x in cfg.node_ids() {
+            if let Some(idom) = dom.immediate(x) {
+                prop_assert!(dom.strictly_dominates(idom, x));
+                // Every other strict dominator of x dominates the idom.
+                for d in dom.dominators_of(x) {
+                    if d != x {
+                        prop_assert!(dom.dominates(d, idom));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_dependence_parents_are_predicates(program in program_strategy()) {
+        let cfg = Cfg::build(&program, "main").expect("main exists");
+        let cd = ControlDeps::compute(&cfg);
+        let analysis = ProgramAnalysis::build(&program);
+        let index = analysis.index();
+        let mut all = Vec::new();
+        program.visit_stmts(&mut |s| all.push(s.id));
+        for stmt in all {
+            for parent in cd.parents(stmt) {
+                prop_assert!(
+                    index.stmt(parent.pred).is_predicate(),
+                    "CD parent {:?} of {stmt} is not a predicate",
+                    parent
+                );
+            }
+            // parents/children are mutually consistent.
+            for parent in cd.parents(stmt) {
+                prop_assert!(
+                    cd.children(parent.pred, parent.branch).contains(&stmt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn potential_dependence_is_well_formed(program in program_strategy()) {
+        let analysis = ProgramAnalysis::build(&program);
+        let index = analysis.index();
+        for ((use_stmt, var), parents) in analysis.potential().iter() {
+            prop_assert!(index.stmt(use_stmt).uses.contains(&var));
+            for cp in parents {
+                prop_assert!(index.stmt(cp.pred).is_predicate());
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Slicing-algorithm costs: classic dynamic slicing vs relevant slicing
+//! vs confidence-based pruning, over the corpus failing runs. The RS/DS
+//! cost gap grows with the number of potential-dependence candidates —
+//! the computational face of Table 2's size gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omislice::omislice_slicing::{prune_slice, relevant_slice, DepGraph, Feedback};
+use omislice::UserOracle;
+use omislice_corpus::all_benchmarks;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn slicing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicing");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for b in all_benchmarks() {
+        for fault in &b.faults {
+            let session = b.session(fault).expect("session builds");
+            let trace = session.trace();
+            let analysis = session.analysis();
+            let class = session
+                .oracle()
+                .classify_outputs(trace)
+                .expect("wrong output");
+            let id = format!("{}-{}", b.name, fault.id);
+
+            group.bench_function(BenchmarkId::new("dynamic", &id), |bench| {
+                bench.iter(|| {
+                    let graph = DepGraph::new(trace);
+                    black_box(graph.backward_slice(class.wrong))
+                });
+            });
+            group.bench_function(BenchmarkId::new("relevant", &id), |bench| {
+                bench.iter(|| black_box(relevant_slice(trace, analysis, class.wrong)));
+            });
+            group.bench_function(BenchmarkId::new("prune", &id), |bench| {
+                let graph = DepGraph::new(trace);
+                bench.iter(|| {
+                    black_box(prune_slice(
+                        &graph,
+                        analysis,
+                        session.profile(),
+                        &class.correct,
+                        class.wrong,
+                        &Feedback::default(),
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, slicing);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion counterpart of Table 4's "Verif." column: the cost of one
+//! implicit-dependence verification (switched re-execution + region
+//! alignment) and of the whole demand-driven locator, per corpus fault.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omislice::omislice_align::Aligner;
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_traced, RunConfig, SwitchSpec};
+use omislice::{LocateConfig, UserOracle, Verifier, VerifierMode};
+use omislice_corpus::all_benchmarks;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn single_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_dep");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let benchmarks = all_benchmarks();
+    let gzip = benchmarks.iter().find(|b| b.name == "gzip").expect("gzip");
+    let fault = gzip.fault("V2-F3").expect("V2-F3");
+    let session = gzip.session(fault).expect("session builds");
+    let trace = session.trace();
+    let analysis = session.analysis();
+    let class = session
+        .oracle()
+        .classify_outputs(trace)
+        .expect("wrong output");
+    // The guard instance and the flags use from the Figure 1 walkthrough.
+    let guard_stmt = analysis
+        .index()
+        .stmts()
+        .iter()
+        .find(|s| s.is_predicate() && s.head.contains("save_orig_name"))
+        .expect("guard exists")
+        .id;
+    let guard = trace.instances_of(guard_stmt)[0];
+    let flags = analysis.index().vars().global("flags").expect("flags");
+
+    group.bench_function("gzip_guard_fresh", |bench| {
+        // A fresh verifier each iteration: re-execution + alignment.
+        bench.iter(|| {
+            let mut v = Verifier::new(
+                session.program(),
+                analysis,
+                session.config(),
+                trace,
+                VerifierMode::Edge,
+            );
+            black_box(v.verify(guard, class.wrong, flags, class.wrong, class.expected))
+        });
+    });
+    group.finish();
+}
+
+fn alignment_only(c: &mut Criterion) {
+    // Region alignment in isolation: match the wrong output across a
+    // switched gzip run (trace construction hoisted out of the loop).
+    let benchmarks = all_benchmarks();
+    let gzip = benchmarks.iter().find(|b| b.name == "gzip").expect("gzip");
+    let fault = gzip.fault("V2-F3").expect("V2-F3");
+    let prepared = gzip.prepare(fault).expect("prepares");
+    let analysis = ProgramAnalysis::build(&prepared.faulty);
+    let config = RunConfig::with_inputs(fault.failing_input.clone());
+    let orig = run_traced(&prepared.faulty, &analysis, &config);
+    let guard_stmt = analysis
+        .index()
+        .stmts()
+        .iter()
+        .find(|s| s.is_predicate() && s.head.contains("save_orig_name"))
+        .expect("guard exists")
+        .id;
+    let p = orig.trace.instances_of(guard_stmt)[0];
+    let occurrence = orig.trace.occurrence_index(p) as u32;
+    let sw = run_traced(
+        &prepared.faulty,
+        &analysis,
+        &config.switched(SwitchSpec::new(guard_stmt, occurrence)),
+    );
+    let last_out = orig.trace.outputs().last().expect("outputs").inst;
+
+    c.bench_function("align_gzip_output", |bench| {
+        bench.iter(|| {
+            let aligner = Aligner::new(&orig.trace, &sw.trace);
+            black_box(aligner.match_inst(p, last_out))
+        });
+    });
+}
+
+fn full_locate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locate_fault");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for b in all_benchmarks() {
+        for fault in &b.faults {
+            let session = b.session(fault).expect("session builds");
+            let id = format!("{}-{}", b.name, fault.id);
+            group.bench_function(BenchmarkId::from_parameter(id), |bench| {
+                bench.iter(|| black_box(session.locate(&LocateConfig::default()).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_verification, alignment_only, full_locate);
+criterion_main!(benches);

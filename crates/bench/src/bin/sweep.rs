@@ -1,0 +1,93 @@
+//! Parameter sweep: how trace size, slice sizes, and analysis costs
+//! scale with workload size — the data-series companion to the paper's
+//! tables (its evaluation has no scaling figure; this harness provides
+//! the series a replication would plot).
+//!
+//! For each corpus benchmark, generated workloads of increasing size run
+//! through the tracing interpreter; the series reports trace length, DS
+//! and RS sizes for the last output, and wall-clock for Plain, Graph,
+//! and RS computation.
+
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_plain, run_traced, RunConfig};
+use omislice::omislice_lang::compile;
+use omislice::omislice_slicing::{relevant_slice, DepGraph};
+use omislice_bench::table::render;
+use omislice_corpus::{all_benchmarks, WorkloadGen};
+use std::time::Instant;
+
+/// A workload of roughly `payload` units (characters or lines; clamped
+/// to the program's buffer capacities where the format is bounded).
+fn workload_of_size(gen: &mut WorkloadGen, bench: &str, payload: usize) -> Vec<i64> {
+    gen.sized_for_benchmark(bench, payload)
+}
+
+fn micros(ns: u128) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let program = compile(b.fixed_src).expect("corpus compiles");
+        let analysis = ProgramAnalysis::build(&program);
+        let mut gen = WorkloadGen::new(0x5EED);
+        for scale in [10usize, 50, 250] {
+            let inputs = workload_of_size(&mut gen, b.name, scale);
+            let config = RunConfig::with_inputs(inputs.clone());
+
+            let t = Instant::now();
+            let plain = run_plain(&program, &config);
+            let plain_ns = t.elapsed().as_nanos();
+            assert!(plain.is_normal(), "{}: {:?}", b.name, plain.termination);
+
+            let t = Instant::now();
+            let run = run_traced(&program, &analysis, &config);
+            let graph_ns = t.elapsed().as_nanos();
+
+            let (ds, rs, rs_ns) = match run.trace.outputs().last() {
+                Some(last) => {
+                    let ds = DepGraph::new(&run.trace).backward_slice(last.inst);
+                    let t = Instant::now();
+                    let rs = relevant_slice(&run.trace, &analysis, last.inst);
+                    (
+                        ds.dynamic_size().to_string(),
+                        rs.dynamic_size().to_string(),
+                        t.elapsed().as_nanos(),
+                    )
+                }
+                None => ("-".to_string(), "-".to_string(), 0),
+            };
+
+            rows.push(vec![
+                b.name.to_string(),
+                format!("x{scale}"),
+                inputs.len().to_string(),
+                run.trace.len().to_string(),
+                ds,
+                rs,
+                micros(plain_ns),
+                micros(graph_ns),
+                micros(rs_ns),
+            ]);
+        }
+    }
+    println!("Workload sweep (sizes are dynamic instances; times in microseconds)");
+    println!(
+        "{}",
+        render(
+            &[
+                "Benchmark",
+                "scale",
+                "input len",
+                "trace len",
+                "DS(dyn)",
+                "RS(dyn)",
+                "Plain (us)",
+                "Graph (us)",
+                "RS (us)",
+            ],
+            &rows
+        )
+    );
+}

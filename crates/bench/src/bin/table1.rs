@@ -1,0 +1,40 @@
+//! Regenerates **Table 1** — characteristics of benchmarks: LOC, number
+//! of procedures, error type, description.
+
+use omislice_bench::table::render;
+use omislice_corpus::all_benchmarks;
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        let kinds: Vec<String> = {
+            let mut ks: Vec<String> = b.faults.iter().map(|f| f.kind.to_string()).collect();
+            ks.sort();
+            ks.dedup();
+            ks
+        };
+        rows.push(vec![
+            b.name.to_string(),
+            b.loc().to_string(),
+            b.procedures().to_string(),
+            b.faults.len().to_string(),
+            kinds.join(" & "),
+            b.description.to_string(),
+        ]);
+    }
+    println!("Table 1. Characteristics of benchmarks");
+    println!(
+        "{}",
+        render(
+            &[
+                "Benchmark",
+                "LOC",
+                "# of procedures",
+                "# of faults",
+                "Error type",
+                "Description"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table 3** — effectiveness of the demand-driven locator:
+//! number of user prunings, verifications, iterations, expanded implicit
+//! edges, and the IPS and OS sizes (static/dynamic).
+
+use omislice_bench::measure::measure_all;
+use omislice_bench::table::render;
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in measure_all() {
+        let os =
+            m.os.map(|(s, d)| format!("{s}/{d}"))
+                .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            m.bench.clone(),
+            m.fault.clone(),
+            m.outcome.user_prunings.to_string(),
+            m.outcome.verifications.to_string(),
+            m.outcome.iterations.to_string(),
+            m.outcome.expanded_edges.to_string(),
+            m.outcome.strong_edges.to_string(),
+            format!("{}/{}", m.ips.0, m.ips.1),
+            os,
+            if m.outcome.found { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("Table 3. Effectiveness");
+    println!(
+        "{}",
+        render(
+            &[
+                "Benchmark",
+                "Error",
+                "# user prunings",
+                "# verifications",
+                "# iterations",
+                "# expanded edges",
+                "(strong)",
+                "IPS (st/dyn)",
+                "OS (st/dyn)",
+                "root captured",
+            ],
+            &rows
+        )
+    );
+}

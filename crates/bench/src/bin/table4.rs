@@ -1,0 +1,50 @@
+//! Regenerates **Table 4** — performance: un-instrumented execution
+//! ("Plain"), traced execution with dependence-graph construction
+//! ("Graph"), the verification procedure ("Verif."), and the Graph/Plain
+//! slowdown factor.
+//!
+//! Absolute numbers differ wildly from the paper (their substrate was
+//! Valgrind dynamic binary instrumentation; ours is an AST interpreter),
+//! but the *structure* holds: Graph costs a constant factor over Plain,
+//! and Verif. scales with the number of verifications.
+
+use omislice_bench::measure::time_fault;
+use omislice_bench::table::render;
+use omislice_corpus::all_benchmarks;
+
+fn micros(ns: u128) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+fn main() {
+    let reps = 5;
+    let mut rows = Vec::new();
+    for b in all_benchmarks() {
+        for f in &b.faults {
+            let t = time_fault(&b, f, reps);
+            rows.push(vec![
+                b.name.to_string(),
+                f.id.to_string(),
+                micros(t.plain_ns),
+                micros(t.graph_ns),
+                micros(t.verif_ns),
+                format!("{:.1}", t.slowdown()),
+            ]);
+        }
+    }
+    println!("Table 4. Performance (best of {reps} runs; times in microseconds)");
+    println!(
+        "{}",
+        render(
+            &[
+                "Benchmark",
+                "Error",
+                "Plain (us)",
+                "Graph (us)",
+                "Verif. (us)",
+                "Graph/Plain",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,16 @@
+//! # omislice-bench
+//!
+//! The evaluation harness: one binary per table of the paper plus an
+//! ablation driver, backed by shared measurement ([`measure`]) and
+//! rendering ([`table`]) modules. Criterion benches live in `benches/`.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark characteristics |
+//! | `table2` | Table 2 — RS/DS/PS sizes and ratios |
+//! | `table3` | Table 3 — effectiveness counters, IPS, OS |
+//! | `table4` | Table 4 — Plain/Graph/Verif timings |
+//! | `ablation` | design-choice ablations (verifier mode, Alg. 2 lines 12-18) |
+
+pub mod measure;
+pub mod table;

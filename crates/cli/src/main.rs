@@ -1,0 +1,435 @@
+//! `omislice` — command-line debugger for execution omission errors.
+//!
+//! ```text
+//! omislice run      <file> [--input 1,2,3]
+//! omislice trace    <file> [--input 1,2,3] [--regions] [--dot] [--stats]
+//! omislice slice    <file> [--input 1,2,3] [--output N] [--relevant]
+//! omislice cfg      <file> [--function main]
+//! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
+//!                   [--profile 4,5;6,7] [--mode edge|path|value]
+//! omislice verify   <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
+//!                   [--var name] [--expected v] [--mode edge|path|value]
+//! omislice corpus   [list | locate <bench> <fault>]
+//! ```
+
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_plain, run_traced, RunConfig};
+use omislice::omislice_lang::{compile, printer::stmt_head, Program};
+use omislice::omislice_slicing::{relevant_slice, DepGraph, Slice, ValueProfile};
+use omislice::omislice_trace::{RegionTree, Trace};
+use omislice::{describe_inst, locate_fault, GroundTruthOracle, LocateConfig, VerifierMode};
+use omislice_corpus::all_benchmarks;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("omislice: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  omislice run     <file> [--input 1,2,3]
+  omislice trace   <file> [--input 1,2,3] [--regions] [--dot] [--stats]
+  omislice slice   <file> [--input 1,2,3] [--output N] [--relevant]
+  omislice cfg     <file> [--function main]
+  omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
+                   [--profile 4,5;6,7] [--mode edge|path|value]
+  omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
+                   [--var name] [--expected v] [--mode edge|path|value]
+  omislice corpus  [list | locate <bench> <fault>]";
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut it = args.into_iter();
+    match it.next().as_deref() {
+        Some("run") => cmd_run(it.collect()),
+        Some("trace") => cmd_trace(it.collect()),
+        Some("slice") => cmd_slice(it.collect()),
+        Some("cfg") => cmd_cfg(it.collect()),
+        Some("locate") => cmd_locate(it.collect()),
+        Some("verify") => cmd_verify(it.collect()),
+        Some("corpus") => cmd_corpus(it.collect()),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+/// Parses `--flag value` style options plus positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: Vec<String>, value_flags: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.push((name.to_string(), Some(v)));
+                } else {
+                    flags.push((name.to_string(), None));
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn parse_inputs(text: Option<&str>) -> Result<Vec<i64>, String> {
+    match text {
+        None => Ok(Vec::new()),
+        Some(t) if t.trim().is_empty() => Ok(Vec::new()),
+        Some(t) => t
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<i64>()
+                    .map_err(|_| format!("bad input value `{s}`"))
+            })
+            .collect(),
+    }
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    compile(&src).map_err(|e| {
+        format!(
+            "{path}:\n{}",
+            omislice::omislice_lang::render_frontend_error(&src, &e)
+        )
+    })
+}
+
+fn cmd_run(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &["input"])?;
+    let path = opts.positional.first().ok_or("run needs a program file")?;
+    let program = load_program(path)?;
+    let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
+    let result = run_plain(&program, &config);
+    for v in &result.outputs {
+        println!("{v}");
+    }
+    if !result.is_normal() {
+        return Err(format!(
+            "program did not terminate normally: {:?}",
+            result.termination
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &["input"])?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or("trace needs a program file")?;
+    let program = load_program(path)?;
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
+    let run = run_traced(&program, &analysis, &config);
+    let trace = &run.trace;
+    if opts.has("stats") {
+        print!("{}", omislice::omislice_trace::TraceStats::compute(trace));
+        return Ok(());
+    }
+    if opts.has("regions") {
+        if opts.has("dot") {
+            print!(
+                "{}",
+                omislice::omislice_trace::regions_to_dot(trace, analysis.index())
+            );
+        } else {
+            let regions = RegionTree::build(trace);
+            println!("{}", regions.render_all(trace));
+        }
+        return Ok(());
+    }
+    if opts.has("dot") {
+        print!(
+            "{}",
+            omislice::omislice_trace::ddg_to_dot(trace, analysis.index())
+        );
+        return Ok(());
+    }
+    for inst in trace.insts() {
+        println!("{}", describe_inst(trace, &analysis, inst));
+    }
+    println!(
+        "-- {} instances, termination {:?}",
+        trace.len(),
+        trace.termination()
+    );
+    Ok(())
+}
+
+fn print_slice(trace: &Trace, analysis: &ProgramAnalysis, slice: &Slice) {
+    for &inst in slice.insts() {
+        println!("{}", describe_inst(trace, analysis, inst));
+    }
+    println!(
+        "-- {} statements / {} instances",
+        slice.static_size(),
+        slice.dynamic_size()
+    );
+}
+
+fn cmd_slice(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &["input", "output"])?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or("slice needs a program file")?;
+    let program = load_program(path)?;
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
+    let run = run_traced(&program, &analysis, &config);
+    let trace = &run.trace;
+    let outputs = trace.outputs();
+    if outputs.is_empty() {
+        return Err("the program printed nothing; no slicing criterion".to_string());
+    }
+    let idx: usize = match opts.value("output") {
+        Some(n) => n.parse().map_err(|_| "bad --output index".to_string())?,
+        None => outputs.len() - 1,
+    };
+    let criterion = outputs
+        .get(idx)
+        .ok_or_else(|| format!("only {} outputs", outputs.len()))?
+        .inst;
+    let slice = if opts.has("relevant") {
+        relevant_slice(trace, &analysis, criterion)
+    } else {
+        DepGraph::new(trace).backward_slice(criterion)
+    };
+    print_slice(trace, &analysis, &slice);
+    Ok(())
+}
+
+fn cmd_cfg(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &["function"])?;
+    let path = opts.positional.first().ok_or("cfg needs a program file")?;
+    let program = load_program(path)?;
+    let analysis = ProgramAnalysis::build(&program);
+    let func = opts.value("function").unwrap_or("main");
+    let cfg = analysis
+        .cfg(func)
+        .ok_or_else(|| format!("no function `{func}` in `{path}`"))?;
+    let index = analysis.index();
+    print!("{}", cfg.to_dot(|s| index.stmt(s).head.clone()));
+    Ok(())
+}
+
+fn parse_mode(text: Option<&str>) -> Result<VerifierMode, String> {
+    Ok(match text {
+        None | Some("edge") => VerifierMode::Edge,
+        Some("path") => VerifierMode::Path,
+        Some("value") => VerifierMode::ValueChange,
+        Some(other) => return Err(format!("unknown --mode `{other}`")),
+    })
+}
+
+fn cmd_locate(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &["faulty", "fixed", "input", "profile", "mode"])?;
+    let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
+    let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
+    let faulty = load_program(faulty_path)?;
+    let fixed = load_program(fixed_path)?;
+    let inputs = parse_inputs(opts.value("input"))?;
+    let config = RunConfig::with_inputs(inputs);
+
+    let analysis = ProgramAnalysis::build(&faulty);
+    let fixed_analysis = ProgramAnalysis::build(&fixed);
+    let trace = run_traced(&faulty, &analysis, &config).trace;
+
+    let mut profile = ValueProfile::new();
+    profile.add_trace(&trace);
+    if let Some(spec) = opts.value("profile") {
+        for part in spec.split(';') {
+            let extra = parse_inputs(Some(part))?;
+            let cfg = RunConfig::with_inputs(extra);
+            profile.add_trace(&run_traced(&faulty, &analysis, &cfg).trace);
+        }
+    }
+
+    // Roots from the structural diff between the two programs.
+    let roots = omislice_corpus::seeded_roots(&fixed, &faulty);
+    if roots.is_empty() {
+        return Err("fixed and faulty programs are identical".to_string());
+    }
+    let oracle = GroundTruthOracle::new(&fixed, &fixed_analysis, &config, roots.clone());
+    let lc = LocateConfig {
+        mode: parse_mode(opts.value("mode"))?,
+        ..LocateConfig::default()
+    };
+    let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
+        .map_err(|e| e.to_string())?;
+    println!("{}", omislice::render_report(&outcome, &trace, &analysis));
+    println!("seeded root statement(s):");
+    for r in roots {
+        if let Some(stmt) = faulty.stmt(r) {
+            println!("  {} {}", r, stmt_head(stmt));
+        }
+    }
+    Ok(())
+}
+
+/// Parses `N` or `N:occ` into a statement id and occurrence index.
+fn parse_stmt_spec(text: &str) -> Result<(omislice::omislice_lang::StmtId, usize), String> {
+    let (id, occ) = match text.split_once(':') {
+        Some((a, b)) => (
+            a,
+            b.parse()
+                .map_err(|_| format!("bad occurrence in `{text}`"))?,
+        ),
+        None => (text, 0),
+    };
+    let id: u32 = id
+        .trim_start_matches('S')
+        .parse()
+        .map_err(|_| format!("bad statement id in `{text}`"))?;
+    Ok((omislice::omislice_lang::StmtId(id), occ))
+}
+
+fn cmd_verify(args: Vec<String>) -> Result<(), String> {
+    use omislice::omislice_trace::Value;
+    let opts = Opts::parse(args, &["input", "pred", "use", "var", "expected", "mode"])?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or("verify needs a program file")?;
+    let program = load_program(path)?;
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
+    let trace = run_traced(&program, &analysis, &config).trace;
+
+    let (pred_stmt, pred_occ) = parse_stmt_spec(opts.value("pred").ok_or("verify needs --pred")?)?;
+    let (use_stmt, use_occ) = parse_stmt_spec(opts.value("use").ok_or("verify needs --use")?)?;
+    let p = trace
+        .nth_instance(pred_stmt, pred_occ)
+        .ok_or_else(|| format!("{pred_stmt} did not execute {} time(s)", pred_occ + 1))?;
+    let u = trace
+        .nth_instance(use_stmt, use_occ)
+        .ok_or_else(|| format!("{use_stmt} did not execute {} time(s)", use_occ + 1))?;
+
+    let use_info = analysis.index().stmt(use_stmt);
+    let var = match opts.value("var") {
+        Some(name) => analysis
+            .index()
+            .vars()
+            .resolve(&use_info.func, name)
+            .ok_or_else(|| format!("no variable `{name}` visible in `{}`", use_info.func))?,
+        None => *use_info
+            .uses
+            .first()
+            .ok_or_else(|| format!("{use_stmt} uses no variables; pass --var"))?,
+    };
+    let expected = opts
+        .value("expected")
+        .map(|t| {
+            t.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| format!("bad --expected `{t}`"))
+        })
+        .transpose()?;
+
+    let mut verifier = omislice::Verifier::new(
+        &program,
+        &analysis,
+        &config,
+        &trace,
+        parse_mode(opts.value("mode"))?,
+    );
+    let result = verifier.verify(p, u, var, u, expected);
+
+    println!("predicate : {}", describe_inst(&trace, &analysis, p));
+    println!("use       : {}", describe_inst(&trace, &analysis, u));
+    println!("variable  : {}", analysis.index().vars().name(var));
+    println!("verdict   : {:?}", result.verdict);
+    match result.matched_use {
+        Some(m) => println!(
+            "matched   : the use corresponds to t{} in the switched run",
+            m.index()
+        ),
+        None => println!("matched   : the use has NO counterpart in the switched run"),
+    }
+    if let Some(v) = result.failure_value {
+        println!("value at the matched failure point: {v}");
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    match opts.positional.first().map(String::as_str) {
+        None | Some("list") => {
+            for b in all_benchmarks() {
+                println!(
+                    "{} ({} LOC, {} procedures)",
+                    b.name,
+                    b.loc(),
+                    b.procedures()
+                );
+                for f in &b.faults {
+                    println!("  {:8} [{}] {}", f.id, f.kind, f.description);
+                }
+            }
+            Ok(())
+        }
+        Some("locate") => {
+            let bench_name = opts
+                .positional
+                .get(1)
+                .ok_or("corpus locate needs a benchmark name")?;
+            let fault_id = opts
+                .positional
+                .get(2)
+                .ok_or("corpus locate needs a fault id")?;
+            let benchmarks = all_benchmarks();
+            let bench = benchmarks
+                .iter()
+                .find(|b| b.name == bench_name)
+                .ok_or_else(|| format!("no benchmark `{bench_name}`"))?;
+            let fault = bench
+                .fault(fault_id)
+                .ok_or_else(|| format!("no fault `{fault_id}` in `{bench_name}`"))?;
+            let session = bench.session(fault).map_err(|e| e.to_string())?;
+            let outcome = session
+                .locate(&LocateConfig::default())
+                .map_err(|e| e.to_string())?;
+            println!("{}", session.report(&outcome));
+            let prepared = bench.prepare(fault).map_err(|e| e.to_string())?;
+            println!("seeded root statement(s):");
+            for r in prepared.roots {
+                if let Some(stmt) = prepared.faulty.stmt(r) {
+                    println!("  {} {}", r, stmt_head(stmt));
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown corpus subcommand `{other}`")),
+    }
+}

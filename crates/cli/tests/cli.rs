@@ -1,0 +1,248 @@
+//! End-to-end tests of the `omislice` binary: every subcommand, driven
+//! through the real executable.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn omislice(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_omislice"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("omislice-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{name}-{}.omi", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+const FIXED: &str = "global flags = 0;\n\
+    fn main() { let save = input(); flags = 1;\n\
+                if save == 1 { flags = 2; } print(flags); }\n";
+const FAULTY: &str = "global flags = 0;\n\
+    fn main() { let save = input() - 1; flags = 1;\n\
+                if save == 1 { flags = 2; } print(flags); }\n";
+
+#[test]
+fn run_prints_outputs() {
+    let path = write_temp("run", FIXED);
+    let out = omislice(&["run", path.to_str().unwrap(), "--input", "1"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "2");
+}
+
+#[test]
+fn run_reports_runtime_errors() {
+    let path = write_temp("runerr", "fn main() { print(1 / 0); }");
+    let out = omislice(&["run", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("division by zero"));
+}
+
+#[test]
+fn trace_lists_instances() {
+    let path = write_temp("trace", FIXED);
+    let out = omislice(&["trace", path.to_str().unwrap(), "--input", "1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("let save = input();"));
+    assert!(text.contains("termination Normal"));
+}
+
+#[test]
+fn trace_regions_renders_bracket_notation() {
+    let path = write_temp("regions", FIXED);
+    let out = omislice(&["trace", path.to_str().unwrap(), "--input", "1", "--regions"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[2,3]"), "guarded region rendered: {text}");
+}
+
+#[test]
+fn trace_dot_emits_graphviz() {
+    let path = write_temp("dot", FIXED);
+    let out = omislice(&["trace", path.to_str().unwrap(), "--input", "1", "--dot"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph ddg {"));
+    assert!(text.contains("style=dashed"));
+}
+
+#[test]
+fn slice_dynamic_and_relevant() {
+    let path = write_temp("slice", FAULTY);
+    let ds = omislice(&["slice", path.to_str().unwrap(), "--input", "1"]);
+    assert!(ds.status.success());
+    let ds_text = String::from_utf8_lossy(&ds.stdout);
+    assert!(
+        !ds_text.contains("if (save == 1)"),
+        "DS misses the guard:\n{ds_text}"
+    );
+    let rs = omislice(&[
+        "slice",
+        path.to_str().unwrap(),
+        "--input",
+        "1",
+        "--relevant",
+    ]);
+    let rs_text = String::from_utf8_lossy(&rs.stdout);
+    assert!(
+        rs_text.contains("if (save == 1)"),
+        "RS captures the guard:\n{rs_text}"
+    );
+}
+
+#[test]
+fn locate_finds_the_seeded_root() {
+    let fixed = write_temp("fixed", FIXED);
+    let faulty = write_temp("faulty", FAULTY);
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--profile",
+        "0;2;5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("root cause captured : yes"), "{text}");
+    assert!(text.contains("let save = (input() - 1);"));
+}
+
+#[test]
+fn corpus_list_shows_all_faults() {
+    let out = omislice(&["corpus", "list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["flex", "grep", "gzip", "sed", "V1-F9", "V2-F3", "V3-F2"] {
+        assert!(text.contains(needle), "missing {needle}:\n{text}");
+    }
+}
+
+#[test]
+fn corpus_locate_runs_a_session() {
+    let out = omislice(&["corpus", "locate", "sed", "V3-F2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("root cause captured : yes"));
+    assert!(text.contains("iterations          : 2"), "{text}");
+}
+
+#[test]
+fn cfg_emits_graphviz() {
+    let path = write_temp("cfg", FIXED);
+    let out = omislice(&["cfg", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("digraph cfg_main {"), "{text}");
+    assert!(text.contains("ENTRY") && text.contains("EXIT"));
+    let missing = omislice(&["cfg", path.to_str().unwrap(), "--function", "ghost"]);
+    assert!(!missing.status.success());
+}
+
+#[test]
+fn trace_stats_summarizes() {
+    let path = write_temp("stats", FIXED);
+    let out = omislice(&["trace", path.to_str().unwrap(), "--input", "1", "--stats"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("instances        : 5"), "{text}");
+    assert!(text.contains("outputs          : 1"));
+}
+
+#[test]
+fn verify_reports_the_implicit_dependence() {
+    let path = write_temp("verify", FAULTY);
+    // Predicate S2 (the guard), use S4 (print(flags)), expecting 2.
+    let out = omislice(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--input",
+        "1",
+        "--pred",
+        "2",
+        "--use",
+        "4",
+        "--var",
+        "flags",
+        "--expected",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict   : StrongId"), "{text}");
+    // Without the expected value the dependence is still observed.
+    let out = omislice(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--input",
+        "1",
+        "--pred",
+        "2",
+        "--use",
+        "4",
+        "--var",
+        "flags",
+    ]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict   : Id"), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    for args in [
+        &["frobnicate"] as &[&str],
+        &["locate"],
+        &["corpus", "locate", "nope", "X"],
+    ] {
+        let out = omislice(args);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    }
+}
+
+#[test]
+fn locate_mode_flag_is_respected() {
+    let fixed = write_temp("fixed2", FIXED);
+    let faulty = write_temp("faulty2", FAULTY);
+    for mode in ["edge", "path", "value"] {
+        let out = omislice(&[
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            "--input",
+            "1",
+            "--mode",
+            mode,
+        ]);
+        assert!(out.status.success(), "mode {mode}");
+    }
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--mode",
+        "bogus",
+    ]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,39 @@
+//! Diagnostic dump for corpus authoring: prints fixed/faulty outputs for
+//! every fault and input. Not part of the public examples.
+
+use omislice::omislice_interp::{run_plain, RunConfig};
+use omislice_corpus::all_benchmarks;
+
+fn main() {
+    for b in all_benchmarks() {
+        for fault in &b.faults {
+            let prepared = match b.prepare(fault) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("{} {}: COMPILE ERROR {e}", b.name, fault.id);
+                    continue;
+                }
+            };
+            let show = |tag: &str, inputs: &[i64]| {
+                let cfg = RunConfig::with_inputs(inputs.to_vec());
+                let fixed = run_plain(&prepared.fixed, &cfg);
+                let faulty = run_plain(&prepared.faulty, &cfg);
+                println!(
+                    "{} {} {tag} {:?}\n  fixed : {:?} {:?}\n  faulty: {:?} {:?}",
+                    b.name,
+                    fault.id,
+                    inputs,
+                    fixed.outputs,
+                    fixed.termination,
+                    faulty.outputs,
+                    faulty.termination
+                );
+            };
+            show("FAIL", &fault.failing_input);
+            for (i, pi) in fault.passing_inputs.iter().enumerate() {
+                show(&format!("PASS#{i}"), pi);
+            }
+            println!("  roots: {:?}", prepared.roots);
+        }
+    }
+}

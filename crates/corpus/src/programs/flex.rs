@@ -1,0 +1,261 @@
+//! `flex` — a table-driven scanner in the spirit of the fast lexical
+//! analyzer generator.
+//!
+//! The program reads scanner options, initializes its class/kind tables,
+//! and tokenizes a character stream, printing `(kind, char, line)` per
+//! token as it goes (flex's "results are emitted gradually" character
+//! from the paper's discussion) followed by summary statistics.
+//!
+//! Five faults mirror the paper's five flex errors; each corrupts a value
+//! that feeds a guard, so a state update is *omitted* and a stale value
+//! reaches the output.
+
+use crate::{Benchmark, Fault, FaultKind};
+
+/// Fixed source of the flex benchmark.
+///
+/// Input layout:
+/// `[caseless, count_nl, count_ws, limit, n, char_0 .. char_{n-1}]`.
+pub const SRC: &str = r#"
+// flex: a table-driven single-character scanner.
+global CLS_LETTER = 1;
+global CLS_DIGIT = 2;
+global CLS_SPACE = 3;
+global CLS_NEWLINE = 4;
+global CLS_OTHER = 5;
+global KIND_IDENT = 100;
+global KIND_NUMBER = 200;
+global KIND_OP = 300;
+global base = [0; 8];
+global accept = [0; 8];
+global caseless = 0;
+global count_nl = 0;
+global count_ws = 0;
+global limit = 0;
+global yylineno = 1;
+global ntokens = 0;
+global nident = 0;
+global nnumber = 0;
+global nop = 0;
+global nskipped = 0;
+global scan_ok = 9;
+
+// Character class of an ASCII code.
+fn classify(c) {
+    if c >= 97 {
+        if c <= 122 {
+            return CLS_LETTER;
+        }
+    }
+    if c >= 65 {
+        if c <= 90 {
+            return CLS_LETTER;
+        }
+    }
+    if c >= 48 {
+        if c <= 57 {
+            return CLS_DIGIT;
+        }
+    }
+    if c == 32 {
+        return CLS_SPACE;
+    }
+    if c == 10 {
+        return CLS_NEWLINE;
+    }
+    return CLS_OTHER;
+}
+
+// The generated tables: class -> token kind, class -> accepting.
+fn init_tables() {
+    base[CLS_LETTER] = KIND_IDENT;
+    base[CLS_DIGIT] = KIND_NUMBER;
+    base[CLS_OTHER] = KIND_OP;
+    accept[CLS_LETTER] = 1;
+    accept[CLS_DIGIT] = 1;
+    accept[CLS_OTHER] = 1;
+}
+
+// Case folding, enabled by the caseless option.
+fn fold_case(c) {
+    if caseless == 1 {
+        if c >= 65 {
+            if c <= 90 {
+                c = c + 32;
+            }
+        }
+    }
+    return c;
+}
+
+// Kind of an accepted token; 0 means "no rule".
+fn token_kind(cl) {
+    let kind = 0;
+    if accept[cl] == 1 {
+        kind = base[cl];
+    }
+    return kind;
+}
+
+// Per-kind statistics.
+fn bump_counts(kind) {
+    ntokens = ntokens + 1;
+    if kind == KIND_IDENT {
+        nident = nident + 1;
+    }
+    if kind == KIND_NUMBER {
+        nnumber = nnumber + 1;
+    }
+    if kind == KIND_OP {
+        nop = nop + 1;
+    }
+}
+
+// The scanner loop: classify, fold, emit.
+fn scan(n) {
+    let i = 0;
+    while i < n {
+        let c = input();
+        c = fold_case(c);
+        let cl = classify(c);
+        if cl == CLS_NEWLINE {
+            if count_nl == 1 {
+                yylineno = yylineno + 1;
+            }
+        }
+        if cl == CLS_SPACE {
+            if count_ws == 1 {
+                nskipped = nskipped + 1;
+            }
+        }
+        if cl <= 2 {
+            let kind = token_kind(cl);
+            print(kind);
+            print(c);
+            print(yylineno);
+            bump_counts(kind);
+        }
+        if cl == CLS_OTHER {
+            let kind = token_kind(cl);
+            print(kind);
+            print(c);
+            print(yylineno);
+            bump_counts(kind);
+        }
+        i = i + 1;
+    }
+    // Scanner-local summary: how much whitespace was skipped.
+    print(nskipped);
+}
+
+fn main() {
+    caseless = input();
+    count_nl = input();
+    count_ws = input();
+    limit = input();
+    init_tables();
+    let n = input();
+    scan(n);
+    if ntokens <= limit {
+        scan_ok = 0;
+    }
+    print(scan_ok);
+    print(ntokens);
+    print(nident);
+    print(nnumber);
+    print(nop);
+    print(yylineno);
+}
+"#;
+
+/// The flex benchmark with the paper's five error ids.
+pub fn benchmark() -> Benchmark {
+    // Text "ab\nC1 +" with options varies per fault below. Characters:
+    // a=97 b=98 nl=10 C=67 1=49 space=32 +=43.
+    Benchmark {
+        name: "flex",
+        description: "a table-driven scanner (fast lexical analyzer generator)",
+        fixed_src: SRC,
+        faults: vec![
+            Fault {
+                id: "V1-F9",
+                kind: FaultKind::Seeded,
+                description: "count_nl is computed wrong, so yylineno is never \
+                              incremented and tokens report a stale line number",
+                needle: "count_nl = input();",
+                replacement: "count_nl = input() - 1;",
+                // caseless=0 count_nl=1 count_ws=0 limit=99, text "a\nb"
+                failing_input: vec![0, 1, 0, 99, 3, 97, 10, 98],
+                passing_inputs: vec![
+                    vec![0, 0, 0, 99, 3, 97, 10, 98],
+                    vec![0, 1, 0, 99, 2, 97, 98],
+                    vec![0, 0, 1, 99, 4, 97, 32, 98, 43],
+                    vec![0, 0, 0, 99, 5, 49, 50, 97, 98, 43],
+                ],
+            },
+            Fault {
+                id: "V2-F14",
+                kind: FaultKind::Seeded,
+                description: "the caseless option is dropped, so uppercase input \
+                              is not folded and the raw character is emitted",
+                needle: "caseless = input();",
+                replacement: "caseless = input() * 0;",
+                // caseless=1, text "aB" — 'B' should fold to 'b'.
+                failing_input: vec![1, 0, 0, 99, 2, 97, 66],
+                passing_inputs: vec![
+                    vec![0, 0, 0, 99, 2, 97, 66],
+                    vec![1, 0, 0, 99, 2, 97, 98],
+                    vec![0, 1, 0, 99, 3, 97, 10, 49],
+                    vec![1, 0, 0, 99, 3, 120, 121, 122],
+                ],
+            },
+            Fault {
+                id: "V3-F10",
+                kind: FaultKind::Seeded,
+                description: "the digit rule's accept entry is wrong, so digits \
+                              fall through with a stale kind of 0",
+                needle: "accept[CLS_DIGIT] = 1;",
+                replacement: "accept[CLS_DIGIT] = 2;",
+                // text "a1"
+                failing_input: vec![0, 0, 0, 99, 2, 97, 49],
+                passing_inputs: vec![
+                    vec![0, 0, 0, 99, 2, 97, 98],
+                    vec![0, 0, 0, 99, 3, 97, 43, 98],
+                    vec![0, 1, 0, 99, 3, 120, 10, 121],
+                ],
+            },
+            Fault {
+                id: "V4-F6",
+                kind: FaultKind::Seeded,
+                description: "the token limit is zeroed out, so the final status \
+                              check is skipped and the sentinel status escapes",
+                needle: "limit = input();",
+                replacement: "limit = input() * 0;",
+                // 2 tokens <= limit 5 in the fixed run → scan_ok = 0.
+                failing_input: vec![0, 0, 0, 5, 2, 97, 98],
+                passing_inputs: vec![
+                    // ntokens 0: 0 <= limit in both runs.
+                    vec![0, 0, 0, 7, 1, 32],
+                    vec![0, 0, 1, 3, 2, 32, 10],
+                    // ntokens above the limit in both runs.
+                    vec![0, 0, 0, 1, 3, 97, 98, 99],
+                ],
+            },
+            Fault {
+                id: "V5-F6",
+                kind: FaultKind::Seeded,
+                description: "the whitespace-counting option is dropped, so \
+                              nskipped stays stale in the statistics",
+                needle: "count_ws = input();",
+                replacement: "count_ws = input() - 1;",
+                // count_ws=1, text "a b" (one space).
+                failing_input: vec![0, 0, 1, 99, 3, 97, 32, 98],
+                passing_inputs: vec![
+                    vec![0, 0, 0, 99, 3, 97, 32, 98],
+                    vec![0, 0, 1, 99, 2, 97, 98],
+                    vec![1, 0, 0, 99, 2, 66, 49],
+                ],
+            },
+        ],
+    }
+}

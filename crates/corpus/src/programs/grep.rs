@@ -1,0 +1,151 @@
+//! `grep` — fixed-string search over a set of lines.
+//!
+//! True to the paper's characterization, this program prints *nothing*
+//! until it terminates: all per-line hit flags and counters come out at
+//! the very end, so a corrupted value pollutes a long stretch of program
+//! state before it is observed, making this the hardest corpus subject
+//! (largest OS, most verifications — like the paper's grep V4-F2).
+
+use crate::{Benchmark, Fault, FaultKind};
+
+/// Fixed source of the grep benchmark.
+///
+/// Input layout:
+/// `[ignore_case, invert, patlen, pat .. , nlines, {len, chars ..} ..]`.
+/// Output: one hit flag per line, then the match count and byte total.
+pub const SRC: &str = r#"
+// grep: print which lines contain the pattern.
+global pattern = [0; 16];
+global patlen = 0;
+global linebuf = [0; 64];
+global linelen = 0;
+global ignore_case = 0;
+global invert = 0;
+global match_count = 0;
+global line_hits = [0; 32];
+global nlines = 0;
+global total_bytes = 0;
+
+// Case folding, enabled by -i.
+fn to_lower(c) {
+    if ignore_case == 1 {
+        if c >= 65 {
+            if c <= 90 {
+                c = c + 32;
+            }
+        }
+    }
+    return c;
+}
+
+// The pattern is folded once up front.
+fn read_pattern() {
+    patlen = input();
+    let i = 0;
+    while i < patlen {
+        pattern[i] = to_lower(input());
+        i = i + 1;
+    }
+}
+
+// Read one subject line into the line buffer.
+fn read_line() {
+    linelen = input();
+    let i = 0;
+    while i < linelen {
+        linebuf[i] = input();
+        total_bytes = total_bytes + 1;
+        i = i + 1;
+    }
+}
+
+// Does the pattern match at position pos of the current line?
+fn match_at(pos) {
+    let j = 0;
+    while j < patlen {
+        let c = to_lower(linebuf[pos + j]);
+        if c != pattern[j] {
+            return 0;
+        }
+        j = j + 1;
+    }
+    return 1;
+}
+
+// First-match search over the current line.
+fn search_line() {
+    let pos = 0;
+    let found = 0;
+    while pos + patlen <= linelen {
+        if match_at(pos) == 1 {
+            found = 1;
+            break;
+        }
+        pos = pos + 1;
+    }
+    return found;
+}
+
+fn main() {
+    ignore_case = input();
+    invert = input();
+    read_pattern();
+    nlines = input();
+    let i = 0;
+    while i < nlines {
+        read_line();
+        let found = search_line();
+        let hit = found;
+        if invert == 1 {
+            hit = 1 - found;
+        }
+        if hit == 1 {
+            line_hits[i] = 1;
+            match_count = match_count + 1;
+        }
+        i = i + 1;
+    }
+    // Like grep piping its results: nothing is visible until the end.
+    let k = 0;
+    while k < nlines {
+        print(line_hits[k]);
+        k = k + 1;
+    }
+    print(match_count);
+    print(total_bytes);
+}
+"#;
+
+/// The grep benchmark with the paper's V4-F2 error.
+pub fn benchmark() -> Benchmark {
+    // Pattern "ab" = 97 98; line "xABy" = 120 65 66 121; line "zz" = 122 122.
+    Benchmark {
+        name: "grep",
+        description: "a fixed-string matcher printing per-line hits at exit",
+        fixed_src: SRC,
+        faults: vec![Fault {
+            id: "V4-F2",
+            kind: FaultKind::Seeded,
+            description: "the -i option is dropped, so subject characters are \
+                          never folded and case-insensitive matches are missed; \
+                          the stale hit flags surface only at exit",
+            needle: "ignore_case = input();",
+            replacement: "ignore_case = input() * 0;",
+            // -i, pattern "ab", 3 lines: "xABy" (should match), "zz",
+            // "ab" (matches regardless).
+            failing_input: vec![
+                1, 0, 2, 97, 98, 3, 4, 120, 65, 66, 121, 2, 122, 122, 2, 97, 98,
+            ],
+            passing_inputs: vec![
+                // No -i: identical behavior.
+                vec![0, 0, 2, 97, 98, 2, 4, 120, 97, 98, 121, 2, 122, 122],
+                // -i but all-lowercase subject: folding is a no-op.
+                vec![1, 0, 2, 97, 98, 2, 3, 97, 98, 99, 2, 120, 121],
+                // Inverted match without -i.
+                vec![0, 1, 1, 122, 2, 2, 97, 98, 1, 122],
+                // Empty pattern matches everywhere in both runs.
+                vec![0, 0, 0, 2, 1, 97, 1, 98],
+            ],
+        }],
+    }
+}

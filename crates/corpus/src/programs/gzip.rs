@@ -1,0 +1,148 @@
+//! `gzip` — an LZ-style compressor with a gzip-like header.
+//!
+//! This is the corpus program closest to the paper: fault **V2-F3** is a
+//! direct transcription of the motivating Figure 1 bug — the assignment
+//! to `save_orig_name` computes the wrong value, so the header guard is
+//! not taken, `flags` never receives its `ORIG_NAME` bit, and the stale
+//! `flags` byte is observed in the emitted archive.
+
+use crate::{Benchmark, Fault, FaultKind};
+
+/// Fixed source of the gzip benchmark.
+///
+/// Input layout: `[save_orig_name, level, n, byte_0 .. byte_{n-1}]`.
+/// Output: the archive bytes in order, then the byte count.
+pub const SRC: &str = r#"
+// gzip: run-length "deflate" with a gzip-like header and trailer.
+global MAGIC1 = 31;
+global MAGIC2 = 139;
+global DEFLATED = 8;
+global ORIG_NAME = 8;
+global outbuf = [0; 192];
+global outcnt = 0;
+global inbuf = [0; 64];
+global insize = 0;
+global flags = 0;
+global save_orig_name = 0;
+global level = 0;
+global method = 0;
+global crc = 0;
+
+// Append one byte to the archive.
+fn emit(b) {
+    outbuf[outcnt] = b;
+    outcnt = outcnt + 1;
+}
+
+// Adler-flavored running checksum over the input bytes.
+fn update_crc(b) {
+    crc = (crc * 31 + b) % 65521;
+}
+
+// Slurp the uncompressed payload.
+fn read_input(n) {
+    let i = 0;
+    while i < n {
+        let b = input();
+        inbuf[i] = b;
+        update_crc(b);
+        i = i + 1;
+    }
+    insize = n;
+}
+
+// Magic bytes, method, flags, level, and (optionally) the original name.
+fn write_header() {
+    emit(MAGIC1);
+    emit(MAGIC2);
+    emit(method);
+    if save_orig_name == 1 {
+        flags = flags + ORIG_NAME;
+    }
+    emit(flags);
+    emit(level);
+    if save_orig_name == 1 {
+        emit(111);
+        emit(0);
+    }
+}
+
+// Run-length "deflate": emit (byte, run-length) pairs.
+fn deflate() {
+    let i = 0;
+    let prev = 0 - 1;
+    let run = 0;
+    while i < insize {
+        let b = inbuf[i];
+        if b == prev {
+            run = run + 1;
+        } else {
+            if run > 0 {
+                emit(prev);
+                emit(run);
+            }
+            prev = b;
+            run = 1;
+        }
+        i = i + 1;
+    }
+    if run > 0 {
+        emit(prev);
+        emit(run);
+    }
+}
+
+// Checksum and original size close the member.
+fn write_trailer() {
+    emit(crc % 256);
+    emit(insize);
+}
+
+// The archive is printed byte by byte, like gzip writing its outbuf.
+fn flush_output() {
+    let i = 0;
+    while i < outcnt {
+        print(outbuf[i]);
+        i = i + 1;
+    }
+}
+
+fn main() {
+    save_orig_name = input();
+    level = input();
+    method = DEFLATED;
+    let n = input();
+    read_input(n);
+    write_header();
+    deflate();
+    write_trailer();
+    flush_output();
+    print(outcnt);
+}
+"#;
+
+/// The gzip benchmark with its single fault (the paper's gzip V2-F3).
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "gzip",
+        description: "an LZ77-flavored compressor (run-length deflate, gzip-like header)",
+        fixed_src: SRC,
+        faults: vec![Fault {
+            id: "V2-F3",
+            kind: FaultKind::Seeded,
+            description: "save_orig_name is computed wrong, so the header guard is \
+                          skipped and the stale flags byte reaches the archive \
+                          (the paper's Figure 1)",
+            needle: "save_orig_name = input();",
+            replacement: "save_orig_name = input() - 1;",
+            failing_input: vec![1, 6, 4, 5, 5, 7, 7],
+            passing_inputs: vec![
+                vec![0, 6, 4, 5, 5, 7, 7],
+                vec![0, 1, 3, 2, 2, 2],
+                vec![0, 9, 5, 1, 2, 3, 4, 5],
+                vec![0, 3, 1, 42],
+                vec![0, 2, 6, 9, 9, 8, 8, 8, 9],
+            ],
+        }],
+    }
+}

@@ -1,0 +1,136 @@
+//! `make` — a dependency-driven rebuild tool, **excluded from the
+//! evaluation** exactly as in the paper: *"We did not use the benchmark
+//! make in the suite because we were not able to expose any errors using
+//! the provided test cases."*
+//!
+//! The program is fully functional (topological rebuild over a dependency
+//! edge list with timestamps) and ships with a candidate mutation, but no
+//! input in its provided test suite exposes it — the mutated guard's
+//! outcome never differs on those inputs. The corpus keeps it around to
+//! document the exclusion and to exercise the "fault not exposable"
+//! path of the tooling.
+
+use crate::{Benchmark, Fault, FaultKind};
+
+/// Fixed source of the make benchmark.
+///
+/// Input layout:
+/// `[ntargets, {mtime}… , nedges, {from, to}… , touched]` — targets are
+/// numbered, an edge `from → to` means `to` depends on `from`, and
+/// `touched` marks one target as freshly modified. Output: one rebuild
+/// flag per target (in index order), then the rebuild count.
+pub const SRC: &str = r#"
+// make: propagate staleness through a dependency graph.
+global mtime = [0; 16];
+global stale = [0; 16];
+global dep_from = [0; 32];
+global dep_to = [0; 32];
+global ntargets = 0;
+global nedges = 0;
+global rebuilds = 0;
+
+// Read target timestamps.
+fn read_targets() {
+    ntargets = input();
+    let i = 0;
+    while i < ntargets {
+        mtime[i] = input();
+        i = i + 1;
+    }
+}
+
+// Read the dependency edge list.
+fn read_edges() {
+    nedges = input();
+    let i = 0;
+    while i < nedges {
+        dep_from[i] = input();
+        dep_to[i] = input();
+        i = i + 1;
+    }
+}
+
+// One propagation sweep; returns 1 when anything changed.
+fn propagate_once() {
+    let changed = 0;
+    let i = 0;
+    while i < nedges {
+        let f = dep_from[i];
+        let t = dep_to[i];
+        if stale[f] == 1 {
+            if stale[t] == 0 {
+                stale[t] = 1;
+                changed = 1;
+            }
+        }
+        i = i + 1;
+    }
+    return changed;
+}
+
+// Fixpoint over the (acyclic) dependency graph.
+fn propagate() {
+    let rounds = 0;
+    while rounds < ntargets {
+        if propagate_once() == 0 {
+            break;
+        }
+        rounds = rounds + 1;
+    }
+}
+
+fn main() {
+    read_targets();
+    read_edges();
+    let touched = input();
+    if touched >= 0 {
+        if touched < ntargets {
+            stale[touched] = 1;
+            mtime[touched] = mtime[touched] + 1;
+        }
+    }
+    propagate();
+    let k = 0;
+    while k < ntargets {
+        print(stale[k]);
+        if stale[k] == 1 {
+            rebuilds = rebuilds + 1;
+        }
+        k = k + 1;
+    }
+    print(rebuilds);
+}
+"#;
+
+/// The make benchmark: present, documented, and excluded — its provided
+/// test suite does not expose the candidate mutation.
+pub fn benchmark() -> Benchmark {
+    Benchmark {
+        name: "make",
+        description: "a dependency-driven rebuild tool (excluded from the evaluation, as in \
+                      the paper: its test suite exposes no error)",
+        fixed_src: SRC,
+        faults: vec![Fault {
+            id: "V1-F1",
+            kind: FaultKind::Seeded,
+            description: "the bounds guard is widened, which only matters for target \
+                          indices the provided test cases never use",
+            needle: "if touched < ntargets {",
+            replacement: "if touched < ntargets + 1 {",
+            // No input in the provided suite exposes the mutation: every
+            // test touches a valid target (or -1 for "nothing touched"),
+            // so the widened bound never changes the outcome.
+            failing_input: vec![],
+            passing_inputs: vec![
+                // 3 targets, chain 0 -> 1 -> 2, touch 0: everything rebuilds.
+                vec![3, 10, 20, 30, 2, 0, 1, 1, 2, 0],
+                // Touch a leaf: only it rebuilds.
+                vec![3, 10, 20, 30, 2, 0, 1, 1, 2, 2],
+                // Diamond: 0 -> {1, 2} -> 3.
+                vec![4, 1, 1, 1, 1, 4, 0, 1, 0, 2, 1, 3, 2, 3, 0],
+                // Nothing touched.
+                vec![2, 5, 6, 1, 0, 1, -1],
+            ],
+        }],
+    }
+}

@@ -1,0 +1,140 @@
+//! `sed` — a tiny stream editor: character substitution with an arming
+//! option, autoprint, and line statistics.
+//!
+//! Fault **V3-F2** models the paper's real sed error whose effect
+//! propagates along *two* implicit dependence edges before it is
+//! observable: the corrupted option leaves the editor un-armed
+//! (first omission), and the un-armed guard in turn skips the
+//! substitution (second omission) — the locator must expand twice,
+//! exactly like the paper's sed V3-F2 (2 iterations, 2 strong edges).
+
+use crate::{Benchmark, Fault, FaultKind};
+
+/// Fixed source of the sed benchmark.
+///
+/// Input layout:
+/// `[enable_subst, count_emitted, from_char, to_char, nlines,
+///   {len, chars ..} ..]`.
+/// Output: every edited line character by character (autoprint), then
+/// the substitution count and emitted-line count.
+pub const SRC: &str = r#"
+// sed: s/from/to/ over every line, with autoprint.
+global linebuf = [0; 64];
+global linelen = 0;
+global enable_subst = 0;
+global count_emitted = 0;
+global from_c = 0;
+global to_c = 0;
+global armed = 0;
+global nsubs = 0;
+global nemitted = 0;
+global nlines = 0;
+global total_bytes = 0;
+
+// Read one subject line into the line buffer.
+fn read_line() {
+    linelen = input();
+    let i = 0;
+    while i < linelen {
+        linebuf[i] = input();
+        total_bytes = total_bytes + 1;
+        i = i + 1;
+    }
+}
+
+// Apply s/from_c/to_c/g to the current line.
+fn subst_line() {
+    let i = 0;
+    while i < linelen {
+        if linebuf[i] == from_c {
+            linebuf[i] = to_c;
+            nsubs = nsubs + 1;
+        }
+        i = i + 1;
+    }
+}
+
+// Track how many lines were emitted, when the option is on.
+fn note_emitted() {
+    nemitted = nemitted + 1;
+}
+
+fn main() {
+    enable_subst = input();
+    count_emitted = input();
+    from_c = input();
+    to_c = input();
+    // The substitute command arms the editor (stage one).
+    if enable_subst == 1 {
+        armed = 1;
+    }
+    nlines = input();
+    let li = 0;
+    while li < nlines {
+        read_line();
+        // An armed editor substitutes (stage two).
+        if armed == 1 {
+            subst_line();
+        }
+        if count_emitted == 1 {
+            note_emitted();
+        }
+        // Autoprint the (possibly edited) line.
+        let k = 0;
+        while k < linelen {
+            print(linebuf[k]);
+            k = k + 1;
+        }
+        li = li + 1;
+    }
+    print(nsubs);
+    print(nemitted);
+    print(total_bytes);
+}
+"#;
+
+/// The sed benchmark with the paper's V3-F2 (real) and V3-F3 (seeded)
+/// errors.
+pub fn benchmark() -> Benchmark {
+    // Line "cat" = 99 97 116; s/a/o/: from 97 to 111.
+    Benchmark {
+        name: "sed",
+        description: "a stream editor: per-character substitution with autoprint",
+        fixed_src: SRC,
+        faults: vec![
+            Fault {
+                id: "V3-F2",
+                kind: FaultKind::Real,
+                description: "the substitute command is mis-parsed, so the editor \
+                              is never armed and the substitution is skipped — a \
+                              two-stage omission (arming, then substituting)",
+                needle: "enable_subst = input();",
+                replacement: "enable_subst = input() - 1;",
+                // s/a/o/ on "cat" and "dog": fixed prints "cot dog".
+                failing_input: vec![1, 0, 97, 111, 2, 3, 99, 97, 116, 3, 100, 111, 103],
+                passing_inputs: vec![
+                    // No substitute command: both runs copy through.
+                    vec![0, 0, 97, 111, 2, 3, 99, 97, 116, 2, 104, 105],
+                    vec![0, 1, 120, 121, 1, 4, 97, 98, 99, 100],
+                    // Substitution requested but no occurrence: faulty
+                    // arming is skipped, yet output matches (nsubs 0).
+                    vec![1, 0, 113, 111, 1, 3, 99, 111, 116],
+                ],
+            },
+            Fault {
+                id: "V3-F3",
+                kind: FaultKind::Seeded,
+                description: "the emitted-line-count option is dropped, so \
+                              nemitted stays stale in the final statistics",
+                needle: "count_emitted = input();",
+                replacement: "count_emitted = input() * 0;",
+                failing_input: vec![0, 1, 97, 111, 2, 2, 104, 105, 1, 122],
+                passing_inputs: vec![
+                    vec![0, 0, 97, 111, 1, 3, 99, 97, 116],
+                    vec![1, 0, 97, 111, 1, 3, 99, 97, 116],
+                    vec![0, 0, 120, 121, 2, 1, 97, 2, 98, 99],
+                ],
+            },
+        ],
+    }
+}

@@ -1,0 +1,260 @@
+//! Random workload generation for the corpus programs.
+//!
+//! The paper's prototype "executes the binary with a large set of test
+//! cases" to build value profiles and the union dependence graph. These
+//! generators produce arbitrarily many well-formed inputs per benchmark
+//! (seeded, hence reproducible), used by the stress tests and available
+//! for profiling at any scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible workload generator for one benchmark's input format.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// A generator with a fixed seed (same seed ⇒ same workloads).
+    pub fn new(seed: u64) -> Self {
+        WorkloadGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn ascii_char(&mut self) -> i64 {
+        // Letters (both cases), digits, space, newline, punctuation — the
+        // classes the scanner benchmarks distinguish.
+        match self.rng.gen_range(0..6) {
+            0 => self.rng.gen_range(97..=122), // a-z
+            1 => self.rng.gen_range(65..=90),  // A-Z
+            2 => self.rng.gen_range(48..=57),  // 0-9
+            3 => 32,                           // space
+            4 => 10,                           // newline
+            _ => self.rng.gen_range(33..=47),  // punctuation
+        }
+    }
+
+    /// `flex` input: `[caseless, count_nl, count_ws, limit, n, chars…]`.
+    pub fn flex(&mut self) -> Vec<i64> {
+        let n = self.rng.gen_range(0..20);
+        let mut v = vec![
+            self.rng.gen_range(0..2),
+            self.rng.gen_range(0..2),
+            self.rng.gen_range(0..2),
+            self.rng.gen_range(0..30),
+            n,
+        ];
+        for _ in 0..n {
+            v.push(self.ascii_char());
+        }
+        v
+    }
+
+    /// `grep` input:
+    /// `[ignore_case, invert, patlen, pat…, nlines, {len, chars…}…]`.
+    pub fn grep(&mut self) -> Vec<i64> {
+        let patlen = self.rng.gen_range(0..5);
+        let mut v = vec![self.rng.gen_range(0..2), self.rng.gen_range(0..2), patlen];
+        for _ in 0..patlen {
+            v.push(self.ascii_char());
+        }
+        let nlines = self.rng.gen_range(0..6);
+        v.push(nlines);
+        for _ in 0..nlines {
+            let len = self.rng.gen_range(0..12);
+            v.push(len);
+            for _ in 0..len {
+                v.push(self.ascii_char());
+            }
+        }
+        v
+    }
+
+    /// `gzip` input: `[save_orig_name, level, n, bytes…]`, with runs so
+    /// the run-length deflate has something to compress.
+    pub fn gzip(&mut self) -> Vec<i64> {
+        let n = self.rng.gen_range(0..24);
+        let mut v = vec![self.rng.gen_range(0..2), self.rng.gen_range(1..10), n];
+        let mut remaining = n;
+        while remaining > 0 {
+            let run = self.rng.gen_range(1..=remaining.min(5));
+            let byte = self.rng.gen_range(0..256);
+            for _ in 0..run {
+                v.push(byte);
+            }
+            remaining -= run;
+        }
+        v
+    }
+
+    /// `sed` input:
+    /// `[enable_subst, count_emitted, from, to, nlines, {len, chars…}…]`.
+    pub fn sed(&mut self) -> Vec<i64> {
+        let mut v = vec![
+            self.rng.gen_range(0..2),
+            self.rng.gen_range(0..2),
+            self.ascii_char(),
+            self.ascii_char(),
+        ];
+        let nlines = self.rng.gen_range(0..5);
+        v.push(nlines);
+        for _ in 0..nlines {
+            let len = self.rng.gen_range(0..10);
+            v.push(len);
+            for _ in 0..len {
+                v.push(self.ascii_char());
+            }
+        }
+        v
+    }
+
+    /// A workload for the benchmark named `bench` (`flex`, `grep`,
+    /// `gzip`, or `sed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark name.
+    pub fn for_benchmark(&mut self, bench: &str) -> Vec<i64> {
+        match bench {
+            "flex" => self.flex(),
+            "grep" => self.grep(),
+            "gzip" => self.gzip(),
+            "sed" => self.sed(),
+            other => panic!("no workload generator for `{other}`"),
+        }
+    }
+
+    /// A workload with roughly `payload` units of work (characters for
+    /// flex/gzip, lines for grep/sed), clamped to each program's buffer
+    /// capacities where the format is bounded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown benchmark name.
+    pub fn sized_for_benchmark(&mut self, bench: &str, payload: usize) -> Vec<i64> {
+        match bench {
+            "flex" => {
+                // The scanner streams characters: no upper bound.
+                let n = payload as i64;
+                let mut v = vec![
+                    self.rng.gen_range(0..2),
+                    self.rng.gen_range(0..2),
+                    self.rng.gen_range(0..2),
+                    self.rng.gen_range(0..1000),
+                    n,
+                ];
+                for _ in 0..n {
+                    v.push(self.ascii_char());
+                }
+                v
+            }
+            "grep" => {
+                // line_hits holds 32 lines; linebuf holds 64 chars.
+                let nlines = payload.min(32) as i64;
+                let patlen = self.rng.gen_range(1..4);
+                let mut v = vec![self.rng.gen_range(0..2), self.rng.gen_range(0..2), patlen];
+                for _ in 0..patlen {
+                    v.push(self.ascii_char());
+                }
+                v.push(nlines);
+                for _ in 0..nlines {
+                    let len = self.rng.gen_range(0..=60);
+                    v.push(len);
+                    for _ in 0..len {
+                        v.push(self.ascii_char());
+                    }
+                }
+                v
+            }
+            "gzip" => {
+                // inbuf holds 64 bytes.
+                let n = payload.min(64) as i64;
+                let mut v = vec![self.rng.gen_range(0..2), self.rng.gen_range(1..10), n];
+                let mut remaining = n;
+                while remaining > 0 {
+                    let run = self.rng.gen_range(1..=remaining.min(5));
+                    let byte = self.rng.gen_range(0..256);
+                    for _ in 0..run {
+                        v.push(byte);
+                    }
+                    remaining -= run;
+                }
+                v
+            }
+            "sed" => {
+                // linebuf is reused per line: lines are unbounded.
+                let nlines = payload as i64;
+                let mut v = vec![
+                    self.rng.gen_range(0..2),
+                    self.rng.gen_range(0..2),
+                    self.ascii_char(),
+                    self.ascii_char(),
+                    nlines,
+                ];
+                for _ in 0..nlines {
+                    let len = self.rng.gen_range(0..=60);
+                    v.push(len);
+                    for _ in 0..len {
+                        v.push(self.ascii_char());
+                    }
+                }
+                v
+            }
+            other => panic!("no workload generator for `{other}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let mut a = WorkloadGen::new(42);
+        let mut b = WorkloadGen::new(42);
+        for bench in ["flex", "grep", "gzip", "sed"] {
+            assert_eq!(a.for_benchmark(bench), b.for_benchmark(bench));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = WorkloadGen::new(1);
+        let mut b = WorkloadGen::new(2);
+        let same = (0..8).all(|_| a.flex() == b.flex());
+        assert!(!same, "seeds should produce different workloads");
+    }
+
+    #[test]
+    fn gzip_workloads_declare_their_length() {
+        let mut g = WorkloadGen::new(7);
+        for _ in 0..50 {
+            let w = g.gzip();
+            let n = w[2] as usize;
+            assert_eq!(w.len(), 3 + n, "payload length matches header: {w:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload generator")]
+    fn unknown_benchmark_panics() {
+        WorkloadGen::new(0).for_benchmark("make");
+    }
+
+    #[test]
+    fn sized_workloads_respect_buffer_capacities() {
+        let mut g = WorkloadGen::new(3);
+        let flex = g.sized_for_benchmark("flex", 500);
+        assert_eq!(flex[4], 500, "flex streams without bound");
+        let grep = g.sized_for_benchmark("grep", 500);
+        let patlen = grep[2] as usize;
+        assert_eq!(grep[3 + patlen], 32, "grep clamps to line_hits capacity");
+        let gzip = g.sized_for_benchmark("gzip", 500);
+        assert_eq!(gzip[2], 64, "gzip clamps to inbuf capacity");
+        let sed = g.sized_for_benchmark("sed", 200);
+        assert_eq!(sed[4], 200, "sed reuses its line buffer");
+    }
+}

@@ -1,0 +1,122 @@
+//! Stress tests: the corpus programs under randomized workloads.
+//!
+//! The generators in [`omislice_corpus::workload`] play the role of the
+//! paper's "large set of test cases". Properties:
+//!
+//! * fixed programs terminate normally on every generated workload;
+//! * plain and traced execution agree on every workload;
+//! * faulty variants never crash — they only compute wrong values (the
+//!   corpus contains logic errors, not memory errors);
+//! * value profiles built from random workloads keep the locator working.
+
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_plain, run_traced, RunConfig};
+use omislice::omislice_lang::compile;
+use omislice::omislice_slicing::ValueProfile;
+use omislice::{locate_fault, GroundTruthOracle, LocateConfig};
+use omislice_corpus::{all_benchmarks, WorkloadGen};
+
+const WORKLOADS_PER_BENCH: usize = 40;
+
+#[test]
+fn fixed_programs_survive_random_workloads() {
+    for b in all_benchmarks() {
+        let program = compile(b.fixed_src).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let mut gen = WorkloadGen::new(0xC0FFEE);
+        for i in 0..WORKLOADS_PER_BENCH {
+            let inputs = gen.for_benchmark(b.name);
+            let config = RunConfig::with_inputs(inputs.clone());
+            let plain = run_plain(&program, &config);
+            assert!(
+                plain.is_normal(),
+                "{} workload #{i} {:?}: {:?}",
+                b.name,
+                inputs,
+                plain.termination
+            );
+            let traced = run_traced(&program, &analysis, &config);
+            assert_eq!(
+                plain.outputs,
+                traced.trace.output_values(),
+                "{} workload #{i}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn faulty_variants_never_crash_on_random_workloads() {
+    for b in all_benchmarks() {
+        for fault in &b.faults {
+            let prepared = b.prepare(fault).unwrap();
+            let mut gen = WorkloadGen::new(0xBADF00D);
+            for i in 0..WORKLOADS_PER_BENCH {
+                let inputs = gen.for_benchmark(b.name);
+                let run = run_plain(&prepared.faulty, &RunConfig::with_inputs(inputs));
+                assert!(
+                    run.is_normal(),
+                    "{} {} workload #{i}: {:?}",
+                    b.name,
+                    fault.id,
+                    run.termination
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn locator_works_with_random_value_profiles() {
+    // Replace the curated passing-input profiles with purely random
+    // workloads: the locator must still capture every root cause (the
+    // profile only affects ranking quality, not correctness).
+    for b in all_benchmarks() {
+        for fault in &b.faults {
+            let prepared = b.prepare(fault).unwrap();
+            let analysis = ProgramAnalysis::build(&prepared.faulty);
+            let config = RunConfig::with_inputs(fault.failing_input.clone());
+            let trace = run_traced(&prepared.faulty, &analysis, &config).trace;
+
+            let mut profile = ValueProfile::new();
+            profile.add_trace(&trace);
+            let mut gen = WorkloadGen::new(7);
+            for _ in 0..10 {
+                let inputs = gen.for_benchmark(b.name);
+                let cfg = RunConfig::with_inputs(inputs);
+                profile.add_trace(&run_traced(&prepared.faulty, &analysis, &cfg).trace);
+            }
+
+            let fixed_analysis = ProgramAnalysis::build(&prepared.fixed);
+            let oracle = GroundTruthOracle::new(
+                &prepared.fixed,
+                &fixed_analysis,
+                &config,
+                prepared.roots.iter().copied(),
+            );
+            let outcome = locate_fault(
+                &prepared.faulty,
+                &analysis,
+                &config,
+                &trace,
+                &profile,
+                &oracle,
+                &LocateConfig::default(),
+            )
+            .unwrap();
+            assert!(outcome.found, "{} {}", b.name, fault.id);
+        }
+    }
+}
+
+#[test]
+fn workloads_are_deterministic_per_seed() {
+    for b in all_benchmarks() {
+        let mut g1 = WorkloadGen::new(11);
+        let mut g2 = WorkloadGen::new(11);
+        for _ in 0..5 {
+            assert_eq!(g1.for_benchmark(b.name), g2.for_benchmark(b.name));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Value storage with definition provenance.
+//!
+//! Every scalar cell and array element carries, besides its value, the
+//! set of trace instances that defined it — usually a single assignment
+//! instance, but parameter cells inherit the instances that computed the
+//! argument (compressing the paper's register/stack copy chains).
+
+use omislice_lang::{GlobalInit, Program, ProgramIndex, VarId};
+use omislice_trace::{InstId, Value};
+use std::collections::HashMap;
+
+/// A storage cell: a value plus the instances that defined it.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    /// Current value (`None` before first write for locals).
+    pub value: Option<Value>,
+    /// Instances whose execution produced this value.
+    pub defs: Vec<InstId>,
+}
+
+impl Cell {
+    /// A cell holding `value` defined by `defs`.
+    pub fn new(value: Value, defs: Vec<InstId>) -> Self {
+        Cell {
+            value: Some(value),
+            defs,
+        }
+    }
+}
+
+/// A global slot: scalar or array.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// A scalar global.
+    Scalar(Cell),
+    /// A fixed-size integer array.
+    Array(Vec<Cell>),
+}
+
+/// Global storage, indexed by [`VarId`].
+#[derive(Debug, Clone)]
+pub struct Globals {
+    slots: HashMap<VarId, Slot>,
+}
+
+impl Globals {
+    /// Initializes globals from the program's declarations. Initial
+    /// values have no defining instance (they exist before the trace).
+    pub fn init(program: &Program, index: &ProgramIndex) -> Self {
+        let mut slots = HashMap::new();
+        for g in program.globals() {
+            let var = index
+                .vars()
+                .global(&g.name)
+                .expect("declared global is in the table");
+            let slot = match &g.init {
+                GlobalInit::Int(n) => Slot::Scalar(Cell::new(Value::Int(*n), Vec::new())),
+                GlobalInit::Bool(b) => Slot::Scalar(Cell::new(Value::Bool(*b), Vec::new())),
+                GlobalInit::Array { elem, len } => {
+                    Slot::Array(vec![Cell::new(Value::Int(*elem), Vec::new()); *len])
+                }
+            };
+            slots.insert(var, slot);
+        }
+        Globals { slots }
+    }
+
+    /// The slot for `var`, if it is a global.
+    pub fn get(&self, var: VarId) -> Option<&Slot> {
+        self.slots.get(&var)
+    }
+
+    /// Mutable access to the slot for `var`.
+    pub fn get_mut(&mut self, var: VarId) -> Option<&mut Slot> {
+        self.slots.get_mut(&var)
+    }
+
+    /// Whether `var` is a global slot.
+    pub fn contains(&self, var: VarId) -> bool {
+        self.slots.contains_key(&var)
+    }
+}
+
+/// One call frame: local cells plus dynamic-control-dependence context.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    /// Name of the function this frame executes.
+    pub func: String,
+    /// Local variable cells (parameters and `let`s).
+    pub locals: HashMap<VarId, Cell>,
+    /// Last instance and outcome of each predicate executed in this frame,
+    /// used to resolve dynamic control-dependence parents.
+    pub preds: HashMap<omislice_lang::StmtId, (InstId, bool)>,
+    /// Control-dependence parent inherited from the call site, used for
+    /// statements with no static CD parent inside this function.
+    pub inherited_cd: Option<InstId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    #[test]
+    fn globals_initialize_from_declarations() {
+        let p =
+            compile("global g = 7; global flag = true; global a = [9; 3]; fn main() { }").unwrap();
+        let idx = ProgramIndex::build(&p);
+        let globals = Globals::init(&p, &idx);
+        let g = idx.vars().global("g").unwrap();
+        match globals.get(g) {
+            Some(Slot::Scalar(c)) => assert_eq!(c.value, Some(Value::Int(7))),
+            other => panic!("unexpected slot {other:?}"),
+        }
+        let flag = idx.vars().global("flag").unwrap();
+        match globals.get(flag) {
+            Some(Slot::Scalar(c)) => assert_eq!(c.value, Some(Value::Bool(true))),
+            other => panic!("unexpected slot {other:?}"),
+        }
+        let a = idx.vars().global("a").unwrap();
+        match globals.get(a) {
+            Some(Slot::Array(cells)) => {
+                assert_eq!(cells.len(), 3);
+                assert!(cells.iter().all(|c| c.value == Some(Value::Int(9))));
+                assert!(cells.iter().all(|c| c.defs.is_empty()));
+            }
+            other => panic!("unexpected slot {other:?}"),
+        }
+        assert!(globals.contains(a));
+    }
+
+    #[test]
+    fn cell_records_provenance() {
+        let c = Cell::new(Value::Int(1), vec![InstId(4), InstId(7)]);
+        assert_eq!(c.value, Some(Value::Int(1)));
+        assert_eq!(c.defs, vec![InstId(4), InstId(7)]);
+        let d = Cell::default();
+        assert_eq!(d.value, None);
+    }
+}

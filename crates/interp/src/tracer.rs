@@ -1,0 +1,628 @@
+//! The tracing interpreter: executes a program while building the dynamic
+//! dependence graph (data dependences, dynamic control dependences, region
+//! nesting, timestamps, outputs) — the role Valgrind instrumentation plays
+//! in the paper — and implements *predicate switching*: forcing a chosen
+//! dynamic predicate instance to take the opposite branch.
+
+use crate::store::{Cell, Frame, Globals, Slot};
+use crate::{OverrideSpec, RunConfig, SwitchSpec};
+use omislice_analysis::ProgramAnalysis;
+use omislice_lang::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtId, StmtKind, UnOp, VarId};
+use omislice_trace::{Event, InstId, OutputRecord, Termination, Trace, Value};
+use std::collections::HashMap;
+
+/// Maximum call depth; deeper recursion is reported as a runtime error
+/// rather than overflowing the host stack.
+pub const MAX_CALL_DEPTH: usize = 96;
+
+/// Result of a traced execution.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The full trace (dynamic dependence graph).
+    pub trace: Trace,
+    /// The instance whose branch outcome was forcibly switched, if a
+    /// [`SwitchSpec`] was supplied and that instance was reached.
+    pub switched: Option<InstId>,
+    /// The instance whose value was overridden, if an [`OverrideSpec`]
+    /// was supplied and that instance was reached.
+    pub overridden: Option<InstId>,
+}
+
+/// Executes `program` under `config`, producing a full trace.
+///
+/// The `analysis` must have been built for the same program: the
+/// interpreter consults its per-statement static control-dependence
+/// parents to attribute dynamic control dependences.
+///
+/// # Examples
+///
+/// ```
+/// use omislice_analysis::ProgramAnalysis;
+/// use omislice_interp::{run_traced, RunConfig};
+/// use omislice_lang::compile;
+/// use omislice_trace::Value;
+///
+/// let program = compile("fn main() { print(input() + 1); }")?;
+/// let analysis = ProgramAnalysis::build(&program);
+/// let run = run_traced(&program, &analysis, &RunConfig::with_inputs(vec![41]));
+/// assert_eq!(run.trace.output_values(), vec![Value::Int(42)]);
+/// # Ok::<(), omislice_lang::FrontendError>(())
+/// ```
+pub fn run_traced(program: &Program, analysis: &ProgramAnalysis, config: &RunConfig) -> TracedRun {
+    let mut t = Tracer {
+        program,
+        analysis,
+        inputs: &config.inputs,
+        input_pos: 0,
+        budget: config.step_budget,
+        switch: config.switch,
+        switched: None,
+        value_override: config.value_override,
+        overridden: None,
+        occ: HashMap::new(),
+        events: Vec::new(),
+        outputs: Vec::new(),
+        globals: Globals::init(program, analysis.index()),
+        region_stack: Vec::new(),
+        frames: Vec::new(),
+    };
+    let termination = match t.run_main() {
+        Ok(()) => Termination::Normal,
+        Err(Stop::Budget) => Termination::BudgetExhausted,
+        Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
+    };
+    TracedRun {
+        trace: Trace::from_parts(t.events, t.outputs, termination),
+        switched: t.switched,
+        overridden: t.overridden,
+    }
+}
+
+/// Why execution stopped abnormally.
+enum Stop {
+    Budget,
+    Runtime(String),
+}
+
+/// Intra-procedural control flow signal.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value, Vec<InstId>),
+}
+
+type ExecResult = Result<Flow, Stop>;
+type EvalResult = Result<(Value, Vec<InstId>), Stop>;
+
+struct Tracer<'a> {
+    program: &'a Program,
+    analysis: &'a ProgramAnalysis,
+    inputs: &'a [i64],
+    input_pos: usize,
+    budget: u64,
+    switch: Option<SwitchSpec>,
+    switched: Option<InstId>,
+    value_override: Option<OverrideSpec>,
+    overridden: Option<InstId>,
+    /// Per-statement execution counters (for switch occurrence matching).
+    occ: HashMap<StmtId, u32>,
+    events: Vec<Event>,
+    outputs: Vec<OutputRecord>,
+    globals: Globals,
+    /// Innermost guarding predicate instances (region nesting), crossing
+    /// call boundaries.
+    region_stack: Vec<InstId>,
+    frames: Vec<Frame>,
+}
+
+impl<'a> Tracer<'a> {
+    fn run_main(&mut self) -> Result<(), Stop> {
+        let main = self
+            .program
+            .function("main")
+            .expect("checked programs have main");
+        self.frames.push(Frame {
+            func: "main".to_string(),
+            ..Frame::default()
+        });
+        match self.exec_block(&main.body)? {
+            Flow::Normal | Flow::Return(..) => Ok(()),
+            Flow::Break | Flow::Continue => {
+                unreachable!("checker rejects break/continue outside loops")
+            }
+        }
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("at least one frame")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("at least one frame")
+    }
+
+    /// Records an event, assigning its timestamp, region parent, and call
+    /// depth. Fails when the step budget is exhausted.
+    fn record(&mut self, mut ev: Event) -> Result<InstId, Stop> {
+        if self.events.len() as u64 >= self.budget {
+            return Err(Stop::Budget);
+        }
+        ev.call_depth = (self.frames.len() - 1) as u32;
+        ev.region_parent = self.region_stack.last().copied();
+        let id = InstId(self.events.len() as u32);
+        self.events.push(ev);
+        Ok(id)
+    }
+
+    /// Dynamic control-dependence parent for a statement about to execute:
+    /// the most recent instance in this frame of a static CD parent whose
+    /// branch outcome matches, falling back to the parent inherited from
+    /// the call site for statements at the top level of their function.
+    fn cd_of(&self, stmt: StmtId) -> Option<InstId> {
+        let frame = self.frame();
+        let mut best: Option<InstId> = None;
+        for cp in self.analysis.cd_parents(stmt) {
+            if let Some(&(inst, outcome)) = frame.preds.get(&cp.pred) {
+                if outcome == cp.branch {
+                    best = Some(best.map_or(inst, |b| b.max(inst)));
+                }
+            }
+        }
+        best.or(frame.inherited_cd)
+    }
+
+    /// Applies a pending value override if this is the chosen instance
+    /// of the chosen statement; counts occurrences of that statement.
+    fn maybe_override(&mut self, stmt: StmtId, computed: Value) -> (Value, bool) {
+        let Some(o) = self.value_override else {
+            return (computed, false);
+        };
+        if o.stmt != stmt || self.overridden.is_some() {
+            return (computed, false);
+        }
+        let c = self.occ.entry(stmt).or_insert(0);
+        let occurrence = *c;
+        *c += 1;
+        if occurrence == o.occurrence {
+            (o.value, true)
+        } else {
+            (computed, false)
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<VarId, Stop> {
+        self.analysis
+            .index()
+            .vars()
+            .resolve(&self.frame().func, name)
+            .ok_or_else(|| Stop::Runtime(format!("unknown variable `{name}`")))
+    }
+
+    fn read_var(&self, name: &str) -> EvalResult {
+        let var = self.resolve(name)?;
+        if let Some(cell) = self.frame().locals.get(&var) {
+            let value = cell
+                .value
+                .ok_or_else(|| Stop::Runtime(format!("`{name}` used before initialization")))?;
+            return Ok((value, cell.defs.clone()));
+        }
+        match self.globals.get(var) {
+            Some(Slot::Scalar(cell)) => {
+                let value = cell
+                    .value
+                    .expect("global scalars are initialized at declaration");
+                Ok((value, cell.defs.clone()))
+            }
+            Some(Slot::Array(_)) => Err(Stop::Runtime(format!("array `{name}` used as a scalar"))),
+            None => Err(Stop::Runtime(format!(
+                "`{name}` used before initialization"
+            ))),
+        }
+    }
+
+    fn write_scalar(&mut self, name: &str, cell: Cell) -> Result<VarId, Stop> {
+        let var = self.resolve(name)?;
+        if self.analysis.index().vars().is_global(var) {
+            match self.globals.get_mut(var) {
+                Some(Slot::Scalar(c)) => {
+                    *c = cell;
+                    Ok(var)
+                }
+                Some(Slot::Array(_)) => {
+                    Err(Stop::Runtime(format!("cannot assign whole array `{name}`")))
+                }
+                None => unreachable!("globals are initialized at startup"),
+            }
+        } else {
+            self.frame_mut().locals.insert(var, cell);
+            Ok(var)
+        }
+    }
+
+    fn array_index(&self, name: &str, index: i64) -> Result<(VarId, usize), Stop> {
+        let var = self.resolve(name)?;
+        let Some(Slot::Array(cells)) = self.globals.get(var) else {
+            return Err(Stop::Runtime(format!("`{name}` is not an array")));
+        };
+        if index < 0 || index as usize >= cells.len() {
+            return Err(Stop::Runtime(format!(
+                "index {index} out of bounds for `{name}` (len {})",
+                cells.len()
+            )));
+        }
+        Ok((var, index as usize))
+    }
+
+    // --- expression evaluation ---------------------------------------
+
+    fn eval(&mut self, expr: &Expr) -> EvalResult {
+        match &expr.kind {
+            ExprKind::Int(n) => Ok((Value::Int(*n), Vec::new())),
+            ExprKind::Bool(b) => Ok((Value::Bool(*b), Vec::new())),
+            ExprKind::Var(name) => self.read_var(name),
+            ExprKind::Load { name, index } => {
+                let (iv, mut deps) = self.eval(index)?;
+                let idx = int_operand(iv, "array index")?;
+                let (var, i) = self.array_index(name, idx)?;
+                let Some(Slot::Array(cells)) = self.globals.get(var) else {
+                    unreachable!("array_index verified the slot");
+                };
+                let cell = &cells[i];
+                deps.extend(cell.defs.iter().copied());
+                Ok((cell.value.expect("array cells are initialized"), deps))
+            }
+            ExprKind::Call { callee, args } => self.eval_call(callee, args),
+            ExprKind::Input => {
+                let v = self.inputs.get(self.input_pos).copied().unwrap_or(0);
+                self.input_pos += 1;
+                Ok((Value::Int(v), Vec::new()))
+            }
+            ExprKind::Unary { op, operand } => {
+                let (v, deps) = self.eval(operand)?;
+                Ok((apply_unary(*op, v)?, deps))
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let (l, mut deps) = self.eval(lhs)?;
+                let (r, rdeps) = self.eval(rhs)?;
+                deps.extend(rdeps);
+                Ok((apply_binary(*op, l, r)?, deps))
+            }
+        }
+    }
+
+    fn eval_args(&mut self, args: &[Expr]) -> Result<Vec<(Value, Vec<InstId>)>, Stop> {
+        args.iter().map(|a| self.eval(a)).collect()
+    }
+
+    fn eval_call(&mut self, callee: &str, args: &[Expr]) -> EvalResult {
+        let evaluated = self.eval_args(args)?;
+        self.call_function(callee, evaluated)
+    }
+
+    fn call_function(&mut self, callee: &str, args: Vec<(Value, Vec<InstId>)>) -> EvalResult {
+        if self.frames.len() >= MAX_CALL_DEPTH {
+            return Err(Stop::Runtime(format!(
+                "call depth limit ({MAX_CALL_DEPTH}) exceeded calling `{callee}`"
+            )));
+        }
+        let decl = self
+            .program
+            .function(callee)
+            .expect("checker verified the callee exists");
+        let mut frame = Frame {
+            func: callee.to_string(),
+            inherited_cd: self.region_stack.last().copied(),
+            ..Frame::default()
+        };
+        for (param, (value, deps)) in decl.params.iter().zip(args) {
+            let var = self
+                .analysis
+                .index()
+                .vars()
+                .resolve(callee, param)
+                .expect("parameters are in the table");
+            frame.locals.insert(var, Cell::new(value, deps));
+        }
+        self.frames.push(frame);
+        let flow = self.exec_block(&decl.body);
+        self.frames.pop();
+        match flow? {
+            Flow::Return(v, deps) => Ok((v, deps)),
+            Flow::Normal => Ok((Value::Int(0), Vec::new())),
+            Flow::Break | Flow::Continue => {
+                unreachable!("checker rejects break/continue outside loops")
+            }
+        }
+    }
+
+    // --- statement execution -----------------------------------------
+
+    fn exec_block(&mut self, block: &Block) -> ExecResult {
+        for stmt in &block.stmts {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> ExecResult {
+        match self.exec_stmt_inner(stmt) {
+            Err(Stop::Runtime(msg)) if !msg.contains(" in S") => Err(Stop::Runtime(format!(
+                "{msg} in {} `{}`",
+                stmt.id,
+                omislice_lang::printer::stmt_head(stmt)
+            ))),
+            other => other,
+        }
+    }
+
+    fn exec_stmt_inner(&mut self, stmt: &Stmt) -> ExecResult {
+        let cd = self.cd_of(stmt.id);
+        match &stmt.kind {
+            StmtKind::Let { name, expr } | StmtKind::Assign { name, expr } => {
+                let (computed, deps) = self.eval(expr)?;
+                let (v, overridden_here) = self.maybe_override(stmt.id, computed);
+                let mut ev = Event::new(stmt.id);
+                ev.value = Some(v);
+                ev.data_deps = dedup(deps);
+                ev.cd_parent = cd;
+                let inst_placeholder = self.record(ev)?;
+                if overridden_here {
+                    self.overridden = Some(inst_placeholder);
+                }
+                let var = self.write_scalar(name, Cell::new(v, vec![inst_placeholder]))?;
+                self.events[inst_placeholder.index()].def_var = Some(var);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Store { name, index, value } => {
+                let (iv, ideps) = self.eval(index)?;
+                let idx = int_operand(iv, "array index")?;
+                let (v, vdeps) = self.eval(value)?;
+                let (var, i) = self.array_index(name, idx)?;
+                let mut ev = Event::new(stmt.id);
+                ev.value = Some(v);
+                ev.data_deps = dedup(ideps.into_iter().chain(vdeps).collect());
+                ev.cd_parent = cd;
+                ev.def_var = Some(var);
+                ev.cell_index = Some(idx);
+                let inst = self.record(ev)?;
+                let Some(Slot::Array(cells)) = self.globals.get_mut(var) else {
+                    unreachable!("array_index verified the slot");
+                };
+                cells[i] = Cell::new(v, vec![inst]);
+                Ok(Flow::Normal)
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let (outcome, inst) = self.eval_predicate(stmt.id, cond, cd)?;
+                self.region_stack.push(inst);
+                let flow = if outcome {
+                    self.exec_block(then_blk)
+                } else if let Some(e) = else_blk {
+                    self.exec_block(e)
+                } else {
+                    Ok(Flow::Normal)
+                };
+                self.region_stack.pop();
+                flow
+            }
+            StmtKind::While { cond, body } => {
+                let mut pushed = false;
+                let result = loop {
+                    let cd_now = self.cd_of(stmt.id);
+                    let step = self.eval_predicate(stmt.id, cond, cd_now);
+                    let (outcome, inst) = match step {
+                        Ok(x) => x,
+                        Err(e) => break Err(e),
+                    };
+                    if !outcome {
+                        break Ok(Flow::Normal);
+                    }
+                    // Chain iterations: this instance's region replaces the
+                    // previous iteration's on the stack; the *recording*
+                    // above already nested it under the previous instance.
+                    if pushed {
+                        self.region_stack.pop();
+                    }
+                    self.region_stack.push(inst);
+                    pushed = true;
+                    match self.exec_block(body) {
+                        Ok(Flow::Normal) | Ok(Flow::Continue) => continue,
+                        Ok(Flow::Break) => break Ok(Flow::Normal),
+                        Ok(ret @ Flow::Return(..)) => break Ok(ret),
+                        Err(e) => break Err(e),
+                    }
+                };
+                if pushed {
+                    self.region_stack.pop();
+                }
+                result
+            }
+            StmtKind::Break => {
+                let mut ev = Event::new(stmt.id);
+                ev.cd_parent = cd;
+                self.record(ev)?;
+                Ok(Flow::Break)
+            }
+            StmtKind::Continue => {
+                let mut ev = Event::new(stmt.id);
+                ev.cd_parent = cd;
+                self.record(ev)?;
+                Ok(Flow::Continue)
+            }
+            StmtKind::Return(expr) => {
+                let (value, deps) = match expr {
+                    Some(e) => {
+                        let (v, deps) = self.eval(e)?;
+                        (Some(v), deps)
+                    }
+                    None => (None, Vec::new()),
+                };
+                let mut ev = Event::new(stmt.id);
+                ev.value = value;
+                ev.data_deps = dedup(deps);
+                ev.cd_parent = cd;
+                if value.is_some() {
+                    ev.def_var = self.analysis.index().vars().ret_slot(&self.frame().func);
+                }
+                let inst = self.record(ev)?;
+                match value {
+                    Some(v) => Ok(Flow::Return(v, vec![inst])),
+                    None => Ok(Flow::Return(Value::Int(0), Vec::new())),
+                }
+            }
+            StmtKind::Print(expr) => {
+                let (v, deps) = self.eval(expr)?;
+                let mut ev = Event::new(stmt.id);
+                ev.value = Some(v);
+                ev.data_deps = dedup(deps);
+                ev.cd_parent = cd;
+                let inst = self.record(ev)?;
+                self.outputs.push(OutputRecord { inst, value: v });
+                Ok(Flow::Normal)
+            }
+            StmtKind::CallStmt { callee, args } => {
+                let evaluated = self.eval_args(args)?;
+                let mut ev = Event::new(stmt.id);
+                ev.data_deps = dedup(
+                    evaluated
+                        .iter()
+                        .flat_map(|(_, d)| d.iter().copied())
+                        .collect(),
+                );
+                ev.cd_parent = cd;
+                let inst = self.record(ev)?;
+                // The call statement is the conduit for its arguments:
+                // parameters are defined by the call instance, keeping the
+                // uses of the argument variables (and their potential
+                // dependences) inside the slice. Calls in expressions
+                // cannot do this (their statement's event is recorded
+                // after the callee runs), so there the argument sources
+                // flow into the parameters directly.
+                let through_call: Vec<(Value, Vec<InstId>)> = evaluated
+                    .into_iter()
+                    .map(|(v, _)| (v, vec![inst]))
+                    .collect();
+                self.call_function(callee, through_call)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Evaluates a predicate, applies a pending switch if this is the
+    /// chosen instance, records the event, and registers the outcome in
+    /// the frame's predicate map.
+    fn eval_predicate(
+        &mut self,
+        stmt: StmtId,
+        cond: &Expr,
+        cd: Option<InstId>,
+    ) -> Result<(bool, InstId), Stop> {
+        let (v, deps) = self.eval(cond)?;
+        let mut outcome = v.truthy();
+        // 0-based occurrence index of this predicate instance; every
+        // `while` iteration re-enters here and counts separately.
+        let occurrence = {
+            let c = self.occ.entry(stmt).or_insert(0);
+            let occurrence = *c;
+            *c += 1;
+            occurrence
+        };
+        let is_switch_target = self.switch.is_some_and(|s| {
+            s.pred == stmt && s.occurrence == occurrence && self.switched.is_none()
+        });
+        if is_switch_target {
+            outcome = !outcome;
+        }
+        let mut ev = Event::new(stmt);
+        ev.value = Some(Value::Bool(outcome));
+        ev.branch = Some(outcome);
+        ev.data_deps = dedup(deps);
+        ev.cd_parent = cd;
+        let inst = self.record(ev)?;
+        if is_switch_target {
+            self.switched = Some(inst);
+        }
+        self.frame_mut().preds.insert(stmt, (inst, outcome));
+        Ok((outcome, inst))
+    }
+}
+
+fn dedup(deps: Vec<InstId>) -> Vec<InstId> {
+    let mut seen = std::collections::HashSet::new();
+    deps.into_iter().filter(|d| seen.insert(*d)).collect()
+}
+
+fn int_operand(v: Value, what: &str) -> Result<i64, Stop> {
+    v.as_int()
+        .ok_or_else(|| Stop::Runtime(format!("{what} must be an integer, got `{v}`")))
+}
+
+fn apply_unary(op: UnOp, v: Value) -> Result<Value, Stop> {
+    match (op, v) {
+        (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
+        (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        _ => Err(Stop::Runtime(format!("invalid operand `{v}` for `{op}`"))),
+    }
+}
+
+fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
+    use BinOp::*;
+    let type_err = || Stop::Runtime(format!("invalid operands `{l}` {op} `{r}`"));
+    match op {
+        Add | Sub | Mul | Div | Rem => {
+            let (Value::Int(a), Value::Int(b)) = (l, r) else {
+                return Err(type_err());
+            };
+            let out = match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(Stop::Runtime("division by zero".to_string()));
+                    }
+                    a.wrapping_div(b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(Stop::Runtime("remainder by zero".to_string()));
+                    }
+                    a.wrapping_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(out))
+        }
+        Lt | Le | Gt | Ge => {
+            let (Value::Int(a), Value::Int(b)) = (l, r) else {
+                return Err(type_err());
+            };
+            let out = match op {
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(out))
+        }
+        Eq | Ne => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Bool((a == b) == (op == Eq))),
+            (Value::Bool(a), Value::Bool(b)) => Ok(Value::Bool((a == b) == (op == Eq))),
+            _ => Err(type_err()),
+        },
+        And | Or => {
+            let (Value::Bool(a), Value::Bool(b)) = (l, r) else {
+                return Err(type_err());
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Abstract syntax tree for the mini-language.
+//!
+//! Every statement carries a [`StmtId`] assigned in source order by the
+//! parser. Statement identity is the backbone of the whole system: dynamic
+//! traces, dependence graphs, slices, and predicate switches all refer to
+//! statements by id, and fault seeding in the corpus preserves ids so that
+//! faulty and fixed versions of a program can be aligned.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Stable identifier of a statement, assigned in source order from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl StmtId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// A whole program: globals and functions, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Total number of statements; all [`StmtId`]s are `< stmt_count`.
+    stmt_count: u32,
+}
+
+impl Program {
+    /// Creates a program from items, declaring how many statement ids the
+    /// parser allocated.
+    ///
+    /// Library users normally obtain programs via
+    /// [`parse_program`](crate::parse_program) rather than this constructor.
+    pub fn new(items: Vec<Item>, stmt_count: u32) -> Self {
+        Program { items, stmt_count }
+    }
+
+    /// Number of statements in the program (ids are dense `0..stmt_count`).
+    pub fn stmt_count(&self) -> u32 {
+        self.stmt_count
+    }
+
+    /// Iterates over the function declarations in source order.
+    pub fn functions(&self) -> impl Iterator<Item = &FnDecl> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Fn(f) => Some(f),
+            Item::Global(_) => None,
+        })
+    }
+
+    /// Iterates over the global declarations in source order.
+    pub fn globals(&self) -> impl Iterator<Item = &Global> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Global(g) => Some(g),
+            Item::Fn(_) => None,
+        })
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&FnDecl> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// Finds the statement with the given id, if present.
+    ///
+    /// This walks the tree; callers that need repeated lookups should build
+    /// a [`ProgramIndex`](crate::index::ProgramIndex) instead.
+    pub fn stmt(&self, id: StmtId) -> Option<&Stmt> {
+        let mut out = None;
+        self.visit_stmts(&mut |s| {
+            if s.id == id && out.is_none() {
+                out = Some(s);
+            }
+        });
+        out
+    }
+
+    /// Visits every statement in the program in source order.
+    pub fn visit_stmts<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        for item in &self.items {
+            if let Item::Fn(func) = item {
+                visit_block(&func.body, f);
+            }
+        }
+    }
+}
+
+fn visit_block<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                visit_block(then_blk, f);
+                if let Some(e) = else_blk {
+                    visit_block(e, f);
+                }
+            }
+            StmtKind::While { body, .. } => visit_block(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// A top-level item: a global variable or a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A global variable declaration.
+    Global(Global),
+    /// A function declaration.
+    Fn(FnDecl),
+}
+
+/// A global variable declaration, e.g. `global g = 0;` or
+/// `global buf = [0; 64];`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Initial value.
+    pub init: GlobalInit,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+/// Initializer forms allowed for globals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// An integer scalar, e.g. `global g = 3;`.
+    Int(i64),
+    /// A boolean scalar, e.g. `global flag = false;`.
+    Bool(bool),
+    /// A fixed-size integer array, e.g. `global a = [0; 16];`.
+    Array {
+        /// Value every element starts with.
+        elem: i64,
+        /// Number of elements.
+        len: usize,
+    },
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDecl {
+    /// Function name (unique per program after checking).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// A brace-delimited sequence of statements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement with its stable id and source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Stable, dense, source-ordered identifier.
+    pub id: StmtId,
+    /// Source location.
+    pub span: Span,
+    /// What the statement does.
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    /// Whether this statement is a predicate (an `if` or `while` condition),
+    /// i.e. a candidate for predicate switching.
+    pub fn is_predicate(&self) -> bool {
+        matches!(self.kind, StmtKind::If { .. } | StmtKind::While { .. })
+    }
+}
+
+/// The statement forms of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let x = e;` — declares and defines a local.
+    Let {
+        /// Variable being introduced.
+        name: String,
+        /// Initializing expression.
+        expr: Expr,
+    },
+    /// `x = e;` — assigns a local, parameter, or global scalar.
+    Assign {
+        /// Variable being assigned.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `a[i] = e;` — stores into an array element.
+    Store {
+        /// Array variable.
+        name: String,
+        /// Element index expression.
+        index: Expr,
+        /// Stored value expression.
+        value: Expr,
+    },
+    /// `if c { ... } else { ... }`.
+    If {
+        /// Branch condition; this statement is the predicate.
+        cond: Expr,
+        /// Taken when the condition is true.
+        then_blk: Block,
+        /// Taken when the condition is false, if present.
+        else_blk: Option<Block>,
+    },
+    /// `while c { ... }`.
+    While {
+        /// Loop condition; this statement is the predicate.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// `print(e);` — emits an observable output value.
+    Print(Expr),
+    /// `f(a, b);` — a call evaluated for its effects.
+    CallStmt {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// What the expression computes.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Collects the names of all variables read by this expression
+    /// (including array names for element loads), in evaluation order.
+    pub fn used_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_used_vars(&mut out);
+        out
+    }
+
+    fn collect_used_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Input => {}
+            ExprKind::Var(name) => out.push(name),
+            ExprKind::Load { name, index } => {
+                out.push(name);
+                index.collect_used_vars(out);
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    a.collect_used_vars(out);
+                }
+            }
+            ExprKind::Unary { operand, .. } => operand.collect_used_vars(out),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.collect_used_vars(out);
+                rhs.collect_used_vars(out);
+            }
+        }
+    }
+
+    /// Collects the callee names of all calls inside this expression.
+    pub fn called_fns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_called(&mut out);
+        out
+    }
+
+    fn collect_called<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.kind {
+            ExprKind::Call { callee, args } => {
+                out.push(callee);
+                for a in args {
+                    a.collect_called(out);
+                }
+            }
+            ExprKind::Load { index, .. } => index.collect_called(out),
+            ExprKind::Unary { operand, .. } => operand.collect_called(out),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.collect_called(out);
+                rhs.collect_called(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether this expression (transitively) reads the test input stream.
+    pub fn reads_input(&self) -> bool {
+        match &self.kind {
+            ExprKind::Input => true,
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) => false,
+            ExprKind::Load { index, .. } => index.reads_input(),
+            ExprKind::Call { args, .. } => args.iter().any(Expr::reads_input),
+            ExprKind::Unary { operand, .. } => operand.reads_input(),
+            ExprKind::Binary { lhs, rhs, .. } => lhs.reads_input() || rhs.reads_input(),
+        }
+    }
+}
+
+/// The expression forms of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable read.
+    Var(String),
+    /// Array element load `a[i]`.
+    Load {
+        /// Array variable.
+        name: String,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
+    /// Function call used as a value.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `input()` — reads the next integer from the test input stream.
+    Input,
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation. `&&`/`||` evaluate both operands (no
+    /// short-circuit), so they introduce no control dependence.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Boolean negation `!e`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime error)
+    Div,
+    /// `%` (remainder; by zero is a runtime error)
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (non-short-circuit)
+    And,
+    /// `||` (non-short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// Whether the value of `lhs op rhs` determines `lhs` uniquely when
+    /// `rhs` is held fixed (and symmetrically for the other operand).
+    ///
+    /// This is the *invertibility* notion used by confidence analysis
+    /// (Zhang et al., PLDI 2006; Figure 4 of the PLDI 2007 paper): a
+    /// one-to-one mapping lets confidence in an output propagate back to
+    /// the inputs, while many-to-one mappings (`%`, `/`, comparisons, ...)
+    /// do not.
+    pub fn is_invertible(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub)
+    }
+
+    /// Whether this operator produces a boolean.
+    pub fn is_boolean(self) -> bool {
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn stmt_ids_are_dense_and_source_ordered() {
+        let p = parse_program(
+            "fn main() { let a = 1; if a > 0 { print(a); } else { print(0); } while a < 3 { a = a + 1; } }",
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        p.visit_stmts(&mut |s| seen.push(s.id.0));
+        assert_eq!(seen, (0..p.stmt_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stmt_lookup_finds_nested_statements() {
+        let p = parse_program("fn main() { if true { print(1); } }").unwrap();
+        let inner = p.stmt(StmtId(1)).unwrap();
+        assert!(matches!(inner.kind, StmtKind::Print(_)));
+        assert!(p.stmt(StmtId(99)).is_none());
+    }
+
+    #[test]
+    fn used_vars_in_evaluation_order() {
+        let p = parse_program("fn main() { let x = a[i] + f(b, c) - d; }").unwrap();
+        let stmt = p.stmt(StmtId(0)).unwrap();
+        let StmtKind::Let { expr, .. } = &stmt.kind else {
+            panic!("expected let");
+        };
+        assert_eq!(expr.used_vars(), vec!["a", "i", "b", "c", "d"]);
+        assert_eq!(expr.called_fns(), vec!["f"]);
+    }
+
+    #[test]
+    fn reads_input_detection() {
+        let p = parse_program("fn main() { let x = 1 + input(); let y = 2; }").unwrap();
+        let get = |id: u32| {
+            let s = p.stmt(StmtId(id)).unwrap();
+            match &s.kind {
+                StmtKind::Let { expr, .. } => expr.reads_input(),
+                _ => panic!(),
+            }
+        };
+        assert!(get(0));
+        assert!(!get(1));
+    }
+
+    #[test]
+    fn predicate_classification() {
+        let p = parse_program("fn main() { if true { } while false { } print(1); }").unwrap();
+        assert!(p.stmt(StmtId(0)).unwrap().is_predicate());
+        assert!(p.stmt(StmtId(1)).unwrap().is_predicate());
+        assert!(!p.stmt(StmtId(2)).unwrap().is_predicate());
+    }
+
+    #[test]
+    fn invertibility_of_operators() {
+        assert!(BinOp::Add.is_invertible());
+        assert!(BinOp::Sub.is_invertible());
+        assert!(!BinOp::Rem.is_invertible());
+        assert!(!BinOp::Div.is_invertible());
+        assert!(!BinOp::Eq.is_invertible());
+    }
+
+    #[test]
+    fn function_and_global_accessors() {
+        let p =
+            parse_program("global g = 5; global a = [0; 4]; fn main() { } fn aux() { }").unwrap();
+        assert_eq!(p.functions().count(), 2);
+        assert_eq!(p.globals().count(), 2);
+        assert!(p.function("aux").is_some());
+        assert!(p.function("nope").is_none());
+    }
+
+    #[test]
+    fn stmt_id_display() {
+        assert_eq!(StmtId(7).to_string(), "S7");
+    }
+}

@@ -1,0 +1,296 @@
+//! Semantic validation of parsed programs.
+//!
+//! Checks everything the parser cannot: existence and arity of callees,
+//! existence of `main`, duplicate function/global/parameter names, and
+//! `break`/`continue` placement. After [`check_program`] succeeds, the
+//! interpreter and static analyses may assume these invariants.
+
+use crate::ast::*;
+use crate::span::Span;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Location of the offending construct ([`Span::DUMMY`] for
+    /// program-level errors such as a missing `main`).
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn err(span: Span, message: String) -> CheckError {
+    CheckError { span, message }
+}
+
+/// Validates a parsed program.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] found:
+/// * no `main` function, or `main` takes parameters;
+/// * duplicate function, global, or parameter names;
+/// * calls to unknown functions or with the wrong number of arguments
+///   (including calls to `main` itself, which is reserved as the entry);
+/// * `break`/`continue` outside a loop.
+pub fn check_program(program: &Program) -> Result<(), CheckError> {
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for f in program.functions() {
+        if arities.insert(&f.name, f.params.len()).is_some() {
+            return Err(err(f.span, format!("duplicate function `{}`", f.name)));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &f.params {
+            if !seen.insert(p.as_str()) {
+                return Err(err(
+                    f.span,
+                    format!("duplicate parameter `{p}` in function `{}`", f.name),
+                ));
+            }
+        }
+    }
+
+    let mut globals = std::collections::HashSet::new();
+    for g in program.globals() {
+        if !globals.insert(g.name.as_str()) {
+            return Err(err(g.span, format!("duplicate global `{}`", g.name)));
+        }
+        if arities.contains_key(g.name.as_str()) {
+            return Err(err(
+                g.span,
+                format!("global `{}` shares its name with a function", g.name),
+            ));
+        }
+    }
+
+    match arities.get("main") {
+        None => {
+            return Err(err(
+                Span::DUMMY,
+                "program has no `main` function".to_string(),
+            ))
+        }
+        Some(&n) if n != 0 => {
+            return Err(err(
+                program.function("main").expect("main exists").span,
+                "`main` must take no parameters".to_string(),
+            ))
+        }
+        Some(_) => {}
+    }
+
+    for f in program.functions() {
+        check_block(&f.body, &arities, 0)?;
+    }
+    Ok(())
+}
+
+fn check_block(
+    block: &Block,
+    arities: &HashMap<&str, usize>,
+    loop_depth: u32,
+) -> Result<(), CheckError> {
+    for stmt in &block.stmts {
+        check_stmt(stmt, arities, loop_depth)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(
+    stmt: &Stmt,
+    arities: &HashMap<&str, usize>,
+    loop_depth: u32,
+) -> Result<(), CheckError> {
+    match &stmt.kind {
+        StmtKind::Let { expr, .. } | StmtKind::Assign { expr, .. } | StmtKind::Print(expr) => {
+            check_expr(expr, arities)
+        }
+        StmtKind::Store { index, value, .. } => {
+            check_expr(index, arities)?;
+            check_expr(value, arities)
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            check_expr(cond, arities)?;
+            check_block(then_blk, arities, loop_depth)?;
+            if let Some(e) = else_blk {
+                check_block(e, arities, loop_depth)?;
+            }
+            Ok(())
+        }
+        StmtKind::While { cond, body } => {
+            check_expr(cond, arities)?;
+            check_block(body, arities, loop_depth + 1)
+        }
+        StmtKind::Break => {
+            if loop_depth == 0 {
+                Err(err(stmt.span, "`break` outside of a loop".to_string()))
+            } else {
+                Ok(())
+            }
+        }
+        StmtKind::Continue => {
+            if loop_depth == 0 {
+                Err(err(stmt.span, "`continue` outside of a loop".to_string()))
+            } else {
+                Ok(())
+            }
+        }
+        StmtKind::Return(expr) => expr.as_ref().map_or(Ok(()), |e| check_expr(e, arities)),
+        StmtKind::CallStmt { callee, args } => {
+            check_call(callee, args.len(), stmt.span, arities)?;
+            for a in args {
+                check_expr(a, arities)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_expr(expr: &Expr, arities: &HashMap<&str, usize>) -> Result<(), CheckError> {
+    match &expr.kind {
+        ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) | ExprKind::Input => Ok(()),
+        ExprKind::Load { index, .. } => check_expr(index, arities),
+        ExprKind::Call { callee, args } => {
+            check_call(callee, args.len(), expr.span, arities)?;
+            for a in args {
+                check_expr(a, arities)?;
+            }
+            Ok(())
+        }
+        ExprKind::Unary { operand, .. } => check_expr(operand, arities),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            check_expr(lhs, arities)?;
+            check_expr(rhs, arities)
+        }
+    }
+}
+
+fn check_call(
+    callee: &str,
+    argc: usize,
+    span: Span,
+    arities: &HashMap<&str, usize>,
+) -> Result<(), CheckError> {
+    if callee == "main" {
+        return Err(err(span, "`main` cannot be called".to_string()));
+    }
+    match arities.get(callee) {
+        None => Err(err(span, format!("call to unknown function `{callee}`"))),
+        Some(&n) if n != argc => Err(err(
+            span,
+            format!("function `{callee}` takes {n} argument(s), {argc} supplied"),
+        )),
+        Some(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn check(src: &str) -> Result<(), CheckError> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        check("global g = 0; fn f(x) { return x; } fn main() { g = f(1); print(g); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = check("fn f() { }").unwrap_err();
+        assert!(e.message.contains("no `main`"));
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        let e = check("fn main(x) { }").unwrap_err();
+        assert!(e.message.contains("no parameters"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let e = check("fn f() { } fn f() { } fn main() { }").unwrap_err();
+        assert!(e.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_duplicate_global() {
+        let e = check("global g = 1; global g = 2; fn main() { }").unwrap_err();
+        assert!(e.message.contains("duplicate global"));
+    }
+
+    #[test]
+    fn rejects_global_function_name_clash() {
+        let e = check("global f = 1; fn f() { } fn main() { }").unwrap_err();
+        assert!(e.message.contains("shares its name"));
+    }
+
+    #[test]
+    fn rejects_duplicate_parameter() {
+        let e = check("fn f(a, a) { } fn main() { }").unwrap_err();
+        assert!(e.message.contains("duplicate parameter"));
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let e = check("fn main() { nosuch(); }").unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let e = check("fn f(a) { } fn main() { f(1, 2); }").unwrap_err();
+        assert!(e.message.contains("takes 1 argument"));
+    }
+
+    #[test]
+    fn rejects_arity_error_in_expression() {
+        let e = check("fn f(a) { return a; } fn main() { let x = 1 + f(); }").unwrap_err();
+        assert!(e.message.contains("takes 1 argument"));
+    }
+
+    #[test]
+    fn rejects_calling_main() {
+        let e = check("fn main() { main(); }").unwrap_err();
+        assert!(e.message.contains("cannot be called"));
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check("fn main() { break; }").unwrap_err();
+        assert!(e.message.contains("`break` outside"));
+    }
+
+    #[test]
+    fn rejects_continue_in_if_outside_loop() {
+        let e = check("fn main() { if true { continue; } }").unwrap_err();
+        assert!(e.message.contains("`continue` outside"));
+    }
+
+    #[test]
+    fn accepts_break_in_nested_if_inside_loop() {
+        check("fn main() { while true { if true { break; } } }").unwrap();
+    }
+
+    #[test]
+    fn break_scope_does_not_leak_out_of_loop() {
+        let e = check("fn main() { while true { } break; }").unwrap_err();
+        assert!(e.message.contains("`break` outside"));
+    }
+}

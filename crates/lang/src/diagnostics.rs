@@ -1,0 +1,92 @@
+//! Human-readable diagnostics: render an error message against its
+//! source location with a caret line, the way compilers do.
+
+use crate::span::{SourceMap, Span};
+use std::fmt::Write as _;
+
+/// Renders `message` anchored at `span` within `source`:
+///
+/// ```text
+/// error: expected `;`, found `}` at 3:14
+///   |
+/// 3 |     let x = 1 }
+///   |               ^
+/// ```
+///
+/// Spans that fall outside the source (e.g. [`Span::DUMMY`] on
+/// program-level errors) render the message alone.
+pub fn render_diagnostic(source: &str, span: Span, message: &str) -> String {
+    let map = SourceMap::new(source);
+    let pos = map.line_col(span.lo);
+    let Some(line_text) = source.lines().nth(pos.line as usize - 1) else {
+        return format!("error: {message}\n");
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "error: {message} at {pos}");
+    let gutter = pos.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {line_text}");
+    let caret_col = pos.col as usize - 1;
+    let width = (span.len().max(1)).min(line_text.len().saturating_sub(caret_col).max(1));
+    let _ = writeln!(
+        out,
+        "{pad} | {}{}",
+        " ".repeat(caret_col),
+        "^".repeat(width)
+    );
+    out
+}
+
+/// Renders a [`FrontendError`](crate::FrontendError) against its source.
+pub fn render_frontend_error(source: &str, error: &crate::FrontendError) -> String {
+    match error {
+        crate::FrontendError::Parse(e) => render_diagnostic(source, e.span, &e.message),
+        crate::FrontendError::Check(e) => render_diagnostic(source, e.span, &e.message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn caret_points_at_the_offending_token() {
+        let src = "fn main() {\n    let x = 1 }\n";
+        let err = compile(src).unwrap_err();
+        let rendered = render_frontend_error(src, &err);
+        assert!(rendered.contains("error: expected `;`"), "{rendered}");
+        assert!(rendered.contains("2 |     let x = 1 }"), "{rendered}");
+        // The caret column lines up with the closing brace's column.
+        let mut lines = rendered.lines().rev();
+        let caret_line = lines.next().unwrap();
+        let source_line = lines.next().unwrap();
+        assert_eq!(caret_line.find('^'), source_line.find('}'), "{rendered}");
+    }
+
+    #[test]
+    fn multi_byte_spans_get_wide_carets() {
+        let src = "fn main() { nosuch(); }";
+        let err = compile(src).unwrap_err();
+        let rendered = render_frontend_error(src, &err);
+        assert!(rendered.contains("unknown function"), "{rendered}");
+        assert!(rendered.contains("^^^"), "span-wide caret: {rendered}");
+    }
+
+    #[test]
+    fn dummy_span_renders_message_only() {
+        let src = "fn helper() { }";
+        let err = compile(src).unwrap_err(); // no main: DUMMY span
+        let rendered = render_frontend_error(src, &err);
+        assert!(rendered.contains("no `main`"));
+    }
+
+    #[test]
+    fn first_line_errors_render() {
+        let rendered = render_diagnostic("bad", crate::span::Span::new(0, 3), "boom");
+        assert!(rendered.contains("error: boom at 1:1"));
+        assert!(rendered.contains("1 | bad"));
+        assert!(rendered.contains("^^^"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Hand-written lexer for the mini-language.
+//!
+//! Whitespace and `//` line comments are skipped. Every other byte must
+//! begin a token, or lexing fails with a [`LexError`].
+
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// An error encountered while tokenizing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Location of the offending input.
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `source`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unknown characters, bare `&`/`|`, or integer
+/// literals that do not fit in `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use omislice_lang::lexer::tokenize;
+/// use omislice_lang::token::TokenKind;
+///
+/// let tokens = tokenize("let x = 41 + 1;").unwrap();
+/// assert_eq!(tokens.first().map(|t| t.kind.clone()), Some(TokenKind::Let));
+/// assert_eq!(tokens.last().map(|t| t.kind.clone()), Some(TokenKind::Eof));
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'src> {
+    bytes: &'src [u8],
+    pos: usize,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            bytes: source.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let lo = self.pos as u32;
+            let Some(&b) = self.bytes.get(self.pos) else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(lo, lo),
+                });
+                return Ok(tokens);
+            };
+            let kind = self.scan_token(b)?;
+            tokens.push(Token {
+                kind,
+                span: Span::new(lo, self.pos as u32),
+            });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn scan_token(&mut self, first: u8) -> Result<TokenKind, LexError> {
+        let lo = self.pos as u32;
+        match first {
+            b'0'..=b'9' => self.scan_int(),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Ok(self.scan_word()),
+            _ => {
+                self.pos += 1;
+                let two = |l: &Self, second: u8| l.bytes.get(l.pos) == Some(&second);
+                let kind = match first {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semi,
+                    b',' => TokenKind::Comma,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'*' => TokenKind::Star,
+                    b'/' => TokenKind::Slash,
+                    b'%' => TokenKind::Percent,
+                    b'=' if two(self, b'=') => {
+                        self.pos += 1;
+                        TokenKind::EqEq
+                    }
+                    b'=' => TokenKind::Eq,
+                    b'<' if two(self, b'=') => {
+                        self.pos += 1;
+                        TokenKind::Le
+                    }
+                    b'<' => TokenKind::Lt,
+                    b'>' if two(self, b'=') => {
+                        self.pos += 1;
+                        TokenKind::Ge
+                    }
+                    b'>' => TokenKind::Gt,
+                    b'!' if two(self, b'=') => {
+                        self.pos += 1;
+                        TokenKind::Ne
+                    }
+                    b'!' => TokenKind::Bang,
+                    b'&' if two(self, b'&') => {
+                        self.pos += 1;
+                        TokenKind::AndAnd
+                    }
+                    b'|' if two(self, b'|') => {
+                        self.pos += 1;
+                        TokenKind::OrOr
+                    }
+                    other => {
+                        return Err(LexError {
+                            span: Span::new(lo, self.pos as u32),
+                            message: format!("unexpected character `{}`", other as char),
+                        })
+                    }
+                };
+                Ok(kind)
+            }
+        }
+    }
+
+    fn scan_int(&mut self) -> Result<TokenKind, LexError> {
+        let lo = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[lo..self.pos]).expect("digits are ascii");
+        text.parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| LexError {
+                span: Span::new(lo as u32, self.pos as u32),
+                message: format!("integer literal `{text}` does not fit in i64"),
+            })
+    }
+
+    fn scan_word(&mut self) -> TokenKind {
+        let lo = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[lo..self.pos]).expect("word bytes are ascii");
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_empty_input() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo while whilex"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::While,
+                TokenKind::Ident("whilex".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= >= == != && || < > = !"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Bang,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_adjacent_operators_greedily() {
+        // `===` is `==` then `=`.
+        assert_eq!(
+            kinds("==="),
+            vec![TokenKind::EqEq, TokenKind::Eq, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(
+            kinds("1 // two three\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+        assert_eq!(kinds("// only comment"), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn comment_then_slash_token() {
+        assert_eq!(
+            kinds("6 / 2"),
+            vec![
+                TokenKind::Int(6),
+                TokenKind::Slash,
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = tokenize("let x = #;").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.lo, 8);
+    }
+
+    #[test]
+    fn rejects_bare_ampersand() {
+        assert!(tokenize("a & b").is_err());
+        assert!(tokenize("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_integer() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("does not fit"));
+    }
+
+    #[test]
+    fn max_i64_literal_is_accepted() {
+        assert_eq!(
+            kinds("9223372036854775807"),
+            vec![TokenKind::Int(i64::MAX), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let tokens = tokenize("ab + 12").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 4));
+        assert_eq!(tokens[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn underscore_identifiers() {
+        assert_eq!(
+            kinds("_a a_b_1"),
+            vec![
+                TokenKind::Ident("_a".into()),
+                TokenKind::Ident("a_b_1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

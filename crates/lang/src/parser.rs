@@ -1,0 +1,748 @@
+//! Recursive-descent parser with Pratt expression parsing.
+//!
+//! The parser assigns each statement a dense [`StmtId`] in source order.
+//! `else if` chains are desugared into nested `if` statements inside an
+//! `else` block, each with its own id, so control-dependence analysis sees
+//! one predicate per `if`.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// A syntax error: where it happened and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Location of the offending token.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            span: e.span,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a complete program from source text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on the first syntax error. Semantic issues
+/// (unknown callees, `break` outside a loop, ...) are *not* detected here;
+/// run [`check_program`](crate::check_program) or use
+/// [`compile`](crate::compile).
+///
+/// # Examples
+///
+/// ```
+/// let p = omislice_lang::parse_program("fn main() { print(1 + 2 * 3); }")?;
+/// assert_eq!(p.stmt_count(), 1);
+/// # Ok::<(), omislice_lang::ParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser {
+        tokens,
+        pos: 0,
+        next_stmt_id: 0,
+    }
+    .program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_stmt_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek2_kind(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error_here(&format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek_kind().describe()
+            )))
+        }
+    }
+
+    fn error_here(&self, message: &str) -> ParseError {
+        ParseError {
+            span: self.peek().span,
+            message: message.to_string(),
+        }
+    }
+
+    fn fresh_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt_id);
+        self.next_stmt_id += 1;
+        id
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            other => {
+                Err(self.error_here(&format!("expected identifier, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::Eof) {
+            match self.peek_kind() {
+                TokenKind::Global => items.push(Item::Global(self.global()?)),
+                TokenKind::Fn => items.push(Item::Fn(self.function()?)),
+                other => {
+                    return Err(self.error_here(&format!(
+                        "expected `fn` or `global` at top level, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        Ok(Program::new(items, self.next_stmt_id))
+    }
+
+    fn global(&mut self) -> Result<Global, ParseError> {
+        let start = self.expect(&TokenKind::Global)?.span;
+        let (name, _) = self.ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let init = match self.peek_kind().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                GlobalInit::Int(n)
+            }
+            TokenKind::Minus => {
+                self.bump();
+                match self.peek_kind().clone() {
+                    TokenKind::Int(n) => {
+                        self.bump();
+                        GlobalInit::Int(-n)
+                    }
+                    other => {
+                        return Err(self.error_here(&format!(
+                            "expected integer after `-` in global initializer, found {}",
+                            other.describe()
+                        )))
+                    }
+                }
+            }
+            TokenKind::True => {
+                self.bump();
+                GlobalInit::Bool(true)
+            }
+            TokenKind::False => {
+                self.bump();
+                GlobalInit::Bool(false)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let elem = match self.peek_kind().clone() {
+                    TokenKind::Int(n) => {
+                        self.bump();
+                        n
+                    }
+                    other => {
+                        return Err(self.error_here(&format!(
+                            "expected integer element initializer, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::Semi)?;
+                let len = match self.peek_kind().clone() {
+                    TokenKind::Int(n) if n >= 0 => {
+                        self.bump();
+                        n as usize
+                    }
+                    other => {
+                        return Err(self.error_here(&format!(
+                            "expected non-negative array length, found {}",
+                            other.describe()
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::RBracket)?;
+                GlobalInit::Array { elem, len }
+            }
+            other => {
+                return Err(self.error_here(&format!(
+                    "expected literal global initializer, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(Global {
+            name,
+            init,
+            span: start.to(end),
+        })
+    }
+
+    fn function(&mut self) -> Result<FnDecl, ParseError> {
+        let start = self.expect(&TokenKind::Fn)?.span;
+        let (name, _) = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek_kind(), TokenKind::RParen) {
+            loop {
+                let (p, _) = self.ident()?;
+                params.push(p);
+                if matches!(self.peek_kind(), TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let header_end = self.expect(&TokenKind::RParen)?.span;
+        let body = self.block()?;
+        Ok(FnDecl {
+            name,
+            params,
+            body,
+            span: start.to(header_end),
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek_kind(), TokenKind::RBrace) {
+            if matches!(self.peek_kind(), TokenKind::Eof) {
+                return Err(self.error_here("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Let => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                let (name, _) = self.ident()?;
+                self.expect(&TokenKind::Eq)?;
+                let expr = self.expr()?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    id,
+                    span: start.to(end),
+                    kind: StmtKind::Let { name, expr },
+                })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt {
+                    id,
+                    span: start.to(cond.span),
+                    kind: StmtKind::While { cond, body },
+                })
+            }
+            TokenKind::Break => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    id,
+                    span: start.to(end),
+                    kind: StmtKind::Break,
+                })
+            }
+            TokenKind::Continue => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    id,
+                    span: start.to(end),
+                    kind: StmtKind::Continue,
+                })
+            }
+            TokenKind::Return => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                let expr = if matches!(self.peek_kind(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    id,
+                    span: start.to(end),
+                    kind: StmtKind::Return(expr),
+                })
+            }
+            TokenKind::Print => {
+                let id = self.fresh_stmt_id();
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen)?;
+                let expr = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let end = self.expect(&TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    id,
+                    span: start.to(end),
+                    kind: StmtKind::Print(expr),
+                })
+            }
+            TokenKind::Ident(name) => {
+                let id = self.fresh_stmt_id();
+                let start = self.peek().span;
+                match self.peek2_kind().clone() {
+                    TokenKind::Eq => {
+                        self.bump(); // ident
+                        self.bump(); // =
+                        let expr = self.expr()?;
+                        let end = self.expect(&TokenKind::Semi)?.span;
+                        Ok(Stmt {
+                            id,
+                            span: start.to(end),
+                            kind: StmtKind::Assign { name, expr },
+                        })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump(); // ident
+                        self.bump(); // [
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        self.expect(&TokenKind::Eq)?;
+                        let value = self.expr()?;
+                        let end = self.expect(&TokenKind::Semi)?.span;
+                        Ok(Stmt {
+                            id,
+                            span: start.to(end),
+                            kind: StmtKind::Store { name, index, value },
+                        })
+                    }
+                    TokenKind::LParen => {
+                        self.bump(); // ident
+                        self.bump(); // (
+                        let mut args = Vec::new();
+                        if !matches!(self.peek_kind(), TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if matches!(self.peek_kind(), TokenKind::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        let end = self.expect(&TokenKind::Semi)?.span;
+                        Ok(Stmt {
+                            id,
+                            span: start.to(end),
+                            kind: StmtKind::CallStmt { callee: name, args },
+                        })
+                    }
+                    other => Err(ParseError {
+                        span: self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].span,
+                        message: format!(
+                            "expected `=`, `[`, or `(` after identifier in statement, found {}",
+                            other.describe()
+                        ),
+                    }),
+                }
+            }
+            other => {
+                Err(self.error_here(&format!("expected statement, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let id = self.fresh_stmt_id();
+        let start = self.expect(&TokenKind::If)?.span;
+        let cond = self.expr()?;
+        let then_blk = self.block()?;
+        let else_blk = if matches!(self.peek_kind(), TokenKind::Else) {
+            self.bump();
+            if matches!(self.peek_kind(), TokenKind::If) {
+                // Desugar `else if` into `else { if ... }`.
+                let nested = self.if_stmt()?;
+                Some(Block {
+                    stmts: vec![nested],
+                })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            id,
+            span: start.to(cond.span),
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+        })
+    }
+
+    // --- Pratt expression parser -------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        while let Some((op, l_bp, r_bp)) = binary_binding(self.peek_kind()) {
+            if l_bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(r_bp)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(n) => {
+                let span = self.bump().span;
+                Ok(Expr::new(ExprKind::Int(n), span))
+            }
+            TokenKind::True => {
+                let span = self.bump().span;
+                Ok(Expr::new(ExprKind::Bool(true), span))
+            }
+            TokenKind::False => {
+                let span = self.bump().span;
+                Ok(Expr::new(ExprKind::Bool(false), span))
+            }
+            TokenKind::Input => {
+                let start = self.bump().span;
+                self.expect(&TokenKind::LParen)?;
+                let end = self.expect(&TokenKind::RParen)?.span;
+                Ok(Expr::new(ExprKind::Input, start.to(end)))
+            }
+            TokenKind::Minus => {
+                let start = self.bump().span;
+                let operand = self.expr_bp(UNARY_BP)?;
+                let span = start.to(operand.span);
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Neg,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::Bang => {
+                let start = self.bump().span;
+                let operand = self.expr_bp(UNARY_BP)?;
+                let span = start.to(operand.span);
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnOp::Not,
+                        operand: Box::new(operand),
+                    },
+                    span,
+                ))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let start = self.bump().span;
+                match self.peek_kind() {
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        let end = self.expect(&TokenKind::RBracket)?.span;
+                        Ok(Expr::new(
+                            ExprKind::Load {
+                                name,
+                                index: Box::new(index),
+                            },
+                            start.to(end),
+                        ))
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek_kind(), TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if matches!(self.peek_kind(), TokenKind::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        let end = self.expect(&TokenKind::RParen)?.span;
+                        Ok(Expr::new(
+                            ExprKind::Call { callee: name, args },
+                            start.to(end),
+                        ))
+                    }
+                    _ => Ok(Expr::new(ExprKind::Var(name), start)),
+                }
+            }
+            other => {
+                Err(self.error_here(&format!("expected expression, found {}", other.describe())))
+            }
+        }
+    }
+}
+
+/// Binding power for unary operators; binds tighter than any binary op.
+const UNARY_BP: u8 = 11;
+
+/// Returns `(op, left_bp, right_bp)` for binary operator tokens.
+fn binary_binding(kind: &TokenKind) -> Option<(BinOp, u8, u8)> {
+    Some(match kind {
+        TokenKind::OrOr => (BinOp::Or, 1, 2),
+        TokenKind::AndAnd => (BinOp::And, 3, 4),
+        TokenKind::EqEq => (BinOp::Eq, 5, 6),
+        TokenKind::Ne => (BinOp::Ne, 5, 6),
+        TokenKind::Lt => (BinOp::Lt, 5, 6),
+        TokenKind::Le => (BinOp::Le, 5, 6),
+        TokenKind::Gt => (BinOp::Gt, 5, 6),
+        TokenKind::Ge => (BinOp::Ge, 5, 6),
+        TokenKind::Plus => (BinOp::Add, 7, 8),
+        TokenKind::Minus => (BinOp::Sub, 7, 8),
+        TokenKind::Star => (BinOp::Mul, 9, 10),
+        TokenKind::Slash => (BinOp::Div, 9, 10),
+        TokenKind::Percent => (BinOp::Rem, 9, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr_of(src: &str) -> Expr {
+        let p = parse_program(&format!("fn main() {{ let x = {src}; }}")).unwrap();
+        let StmtKind::Let { expr, .. } = &p.stmt(StmtId(0)).unwrap().kind else {
+            panic!("expected let");
+        };
+        expr.clone()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr_of("1 + 2 * 3");
+        let ExprKind::Binary { op, rhs, .. } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let e = expr_of("a < b && c > d");
+        let ExprKind::Binary { op, .. } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::And);
+    }
+
+    #[test]
+    fn left_associativity() {
+        let e = expr_of("10 - 3 - 2");
+        let ExprKind::Binary { op, lhs, .. } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Sub);
+        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Sub, .. }));
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = expr_of("(1 + 2) * 3");
+        let ExprKind::Binary { op, lhs, .. } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Mul);
+        assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_binary() {
+        let e = expr_of("-a + b");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+        let e = expr_of("!a && b");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn nested_unary() {
+        let e = expr_of("--3");
+        let ExprKind::Unary { op, operand } = &e.kind else {
+            panic!()
+        };
+        assert_eq!(*op, UnOp::Neg);
+        assert!(matches!(operand.kind, ExprKind::Unary { .. }));
+    }
+
+    #[test]
+    fn array_load_and_store() {
+        let p = parse_program("fn main() { a[i + 1] = a[i]; }").unwrap();
+        let s = p.stmt(StmtId(0)).unwrap();
+        assert!(matches!(s.kind, StmtKind::Store { .. }));
+    }
+
+    #[test]
+    fn call_statement_and_expression() {
+        let p = parse_program("fn main() { f(1, 2); let x = g() + h(3); }").unwrap();
+        assert!(matches!(
+            p.stmt(StmtId(0)).unwrap().kind,
+            StmtKind::CallStmt { .. }
+        ));
+    }
+
+    #[test]
+    fn else_if_desugars_to_nested_if() {
+        let p = parse_program(
+            "fn main() { if a { print(1); } else if b { print(2); } else { print(3); } }",
+        )
+        .unwrap();
+        let StmtKind::If { else_blk, .. } = &p.stmt(StmtId(0)).unwrap().kind else {
+            panic!()
+        };
+        let else_blk = else_blk.as_ref().unwrap();
+        assert_eq!(else_blk.stmts.len(), 1);
+        assert!(matches!(else_blk.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let p = parse_program("fn main() { while true { break; continue; } }").unwrap();
+        assert_eq!(p.stmt_count(), 3);
+    }
+
+    #[test]
+    fn return_with_and_without_value() {
+        let p = parse_program("fn f() { return; } fn g() { return 1; } fn main() { }").unwrap();
+        assert!(matches!(
+            p.stmt(StmtId(0)).unwrap().kind,
+            StmtKind::Return(None)
+        ));
+        assert!(matches!(
+            p.stmt(StmtId(1)).unwrap().kind,
+            StmtKind::Return(Some(_))
+        ));
+    }
+
+    #[test]
+    fn negative_global_initializer() {
+        let p = parse_program("global g = -7; fn main() { }").unwrap();
+        let g = p.globals().next().unwrap();
+        assert_eq!(g.init, GlobalInit::Int(-7));
+    }
+
+    #[test]
+    fn error_on_missing_semi() {
+        let err = parse_program("fn main() { let x = 1 }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_unclosed_block() {
+        let err = parse_program("fn main() { let x = 1;").unwrap_err();
+        assert!(err.message.contains("end of input"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_garbage_at_top_level() {
+        let err = parse_program("let x = 1;").unwrap_err();
+        assert!(err.message.contains("top level"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_bad_statement_head() {
+        let err = parse_program("fn main() { x + 1; }").unwrap_err();
+        assert!(err.message.contains("after identifier"), "{}", err.message);
+    }
+
+    #[test]
+    fn input_expression() {
+        let e = expr_of("input() + 1");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let mut src = String::from("fn main() { ");
+        for _ in 0..40 {
+            src.push_str("if true { ");
+        }
+        src.push_str("print(1);");
+        for _ in 0..40 {
+            src.push('}');
+        }
+        src.push('}');
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.stmt_count(), 41);
+    }
+}

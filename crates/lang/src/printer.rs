@@ -1,0 +1,200 @@
+//! Pretty-printer: renders an AST back to parseable source text.
+//!
+//! The printer is used by the CLI and debugging reports, and its output is
+//! guaranteed to re-parse to a structurally identical program (verified by
+//! a property test in the crate's test suite). Statement ids are assigned
+//! in source order, so the round trip also preserves every [`StmtId`]
+//! (ids are positional, and printing preserves statement order).
+//!
+//! [`StmtId`]: crate::ast::StmtId
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as source text.
+///
+/// # Examples
+///
+/// ```
+/// let p = omislice_lang::parse_program("fn main(){print(1);}")?;
+/// let text = omislice_lang::printer::print_program(&p);
+/// assert!(text.contains("print(1);"));
+/// # Ok::<(), omislice_lang::ParseError>(())
+/// ```
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for item in &program.items {
+        match item {
+            Item::Global(g) => {
+                let init = match &g.init {
+                    GlobalInit::Int(n) => n.to_string(),
+                    GlobalInit::Bool(b) => b.to_string(),
+                    GlobalInit::Array { elem, len } => format!("[{elem}; {len}]"),
+                };
+                let _ = writeln!(out, "global {} = {};", g.name, init);
+            }
+            Item::Fn(f) => {
+                let _ = writeln!(out, "fn {}({}) {{", f.name, f.params.join(", "));
+                print_block_inner(&mut out, &f.body, 1);
+                out.push_str("}\n");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a single statement (without trailing newline), as used in
+/// debugging reports. Nested blocks are included.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt_inner(&mut out, stmt, 0);
+    out.trim_end().to_string()
+}
+
+/// Renders just the head of a statement — the part on its first line —
+/// e.g. `if x > 0` for a conditional, without its nested blocks. This is
+/// the form used in slice listings.
+pub fn stmt_head(stmt: &Stmt) -> String {
+    match &stmt.kind {
+        StmtKind::Let { name, expr } => format!("let {} = {};", name, print_expr(expr)),
+        StmtKind::Assign { name, expr } => format!("{} = {};", name, print_expr(expr)),
+        StmtKind::Store { name, index, value } => {
+            format!("{}[{}] = {};", name, print_expr(index), print_expr(value))
+        }
+        StmtKind::If { cond, .. } => format!("if {}", print_expr(cond)),
+        StmtKind::While { cond, .. } => format!("while {}", print_expr(cond)),
+        StmtKind::Break => "break;".to_string(),
+        StmtKind::Continue => "continue;".to_string(),
+        StmtKind::Return(None) => "return;".to_string(),
+        StmtKind::Return(Some(e)) => format!("return {};", print_expr(e)),
+        StmtKind::Print(e) => format!("print({});", print_expr(e)),
+        StmtKind::CallStmt { callee, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({});", callee, args.join(", "))
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_block_inner(out: &mut String, block: &Block, depth: usize) {
+    for stmt in &block.stmts {
+        print_stmt_inner(out, stmt, depth);
+    }
+}
+
+fn print_stmt_inner(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match &stmt.kind {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let _ = writeln!(out, "if {} {{", print_expr(cond));
+            print_block_inner(out, then_blk, depth + 1);
+            indent(out, depth);
+            match else_blk {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_block_inner(out, e, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while {} {{", print_expr(cond));
+            print_block_inner(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        _ => {
+            let _ = writeln!(out, "{}", stmt_head(stmt));
+        }
+    }
+}
+
+/// Renders an expression with explicit parentheses around every binary and
+/// unary operation, so precedence never changes on re-parse.
+pub fn print_expr(expr: &Expr) -> String {
+    match &expr.kind {
+        ExprKind::Int(n) => n.to_string(),
+        ExprKind::Bool(b) => b.to_string(),
+        ExprKind::Var(name) => name.clone(),
+        ExprKind::Load { name, index } => format!("{}[{}]", name, print_expr(index)),
+        ExprKind::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{}({})", callee, args.join(", "))
+        }
+        ExprKind::Input => "input()".to_string(),
+        ExprKind::Unary { op, operand } => format!("({}{})", op, print_expr(operand)),
+        ExprKind::Binary { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op, print_expr(rhs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
+        // Compare structure ignoring spans by printing again.
+        assert_eq!(printed, print_program(&p2));
+        assert_eq!(p1.stmt_count(), p2.stmt_count());
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("fn main() { let x = 1 + 2 * 3; print(x); }");
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            "fn main() { let i = 0; while i < 10 { if i % 2 == 0 { print(i); } else { continue; } i = i + 1; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrip_globals_and_calls() {
+        roundtrip(
+            "global g = -3; global a = [0; 8]; fn f(x, y) { return x + y; } fn main() { a[0] = f(g, 1); print(a[0]); }",
+        );
+    }
+
+    #[test]
+    fn expr_parenthesization_preserves_shape() {
+        let p = parse_program("fn main() { let x = 1 + 2 * 3; }").unwrap();
+        let crate::ast::StmtKind::Let { expr, .. } = &p.stmt(crate::ast::StmtId(0)).unwrap().kind
+        else {
+            panic!()
+        };
+        assert_eq!(print_expr(expr), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn stmt_head_for_predicates_omits_body() {
+        let p = parse_program("fn main() { if x > 0 { print(1); } }").unwrap();
+        let head = stmt_head(p.stmt(crate::ast::StmtId(0)).unwrap());
+        assert_eq!(head, "if (x > 0)");
+    }
+
+    #[test]
+    fn print_stmt_includes_nested_blocks() {
+        let p = parse_program("fn main() { if x { print(1); } }").unwrap();
+        let text = print_stmt(p.stmt(crate::ast::StmtId(0)).unwrap());
+        assert!(text.contains("print(1);"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source string.
+///
+/// Spans are attached to tokens, expressions, and statements so that
+/// diagnostics and debugging reports can point back at the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Inclusive start offset in bytes.
+    pub lo: u32,
+    /// Exclusive end offset in bytes.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "span start {lo} past end {hi}");
+        Span { lo, hi }
+    }
+
+    /// A zero-length span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Extracts the spanned slice of `source`.
+    ///
+    /// Returns an empty string if the span is out of bounds, which makes
+    /// it safe to use on spans from a different (e.g. edited) source.
+    pub fn snippet(self, source: &str) -> &str {
+        source.get(self.lo as usize..self.hi as usize).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// 1-based line/column position resolved from a [`Span`] via a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets back to line/column positions for one source file.
+///
+/// # Examples
+///
+/// ```
+/// use omislice_lang::span::{SourceMap, Span};
+///
+/// let map = SourceMap::new("ab\ncd");
+/// let pos = map.line_col(3);
+/// assert_eq!((pos.line, pos.col), (2, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offset of the start of each line (always contains 0).
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Builds a source map by scanning `source` for newlines.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: source.len() as u32,
+        }
+    }
+
+    /// Number of lines in the source (at least 1, even for empty input).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Resolves a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the source resolve to the final position.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Resolves the start of a span to a line/column pair.
+    pub fn span_start(&self, span: Span) -> LineCol {
+        self.line_col(span.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_to_merges() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn span_new_rejects_inverted() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let src = "hello world";
+        assert_eq!(Span::new(6, 11).snippet(src), "world");
+        assert_eq!(Span::new(100, 100).snippet(src), "");
+    }
+
+    #[test]
+    fn line_col_first_line() {
+        let map = SourceMap::new("abc\ndef\n");
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(map.line_col(2), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn line_col_later_lines() {
+        let map = SourceMap::new("abc\ndef\nghi");
+        assert_eq!(map.line_col(4), LineCol { line: 2, col: 1 });
+        assert_eq!(map.line_col(8), LineCol { line: 3, col: 1 });
+        assert_eq!(map.line_col(10), LineCol { line: 3, col: 3 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let map = SourceMap::new("ab");
+        assert_eq!(map.line_col(99), LineCol { line: 1, col: 3 });
+    }
+
+    #[test]
+    fn empty_source_has_one_line() {
+        let map = SourceMap::new("");
+        assert_eq!(map.line_count(), 1);
+        assert_eq!(map.line_col(0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn line_col_at_newline_boundary() {
+        let map = SourceMap::new("a\nb");
+        // Offset 1 is the newline itself: still line 1.
+        assert_eq!(map.line_col(1), LineCol { line: 1, col: 2 });
+        // Offset 2 is 'b': line 2.
+        assert_eq!(map.line_col(2), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Span::new(1, 4).to_string(), "1..4");
+        assert_eq!(LineCol { line: 3, col: 7 }.to_string(), "3:7");
+    }
+}

@@ -1,0 +1,209 @@
+//! Token definitions for the mini-language lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token: a kind plus the source span it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Source bytes the token covers.
+    pub span: Span,
+}
+
+/// The kinds of token the lexer produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (decimal, non-negative; negation is a unary operator).
+    Int(i64),
+    /// Identifier or a name that is not a keyword.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `global`
+    Global,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `print`
+    Print,
+    /// `input`
+    Input,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "fn" => TokenKind::Fn,
+            "global" => TokenKind::Global,
+            "let" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "return" => TokenKind::Return,
+            "print" => TokenKind::Print,
+            "input" => TokenKind::Input,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.literal_text()),
+        }
+    }
+
+    /// The literal source text for fixed tokens (keywords and punctuation).
+    ///
+    /// For `Int`, `Ident`, and `Eof` this returns a placeholder; use
+    /// [`TokenKind::describe`] for diagnostics.
+    pub fn literal_text(&self) -> &'static str {
+        match self {
+            TokenKind::Fn => "fn",
+            TokenKind::Global => "global",
+            TokenKind::Let => "let",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::Return => "return",
+            TokenKind::Print => "print",
+            TokenKind::Input => "input",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Eq => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Int(_) => "<int>",
+            TokenKind::Ident(_) => "<ident>",
+            TokenKind::Eof => "<eof>",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("fnord"), None);
+        assert_eq!(TokenKind::keyword("input"), Some(TokenKind::Input));
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_kinds() {
+        let kinds = [
+            TokenKind::Int(3),
+            TokenKind::Ident("x".into()),
+            TokenKind::Fn,
+            TokenKind::AndAnd,
+            TokenKind::Eof,
+        ];
+        for k in kinds {
+            assert!(!k.describe().is_empty());
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

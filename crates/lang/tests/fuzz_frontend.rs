@@ -1,0 +1,109 @@
+//! Robustness properties of the frontend: the lexer and parser must never
+//! panic, on any input — they either succeed or return a structured error
+//! — and everything they accept must survive a print/re-parse round trip.
+
+use omislice_lang::lexer::tokenize;
+use omislice_lang::printer::print_program;
+use omislice_lang::{compile, parse_program, render_diagnostic};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = tokenize(&input);
+    }
+
+    #[test]
+    fn lexer_handles_token_soup(input in prop::collection::vec(
+        prop_oneof![
+            Just("fn "), Just("while "), Just("if "), Just("else "),
+            Just("let "), Just("input"), Just("print"), Just("("), Just(")"),
+            Just("{"), Just("}"), Just("["), Just("]"), Just(";"), Just(","),
+            Just("=="), Just("="), Just("<="), Just("<"), Just("&&"),
+            Just("||"), Just("!"), Just("+"), Just("-"), Just("%"),
+            Just("x"), Just("y9"), Just("0"), Just("42"), Just("// c\n"),
+        ],
+        0..64,
+    )) {
+        let text: String = input.concat();
+        // Token soup is always lexable (every fragment is a valid token
+        // or comment), though rarely parseable.
+        prop_assert!(tokenize(&text).is_ok(), "lexer rejected: {text}");
+        let _ = parse_program(&text);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_program(&input);
+        let _ = compile(&input);
+    }
+
+    #[test]
+    fn diagnostics_never_panic(input in ".*") {
+        if let Err(e) = compile(&input) {
+            let rendered = omislice_lang::render_frontend_error(&input, &e);
+            prop_assert!(rendered.starts_with("error:"));
+        }
+    }
+
+    #[test]
+    fn diagnostic_rendering_handles_arbitrary_spans(
+        input in ".{0,40}",
+        lo in 0u32..64,
+        len in 0u32..16,
+    ) {
+        let rendered = render_diagnostic(
+            &input,
+            omislice_lang::Span::new(lo, lo + len),
+            "synthetic",
+        );
+        prop_assert!(rendered.contains("synthetic"));
+    }
+
+    #[test]
+    fn accepted_programs_roundtrip(body in prop::collection::vec(
+        prop_oneof![
+            Just("let a = 1;"),
+            Just("print(a);"),
+            Just("if a < 2 { print(a); }"),
+            Just("while a < 3 { a = a + 1; }"),
+            Just("a = a * 2 % 5;"),
+        ],
+        0..12,
+    )) {
+        let src = format!("fn main() {{ let a = 0; {} }}", body.concat());
+        let p1 = compile(&src).expect("template is valid");
+        let printed = print_program(&p1);
+        let p2 = compile(&printed).expect("printed output re-parses");
+        prop_assert_eq!(p1.stmt_count(), p2.stmt_count());
+        prop_assert_eq!(printed.clone(), print_program(&p2), "printing is a fixpoint");
+    }
+}
+
+#[test]
+fn pathological_but_valid_inputs() {
+    // Deep parentheses nest within the parser's recursion comfort zone.
+    let deep = format!(
+        "fn main() {{ let x = {}1{}; }}",
+        "(".repeat(200),
+        ")".repeat(200)
+    );
+    assert!(compile(&deep).is_ok());
+    // A very long straight-line function.
+    let mut long = String::from("fn main() { let a = 0; ");
+    for _ in 0..5_000 {
+        long.push_str("a = a + 1; ");
+    }
+    long.push('}');
+    let p = compile(&long).unwrap();
+    assert_eq!(p.stmt_count(), 5_001);
+}
+
+#[test]
+fn null_bytes_and_unicode_are_rejected_gracefully() {
+    for bad in ["fn main() { \u{0} }", "fn main() { é }", "日本語"] {
+        assert!(compile(bad).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Simulated-user oracles.
+//!
+//! Algorithm 2 is interactive: the programmer supplies which outputs are
+//! correct, the expected value `v_exp` at the failure point, judgements
+//! about presented statement instances ("benign" / "corrupted"), and
+//! recognizes the root cause when shown. The paper's evaluation automates
+//! the programmer with ground truth ("statement instances not in OS were
+//! selected ... as being benign"); this module does the same, one level
+//! more honestly: the [`GroundTruthOracle`] runs the *fixed* version of
+//! the program on the same input and answers every query by comparing
+//! values against that reference run.
+
+use omislice_analysis::ProgramAnalysis;
+use omislice_interp::{run_traced, RunConfig};
+use omislice_lang::{Program, StmtId};
+use omislice_trace::{InstId, Trace, Value};
+use std::collections::HashSet;
+
+/// Classification of a failing run's outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputClassification {
+    /// Output instances that match the expected output.
+    pub correct: Vec<InstId>,
+    /// The first wrong output — the slicing criterion `o×`.
+    pub wrong: InstId,
+    /// The expected correct value at `o×` (`v_exp`), when known.
+    pub expected: Option<Value>,
+}
+
+/// The programmer's knowledge, as Algorithm 2 consumes it.
+pub trait UserOracle {
+    /// Splits the failing run's outputs into correct ones and the first
+    /// wrong one. `None` when the run does not expose a wrong output
+    /// value (e.g. output is a strict prefix of the expected output).
+    fn classify_outputs(&self, trace: &Trace) -> Option<OutputClassification>;
+
+    /// Whether the program state produced by `inst` is benign (correct).
+    fn is_benign(&self, trace: &Trace, inst: InstId) -> bool;
+
+    /// Whether `stmt` is (part of) the root cause — the loop-termination
+    /// test of Algorithm 2 ("while the root cause is not found").
+    fn is_root_cause(&self, stmt: StmtId) -> bool;
+}
+
+/// An oracle backed by the fault-free version of the program.
+///
+/// Fault seeding in the corpus preserves statement ids, so instances of
+/// the faulty and fixed runs are compared positionally: the k-th instance
+/// of statement `s` in the faulty run is benign iff the fixed run also
+/// executes `s` at least `k+1` times with the same value.
+#[derive(Debug)]
+pub struct GroundTruthOracle {
+    reference: Trace,
+    roots: HashSet<StmtId>,
+}
+
+impl GroundTruthOracle {
+    /// Runs the fixed program on `config`'s inputs to build the reference.
+    ///
+    /// `roots` are the seeded fault's statement ids in the *faulty*
+    /// program.
+    pub fn new(
+        fixed_program: &Program,
+        fixed_analysis: &ProgramAnalysis,
+        config: &RunConfig,
+        roots: impl IntoIterator<Item = StmtId>,
+    ) -> Self {
+        let plain = RunConfig {
+            inputs: config.inputs.clone(),
+            step_budget: config.step_budget,
+            switch: None,
+            value_override: None,
+        };
+        let reference = run_traced(fixed_program, fixed_analysis, &plain).trace;
+        GroundTruthOracle {
+            reference,
+            roots: roots.into_iter().collect(),
+        }
+    }
+
+    /// The reference (fixed-program) trace.
+    pub fn reference(&self) -> &Trace {
+        &self.reference
+    }
+}
+
+impl UserOracle for GroundTruthOracle {
+    fn classify_outputs(&self, trace: &Trace) -> Option<OutputClassification> {
+        let actual = trace.outputs();
+        let expected = self.reference.outputs();
+        let mut correct = Vec::new();
+        for (i, out) in actual.iter().enumerate() {
+            match expected.get(i) {
+                Some(e) if e.value == out.value => correct.push(out.inst),
+                _ => {
+                    return Some(OutputClassification {
+                        correct,
+                        wrong: out.inst,
+                        expected: expected.get(i).map(|e| e.value),
+                    })
+                }
+            }
+        }
+        None // outputs agree (or are a strict prefix): no wrong value
+    }
+
+    fn is_benign(&self, trace: &Trace, inst: InstId) -> bool {
+        let ev = trace.event(inst);
+        // Value-less instances (calls, break/continue, bare returns) give
+        // the programmer no state to inspect; they are never declared
+        // benign.
+        if ev.value.is_none() {
+            return false;
+        }
+        let k = trace.occurrence_index(inst);
+        match self.reference.nth_instance(ev.stmt, k) {
+            Some(r) => self.reference.event(r).value == ev.value,
+            None => false,
+        }
+    }
+
+    fn is_root_cause(&self, stmt: StmtId) -> bool {
+        self.roots.contains(&stmt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::compile;
+
+    const FIXED: &str = "\
+        global flags = 0;\
+        fn main() {\
+            let save = input();\
+            flags = 1;\
+            if save == 1 { flags = 2; }\
+            print(save);\
+            print(flags);\
+        }";
+
+    /// Faulty version: the first statement drops the input (the seeded
+    /// root cause), so the guard is not taken.
+    const FAULTY: &str = "\
+        global flags = 0;\
+        fn main() {\
+            let save = input() - 1;\
+            flags = 1;\
+            if save == 1 { flags = 2; }\
+            print(save);\
+            print(flags);\
+        }";
+
+    fn runs() -> (Trace, GroundTruthOracle) {
+        let fixed = compile(FIXED).unwrap();
+        let fixed_a = ProgramAnalysis::build(&fixed);
+        let faulty = compile(FAULTY).unwrap();
+        let faulty_a = ProgramAnalysis::build(&faulty);
+        let config = RunConfig::with_inputs(vec![1]);
+        let trace = run_traced(&faulty, &faulty_a, &config).trace;
+        let oracle = GroundTruthOracle::new(&fixed, &fixed_a, &config, [StmtId(0)]);
+        (trace, oracle)
+    }
+
+    #[test]
+    fn classifies_first_divergent_output() {
+        let (trace, oracle) = runs();
+        let c = oracle.classify_outputs(&trace).unwrap();
+        // print(save) (S4; S3 is the assignment inside the guard):
+        // faulty prints 0, expected 1 → first wrong output.
+        assert_eq!(c.correct, Vec::<InstId>::new());
+        assert_eq!(trace.event(c.wrong).stmt, StmtId(4));
+        assert_eq!(c.expected, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn benign_judgement_compares_values() {
+        let (trace, oracle) = runs();
+        // flags = 1 is identical in both runs → benign.
+        let flags1 = trace.instances_of(StmtId(1))[0];
+        assert!(oracle.is_benign(&trace, flags1));
+        // save = input() - 1 computes the wrong value → corrupted.
+        let save = trace.instances_of(StmtId(0))[0];
+        assert!(!oracle.is_benign(&trace, save));
+        // The guard instance: outcome false vs reference true → corrupted.
+        let guard = trace.instances_of(StmtId(2))[0];
+        assert!(!oracle.is_benign(&trace, guard));
+    }
+
+    #[test]
+    fn benign_is_false_for_extra_instances() {
+        // Faulty run executes a loop body more often than the reference.
+        let fixed =
+            compile("fn main() { let i = 0; while i < 1 { i = i + 1; } print(i); }").unwrap();
+        let faulty =
+            compile("fn main() { let i = 0; while i < 3 { i = i + 1; } print(i); }").unwrap();
+        let fixed_a = ProgramAnalysis::build(&fixed);
+        let faulty_a = ProgramAnalysis::build(&faulty);
+        let config = RunConfig::default();
+        let trace = run_traced(&faulty, &faulty_a, &config).trace;
+        let oracle = GroundTruthOracle::new(&fixed, &fixed_a, &config, [StmtId(1)]);
+        let bodies = trace.instances_of(StmtId(2));
+        assert!(oracle.is_benign(&trace, bodies[0]));
+        assert!(!oracle.is_benign(&trace, bodies[1]), "no counterpart");
+    }
+
+    #[test]
+    fn no_classification_when_outputs_agree() {
+        let fixed = compile(FIXED).unwrap();
+        let fixed_a = ProgramAnalysis::build(&fixed);
+        let config = RunConfig::with_inputs(vec![5]); // guard untaken in both
+        let trace = run_traced(&fixed, &fixed_a, &config).trace;
+        let oracle = GroundTruthOracle::new(&fixed, &fixed_a, &config, [StmtId(0)]);
+        assert!(oracle.classify_outputs(&trace).is_none());
+    }
+
+    #[test]
+    fn root_cause_membership() {
+        let (_, oracle) = runs();
+        assert!(oracle.is_root_cause(StmtId(0)));
+        assert!(!oracle.is_root_cause(StmtId(1)));
+        assert!(!oracle.reference().is_empty());
+    }
+}

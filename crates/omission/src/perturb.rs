@@ -1,0 +1,229 @@
+//! Value-perturbation verification — the §5 extension.
+//!
+//! The paper's soundness discussion (Table 5(b)) shows predicate
+//! switching can miss an implicit dependence when *nested* predicates
+//! both branch on the same definition: switching the outer predicate
+//! alone leaves the inner one false, so the skipped code still does not
+//! execute. The proposed remedy — "perturb the value of A instead of the
+//! branch outcome, which is much more expensive because A has an integer
+//! domain while a predicate has a binary domain" — is implemented here:
+//! re-execute once per candidate value with the *definition's* computed
+//! value overridden, align, and observe whether the use is affected.
+//!
+//! Candidate values come from the value profile (the values the
+//! definition actually takes across the test suite, plus boundary
+//! neighbours), keeping the integer domain manageable in practice.
+
+use omislice_align::Aligner;
+use omislice_analysis::ProgramAnalysis;
+use omislice_interp::{run_traced, OverrideSpec, RunConfig};
+use omislice_lang::Program;
+use omislice_slicing::ValueProfile;
+use omislice_trace::{InstId, Trace, Value};
+
+/// Result of a perturbation experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbation {
+    /// Whether any candidate value affected the use.
+    pub affected: bool,
+    /// The first value that affected the use, with the matched instance
+    /// in the perturbed run (`None` in the pair when the use vanished).
+    pub witness: Option<(Value, Option<InstId>)>,
+    /// Values tried, in order.
+    pub tried: Vec<Value>,
+    /// Re-executions performed.
+    pub reexecutions: usize,
+}
+
+/// Candidate values for perturbing `def`: every value the statement took
+/// across the profiled runs plus ±1 neighbours and 0, minus the value the
+/// failing run actually computed.
+pub fn perturbation_candidates(profile: &ValueProfile, trace: &Trace, def: InstId) -> Vec<Value> {
+    let ev = trace.event(def);
+    let original = ev.value;
+    let mut out: Vec<Value> = Vec::new();
+    let mut push = |v: Value| {
+        if Some(v) != original && !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    if let Some(Value::Int(n)) = original {
+        push(Value::Int(n + 1));
+        push(Value::Int(n - 1));
+        push(Value::Int(0));
+    }
+    if let Some(Value::Bool(b)) = original {
+        push(Value::Bool(!b));
+    }
+    // Every value the statement took across the profiled runs.
+    for v in profile.values(ev.stmt) {
+        push(v);
+    }
+    out
+}
+
+/// Tests whether use `u` depends on definition `def` by perturbing the
+/// value `def` computes and observing `u` across aligned re-executions.
+///
+/// The dependence is *exposed* when, for some candidate value, `u` either
+/// has no counterpart in the perturbed run or observes a different value.
+pub fn verify_by_perturbation(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    trace: &Trace,
+    def: InstId,
+    u: InstId,
+    candidates: &[Value],
+) -> Perturbation {
+    let occurrence = trace.occurrence_index(def) as u32;
+    let stmt = trace.event(def).stmt;
+    let mut tried = Vec::new();
+    let mut reexecutions = 0;
+    for &value in candidates {
+        if Some(value) == trace.event(def).value {
+            continue; // no-op perturbation
+        }
+        tried.push(value);
+        let cfg = config.overridden(OverrideSpec::new(stmt, occurrence, value));
+        let run = run_traced(program, analysis, &cfg);
+        reexecutions += 1;
+        let Some(landed) = run.overridden else {
+            continue;
+        };
+        if landed != def || !run.trace.termination().is_normal() {
+            continue; // diverged before the def, or timed out
+        }
+        let aligner = Aligner::new(trace, &run.trace);
+        match aligner.match_inst(def, u) {
+            None => {
+                return Perturbation {
+                    affected: true,
+                    witness: Some((value, None)),
+                    tried,
+                    reexecutions,
+                }
+            }
+            Some(m) => {
+                if run.trace.event(m).value != trace.event(u).value {
+                    return Perturbation {
+                        affected: true,
+                        witness: Some((value, Some(m))),
+                        tried,
+                        reexecutions,
+                    };
+                }
+            }
+        }
+    }
+    Perturbation {
+        affected: false,
+        witness: None,
+        tried,
+        reexecutions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_lang::{compile, StmtId};
+
+    fn setup(src: &str, inputs: Vec<i64>) -> (Program, ProgramAnalysis, RunConfig, Trace) {
+        let program = compile(src).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig::with_inputs(inputs);
+        let trace = run_traced(&program, &analysis, &config).trace;
+        (program, analysis, config, trace)
+    }
+
+    /// Table 5(b)'s shape: nested predicates both branch on `a`, so
+    /// switching the outer one alone cannot execute the inner assignment.
+    const NESTED: &str = "\
+        global a = 0; global x = 0;\
+        fn main() {\
+            a = input();\
+            x = 1;\
+            if a > 10 {\
+                if a > 20 { x = 9; }\
+            }\
+            print(x);\
+        }";
+
+    #[test]
+    fn perturbation_exposes_what_switching_misses() {
+        let (p, an, cfg, t) = setup(NESTED, vec![5]);
+        let def = t.instances_of(StmtId(0))[0]; // a = input()
+        let u = t.outputs()[0].inst;
+
+        // Predicate switching misses the dependence (the documented
+        // unsoundness): switching `a > 10` leaves `a > 20` false.
+        let mut verifier = crate::Verifier::new(&p, &an, &cfg, &t, crate::VerifierMode::Edge);
+        let outer = t.instances_of(StmtId(2))[0];
+        let x = an.index().vars().global("x").unwrap();
+        assert_eq!(
+            verifier.verify(outer, u, x, u, None).verdict,
+            crate::Verdict::NotId
+        );
+
+        // Perturbing `a` to 25 executes both branches and changes x.
+        let result =
+            verify_by_perturbation(&p, &an, &cfg, &t, def, u, &[Value::Int(15), Value::Int(25)]);
+        assert!(result.affected);
+        let (value, matched) = result.witness.unwrap();
+        assert_eq!(value, Value::Int(25));
+        assert!(matched.is_some(), "the print still executes");
+        assert_eq!(result.reexecutions, 2, "15 alone does not reach x = 9");
+    }
+
+    #[test]
+    fn unrelated_definitions_are_not_affected() {
+        let src = "\
+            global x = 0; global y = 0;\
+            fn main() {\
+                x = input();\
+                y = 7;\
+                print(y);\
+            }";
+        let (p, an, cfg, t) = setup(src, vec![3]);
+        let def = t.instances_of(StmtId(0))[0];
+        let u = t.outputs()[0].inst;
+        let result =
+            verify_by_perturbation(&p, &an, &cfg, &t, def, u, &[Value::Int(99), Value::Int(0)]);
+        assert!(!result.affected);
+        assert_eq!(result.reexecutions, 2);
+    }
+
+    #[test]
+    fn candidates_come_from_profile_and_neighbours() {
+        let (p, an, cfg, t) = setup(NESTED, vec![5]);
+        let mut profile = ValueProfile::new();
+        profile.add_trace(&t);
+        for i in [12i64, 25] {
+            let run = run_traced(&p, &an, &RunConfig::with_inputs(vec![i]));
+            profile.add_trace(&run.trace);
+        }
+        let def = t.instances_of(StmtId(0))[0];
+        let candidates = perturbation_candidates(&profile, &t, def);
+        // Neighbours of 5, zero, and the profiled values 12 and 25.
+        for expected in [Value::Int(6), Value::Int(4), Value::Int(0), Value::Int(12)] {
+            assert!(candidates.contains(&expected), "{candidates:?}");
+        }
+        assert!(!candidates.contains(&Value::Int(5)), "original excluded");
+        // And they suffice to expose the dependence end to end.
+        let u = t.outputs()[0].inst;
+        let result = verify_by_perturbation(&p, &an, &cfg, &t, def, u, &candidates);
+        assert!(result.affected);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn perturbing_the_original_value_is_skipped() {
+        let (p, an, cfg, t) = setup(NESTED, vec![5]);
+        let def = t.instances_of(StmtId(0))[0];
+        let u = t.outputs()[0].inst;
+        let result = verify_by_perturbation(&p, &an, &cfg, &t, def, u, &[Value::Int(5)]);
+        assert_eq!(result.reexecutions, 0);
+        assert!(!result.affected);
+    }
+}

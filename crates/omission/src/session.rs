@@ -1,0 +1,267 @@
+//! High-level debugging sessions: compile, run, profile, and locate in a
+//! few lines.
+//!
+//! [`DebugSession`] bundles the full pipeline the paper's prototype
+//! wires together: compile the faulty program, run the test suite to
+//! collect value profiles, execute the failing input under tracing, build
+//! the ground-truth oracle from the fixed version, and expose
+//! [`DebugSession::locate`].
+
+use crate::locate::{locate_fault, LocateConfig, LocateError, LocateOutcome};
+use crate::oracle::GroundTruthOracle;
+use crate::report::render_report;
+use omislice_analysis::{PdMode, ProgramAnalysis};
+use omislice_interp::{run_traced, RunConfig, DEFAULT_STEP_BUDGET};
+use omislice_lang::{compile, FrontendError, Program, StmtId};
+use omislice_slicing::ValueProfile;
+use omislice_trace::Trace;
+use std::fmt;
+
+/// Errors building a session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The faulty program failed to compile.
+    Faulty(FrontendError),
+    /// The reference (fixed) program failed to compile.
+    Reference(FrontendError),
+    /// No reference program was supplied.
+    MissingReference,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Faulty(e) => write!(f, "faulty program: {e}"),
+            SessionError::Reference(e) => write!(f, "reference program: {e}"),
+            SessionError::MissingReference => {
+                write!(f, "a reference (fixed) program is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Builder for a [`DebugSession`].
+#[derive(Debug, Default)]
+pub struct DebugSessionBuilder {
+    faulty_src: String,
+    reference_src: Option<String>,
+    failing_input: Vec<i64>,
+    profile_inputs: Vec<Vec<i64>>,
+    roots: Vec<StmtId>,
+    step_budget: Option<u64>,
+    pd_mode: PdMode,
+}
+
+impl DebugSessionBuilder {
+    /// The fault-free version of the program (required; it powers the
+    /// simulated-user oracle).
+    pub fn reference(mut self, src: &str) -> Self {
+        self.reference_src = Some(src.to_string());
+        self
+    }
+
+    /// The input on which the faulty program fails.
+    pub fn failing_input(mut self, inputs: Vec<i64>) -> Self {
+        self.failing_input = inputs;
+        self
+    }
+
+    /// Additional test inputs used to collect value profiles for
+    /// confidence analysis (the failing input is always included).
+    pub fn profile_inputs(mut self, inputs: impl IntoIterator<Item = Vec<i64>>) -> Self {
+        self.profile_inputs = inputs.into_iter().collect();
+        self
+    }
+
+    /// The statement ids of the seeded fault (loop-termination ground
+    /// truth, as in the paper's evaluation protocol).
+    pub fn root_cause_stmts(mut self, roots: impl IntoIterator<Item = StmtId>) -> Self {
+        self.roots = roots.into_iter().collect();
+        self
+    }
+
+    /// Overrides the step budget for all executions.
+    pub fn step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// Selects how far the static potential-dependence computation
+    /// reaches (default: intraprocedural, as in the evaluation).
+    pub fn pd_mode(mut self, mode: PdMode) -> Self {
+        self.pd_mode = mode;
+        self
+    }
+
+    /// Compiles both programs, runs the failing input and the profiling
+    /// suite, and assembles the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SessionError`] if either program fails to compile or
+    /// no reference was supplied.
+    pub fn build(self) -> Result<DebugSession, SessionError> {
+        let faulty = compile(&self.faulty_src).map_err(SessionError::Faulty)?;
+        let reference_src = self.reference_src.ok_or(SessionError::MissingReference)?;
+        let reference = compile(&reference_src).map_err(SessionError::Reference)?;
+        let analysis = ProgramAnalysis::build_with(&faulty, self.pd_mode);
+        let reference_analysis = ProgramAnalysis::build(&reference);
+        let config = RunConfig {
+            inputs: self.failing_input,
+            step_budget: self.step_budget.unwrap_or(DEFAULT_STEP_BUDGET),
+            switch: None,
+            value_override: None,
+        };
+        let trace = run_traced(&faulty, &analysis, &config).trace;
+        let mut profile = ValueProfile::new();
+        profile.add_trace(&trace);
+        for inputs in &self.profile_inputs {
+            let cfg = RunConfig {
+                inputs: inputs.clone(),
+                step_budget: config.step_budget,
+                switch: None,
+                value_override: None,
+            };
+            profile.add_trace(&run_traced(&faulty, &analysis, &cfg).trace);
+        }
+        let oracle = GroundTruthOracle::new(&reference, &reference_analysis, &config, self.roots);
+        Ok(DebugSession {
+            faulty,
+            analysis,
+            config,
+            trace,
+            profile,
+            oracle,
+        })
+    }
+}
+
+/// A ready-to-run debugging session for one failing execution.
+#[derive(Debug)]
+pub struct DebugSession {
+    faulty: Program,
+    analysis: ProgramAnalysis,
+    config: RunConfig,
+    trace: Trace,
+    profile: ValueProfile,
+    oracle: GroundTruthOracle,
+}
+
+impl DebugSession {
+    /// Starts building a session for the given faulty program source.
+    pub fn builder(faulty_src: &str) -> DebugSessionBuilder {
+        DebugSessionBuilder {
+            faulty_src: faulty_src.to_string(),
+            ..DebugSessionBuilder::default()
+        }
+    }
+
+    /// Runs Algorithm 2 on the failing trace.
+    ///
+    /// # Errors
+    ///
+    /// See [`locate_fault`].
+    pub fn locate(&self, lc: &LocateConfig) -> Result<LocateOutcome, LocateError> {
+        locate_fault(
+            &self.faulty,
+            &self.analysis,
+            &self.config,
+            &self.trace,
+            &self.profile,
+            &self.oracle,
+            lc,
+        )
+    }
+
+    /// Renders a human-readable report for an outcome of this session.
+    pub fn report(&self, outcome: &LocateOutcome) -> String {
+        render_report(outcome, &self.trace, &self.analysis)
+    }
+
+    /// The compiled faulty program.
+    pub fn program(&self) -> &Program {
+        &self.faulty
+    }
+
+    /// The static analysis of the faulty program.
+    pub fn analysis(&self) -> &ProgramAnalysis {
+        &self.analysis
+    }
+
+    /// The failing execution's trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The run configuration of the failing execution.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// The value profile collected over the session's test inputs.
+    pub fn profile(&self) -> &ValueProfile {
+        &self.profile
+    }
+
+    /// The simulated-user oracle.
+    pub fn oracle(&self) -> &GroundTruthOracle {
+        &self.oracle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXED: &str = "global flags = 0;\
+        fn main() { let save = input(); flags = 1;\
+                    if save == 1 { flags = 2; } print(flags); }";
+    const FAULTY: &str = "global flags = 0;\
+        fn main() { let save = input() - 1; flags = 1;\
+                    if save == 1 { flags = 2; } print(flags); }";
+
+    #[test]
+    fn builder_assembles_and_locates() {
+        let session = DebugSession::builder(FAULTY)
+            .reference(FIXED)
+            .failing_input(vec![1])
+            .profile_inputs([vec![0], vec![2], vec![5]])
+            .root_cause_stmts([StmtId(0)])
+            .build()
+            .unwrap();
+        let outcome = session.locate(&LocateConfig::default()).unwrap();
+        assert!(outcome.found);
+        let report = session.report(&outcome);
+        assert!(report.contains("yes"));
+        assert!(session.profile().run_count() >= 4);
+        assert_eq!(session.config().inputs, vec![1]);
+        assert!(!session.trace().is_empty());
+        let _ = (session.program(), session.analysis(), session.oracle());
+    }
+
+    #[test]
+    fn missing_reference_is_an_error() {
+        let err = DebugSession::builder(FAULTY)
+            .failing_input(vec![1])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::MissingReference));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn bad_programs_are_reported_with_provenance() {
+        let err = DebugSession::builder("fn main( {")
+            .reference(FIXED)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Faulty(_)));
+        let err = DebugSession::builder(FAULTY)
+            .reference("nope")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Reference(_)));
+    }
+}

@@ -1,0 +1,550 @@
+//! Implicit-dependence verification — `VerifyDep` of the paper's
+//! Algorithm 2, grounded in Definitions 2 (implicit dependence) and 4
+//! (strong implicit dependence).
+//!
+//! To test whether use `u` implicitly depends on predicate instance `p`,
+//! the program is re-executed with `p`'s branch outcome switched, the two
+//! executions are aligned (Algorithm 1), and the verdict is:
+//!
+//! * **StrongId** — the failure point has a counterpart in the switched
+//!   run and it produced the expected correct value `v_exp` (the switch
+//!   *fixed* the output);
+//! * **Id** — `u` has no counterpart in the switched run (case (i) of
+//!   Definition 2), or the definition now reaching `u`'s counterpart lies
+//!   inside the region headed by the switched instance (the *edge-based*
+//!   check the paper chooses over full dependence paths);
+//! * **NotId** — otherwise, including switched runs that exhaust the step
+//!   budget (the paper's expired timer: "we aggressively conclude the
+//!   verification fails").
+//!
+//! [`VerifierMode`] selects the edge-based check (the paper's algorithm),
+//! the safe path-based variant it discusses and rejects as too expensive,
+//! or a value-comparison extension — the latter two exist for the
+//! ablation study.
+
+use omislice_align::Aligner;
+use omislice_analysis::ProgramAnalysis;
+use omislice_interp::{run_traced, RunConfig, SwitchSpec};
+use omislice_lang::{Program, VarId};
+use omislice_slicing::DepGraph;
+use omislice_trace::{InstId, Trace, Value};
+use std::collections::HashMap;
+
+/// Outcome of one implicit-dependence verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Verdict {
+    /// No implicit dependence was observed.
+    NotId,
+    /// An implicit dependence exists (Definition 2).
+    Id,
+    /// A strong implicit dependence: switching also produced the expected
+    /// value at the failure point (Definition 4 / Algorithm 2 line 28).
+    StrongId,
+}
+
+impl Verdict {
+    /// Whether the verdict adds an edge to the dependence graph.
+    pub fn is_dependence(self) -> bool {
+        self != Verdict::NotId
+    }
+}
+
+/// How condition (ii) of Definition 2 is tested on the switched run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifierMode {
+    /// The paper's choice: `u'`'s reaching definition must lie inside the
+    /// region headed by `p'` (a single data-dependence edge). Unsafe in
+    /// rare nested-predicate situations, but keeps fault candidate sets
+    /// small (§3.2).
+    #[default]
+    Edge,
+    /// The safe variant: any explicit dependence *path* from `u'` back to
+    /// `p'` counts. More edges are verified as dependences, inflating the
+    /// candidate set — the trade-off the paper declines.
+    Path,
+    /// Extension: additionally accept the dependence when the value at
+    /// `u'` differs from the value at `u` (direct observability).
+    ValueChange,
+}
+
+/// A cached verification result with its evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verification {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// `u`'s counterpart in the switched run, if any.
+    pub matched_use: Option<InstId>,
+    /// The failure point's counterpart, if any.
+    pub matched_failure: Option<InstId>,
+    /// The value observed at the failure counterpart.
+    pub failure_value: Option<Value>,
+}
+
+/// Verifies implicit dependences for one failing execution by re-running
+/// the program with predicates switched.
+///
+/// Results are memoized per `(p, u, var)`, and the switched *traces* are
+/// memoized per switched instance, so verifying `p` against many uses
+/// (Algorithm 2 lines 12–18) re-executes the program only once.
+pub struct Verifier<'a> {
+    program: &'a Program,
+    analysis: &'a ProgramAnalysis,
+    config: RunConfig,
+    trace: &'a Trace,
+    mode: VerifierMode,
+    /// Switched traces keyed by switched instance.
+    switched_runs: HashMap<InstId, Option<Trace>>,
+    /// Memoized verdicts keyed by (p, u, var, strong-check-enabled).
+    cache: HashMap<(InstId, InstId, VarId, bool), Verification>,
+    /// Total number of verifications performed (cache misses on the
+    /// verdict cache) — the paper's "# of verifications".
+    verifications: usize,
+    /// Number of re-executions performed.
+    reexecutions: usize,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier for the failing run `trace` of `program`
+    /// obtained under `config` (without a switch).
+    pub fn new(
+        program: &'a Program,
+        analysis: &'a ProgramAnalysis,
+        config: &RunConfig,
+        trace: &'a Trace,
+        mode: VerifierMode,
+    ) -> Self {
+        Verifier {
+            program,
+            analysis,
+            config: RunConfig {
+                inputs: config.inputs.clone(),
+                step_budget: config.step_budget,
+                switch: None,
+                value_override: None,
+            },
+            trace,
+            mode,
+            switched_runs: HashMap::new(),
+            cache: HashMap::new(),
+            verifications: 0,
+            reexecutions: 0,
+        }
+    }
+
+    /// The paper's "# of verifications" counter.
+    pub fn verification_count(&self) -> usize {
+        self.verifications
+    }
+
+    /// How many switched re-executions actually ran.
+    pub fn reexecution_count(&self) -> usize {
+        self.reexecutions
+    }
+
+    /// `VerifyDep(p, u, o×, v_exp)` for the use of `var` at instance `u`.
+    ///
+    /// `wrong_output` is the failure point `o×`; `expected` is `v_exp`
+    /// when the user knows the correct value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a predicate instance of the original trace.
+    pub fn verify(
+        &mut self,
+        p: InstId,
+        u: InstId,
+        var: VarId,
+        wrong_output: InstId,
+        expected: Option<Value>,
+    ) -> Verification {
+        let key = (p, u, var, expected.is_some());
+        if let Some(&hit) = self.cache.get(&key) {
+            return hit;
+        }
+        self.verifications += 1;
+        let result = self.verify_uncached(p, u, var, wrong_output, expected);
+        self.cache.insert(key, result);
+        result
+    }
+
+    fn switched_trace(&mut self, p: InstId) -> Option<&Trace> {
+        if !self.switched_runs.contains_key(&p) {
+            let ev = self.trace.event(p);
+            assert!(ev.is_predicate(), "{p} is not a predicate instance");
+            let occurrence = self.trace.occurrence_index(p) as u32;
+            let cfg = self.config.switched(SwitchSpec::new(ev.stmt, occurrence));
+            let run = run_traced(self.program, self.analysis, &cfg);
+            self.reexecutions += 1;
+            // The switch must land at the same timestamp (identical
+            // prefix); if the run was cut off before reaching it, treat
+            // the whole re-execution as failed.
+            let trace = match run.switched {
+                Some(inst) if inst == p => Some(run.trace),
+                _ => None,
+            };
+            self.switched_runs.insert(p, trace);
+        }
+        self.switched_runs.get(&p).and_then(Option::as_ref)
+    }
+
+    fn verify_uncached(
+        &mut self,
+        p: InstId,
+        u: InstId,
+        var: VarId,
+        wrong_output: InstId,
+        expected: Option<Value>,
+    ) -> Verification {
+        let mode = self.mode;
+        let orig = self.trace;
+        let Some(switched) = self.switched_trace(p) else {
+            return Verification {
+                verdict: Verdict::NotId,
+                matched_use: None,
+                matched_failure: None,
+                failure_value: None,
+            };
+        };
+        // The paper's timer: a switched run that does not terminate
+        // normally fails verification.
+        if !switched.termination().is_normal() {
+            return Verification {
+                verdict: Verdict::NotId,
+                matched_use: None,
+                matched_failure: None,
+                failure_value: None,
+            };
+        }
+        let aligner = Aligner::new(orig, switched);
+
+        // Line 27-28: does the switch produce the expected value at o×?
+        let matched_failure = aligner.match_inst(p, wrong_output);
+        let failure_value = matched_failure.and_then(|m| switched.event(m).value);
+        if let (Some(v), Some(exp)) = (failure_value, expected) {
+            if v == exp {
+                return Verification {
+                    verdict: Verdict::StrongId,
+                    matched_use: aligner.match_inst(p, u),
+                    matched_failure,
+                    failure_value,
+                };
+            }
+        }
+
+        // Line 29-30: u unmatched ⇒ implicit dependence (case (i)).
+        let Some(u2) = aligner.match_inst(p, u) else {
+            return Verification {
+                verdict: Verdict::Id,
+                matched_use: None,
+                matched_failure,
+                failure_value,
+            };
+        };
+
+        // Lines 31-35: the definition feeding u' for `var`.
+        let verdict = match mode {
+            VerifierMode::Edge | VerifierMode::ValueChange => {
+                let d2 = switched
+                    .event(u2)
+                    .data_deps
+                    .iter()
+                    .copied()
+                    .filter(|&d| switched.event(d).def_var == Some(var))
+                    .max();
+                let in_region = d2.is_some_and(|d| aligner.switched_regions().in_region(p, d));
+                let value_changed = mode == VerifierMode::ValueChange
+                    && switched.event(u2).value != orig.event(u).value;
+                if in_region || value_changed {
+                    Verdict::Id
+                } else {
+                    Verdict::NotId
+                }
+            }
+            VerifierMode::Path => {
+                // Safe variant: any explicit dependence path u' →* p'.
+                let slice = DepGraph::new(switched).backward_slice(u2);
+                if slice.contains(p) {
+                    Verdict::Id
+                } else {
+                    Verdict::NotId
+                }
+            }
+        };
+        Verification {
+            verdict,
+            matched_use: Some(u2),
+            matched_failure,
+            failure_value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_interp::run_traced;
+    use omislice_lang::{compile, StmtId};
+
+    struct Setup {
+        program: Program,
+        analysis: ProgramAnalysis,
+        config: RunConfig,
+        trace: Trace,
+    }
+
+    fn setup(src: &str, inputs: Vec<i64>) -> Setup {
+        let program = compile(src).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig::with_inputs(inputs);
+        let trace = run_traced(&program, &analysis, &config).trace;
+        Setup {
+            program,
+            analysis,
+            config,
+            trace,
+        }
+    }
+
+    /// Figure 1 miniature: flags misses its redefinition because the guard
+    /// is (wrongly) not taken.
+    const FIG1: &str = "\
+        global flags = 0;\
+        global save = 0;\
+        fn main() {\
+            save = input();\
+            flags = 1;\
+            if save == 1 { flags = 2; }\
+            print(flags);\
+        }";
+
+    #[test]
+    fn strong_id_when_switch_fixes_the_output() {
+        let s = setup(FIG1, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let guard = s.trace.instances_of(StmtId(2))[0];
+        let out = s.trace.outputs()[0].inst;
+        let flags = s.analysis.index().vars().global("flags").unwrap();
+        let r = v.verify(guard, out, flags, out, Some(Value::Int(2)));
+        assert_eq!(r.verdict, Verdict::StrongId);
+        assert_eq!(r.failure_value, Some(Value::Int(2)));
+        assert_eq!(v.verification_count(), 1);
+    }
+
+    #[test]
+    fn plain_id_without_expected_value() {
+        let s = setup(FIG1, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let guard = s.trace.instances_of(StmtId(2))[0];
+        let out = s.trace.outputs()[0].inst;
+        let flags = s.analysis.index().vars().global("flags").unwrap();
+        let r = v.verify(guard, out, flags, out, None);
+        // Without v_exp the strong check cannot fire, but the definition
+        // in the switched run lies in the guard's region → Id.
+        assert_eq!(r.verdict, Verdict::Id);
+        assert!(r.matched_use.is_some());
+    }
+
+    /// Figure 1's false dependence: the conditional store writes a cell
+    /// the output never reads, so the verification must reject it.
+    const FIG1_FALSE_DEP: &str = "\
+        global buf = [0; 4];\
+        global save = 0;\
+        fn main() {\
+            save = input();\
+            buf[0] = 7;\
+            if save == 1 { buf[1] = 9; }\
+            print(buf[0]);\
+        }";
+
+    #[test]
+    fn not_id_for_false_potential_dependence() {
+        let s = setup(FIG1_FALSE_DEP, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let guard = s.trace.instances_of(StmtId(2))[0];
+        let out = s.trace.outputs()[0].inst;
+        let buf = s.analysis.index().vars().global("buf").unwrap();
+        let r = v.verify(guard, out, buf, out, Some(Value::Int(5)));
+        assert_eq!(r.verdict, Verdict::NotId, "S7→S10 of the paper is false");
+        assert!(r.matched_use.is_some(), "the print still executes");
+    }
+
+    #[test]
+    fn id_when_use_vanishes_in_switched_run() {
+        // Switching the guard makes the loop break before the use.
+        let src = "\
+            global x = 5; global c0 = 0;\
+            fn main() {\
+                let i = 0;\
+                c0 = input();\
+                while i < 2 {\
+                    if c0 == 1 { break; }\
+                    print(x);\
+                    i = i + 1;\
+                }\
+            }";
+        let s = setup(src, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let inner_if = s.trace.instances_of(StmtId(3))[0];
+        let use_inst = s.trace.instances_of(StmtId(5))[0];
+        let x = s.analysis.index().vars().global("x").unwrap();
+        let out = s.trace.outputs().last().unwrap().inst;
+        let r = v.verify(inner_if, use_inst, x, out, None);
+        assert_eq!(r.verdict, Verdict::Id, "unmatched use is case (i)");
+        assert_eq!(r.matched_use, None);
+    }
+
+    #[test]
+    fn nonterminating_switch_is_not_id() {
+        // Switching the guard leaves `bound` at 0 and the loop counts up
+        // forever; the budget expires and the verification fails (the
+        // paper's timer rule).
+        let src = "\
+            global bound = 0;\
+            fn main() {\
+                let c = input();\
+                if c == 1 { bound = 4; }\
+                let i = 1;\
+                while i != bound { i = i + 1; }\
+                print(i);\
+            }";
+        let program = compile(src).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig {
+            inputs: vec![1],
+            step_budget: 10_000,
+            switch: None,
+            value_override: None,
+        };
+        let trace = run_traced(&program, &analysis, &config).trace;
+        assert!(trace.termination().is_normal());
+        let mut v = Verifier::new(&program, &analysis, &config, &trace, VerifierMode::Edge);
+        let guard = trace.instances_of(StmtId(1))[0];
+        let out = trace.outputs()[0].inst;
+        let bound = analysis.index().vars().global("bound").unwrap();
+        let r = v.verify(guard, out, bound, out, Some(Value::Int(99)));
+        assert_eq!(r.verdict, Verdict::NotId);
+    }
+
+    #[test]
+    fn verdict_cache_avoids_reexecution() {
+        let s = setup(FIG1, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let guard = s.trace.instances_of(StmtId(2))[0];
+        let out = s.trace.outputs()[0].inst;
+        let flags = s.analysis.index().vars().global("flags").unwrap();
+        let r1 = v.verify(guard, out, flags, out, None);
+        let r2 = v.verify(guard, out, flags, out, None);
+        assert_eq!(r1, r2);
+        assert_eq!(v.verification_count(), 1, "second call is a cache hit");
+        assert_eq!(v.reexecution_count(), 1);
+    }
+
+    #[test]
+    fn shared_switched_trace_across_uses() {
+        // Verifying the same predicate against two uses re-executes once.
+        let src = "\
+            global x = 0; global y = 0;\
+            fn main() {\
+                let c = input();\
+                if c == 1 { x = 1; y = 1; }\
+                print(x);\
+                print(y);\
+            }";
+        let s = setup(src, vec![0]);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let guard = s.trace.instances_of(StmtId(1))[0];
+        let outs = s.trace.outputs();
+        let x = s.analysis.index().vars().global("x").unwrap();
+        let y = s.analysis.index().vars().global("y").unwrap();
+        let r1 = v.verify(guard, outs[0].inst, x, outs[0].inst, None);
+        let r2 = v.verify(guard, outs[1].inst, y, outs[0].inst, None);
+        assert_eq!(r1.verdict, Verdict::Id);
+        assert_eq!(r2.verdict, Verdict::Id);
+        assert_eq!(v.verification_count(), 2);
+        assert_eq!(v.reexecution_count(), 1, "switched run shared");
+    }
+
+    #[test]
+    fn path_mode_finds_chained_dependence_edge_mode_misses() {
+        // The paper's §3.2 example: switching P introduces the path
+        // 2 →cd 3 →dd 6 →dd/cd 7 →dd 15, but no single edge from the use's
+        // definition into P's region. Edge mode answers NotId for (P, use)
+        // while Path mode answers Id.
+        let src = "\
+            global t = 0; global x = 0; global p1 = 0;\
+            fn main() {\
+                p1 = input();\
+                if p1 == 1 { t = 1; }\
+                let i = 0;\
+                while i < t {\
+                    x = 9;\
+                    i = i + 1;\
+                }\
+                print(x);\
+            }";
+        let s = setup(src, vec![0]);
+        let guard = s.trace.instances_of(StmtId(1))[0];
+        let out = s.trace.outputs()[0].inst;
+        let x = s.analysis.index().vars().global("x").unwrap();
+
+        let mut edge = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let r_edge = edge.verify(guard, out, x, out, None);
+        assert_eq!(
+            r_edge.verdict,
+            Verdict::NotId,
+            "x=9 is in the while's region, not the if's"
+        );
+
+        let mut path = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Path,
+        );
+        let r_path = path.verify(guard, out, x, out, None);
+        assert_eq!(r_path.verdict, Verdict::Id, "the dependence path exists");
+    }
+}

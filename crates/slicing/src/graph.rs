@@ -1,0 +1,350 @@
+//! The (augmentable) dynamic dependence graph and backward slicing.
+//!
+//! A [`DepGraph`] wraps a trace with a set of *extra edges* — the verified
+//! implicit dependence edges that the demand-driven locator adds
+//! (Algorithm 2, line 15: `G = G + p → t`). Classic dynamic slicing is a
+//! backward closure over data dependences, dynamic control dependences,
+//! and any extra edges.
+
+use omislice_trace::{InstId, Trace};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use omislice_lang::StmtId;
+
+/// Extra dependence edges `from → to` (both in the same trace), where
+/// `to` precedes `from` in execution order — e.g. an implicit dependence
+/// from a use back to the predicate that suppressed its real definition.
+pub type ExtraEdges = HashMap<InstId, Vec<InstId>>;
+
+/// A dynamic dependence graph: a trace plus augmenting edges.
+#[derive(Debug, Clone)]
+pub struct DepGraph<'a> {
+    trace: &'a Trace,
+    extra: ExtraEdges,
+}
+
+impl<'a> DepGraph<'a> {
+    /// A graph with only the trace's own dependences.
+    pub fn new(trace: &'a Trace) -> Self {
+        DepGraph {
+            trace,
+            extra: ExtraEdges::new(),
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Adds an extra (e.g. implicit) dependence edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `to` does not precede
+    /// `from` (dependences point backwards in time).
+    pub fn add_edge(&mut self, from: InstId, to: InstId) {
+        assert!(
+            from.index() < self.trace.len() && to.index() < self.trace.len(),
+            "edge endpoints must be trace instances"
+        );
+        assert!(to < from, "dependence edges point backwards in time");
+        let targets = self.extra.entry(from).or_default();
+        if !targets.contains(&to) {
+            targets.push(to);
+        }
+    }
+
+    /// Number of extra edges added so far.
+    pub fn extra_edge_count(&self) -> usize {
+        self.extra.values().map(Vec::len).sum()
+    }
+
+    /// The extra edges out of `from`.
+    pub fn extra_edges_of(&self, from: InstId) -> &[InstId] {
+        self.extra.get(&from).map_or(&[], Vec::as_slice)
+    }
+
+    /// All backward dependences of `inst`: data, dynamic control, extra.
+    pub fn backward_deps(&self, inst: InstId) -> Vec<InstId> {
+        let ev = self.trace.event(inst);
+        let mut out: Vec<InstId> = ev.data_deps.clone();
+        if let Some(cd) = ev.cd_parent {
+            out.push(cd);
+        }
+        out.extend(self.extra_edges_of(inst));
+        out
+    }
+
+    /// The classic dynamic slice: the backward closure from `criterion`.
+    pub fn backward_slice(&self, criterion: InstId) -> Slice {
+        let mut seen: HashSet<InstId> = HashSet::new();
+        let mut queue: VecDeque<InstId> = VecDeque::new();
+        seen.insert(criterion);
+        queue.push_back(criterion);
+        while let Some(i) = queue.pop_front() {
+            for d in self.backward_deps(i) {
+                if seen.insert(d) {
+                    queue.push_back(d);
+                }
+            }
+        }
+        Slice::from_insts(self.trace, seen)
+    }
+
+    /// Dependence distance (in edges) from `criterion` to every instance
+    /// in its backward slice; the criterion itself has distance 0.
+    pub fn distances_from(&self, criterion: InstId) -> HashMap<InstId, u32> {
+        let mut dist: HashMap<InstId, u32> = HashMap::new();
+        let mut queue: VecDeque<InstId> = VecDeque::new();
+        dist.insert(criterion, 0);
+        queue.push_back(criterion);
+        while let Some(i) = queue.pop_front() {
+            let d = dist[&i];
+            for dep in self.backward_deps(i) {
+                dist.entry(dep).or_insert_with(|| {
+                    queue.push_back(dep);
+                    d + 1
+                });
+            }
+        }
+        dist
+    }
+
+    /// Forward adjacency: for each instance, the instances that depend on
+    /// it (reversal of all backward edges). Used by confidence analysis.
+    pub fn forward_adjacency(&self) -> Vec<Vec<InstId>> {
+        let mut fwd: Vec<Vec<InstId>> = vec![Vec::new(); self.trace.len()];
+        for inst in self.trace.insts() {
+            for dep in self.backward_deps(inst) {
+                fwd[dep.index()].push(inst);
+            }
+        }
+        fwd
+    }
+
+    /// A shortest dependence path from `from` back to `to`, if one exists
+    /// (used to extract the failure-inducing chain once the root cause is
+    /// reachable).
+    pub fn path_between(&self, from: InstId, to: InstId) -> Option<Vec<InstId>> {
+        let mut parent: HashMap<InstId, InstId> = HashMap::new();
+        let mut queue: VecDeque<InstId> = VecDeque::new();
+        parent.insert(from, from);
+        queue.push_back(from);
+        while let Some(i) = queue.pop_front() {
+            if i == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse(); // from ... to
+                return Some(path);
+            }
+            for dep in self.backward_deps(i) {
+                parent.entry(dep).or_insert_with(|| {
+                    queue.push_back(dep);
+                    i
+                });
+            }
+        }
+        None
+    }
+}
+
+/// A set of statement instances, with both the paper's size metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    insts: Vec<InstId>,
+    stmts: HashSet<StmtId>,
+}
+
+impl Slice {
+    /// Builds a slice from a set of instances.
+    pub fn from_insts(trace: &Trace, insts: impl IntoIterator<Item = InstId>) -> Self {
+        let mut insts: Vec<InstId> = insts.into_iter().collect();
+        insts.sort();
+        insts.dedup();
+        let stmts = insts.iter().map(|&i| trace.event(i).stmt).collect();
+        Slice { insts, stmts }
+    }
+
+    /// The instances, in execution order.
+    pub fn insts(&self) -> &[InstId] {
+        &self.insts
+    }
+
+    /// Number of dynamic statement instances (the paper's "dynamic" size).
+    pub fn dynamic_size(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of unique static statements (the paper's "static" size).
+    pub fn static_size(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the slice contains any instance of `stmt` — the fault-
+    /// capture criterion used throughout the evaluation.
+    pub fn contains_stmt(&self, stmt: StmtId) -> bool {
+        self.stmts.contains(&stmt)
+    }
+
+    /// Whether the slice contains the instance `inst`.
+    pub fn contains(&self, inst: InstId) -> bool {
+        self.insts.binary_search(&inst).is_ok()
+    }
+
+    /// The unique statements in the slice.
+    pub fn stmts(&self) -> &HashSet<StmtId> {
+        &self.stmts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_analysis::ProgramAnalysis;
+    use omislice_interp::{run_traced, RunConfig};
+    use omislice_lang::compile;
+
+    fn trace_of(src: &str, inputs: Vec<i64>) -> Trace {
+        let p = compile(src).unwrap();
+        let a = ProgramAnalysis::build(&p);
+        run_traced(&p, &a, &RunConfig::with_inputs(inputs)).trace
+    }
+
+    #[test]
+    fn slice_follows_data_dependences() {
+        // S0 x=input, S1 y=x+1, S2 z=input, S3 print(y)
+        let t = trace_of(
+            "fn main() { let x = input(); let y = x + 1; let z = input(); print(y); }",
+            vec![1, 2],
+        );
+        let g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let s = g.backward_slice(out);
+        assert!(s.contains_stmt(StmtId(0)));
+        assert!(s.contains_stmt(StmtId(1)));
+        assert!(!s.contains_stmt(StmtId(2)), "unrelated stmt excluded");
+        assert_eq!(s.dynamic_size(), 3);
+        assert_eq!(s.static_size(), 3);
+    }
+
+    #[test]
+    fn slice_follows_control_dependences() {
+        let t = trace_of(
+            "global x = 0; fn main() { let c = input(); if c > 0 { x = 1; } print(x); }",
+            vec![5],
+        );
+        let g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let s = g.backward_slice(out);
+        // print <- x=1 <- (cd) if <- c=input
+        for stmt in 0..4 {
+            assert!(s.contains_stmt(StmtId(stmt)), "missing S{stmt}");
+        }
+    }
+
+    #[test]
+    fn omission_error_shape_misses_root_cause() {
+        // The defining phenomenon: when the branch is NOT taken, the
+        // classic dynamic slice misses the predicate and its inputs.
+        let t = trace_of(
+            "global x = 0; fn main() { let c = input(); if c > 0 { x = 1; } print(x); }",
+            vec![-5],
+        );
+        let g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let s = g.backward_slice(out);
+        assert!(!s.contains_stmt(StmtId(0)), "input excluded");
+        assert!(!s.contains_stmt(StmtId(1)), "if excluded");
+        assert!(!s.contains_stmt(StmtId(2)), "untaken assign excluded");
+        assert_eq!(s.dynamic_size(), 1, "only the print itself");
+    }
+
+    #[test]
+    fn extra_edges_extend_the_slice() {
+        let t = trace_of(
+            "global x = 0; fn main() { let c = input(); if c > 0 { x = 1; } print(x); }",
+            vec![-5],
+        );
+        let mut g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let if_inst = t.instances_of(StmtId(1))[0];
+        g.add_edge(out, if_inst);
+        assert_eq!(g.extra_edge_count(), 1);
+        let s = g.backward_slice(out);
+        assert!(s.contains_stmt(StmtId(1)));
+        assert!(s.contains_stmt(StmtId(0)), "reaches through the predicate");
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards in time")]
+    fn forward_extra_edge_rejected() {
+        let t = trace_of("fn main() { print(1); print(2); }", vec![]);
+        let mut g = DepGraph::new(&t);
+        g.add_edge(InstId(0), InstId(1));
+    }
+
+    #[test]
+    fn distances_count_edges() {
+        let t = trace_of(
+            "fn main() { let a = input(); let b = a + 1; let c = b + 1; print(c); }",
+            vec![0],
+        );
+        let g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let d = g.distances_from(out);
+        assert_eq!(d[&out], 0);
+        assert_eq!(d[&InstId(2)], 1);
+        assert_eq!(d[&InstId(1)], 2);
+        assert_eq!(d[&InstId(0)], 3);
+    }
+
+    #[test]
+    fn path_between_follows_dependences() {
+        let t = trace_of(
+            "fn main() { let a = input(); let b = a + 1; print(b); }",
+            vec![0],
+        );
+        let g = DepGraph::new(&t);
+        let out = t.outputs()[0].inst;
+        let path = g.path_between(out, InstId(0)).unwrap();
+        assert_eq!(path, vec![out, InstId(1), InstId(0)]);
+        assert!(g.path_between(InstId(0), out).is_none());
+    }
+
+    #[test]
+    fn forward_adjacency_inverts_edges() {
+        let t = trace_of(
+            "fn main() { let a = input(); let b = a + 1; print(b); }",
+            vec![0],
+        );
+        let g = DepGraph::new(&t);
+        let fwd = g.forward_adjacency();
+        assert_eq!(fwd[0], vec![InstId(1)]);
+        assert_eq!(fwd[1], vec![InstId(2)]);
+        assert!(fwd[2].is_empty());
+    }
+
+    #[test]
+    fn duplicate_extra_edges_are_ignored() {
+        let t = trace_of("fn main() { let a = 1; print(a); }", vec![]);
+        let mut g = DepGraph::new(&t);
+        g.add_edge(InstId(1), InstId(0));
+        g.add_edge(InstId(1), InstId(0));
+        assert_eq!(g.extra_edge_count(), 1);
+    }
+
+    #[test]
+    fn slice_membership_queries() {
+        let t = trace_of("fn main() { let a = 1; print(a); }", vec![]);
+        let g = DepGraph::new(&t);
+        let s = g.backward_slice(t.outputs()[0].inst);
+        assert!(s.contains(InstId(0)) && s.contains(InstId(1)));
+        assert_eq!(s.insts(), &[InstId(0), InstId(1)]);
+        assert_eq!(s.stmts().len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Value profiles collected over a test suite.
+//!
+//! The paper's prototype "executes the binary with a large set of test
+//! cases to ... collect value profile for the confidence analysis". A
+//! [`ValueProfile`] records the distinct values each statement produced
+//! across runs; the observed *range* approximates the domain size used in
+//! the PLDI 2006 confidence estimate.
+
+use omislice_lang::StmtId;
+use omislice_trace::{Trace, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Distinct values observed per statement across profiled runs.
+#[derive(Debug, Clone, Default)]
+pub struct ValueProfile {
+    values: HashMap<StmtId, HashSet<Value>>,
+    runs: usize,
+}
+
+impl ValueProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        ValueProfile::default()
+    }
+
+    /// Folds one trace's values into the profile.
+    pub fn add_trace(&mut self, trace: &Trace) {
+        for ev in trace.events() {
+            if let Some(v) = ev.value {
+                self.values.entry(ev.stmt).or_default().insert(v);
+            }
+        }
+        self.runs += 1;
+    }
+
+    /// Builds a profile from several traces at once.
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Self {
+        let mut p = ValueProfile::new();
+        for t in traces {
+            p.add_trace(t);
+        }
+        p
+    }
+
+    /// Number of traces folded in.
+    pub fn run_count(&self) -> usize {
+        self.runs
+    }
+
+    /// Number of distinct values observed at `stmt` (0 if never executed
+    /// or it produces no value).
+    pub fn range(&self, stmt: StmtId) -> usize {
+        self.values.get(&stmt).map_or(0, HashSet::len)
+    }
+
+    /// Whether `value` was ever observed at `stmt`.
+    pub fn observed(&self, stmt: StmtId, value: Value) -> bool {
+        self.values.get(&stmt).is_some_and(|s| s.contains(&value))
+    }
+
+    /// The distinct values observed at `stmt`, in sorted order.
+    pub fn values(&self, stmt: StmtId) -> Vec<Value> {
+        let mut out: Vec<Value> = self
+            .values
+            .get(&stmt)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_analysis::ProgramAnalysis;
+    use omislice_interp::{run_traced, RunConfig};
+    use omislice_lang::compile;
+
+    #[test]
+    fn profile_accumulates_distinct_values() {
+        let p = compile("fn main() { let x = input(); let y = x % 2; print(y); }").unwrap();
+        let a = ProgramAnalysis::build(&p);
+        let mut profile = ValueProfile::new();
+        for input in 0..10 {
+            let run = run_traced(&p, &a, &RunConfig::with_inputs(vec![input]));
+            profile.add_trace(&run.trace);
+        }
+        assert_eq!(profile.run_count(), 10);
+        // x saw 10 distinct values; y only 2 (the many-to-one mapping).
+        assert_eq!(profile.range(StmtId(0)), 10);
+        assert_eq!(profile.range(StmtId(1)), 2);
+        assert!(profile.observed(StmtId(1), Value::Int(1)));
+        assert!(!profile.observed(StmtId(1), Value::Int(7)));
+        assert_eq!(
+            profile.values(StmtId(1)),
+            vec![Value::Int(0), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn unexecuted_statement_has_zero_range() {
+        let p = compile("fn main() { if false { print(1); } }").unwrap();
+        let a = ProgramAnalysis::build(&p);
+        let run = run_traced(&p, &a, &RunConfig::default());
+        let profile = ValueProfile::from_traces([&run.trace]);
+        assert_eq!(profile.range(StmtId(1)), 0);
+        assert_eq!(profile.range(StmtId(99)), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The *union dependence graph* of the paper's prototype (§4): the union
+//! of all unique statement-level dependences exercised across a large
+//! number of test runs. The paper uses it, together with the static CFG,
+//! to compute potential dependences.
+//!
+//! This module provides the graph plus [`union_pd`], the union-graph
+//! flavor of Definition 1's static component: a use of `v` potentially
+//! depends on `(p, β)` iff some definition of `v` that was *observed*
+//! reaching that use (in any profiled run) is control dependent on
+//! `(p, β)`. Because observed definitions are a subset of the statically
+//! possible ones, `union_pd ⊆ static_pd` — fewer false candidates at the
+//! price of needing a representative test suite (exactly the prototype's
+//! trade-off).
+
+use omislice_analysis::{CdParent, ProgramAnalysis};
+use omislice_lang::{StmtId, VarId};
+use omislice_trace::Trace;
+use std::collections::HashSet;
+
+/// Statement-level union of dynamic dependences over profiled runs.
+#[derive(Debug, Clone, Default)]
+pub struct UnionGraph {
+    /// Observed data dependences: `(use statement, variable, defining
+    /// statement)`.
+    data: HashSet<(StmtId, VarId, StmtId)>,
+    /// Observed dynamic control dependences: `(statement, predicate)`.
+    control: HashSet<(StmtId, StmtId)>,
+    runs: usize,
+}
+
+impl UnionGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        UnionGraph::default()
+    }
+
+    /// Folds one trace's dependences into the union.
+    pub fn add_trace(&mut self, trace: &Trace) {
+        for ev in trace.events() {
+            for &d in &ev.data_deps {
+                let def = trace.event(d);
+                if let Some(var) = def.def_var {
+                    self.data.insert((ev.stmt, var, def.stmt));
+                }
+            }
+            if let Some(cd) = ev.cd_parent {
+                self.control.insert((ev.stmt, trace.event(cd).stmt));
+            }
+        }
+        self.runs += 1;
+    }
+
+    /// Builds the union over several traces.
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Self {
+        let mut g = UnionGraph::new();
+        for t in traces {
+            g.add_trace(t);
+        }
+        g
+    }
+
+    /// Number of runs folded in.
+    pub fn run_count(&self) -> usize {
+        self.runs
+    }
+
+    /// Number of unique statement-level data dependences observed.
+    pub fn data_edge_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of unique statement-level control dependences observed.
+    pub fn control_edge_count(&self) -> usize {
+        self.control.len()
+    }
+
+    /// Whether `use_stmt` was ever observed reading `var` from
+    /// `def_stmt`.
+    pub fn observed_data_dep(&self, use_stmt: StmtId, var: VarId, def_stmt: StmtId) -> bool {
+        self.data.contains(&(use_stmt, var, def_stmt))
+    }
+
+    /// The defining statements ever observed supplying `var` to
+    /// `use_stmt`.
+    pub fn observed_defs(&self, use_stmt: StmtId, var: VarId) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self
+            .data
+            .iter()
+            .filter(|(u, v, _)| *u == use_stmt && *v == var)
+            .map(|(_, _, d)| *d)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// The union-graph flavor of the static potential-dependence component:
+/// predicates (with the def-executing branch) controlling a definition of
+/// `var` that was *observed* reaching `use_stmt` in some profiled run.
+pub fn union_pd(
+    union: &UnionGraph,
+    analysis: &ProgramAnalysis,
+    use_stmt: StmtId,
+    var: VarId,
+) -> Vec<CdParent> {
+    let mut out: Vec<CdParent> = Vec::new();
+    for def_stmt in union.observed_defs(use_stmt, var) {
+        let func = &analysis.index().stmt(def_stmt).func;
+        if let Some(cd) = analysis.control_deps(func) {
+            out.extend(cd.ancestors(def_stmt));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omislice_interp::{run_traced, RunConfig};
+    use omislice_lang::compile;
+
+    const SRC: &str = "\
+        global x = 0;\
+        fn main() {\
+            let c = input();\
+            if c == 1 { x = 1; }\
+            if c == 2 { x = 2; }\
+            print(x);\
+        }";
+
+    fn graph_over(inputs: &[i64]) -> (UnionGraph, ProgramAnalysis) {
+        let p = compile(SRC).unwrap();
+        let a = ProgramAnalysis::build(&p);
+        let mut g = UnionGraph::new();
+        for &i in inputs {
+            g.add_trace(&run_traced(&p, &a, &RunConfig::with_inputs(vec![i])).trace);
+        }
+        (g, a)
+    }
+
+    #[test]
+    fn union_accumulates_observed_defs() {
+        let (g, a) = graph_over(&[1, 2]);
+        let x = a.index().vars().global("x").unwrap();
+        // print(x) is S5; defs observed: x=1 (S2) and x=2 (S4).
+        let defs = g.observed_defs(StmtId(5), x);
+        assert_eq!(defs, vec![StmtId(2), StmtId(4)]);
+        assert_eq!(g.run_count(), 2);
+        assert!(g.data_edge_count() >= 2);
+        assert!(g.control_edge_count() >= 2);
+    }
+
+    #[test]
+    fn union_pd_is_subset_of_static_pd() {
+        let (g, a) = graph_over(&[1, 2, 0]);
+        let x = a.index().vars().global("x").unwrap();
+        let from_union = union_pd(&g, &a, StmtId(5), x);
+        let from_static = a.static_pd(StmtId(5), x);
+        for cp in &from_union {
+            assert!(
+                from_static.contains(cp),
+                "union PD {cp:?} missing from static PD"
+            );
+        }
+        // With a suite covering both guards, the sets coincide here.
+        assert_eq!(from_union.len(), from_static.len());
+    }
+
+    #[test]
+    fn unexercised_defs_are_absent_from_union_pd() {
+        // The suite never takes the second guard: the union graph knows
+        // nothing about x = 2, so that guard is not a PD candidate —
+        // while the conservative static analysis keeps it.
+        let (g, a) = graph_over(&[1, 0]);
+        let x = a.index().vars().global("x").unwrap();
+        let from_union = union_pd(&g, &a, StmtId(5), x);
+        let from_static = a.static_pd(StmtId(5), x);
+        assert!(from_union.iter().all(|cp| cp.pred != StmtId(3)));
+        assert!(from_static.iter().any(|cp| cp.pred == StmtId(3)));
+        assert!(from_union.len() < from_static.len());
+    }
+
+    #[test]
+    fn observed_data_dep_queries() {
+        let (g, a) = graph_over(&[1]);
+        let x = a.index().vars().global("x").unwrap();
+        assert!(g.observed_data_dep(StmtId(5), x, StmtId(2)));
+        assert!(!g.observed_data_dep(StmtId(5), x, StmtId(4)));
+    }
+
+    #[test]
+    fn empty_graph_answers_conservatively() {
+        let p = compile(SRC).unwrap();
+        let a = ProgramAnalysis::build(&p);
+        let g = UnionGraph::new();
+        let x = a.index().vars().global("x").unwrap();
+        assert!(g.observed_defs(StmtId(5), x).is_empty());
+        assert!(union_pd(&g, &a, StmtId(5), x).is_empty());
+        assert_eq!(g.run_count(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Statement instances (trace events) and their dependence annotations.
+
+use crate::value::Value;
+use omislice_lang::{StmtId, VarId};
+use std::fmt;
+
+/// Identifier of one statement *instance* in a trace: its timestamp.
+///
+/// Instance ids are dense and execution-ordered, so comparing ids compares
+/// execution times — the paper's "timestamp annotations".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One executed statement instance, with the dynamic dependences observed
+/// while executing it.
+///
+/// Two parent pointers coexist deliberately:
+///
+/// * [`Event::cd_parent`] is the *dynamic control dependence* used for
+///   slicing edges — the most recent instance, in the same call frame, of
+///   a predicate the statement is statically control dependent on (with
+///   the matching branch outcome). Top-level statements of a called
+///   function inherit the caller's guarding predicate, so slices cross
+///   call boundaries correctly.
+/// * [`Event::region_parent`] is the *nesting* parent that defines the
+///   region tree of Definition 3 — the innermost predicate instance whose
+///   guarded block (or loop-iteration chain) was being executed, crossing
+///   call boundaries. Regions are properly nested by construction, which
+///   is what Algorithm 1's alignment relies on.
+///
+/// For structured code without `break`/`continue`/`return`-in-branch the
+/// two coincide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The statement that executed.
+    pub stmt: StmtId,
+    /// The value this instance computed: the assigned value, the printed
+    /// value, the returned value, or the predicate's outcome.
+    pub value: Option<Value>,
+    /// For predicates: the branch outcome taken.
+    pub branch: Option<bool>,
+    /// Instances whose definitions this instance read (dynamic data
+    /// dependences), in evaluation order, deduplicated.
+    pub data_deps: Vec<InstId>,
+    /// Dynamic control-dependence parent (slicing edge).
+    pub cd_parent: Option<InstId>,
+    /// Region-nesting parent (alignment structure).
+    pub region_parent: Option<InstId>,
+    /// Variable defined by this instance, if any.
+    pub def_var: Option<VarId>,
+    /// For array stores: the concrete cell index written.
+    pub cell_index: Option<i64>,
+    /// Call depth at which the instance executed (0 = `main`).
+    pub call_depth: u32,
+}
+
+impl Event {
+    /// Creates an event with no dependences; the interpreter fills in the
+    /// rest while executing.
+    pub fn new(stmt: StmtId) -> Self {
+        Event {
+            stmt,
+            value: None,
+            branch: None,
+            data_deps: Vec::new(),
+            cd_parent: None,
+            region_parent: None,
+            def_var: None,
+            cell_index: None,
+            call_depth: 0,
+        }
+    }
+
+    /// Whether this instance is a predicate evaluation.
+    pub fn is_predicate(&self) -> bool {
+        self.branch.is_some()
+    }
+}
+
+/// An observable output: a `print` instance and the value it emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputRecord {
+    /// The `print` instance.
+    pub inst: InstId,
+    /// The emitted value.
+    pub value: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_new_is_empty() {
+        let e = Event::new(StmtId(4));
+        assert_eq!(e.stmt, StmtId(4));
+        assert!(e.data_deps.is_empty());
+        assert!(!e.is_predicate());
+    }
+
+    #[test]
+    fn predicate_detection() {
+        let mut e = Event::new(StmtId(0));
+        e.branch = Some(false);
+        assert!(e.is_predicate());
+    }
+
+    #[test]
+    fn inst_ordering_is_execution_order() {
+        assert!(InstId(3) < InstId(10));
+        assert_eq!(InstId(5).to_string(), "t5");
+    }
+}

@@ -1,0 +1,39 @@
+//! # omislice-trace
+//!
+//! Execution traces for the omislice system: statement instances with
+//! timestamps and values, dynamic data/control dependence edges (the
+//! dynamic dependence graph the paper builds with Valgrind), observable
+//! outputs, and the *region trees* of Definition 3 that the execution
+//! alignment algorithm navigates.
+//!
+//! Traces are produced by [`omislice-interp`](../omislice_interp) and
+//! consumed by the slicing, alignment, and fault-locating crates.
+//!
+//! ```
+//! use omislice_trace::{Event, InstId, RegionTree, Termination, Trace};
+//! use omislice_lang::StmtId;
+//!
+//! let mut guard = Event::new(StmtId(0));
+//! guard.branch = Some(true);
+//! let mut body = Event::new(StmtId(1));
+//! body.region_parent = Some(InstId(0));
+//! body.cd_parent = Some(InstId(0));
+//! let trace = Trace::from_parts(vec![guard, body], vec![], Termination::Normal);
+//! let regions = RegionTree::build(&trace);
+//! assert!(regions.in_region(InstId(0), InstId(1)));
+//! ```
+
+pub mod dot;
+pub mod event;
+pub mod region;
+pub mod stats;
+#[allow(clippy::module_inception)]
+pub mod trace;
+pub mod value;
+
+pub use dot::{ddg_to_dot, regions_to_dot};
+pub use event::{Event, InstId, OutputRecord};
+pub use region::RegionTree;
+pub use stats::TraceStats;
+pub use trace::{Termination, Trace};
+pub use value::Value;

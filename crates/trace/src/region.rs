@@ -1,0 +1,268 @@
+//! Region trees (Definition 3 of the paper).
+//!
+//! > *"A statement execution s and the statement executions that are
+//! > control dependent on s form a region."*
+//!
+//! The tree is built from each event's `region_parent` pointer, which the
+//! interpreter maintains as the innermost guarding predicate instance
+//! (crossing call boundaries, and chaining `while` iterations so that a
+//! whole loop execution forms one region headed by the first evaluation
+//! of its predicate — exactly the decomposition the paper uses to align
+//! `[6,7,8,11,12,6]` as a unit).
+//!
+//! Every statement instance heads a region: a leaf region for
+//! non-predicates, a subtree for predicates.
+
+use crate::event::InstId;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// The region tree of one trace.
+#[derive(Debug, Clone)]
+pub struct RegionTree {
+    parent: Vec<Option<InstId>>,
+    children: Vec<Vec<InstId>>,
+    /// Position of each instance within its sibling list.
+    child_index: Vec<u32>,
+    roots: Vec<InstId>,
+}
+
+impl RegionTree {
+    /// Builds the region tree of `trace` from its `region_parent`
+    /// pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent pointer refers to a later instance (parents
+    /// must precede children in execution order).
+    pub fn build(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<InstId>> = vec![Vec::new(); n];
+        let mut child_index = vec![0u32; n];
+        let mut roots = Vec::new();
+        for inst in trace.insts() {
+            let p = trace.event(inst).region_parent;
+            parent[inst.index()] = p;
+            match p {
+                Some(p) => {
+                    assert!(p < inst, "region parent {p} not before child {inst}");
+                    child_index[inst.index()] = children[p.index()].len() as u32;
+                    children[p.index()].push(inst);
+                }
+                None => {
+                    child_index[inst.index()] = roots.len() as u32;
+                    roots.push(inst);
+                }
+            }
+        }
+        RegionTree {
+            parent,
+            children,
+            child_index,
+            roots,
+        }
+    }
+
+    /// Top-level instances (the virtual whole-execution region's
+    /// children), in execution order.
+    pub fn roots(&self) -> &[InstId] {
+        &self.roots
+    }
+
+    /// The region-nesting parent of `inst`, or `None` at top level.
+    pub fn parent(&self, inst: InstId) -> Option<InstId> {
+        self.parent[inst.index()]
+    }
+
+    /// The sub-regions of the region headed by `inst`, in execution order.
+    pub fn children(&self, inst: InstId) -> &[InstId] {
+        &self.children[inst.index()]
+    }
+
+    /// The first sub-region of `inst`'s region (`FirstSubRegion` in
+    /// Algorithm 1), if any.
+    pub fn first_child(&self, inst: InstId) -> Option<InstId> {
+        self.children(inst).first().copied()
+    }
+
+    /// The next sibling region of `inst` (`SiblingRegion` in Algorithm 1),
+    /// or `None` if `inst` is the last sub-region of its parent — the
+    /// signal Algorithm 1 uses for the single-entry-multiple-exit case.
+    pub fn next_sibling(&self, inst: InstId) -> Option<InstId> {
+        let idx = self.child_index[inst.index()] as usize;
+        let siblings = match self.parent(inst) {
+            Some(p) => self.children(p),
+            None => &self.roots,
+        };
+        siblings.get(idx + 1).copied()
+    }
+
+    /// Position of `inst` within its sibling list.
+    pub fn child_index(&self, inst: InstId) -> usize {
+        self.child_index[inst.index()] as usize
+    }
+
+    /// Whether `inst` lies inside the region headed by `head`
+    /// (`InRegion` in Algorithm 1): true when `inst == head` or `head`
+    /// is a nesting ancestor of `inst`.
+    pub fn in_region(&self, head: InstId, inst: InstId) -> bool {
+        let mut cur = Some(inst);
+        while let Some(c) = cur {
+            if c == head {
+                return true;
+            }
+            // Ancestors precede descendants; stop once we pass head.
+            if c < head {
+                return false;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// The chain of nesting ancestors of `inst`, nearest first.
+    pub fn ancestors(&self, inst: InstId) -> Vec<InstId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(inst);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent(p);
+        }
+        out
+    }
+
+    /// Nesting depth of `inst` (0 for top-level instances).
+    pub fn depth(&self, inst: InstId) -> usize {
+        self.ancestors(inst).len()
+    }
+
+    /// Renders the region headed by `inst` in the paper's bracket
+    /// notation over statement ids, e.g. `[13,[14,[15],[16]],[17],[18]]`
+    /// — leaf regions print as bare statement numbers.
+    pub fn render(&self, trace: &Trace, inst: InstId) -> String {
+        let mut out = String::new();
+        self.render_into(trace, inst, &mut out);
+        out
+    }
+
+    /// Renders the whole execution as a sibling list of top-level regions.
+    pub fn render_all(&self, trace: &Trace) -> String {
+        let parts: Vec<String> = self.roots.iter().map(|&r| self.render(trace, r)).collect();
+        parts.join(", ")
+    }
+
+    fn render_into(&self, trace: &Trace, inst: InstId, out: &mut String) {
+        let stmt = trace.event(inst).stmt.0;
+        if self.children(inst).is_empty() {
+            let _ = write!(out, "{stmt}");
+        } else {
+            let _ = write!(out, "[{stmt}");
+            for &c in self.children(inst) {
+                out.push(',');
+                self.render_into(trace, c, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::trace::Termination;
+    use omislice_lang::StmtId;
+
+    fn mk(stmt: u32, region_parent: Option<u32>) -> Event {
+        let mut e = Event::new(StmtId(stmt));
+        e.region_parent = region_parent.map(InstId);
+        e
+    }
+
+    /// t0:S13 [ t1:S14 [ t2:S15, t3:S16 ], t4:S17, t5:S18 ]  — mirrors the
+    /// paper's `[13,[14,15,16],17,18]` region of Figure 2.
+    fn sample() -> (Trace, RegionTree) {
+        let events = vec![
+            mk(13, None),
+            mk(14, Some(0)),
+            mk(15, Some(1)),
+            mk(16, Some(1)),
+            mk(17, Some(0)),
+            mk(18, Some(0)),
+        ];
+        let t = Trace::from_parts(events, vec![], Termination::Normal);
+        let r = RegionTree::build(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn structure_matches_parents() {
+        let (_, r) = sample();
+        assert_eq!(r.roots(), &[InstId(0)]);
+        assert_eq!(r.children(InstId(0)), &[InstId(1), InstId(4), InstId(5)]);
+        assert_eq!(r.children(InstId(1)), &[InstId(2), InstId(3)]);
+        assert_eq!(r.parent(InstId(2)), Some(InstId(1)));
+        assert_eq!(r.parent(InstId(0)), None);
+    }
+
+    #[test]
+    fn navigation_ops() {
+        let (_, r) = sample();
+        assert_eq!(r.first_child(InstId(0)), Some(InstId(1)));
+        assert_eq!(r.first_child(InstId(2)), None);
+        assert_eq!(r.next_sibling(InstId(1)), Some(InstId(4)));
+        assert_eq!(r.next_sibling(InstId(5)), None);
+        assert_eq!(r.next_sibling(InstId(2)), Some(InstId(3)));
+        assert_eq!(r.next_sibling(InstId(0)), None);
+        assert_eq!(r.child_index(InstId(4)), 1);
+    }
+
+    #[test]
+    fn in_region_semantics() {
+        let (_, r) = sample();
+        assert!(r.in_region(InstId(0), InstId(3)));
+        assert!(r.in_region(InstId(1), InstId(2)));
+        assert!(r.in_region(InstId(1), InstId(1)), "head is in its region");
+        assert!(!r.in_region(InstId(1), InstId(4)));
+        assert!(
+            !r.in_region(InstId(2), InstId(1)),
+            "child region excludes parent"
+        );
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let (_, r) = sample();
+        assert_eq!(r.ancestors(InstId(2)), vec![InstId(1), InstId(0)]);
+        assert_eq!(r.depth(InstId(2)), 2);
+        assert_eq!(r.depth(InstId(0)), 0);
+    }
+
+    #[test]
+    fn render_matches_paper_notation() {
+        let (t, r) = sample();
+        assert_eq!(r.render(&t, InstId(0)), "[13,[14,15,16],17,18]");
+        assert_eq!(r.render_all(&t), "[13,[14,15,16],17,18]");
+    }
+
+    #[test]
+    fn multiple_roots_are_siblings() {
+        let events = vec![mk(1, None), mk(2, None), mk(3, Some(1))];
+        let t = Trace::from_parts(events, vec![], Termination::Normal);
+        let r = RegionTree::build(&t);
+        assert_eq!(r.roots(), &[InstId(0), InstId(1)]);
+        assert_eq!(r.next_sibling(InstId(0)), Some(InstId(1)));
+        assert_eq!(r.render_all(&t), "1, [2,3]");
+    }
+
+    #[test]
+    #[should_panic(expected = "region parent")]
+    fn forward_parent_pointer_panics() {
+        let mut e1 = Event::new(StmtId(0));
+        e1.region_parent = Some(InstId(1));
+        let e2 = Event::new(StmtId(1));
+        let t = Trace::from_parts(vec![e1, e2], vec![], Termination::Normal);
+        let _ = RegionTree::build(&t);
+    }
+}

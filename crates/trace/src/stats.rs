@@ -1,0 +1,138 @@
+//! Summary statistics over a trace — the quick health check a debugging
+//! session starts with (`omislice trace --stats` in the CLI).
+
+use crate::trace::Trace;
+use omislice_lang::StmtId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregate counts for one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total statement instances.
+    pub instances: usize,
+    /// Distinct statements executed.
+    pub unique_stmts: usize,
+    /// Predicate instances (branch evaluations).
+    pub predicate_instances: usize,
+    /// Total dynamic data-dependence edges.
+    pub data_edges: usize,
+    /// Instances with a dynamic control-dependence parent.
+    pub control_edges: usize,
+    /// Observable outputs emitted.
+    pub outputs: usize,
+    /// Deepest call depth reached.
+    pub max_call_depth: u32,
+    /// The most executed statement and its instance count.
+    pub hottest: Option<(StmtId, usize)>,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut per_stmt: HashMap<StmtId, usize> = HashMap::new();
+        let mut predicate_instances = 0;
+        let mut data_edges = 0;
+        let mut control_edges = 0;
+        let mut max_call_depth = 0;
+        for ev in trace.events() {
+            *per_stmt.entry(ev.stmt).or_insert(0) += 1;
+            if ev.is_predicate() {
+                predicate_instances += 1;
+            }
+            data_edges += ev.data_deps.len();
+            if ev.cd_parent.is_some() {
+                control_edges += 1;
+            }
+            max_call_depth = max_call_depth.max(ev.call_depth);
+        }
+        let hottest = per_stmt
+            .iter()
+            .max_by_key(|(stmt, n)| (**n, std::cmp::Reverse(**stmt)))
+            .map(|(&s, &n)| (s, n));
+        TraceStats {
+            instances: trace.len(),
+            unique_stmts: per_stmt.len(),
+            predicate_instances,
+            data_edges,
+            control_edges,
+            outputs: trace.outputs().len(),
+            max_call_depth,
+            hottest,
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instances        : {}", self.instances)?;
+        writeln!(f, "unique statements: {}", self.unique_stmts)?;
+        writeln!(f, "predicates       : {}", self.predicate_instances)?;
+        writeln!(f, "data edges       : {}", self.data_edges)?;
+        writeln!(f, "control edges    : {}", self.control_edges)?;
+        writeln!(f, "outputs          : {}", self.outputs)?;
+        writeln!(f, "max call depth   : {}", self.max_call_depth)?;
+        match self.hottest {
+            Some((s, n)) => writeln!(f, "hottest statement: {s} ({n} instances)"),
+            None => writeln!(f, "hottest statement: -"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, InstId, OutputRecord};
+    use crate::trace::Termination;
+    use crate::value::Value;
+
+    fn sample() -> Trace {
+        let mut guard = Event::new(StmtId(0));
+        guard.branch = Some(true);
+        let mut a = Event::new(StmtId(1));
+        a.cd_parent = Some(InstId(0));
+        a.data_deps = vec![InstId(0)];
+        a.value = Some(Value::Int(1));
+        let mut b = Event::new(StmtId(1));
+        b.cd_parent = Some(InstId(0));
+        b.data_deps = vec![InstId(0), InstId(1)];
+        b.call_depth = 2;
+        Trace::from_parts(
+            vec![guard, a, b],
+            vec![OutputRecord {
+                inst: InstId(1),
+                value: Value::Int(1),
+            }],
+            Termination::Normal,
+        )
+    }
+
+    #[test]
+    fn counts_are_accurate() {
+        let stats = TraceStats::compute(&sample());
+        assert_eq!(stats.instances, 3);
+        assert_eq!(stats.unique_stmts, 2);
+        assert_eq!(stats.predicate_instances, 1);
+        assert_eq!(stats.data_edges, 3);
+        assert_eq!(stats.control_edges, 2);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.max_call_depth, 2);
+        assert_eq!(stats.hottest, Some((StmtId(1), 2)));
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let stats = TraceStats::compute(&Trace::from_parts(vec![], vec![], Termination::Normal));
+        assert_eq!(stats.instances, 0);
+        assert_eq!(stats.hottest, None);
+        assert!(stats.to_string().contains("hottest statement: -"));
+    }
+
+    #[test]
+    fn display_lists_every_field() {
+        let text = TraceStats::compute(&sample()).to_string();
+        for needle in ["instances", "predicates", "data edges", "hottest"] {
+            assert!(text.contains(needle), "{text}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The execution trace: the dynamic dependence graph of one run.
+
+use crate::event::{Event, InstId, OutputRecord};
+use crate::value::Value;
+use omislice_lang::StmtId;
+use std::collections::HashMap;
+
+/// A complete execution trace.
+///
+/// The events *are* the dynamic dependence graph: each event carries its
+/// data-dependence edges and its dynamic control-dependence parent. The
+/// trace additionally records the observable outputs and how the run
+/// ended.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<Event>,
+    outputs: Vec<OutputRecord>,
+    by_stmt: HashMap<StmtId, Vec<InstId>>,
+    termination: Termination,
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Termination {
+    /// `main` returned normally.
+    Normal,
+    /// The step budget was exhausted (the paper's verification timer).
+    BudgetExhausted,
+    /// A runtime error (division by zero, out-of-bounds index, ...).
+    RuntimeError(String),
+}
+
+impl Termination {
+    /// Whether the run completed without error or timeout.
+    pub fn is_normal(&self) -> bool {
+        *self == Termination::Normal
+    }
+}
+
+impl Trace {
+    /// Assembles a trace from its parts (used by the interpreter).
+    pub fn from_parts(
+        events: Vec<Event>,
+        outputs: Vec<OutputRecord>,
+        termination: Termination,
+    ) -> Self {
+        let mut by_stmt: HashMap<StmtId, Vec<InstId>> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            by_stmt.entry(e.stmt).or_default().push(InstId(i as u32));
+        }
+        Trace {
+            events,
+            outputs,
+            by_stmt,
+            termination,
+        }
+    }
+
+    /// Number of statement instances.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event for instance `inst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is out of range.
+    pub fn event(&self, inst: InstId) -> &Event {
+        &self.events[inst.index()]
+    }
+
+    /// All events in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates instance ids in execution order.
+    pub fn insts(&self) -> impl Iterator<Item = InstId> {
+        (0..self.events.len() as u32).map(InstId)
+    }
+
+    /// The instances of a statement, in execution order.
+    pub fn instances_of(&self, stmt: StmtId) -> &[InstId] {
+        self.by_stmt.get(&stmt).map_or(&[], Vec::as_slice)
+    }
+
+    /// The k-th (0-based) instance of a statement, if it executed that
+    /// often.
+    pub fn nth_instance(&self, stmt: StmtId, k: usize) -> Option<InstId> {
+        self.instances_of(stmt).get(k).copied()
+    }
+
+    /// Which occurrence of its statement `inst` is (0-based): the inverse
+    /// of [`Trace::nth_instance`].
+    pub fn occurrence_index(&self, inst: InstId) -> usize {
+        let stmt = self.event(inst).stmt;
+        self.instances_of(stmt)
+            .binary_search(&inst)
+            .expect("instance belongs to its statement's list")
+    }
+
+    /// Observable outputs in emission order.
+    pub fn outputs(&self) -> &[OutputRecord] {
+        &self.outputs
+    }
+
+    /// The output emitted by instance `inst`, if it was a `print`.
+    pub fn output_of(&self, inst: InstId) -> Option<Value> {
+        self.outputs
+            .iter()
+            .find(|o| o.inst == inst)
+            .map(|o| o.value)
+    }
+
+    /// How the run ended.
+    pub fn termination(&self) -> &Termination {
+        &self.termination
+    }
+
+    /// The dynamic control-dependence ancestors of `inst` (the `cd_parent`
+    /// chain), nearest first.
+    pub fn cd_ancestors(&self, inst: InstId) -> Vec<InstId> {
+        let mut out = Vec::new();
+        let mut cur = self.event(inst).cd_parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.event(p).cd_parent;
+        }
+        out
+    }
+
+    /// Whether `inst` is (transitively) dynamically control dependent on
+    /// `pred_inst`.
+    pub fn cd_depends_on(&self, inst: InstId, pred_inst: InstId) -> bool {
+        let mut cur = self.event(inst).cd_parent;
+        while let Some(p) = cur {
+            if p == pred_inst {
+                return true;
+            }
+            // Parents always have smaller timestamps; stop early.
+            if p < pred_inst {
+                return false;
+            }
+            cur = self.event(p).cd_parent;
+        }
+        false
+    }
+
+    /// Printed values as a plain vector — the "program output" used to
+    /// compare runs.
+    pub fn output_values(&self) -> Vec<Value> {
+        self.outputs.iter().map(|o| o.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_event(stmt: u32, cd_parent: Option<u32>) -> Event {
+        let mut e = Event::new(StmtId(stmt));
+        e.cd_parent = cd_parent.map(InstId);
+        e
+    }
+
+    fn sample() -> Trace {
+        // t0: S0 (pred), t1: S1 under t0, t2: S0 again, t3: S1 under t2
+        let events = vec![
+            mk_event(0, None),
+            mk_event(1, Some(0)),
+            mk_event(0, None),
+            mk_event(1, Some(2)),
+        ];
+        let outputs = vec![OutputRecord {
+            inst: InstId(3),
+            value: Value::Int(9),
+        }];
+        Trace::from_parts(events, outputs, Termination::Normal)
+    }
+
+    #[test]
+    fn instances_are_grouped_by_statement() {
+        let t = sample();
+        assert_eq!(t.instances_of(StmtId(0)), &[InstId(0), InstId(2)]);
+        assert_eq!(t.instances_of(StmtId(1)), &[InstId(1), InstId(3)]);
+        assert_eq!(t.instances_of(StmtId(9)), &[] as &[InstId]);
+    }
+
+    #[test]
+    fn nth_instance_and_occurrence_are_inverse() {
+        let t = sample();
+        assert_eq!(t.nth_instance(StmtId(1), 1), Some(InstId(3)));
+        assert_eq!(t.nth_instance(StmtId(1), 2), None);
+        assert_eq!(t.occurrence_index(InstId(3)), 1);
+        assert_eq!(t.occurrence_index(InstId(0)), 0);
+    }
+
+    #[test]
+    fn cd_ancestors_chain() {
+        let t = sample();
+        assert_eq!(t.cd_ancestors(InstId(3)), vec![InstId(2)]);
+        assert!(t.cd_depends_on(InstId(3), InstId(2)));
+        assert!(!t.cd_depends_on(InstId(3), InstId(0)));
+        assert!(!t.cd_depends_on(InstId(0), InstId(0)));
+    }
+
+    #[test]
+    fn outputs_are_recorded() {
+        let t = sample();
+        assert_eq!(t.output_values(), vec![Value::Int(9)]);
+        assert_eq!(t.output_of(InstId(3)), Some(Value::Int(9)));
+        assert_eq!(t.output_of(InstId(0)), None);
+    }
+
+    #[test]
+    fn termination_flags() {
+        assert!(Termination::Normal.is_normal());
+        assert!(!Termination::BudgetExhausted.is_normal());
+        assert!(!Termination::RuntimeError("x".into()).is_normal());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::from_parts(vec![], vec![], Termination::Normal);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.insts().count(), 0);
+    }
+}

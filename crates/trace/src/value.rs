@@ -1,0 +1,90 @@
+//! Runtime values of the mini-language.
+
+use std::fmt;
+
+/// A runtime value: the mini-language has 64-bit integers and booleans
+/// (arrays are storage, not first-class values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A signed 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Whether the value is "truthy" in a predicate position: booleans
+    /// are themselves; integers are true iff non-zero (C-style), which
+    /// keeps corpus programs terse.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Int(n) => n != 0,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_int(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Int(1).truthy());
+        assert!(Value::Int(-5).truthy());
+        assert!(!Value::Int(0).truthy());
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Value::from(7).to_string(), "7");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+}

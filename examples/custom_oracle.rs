@@ -1,0 +1,109 @@
+//! Using the locator *without* a fixed reference program, by implementing
+//! [`UserOracle`] directly — the way a real debugging session works: you
+//! know which outputs look right and what the failing one should have
+//! been, and you can judge presented program state, but nobody hands you
+//! the patched program.
+//!
+//! Run with: `cargo run --example custom_oracle`
+
+use omislice::omislice_slicing::ValueProfile;
+use omislice::prelude::*;
+use omislice::{LocateConfig, OutputClassification, UserOracle};
+
+/// A scripted "programmer": knows the expected output values and judges
+/// instances by a handful of domain rules instead of a reference run.
+struct ScriptedOracle {
+    /// The outputs the program *should* produce.
+    expected: Vec<Value>,
+}
+
+impl UserOracle for ScriptedOracle {
+    fn classify_outputs(&self, trace: &Trace) -> Option<OutputClassification> {
+        let mut correct = Vec::new();
+        for (i, out) in trace.outputs().iter().enumerate() {
+            match self.expected.get(i) {
+                Some(e) if *e == out.value => correct.push(out.inst),
+                other => {
+                    return Some(OutputClassification {
+                        correct,
+                        wrong: out.inst,
+                        expected: other.copied(),
+                    })
+                }
+            }
+        }
+        None
+    }
+
+    fn is_benign(&self, trace: &Trace, inst: InstId) -> bool {
+        // The "programmer" recognizes obviously-healthy state: the input
+        // echo and the header constant are known-good in this scenario.
+        matches!(
+            trace.event(inst).value,
+            Some(Value::Int(31)) | Some(Value::Int(139))
+        )
+    }
+
+    fn is_root_cause(&self, _stmt: StmtId) -> bool {
+        // Exploratory mode: the programmer does not know the root cause
+        // in advance, so the locator runs until nothing is left to
+        // expand and reports its fault candidate set.
+        false
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A header writer with the Figure 1 bug baked in: the flags guard is
+    // never taken because `save` is computed wrong.
+    let faulty = r#"
+        global flags = 0;
+        fn main() {
+            let save = input() - 1;
+            print(31);
+            print(139);
+            flags = 1;
+            if save == 1 { flags = flags + 8; }
+            print(flags);
+        }
+    "#;
+    let program = compile(faulty)?;
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(vec![1]);
+    let trace = run_traced(&program, &analysis, &config).trace;
+
+    let mut profile = ValueProfile::new();
+    profile.add_trace(&trace);
+    for other in [0i64, 2, 5] {
+        let cfg = RunConfig::with_inputs(vec![other]);
+        profile.add_trace(&run_traced(&program, &analysis, &cfg).trace);
+    }
+
+    // The programmer knows the archive should read 31, 139, 9.
+    let oracle = ScriptedOracle {
+        expected: vec![Value::Int(31), Value::Int(139), Value::Int(9)],
+    };
+
+    let outcome = omislice::locate_fault(
+        &program,
+        &analysis,
+        &config,
+        &trace,
+        &profile,
+        &oracle,
+        &LocateConfig::default(),
+    )?;
+
+    // Exploratory mode never "confirms" a root (is_root_cause is always
+    // false), but the expanded, pruned fault candidate set contains it.
+    println!("{}", omislice::render_report(&outcome, &trace, &analysis));
+    assert!(!outcome.found, "exploratory mode has no confirmation step");
+    assert!(
+        outcome.ips.contains_stmt(StmtId(0)),
+        "the candidate set reaches `let save = input() - 1;`"
+    );
+    assert!(outcome.expanded_edges >= 1, "an implicit edge was verified");
+    println!("The fault candidate set above contains the seeded root (S0),");
+    println!("reached through a verified implicit dependence — no reference");
+    println!("program was consulted.");
+    Ok(())
+}

@@ -1,0 +1,323 @@
+//! Cross-crate property tests over randomly generated programs.
+//!
+//! A small structured-program generator produces terminating programs
+//! (loops are bounded counters), and properties assert agreement and
+//! well-formedness across the whole pipeline:
+//!
+//! * plain and traced interpreters produce identical outputs;
+//! * pretty-print → re-parse → re-run is observationally identical;
+//! * trace dependence edges always point backwards in time;
+//! * region trees are properly nested;
+//! * the dynamic slice is contained in the relevant slice;
+//! * a switched re-execution shares the prefix up to the switch point,
+//!   and the aligner maps prefix instances to themselves.
+
+use omislice::omislice_lang::printer::print_program;
+use omislice::omislice_slicing::relevant_slice;
+use omislice::prelude::*;
+use proptest::prelude::*;
+
+// --- program generator -------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GenStmt {
+    Assign(usize, GenExpr),
+    Store(GenExpr, GenExpr),
+    Print(GenExpr),
+    If(GenExpr, Vec<GenStmt>, Vec<GenStmt>),
+    /// Bounded loop: a fresh counter runs to a small constant.
+    Loop(u8, Vec<GenStmt>),
+    Call(GenExpr),
+}
+
+#[derive(Debug, Clone)]
+enum GenExpr {
+    Lit(i8),
+    Var(usize),
+    Load(Box<GenExpr>),
+    Add(Box<GenExpr>, Box<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Rem(Box<GenExpr>, u8),
+    Input,
+}
+
+const GLOBALS: [&str; 4] = ["g0", "g1", "g2", "g3"];
+
+fn expr_strategy() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-5i8..10).prop_map(GenExpr::Lit),
+        (0usize..GLOBALS.len()).prop_map(GenExpr::Var),
+        Just(GenExpr::Input),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), 1u8..7).prop_map(|(a, k)| GenExpr::Rem(Box::new(a), k)),
+            inner.prop_map(|a| GenExpr::Load(Box::new(a))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = GenStmt> {
+    let leaf = prop_oneof![
+        ((0usize..GLOBALS.len()), expr_strategy()).prop_map(|(v, e)| GenStmt::Assign(v, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GenStmt::Store(i, e)),
+        expr_strategy().prop_map(GenStmt::Print),
+        expr_strategy().prop_map(GenStmt::Call),
+    ];
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
+            ((0u8..4), prop::collection::vec(inner, 1..4))
+                .prop_map(|(k, body)| GenStmt::Loop(k, body)),
+        ]
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = (String, Vec<i64>)> {
+    (
+        prop::collection::vec(stmt_strategy(), 1..8),
+        prop::collection::vec(-20i64..20, 0..12),
+    )
+        .prop_map(|(stmts, inputs)| (render_program(&stmts), inputs))
+}
+
+fn render_expr(e: &GenExpr, out: &mut String) {
+    match e {
+        GenExpr::Lit(n) => {
+            if *n < 0 {
+                out.push_str(&format!("(0 - {})", -(*n as i64)));
+            } else {
+                out.push_str(&n.to_string());
+            }
+        }
+        GenExpr::Var(v) => out.push_str(GLOBALS[*v]),
+        GenExpr::Load(i) => {
+            out.push_str("arr[((");
+            render_expr(i, out);
+            out.push_str(") % 8 + 8) % 8]");
+        }
+        GenExpr::Add(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" + ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GenExpr::Sub(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" - ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GenExpr::Rem(a, k) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" % {k})"));
+        }
+        GenExpr::Input => out.push_str("input()"),
+    }
+}
+
+fn render_stmts(stmts: &[GenStmt], out: &mut String, counter: &mut usize) {
+    for s in stmts {
+        match s {
+            GenStmt::Assign(v, e) => {
+                out.push_str(GLOBALS[*v]);
+                out.push_str(" = ");
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            GenStmt::Store(i, e) => {
+                out.push_str("arr[((");
+                render_expr(i, out);
+                out.push_str(") % 8 + 8) % 8] = ");
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            GenStmt::Print(e) => {
+                out.push_str("print(");
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            GenStmt::Call(e) => {
+                out.push_str("note(");
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            GenStmt::If(c, t, e) => {
+                out.push_str("if (");
+                render_expr(c, out);
+                out.push_str(") % 2 == 0 {\n");
+                render_stmts(t, out, counter);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render_stmts(e, out, counter);
+                    out.push_str("}\n");
+                }
+            }
+            GenStmt::Loop(k, body) => {
+                let c = *counter;
+                *counter += 1;
+                out.push_str(&format!("let w{c} = 0;\nwhile w{c} < {k} {{\n"));
+                render_stmts(body, out, counter);
+                out.push_str(&format!("w{c} = w{c} + 1;\n}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[GenStmt]) -> String {
+    let mut body = String::new();
+    let mut counter = 0usize;
+    render_stmts(stmts, &mut body, &mut counter);
+    format!(
+        "global g0 = 0; global g1 = 1; global g2 = 2; global g3 = 3;\n\
+         global arr = [0; 8];\n\
+         global noted = 0;\n\
+         fn note(v) {{ noted = noted + v; return noted; }}\n\
+         fn main() {{\n{body}print(noted);\n}}\n"
+    )
+}
+
+// --- properties ---------------------------------------------------------
+
+fn compiled(src: &str) -> (Program, ProgramAnalysis) {
+    let p = compile(src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+    let a = ProgramAnalysis::build(&p);
+    (p, a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plain_and_traced_interpreters_agree((src, inputs) in program_strategy()) {
+        let (program, analysis) = compiled(&src);
+        let config = RunConfig::with_inputs(inputs);
+        let plain = run_plain(&program, &config);
+        let traced = run_traced(&program, &analysis, &config);
+        prop_assert_eq!(&plain.outputs, &traced.trace.output_values(), "src:\n{}", src);
+        prop_assert_eq!(
+            plain.is_normal(),
+            traced.trace.termination().is_normal(),
+            "termination mismatch on:\n{}", src
+        );
+    }
+
+    #[test]
+    fn printer_roundtrip_is_observational_identity((src, inputs) in program_strategy()) {
+        let (program, _) = compiled(&src);
+        let printed = print_program(&program);
+        let reparsed = compile(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(program.stmt_count(), reparsed.stmt_count());
+        let config = RunConfig::with_inputs(inputs);
+        let a = run_plain(&program, &config);
+        let b = run_plain(&reparsed, &config);
+        prop_assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn trace_edges_point_backwards((src, inputs) in program_strategy()) {
+        let (program, analysis) = compiled(&src);
+        let run = run_traced(&program, &analysis, &RunConfig::with_inputs(inputs));
+        for inst in run.trace.insts() {
+            let ev = run.trace.event(inst);
+            for &d in &ev.data_deps {
+                prop_assert!(d < inst, "forward data edge {d} -> {inst}");
+            }
+            if let Some(cd) = ev.cd_parent {
+                prop_assert!(cd < inst);
+            }
+            if let Some(rp) = ev.region_parent {
+                prop_assert!(rp < inst);
+            }
+        }
+    }
+
+    #[test]
+    fn region_trees_are_properly_nested((src, inputs) in program_strategy()) {
+        let (program, analysis) = compiled(&src);
+        let run = run_traced(&program, &analysis, &RunConfig::with_inputs(inputs));
+        let regions = RegionTree::build(&run.trace);
+        for inst in run.trace.insts() {
+            for anc in regions.ancestors(inst) {
+                prop_assert!(regions.in_region(anc, inst));
+            }
+            for &child in regions.children(inst) {
+                prop_assert_eq!(regions.parent(child), Some(inst));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_slice_is_contained_in_relevant_slice((src, inputs) in program_strategy()) {
+        let (program, analysis) = compiled(&src);
+        let run = run_traced(&program, &analysis, &RunConfig::with_inputs(inputs));
+        let Some(last) = run.trace.outputs().last() else { return Ok(()); };
+        let ds = DepGraph::new(&run.trace).backward_slice(last.inst);
+        let rs = relevant_slice(&run.trace, &analysis, last.inst);
+        for &i in ds.insts() {
+            prop_assert!(rs.contains(i), "DS instance {i} missing from RS");
+        }
+    }
+
+    #[test]
+    fn switched_runs_share_the_prefix((src, inputs, pick) in (program_strategy(), any::<prop::sample::Index>())
+        .prop_map(|((s, i), p)| (s, i, p)))
+    {
+        let (program, analysis) = compiled(&src);
+        let config = RunConfig::with_inputs(inputs);
+        let base = run_traced(&program, &analysis, &config);
+        // Pick a predicate instance from the base run, if any.
+        let preds: Vec<InstId> = base
+            .trace
+            .insts()
+            .filter(|&i| base.trace.event(i).is_predicate())
+            .collect();
+        if preds.is_empty() {
+            return Ok(());
+        }
+        let target = preds[pick.index(preds.len())];
+        let stmt = base.trace.event(target).stmt;
+        let occurrence = base.trace.occurrence_index(target) as u32;
+        let sw = run_traced(
+            &program,
+            &analysis,
+            &config.switched(SwitchSpec::new(stmt, occurrence)),
+        );
+        let Some(switched_at) = sw.switched else {
+            return Ok(());
+        };
+        prop_assert_eq!(switched_at, target, "switch lands at the same timestamp");
+        for i in 0..switched_at.index() {
+            prop_assert_eq!(
+                &base.trace.events()[i],
+                &sw.trace.events()[i],
+                "prefix diverged at {} on:\n{}", i, src
+            );
+        }
+        // The switched instance itself: same statement, opposite branch.
+        let b0 = base.trace.event(target).branch;
+        let b1 = sw.trace.event(target).branch;
+        prop_assert_eq!(b0.map(|b| !b), b1);
+        // The aligner maps prefix instances to themselves.
+        let aligner = Aligner::new(&base.trace, &sw.trace);
+        if switched_at.index() > 0 {
+            let probe = InstId((switched_at.index() / 2) as u32);
+            prop_assert_eq!(aligner.match_inst(target, probe), Some(probe));
+        }
+    }
+}
