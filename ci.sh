@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full CI gate: build, tests, formatting, lints. Run from the repo root.
+#
+# The workspace's external dependencies (criterion, proptest, rand) are
+# vendored as offline stand-ins under vendor/, wired up as path
+# dependencies — so when vendor/ is present the whole pipeline runs with
+# --offline and never touches a registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OFFLINE=()
+if [ -d vendor ]; then
+    OFFLINE=(--offline)
+fi
+
+echo "==> cargo build --release"
+cargo build "${OFFLINE[@]}" --release --workspace
+
+echo "==> cargo test"
+cargo test "${OFFLINE[@]}" -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+echo "CI OK"

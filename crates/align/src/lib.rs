@@ -47,6 +47,7 @@
 //! ```
 
 use omislice_trace::{InstId, RegionTree, Trace};
+use std::sync::Arc;
 
 /// Aligns an original trace against a switched re-execution of the same
 /// program on the same input.
@@ -54,8 +55,8 @@ use omislice_trace::{InstId, RegionTree, Trace};
 pub struct Aligner<'a> {
     orig: &'a Trace,
     switched: &'a Trace,
-    orig_regions: RegionTree,
-    switched_regions: RegionTree,
+    orig_regions: Arc<RegionTree>,
+    switched_regions: Arc<RegionTree>,
 }
 
 impl<'a> Aligner<'a> {
@@ -64,8 +65,26 @@ impl<'a> Aligner<'a> {
         Aligner {
             orig,
             switched,
-            orig_regions: RegionTree::build(orig),
-            switched_regions: RegionTree::build(switched),
+            orig_regions: Arc::new(RegionTree::build(orig)),
+            switched_regions: Arc::new(RegionTree::build(switched)),
+        }
+    }
+
+    /// Like [`Aligner::new`], but reuses region trees built elsewhere.
+    /// Region-tree construction is O(trace length), so callers that align
+    /// one original trace against many switched runs (the verifier) share
+    /// the original's tree and memoize the switched ones.
+    pub fn with_regions(
+        orig: &'a Trace,
+        switched: &'a Trace,
+        orig_regions: Arc<RegionTree>,
+        switched_regions: Arc<RegionTree>,
+    ) -> Self {
+        Aligner {
+            orig,
+            switched,
+            orig_regions,
+            switched_regions,
         }
     }
 
@@ -134,33 +153,34 @@ impl<'a> Aligner<'a> {
             Some(h) => self.switched_regions.children(h),
             None => self.switched_regions.roots(),
         };
-        let mut i = 0;
-        loop {
-            // The sub-region of R containing u must exist since u ∈ R.
-            let c = *kids.get(i)?;
-            // SiblingRegion(r') == NULL: the switched run left this
-            // region early (break/return under the switched branch, or a
-            // loop that stopped iterating) — Figure 3's case.
-            let c2 = *kids2.get(i)?;
-            if self.orig_regions.in_region(c, u) {
-                // Corresponding sub-regions must be instances of the same
-                // statement for the positional correspondence to be
-                // meaningful; a mismatch means control flow diverged.
-                if self.orig.event(c).stmt != self.switched.event(c2).stmt {
-                    return None;
-                }
-                if c == u {
-                    return Some(c2);
-                }
-                // Branch(r) != Branch(r'): switching p flipped a predicate
-                // u is control dependent on, so u did not execute in E'.
-                if self.orig.event(c).branch != self.switched.event(c2).branch {
-                    return None;
-                }
-                return self.match_inside(Some(c), Some(c2), u);
-            }
-            i += 1;
+        // Children are sorted by instance id and u lies in exactly one
+        // sibling's subtree (u ∈ R), so the sibling containing u is the
+        // last child at or before u — found by binary search instead of
+        // the paper's linear lockstep walk. The walk's early-exit case is
+        // preserved: if the switched region has fewer siblings than the
+        // target index (break/return under the switched branch, or a loop
+        // that stopped iterating — Figure 3), there is no match.
+        let i = kids.partition_point(|&c| c <= u).checked_sub(1)?;
+        let c = kids[i];
+        debug_assert!(self.orig_regions.in_region(c, u));
+        // SiblingRegion(r') == NULL: the switched run left this region
+        // early before producing sibling i.
+        let c2 = *kids2.get(i)?;
+        // Corresponding sub-regions must be instances of the same
+        // statement for the positional correspondence to be meaningful; a
+        // mismatch means control flow diverged.
+        if self.orig.event(c).stmt != self.switched.event(c2).stmt {
+            return None;
         }
+        if c == u {
+            return Some(c2);
+        }
+        // Branch(r) != Branch(r'): switching p flipped a predicate u is
+        // control dependent on, so u did not execute in E'.
+        if self.orig.event(c).branch != self.switched.event(c2).branch {
+            return None;
+        }
+        self.match_inside(Some(c), Some(c2), u)
     }
 
     /// Convenience: matches `u` and returns the corresponding event of the

@@ -7,6 +7,11 @@
 //! Valgrind dynamic binary instrumentation; ours is an AST interpreter),
 //! but the *structure* holds: Graph costs a constant factor over Plain,
 //! and Verif. scales with the number of verifications.
+//!
+//! Beyond the paper's columns, "Scratch" is the verification time with
+//! checkpoint resumption disabled and "Resume x" the speedup the
+//! default engine gains over it; "Saved" counts trace events the
+//! resumed switched runs did not have to re-execute.
 
 use omislice_bench::measure::time_fault;
 use omislice_bench::table::render;
@@ -28,7 +33,10 @@ fn main() {
                 micros(t.plain_ns),
                 micros(t.graph_ns),
                 micros(t.verif_ns),
+                micros(t.verif_scratch_ns),
                 format!("{:.1}", t.slowdown()),
+                format!("{:.1}", t.resume_speedup()),
+                t.stats.steps_saved.to_string(),
             ]);
         }
     }
@@ -42,7 +50,10 @@ fn main() {
                 "Plain (us)",
                 "Graph (us)",
                 "Verif. (us)",
+                "Scratch (us)",
                 "Graph/Plain",
+                "Resume x",
+                "Saved",
             ],
             &rows
         )

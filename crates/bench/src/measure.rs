@@ -5,8 +5,9 @@
 //! (see the `table4` binary and the Criterion benches).
 
 use omislice::omislice_analysis::ProgramAnalysis;
-use omislice::omislice_interp::{run_traced, RunConfig};
+use omislice::omislice_interp::{run_traced, ResumeMode, RunConfig};
 use omislice::omislice_slicing::{prune_slice, relevant_slice, DepGraph, Feedback};
+use omislice::omislice_trace::VerificationStats;
 use omislice::{LocateConfig, LocateOutcome, UserOracle};
 use omislice_corpus::{all_benchmarks, Benchmark, Fault};
 
@@ -106,21 +107,33 @@ pub fn measure_all() -> Vec<FaultMeasurement> {
 }
 
 /// Wall-clock timings for Table 4, in nanoseconds (best of `reps`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FaultTiming {
     /// Un-instrumented execution (the paper's "Plain").
     pub plain_ns: u128,
     /// Traced execution building the dependence graph ("Graph").
     pub graph_ns: u128,
     /// The verification procedure: all switched re-executions plus
-    /// alignment inside the demand-driven loop ("Verif.").
+    /// alignment inside the demand-driven loop ("Verif."), run with the
+    /// default checkpoint-resume engine.
     pub verif_ns: u128,
+    /// The same procedure with resumption disabled — every switched run
+    /// re-executes from the beginning, the engine before this
+    /// optimization.
+    pub verif_scratch_ns: u128,
+    /// Engine counters from a resumed locate run (not wall-timed).
+    pub stats: VerificationStats,
 }
 
 impl FaultTiming {
     /// The Graph/Plain slowdown factor.
     pub fn slowdown(&self) -> f64 {
         self.graph_ns as f64 / self.plain_ns.max(1) as f64
+    }
+
+    /// How much faster the resumed engine verifies than from-scratch.
+    pub fn resume_speedup(&self) -> f64 {
+        self.verif_scratch_ns as f64 / self.verif_ns.max(1) as f64
     }
 }
 
@@ -156,10 +169,26 @@ pub fn time_fault(bench: &Benchmark, fault: &Fault, reps: usize) -> FaultTiming 
     let verif_ns = best(&mut || {
         std::hint::black_box(session.locate(&LocateConfig::default()).expect("locates"));
     });
+    let verif_scratch_ns = best(&mut || {
+        std::hint::black_box(
+            session
+                .locate(&LocateConfig {
+                    resume: ResumeMode::Disabled,
+                    ..LocateConfig::default()
+                })
+                .expect("locates"),
+        );
+    });
+    let stats = session
+        .locate(&LocateConfig::default())
+        .expect("locates")
+        .stats;
 
     FaultTiming {
         plain_ns,
         graph_ns,
         verif_ns,
+        verif_scratch_ns,
+        stats,
     }
 }

@@ -7,9 +7,10 @@
 //! omislice cfg      <file> [--function main]
 //! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
 //!                   [--profile 4,5;6,7] [--mode edge|path|value]
+//!                   [--jobs N] [--no-resume] [--stats]
 //! omislice verify   <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
 //!                   [--var name] [--expected v] [--mode edge|path|value]
-//! omislice corpus   [list | locate <bench> <fault>]
+//! omislice corpus   [list | locate <bench> <fault> [--jobs N] [--no-resume] [--stats]]
 //! ```
 
 use omislice::omislice_analysis::ProgramAnalysis;
@@ -41,9 +42,10 @@ const USAGE: &str = "usage:
   omislice cfg     <file> [--function main]
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
                    [--profile 4,5;6,7] [--mode edge|path|value]
+                   [--jobs N] [--no-resume] [--stats]
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
-  omislice corpus  [list | locate <bench> <fault>]";
+  omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume] [--stats]]";
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut it = args.into_iter();
@@ -252,8 +254,21 @@ fn parse_mode(text: Option<&str>) -> Result<VerifierMode, String> {
     })
 }
 
+fn parse_jobs(text: Option<&str>) -> Result<usize, String> {
+    match text {
+        None => Ok(1),
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --jobs `{t}` (need a positive integer)")),
+        },
+    }
+}
+
 fn cmd_locate(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["faulty", "fixed", "input", "profile", "mode"])?;
+    let opts = Opts::parse(
+        args,
+        &["faulty", "fixed", "input", "profile", "mode", "jobs"],
+    )?;
     let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
     let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
     let faulty = load_program(faulty_path)?;
@@ -283,11 +298,21 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
     let oracle = GroundTruthOracle::new(&fixed, &fixed_analysis, &config, roots.clone());
     let lc = LocateConfig {
         mode: parse_mode(opts.value("mode"))?,
+        jobs: parse_jobs(opts.value("jobs"))?,
+        resume: if opts.has("no-resume") {
+            omislice::omislice_interp::ResumeMode::Disabled
+        } else {
+            omislice::omislice_interp::ResumeMode::Auto
+        },
         ..LocateConfig::default()
     };
     let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
         .map_err(|e| e.to_string())?;
     println!("{}", omislice::render_report(&outcome, &trace, &analysis));
+    if opts.has("stats") {
+        println!("verification engine:");
+        print!("{}", outcome.stats);
+    }
     println!("seeded root statement(s):");
     for r in roots {
         if let Some(stmt) = faulty.stmt(r) {
@@ -383,7 +408,7 @@ fn cmd_verify(args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &[])?;
+    let opts = Opts::parse(args, &["jobs"])?;
     match opts.positional.first().map(String::as_str) {
         None | Some("list") => {
             for b in all_benchmarks() {
@@ -417,10 +442,21 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 .fault(fault_id)
                 .ok_or_else(|| format!("no fault `{fault_id}` in `{bench_name}`"))?;
             let session = bench.session(fault).map_err(|e| e.to_string())?;
-            let outcome = session
-                .locate(&LocateConfig::default())
-                .map_err(|e| e.to_string())?;
+            let lc = LocateConfig {
+                jobs: parse_jobs(opts.value("jobs"))?,
+                resume: if opts.has("no-resume") {
+                    omislice::omislice_interp::ResumeMode::Disabled
+                } else {
+                    omislice::omislice_interp::ResumeMode::Auto
+                },
+                ..LocateConfig::default()
+            };
+            let outcome = session.locate(&lc).map_err(|e| e.to_string())?;
             println!("{}", session.report(&outcome));
+            if opts.has("stats") {
+                println!("verification engine:");
+                print!("{}", outcome.stats);
+            }
             let prepared = bench.prepare(fault).map_err(|e| e.to_string())?;
             println!("seeded root statement(s):");
             for r in prepared.roots {

@@ -75,7 +75,7 @@ impl WorkloadGen {
     /// `gzip` input: `[save_orig_name, level, n, bytes…]`, with runs so
     /// the run-length deflate has something to compress.
     pub fn gzip(&mut self) -> Vec<i64> {
-        let n = self.rng.gen_range(0..24);
+        let n: i64 = self.rng.gen_range(0..24);
         let mut v = vec![self.rng.gen_range(0..2), self.rng.gen_range(1..10), n];
         let mut remaining = n;
         while remaining > 0 {

@@ -19,10 +19,12 @@
 //! `p`") reproduces the original run exactly up to the switch point.
 
 pub mod plain;
+pub mod snapshot;
 pub mod store;
 pub mod tracer;
 
 pub use plain::{run_plain, PlainRun};
+pub use snapshot::{resume_switched, run_traced_with_checkpoints, Checkpoint, ResumeMode};
 pub use tracer::{run_traced, TracedRun, MAX_CALL_DEPTH};
 
 use omislice_lang::StmtId;

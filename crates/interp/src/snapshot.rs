@@ -1,0 +1,336 @@
+//! Checkpointing and resumption of traced runs.
+//!
+//! Predicate switching re-executes the program once per candidate
+//! predicate instance, yet every switched run is byte-identical to the
+//! original up to the switch point (the interpreter is deterministic and
+//! the switch is the first divergence). A [`Checkpoint`] captures the
+//! interpreter state at a candidate instance during the *original*
+//! traced run; [`resume_switched`] then replays the recorded prefix
+//! verbatim and re-executes only the suffix with the switch armed,
+//! producing the same [`TracedRun`] a from-scratch switched execution
+//! would.
+//!
+//! Checkpoints are taken at predicate *entry* (before the condition
+//! evaluates), keyed by the predicate's entry-occurrence count, so the
+//! snapshot precedes every side effect of the instance being switched.
+
+use crate::store::{Frame, Globals};
+use crate::tracer::{self, TracedRun};
+use crate::{RunConfig, SwitchSpec};
+use omislice_analysis::ProgramAnalysis;
+use omislice_lang::{Program, StmtId};
+use omislice_trace::{InstId, Trace};
+use std::collections::HashMap;
+
+/// Interpreter state captured at a candidate predicate instance, from
+/// which a switched run can resume.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The switch this checkpoint was captured for.
+    pub spec: SwitchSpec,
+    pub(crate) globals: Globals,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) occ: HashMap<StmtId, u32>,
+    pub(crate) region_stack: Vec<InstId>,
+    pub(crate) input_pos: usize,
+    pub(crate) trace_len: usize,
+    pub(crate) outputs_len: usize,
+    /// For a `while` predicate: whether a prior iteration's region is on
+    /// the region stack (`None` for `if` predicates).
+    pub(crate) loop_pushed: Option<bool>,
+}
+
+impl Checkpoint {
+    /// Number of trace events in the shared prefix this checkpoint
+    /// replays verbatim instead of re-executing.
+    pub fn prefix_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Whether a switched run can resume from this checkpoint.
+    ///
+    /// Resumption rebuilds the suspended call stack from static AST
+    /// paths, which requires every frame above `main` to have been
+    /// pushed by a statement-position call. A call in expression
+    /// position suspends mid-expression — its continuation holds a
+    /// pending value the snapshot cannot capture — so such checkpoints
+    /// fall back to from-scratch execution.
+    pub fn is_resumable(&self) -> bool {
+        self.frames.iter().skip(1).all(|f| f.call_site.is_some())
+    }
+}
+
+/// Whether switched runs may resume from checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Resume from a checkpoint when one is available and resumable;
+    /// fall back to from-scratch execution otherwise.
+    #[default]
+    Auto,
+    /// Always execute switched runs from scratch. Escape hatch for
+    /// comparing against resumed runs (they are byte-identical, but this
+    /// makes the equivalence checkable).
+    Disabled,
+}
+
+/// Runs `program` traced, capturing a checkpoint at each requested
+/// switch spec's predicate instance. Returns the run plus the captured
+/// checkpoints (a spec whose occurrence never executes yields none).
+pub fn run_traced_with_checkpoints(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    specs: &[SwitchSpec],
+) -> (TracedRun, Vec<Checkpoint>) {
+    tracer::run_traced_capturing(program, analysis, config, specs)
+}
+
+/// Resumes a switched run from `checkpoint`, reusing `base` (the
+/// original run's trace) for the shared prefix. Returns `None` when the
+/// checkpoint is not resumable; the caller then runs from scratch.
+///
+/// The result is byte-identical — events, outputs, termination — to
+/// `run_traced` with the same config and `config.switch =
+/// Some(checkpoint.spec)`, including step-budget behavior: the budget
+/// counts prefix events exactly as a from-scratch run would.
+pub fn resume_switched(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    checkpoint: &Checkpoint,
+    base: &Trace,
+) -> Option<TracedRun> {
+    tracer::resume_switched_impl(program, analysis, config, checkpoint, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_traced, RunConfig};
+    use omislice_lang::compile;
+
+    fn analyzed(src: &str) -> (Program, ProgramAnalysis) {
+        let p = compile(src).unwrap();
+        let a = ProgramAnalysis::build(&p);
+        (p, a)
+    }
+
+    /// Every (predicate, occurrence) pair in `run`'s trace.
+    fn all_specs(program: &Program, run: &TracedRun) -> Vec<SwitchSpec> {
+        let mut specs = Vec::new();
+        for f in program.functions() {
+            collect_preds(&f.body, &mut |stmt| {
+                let n = run.trace.instances_of(stmt).len() as u32;
+                for occurrence in 0..n {
+                    specs.push(SwitchSpec::new(stmt, occurrence));
+                }
+            });
+        }
+        specs
+    }
+
+    fn collect_preds(block: &omislice_lang::Block, visit: &mut impl FnMut(StmtId)) {
+        for stmt in &block.stmts {
+            match &stmt.kind {
+                omislice_lang::StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    visit(stmt.id);
+                    collect_preds(then_blk, visit);
+                    if let Some(e) = else_blk {
+                        collect_preds(e, visit);
+                    }
+                }
+                omislice_lang::StmtKind::While { body, .. } => {
+                    visit(stmt.id);
+                    collect_preds(body, visit);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// For every predicate instance in `src`'s run: capture, resume, and
+    /// compare against the from-scratch switched run.
+    fn assert_resume_matches_scratch(src: &str, inputs: &[i64]) {
+        let (p, a) = analyzed(src);
+        let config = RunConfig::with_inputs(inputs.to_vec());
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        assert!(!specs.is_empty(), "program has predicate instances");
+        let (rerun, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
+        assert_eq!(rerun.trace.events(), base.trace.events());
+        assert_eq!(checkpoints.len(), specs.len(), "one checkpoint per spec");
+        let mut resumed_any = false;
+        for cp in &checkpoints {
+            let switched_config = config.switched(cp.spec);
+            let scratch = run_traced(&p, &a, &switched_config);
+            match resume_switched(&p, &a, &switched_config, cp, &base.trace) {
+                Some(resumed) => {
+                    resumed_any = true;
+                    assert_eq!(
+                        resumed.trace.events(),
+                        scratch.trace.events(),
+                        "resumed events differ for {:?}",
+                        cp.spec
+                    );
+                    assert_eq!(resumed.trace.outputs(), scratch.trace.outputs());
+                    assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+                }
+                None => assert!(!cp.is_resumable()),
+            }
+        }
+        assert!(resumed_any, "at least one checkpoint resumes");
+    }
+
+    #[test]
+    fn resume_matches_scratch_on_branches() {
+        assert_resume_matches_scratch(
+            "global g = 0;
+             fn main() {
+                 let x = input();
+                 if x > 2 { g = 1; } else { g = 2; }
+                 if g == 1 { print(10); }
+                 print(g);
+             }",
+            &[5],
+        );
+    }
+
+    #[test]
+    fn resume_matches_scratch_on_loops() {
+        assert_resume_matches_scratch(
+            "global sum = 0;
+             fn main() {
+                 let i = 0;
+                 while i < 4 {
+                     if i == 2 { sum = sum + 10; }
+                     sum = sum + i;
+                     i = i + 1;
+                 }
+                 print(sum);
+             }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn resume_matches_scratch_through_calls() {
+        assert_resume_matches_scratch(
+            "global acc = 0;
+             fn bump(n) {
+                 if n > 1 { acc = acc + n; }
+                 while n > 0 { acc = acc + 1; n = n - 1; }
+             }
+             fn main() {
+                 let i = 0;
+                 while i < 3 {
+                     bump(i);
+                     i = i + 1;
+                 }
+                 print(acc);
+             }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn resume_matches_scratch_on_nested_loops_and_breaks() {
+        assert_resume_matches_scratch(
+            "fn main() {
+                 let i = 0;
+                 while i < 3 {
+                     let j = 0;
+                     while j < 3 {
+                         if j == 2 { break; }
+                         if i == j { print(i); }
+                         j = j + 1;
+                     }
+                     i = i + 1;
+                 }
+             }",
+            &[],
+        );
+    }
+
+    #[test]
+    fn expression_position_call_is_not_resumable() {
+        let (p, a) = analyzed(
+            "global g = 0;
+             fn probe(n) {
+                 if n > 0 { g = g + 1; }
+                 return n;
+             }
+             fn main() {
+                 let x = probe(3);
+                 print(x + g);
+             }",
+        );
+        let config = RunConfig::default();
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        let (_, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
+        // The predicate inside `probe` runs under an expression-position
+        // call: its checkpoint must refuse to resume.
+        let cp = checkpoints
+            .iter()
+            .find(|c| c.frames.len() > 1)
+            .expect("a checkpoint below the call");
+        assert!(!cp.is_resumable());
+        let switched = config.switched(cp.spec);
+        assert!(resume_switched(&p, &a, &switched, cp, &base.trace).is_none());
+    }
+
+    #[test]
+    fn resume_preserves_step_budget_semantics() {
+        let src = "fn main() {
+                 let i = 0;
+                 while i < 100 {
+                     if i == 5 { print(i); }
+                     i = i + 1;
+                 }
+             }";
+        let (p, a) = analyzed(src);
+        let config = RunConfig {
+            step_budget: 120,
+            ..RunConfig::default()
+        };
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        let (_, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
+        for cp in &checkpoints {
+            let switched = config.switched(cp.spec);
+            let scratch = run_traced(&p, &a, &switched);
+            let resumed = resume_switched(&p, &a, &switched, cp, &base.trace)
+                .expect("single-frame checkpoints resume");
+            assert_eq!(resumed.trace.events().len(), scratch.trace.events().len());
+            assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+        }
+    }
+
+    #[test]
+    fn checkpoint_reports_prefix_length() {
+        let (p, a) = analyzed(
+            "fn main() {
+                 let i = 0;
+                 while i < 3 { i = i + 1; }
+             }",
+        );
+        let config = RunConfig::default();
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        let (_, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
+        for cp in &checkpoints {
+            assert!(cp.prefix_len() <= base.trace.events().len());
+        }
+        // Later occurrences have longer prefixes.
+        let mut by_occ: Vec<_> = checkpoints.iter().map(|c| c.prefix_len()).collect();
+        let sorted = {
+            let mut s = by_occ.clone();
+            s.sort_unstable();
+            s
+        };
+        by_occ.sort_unstable();
+        assert_eq!(by_occ, sorted);
+    }
+}

@@ -94,6 +94,12 @@ pub struct Frame {
     /// Control-dependence parent inherited from the call site, used for
     /// statements with no static CD parent inside this function.
     pub inherited_cd: Option<InstId>,
+    /// The `CallStmt` that pushed this frame, when the call appeared in
+    /// statement position. Expression-position calls leave this `None`,
+    /// which marks a checkpoint taken below them as non-resumable (their
+    /// continuation includes a pending expression value the snapshot
+    /// cannot capture).
+    pub call_site: Option<omislice_lang::StmtId>,
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! in the paper — and implements *predicate switching*: forcing a chosen
 //! dynamic predicate instance to take the opposite branch.
 
+use crate::snapshot::Checkpoint;
 use crate::store::{Cell, Frame, Globals, Slot};
 use crate::{OverrideSpec, RunConfig, SwitchSpec};
 use omislice_analysis::ProgramAnalysis;
@@ -49,6 +50,32 @@ pub struct TracedRun {
 /// # Ok::<(), omislice_lang::FrontendError>(())
 /// ```
 pub fn run_traced(program: &Program, analysis: &ProgramAnalysis, config: &RunConfig) -> TracedRun {
+    run_traced_capturing(program, analysis, config, &[]).0
+}
+
+/// Like [`run_traced`], but additionally captures a [`Checkpoint`] of the
+/// interpreter state at every requested predicate instance it reaches —
+/// the first half of the checkpoint-resume verification engine. The run
+/// itself is unaffected: traces are identical with or without capture.
+///
+/// If the occurrence counter of a requested predicate is bumped during
+/// its own condition evaluation (recursion through a call in the
+/// condition), more than one checkpoint can carry the same spec; every
+/// one of them is a consistent suspension at or before the switch point,
+/// so resuming from any of them reproduces the switched run.
+pub(crate) fn run_traced_capturing(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    capture: &[SwitchSpec],
+) -> (TracedRun, Vec<Checkpoint>) {
+    let mut capture_specs: HashMap<StmtId, Vec<u32>> = HashMap::new();
+    for spec in capture {
+        capture_specs
+            .entry(spec.pred)
+            .or_default()
+            .push(spec.occurrence);
+    }
     let mut t = Tracer {
         program,
         analysis,
@@ -65,17 +92,152 @@ pub fn run_traced(program: &Program, analysis: &ProgramAnalysis, config: &RunCon
         globals: Globals::init(program, analysis.index()),
         region_stack: Vec::new(),
         frames: Vec::new(),
+        capture_specs,
+        captured: Vec::new(),
     };
     let termination = match t.run_main() {
         Ok(()) => Termination::Normal,
         Err(Stop::Budget) => Termination::BudgetExhausted,
         Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
     };
-    TracedRun {
+    let run = TracedRun {
         trace: Trace::from_parts(t.events, t.outputs, termination),
         switched: t.switched,
         overridden: t.overridden,
+    };
+    (run, t.captured)
+}
+
+/// Resumes the suspended base run from `checkpoint` with the checkpoint's
+/// switch armed, re-executing only the suffix. Returns `None` when the
+/// checkpoint is not resumable (suspended below an expression-position
+/// call) — the caller falls back to a from-scratch switched run.
+///
+/// The resumed trace is byte-identical to `run_traced` under
+/// `config.switched(checkpoint.spec)`: the recorded prefix of `base` is
+/// reused verbatim (instance numbering continues from the cursor), the
+/// restored interpreter state equals the from-scratch state at the switch
+/// point by determinism, and the step budget still counts prefix events,
+/// so budget semantics are preserved exactly.
+pub(crate) fn resume_switched_impl(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    checkpoint: &Checkpoint,
+    base: &Trace,
+) -> Option<TracedRun> {
+    if !checkpoint.is_resumable() {
+        return None;
     }
+    // Reconstruct, per frame, the static path from the function body to
+    // the statement the frame is suspended at: the call site of the next
+    // frame, or the switched predicate itself for the innermost frame.
+    let mut paths = Vec::with_capacity(checkpoint.frames.len());
+    for (k, frame) in checkpoint.frames.iter().enumerate() {
+        let target = match checkpoint.frames.get(k + 1) {
+            Some(next) => next.call_site.expect("is_resumable checked call sites"),
+            None => checkpoint.spec.pred,
+        };
+        let decl = program.function(&frame.func)?;
+        let mut steps = Vec::new();
+        if !find_path(&decl.body, target, &mut steps) {
+            return None;
+        }
+        paths.push(steps);
+    }
+    let mut t = Tracer {
+        program,
+        analysis,
+        inputs: &config.inputs,
+        input_pos: checkpoint.input_pos,
+        budget: config.step_budget,
+        switch: Some(checkpoint.spec),
+        switched: None,
+        value_override: None,
+        overridden: None,
+        occ: checkpoint.occ.clone(),
+        events: base.events()[..checkpoint.trace_len].to_vec(),
+        outputs: base.outputs()[..checkpoint.outputs_len].to_vec(),
+        globals: checkpoint.globals.clone(),
+        region_stack: checkpoint.region_stack.clone(),
+        frames: vec![checkpoint.frames[0].clone()],
+        capture_specs: HashMap::new(),
+        captured: Vec::new(),
+    };
+    let termination = match t.resume_main(checkpoint, &paths) {
+        Ok(()) => Termination::Normal,
+        Err(Stop::Budget) => Termination::BudgetExhausted,
+        Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
+    };
+    Some(TracedRun {
+        trace: Trace::from_parts(t.events, t.outputs, termination),
+        switched: t.switched,
+        overridden: t.overridden,
+    })
+}
+
+/// One step of a static resume path: which statement of the current block
+/// the suspension lies at, and how execution descends into it (`None`
+/// marks the suspension statement itself).
+struct Step {
+    index: usize,
+    descend: Option<Descend>,
+}
+
+enum Descend {
+    Then,
+    Else,
+    Body,
+}
+
+/// Depth-first search for the unique static path from `block` to the
+/// statement `target`, recorded as [`Step`]s.
+fn find_path(block: &Block, target: StmtId, out: &mut Vec<Step>) -> bool {
+    for (index, stmt) in block.stmts.iter().enumerate() {
+        if stmt.id == target {
+            out.push(Step {
+                index,
+                descend: None,
+            });
+            return true;
+        }
+        match &stmt.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                out.push(Step {
+                    index,
+                    descend: Some(Descend::Then),
+                });
+                if find_path(then_blk, target, out) {
+                    return true;
+                }
+                out.pop();
+                if let Some(e) = else_blk {
+                    out.push(Step {
+                        index,
+                        descend: Some(Descend::Else),
+                    });
+                    if find_path(e, target, out) {
+                        return true;
+                    }
+                    out.pop();
+                }
+            }
+            StmtKind::While { body, .. } => {
+                out.push(Step {
+                    index,
+                    descend: Some(Descend::Body),
+                });
+                if find_path(body, target, out) {
+                    return true;
+                }
+                out.pop();
+            }
+            _ => {}
+        }
+    }
+    false
 }
 
 /// Why execution stopped abnormally.
@@ -114,6 +276,10 @@ struct Tracer<'a> {
     /// call boundaries.
     region_stack: Vec<InstId>,
     frames: Vec<Frame>,
+    /// Predicate occurrences at which to capture a [`Checkpoint`], keyed
+    /// by statement. Empty on ordinary and resumed runs.
+    capture_specs: HashMap<StmtId, Vec<u32>>,
+    captured: Vec<Checkpoint>,
 }
 
 impl<'a> Tracer<'a> {
@@ -297,10 +463,15 @@ impl<'a> Tracer<'a> {
 
     fn eval_call(&mut self, callee: &str, args: &[Expr]) -> EvalResult {
         let evaluated = self.eval_args(args)?;
-        self.call_function(callee, evaluated)
+        self.call_function(callee, evaluated, None)
     }
 
-    fn call_function(&mut self, callee: &str, args: Vec<(Value, Vec<InstId>)>) -> EvalResult {
+    fn call_function(
+        &mut self,
+        callee: &str,
+        args: Vec<(Value, Vec<InstId>)>,
+        call_site: Option<StmtId>,
+    ) -> EvalResult {
         if self.frames.len() >= MAX_CALL_DEPTH {
             return Err(Stop::Runtime(format!(
                 "call depth limit ({MAX_CALL_DEPTH}) exceeded calling `{callee}`"
@@ -313,6 +484,7 @@ impl<'a> Tracer<'a> {
         let mut frame = Frame {
             func: callee.to_string(),
             inherited_cd: self.region_stack.last().copied(),
+            call_site,
             ..Frame::default()
         };
         for (param, (value, deps)) in decl.params.iter().zip(args) {
@@ -349,7 +521,16 @@ impl<'a> Tracer<'a> {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> ExecResult {
-        match self.exec_stmt_inner(stmt) {
+        let result = self.exec_stmt_inner(stmt);
+        Self::decorate(stmt, result)
+    }
+
+    /// Attributes a bare runtime error to the statement it escaped from.
+    /// Shared by normal execution and checkpoint resume so error messages
+    /// (part of [`Termination::RuntimeError`], hence of trace identity)
+    /// match between the two.
+    fn decorate(stmt: &Stmt, result: ExecResult) -> ExecResult {
+        match result {
             Err(Stop::Runtime(msg)) if !msg.contains(" in S") => Err(Stop::Runtime(format!(
                 "{msg} in {} `{}`",
                 stmt.id,
@@ -399,51 +580,8 @@ impl<'a> Tracer<'a> {
                 cond,
                 then_blk,
                 else_blk,
-            } => {
-                let (outcome, inst) = self.eval_predicate(stmt.id, cond, cd)?;
-                self.region_stack.push(inst);
-                let flow = if outcome {
-                    self.exec_block(then_blk)
-                } else if let Some(e) = else_blk {
-                    self.exec_block(e)
-                } else {
-                    Ok(Flow::Normal)
-                };
-                self.region_stack.pop();
-                flow
-            }
-            StmtKind::While { cond, body } => {
-                let mut pushed = false;
-                let result = loop {
-                    let cd_now = self.cd_of(stmt.id);
-                    let step = self.eval_predicate(stmt.id, cond, cd_now);
-                    let (outcome, inst) = match step {
-                        Ok(x) => x,
-                        Err(e) => break Err(e),
-                    };
-                    if !outcome {
-                        break Ok(Flow::Normal);
-                    }
-                    // Chain iterations: this instance's region replaces the
-                    // previous iteration's on the stack; the *recording*
-                    // above already nested it under the previous instance.
-                    if pushed {
-                        self.region_stack.pop();
-                    }
-                    self.region_stack.push(inst);
-                    pushed = true;
-                    match self.exec_block(body) {
-                        Ok(Flow::Normal) | Ok(Flow::Continue) => continue,
-                        Ok(Flow::Break) => break Ok(Flow::Normal),
-                        Ok(ret @ Flow::Return(..)) => break Ok(ret),
-                        Err(e) => break Err(e),
-                    }
-                };
-                if pushed {
-                    self.region_stack.pop();
-                }
-                result
-            }
+            } => self.run_if(stmt.id, cond, then_blk, else_blk.as_ref(), cd),
+            StmtKind::While { cond, body } => self.run_while(stmt.id, cond, body, false),
             StmtKind::Break => {
                 let mut ev = Event::new(stmt.id);
                 ev.cd_parent = cd;
@@ -509,21 +647,89 @@ impl<'a> Tracer<'a> {
                     .into_iter()
                     .map(|(v, _)| (v, vec![inst]))
                     .collect();
-                self.call_function(callee, through_call)?;
+                self.call_function(callee, through_call, Some(stmt.id))?;
                 Ok(Flow::Normal)
             }
         }
     }
 
+    /// Executes an `if` statement from its predicate evaluation on.
+    fn run_if(
+        &mut self,
+        stmt: StmtId,
+        cond: &Expr,
+        then_blk: &Block,
+        else_blk: Option<&Block>,
+        cd: Option<InstId>,
+    ) -> ExecResult {
+        let (outcome, inst) = self.eval_predicate(stmt, cond, cd, None)?;
+        self.region_stack.push(inst);
+        let flow = if outcome {
+            self.exec_block(then_blk)
+        } else if let Some(e) = else_blk {
+            self.exec_block(e)
+        } else {
+            Ok(Flow::Normal)
+        };
+        self.region_stack.pop();
+        flow
+    }
+
+    /// Executes a `while` statement from a condition evaluation on.
+    /// `pushed` says whether an iteration of this loop already holds the
+    /// top of the region stack: `false` on normal entry, `true` when a
+    /// checkpoint resume re-enters mid-loop.
+    fn run_while(
+        &mut self,
+        stmt: StmtId,
+        cond: &Expr,
+        body: &Block,
+        mut pushed: bool,
+    ) -> ExecResult {
+        let result = loop {
+            let cd_now = self.cd_of(stmt);
+            let step = self.eval_predicate(stmt, cond, cd_now, Some(pushed));
+            let (outcome, inst) = match step {
+                Ok(x) => x,
+                Err(e) => break Err(e),
+            };
+            if !outcome {
+                break Ok(Flow::Normal);
+            }
+            // Chain iterations: this instance's region replaces the
+            // previous iteration's on the stack; the *recording*
+            // above already nested it under the previous instance.
+            if pushed {
+                self.region_stack.pop();
+            }
+            self.region_stack.push(inst);
+            pushed = true;
+            match self.exec_block(body) {
+                Ok(Flow::Normal) | Ok(Flow::Continue) => continue,
+                Ok(Flow::Break) => break Ok(Flow::Normal),
+                Ok(ret @ Flow::Return(..)) => break Ok(ret),
+                Err(e) => break Err(e),
+            }
+        };
+        if pushed {
+            self.region_stack.pop();
+        }
+        result
+    }
+
     /// Evaluates a predicate, applies a pending switch if this is the
     /// chosen instance, records the event, and registers the outcome in
-    /// the frame's predicate map.
+    /// the frame's predicate map. `loop_ctx` is `None` for `if`
+    /// predicates and `Some(pushed)` for `while` condition evaluations;
+    /// it is snapshotted so a resume can re-enter the loop correctly.
     fn eval_predicate(
         &mut self,
         stmt: StmtId,
         cond: &Expr,
         cd: Option<InstId>,
+        loop_ctx: Option<bool>,
     ) -> Result<(bool, InstId), Stop> {
+        self.maybe_capture(stmt, loop_ctx);
         let (v, deps) = self.eval(cond)?;
         let mut outcome = v.truthy();
         // 0-based occurrence index of this predicate instance; every
@@ -551,6 +757,164 @@ impl<'a> Tracer<'a> {
         }
         self.frame_mut().preds.insert(stmt, (inst, outcome));
         Ok((outcome, inst))
+    }
+
+    /// Captures a checkpoint at predicate entry when this statement's
+    /// current occurrence count is a requested capture point. Runs before
+    /// the condition is evaluated, so the snapshot precedes every side
+    /// effect of this predicate instance.
+    fn maybe_capture(&mut self, stmt: StmtId, loop_ctx: Option<bool>) {
+        if self.capture_specs.is_empty() {
+            return;
+        }
+        let entry_occ = self.occ.get(&stmt).copied().unwrap_or(0);
+        let requested = self
+            .capture_specs
+            .get(&stmt)
+            .is_some_and(|occs| occs.contains(&entry_occ));
+        if !requested {
+            return;
+        }
+        self.captured.push(Checkpoint {
+            spec: SwitchSpec::new(stmt, entry_occ),
+            globals: self.globals.clone(),
+            frames: self.frames.clone(),
+            occ: self.occ.clone(),
+            region_stack: self.region_stack.clone(),
+            input_pos: self.input_pos,
+            trace_len: self.events.len(),
+            outputs_len: self.outputs.len(),
+            loop_pushed: loop_ctx,
+        });
+    }
+
+    // --- checkpoint resume -------------------------------------------
+
+    /// Re-enters the suspended call stack: frame 0 is already in place;
+    /// deeper frames are pushed as the descent crosses their call sites.
+    fn resume_main(&mut self, cp: &Checkpoint, paths: &[Vec<Step>]) -> Result<(), Stop> {
+        let main = self
+            .program
+            .function("main")
+            .expect("checked programs have main");
+        match self.resume_block(&main.body, &paths[0], cp, paths, 0)? {
+            Flow::Normal | Flow::Return(..) => Ok(()),
+            Flow::Break | Flow::Continue => {
+                unreachable!("checker rejects break/continue outside loops")
+            }
+        }
+    }
+
+    /// Resumes inside `block`: re-enters the statement the path points
+    /// at, then executes the rest of the block normally.
+    fn resume_block(
+        &mut self,
+        block: &Block,
+        steps: &[Step],
+        cp: &Checkpoint,
+        paths: &[Vec<Step>],
+        k: usize,
+    ) -> ExecResult {
+        let step = &steps[0];
+        let stmt = &block.stmts[step.index];
+        let inner = self.resume_step(stmt, step, &steps[1..], cp, paths, k);
+        match Self::decorate(stmt, inner)? {
+            Flow::Normal => {}
+            other => return Ok(other),
+        }
+        for s in &block.stmts[step.index + 1..] {
+            match self.exec_stmt(s)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Resumes one path step. Intermediate steps re-enter a construct the
+    /// suspension lies inside without re-recording its already-traced
+    /// events (the restored region stack and frames carry that context);
+    /// the final step re-executes the suspended predicate with the switch
+    /// armed.
+    fn resume_step(
+        &mut self,
+        stmt: &Stmt,
+        step: &Step,
+        rest: &[Step],
+        cp: &Checkpoint,
+        paths: &[Vec<Step>],
+        k: usize,
+    ) -> ExecResult {
+        match (&step.descend, &stmt.kind) {
+            (
+                None,
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                },
+            ) => {
+                let cd = self.cd_of(stmt.id);
+                self.run_if(stmt.id, cond, then_blk, else_blk.as_ref(), cd)
+            }
+            (None, StmtKind::While { cond, body }) => {
+                let pushed = cp.loop_pushed.unwrap_or(false);
+                self.run_while(stmt.id, cond, body, pushed)
+            }
+            (None, StmtKind::CallStmt { callee, .. }) => {
+                // The call executing at suspension: its event and argument
+                // binding are in the prefix, so push the restored callee
+                // frame and resume inside it. A call statement discards
+                // the return value.
+                self.frames.push(cp.frames[k + 1].clone());
+                let decl = self
+                    .program
+                    .function(callee)
+                    .expect("checker verified the callee exists");
+                let flow = self.resume_block(&decl.body, &paths[k + 1], cp, paths, k + 1);
+                self.frames.pop();
+                match flow? {
+                    Flow::Normal | Flow::Return(..) => Ok(Flow::Normal),
+                    Flow::Break | Flow::Continue => {
+                        unreachable!("checker rejects break/continue outside loops")
+                    }
+                }
+            }
+            (Some(Descend::Then), StmtKind::If { then_blk, .. }) => {
+                let flow = self.resume_block(then_blk, rest, cp, paths, k);
+                self.region_stack.pop();
+                flow
+            }
+            (Some(Descend::Else), StmtKind::If { else_blk, .. }) => {
+                let blk = else_blk.as_ref().expect("path descends into else");
+                let flow = self.resume_block(blk, rest, cp, paths, k);
+                self.region_stack.pop();
+                flow
+            }
+            (Some(Descend::Body), StmtKind::While { cond, body }) => {
+                match self.resume_block(body, rest, cp, paths, k) {
+                    // The body of the current iteration finished: keep
+                    // looping from the next condition evaluation, with
+                    // this iteration's region instance still pushed.
+                    Ok(Flow::Normal) | Ok(Flow::Continue) => {
+                        self.run_while(stmt.id, cond, body, true)
+                    }
+                    Ok(Flow::Break) => {
+                        self.region_stack.pop();
+                        Ok(Flow::Normal)
+                    }
+                    Ok(ret @ Flow::Return(..)) => {
+                        self.region_stack.pop();
+                        Ok(ret)
+                    }
+                    Err(e) => {
+                        self.region_stack.pop();
+                        Err(e)
+                    }
+                }
+            }
+            _ => unreachable!("resume path shape matches statement kinds"),
+        }
     }
 }
 

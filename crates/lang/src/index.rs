@@ -74,7 +74,8 @@ pub struct VarInfo {
 pub struct VarTable {
     vars: Vec<VarInfo>,
     globals: HashMap<String, VarId>,
-    locals: HashMap<(String, String), VarId>,
+    /// Locals nested per function, so lookups borrow both keys.
+    locals: HashMap<String, HashMap<String, VarId>>,
     rets: HashMap<String, VarId>,
 }
 
@@ -112,7 +113,8 @@ impl VarTable {
     /// Resolves `name` as seen from inside `func`: locals shadow globals.
     pub fn resolve(&self, func: &str, name: &str) -> Option<VarId> {
         self.locals
-            .get(&(func.to_string(), name.to_string()))
+            .get(func)
+            .and_then(|m| m.get(name))
             .or_else(|| self.globals.get(name))
             .copied()
     }
@@ -332,7 +334,11 @@ fn build_var_table(program: &Program) -> VarTable {
                     func: f.name.clone(),
                 },
             });
-            table.locals.insert((f.name.clone(), p.clone()), id);
+            table
+                .locals
+                .entry(f.name.clone())
+                .or_default()
+                .insert(p.clone(), id);
         }
         collect_locals(&f.body, f, &mut table);
     }
@@ -343,15 +349,22 @@ fn collect_locals(block: &Block, f: &FnDecl, table: &mut VarTable) {
     for stmt in &block.stmts {
         match &stmt.kind {
             StmtKind::Let { name, .. } => {
-                let key = (f.name.clone(), name.clone());
-                if !table.locals.contains_key(&key) {
+                let known = table
+                    .locals
+                    .get(&f.name)
+                    .is_some_and(|m| m.contains_key(name));
+                if !known {
                     let id = table.add(VarInfo {
                         name: name.clone(),
                         kind: VarKind::Local {
                             func: f.name.clone(),
                         },
                     });
-                    table.locals.insert(key, id);
+                    table
+                        .locals
+                        .entry(f.name.clone())
+                        .or_default()
+                        .insert(name.clone(), id);
                 }
             }
             StmtKind::If {

@@ -83,15 +83,37 @@ impl Parser {
         &self.tokens[i].kind
     }
 
-    fn bump(&mut self) -> Token {
-        let tok = self.peek().clone();
+    fn bump(&mut self) -> Span {
+        let span = self.peek().span;
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
-        tok
+        span
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+    /// Moves the current token's kind out of the buffer (leaving `Eof`
+    /// behind; the parser never rewinds) and advances. Lets identifier
+    /// names be taken by value instead of cloned.
+    fn take_kind(&mut self) -> (TokenKind, Span) {
+        let i = self.pos.min(self.tokens.len() - 1);
+        let span = self.tokens[i].span;
+        let kind = std::mem::replace(&mut self.tokens[i].kind, TokenKind::Eof);
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        (kind, span)
+    }
+
+    /// Consumes the current token, which the caller has checked is an
+    /// `Ident`, and returns its name without cloning.
+    fn take_ident(&mut self) -> String {
+        match self.take_kind() {
+            (TokenKind::Ident(name), _) => name,
+            (other, _) => unreachable!("caller checked for identifier, found {other:?}"),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span, ParseError> {
         if self.peek_kind() == kind {
             Ok(self.bump())
         } else {
@@ -117,14 +139,16 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<(String, Span), ParseError> {
-        match self.peek_kind().clone() {
-            TokenKind::Ident(name) => {
-                let span = self.bump().span;
-                Ok((name, span))
+        if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+            match self.take_kind() {
+                (TokenKind::Ident(name), span) => Ok((name, span)),
+                _ => unreachable!(),
             }
-            other => {
-                Err(self.error_here(&format!("expected identifier, found {}", other.describe())))
-            }
+        } else {
+            Err(self.error_here(&format!(
+                "expected identifier, found {}",
+                self.peek_kind().describe()
+            )))
         }
     }
 
@@ -146,18 +170,18 @@ impl Parser {
     }
 
     fn global(&mut self) -> Result<Global, ParseError> {
-        let start = self.expect(&TokenKind::Global)?.span;
+        let start = self.expect(&TokenKind::Global)?;
         let (name, _) = self.ident()?;
         self.expect(&TokenKind::Eq)?;
-        let init = match self.peek_kind().clone() {
-            TokenKind::Int(n) => {
+        let init = match self.peek_kind() {
+            &TokenKind::Int(n) => {
                 self.bump();
                 GlobalInit::Int(n)
             }
             TokenKind::Minus => {
                 self.bump();
-                match self.peek_kind().clone() {
-                    TokenKind::Int(n) => {
+                match self.peek_kind() {
+                    &TokenKind::Int(n) => {
                         self.bump();
                         GlobalInit::Int(-n)
                     }
@@ -179,8 +203,8 @@ impl Parser {
             }
             TokenKind::LBracket => {
                 self.bump();
-                let elem = match self.peek_kind().clone() {
-                    TokenKind::Int(n) => {
+                let elem = match self.peek_kind() {
+                    &TokenKind::Int(n) => {
                         self.bump();
                         n
                     }
@@ -192,8 +216,8 @@ impl Parser {
                     }
                 };
                 self.expect(&TokenKind::Semi)?;
-                let len = match self.peek_kind().clone() {
-                    TokenKind::Int(n) if n >= 0 => {
+                let len = match self.peek_kind() {
+                    &TokenKind::Int(n) if n >= 0 => {
                         self.bump();
                         n as usize
                     }
@@ -214,7 +238,7 @@ impl Parser {
                 )))
             }
         };
-        let end = self.expect(&TokenKind::Semi)?.span;
+        let end = self.expect(&TokenKind::Semi)?;
         Ok(Global {
             name,
             init,
@@ -223,7 +247,7 @@ impl Parser {
     }
 
     fn function(&mut self) -> Result<FnDecl, ParseError> {
-        let start = self.expect(&TokenKind::Fn)?.span;
+        let start = self.expect(&TokenKind::Fn)?;
         let (name, _) = self.ident()?;
         self.expect(&TokenKind::LParen)?;
         let mut params = Vec::new();
@@ -238,7 +262,7 @@ impl Parser {
                 }
             }
         }
-        let header_end = self.expect(&TokenKind::RParen)?.span;
+        let header_end = self.expect(&TokenKind::RParen)?;
         let body = self.block()?;
         Ok(FnDecl {
             name,
@@ -262,14 +286,14 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
-        match self.peek_kind().clone() {
+        match self.peek_kind() {
             TokenKind::Let => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
+                let start = self.bump();
                 let (name, _) = self.ident()?;
                 self.expect(&TokenKind::Eq)?;
                 let expr = self.expr()?;
-                let end = self.expect(&TokenKind::Semi)?.span;
+                let end = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
                     id,
                     span: start.to(end),
@@ -279,7 +303,7 @@ impl Parser {
             TokenKind::If => self.if_stmt(),
             TokenKind::While => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
+                let start = self.bump();
                 let cond = self.expr()?;
                 let body = self.block()?;
                 Ok(Stmt {
@@ -290,8 +314,8 @@ impl Parser {
             }
             TokenKind::Break => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
-                let end = self.expect(&TokenKind::Semi)?.span;
+                let start = self.bump();
+                let end = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
                     id,
                     span: start.to(end),
@@ -300,8 +324,8 @@ impl Parser {
             }
             TokenKind::Continue => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
-                let end = self.expect(&TokenKind::Semi)?.span;
+                let start = self.bump();
+                let end = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
                     id,
                     span: start.to(end),
@@ -310,13 +334,13 @@ impl Parser {
             }
             TokenKind::Return => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
+                let start = self.bump();
                 let expr = if matches!(self.peek_kind(), TokenKind::Semi) {
                     None
                 } else {
                     Some(self.expr()?)
                 };
-                let end = self.expect(&TokenKind::Semi)?.span;
+                let end = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
                     id,
                     span: start.to(end),
@@ -325,26 +349,26 @@ impl Parser {
             }
             TokenKind::Print => {
                 let id = self.fresh_stmt_id();
-                let start = self.bump().span;
+                let start = self.bump();
                 self.expect(&TokenKind::LParen)?;
                 let expr = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
-                let end = self.expect(&TokenKind::Semi)?.span;
+                let end = self.expect(&TokenKind::Semi)?;
                 Ok(Stmt {
                     id,
                     span: start.to(end),
                     kind: StmtKind::Print(expr),
                 })
             }
-            TokenKind::Ident(name) => {
+            TokenKind::Ident(_) => {
                 let id = self.fresh_stmt_id();
                 let start = self.peek().span;
-                match self.peek2_kind().clone() {
+                match self.peek2_kind() {
                     TokenKind::Eq => {
-                        self.bump(); // ident
+                        let name = self.take_ident();
                         self.bump(); // =
                         let expr = self.expr()?;
-                        let end = self.expect(&TokenKind::Semi)?.span;
+                        let end = self.expect(&TokenKind::Semi)?;
                         Ok(Stmt {
                             id,
                             span: start.to(end),
@@ -352,13 +376,13 @@ impl Parser {
                         })
                     }
                     TokenKind::LBracket => {
-                        self.bump(); // ident
+                        let name = self.take_ident();
                         self.bump(); // [
                         let index = self.expr()?;
                         self.expect(&TokenKind::RBracket)?;
                         self.expect(&TokenKind::Eq)?;
                         let value = self.expr()?;
-                        let end = self.expect(&TokenKind::Semi)?.span;
+                        let end = self.expect(&TokenKind::Semi)?;
                         Ok(Stmt {
                             id,
                             span: start.to(end),
@@ -366,7 +390,7 @@ impl Parser {
                         })
                     }
                     TokenKind::LParen => {
-                        self.bump(); // ident
+                        let callee = self.take_ident();
                         self.bump(); // (
                         let mut args = Vec::new();
                         if !matches!(self.peek_kind(), TokenKind::RParen) {
@@ -380,11 +404,11 @@ impl Parser {
                             }
                         }
                         self.expect(&TokenKind::RParen)?;
-                        let end = self.expect(&TokenKind::Semi)?.span;
+                        let end = self.expect(&TokenKind::Semi)?;
                         Ok(Stmt {
                             id,
                             span: start.to(end),
-                            kind: StmtKind::CallStmt { callee: name, args },
+                            kind: StmtKind::CallStmt { callee, args },
                         })
                     }
                     other => Err(ParseError {
@@ -404,7 +428,7 @@ impl Parser {
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
         let id = self.fresh_stmt_id();
-        let start = self.expect(&TokenKind::If)?.span;
+        let start = self.expect(&TokenKind::If)?;
         let cond = self.expr()?;
         let then_blk = self.block()?;
         let else_blk = if matches!(self.peek_kind(), TokenKind::Else) {
@@ -460,27 +484,27 @@ impl Parser {
     }
 
     fn prefix(&mut self) -> Result<Expr, ParseError> {
-        match self.peek_kind().clone() {
-            TokenKind::Int(n) => {
-                let span = self.bump().span;
+        match self.peek_kind() {
+            &TokenKind::Int(n) => {
+                let span = self.bump();
                 Ok(Expr::new(ExprKind::Int(n), span))
             }
             TokenKind::True => {
-                let span = self.bump().span;
+                let span = self.bump();
                 Ok(Expr::new(ExprKind::Bool(true), span))
             }
             TokenKind::False => {
-                let span = self.bump().span;
+                let span = self.bump();
                 Ok(Expr::new(ExprKind::Bool(false), span))
             }
             TokenKind::Input => {
-                let start = self.bump().span;
+                let start = self.bump();
                 self.expect(&TokenKind::LParen)?;
-                let end = self.expect(&TokenKind::RParen)?.span;
+                let end = self.expect(&TokenKind::RParen)?;
                 Ok(Expr::new(ExprKind::Input, start.to(end)))
             }
             TokenKind::Minus => {
-                let start = self.bump().span;
+                let start = self.bump();
                 let operand = self.expr_bp(UNARY_BP)?;
                 let span = start.to(operand.span);
                 Ok(Expr::new(
@@ -492,7 +516,7 @@ impl Parser {
                 ))
             }
             TokenKind::Bang => {
-                let start = self.bump().span;
+                let start = self.bump();
                 let operand = self.expr_bp(UNARY_BP)?;
                 let span = start.to(operand.span);
                 Ok(Expr::new(
@@ -509,13 +533,14 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(e)
             }
-            TokenKind::Ident(name) => {
-                let start = self.bump().span;
+            TokenKind::Ident(_) => {
+                let start = self.peek().span;
+                let name = self.take_ident();
                 match self.peek_kind() {
                     TokenKind::LBracket => {
                         self.bump();
                         let index = self.expr()?;
-                        let end = self.expect(&TokenKind::RBracket)?.span;
+                        let end = self.expect(&TokenKind::RBracket)?;
                         Ok(Expr::new(
                             ExprKind::Load {
                                 name,
@@ -537,7 +562,7 @@ impl Parser {
                                 }
                             }
                         }
-                        let end = self.expect(&TokenKind::RParen)?.span;
+                        let end = self.expect(&TokenKind::RParen)?;
                         Ok(Expr::new(
                             ExprKind::Call { callee: name, args },
                             start.to(end),

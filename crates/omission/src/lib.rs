@@ -72,8 +72,10 @@ pub use oracle::{GroundTruthOracle, OutputClassification, UserOracle};
 pub use perturb::{perturbation_candidates, verify_by_perturbation, Perturbation};
 pub use report::{describe_inst, render_report};
 pub use session::{DebugSession, DebugSessionBuilder, SessionError};
-pub use switching::{find_critical_predicate, CriticalPredicate, SearchOrder};
-pub use verify::{Verdict, Verification, Verifier, VerifierMode};
+pub use switching::{
+    find_critical_predicate, find_critical_predicate_with_jobs, CriticalPredicate, SearchOrder,
+};
+pub use verify::{Verdict, Verification, Verifier, VerifierMode, VerifyRequest};
 
 // Re-export the whole stack so downstream users depend on one crate.
 pub use omislice_align;

@@ -18,15 +18,15 @@
 //!    repeat until the root cause appears in the pruned slice.
 
 use crate::oracle::{OutputClassification, UserOracle};
-use crate::verify::{Verdict, Verifier, VerifierMode};
+use crate::verify::{Verdict, Verifier, VerifierMode, VerifyRequest};
 use omislice_analysis::ProgramAnalysis;
-use omislice_interp::RunConfig;
+use omislice_interp::{ResumeMode, RunConfig};
 use omislice_lang::{Program, StmtId, VarId};
 use omislice_slicing::{
     is_potential_dep, potential_deps_by_var, prune_slice, union_pd, DepGraph, Feedback,
     PrunedSlice, Slice, UnionGraph, ValueProfile,
 };
-use omislice_trace::{InstId, Trace};
+use omislice_trace::{InstId, Trace, VerificationStats};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -84,6 +84,15 @@ pub struct LocateConfig {
     /// can cut verifications, but only finds omissions whose skipped
     /// definition was exercised by at least one profiled run.
     pub union_graph: Option<UnionGraph>,
+    /// Threads the verifier may use for each batch of independent
+    /// switched executions (1 = fully serial). The outcome is identical
+    /// for any value; only the wall time changes.
+    pub jobs: usize,
+    /// Whether switched runs may resume from checkpoints captured on the
+    /// original input ([`ResumeMode::Auto`]) or must always re-execute
+    /// from scratch ([`ResumeMode::Disabled`] — escape hatch, the traces
+    /// are byte-identical either way).
+    pub resume: ResumeMode,
 }
 
 impl Default for LocateConfig {
@@ -94,6 +103,8 @@ impl Default for LocateConfig {
             verify_all_uses: true,
             max_user_prunings: 10_000,
             union_graph: None,
+            jobs: 1,
+            resume: ResumeMode::Auto,
         }
     }
 }
@@ -148,6 +159,9 @@ pub struct LocateOutcome {
     pub wrong_output: InstId,
     /// Output classification the run used.
     pub outputs: OutputClassification,
+    /// The verification engine's instrumentation counters (re-executions
+    /// resumed vs. from scratch, steps saved, wall time per phase).
+    pub stats: VerificationStats,
 }
 
 impl LocateOutcome {
@@ -182,7 +196,9 @@ pub fn locate_fault(
 
     let mut graph = DepGraph::new(trace);
     let mut feedback = Feedback::default();
-    let mut verifier = Verifier::new(program, analysis, config, trace, lc.mode);
+    let mut verifier = Verifier::new(program, analysis, config, trace, lc.mode)
+        .with_jobs(lc.jobs)
+        .with_resume(lc.resume);
     let mut user_prunings = 0usize;
     let mut expanded_edges = 0usize;
     let mut strong_edges = 0usize;
@@ -264,11 +280,24 @@ pub fn locate_fault(
         iterations += 1;
         expanded_uses.insert(u);
 
-        // Verify every candidate; group by verdict (Algorithm 2, 6–11).
+        // Verify every candidate as one batch — their switched runs are
+        // independent, so they resume from checkpoints and fan out across
+        // `lc.jobs` threads; verdicts come back in candidate order
+        // (Algorithm 2, 6–11).
+        let requests: Vec<VerifyRequest> = pd
+            .iter()
+            .map(|&(var, p)| VerifyRequest {
+                p,
+                u,
+                var,
+                wrong_output: wrong,
+                expected: outputs.expected,
+            })
+            .collect();
         let mut strong: Vec<(VarId, InstId)> = Vec::new();
         let mut plain: Vec<(VarId, InstId)> = Vec::new();
-        for &(var, p) in &pd {
-            match verifier.verify(p, u, var, wrong, outputs.expected).verdict {
+        for (&(var, p), v) in pd.iter().zip(verifier.verify_all(&requests)) {
+            match v.verdict {
                 Verdict::StrongId => strong.push((var, p)),
                 Verdict::Id => plain.push((var, p)),
                 Verdict::NotId => {}
@@ -297,6 +326,7 @@ pub fn locate_fault(
         // correct uses with *no* actual dependence on p would wrongly
         // exonerate it.
         if lc.verify_all_uses {
+            let mut secondary: Vec<VerifyRequest> = Vec::new();
             for &(_, p) in &chosen {
                 let p_stmt = trace.event(p).stmt;
                 for &(use_stmt, var) in pd_inverse.get(&p_stmt).map_or(&[] as &[_], Vec::as_slice) {
@@ -304,12 +334,20 @@ pub fn locate_fault(
                         if t == u || !is_potential_dep(trace, analysis, t, var, p) {
                             continue;
                         }
-                        let v = verifier.verify(p, t, var, wrong, None);
-                        if v.verdict.is_dependence() {
-                            graph.add_edge(t, p);
-                            expanded_edges += 1;
-                        }
+                        secondary.push(VerifyRequest {
+                            p,
+                            u: t,
+                            var,
+                            wrong_output: wrong,
+                            expected: None,
+                        });
                     }
+                }
+            }
+            for (req, v) in secondary.iter().zip(verifier.verify_all(&secondary)) {
+                if v.verdict.is_dependence() {
+                    graph.add_edge(req.u, req.p);
+                    expanded_edges += 1;
                 }
             }
         }
@@ -362,6 +400,7 @@ pub fn locate_fault(
         os_edges,
         wrong_output: wrong,
         outputs,
+        stats: verifier.stats().clone(),
     })
 }
 
@@ -499,7 +538,7 @@ mod tests {
         // still exists, so this locates instead. Accept either behavior
         // but never panic.)
         match err {
-            Ok(out) => assert!(out.verifications > 0 || !out.found || out.found),
+            Ok(_) => {}
             Err(e) => assert_eq!(e, LocateError::NoWrongOutput),
         }
     }
@@ -551,6 +590,64 @@ mod tests {
         .unwrap();
         assert!(full.found && lean.found);
         assert!(lean.verifications <= full.verifications);
+    }
+
+    /// Everything outcome-relevant except wall times, for comparing runs.
+    fn fingerprint(out: &LocateOutcome) -> impl PartialEq + std::fmt::Debug {
+        (
+            out.found,
+            out.iterations,
+            out.verifications,
+            out.reexecutions,
+            out.user_prunings,
+            out.expanded_edges,
+            out.strong_edges,
+            out.ips.insts().to_vec(),
+            out.full_slice.insts().to_vec(),
+            out.os.clone(),
+            out.wrong_output,
+            (out.stats.cache_hits, out.stats.steps_saved),
+        )
+    }
+
+    #[test]
+    fn outcome_is_identical_across_jobs_and_resume_modes() {
+        let c = gzip_like();
+        let mut reference = None;
+        for jobs in [1usize, 4] {
+            for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                let out = locate_fault(
+                    &c.faulty,
+                    &c.analysis,
+                    &c.config,
+                    &c.trace,
+                    &c.profile,
+                    &c.oracle,
+                    &LocateConfig {
+                        jobs,
+                        resume,
+                        ..LocateConfig::default()
+                    },
+                )
+                .unwrap();
+                assert!(out.found);
+                // Checkpoint resumption changes *how* switched runs
+                // execute, never what they produce — so every counter and
+                // slice must match, except steps_saved which is exactly 0
+                // when resumption is off.
+                let fp = fingerprint(&out);
+                let mut saved_zeroed = out;
+                saved_zeroed.stats.steps_saved = 0;
+                saved_zeroed.stats.resumed_runs = 0;
+                match &reference {
+                    Some(r) => assert_eq!(*r, fingerprint(&saved_zeroed), "jobs={jobs} {resume:?}"),
+                    None => reference = Some(fingerprint(&saved_zeroed)),
+                }
+                if resume == ResumeMode::Disabled {
+                    assert_eq!(fp, fingerprint(&saved_zeroed), "nothing to zero");
+                }
+            }
+        }
     }
 
     #[test]

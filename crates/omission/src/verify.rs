@@ -21,14 +21,41 @@
 //! the safe path-based variant it discusses and rejects as too expensive,
 //! or a value-comparison extension — the latter two exist for the
 //! ablation study.
+//!
+//! ## Execution strategy
+//!
+//! Switched runs dominate the cost of verification, so the engine avoids
+//! and shortens them aggressively:
+//!
+//! * switched runs are memoized per [`SwitchSpec`] and verdicts per
+//!   `(p, u, var)` — verifying `p` against many uses re-executes once;
+//! * a batch of candidates ([`Verifier::verify_all`]) first captures a
+//!   [`Checkpoint`] at every candidate predicate instance with **one**
+//!   instrumented re-run of the original input, then each switched run
+//!   *resumes* from its checkpoint, replaying the recorded prefix
+//!   verbatim and re-executing only the suffix;
+//! * independent switched runs of a batch fan out across threads
+//!   ([`Verifier::with_jobs`]); results land in per-candidate slots and
+//!   are merged in candidate order, so verdicts, memo contents, and
+//!   counters are identical to a serial run.
+//!
+//! Resumed and from-scratch switched runs are byte-identical (see
+//! `omislice_interp::snapshot`), so [`ResumeMode::Disabled`] exists only
+//! as an escape hatch to make that equivalence checkable.
 
 use omislice_align::Aligner;
 use omislice_analysis::ProgramAnalysis;
-use omislice_interp::{run_traced, RunConfig, SwitchSpec};
+use omislice_interp::{
+    resume_switched, run_traced, run_traced_with_checkpoints, Checkpoint, ResumeMode, RunConfig,
+    SwitchSpec,
+};
 use omislice_lang::{Program, VarId};
 use omislice_slicing::DepGraph;
-use omislice_trace::{InstId, Trace, Value};
+use omislice_trace::{InstId, RegionTree, Trace, Value, VerificationStats};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Outcome of one implicit-dependence verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -80,27 +107,73 @@ pub struct Verification {
     pub failure_value: Option<Value>,
 }
 
+impl Verification {
+    fn not_id() -> Self {
+        Verification {
+            verdict: Verdict::NotId,
+            matched_use: None,
+            matched_failure: None,
+            failure_value: None,
+        }
+    }
+}
+
+/// One `VerifyDep(p, u, o×, v_exp)` query for [`Verifier::verify_all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyRequest {
+    /// The predicate instance to switch.
+    pub p: InstId,
+    /// The use whose implicit dependence on `p` is tested.
+    pub u: InstId,
+    /// The variable used at `u`.
+    pub var: VarId,
+    /// The failure point `o×`.
+    pub wrong_output: InstId,
+    /// `v_exp`, when the user knows the correct value.
+    pub expected: Option<Value>,
+}
+
+/// A computed switched run (`None` when the switch never landed) plus
+/// the number of prefix events skipped when it resumed from a
+/// checkpoint.
+type ComputedRun = (Option<Arc<SwitchedRun>>, Option<usize>);
+
+/// One memoized switched execution: the trace plus the region tree the
+/// aligner navigates (built once, shared across alignments).
+#[derive(Debug)]
+pub struct SwitchedRun {
+    /// The switched trace.
+    pub trace: Trace,
+    /// Its region tree.
+    pub regions: Arc<RegionTree>,
+}
+
 /// Verifies implicit dependences for one failing execution by re-running
 /// the program with predicates switched.
 ///
 /// Results are memoized per `(p, u, var)`, and the switched *traces* are
-/// memoized per switched instance, so verifying `p` against many uses
-/// (Algorithm 2 lines 12–18) re-executes the program only once.
+/// memoized per switch spec, so verifying `p` against many uses
+/// (Algorithm 2 lines 12–18) re-executes the program only once. Batches
+/// submitted through [`Verifier::verify_all`] additionally resume
+/// switched runs from checkpoints and fan them out across threads.
 pub struct Verifier<'a> {
     program: &'a Program,
     analysis: &'a ProgramAnalysis,
     config: RunConfig,
     trace: &'a Trace,
     mode: VerifierMode,
-    /// Switched traces keyed by switched instance.
-    switched_runs: HashMap<InstId, Option<Trace>>,
+    resume: ResumeMode,
+    jobs: usize,
+    /// The original trace's region tree, shared by every alignment.
+    orig_regions: Arc<RegionTree>,
+    /// Switched runs keyed by switch spec; `None` records a run whose
+    /// switch failed to land (cut off by the budget).
+    switched_runs: HashMap<SwitchSpec, Option<Arc<SwitchedRun>>>,
+    /// Checkpoints captured at candidate predicate entries.
+    checkpoints: HashMap<SwitchSpec, Checkpoint>,
     /// Memoized verdicts keyed by (p, u, var, strong-check-enabled).
     cache: HashMap<(InstId, InstId, VarId, bool), Verification>,
-    /// Total number of verifications performed (cache misses on the
-    /// verdict cache) — the paper's "# of verifications".
-    verifications: usize,
-    /// Number of re-executions performed.
-    reexecutions: usize,
+    stats: VerificationStats,
 }
 
 impl<'a> Verifier<'a> {
@@ -124,21 +197,45 @@ impl<'a> Verifier<'a> {
             },
             trace,
             mode,
+            resume: ResumeMode::default(),
+            jobs: 1,
+            orig_regions: Arc::new(RegionTree::build(trace)),
             switched_runs: HashMap::new(),
+            checkpoints: HashMap::new(),
             cache: HashMap::new(),
-            verifications: 0,
-            reexecutions: 0,
+            stats: VerificationStats::default(),
         }
+    }
+
+    /// Sets how many threads [`Verifier::verify_all`] may use for the
+    /// switched executions of one batch (default 1: fully serial).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets whether switched runs may resume from checkpoints (default
+    /// [`ResumeMode::Auto`]).
+    pub fn with_resume(mut self, resume: ResumeMode) -> Self {
+        self.resume = resume;
+        self
     }
 
     /// The paper's "# of verifications" counter.
     pub fn verification_count(&self) -> usize {
-        self.verifications
+        self.stats.verifications
     }
 
-    /// How many switched re-executions actually ran.
+    /// How many switched re-executions actually ran (resumed or from
+    /// scratch; checkpoint-capture re-runs are counted separately in
+    /// [`Verifier::stats`]).
     pub fn reexecution_count(&self) -> usize {
-        self.reexecutions
+        self.stats.reexecutions
+    }
+
+    /// Instrumentation counters for this verifier's lifetime.
+    pub fn stats(&self) -> &VerificationStats {
+        &self.stats
     }
 
     /// `VerifyDep(p, u, o×, v_exp)` for the use of `var` at instance `u`.
@@ -157,34 +254,180 @@ impl<'a> Verifier<'a> {
         wrong_output: InstId,
         expected: Option<Value>,
     ) -> Verification {
-        let key = (p, u, var, expected.is_some());
-        if let Some(&hit) = self.cache.get(&key) {
-            return hit;
-        }
-        self.verifications += 1;
-        let result = self.verify_uncached(p, u, var, wrong_output, expected);
-        self.cache.insert(key, result);
-        result
+        self.verify_all(&[VerifyRequest {
+            p,
+            u,
+            var,
+            wrong_output,
+            expected,
+        }])[0]
     }
 
-    fn switched_trace(&mut self, p: InstId) -> Option<&Trace> {
-        if !self.switched_runs.contains_key(&p) {
-            let ev = self.trace.event(p);
-            assert!(ev.is_predicate(), "{p} is not a predicate instance");
-            let occurrence = self.trace.occurrence_index(p) as u32;
-            let cfg = self.config.switched(SwitchSpec::new(ev.stmt, occurrence));
-            let run = run_traced(self.program, self.analysis, &cfg);
-            self.reexecutions += 1;
-            // The switch must land at the same timestamp (identical
-            // prefix); if the run was cut off before reaching it, treat
-            // the whole re-execution as failed.
-            let trace = match run.switched {
-                Some(inst) if inst == p => Some(run.trace),
-                _ => None,
-            };
-            self.switched_runs.insert(p, trace);
+    /// Answers a batch of verification queries.
+    ///
+    /// The batch's distinct, not-yet-memoized switch specs are executed
+    /// together: one instrumented re-run captures a checkpoint per spec
+    /// (when resumption is enabled and at least two runs would amortize
+    /// it), then the switched runs execute — resumed from their
+    /// checkpoints where possible — across up to `jobs` threads. Verdicts
+    /// are then judged serially in request order, so results, memo
+    /// contents, and counters are identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `p` is not a predicate instance of the original
+    /// trace.
+    pub fn verify_all(&mut self, requests: &[VerifyRequest]) -> Vec<Verification> {
+        let mut missing: Vec<(SwitchSpec, InstId)> = Vec::new();
+        for r in requests {
+            if self
+                .cache
+                .contains_key(&(r.p, r.u, r.var, r.expected.is_some()))
+            {
+                continue;
+            }
+            let spec = self.spec_of(r.p);
+            if !self.switched_runs.contains_key(&spec) && !missing.iter().any(|&(s, _)| s == spec) {
+                missing.push((spec, r.p));
+            }
         }
-        self.switched_runs.get(&p).and_then(Option::as_ref)
+        self.prepare_runs(&missing);
+
+        let verdict_start = Instant::now();
+        let mut out = Vec::with_capacity(requests.len());
+        for r in requests {
+            let key = (r.p, r.u, r.var, r.expected.is_some());
+            if let Some(&hit) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                out.push(hit);
+                continue;
+            }
+            self.stats.verifications += 1;
+            let result = self.verify_uncached(r.p, r.u, r.var, r.wrong_output, r.expected);
+            self.cache.insert(key, result);
+            out.push(result);
+        }
+        self.stats.verdict_wall += verdict_start.elapsed();
+        out
+    }
+
+    /// The switch spec selecting exactly the instance `p`.
+    fn spec_of(&self, p: InstId) -> SwitchSpec {
+        let ev = self.trace.event(p);
+        assert!(ev.is_predicate(), "{p} is not a predicate instance");
+        SwitchSpec::new(ev.stmt, self.trace.occurrence_index(p) as u32)
+    }
+
+    /// Executes (and memoizes) the switched runs for `missing`, capturing
+    /// checkpoints first when that pays for itself.
+    fn prepare_runs(&mut self, missing: &[(SwitchSpec, InstId)]) {
+        if missing.is_empty() {
+            return;
+        }
+        if self.resume == ResumeMode::Auto {
+            let uncaptured: Vec<SwitchSpec> = missing
+                .iter()
+                .map(|&(s, _)| s)
+                .filter(|s| !self.checkpoints.contains_key(s))
+                .collect();
+            // The capture run re-executes the original input once; worth
+            // it only when at least two switched runs amortize it.
+            if uncaptured.len() >= 2 {
+                let start = Instant::now();
+                let (_, captured) = run_traced_with_checkpoints(
+                    self.program,
+                    self.analysis,
+                    &self.config,
+                    &uncaptured,
+                );
+                for cp in captured {
+                    // Recursion through a condition can capture the same
+                    // spec more than once; any of them resumes to the
+                    // identical switched run, keep the first.
+                    self.checkpoints.entry(cp.spec).or_insert(cp);
+                }
+                self.stats.capture_runs += 1;
+                self.stats.capture_wall += start.elapsed();
+            }
+        }
+
+        let start = Instant::now();
+        let jobs = self.jobs.min(missing.len());
+        let mut slots: Vec<Option<ComputedRun>> = (0..missing.len()).map(|_| None).collect();
+        if jobs <= 1 {
+            for (slot, &(spec, p)) in slots.iter_mut().zip(missing) {
+                *slot = Some(self.compute_switched(spec, p));
+            }
+        } else {
+            let this: &Verifier<'_> = self;
+            let next = AtomicUsize::new(0);
+            let worker = || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(spec, p)) = missing.get(i) else {
+                        break;
+                    };
+                    local.push((i, this.compute_switched(spec, p)));
+                }
+                local
+            };
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs).map(|_| s.spawn(worker)).collect();
+                for h in handles {
+                    for (i, result) in h.join().expect("verification worker panicked") {
+                        slots[i] = Some(result);
+                    }
+                }
+            });
+        }
+        // Merge in candidate order: memo contents and counters do not
+        // depend on which thread finished first.
+        for (slot, &(spec, _)) in slots.into_iter().zip(missing) {
+            let (run, saved) = slot.expect("every slot is claimed exactly once");
+            self.stats.reexecutions += 1;
+            match saved {
+                Some(n) => {
+                    self.stats.resumed_runs += 1;
+                    self.stats.steps_saved += n;
+                }
+                None => self.stats.scratch_runs += 1,
+            }
+            self.switched_runs.insert(spec, run);
+        }
+        self.stats.execution_wall += start.elapsed();
+    }
+
+    /// Executes one switched run, resuming from a checkpoint when
+    /// allowed. Returns the run (with its region tree) and, when it
+    /// resumed, the number of prefix events the resume skipped.
+    fn compute_switched(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
+        let cfg = self.config.switched(spec);
+        let mut saved = None;
+        let checkpoint = match self.resume {
+            ResumeMode::Auto => self.checkpoints.get(&spec).filter(|cp| cp.is_resumable()),
+            ResumeMode::Disabled => None,
+        };
+        let run = checkpoint
+            .and_then(|cp| {
+                let resumed = resume_switched(self.program, self.analysis, &cfg, cp, self.trace);
+                if resumed.is_some() {
+                    saved = Some(cp.prefix_len());
+                }
+                resumed
+            })
+            .unwrap_or_else(|| run_traced(self.program, self.analysis, &cfg));
+        // The switch must land at the same timestamp (identical prefix);
+        // if the run was cut off before reaching it, treat the whole
+        // re-execution as failed.
+        let run = match run.switched {
+            Some(inst) if inst == p => Some(Arc::new(SwitchedRun {
+                regions: Arc::new(RegionTree::build(&run.trace)),
+                trace: run.trace,
+            })),
+            _ => None,
+        };
+        (run, saved)
     }
 
     fn verify_uncached(
@@ -197,25 +440,26 @@ impl<'a> Verifier<'a> {
     ) -> Verification {
         let mode = self.mode;
         let orig = self.trace;
-        let Some(switched) = self.switched_trace(p) else {
-            return Verification {
-                verdict: Verdict::NotId,
-                matched_use: None,
-                matched_failure: None,
-                failure_value: None,
-            };
+        let spec = self.spec_of(p);
+        if !self.switched_runs.contains_key(&spec) {
+            self.prepare_runs(&[(spec, p)]);
+        }
+        let Some(run) = self.switched_runs.get(&spec).and_then(Option::as_ref) else {
+            return Verification::not_id();
         };
+        let run = Arc::clone(run);
+        let switched = &run.trace;
         // The paper's timer: a switched run that does not terminate
         // normally fails verification.
         if !switched.termination().is_normal() {
-            return Verification {
-                verdict: Verdict::NotId,
-                matched_use: None,
-                matched_failure: None,
-                failure_value: None,
-            };
+            return Verification::not_id();
         }
-        let aligner = Aligner::new(orig, switched);
+        let aligner = Aligner::with_regions(
+            orig,
+            switched,
+            Arc::clone(&self.orig_regions),
+            Arc::clone(&run.regions),
+        );
 
         // Line 27-28: does the switch produce the expected value at o×?
         let matched_failure = aligner.match_inst(p, wrong_output);
@@ -467,6 +711,15 @@ mod tests {
         assert_eq!(r1, r2);
         assert_eq!(v.verification_count(), 1, "second call is a cache hit");
         assert_eq!(v.reexecution_count(), 1);
+        // Counter invariants: the hit is visible in the stats, the single
+        // re-execution is classified exactly once, and a lone spec never
+        // triggers a checkpoint-capture run (nothing to amortize it).
+        let st = v.stats();
+        assert_eq!(st.cache_hits, 1);
+        assert_eq!(st.verifications, 1);
+        assert_eq!(st.resumed_runs + st.scratch_runs, st.reexecutions);
+        assert_eq!(st.capture_runs, 0);
+        assert_eq!(st.steps_saved, 0);
     }
 
     #[test]
@@ -498,6 +751,151 @@ mod tests {
         assert_eq!(r2.verdict, Verdict::Id);
         assert_eq!(v.verification_count(), 2);
         assert_eq!(v.reexecution_count(), 1, "switched run shared");
+        // Counter invariants: two distinct queries, zero verdict-cache
+        // hits, and the one re-execution accounted for exactly once.
+        let st = v.stats();
+        assert_eq!(st.cache_hits, 0);
+        assert_eq!(st.verifications, 2);
+        assert_eq!(st.resumed_runs + st.scratch_runs, st.reexecutions);
+    }
+
+    /// A loopy program with several candidate guards, used by the batch
+    /// tests: each guard conditionally feeds the printed sums.
+    const BATCH: &str = "\
+        global a = 0; global b = 0; global c0 = 0;\
+        fn main() {\
+            c0 = input();\
+            let i = 0;\
+            while i < 6 {\
+                if c0 == 1 { a = a + i; }\
+                if i == 3 { b = b + 10; }\
+                b = b + 1;\
+                i = i + 1;\
+            }\
+            print(a);\
+            print(b);\
+        }";
+
+    fn batch_requests(s: &Setup) -> Vec<VerifyRequest> {
+        let a = s.analysis.index().vars().global("a").unwrap();
+        let b = s.analysis.index().vars().global("b").unwrap();
+        let outs = s.trace.outputs();
+        let (out_a, out_b) = (outs[0].inst, outs[1].inst);
+        let mut requests = Vec::new();
+        for &g in s.trace.instances_of(StmtId(3)) {
+            requests.push(VerifyRequest {
+                p: g,
+                u: out_a,
+                var: a,
+                wrong_output: out_a,
+                expected: Some(Value::Int(15)),
+            });
+        }
+        for &g in s.trace.instances_of(StmtId(5)) {
+            requests.push(VerifyRequest {
+                p: g,
+                u: out_b,
+                var: b,
+                wrong_output: out_a,
+                expected: None,
+            });
+        }
+        requests
+    }
+
+    #[test]
+    fn verify_all_is_identical_across_thread_counts_and_resume_modes() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        assert!(requests.len() >= 8, "enough candidates to fan out");
+        let mut reference: Option<Vec<Verification>> = None;
+        let mut reference_counts: Option<(usize, usize, usize)> = None;
+        for jobs in [1usize, 4] {
+            for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                let mut v = Verifier::new(
+                    &s.program,
+                    &s.analysis,
+                    &s.config,
+                    &s.trace,
+                    VerifierMode::Edge,
+                )
+                .with_jobs(jobs)
+                .with_resume(resume);
+                let results = v.verify_all(&requests);
+                let counts = (
+                    v.verification_count(),
+                    v.reexecution_count(),
+                    v.stats().cache_hits,
+                );
+                match (&reference, &reference_counts) {
+                    (Some(r), Some(c)) => {
+                        assert_eq!(*r, results, "jobs={jobs} resume={resume:?}");
+                        assert_eq!(*c, counts, "jobs={jobs} resume={resume:?}");
+                    }
+                    _ => {
+                        reference = Some(results);
+                        reference_counts = Some(counts);
+                    }
+                }
+                if resume == ResumeMode::Disabled {
+                    assert_eq!(v.stats().resumed_runs, 0);
+                    assert_eq!(v.stats().capture_runs, 0);
+                } else {
+                    assert_eq!(v.stats().capture_runs, 1, "one capture run per batch");
+                    assert!(v.stats().resumed_runs > 0, "checkpoints are used");
+                    assert!(v.stats().steps_saved > 0, "prefixes are skipped");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_resumption_saves_prefix_work() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let _ = v.verify_all(&requests);
+        let st = v.stats();
+        // Later loop iterations carry most of the trace as their prefix:
+        // resumption must skip a substantial share of the re-executed
+        // events. (Total from-scratch work is reexecutions × trace len,
+        // minus the suffix divergence — steps_saved counts the verbatim
+        // prefixes.)
+        assert_eq!(st.resumed_runs, st.reexecutions, "every run resumes");
+        assert!(
+            st.steps_saved > s.trace.len(),
+            "saved {} events over {} runs (trace len {})",
+            st.steps_saved,
+            st.reexecutions,
+            s.trace.len()
+        );
+    }
+
+    #[test]
+    fn verify_and_verify_all_share_their_memos() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let batch = v.verify_all(&requests);
+        let reexec = v.reexecution_count();
+        // Re-asking any request individually is a pure cache hit.
+        let r = requests[0];
+        let single = v.verify(r.p, r.u, r.var, r.wrong_output, r.expected);
+        assert_eq!(single, batch[0]);
+        assert_eq!(v.reexecution_count(), reexec, "no new execution");
+        assert_eq!(v.stats().cache_hits, 1);
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod value;
 pub use dot::{ddg_to_dot, regions_to_dot};
 pub use event::{Event, InstId, OutputRecord};
 pub use region::RegionTree;
-pub use stats::TraceStats;
+pub use stats::{TraceStats, VerificationStats};
 pub use trace::{Termination, Trace};
 pub use value::Value;

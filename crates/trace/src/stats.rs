@@ -1,10 +1,13 @@
 //! Summary statistics over a trace — the quick health check a debugging
-//! session starts with (`omislice trace --stats` in the CLI).
+//! session starts with (`omislice trace --stats` in the CLI) — plus the
+//! per-run instrumentation of the verification engine
+//! ([`VerificationStats`], `omislice locate --stats`).
 
 use crate::trace::Trace;
 use omislice_lang::StmtId;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Duration;
 
 /// Aggregate counts for one trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,6 +82,83 @@ impl fmt::Display for TraceStats {
     }
 }
 
+/// Instrumentation counters for one verification engine run: how many
+/// switched re-executions ran, how much work checkpoint resumption and
+/// the caches avoided, and where the wall time went.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerificationStats {
+    /// `VerifyDep` invocations that missed the verdict cache.
+    pub verifications: usize,
+    /// `VerifyDep` invocations answered from the verdict cache.
+    pub cache_hits: usize,
+    /// Switched executions performed (resumed + from-scratch); requests
+    /// sharing a switch spec share one execution.
+    pub reexecutions: usize,
+    /// Switched executions that resumed from a checkpoint.
+    pub resumed_runs: usize,
+    /// Switched executions that ran from scratch (no checkpoint, a
+    /// non-resumable one, or resumption disabled).
+    pub scratch_runs: usize,
+    /// Instrumented base re-runs performed to capture checkpoints.
+    pub capture_runs: usize,
+    /// Trace events *not* re-executed thanks to resumption (the summed
+    /// prefix lengths of the resumed runs).
+    pub steps_saved: usize,
+    /// Wall time spent executing switched runs (and building their
+    /// region trees).
+    pub execution_wall: Duration,
+    /// Wall time spent capturing checkpoints.
+    pub capture_wall: Duration,
+    /// Wall time spent aligning and judging verdicts.
+    pub verdict_wall: Duration,
+}
+
+impl VerificationStats {
+    /// Fraction of switched executions that resumed from a checkpoint,
+    /// in `[0, 1]`; `0` when nothing ran.
+    pub fn resume_ratio(&self) -> f64 {
+        if self.reexecutions == 0 {
+            0.0
+        } else {
+            self.resumed_runs as f64 / self.reexecutions as f64
+        }
+    }
+
+    /// Folds another run's counters into this one (for aggregating over
+    /// several faults or phases).
+    pub fn absorb(&mut self, other: &VerificationStats) {
+        self.verifications += other.verifications;
+        self.cache_hits += other.cache_hits;
+        self.reexecutions += other.reexecutions;
+        self.resumed_runs += other.resumed_runs;
+        self.scratch_runs += other.scratch_runs;
+        self.capture_runs += other.capture_runs;
+        self.steps_saved += other.steps_saved;
+        self.execution_wall += other.execution_wall;
+        self.capture_wall += other.capture_wall;
+        self.verdict_wall += other.verdict_wall;
+    }
+}
+
+impl fmt::Display for VerificationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verifications    : {}", self.verifications)?;
+        writeln!(f, "verdict cache hit: {}", self.cache_hits)?;
+        writeln!(
+            f,
+            "re-executions    : {} ({} resumed, {} from scratch)",
+            self.reexecutions, self.resumed_runs, self.scratch_runs
+        )?;
+        writeln!(f, "capture runs     : {}", self.capture_runs)?;
+        writeln!(f, "steps saved      : {}", self.steps_saved)?;
+        writeln!(
+            f,
+            "wall: execute {:?}, capture {:?}, verdicts {:?}",
+            self.execution_wall, self.capture_wall, self.verdict_wall
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +214,33 @@ mod tests {
         for needle in ["instances", "predicates", "data edges", "hottest"] {
             assert!(text.contains(needle), "{text}");
         }
+    }
+
+    #[test]
+    fn verification_stats_aggregate_and_ratio() {
+        let mut a = VerificationStats {
+            verifications: 3,
+            cache_hits: 1,
+            reexecutions: 2,
+            resumed_runs: 1,
+            scratch_runs: 1,
+            capture_runs: 1,
+            steps_saved: 40,
+            execution_wall: Duration::from_millis(2),
+            capture_wall: Duration::from_millis(1),
+            verdict_wall: Duration::from_millis(3),
+        };
+        assert_eq!(a.resume_ratio(), 0.5);
+        let b = a.clone();
+        a.absorb(&b);
+        assert_eq!(a.verifications, 6);
+        assert_eq!(a.reexecutions, 4);
+        assert_eq!(a.steps_saved, 80);
+        assert_eq!(a.execution_wall, Duration::from_millis(4));
+        let text = a.to_string();
+        for needle in ["re-executions", "resumed", "steps saved", "capture runs"] {
+            assert!(text.contains(needle), "{text}");
+        }
+        assert_eq!(VerificationStats::default().resume_ratio(), 0.0);
     }
 }
