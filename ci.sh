@@ -13,6 +13,28 @@ if [ -d vendor ]; then
     OFFLINE=(--offline)
 fi
 
+# Fault-injection smoke: the locator must survive every class of planted
+# fault — panics, crashes, budget exhaustion, corrupted checkpoints —
+# without crashing or failing the session. Run standalone with
+# `./ci.sh smoke`.
+smoke() {
+    echo "==> fault-injection smoke (corpus locate --fault-plan)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-cli
+    local plan
+    for plan in "S2:0=panic" "S2:0=oob" "S2:0=budget" \
+                "S4:1=corrupt-checkpoint" "S5:0=div-zero"; do
+        echo "   -- $plan"
+        RUST_BACKTRACE=1 ./target/release/omislice corpus locate sed V3-F2 \
+            --fault-plan "$plan" --stats >/dev/null
+    done
+    echo "fault-injection smoke OK"
+}
+
+if [ "${1:-}" = "smoke" ]; then
+    smoke
+    exit 0
+fi
+
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
 
@@ -24,5 +46,7 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+
+smoke
 
 echo "CI OK"

@@ -8,13 +8,16 @@
 //! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
 //!                   [--profile 4,5;6,7] [--mode edge|path|value]
 //!                   [--jobs N] [--no-resume] [--stats]
+//!                   [--budget init[:factor[:attempts]]|off]
+//!                   [--fault-plan S<id>[:occ]=<action>]
 //! omislice verify   <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
 //!                   [--var name] [--expected v] [--mode edge|path|value]
-//! omislice corpus   [list | locate <bench> <fault> [--jobs N] [--no-resume] [--stats]]
+//! omislice corpus   [list | locate <bench> <fault> [--jobs N] [--no-resume]
+//!                   [--stats] [--budget ...] [--fault-plan ...]]
 //! ```
 
 use omislice::omislice_analysis::ProgramAnalysis;
-use omislice::omislice_interp::{run_plain, run_traced, RunConfig};
+use omislice::omislice_interp::{run_plain, run_traced, BudgetSchedule, FaultPlan, RunConfig};
 use omislice::omislice_lang::{compile, printer::stmt_head, Program};
 use omislice::omislice_slicing::{relevant_slice, DepGraph, Slice, ValueProfile};
 use omislice::omislice_trace::{RegionTree, Trace};
@@ -43,9 +46,15 @@ const USAGE: &str = "usage:
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
                    [--profile 4,5;6,7] [--mode edge|path|value]
                    [--jobs N] [--no-resume] [--stats]
+                   [--budget init[:factor[:attempts]]|off]
+                   [--fault-plan S<id>[:occ]=<action>]
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
-  omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume] [--stats]]";
+  omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume]
+                   [--stats] [--budget ...] [--fault-plan ...]]
+
+fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
+uninit, budget, panic, corrupt-checkpoint";
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut it = args.into_iter();
@@ -134,6 +143,12 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
     for v in &result.outputs {
         println!("{v}");
     }
+    if result.input_underflows > 0 {
+        eprintln!(
+            "omislice: warning: {} input() call(s) ran past the end of the input stream (yielded 0)",
+            result.input_underflows
+        );
+    }
     if !result.is_normal() {
         return Err(format!(
             "program did not terminate normally: {:?}",
@@ -185,6 +200,12 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
         trace.len(),
         trace.termination()
     );
+    if run.input_underflows > 0 {
+        println!(
+            "-- {} input() call(s) ran past the end of the input stream (yielded 0)",
+            run.input_underflows
+        );
+    }
     Ok(())
 }
 
@@ -264,10 +285,62 @@ fn parse_jobs(text: Option<&str>) -> Result<usize, String> {
     }
 }
 
+/// Parses `--budget init[:factor[:attempts]]` (or `off` to disable
+/// escalation) into a [`BudgetSchedule`].
+fn parse_budget(text: Option<&str>) -> Result<BudgetSchedule, String> {
+    let Some(t) = text else {
+        return Ok(BudgetSchedule::default());
+    };
+    if t == "off" {
+        return Ok(BudgetSchedule::disabled());
+    }
+    let mut parts = t.split(':');
+    let default = BudgetSchedule::default();
+    let initial = parts
+        .next()
+        .unwrap_or_default()
+        .parse::<u64>()
+        .map_err(|_| format!("bad --budget `{t}` (expected init[:factor[:attempts]] or off)"))?;
+    let factor = match parts.next() {
+        Some(p) => p
+            .parse::<u64>()
+            .map_err(|_| format!("bad factor in --budget `{t}`"))?,
+        None => default.factor,
+    };
+    let attempts = match parts.next() {
+        Some(p) => p
+            .parse::<u32>()
+            .map_err(|_| format!("bad attempts in --budget `{t}`"))?,
+        None => default.attempts,
+    };
+    if parts.next().is_some() {
+        return Err(format!("bad --budget `{t}` (too many fields)"));
+    }
+    Ok(BudgetSchedule {
+        initial,
+        factor,
+        attempts,
+    })
+}
+
+/// Parses `--fault-plan S<id>[:occ]=<action>` into a [`FaultPlan`].
+fn parse_fault_plan(text: Option<&str>) -> Result<Option<FaultPlan>, String> {
+    text.map(FaultPlan::parse).transpose()
+}
+
 fn cmd_locate(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["faulty", "fixed", "input", "profile", "mode", "jobs"],
+        &[
+            "faulty",
+            "fixed",
+            "input",
+            "profile",
+            "mode",
+            "jobs",
+            "budget",
+            "fault-plan",
+        ],
     )?;
     let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
     let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
@@ -304,6 +377,8 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
         } else {
             omislice::omislice_interp::ResumeMode::Auto
         },
+        budget: parse_budget(opts.value("budget"))?,
+        fault: parse_fault_plan(opts.value("fault-plan"))?,
         ..LocateConfig::default()
     };
     let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
@@ -394,6 +469,7 @@ fn cmd_verify(args: Vec<String>) -> Result<(), String> {
     println!("use       : {}", describe_inst(&trace, &analysis, u));
     println!("variable  : {}", analysis.index().vars().name(var));
     println!("verdict   : {:?}", result.verdict);
+    println!("outcome   : {}", result.outcome);
     match result.matched_use {
         Some(m) => println!(
             "matched   : the use corresponds to t{} in the switched run",
@@ -408,7 +484,7 @@ fn cmd_verify(args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["jobs"])?;
+    let opts = Opts::parse(args, &["jobs", "budget", "fault-plan"])?;
     match opts.positional.first().map(String::as_str) {
         None | Some("list") => {
             for b in all_benchmarks() {
@@ -449,6 +525,8 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 } else {
                     omislice::omislice_interp::ResumeMode::Auto
                 },
+                budget: parse_budget(opts.value("budget"))?,
+                fault: parse_fault_plan(opts.value("fault-plan"))?,
                 ..LocateConfig::default()
             };
             let outcome = session.locate(&lc).map_err(|e| e.to_string())?;

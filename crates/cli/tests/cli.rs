@@ -218,6 +218,103 @@ fn bad_usage_fails_with_help() {
 }
 
 #[test]
+fn run_warns_on_input_underflow() {
+    let path = write_temp("underflow", FIXED);
+    // No --input: the single input() call underflows and yields 0.
+    let out = omislice(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("ran past the end of the input stream"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn verify_reports_the_run_outcome() {
+    let path = write_temp("verify-outcome", FAULTY);
+    let out = omislice(&[
+        "verify",
+        path.to_str().unwrap(),
+        "--input",
+        "1",
+        "--pred",
+        "2",
+        "--use",
+        "4",
+        "--var",
+        "flags",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("outcome   : completed"), "{text}");
+}
+
+#[test]
+fn locate_survives_fault_injection_and_reports_isolation() {
+    let fixed = write_temp("fixed3", FIXED);
+    let faulty = write_temp("faulty3", FAULTY);
+    // S3 (`flags = 2`) only executes in switched runs; a panic planted
+    // there must be isolated — the locator degrades instead of crashing.
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--fault-plan",
+        "S3:0=panic",
+        "--stats",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("panics isolated"), "{text}");
+    let bad = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--fault-plan",
+        "bogus",
+    ]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad fault plan"));
+}
+
+#[test]
+fn corpus_locate_accepts_budget_and_fault_plan() {
+    let out = omislice(&[
+        "corpus",
+        "locate",
+        "sed",
+        "V3-F2",
+        "--budget",
+        "64:4:3",
+        "--fault-plan",
+        "S0:0=corrupt-checkpoint",
+        "--stats",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("run outcomes"), "{text}");
+    assert!(text.contains("escalations"), "{text}");
+    let bad = omislice(&["corpus", "locate", "sed", "V3-F2", "--budget", "x:y"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
 fn locate_mode_flag_is_respected() {
     let fixed = write_temp("fixed2", FIXED);
     let faulty = write_temp("faulty2", FAULTY);

@@ -24,10 +24,13 @@ pub mod store;
 pub mod tracer;
 
 pub use plain::{run_plain, PlainRun};
-pub use snapshot::{resume_switched, run_traced_with_checkpoints, Checkpoint, ResumeMode};
+pub use snapshot::{
+    resume_switched, run_traced_with_checkpoints, Checkpoint, ResumeError, ResumeMode,
+};
 pub use tracer::{run_traced, TracedRun, MAX_CALL_DEPTH};
 
 use omislice_lang::StmtId;
+use omislice_trace::CrashKind;
 
 /// Selects one dynamic predicate instance whose branch outcome is negated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,11 +73,189 @@ impl OverrideSpec {
     }
 }
 
+/// What a deterministic fault injection does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Stop the run with a structured runtime error of this class.
+    Crash(CrashKind),
+    /// Stop the run as if the step budget had just expired.
+    ExhaustBudget,
+    /// Raise a host-level panic (exercises the verifier's `catch_unwind`
+    /// isolation boundary).
+    Panic,
+    /// Emit a deliberately inconsistent [`Checkpoint`] when one is
+    /// captured at the planned statement/occurrence (exercises checkpoint
+    /// validation and the scratch fallback). Never perturbs the run
+    /// itself.
+    CorruptCheckpoint,
+}
+
+/// A deterministic fault injection: at the `occurrence`-th dynamic
+/// instance of `stmt`, perform `action`.
+///
+/// Both interpreters honor the plan identically, and a resumed run
+/// accounts for instances already in its replayed prefix, so fault
+/// injection preserves the resumed-equals-scratch equivalence (a plan
+/// that would fire *inside* a prefix makes the resume refuse instead,
+/// forcing the byte-identical from-scratch run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// The statement whose dynamic instances are counted.
+    pub stmt: StmtId,
+    /// Which instance (0-based) triggers the action.
+    pub occurrence: u32,
+    /// What happens when it triggers.
+    pub action: FaultAction,
+}
+
+impl FaultPlan {
+    /// Builds a plan firing at the `occurrence`-th instance of `stmt`.
+    pub fn new(stmt: StmtId, occurrence: u32, action: FaultAction) -> Self {
+        FaultPlan {
+            stmt,
+            occurrence,
+            action,
+        }
+    }
+
+    /// Parses the CLI syntax `S<id>[:occ]=<action>`, e.g. `S4:2=panic`.
+    ///
+    /// Actions: `oob`, `missing-callee`, `div-zero`, `type`,
+    /// `stack-overflow`, `uninit`, `budget`, `panic`,
+    /// `corrupt-checkpoint`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (target, action) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("bad fault plan `{spec}` (expected S<id>[:occ]=<action>)"))?;
+        let (id, occ) = match target.split_once(':') {
+            Some((a, b)) => (
+                a,
+                b.parse::<u32>()
+                    .map_err(|_| format!("bad occurrence in fault plan `{spec}`"))?,
+            ),
+            None => (target, 0),
+        };
+        let id: u32 = id
+            .trim_start_matches('S')
+            .parse()
+            .map_err(|_| format!("bad statement id in fault plan `{spec}`"))?;
+        let action = match action {
+            "oob" => FaultAction::Crash(CrashKind::OobIndex),
+            "missing-callee" => FaultAction::Crash(CrashKind::MissingCallee),
+            "div-zero" => FaultAction::Crash(CrashKind::DivByZero),
+            "type" => FaultAction::Crash(CrashKind::TypeError),
+            "stack-overflow" => FaultAction::Crash(CrashKind::StackOverflow),
+            "uninit" => FaultAction::Crash(CrashKind::UninitRead),
+            "budget" => FaultAction::ExhaustBudget,
+            "panic" => FaultAction::Panic,
+            "corrupt-checkpoint" => FaultAction::CorruptCheckpoint,
+            other => return Err(format!("unknown fault action `{other}`")),
+        };
+        Ok(FaultPlan::new(StmtId(id), occ, action))
+    }
+}
+
+/// What an injected fault turns into at its firing site; each
+/// interpreter maps this onto its own stop signal.
+pub(crate) enum InjectedFault {
+    Crash(CrashKind, String),
+    Budget,
+}
+
+/// Shared fault-firing logic for both interpreters: counts instances of
+/// the planned statement in `seen` and, at the planned occurrence,
+/// produces the injected stop (or panics, for [`FaultAction::Panic`]).
+/// `CorruptCheckpoint` plans never fire here — they act at checkpoint
+/// capture time and leave execution untouched.
+pub(crate) fn fault_fires(
+    seen: &mut u32,
+    plan: Option<FaultPlan>,
+    stmt: StmtId,
+) -> Option<InjectedFault> {
+    let plan = plan?;
+    if plan.stmt != stmt || matches!(plan.action, FaultAction::CorruptCheckpoint) {
+        return None;
+    }
+    let n = *seen;
+    *seen += 1;
+    if n != plan.occurrence {
+        return None;
+    }
+    match plan.action {
+        FaultAction::Crash(kind) => {
+            Some(InjectedFault::Crash(kind, format!("injected {kind} fault")))
+        }
+        FaultAction::ExhaustBudget => Some(InjectedFault::Budget),
+        FaultAction::Panic => panic!("injected panic at {stmt} (occurrence {n})"),
+        FaultAction::CorruptCheckpoint => None,
+    }
+}
+
+/// The verifier's adaptive step-budget escalation schedule: switched
+/// runs start at `initial` steps and retry with geometrically growing
+/// budgets (`factor`) until they terminate within budget or the final
+/// rung — the configured full step budget — also expires. `attempts`
+/// bounds the total number of executions per switched run.
+///
+/// The schedule makes the paper's expired-timer rule cheap: a switched
+/// run stuck in an infinite loop is cut off after `initial` steps
+/// instead of the full budget, while legitimately long runs still get
+/// the full budget at the last rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetSchedule {
+    /// Budget of the first attempt.
+    pub initial: u64,
+    /// Multiplier between consecutive attempts (≥ 2 effective).
+    pub factor: u64,
+    /// Maximum attempts, final rung included (≥ 1 effective).
+    pub attempts: u32,
+}
+
+impl Default for BudgetSchedule {
+    fn default() -> Self {
+        BudgetSchedule {
+            initial: 16_384,
+            factor: 8,
+            attempts: 3,
+        }
+    }
+}
+
+impl BudgetSchedule {
+    /// A schedule with no escalation: one attempt at the full budget.
+    pub fn disabled() -> Self {
+        BudgetSchedule {
+            initial: u64::MAX,
+            factor: 2,
+            attempts: 1,
+        }
+    }
+
+    /// The strictly increasing budgets to try, ending at `cap` (the full
+    /// configured step budget). Rungs at or above `cap` are dropped, so
+    /// the final attempt always runs with exactly `cap`.
+    pub fn budgets(&self, cap: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut b = self.initial.max(1);
+        while (out.len() as u32) + 1 < self.attempts.max(1) && b < cap {
+            out.push(b);
+            b = b.saturating_mul(self.factor.max(2));
+        }
+        out.push(cap);
+        out
+    }
+}
+
 /// Everything that determines an execution.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Values returned by successive `input()` calls; an exhausted stream
     /// yields `0` (so switched runs that consume extra input keep going).
+    /// Each such underflow is counted in the run result.
     pub inputs: Vec<i64>,
     /// Maximum number of statement instances before the run is cut off
     /// with [`Termination::BudgetExhausted`](omislice_trace::Termination).
@@ -83,6 +264,8 @@ pub struct RunConfig {
     pub switch: Option<SwitchSpec>,
     /// Optional value override (perturbation).
     pub value_override: Option<OverrideSpec>,
+    /// Optional deterministic fault injection.
+    pub fault: Option<FaultPlan>,
 }
 
 /// Default step budget: generous for corpus programs, small enough that a
@@ -96,6 +279,7 @@ impl Default for RunConfig {
             step_budget: DEFAULT_STEP_BUDGET,
             switch: None,
             value_override: None,
+            fault: None,
         }
     }
 }
@@ -110,13 +294,15 @@ impl RunConfig {
     }
 
     /// Returns a copy of this config with `switch` applied — the
-    /// re-execution of Definition 2.
+    /// re-execution of Definition 2. A fault plan carries over: injected
+    /// faults must hit switched re-executions too.
     pub fn switched(&self, switch: SwitchSpec) -> Self {
         RunConfig {
             inputs: self.inputs.clone(),
             step_budget: self.step_budget,
             switch: Some(switch),
             value_override: None,
+            fault: self.fault,
         }
     }
 
@@ -128,6 +314,7 @@ impl RunConfig {
             step_budget: self.step_budget,
             switch: None,
             value_override: Some(value_override),
+            fault: self.fault,
         }
     }
 }
@@ -242,7 +429,7 @@ mod tests {
         let run = traced("global a = [0; 2]; fn main() { print(a[5]); }", vec![]);
         assert!(matches!(
             run.trace.termination(),
-            Termination::RuntimeError(m) if m.contains("out of bounds")
+            Termination::RuntimeError(CrashKind::OobIndex, m) if m.contains("out of bounds")
         ));
         assert!(outs(&run).is_empty());
     }
@@ -252,7 +439,7 @@ mod tests {
         let run = traced("fn main() { print(1 / (1 - 1)); }", vec![]);
         assert!(matches!(
             run.trace.termination(),
-            Termination::RuntimeError(m) if m.contains("division by zero")
+            Termination::RuntimeError(CrashKind::DivByZero, m) if m.contains("division by zero")
         ));
     }
 
@@ -261,7 +448,7 @@ mod tests {
         let run = traced("fn main() { if 1 > 2 { let x = 1; } print(x); }", vec![]);
         assert!(matches!(
             run.trace.termination(),
-            Termination::RuntimeError(m) if m.contains("before initialization")
+            Termination::RuntimeError(CrashKind::UninitRead, m) if m.contains("before initialization")
         ));
     }
 
@@ -282,7 +469,7 @@ mod tests {
         let run = traced("fn f() { f(); } fn main() { f(); }", vec![]);
         assert!(matches!(
             run.trace.termination(),
-            Termination::RuntimeError(m) if m.contains("call depth")
+            Termination::RuntimeError(CrashKind::StackOverflow, m) if m.contains("call depth")
         ));
     }
 
@@ -538,7 +725,7 @@ mod tests {
         );
         assert!(matches!(
             run.trace.termination(),
-            Termination::RuntimeError(_)
+            Termination::RuntimeError(..)
         ));
     }
 
@@ -618,5 +805,128 @@ mod tests {
             vec![],
         );
         assert_eq!(outs(&run), vec![1]);
+    }
+
+    #[test]
+    fn input_underflows_are_counted() {
+        let run = traced(
+            "fn main() { print(input()); print(input()); print(input()); }",
+            vec![7],
+        );
+        assert_eq!(outs(&run), vec![7, 0, 0]);
+        assert_eq!(run.input_underflows, 2);
+        let p = compile("fn main() { print(input()); print(input()); }").unwrap();
+        let pl = run_plain(&p, &RunConfig::with_inputs(vec![1]));
+        assert_eq!(pl.input_underflows, 1);
+    }
+
+    #[test]
+    fn fault_plan_parse_roundtrip() {
+        assert_eq!(
+            FaultPlan::parse("S4:2=panic"),
+            Ok(FaultPlan::new(StmtId(4), 2, FaultAction::Panic))
+        );
+        assert_eq!(
+            FaultPlan::parse("S0=oob"),
+            Ok(FaultPlan::new(
+                StmtId(0),
+                0,
+                FaultAction::Crash(CrashKind::OobIndex)
+            ))
+        );
+        assert_eq!(
+            FaultPlan::parse("S7=corrupt-checkpoint"),
+            Ok(FaultPlan::new(StmtId(7), 0, FaultAction::CorruptCheckpoint))
+        );
+        assert!(FaultPlan::parse("S1").is_err());
+        assert!(FaultPlan::parse("S1=warp").is_err());
+        assert!(FaultPlan::parse("Sx=oob").is_err());
+        assert!(FaultPlan::parse("S1:y=oob").is_err());
+    }
+
+    #[test]
+    fn budget_schedule_rungs_end_at_cap() {
+        let s = BudgetSchedule {
+            initial: 10,
+            factor: 10,
+            attempts: 3,
+        };
+        assert_eq!(s.budgets(5_000), vec![10, 100, 5_000]);
+        assert_eq!(s.budgets(50), vec![10, 50]);
+        assert_eq!(s.budgets(5), vec![5]);
+        assert_eq!(BudgetSchedule::disabled().budgets(7_777), vec![7_777]);
+        // Degenerate parameters are clamped, never loop forever.
+        let degenerate = BudgetSchedule {
+            initial: 0,
+            factor: 0,
+            attempts: 0,
+        };
+        assert_eq!(degenerate.budgets(9), vec![9]);
+    }
+
+    #[test]
+    fn injected_crash_matches_both_interpreters() {
+        let src = "fn main() { let i = 0; while i < 5 { print(i); i = i + 1; } }";
+        let (p, a) = setup(src);
+        // S2 is `print(i)`; crash at its second instance.
+        let cfg = RunConfig {
+            fault: Some(FaultPlan::parse("S2:1=div-zero").unwrap()),
+            ..RunConfig::default()
+        };
+        let t = run_traced(&p, &a, &cfg);
+        assert_eq!(outs(&t), vec![0]);
+        let Termination::RuntimeError(kind, msg) = t.trace.termination() else {
+            panic!("expected a crash, got {:?}", t.trace.termination());
+        };
+        assert_eq!(*kind, CrashKind::DivByZero);
+        assert!(msg.contains("injected"), "{msg}");
+        assert!(msg.contains("in S2"), "{msg}");
+        let pl = run_plain(&p, &cfg);
+        assert_eq!(pl.outputs, t.trace.output_values());
+        assert_eq!(pl.termination, *t.trace.termination());
+    }
+
+    #[test]
+    fn injected_budget_exhaustion_stops_the_run() {
+        let src = "fn main() { print(1); print(2); }";
+        let (p, a) = setup(src);
+        let cfg = RunConfig {
+            fault: Some(FaultPlan::parse("S1=budget").unwrap()),
+            ..RunConfig::default()
+        };
+        let t = run_traced(&p, &a, &cfg);
+        assert_eq!(*t.trace.termination(), Termination::BudgetExhausted);
+        assert_eq!(t.trace.output_values(), vec![Value::Int(1)]);
+        let pl = run_plain(&p, &cfg);
+        assert_eq!(pl.termination, Termination::BudgetExhausted);
+        assert_eq!(pl.outputs, t.trace.output_values());
+    }
+
+    #[test]
+    fn injected_panic_fires_at_the_chosen_instance() {
+        let src = "fn main() { print(1); print(2); }";
+        let (p, a) = setup(src);
+        let cfg = RunConfig {
+            fault: Some(FaultPlan::parse("S1=panic").unwrap()),
+            ..RunConfig::default()
+        };
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_traced(&p, &a, &cfg)))
+                .expect_err("the injected panic must escape the interpreter");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected panic"), "{msg}");
+    }
+
+    #[test]
+    fn unreached_fault_plan_is_noop() {
+        let src = "fn main() { print(1); }";
+        let (p, a) = setup(src);
+        let cfg = RunConfig {
+            fault: Some(FaultPlan::parse("S0:5=oob").unwrap()),
+            ..RunConfig::default()
+        };
+        let t = run_traced(&p, &a, &cfg);
+        assert!(t.trace.termination().is_normal());
+        assert_eq!(t.trace.output_values(), vec![Value::Int(1)]);
     }
 }

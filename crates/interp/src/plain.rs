@@ -9,11 +9,11 @@
 //! A property test in this crate asserts the two interpreters produce
 //! identical outputs on randomized programs.
 
-use crate::{OverrideSpec, RunConfig, SwitchSpec};
+use crate::{FaultPlan, OverrideSpec, RunConfig, SwitchSpec};
 use omislice_lang::{
     BinOp, Block, Expr, ExprKind, GlobalInit, Program, Stmt, StmtId, StmtKind, UnOp,
 };
-use omislice_trace::{Termination, Value};
+use omislice_trace::{CrashKind, Termination, Value};
 use std::collections::HashMap;
 
 /// Result of an untraced execution.
@@ -25,6 +25,9 @@ pub struct PlainRun {
     pub termination: Termination,
     /// Number of statements executed.
     pub steps: u64,
+    /// How many `input()` calls ran past the end of the input stream
+    /// (each yielded `0`).
+    pub input_underflows: u64,
 }
 
 impl PlainRun {
@@ -53,12 +56,15 @@ pub fn run_plain(program: &Program, config: &RunConfig) -> PlainRun {
         program,
         inputs: &config.inputs,
         input_pos: 0,
+        input_underflows: 0,
         budget: config.step_budget,
         steps: 0,
         switch: config.switch,
         switch_done: false,
         value_override: config.value_override,
         override_done: false,
+        fault: config.fault,
+        fault_seen: 0,
         occ: HashMap::new(),
         globals: init_globals(program),
         local_names: collect_local_names(program),
@@ -68,18 +74,19 @@ pub fn run_plain(program: &Program, config: &RunConfig) -> PlainRun {
     let termination = match e.run_main() {
         Ok(()) => Termination::Normal,
         Err(Stop::Budget) => Termination::BudgetExhausted,
-        Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
+        Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
     PlainRun {
         outputs: e.outputs,
         termination,
         steps: e.steps,
+        input_underflows: e.input_underflows,
     }
 }
 
 enum Stop {
     Budget,
-    Runtime(String),
+    Crash(CrashKind, String),
 }
 
 enum Flow {
@@ -145,12 +152,18 @@ struct Evaluator<'a> {
     program: &'a Program,
     inputs: &'a [i64],
     input_pos: usize,
+    /// `input()` calls that ran past the end of the stream (yielding 0).
+    input_underflows: u64,
     budget: u64,
     steps: u64,
     switch: Option<SwitchSpec>,
     switch_done: bool,
     value_override: Option<OverrideSpec>,
     override_done: bool,
+    /// Deterministic fault to inject, if any.
+    fault: Option<FaultPlan>,
+    /// Instances of the fault statement seen so far.
+    fault_seen: u32,
     occ: HashMap<StmtId, u32>,
     globals: HashMap<String, PlainSlot>,
     local_names: HashMap<String, std::collections::HashSet<String>>,
@@ -164,9 +177,21 @@ impl<'a> Evaluator<'a> {
         let main = self
             .program
             .function("main")
-            .expect("checked programs have main");
+            .ok_or_else(|| missing_callee("main"))?;
         self.frames.push(("main".to_string(), HashMap::new()));
         self.exec_block(&main.body).map(|_| ())
+    }
+
+    /// Fires an injected fault at this statement's next dynamic instance
+    /// when the plan says so. Called exactly where the tracing
+    /// interpreter records the statement's event, so both interpreters
+    /// fail at the same logical point.
+    fn check_fault(&mut self, stmt: StmtId) -> Result<(), Stop> {
+        match crate::fault_fires(&mut self.fault_seen, self.fault, stmt) {
+            None => Ok(()),
+            Some(crate::InjectedFault::Budget) => Err(Stop::Budget),
+            Some(crate::InjectedFault::Crash(kind, msg)) => Err(Stop::Crash(kind, msg)),
+        }
     }
 
     /// Whether `name` is a local of the currently executing function.
@@ -187,17 +212,23 @@ impl<'a> Evaluator<'a> {
     fn read_var(&self, name: &str) -> Result<Value, Stop> {
         if self.is_local(name) {
             let (_, locals) = self.frames.last().expect("at least one frame");
-            return locals
-                .get(name)
-                .copied()
-                .ok_or_else(|| Stop::Runtime(format!("`{name}` used before initialization")));
+            return locals.get(name).copied().ok_or_else(|| {
+                Stop::Crash(
+                    CrashKind::UninitRead,
+                    format!("`{name}` used before initialization"),
+                )
+            });
         }
         match self.globals.get(name) {
             Some(PlainSlot::Scalar(v)) => Ok(*v),
-            Some(PlainSlot::Array(_)) => {
-                Err(Stop::Runtime(format!("array `{name}` used as a scalar")))
-            }
-            None => Err(Stop::Runtime(format!("unknown variable `{name}`"))),
+            Some(PlainSlot::Array(_)) => Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("array `{name}` used as a scalar"),
+            )),
+            None => Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("unknown variable `{name}`"),
+            )),
         }
     }
 
@@ -215,10 +246,14 @@ impl<'a> Evaluator<'a> {
                 *v = value;
                 Ok(())
             }
-            Some(PlainSlot::Array(_)) => {
-                Err(Stop::Runtime(format!("cannot assign whole array `{name}`")))
-            }
-            None => Err(Stop::Runtime(format!("unknown variable `{name}`"))),
+            Some(PlainSlot::Array(_)) => Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("cannot assign whole array `{name}`"),
+            )),
+            None => Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("unknown variable `{name}`"),
+            )),
         }
     }
 
@@ -228,21 +263,23 @@ impl<'a> Evaluator<'a> {
             ExprKind::Bool(b) => Ok(Value::Bool(*b)),
             ExprKind::Var(name) => self.read_var(name),
             ExprKind::Load { name, index } => {
-                let idx = self
-                    .eval(index)?
-                    .as_int()
-                    .ok_or_else(|| Stop::Runtime("array index must be an integer".to_string()))?;
+                let idx = self.eval(index)?.as_int().ok_or_else(|| {
+                    Stop::Crash(
+                        CrashKind::TypeError,
+                        "array index must be an integer".to_string(),
+                    )
+                })?;
                 match self.globals.get(name) {
-                    Some(PlainSlot::Array(cells)) => cells
-                        .get(usize::try_from(idx).unwrap_or(usize::MAX))
-                        .copied()
-                        .ok_or_else(|| {
-                            Stop::Runtime(format!(
-                                "index {idx} out of bounds for `{name}` (len {})",
-                                cells.len()
-                            ))
-                        }),
-                    _ => Err(Stop::Runtime(format!("`{name}` is not an array"))),
+                    Some(PlainSlot::Array(cells)) => {
+                        if idx < 0 || idx as usize >= cells.len() {
+                            return Err(oob(idx, name, cells.len()));
+                        }
+                        Ok(cells[idx as usize])
+                    }
+                    _ => Err(Stop::Crash(
+                        CrashKind::TypeError,
+                        format!("`{name}` is not an array"),
+                    )),
                 }
             }
             ExprKind::Call { callee, args } => {
@@ -253,7 +290,13 @@ impl<'a> Evaluator<'a> {
                 self.call(callee, vals)
             }
             ExprKind::Input => {
-                let v = self.inputs.get(self.input_pos).copied().unwrap_or(0);
+                let v = match self.inputs.get(self.input_pos) {
+                    Some(&v) => v,
+                    None => {
+                        self.input_underflows += 1;
+                        0
+                    }
+                };
                 self.input_pos += 1;
                 Ok(Value::Int(v))
             }
@@ -271,15 +314,18 @@ impl<'a> Evaluator<'a> {
 
     fn call(&mut self, callee: &str, args: Vec<Value>) -> Result<Value, Stop> {
         if self.frames.len() >= crate::tracer::MAX_CALL_DEPTH {
-            return Err(Stop::Runtime(format!(
-                "call depth limit ({}) exceeded calling `{callee}`",
-                crate::tracer::MAX_CALL_DEPTH
-            )));
+            return Err(Stop::Crash(
+                CrashKind::StackOverflow,
+                format!(
+                    "call depth limit ({}) exceeded calling `{callee}`",
+                    crate::tracer::MAX_CALL_DEPTH
+                ),
+            ));
         }
         let decl = self
             .program
             .function(callee)
-            .expect("checker verified the callee exists");
+            .ok_or_else(|| missing_callee(callee))?;
         let locals: HashMap<String, Value> = decl.params.iter().cloned().zip(args).collect();
         self.frames.push((callee.to_string(), locals));
         let flow = self.exec_block(&decl.body);
@@ -317,16 +363,20 @@ impl<'a> Evaluator<'a> {
             outcome = !outcome;
             self.switch_done = true;
         }
+        self.check_fault(stmt)?;
         Ok(outcome)
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, Stop> {
         match self.exec_stmt_inner(stmt) {
-            Err(Stop::Runtime(msg)) if !msg.contains(" in S") => Err(Stop::Runtime(format!(
-                "{msg} in {} `{}`",
-                stmt.id,
-                omislice_lang::printer::stmt_head(stmt)
-            ))),
+            Err(Stop::Crash(kind, msg)) if !msg.contains(" in S") => Err(Stop::Crash(
+                kind,
+                format!(
+                    "{msg} in {} `{}`",
+                    stmt.id,
+                    omislice_lang::printer::stmt_head(stmt)
+                ),
+            )),
             other => other,
         }
     }
@@ -347,31 +397,36 @@ impl<'a> Evaluator<'a> {
                         }
                     }
                 }
+                self.check_fault(stmt.id)?;
                 self.write_var(name, v)?;
                 Ok(Flow::Normal)
             }
             StmtKind::Store { name, index, value } => {
-                let idx = self
-                    .eval(index)?
-                    .as_int()
-                    .ok_or_else(|| Stop::Runtime("array index must be an integer".to_string()))?;
+                let idx = self.eval(index)?.as_int().ok_or_else(|| {
+                    Stop::Crash(
+                        CrashKind::TypeError,
+                        "array index must be an integer".to_string(),
+                    )
+                })?;
                 let v = self.eval(value)?;
-                match self.globals.get_mut(name) {
-                    Some(PlainSlot::Array(cells)) => {
-                        let len = cells.len();
-                        let slot = usize::try_from(idx)
-                            .ok()
-                            .and_then(|i| cells.get_mut(i))
-                            .ok_or_else(|| {
-                                Stop::Runtime(format!(
-                                    "index {idx} out of bounds for `{name}` (len {len})"
-                                ))
-                            })?;
-                        *slot = v;
-                        Ok(Flow::Normal)
+                let len = match self.globals.get(name) {
+                    Some(PlainSlot::Array(cells)) => cells.len(),
+                    _ => {
+                        return Err(Stop::Crash(
+                            CrashKind::TypeError,
+                            format!("`{name}` is not an array"),
+                        ))
                     }
-                    _ => Err(Stop::Runtime(format!("`{name}` is not an array"))),
+                };
+                if idx < 0 || idx as usize >= len {
+                    return Err(oob(idx, name, len));
                 }
+                self.check_fault(stmt.id)?;
+                let Some(PlainSlot::Array(cells)) = self.globals.get_mut(name) else {
+                    unreachable!("checked just above");
+                };
+                cells[idx as usize] = v;
+                Ok(Flow::Normal)
             }
             StmtKind::If {
                 cond,
@@ -397,17 +452,25 @@ impl<'a> Evaluator<'a> {
                     ret @ Flow::Return(_) => return Ok(ret),
                 }
             },
-            StmtKind::Break => Ok(Flow::Break),
-            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Break => {
+                self.check_fault(stmt.id)?;
+                Ok(Flow::Break)
+            }
+            StmtKind::Continue => {
+                self.check_fault(stmt.id)?;
+                Ok(Flow::Continue)
+            }
             StmtKind::Return(expr) => {
                 let v = match expr {
                     Some(e) => self.eval(e)?,
                     None => Value::Int(0),
                 };
+                self.check_fault(stmt.id)?;
                 Ok(Flow::Return(v))
             }
             StmtKind::Print(expr) => {
                 let v = self.eval(expr)?;
+                self.check_fault(stmt.id)?;
                 self.outputs.push(v);
                 Ok(Flow::Normal)
             }
@@ -416,6 +479,7 @@ impl<'a> Evaluator<'a> {
                     .iter()
                     .map(|a| self.eval(a))
                     .collect::<Result<_, _>>()?;
+                self.check_fault(stmt.id)?;
                 self.call(callee, vals)?;
                 Ok(Flow::Normal)
             }
@@ -423,17 +487,36 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+fn missing_callee(name: &str) -> Stop {
+    Stop::Crash(CrashKind::MissingCallee, format!("no function `{name}`"))
+}
+
+fn oob(idx: i64, name: &str, len: usize) -> Stop {
+    Stop::Crash(
+        CrashKind::OobIndex,
+        format!("index {idx} out of bounds for `{name}` (len {len})"),
+    )
+}
+
 fn apply_unary(op: UnOp, v: Value) -> Result<Value, Stop> {
     match (op, v) {
         (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-        _ => Err(Stop::Runtime(format!("invalid operand `{v}` for `{op}`"))),
+        _ => Err(Stop::Crash(
+            CrashKind::TypeError,
+            format!("invalid operand `{v}` for `{op}`"),
+        )),
     }
 }
 
 fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
     use BinOp::*;
-    let type_err = || Stop::Runtime(format!("invalid operands `{l}` {op} `{r}`"));
+    let type_err = || {
+        Stop::Crash(
+            CrashKind::TypeError,
+            format!("invalid operands `{l}` {op} `{r}`"),
+        )
+    };
     match op {
         Add | Sub | Mul | Div | Rem => {
             let (Value::Int(a), Value::Int(b)) = (l, r) else {
@@ -445,13 +528,19 @@ fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
                 Mul => a.wrapping_mul(b),
                 Div => {
                     if b == 0 {
-                        return Err(Stop::Runtime("division by zero".to_string()));
+                        return Err(Stop::Crash(
+                            CrashKind::DivByZero,
+                            "division by zero".to_string(),
+                        ));
                     }
                     a.wrapping_div(b)
                 }
                 Rem => {
                     if b == 0 {
-                        return Err(Stop::Runtime("remainder by zero".to_string()));
+                        return Err(Stop::Crash(
+                            CrashKind::DivByZero,
+                            "remainder by zero".to_string(),
+                        ));
                     }
                     a.wrapping_rem(b)
                 }

@@ -16,11 +16,12 @@
 
 use crate::store::{Frame, Globals};
 use crate::tracer::{self, TracedRun};
-use crate::{RunConfig, SwitchSpec};
+use crate::{FaultAction, RunConfig, SwitchSpec};
 use omislice_analysis::ProgramAnalysis;
 use omislice_lang::{Program, StmtId};
 use omislice_trace::{InstId, Trace};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Interpreter state captured at a candidate predicate instance, from
 /// which a switched run can resume.
@@ -33,6 +34,9 @@ pub struct Checkpoint {
     pub(crate) occ: HashMap<StmtId, u32>,
     pub(crate) region_stack: Vec<InstId>,
     pub(crate) input_pos: usize,
+    /// Input underflows accumulated in the prefix, restored on resume so
+    /// resumed and from-scratch runs report identical counts.
+    pub(crate) input_underflows: u64,
     pub(crate) trace_len: usize,
     pub(crate) outputs_len: usize,
     /// For a `while` predicate: whether a prior iteration's region is on
@@ -57,6 +61,76 @@ impl Checkpoint {
     /// fall back to from-scratch execution.
     pub fn is_resumable(&self) -> bool {
         self.frames.iter().skip(1).all(|f| f.call_site.is_some())
+    }
+
+    /// Structural consistency check against the program and the base
+    /// trace this checkpoint claims a prefix of. A checkpoint that fails
+    /// validation (e.g. one poisoned by a `corrupt-checkpoint` fault
+    /// plan, or paired with the wrong base trace) must not be resumed —
+    /// its cursors would slice out of range or replay the wrong prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self, program: &Program, base: &Trace) -> Result<(), String> {
+        if self.frames.is_empty() {
+            return Err("checkpoint has no frames".to_string());
+        }
+        for frame in &self.frames {
+            if program.function(&frame.func).is_none() {
+                return Err(format!(
+                    "checkpoint frame names unknown function `{}`",
+                    frame.func
+                ));
+            }
+        }
+        if self.trace_len > base.len() {
+            return Err(format!(
+                "checkpoint prefix length {} exceeds base trace length {}",
+                self.trace_len,
+                base.len()
+            ));
+        }
+        if self.outputs_len > base.outputs().len() {
+            return Err(format!(
+                "checkpoint output cursor {} exceeds base output count {}",
+                self.outputs_len,
+                base.outputs().len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why a checkpoint resumption was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint suspends below an expression-position call and can
+    /// never resume; run from scratch (not a fault — expected for such
+    /// call shapes).
+    NotResumable,
+    /// The run config carries a [`crate::FaultPlan`] that would have
+    /// fired inside the replayed prefix; a resume would skip the fault
+    /// and diverge from the from-scratch run, so it refuses instead.
+    FaultInPrefix,
+    /// The checkpoint is structurally inconsistent (failed
+    /// [`Checkpoint::validate`]) or its suspended call stack could not
+    /// be re-entered. The caller should discard it and fall back to
+    /// from-scratch execution.
+    Invalid(String),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::NotResumable => {
+                write!(f, "checkpoint suspends below an expression-position call")
+            }
+            ResumeError::FaultInPrefix => {
+                write!(f, "fault plan fires inside the replayed prefix")
+            }
+            ResumeError::Invalid(msg) => write!(f, "invalid checkpoint: {msg}"),
+        }
     }
 }
 
@@ -86,21 +160,52 @@ pub fn run_traced_with_checkpoints(
 }
 
 /// Resumes a switched run from `checkpoint`, reusing `base` (the
-/// original run's trace) for the shared prefix. Returns `None` when the
-/// checkpoint is not resumable; the caller then runs from scratch.
+/// original run's trace) for the shared prefix. Refuses — with a
+/// [`ResumeError`] saying why — when the checkpoint cannot or must not
+/// be resumed; the caller then runs from scratch.
+///
+/// The checkpoint is validated against `program` and `base` first, so a
+/// corrupted or mismatched checkpoint is reported as
+/// [`ResumeError::Invalid`] instead of slicing out of range.
 ///
 /// The result is byte-identical — events, outputs, termination — to
 /// `run_traced` with the same config and `config.switch =
-/// Some(checkpoint.spec)`, including step-budget behavior: the budget
-/// counts prefix events exactly as a from-scratch run would.
+/// Some(checkpoint.spec)`, including step-budget behavior (the budget
+/// counts prefix events exactly as a from-scratch run would) and
+/// fault-injection behavior (a plan that would fire inside the prefix
+/// refuses with [`ResumeError::FaultInPrefix`] rather than diverge).
+///
+/// # Errors
+///
+/// Returns the refusal reason; every variant is recoverable by running
+/// the switched config from scratch.
 pub fn resume_switched(
     program: &Program,
     analysis: &ProgramAnalysis,
     config: &RunConfig,
     checkpoint: &Checkpoint,
     base: &Trace,
-) -> Option<TracedRun> {
-    tracer::resume_switched_impl(program, analysis, config, checkpoint, base)
+) -> Result<TracedRun, ResumeError> {
+    if !checkpoint.is_resumable() {
+        return Err(ResumeError::NotResumable);
+    }
+    checkpoint
+        .validate(program, base)
+        .map_err(ResumeError::Invalid)?;
+    if let Some(plan) = config.fault {
+        if !matches!(plan.action, FaultAction::CorruptCheckpoint) {
+            let in_prefix = base.events()[..checkpoint.trace_len]
+                .iter()
+                .filter(|e| e.stmt == plan.stmt)
+                .count() as u32;
+            if in_prefix > plan.occurrence {
+                return Err(ResumeError::FaultInPrefix);
+            }
+        }
+    }
+    tracer::resume_switched_impl(program, analysis, config, checkpoint, base).ok_or_else(|| {
+        ResumeError::Invalid("suspended call stack cannot be re-entered".to_string())
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +271,7 @@ mod tests {
             let switched_config = config.switched(cp.spec);
             let scratch = run_traced(&p, &a, &switched_config);
             match resume_switched(&p, &a, &switched_config, cp, &base.trace) {
-                Some(resumed) => {
+                Ok(resumed) => {
                     resumed_any = true;
                     assert_eq!(
                         resumed.trace.events(),
@@ -176,8 +281,12 @@ mod tests {
                     );
                     assert_eq!(resumed.trace.outputs(), scratch.trace.outputs());
                     assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+                    assert_eq!(resumed.input_underflows, scratch.input_underflows);
                 }
-                None => assert!(!cp.is_resumable()),
+                Err(e) => {
+                    assert_eq!(e, ResumeError::NotResumable);
+                    assert!(!cp.is_resumable());
+                }
             }
         }
         assert!(resumed_any, "at least one checkpoint resumes");
@@ -278,7 +387,10 @@ mod tests {
             .expect("a checkpoint below the call");
         assert!(!cp.is_resumable());
         let switched = config.switched(cp.spec);
-        assert!(resume_switched(&p, &a, &switched, cp, &base.trace).is_none());
+        assert_eq!(
+            resume_switched(&p, &a, &switched, cp, &base.trace).unwrap_err(),
+            ResumeError::NotResumable
+        );
     }
 
     #[test]
@@ -305,6 +417,89 @@ mod tests {
                 .expect("single-frame checkpoints resume");
             assert_eq!(resumed.trace.events().len(), scratch.trace.events().len());
             assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+        }
+    }
+
+    #[test]
+    fn corrupted_checkpoint_fails_validation_and_resume() {
+        use crate::{FaultAction, FaultPlan};
+        let (p, a) = analyzed(
+            "fn main() {
+                 let i = 0;
+                 while i < 3 { i = i + 1; }
+                 print(i);
+             }",
+        );
+        let config = RunConfig::default();
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        // Corrupt the checkpoint captured at the while's second instance.
+        let while_id = specs[0].pred;
+        let corrupting = RunConfig {
+            fault: Some(FaultPlan::new(while_id, 1, FaultAction::CorruptCheckpoint)),
+            ..config.clone()
+        };
+        let (rerun, checkpoints) = run_traced_with_checkpoints(&p, &a, &corrupting, &specs);
+        // The corruption never perturbs the run itself.
+        assert_eq!(rerun.trace.events(), base.trace.events());
+        let bad = checkpoints
+            .iter()
+            .find(|c| c.spec.occurrence == 1)
+            .expect("occurrence 1 was captured");
+        assert!(bad.validate(&p, &base.trace).is_err());
+        let switched = config.switched(bad.spec);
+        assert!(matches!(
+            resume_switched(&p, &a, &switched, bad, &base.trace),
+            Err(ResumeError::Invalid(_))
+        ));
+        // Sibling checkpoints are untouched and still resume exactly.
+        for cp in checkpoints.iter().filter(|c| c.spec.occurrence != 1) {
+            let sw = config.switched(cp.spec);
+            let scratch = run_traced(&p, &a, &sw);
+            let resumed = resume_switched(&p, &a, &sw, cp, &base.trace).unwrap();
+            assert_eq!(resumed.trace.events(), scratch.trace.events());
+        }
+    }
+
+    #[test]
+    fn fault_in_prefix_refuses_resume_and_scratch_matches() {
+        use crate::FaultPlan;
+        let src = "fn main() {
+                 let i = 0;
+                 while i < 6 {
+                     if i == 4 { print(i); }
+                     i = i + 1;
+                 }
+             }";
+        let (p, a) = analyzed(src);
+        let config = RunConfig::default();
+        let base = run_traced(&p, &a, &config);
+        let specs = all_specs(&p, &base);
+        let (_, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
+        // Crash at the third instance of `i = i + 1` (statement S4).
+        let plan = FaultPlan::parse("S4:2=div-zero").unwrap();
+        for cp in &checkpoints {
+            let mut switched = config.switched(cp.spec);
+            switched.fault = Some(plan);
+            let scratch = run_traced(&p, &a, &switched);
+            match resume_switched(&p, &a, &switched, cp, &base.trace) {
+                Ok(resumed) => {
+                    assert_eq!(
+                        resumed.trace.events(),
+                        scratch.trace.events(),
+                        "resumed+fault differs for {:?}",
+                        cp.spec
+                    );
+                    assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+                }
+                Err(ResumeError::FaultInPrefix) => {
+                    // The fault fired inside the prefix: the scratch run
+                    // must indeed crash before the switch point.
+                    assert!(!scratch.trace.termination().is_normal());
+                }
+                Err(ResumeError::NotResumable) => assert!(!cp.is_resumable()),
+                Err(other) => panic!("unexpected refusal: {other}"),
+            }
         }
     }
 

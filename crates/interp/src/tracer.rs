@@ -6,10 +6,10 @@
 
 use crate::snapshot::Checkpoint;
 use crate::store::{Cell, Frame, Globals, Slot};
-use crate::{OverrideSpec, RunConfig, SwitchSpec};
+use crate::{FaultAction, FaultPlan, OverrideSpec, RunConfig, SwitchSpec};
 use omislice_analysis::ProgramAnalysis;
 use omislice_lang::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtId, StmtKind, UnOp, VarId};
-use omislice_trace::{Event, InstId, OutputRecord, Termination, Trace, Value};
+use omislice_trace::{CrashKind, Event, InstId, OutputRecord, Termination, Trace, Value};
 use std::collections::HashMap;
 
 /// Maximum call depth; deeper recursion is reported as a runtime error
@@ -27,6 +27,10 @@ pub struct TracedRun {
     /// The instance whose value was overridden, if an [`OverrideSpec`]
     /// was supplied and that instance was reached.
     pub overridden: Option<InstId>,
+    /// How many `input()` calls ran past the end of the input stream
+    /// (each yielded `0`). Nonzero means the workload was silently
+    /// truncated — worth surfacing instead of hiding behind zeros.
+    pub input_underflows: u64,
 }
 
 /// Executes `program` under `config`, producing a full trace.
@@ -81,11 +85,14 @@ pub(crate) fn run_traced_capturing(
         analysis,
         inputs: &config.inputs,
         input_pos: 0,
+        input_underflows: 0,
         budget: config.step_budget,
         switch: config.switch,
         switched: None,
         value_override: config.value_override,
         overridden: None,
+        fault: config.fault,
+        fault_seen: 0,
         occ: HashMap::new(),
         events: Vec::new(),
         outputs: Vec::new(),
@@ -98,27 +105,34 @@ pub(crate) fn run_traced_capturing(
     let termination = match t.run_main() {
         Ok(()) => Termination::Normal,
         Err(Stop::Budget) => Termination::BudgetExhausted,
-        Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
+        Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
     let run = TracedRun {
         trace: Trace::from_parts(t.events, t.outputs, termination),
         switched: t.switched,
         overridden: t.overridden,
+        input_underflows: t.input_underflows,
     };
     (run, t.captured)
 }
 
 /// Resumes the suspended base run from `checkpoint` with the checkpoint's
 /// switch armed, re-executing only the suffix. Returns `None` when the
-/// checkpoint is not resumable (suspended below an expression-position
-/// call) — the caller falls back to a from-scratch switched run.
+/// suspended call stack cannot be re-entered (a frame's function or the
+/// static path to its suspension point no longer resolves) — the caller
+/// reports the checkpoint invalid and falls back to a from-scratch run.
+/// Resumability and structural validity are checked by the caller
+/// ([`crate::resume_switched`]) before this runs.
 ///
 /// The resumed trace is byte-identical to `run_traced` under
 /// `config.switched(checkpoint.spec)`: the recorded prefix of `base` is
 /// reused verbatim (instance numbering continues from the cursor), the
 /// restored interpreter state equals the from-scratch state at the switch
 /// point by determinism, and the step budget still counts prefix events,
-/// so budget semantics are preserved exactly.
+/// so budget semantics are preserved exactly. An injected [`FaultPlan`]
+/// keeps the same alignment: the occurrence counter it fires on is seeded
+/// with the number of prefix instances of the fault statement (the caller
+/// refuses resumption when the fault would have fired inside the prefix).
 pub(crate) fn resume_switched_impl(
     program: &Program,
     analysis: &ProgramAnalysis,
@@ -126,9 +140,6 @@ pub(crate) fn resume_switched_impl(
     checkpoint: &Checkpoint,
     base: &Trace,
 ) -> Option<TracedRun> {
-    if !checkpoint.is_resumable() {
-        return None;
-    }
     // Reconstruct, per frame, the static path from the function body to
     // the statement the frame is suspended at: the call site of the next
     // frame, or the switched predicate itself for the innermost frame.
@@ -145,18 +156,26 @@ pub(crate) fn resume_switched_impl(
         }
         paths.push(steps);
     }
+    let prefix = &base.events()[..checkpoint.trace_len];
+    let fault_seen = match config.fault {
+        Some(plan) => prefix.iter().filter(|e| e.stmt == plan.stmt).count() as u32,
+        None => 0,
+    };
     let mut t = Tracer {
         program,
         analysis,
         inputs: &config.inputs,
         input_pos: checkpoint.input_pos,
+        input_underflows: checkpoint.input_underflows,
         budget: config.step_budget,
         switch: Some(checkpoint.spec),
         switched: None,
         value_override: None,
         overridden: None,
+        fault: config.fault,
+        fault_seen,
         occ: checkpoint.occ.clone(),
-        events: base.events()[..checkpoint.trace_len].to_vec(),
+        events: prefix.to_vec(),
         outputs: base.outputs()[..checkpoint.outputs_len].to_vec(),
         globals: checkpoint.globals.clone(),
         region_stack: checkpoint.region_stack.clone(),
@@ -167,12 +186,13 @@ pub(crate) fn resume_switched_impl(
     let termination = match t.resume_main(checkpoint, &paths) {
         Ok(()) => Termination::Normal,
         Err(Stop::Budget) => Termination::BudgetExhausted,
-        Err(Stop::Runtime(msg)) => Termination::RuntimeError(msg),
+        Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
     Some(TracedRun {
         trace: Trace::from_parts(t.events, t.outputs, termination),
         switched: t.switched,
         overridden: t.overridden,
+        input_underflows: t.input_underflows,
     })
 }
 
@@ -243,7 +263,7 @@ fn find_path(block: &Block, target: StmtId, out: &mut Vec<Step>) -> bool {
 /// Why execution stopped abnormally.
 enum Stop {
     Budget,
-    Runtime(String),
+    Crash(CrashKind, String),
 }
 
 /// Intra-procedural control flow signal.
@@ -262,11 +282,18 @@ struct Tracer<'a> {
     analysis: &'a ProgramAnalysis,
     inputs: &'a [i64],
     input_pos: usize,
+    /// `input()` calls that ran past the end of the stream (yielding 0).
+    input_underflows: u64,
     budget: u64,
     switch: Option<SwitchSpec>,
     switched: Option<InstId>,
     value_override: Option<OverrideSpec>,
     overridden: Option<InstId>,
+    /// Deterministic fault to inject, if any.
+    fault: Option<FaultPlan>,
+    /// Instances of the fault statement seen so far (the plan fires on
+    /// its `occurrence`-th). Seeded from the prefix on resumed runs.
+    fault_seen: u32,
     /// Per-statement execution counters (for switch occurrence matching).
     occ: HashMap<StmtId, u32>,
     events: Vec<Event>,
@@ -287,7 +314,7 @@ impl<'a> Tracer<'a> {
         let main = self
             .program
             .function("main")
-            .expect("checked programs have main");
+            .ok_or_else(|| missing_callee("main"))?;
         self.frames.push(Frame {
             func: "main".to_string(),
             ..Frame::default()
@@ -309,11 +336,13 @@ impl<'a> Tracer<'a> {
     }
 
     /// Records an event, assigning its timestamp, region parent, and call
-    /// depth. Fails when the step budget is exhausted.
+    /// depth. Fails when the step budget is exhausted or an injected
+    /// fault fires at this instance.
     fn record(&mut self, mut ev: Event) -> Result<InstId, Stop> {
         if self.events.len() as u64 >= self.budget {
             return Err(Stop::Budget);
         }
+        check_fault(&mut self.fault_seen, self.fault, ev.stmt)?;
         ev.call_depth = (self.frames.len() - 1) as u32;
         ev.region_parent = self.region_stack.last().copied();
         let id = InstId(self.events.len() as u32);
@@ -362,15 +391,18 @@ impl<'a> Tracer<'a> {
             .index()
             .vars()
             .resolve(&self.frame().func, name)
-            .ok_or_else(|| Stop::Runtime(format!("unknown variable `{name}`")))
+            .ok_or_else(|| Stop::Crash(CrashKind::TypeError, format!("unknown variable `{name}`")))
     }
 
     fn read_var(&self, name: &str) -> EvalResult {
         let var = self.resolve(name)?;
         if let Some(cell) = self.frame().locals.get(&var) {
-            let value = cell
-                .value
-                .ok_or_else(|| Stop::Runtime(format!("`{name}` used before initialization")))?;
+            let value = cell.value.ok_or_else(|| {
+                Stop::Crash(
+                    CrashKind::UninitRead,
+                    format!("`{name}` used before initialization"),
+                )
+            })?;
             return Ok((value, cell.defs.clone()));
         }
         match self.globals.get(var) {
@@ -380,10 +412,14 @@ impl<'a> Tracer<'a> {
                     .expect("global scalars are initialized at declaration");
                 Ok((value, cell.defs.clone()))
             }
-            Some(Slot::Array(_)) => Err(Stop::Runtime(format!("array `{name}` used as a scalar"))),
-            None => Err(Stop::Runtime(format!(
-                "`{name}` used before initialization"
-            ))),
+            Some(Slot::Array(_)) => Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("array `{name}` used as a scalar"),
+            )),
+            None => Err(Stop::Crash(
+                CrashKind::UninitRead,
+                format!("`{name}` used before initialization"),
+            )),
         }
     }
 
@@ -395,9 +431,10 @@ impl<'a> Tracer<'a> {
                     *c = cell;
                     Ok(var)
                 }
-                Some(Slot::Array(_)) => {
-                    Err(Stop::Runtime(format!("cannot assign whole array `{name}`")))
-                }
+                Some(Slot::Array(_)) => Err(Stop::Crash(
+                    CrashKind::TypeError,
+                    format!("cannot assign whole array `{name}`"),
+                )),
                 None => unreachable!("globals are initialized at startup"),
             }
         } else {
@@ -409,13 +446,19 @@ impl<'a> Tracer<'a> {
     fn array_index(&self, name: &str, index: i64) -> Result<(VarId, usize), Stop> {
         let var = self.resolve(name)?;
         let Some(Slot::Array(cells)) = self.globals.get(var) else {
-            return Err(Stop::Runtime(format!("`{name}` is not an array")));
+            return Err(Stop::Crash(
+                CrashKind::TypeError,
+                format!("`{name}` is not an array"),
+            ));
         };
         if index < 0 || index as usize >= cells.len() {
-            return Err(Stop::Runtime(format!(
-                "index {index} out of bounds for `{name}` (len {})",
-                cells.len()
-            )));
+            return Err(Stop::Crash(
+                CrashKind::OobIndex,
+                format!(
+                    "index {index} out of bounds for `{name}` (len {})",
+                    cells.len()
+                ),
+            ));
         }
         Ok((var, index as usize))
     }
@@ -440,7 +483,13 @@ impl<'a> Tracer<'a> {
             }
             ExprKind::Call { callee, args } => self.eval_call(callee, args),
             ExprKind::Input => {
-                let v = self.inputs.get(self.input_pos).copied().unwrap_or(0);
+                let v = match self.inputs.get(self.input_pos) {
+                    Some(&v) => v,
+                    None => {
+                        self.input_underflows += 1;
+                        0
+                    }
+                };
                 self.input_pos += 1;
                 Ok((Value::Int(v), Vec::new()))
             }
@@ -473,14 +522,15 @@ impl<'a> Tracer<'a> {
         call_site: Option<StmtId>,
     ) -> EvalResult {
         if self.frames.len() >= MAX_CALL_DEPTH {
-            return Err(Stop::Runtime(format!(
-                "call depth limit ({MAX_CALL_DEPTH}) exceeded calling `{callee}`"
-            )));
+            return Err(Stop::Crash(
+                CrashKind::StackOverflow,
+                format!("call depth limit ({MAX_CALL_DEPTH}) exceeded calling `{callee}`"),
+            ));
         }
         let decl = self
             .program
             .function(callee)
-            .expect("checker verified the callee exists");
+            .ok_or_else(|| missing_callee(callee))?;
         let mut frame = Frame {
             func: callee.to_string(),
             inherited_cd: self.region_stack.last().copied(),
@@ -531,11 +581,14 @@ impl<'a> Tracer<'a> {
     /// match between the two.
     fn decorate(stmt: &Stmt, result: ExecResult) -> ExecResult {
         match result {
-            Err(Stop::Runtime(msg)) if !msg.contains(" in S") => Err(Stop::Runtime(format!(
-                "{msg} in {} `{}`",
-                stmt.id,
-                omislice_lang::printer::stmt_head(stmt)
-            ))),
+            Err(Stop::Crash(kind, msg)) if !msg.contains(" in S") => Err(Stop::Crash(
+                kind,
+                format!(
+                    "{msg} in {} `{}`",
+                    stmt.id,
+                    omislice_lang::printer::stmt_head(stmt)
+                ),
+            )),
             other => other,
         }
     }
@@ -775,6 +828,19 @@ impl<'a> Tracer<'a> {
         if !requested {
             return;
         }
+        // Fault injection: a `corrupt-checkpoint` plan poisons the
+        // snapshot captured at its target instance with out-of-range
+        // cursors, exercising the validate-then-fall-back path.
+        let corrupt = self.fault.is_some_and(|p| {
+            matches!(p.action, FaultAction::CorruptCheckpoint)
+                && p.stmt == stmt
+                && p.occurrence == entry_occ
+        });
+        let (trace_len, outputs_len) = if corrupt {
+            (usize::MAX, usize::MAX)
+        } else {
+            (self.events.len(), self.outputs.len())
+        };
         self.captured.push(Checkpoint {
             spec: SwitchSpec::new(stmt, entry_occ),
             globals: self.globals.clone(),
@@ -782,8 +848,9 @@ impl<'a> Tracer<'a> {
             occ: self.occ.clone(),
             region_stack: self.region_stack.clone(),
             input_pos: self.input_pos,
-            trace_len: self.events.len(),
-            outputs_len: self.outputs.len(),
+            input_underflows: self.input_underflows,
+            trace_len,
+            outputs_len,
             loop_pushed: loop_ctx,
         });
     }
@@ -796,7 +863,7 @@ impl<'a> Tracer<'a> {
         let main = self
             .program
             .function("main")
-            .expect("checked programs have main");
+            .ok_or_else(|| missing_callee("main"))?;
         match self.resume_block(&main.body, &paths[0], cp, paths, 0)? {
             Flow::Normal | Flow::Return(..) => Ok(()),
             Flow::Break | Flow::Continue => {
@@ -870,7 +937,7 @@ impl<'a> Tracer<'a> {
                 let decl = self
                     .program
                     .function(callee)
-                    .expect("checker verified the callee exists");
+                    .ok_or_else(|| missing_callee(callee))?;
                 let flow = self.resume_block(&decl.body, &paths[k + 1], cp, paths, k + 1);
                 self.frames.pop();
                 match flow? {
@@ -923,22 +990,47 @@ fn dedup(deps: Vec<InstId>) -> Vec<InstId> {
     deps.into_iter().filter(|d| seen.insert(*d)).collect()
 }
 
+fn missing_callee(name: &str) -> Stop {
+    Stop::Crash(CrashKind::MissingCallee, format!("no function `{name}`"))
+}
+
+/// Translates a fired [`FaultPlan`] into this interpreter's [`Stop`].
+fn check_fault(seen: &mut u32, plan: Option<FaultPlan>, stmt: StmtId) -> Result<(), Stop> {
+    match crate::fault_fires(seen, plan, stmt) {
+        None => Ok(()),
+        Some(crate::InjectedFault::Budget) => Err(Stop::Budget),
+        Some(crate::InjectedFault::Crash(kind, msg)) => Err(Stop::Crash(kind, msg)),
+    }
+}
+
 fn int_operand(v: Value, what: &str) -> Result<i64, Stop> {
-    v.as_int()
-        .ok_or_else(|| Stop::Runtime(format!("{what} must be an integer, got `{v}`")))
+    v.as_int().ok_or_else(|| {
+        Stop::Crash(
+            CrashKind::TypeError,
+            format!("{what} must be an integer, got `{v}`"),
+        )
+    })
 }
 
 fn apply_unary(op: UnOp, v: Value) -> Result<Value, Stop> {
     match (op, v) {
         (UnOp::Neg, Value::Int(n)) => Ok(Value::Int(n.wrapping_neg())),
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-        _ => Err(Stop::Runtime(format!("invalid operand `{v}` for `{op}`"))),
+        _ => Err(Stop::Crash(
+            CrashKind::TypeError,
+            format!("invalid operand `{v}` for `{op}`"),
+        )),
     }
 }
 
 fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
     use BinOp::*;
-    let type_err = || Stop::Runtime(format!("invalid operands `{l}` {op} `{r}`"));
+    let type_err = || {
+        Stop::Crash(
+            CrashKind::TypeError,
+            format!("invalid operands `{l}` {op} `{r}`"),
+        )
+    };
     match op {
         Add | Sub | Mul | Div | Rem => {
             let (Value::Int(a), Value::Int(b)) = (l, r) else {
@@ -950,13 +1042,19 @@ fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
                 Mul => a.wrapping_mul(b),
                 Div => {
                     if b == 0 {
-                        return Err(Stop::Runtime("division by zero".to_string()));
+                        return Err(Stop::Crash(
+                            CrashKind::DivByZero,
+                            "division by zero".to_string(),
+                        ));
                     }
                     a.wrapping_div(b)
                 }
                 Rem => {
                     if b == 0 {
-                        return Err(Stop::Runtime("remainder by zero".to_string()));
+                        return Err(Stop::Crash(
+                            CrashKind::DivByZero,
+                            "remainder by zero".to_string(),
+                        ));
                     }
                     a.wrapping_rem(b)
                 }

@@ -141,7 +141,7 @@ proptest! {
             return Ok(());
         }
 
-        let Some(resumed) = resume_switched(&program, &analysis, &switched_cfg, cp, &base.trace)
+        let Ok(resumed) = resume_switched(&program, &analysis, &switched_cfg, cp, &base.trace)
         else {
             return Err(TestCaseError::fail(format!(
                 "resumable checkpoint {spec:?} failed to resume"
@@ -151,5 +151,6 @@ proptest! {
         prop_assert_eq!(resumed.trace.events(), scratch.trace.events());
         prop_assert_eq!(resumed.trace.outputs(), scratch.trace.outputs());
         prop_assert_eq!(resumed.trace.termination(), scratch.trace.termination());
+        prop_assert_eq!(resumed.input_underflows, scratch.input_underflows);
     }
 }

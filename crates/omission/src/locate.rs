@@ -20,7 +20,7 @@
 use crate::oracle::{OutputClassification, UserOracle};
 use crate::verify::{Verdict, Verifier, VerifierMode, VerifyRequest};
 use omislice_analysis::ProgramAnalysis;
-use omislice_interp::{ResumeMode, RunConfig};
+use omislice_interp::{BudgetSchedule, FaultPlan, ResumeMode, RunConfig};
 use omislice_lang::{Program, StmtId, VarId};
 use omislice_slicing::{
     is_potential_dep, potential_deps_by_var, prune_slice, union_pd, DepGraph, Feedback,
@@ -93,6 +93,14 @@ pub struct LocateConfig {
     /// from scratch ([`ResumeMode::Disabled`] — escape hatch, the traces
     /// are byte-identical either way).
     pub resume: ResumeMode,
+    /// Adaptive step-budget escalation for switched runs: start small,
+    /// retry with geometrically growing budgets, give up at the full
+    /// budget (the paper's expired timer). The verdicts are identical to
+    /// a single full-budget attempt; only the wall time changes.
+    pub budget: BudgetSchedule,
+    /// Deterministic fault injection applied to the verifier's switched
+    /// re-executions (robustness testing; `None` in normal operation).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for LocateConfig {
@@ -105,6 +113,8 @@ impl Default for LocateConfig {
             union_graph: None,
             jobs: 1,
             resume: ResumeMode::Auto,
+            budget: BudgetSchedule::default(),
+            fault: None,
         }
     }
 }
@@ -198,7 +208,9 @@ pub fn locate_fault(
     let mut feedback = Feedback::default();
     let mut verifier = Verifier::new(program, analysis, config, trace, lc.mode)
         .with_jobs(lc.jobs)
-        .with_resume(lc.resume);
+        .with_resume(lc.resume)
+        .with_budget_schedule(lc.budget)
+        .with_fault_plan(lc.fault);
     let mut user_prunings = 0usize;
     let mut expanded_edges = 0usize;
     let mut strong_edges = 0usize;
@@ -606,7 +618,21 @@ mod tests {
             out.full_slice.insts().to_vec(),
             out.os.clone(),
             out.wrong_output,
-            (out.stats.cache_hits, out.stats.steps_saved),
+            // Mode-independent counters (plus steps_saved, which the
+            // comparing tests zero out where resumption differs):
+            // identical for any thread count and resume mode.
+            (
+                out.stats.cache_hits,
+                out.stats.steps_saved,
+                out.stats.completed_runs,
+                out.stats.budget_exhausted_runs,
+                out.stats.crashed_runs,
+                out.stats.switch_not_landed_runs,
+                out.stats.escalated_runs,
+                out.stats.budget_retries,
+                out.stats.panics_isolated,
+                out.stats.input_underflows,
+            ),
         )
     }
 
@@ -645,6 +671,58 @@ mod tests {
                 }
                 if resume == ResumeMode::Disabled {
                     assert_eq!(fp, fingerprint(&saved_zeroed), "nothing to zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn localization_under_fault_injection_is_deterministic_and_total() {
+        // S3 (`flags = 2`) executes only in switched runs of the guard;
+        // a fault planted there kills exactly the verifications the
+        // locator needs. The locator must degrade (conservatively fail
+        // to verify) without panicking, and identically so across thread
+        // counts, resume modes, and fault actions.
+        use omislice_interp::FaultAction;
+        use omislice_trace::CrashKind;
+        let c = gzip_like();
+        for action in [
+            FaultAction::Crash(CrashKind::OobIndex),
+            FaultAction::ExhaustBudget,
+            FaultAction::Panic,
+        ] {
+            let mut reference = None;
+            for jobs in [1usize, 3] {
+                for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                    let out = locate_fault(
+                        &c.faulty,
+                        &c.analysis,
+                        &c.config,
+                        &c.trace,
+                        &c.profile,
+                        &c.oracle,
+                        &LocateConfig {
+                            jobs,
+                            resume,
+                            fault: Some(FaultPlan::new(StmtId(3), 0, action)),
+                            ..LocateConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(out.strong_edges, 0, "the fix edge cannot verify");
+                    let mut normalized = out;
+                    normalized.stats.steps_saved = 0;
+                    normalized.stats.resumed_runs = 0;
+                    normalized.stats.invalid_checkpoints = 0;
+                    normalized.stats.scratch_fallbacks = 0;
+                    normalized.stats.scratch_runs = 0;
+                    normalized.stats.capture_runs = 0;
+                    match &reference {
+                        Some(r) => {
+                            assert_eq!(*r, fingerprint(&normalized), "jobs={jobs} {resume:?}")
+                        }
+                        None => reference = Some(fingerprint(&normalized)),
+                    }
                 }
             }
         }

@@ -70,6 +70,7 @@ impl GroundTruthOracle {
             step_budget: config.step_budget,
             switch: None,
             value_override: None,
+            fault: None,
         };
         let reference = run_traced(fixed_program, fixed_analysis, &plain).trace;
         GroundTruthOracle {

@@ -113,6 +113,7 @@ impl DebugSessionBuilder {
             step_budget: self.step_budget.unwrap_or(DEFAULT_STEP_BUDGET),
             switch: None,
             value_override: None,
+            fault: None,
         };
         let trace = run_traced(&faulty, &analysis, &config).trace;
         let mut profile = ValueProfile::new();
@@ -123,6 +124,7 @@ impl DebugSessionBuilder {
                 step_budget: config.step_budget,
                 switch: None,
                 value_override: None,
+                fault: None,
             };
             profile.add_trace(&run_traced(&faulty, &analysis, &cfg).trace);
         }

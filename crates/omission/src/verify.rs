@@ -46,13 +46,16 @@
 use omislice_align::Aligner;
 use omislice_analysis::ProgramAnalysis;
 use omislice_interp::{
-    resume_switched, run_traced, run_traced_with_checkpoints, Checkpoint, ResumeMode, RunConfig,
-    SwitchSpec,
+    resume_switched, run_traced, run_traced_with_checkpoints, BudgetSchedule, Checkpoint,
+    FaultAction, FaultPlan, ResumeError, ResumeMode, RunConfig, SwitchSpec, TracedRun,
 };
 use omislice_lang::{Program, VarId};
 use omislice_slicing::DepGraph;
-use omislice_trace::{InstId, RegionTree, Trace, Value, VerificationStats};
+use omislice_trace::{
+    CrashKind, InstId, RegionTree, RunOutcome, Termination, Trace, Value, VerificationStats,
+};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,6 +102,11 @@ pub enum VerifierMode {
 pub struct Verification {
     /// The verdict.
     pub verdict: Verdict,
+    /// How the switched re-execution behind this verdict ended. Anything
+    /// other than [`RunOutcome::Completed`] forced the verdict to
+    /// [`Verdict::NotId`] (the paper's aggressive timer rule, extended to
+    /// crashes and isolated panics).
+    pub outcome: RunOutcome,
     /// `u`'s counterpart in the switched run, if any.
     pub matched_use: Option<InstId>,
     /// The failure point's counterpart, if any.
@@ -108,9 +116,10 @@ pub struct Verification {
 }
 
 impl Verification {
-    fn not_id() -> Self {
+    fn not_id(outcome: RunOutcome) -> Self {
         Verification {
             verdict: Verdict::NotId,
+            outcome,
             matched_use: None,
             matched_failure: None,
             failure_value: None,
@@ -133,10 +142,30 @@ pub struct VerifyRequest {
     pub expected: Option<Value>,
 }
 
-/// A computed switched run (`None` when the switch never landed) plus
-/// the number of prefix events skipped when it resumed from a
-/// checkpoint.
-type ComputedRun = (Option<Arc<SwitchedRun>>, Option<usize>);
+/// The result of one (possibly escalated, possibly resumed, possibly
+/// fault-isolated) switched execution, with the per-run bookkeeping the
+/// merge step folds into [`VerificationStats`].
+struct ComputedRun {
+    /// The memoized run; `None` when the switch never landed (budget
+    /// cut-off, crash, isolated panic, or a path change).
+    run: Option<Arc<SwitchedRun>>,
+    /// How the final execution attempt ended.
+    outcome: RunOutcome,
+    /// Prefix events skipped when the final attempt resumed from a
+    /// checkpoint.
+    saved: Option<usize>,
+    /// Budget escalation retries performed after the first attempt.
+    retries: usize,
+    /// The spec's checkpoint failed validation or its resumption
+    /// failed/panicked.
+    invalid_checkpoint: bool,
+    /// A from-scratch execution was forced by an invalid checkpoint.
+    scratch_fallback: bool,
+    /// A host panic was caught at the isolation boundary.
+    panic_isolated: bool,
+    /// `input()` underflows of the final execution attempt.
+    input_underflows: u64,
+}
 
 /// One memoized switched execution: the trace plus the region tree the
 /// aligner navigates (built once, shared across alignments).
@@ -164,11 +193,13 @@ pub struct Verifier<'a> {
     mode: VerifierMode,
     resume: ResumeMode,
     jobs: usize,
+    budget: BudgetSchedule,
     /// The original trace's region tree, shared by every alignment.
     orig_regions: Arc<RegionTree>,
-    /// Switched runs keyed by switch spec; `None` records a run whose
-    /// switch failed to land (cut off by the budget).
-    switched_runs: HashMap<SwitchSpec, Option<Arc<SwitchedRun>>>,
+    /// Switched runs keyed by switch spec, with the outcome of the
+    /// execution; the run is `None` when the switch failed to land
+    /// (budget cut-off, crash, isolated panic, or a path change).
+    switched_runs: HashMap<SwitchSpec, (Option<Arc<SwitchedRun>>, RunOutcome)>,
     /// Checkpoints captured at candidate predicate entries.
     checkpoints: HashMap<SwitchSpec, Checkpoint>,
     /// Memoized verdicts keyed by (p, u, var, strong-check-enabled).
@@ -194,11 +225,13 @@ impl<'a> Verifier<'a> {
                 step_budget: config.step_budget,
                 switch: None,
                 value_override: None,
+                fault: config.fault,
             },
             trace,
             mode,
             resume: ResumeMode::default(),
             jobs: 1,
+            budget: BudgetSchedule::default(),
             orig_regions: Arc::new(RegionTree::build(trace)),
             switched_runs: HashMap::new(),
             checkpoints: HashMap::new(),
@@ -218,6 +251,24 @@ impl<'a> Verifier<'a> {
     /// [`ResumeMode::Auto`]).
     pub fn with_resume(mut self, resume: ResumeMode) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Sets the adaptive budget escalation schedule for switched runs
+    /// (default [`BudgetSchedule::default`]; use
+    /// [`BudgetSchedule::disabled`] for a single full-budget attempt).
+    pub fn with_budget_schedule(mut self, budget: BudgetSchedule) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets a deterministic fault-injection plan applied to every
+    /// switched re-execution (default none). The checkpoint-capture run
+    /// only honors `corrupt-checkpoint` plans — other actions would
+    /// perturb the replayed original execution rather than the switched
+    /// runs under test.
+    pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
+        self.config.fault = plan;
         self
     }
 
@@ -334,10 +385,23 @@ impl<'a> Verifier<'a> {
             // it only when at least two switched runs amortize it.
             if uncaptured.len() >= 2 {
                 let start = Instant::now();
+                // The capture run replays the *original* execution; a
+                // fault plan targets the switched runs, so it is stripped
+                // here — except `corrupt-checkpoint`, which acts only at
+                // capture time and never perturbs execution.
+                let capture_cfg = match self.config.fault {
+                    Some(p) if matches!(p.action, FaultAction::CorruptCheckpoint) => {
+                        self.config.clone()
+                    }
+                    _ => RunConfig {
+                        fault: None,
+                        ..self.config.clone()
+                    },
+                };
                 let (_, captured) = run_traced_with_checkpoints(
                     self.program,
                     self.analysis,
-                    &self.config,
+                    &capture_cfg,
                     &uncaptured,
                 );
                 for cp in captured {
@@ -384,50 +448,153 @@ impl<'a> Verifier<'a> {
         // Merge in candidate order: memo contents and counters do not
         // depend on which thread finished first.
         for (slot, &(spec, _)) in slots.into_iter().zip(missing) {
-            let (run, saved) = slot.expect("every slot is claimed exactly once");
+            let c = slot.expect("every slot is claimed exactly once");
             self.stats.reexecutions += 1;
-            match saved {
+            match c.saved {
                 Some(n) => {
                     self.stats.resumed_runs += 1;
                     self.stats.steps_saved += n;
                 }
                 None => self.stats.scratch_runs += 1,
             }
-            self.switched_runs.insert(spec, run);
+            if c.retries > 0 {
+                self.stats.escalated_runs += 1;
+                self.stats.budget_retries += c.retries;
+            }
+            if c.invalid_checkpoint {
+                self.stats.invalid_checkpoints += 1;
+            }
+            if c.scratch_fallback {
+                self.stats.scratch_fallbacks += 1;
+            }
+            if c.panic_isolated {
+                self.stats.panics_isolated += 1;
+            }
+            self.stats.input_underflows += c.input_underflows as usize;
+            match c.outcome {
+                RunOutcome::Completed => self.stats.completed_runs += 1,
+                RunOutcome::BudgetExhausted => self.stats.budget_exhausted_runs += 1,
+                RunOutcome::Crashed(_) => self.stats.crashed_runs += 1,
+                RunOutcome::SwitchNotLanded => self.stats.switch_not_landed_runs += 1,
+                // An invalid checkpoint always falls back to a
+                // from-scratch run whose own outcome is recorded instead;
+                // the event itself is counted in `invalid_checkpoints`.
+                RunOutcome::CheckpointInvalid => {}
+            }
+            self.switched_runs.insert(spec, (c.run, c.outcome));
         }
         self.stats.execution_wall += start.elapsed();
     }
 
-    /// Executes one switched run, resuming from a checkpoint when
-    /// allowed. Returns the run (with its region tree) and, when it
-    /// resumed, the number of prefix events the resume skipped.
+    /// Executes one switched run: resumes from a checkpoint when allowed
+    /// (falling back to from-scratch execution if the checkpoint is
+    /// invalid or the resume fails), escalates the step budget through
+    /// [`BudgetSchedule`] while the run keeps expiring, and isolates any
+    /// host panic behind `catch_unwind` so one hostile candidate cannot
+    /// abort the batch.
     fn compute_switched(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
-        let cfg = self.config.switched(spec);
-        let mut saved = None;
-        let checkpoint = match self.resume {
-            ResumeMode::Auto => self.checkpoints.get(&spec).filter(|cp| cp.is_resumable()),
+        let full = self.config.switched(spec);
+        let mut out = ComputedRun {
+            run: None,
+            outcome: RunOutcome::BudgetExhausted,
+            saved: None,
+            retries: 0,
+            invalid_checkpoint: false,
+            scratch_fallback: false,
+            panic_isolated: false,
+            input_underflows: 0,
+        };
+        let mut checkpoint = match self.resume {
+            ResumeMode::Auto => self.checkpoints.get(&spec),
             ResumeMode::Disabled => None,
         };
-        let run = checkpoint
-            .and_then(|cp| {
-                let resumed = resume_switched(self.program, self.analysis, &cfg, cp, self.trace);
-                if resumed.is_some() {
-                    saved = Some(cp.prefix_len());
+        let budgets = self.budget.budgets(self.config.step_budget);
+        let last = budgets.len() - 1;
+        for (attempt, &budget) in budgets.iter().enumerate() {
+            if attempt > 0 {
+                out.retries += 1;
+            }
+            out.saved = None;
+            let cfg = RunConfig {
+                step_budget: budget,
+                ..full.clone()
+            };
+            // Checkpoint fast path. Rungs no larger than the replayed
+            // prefix are skipped: such an attempt exhausts its budget
+            // either way, and the from-scratch run reaches that verdict
+            // without cloning the prefix (and stays byte-identical to
+            // what ResumeMode::Disabled executes). A prefix length beyond
+            // the base trace is a poisoned cursor, not a long prefix —
+            // those still go through resumption so validation rejects
+            // them.
+            let mut run: Option<TracedRun> = None;
+            if let Some(cp) = checkpoint.filter(|cp| {
+                (cp.prefix_len() as u64) < budget || cp.prefix_len() > self.trace.len()
+            }) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    resume_switched(self.program, self.analysis, &cfg, cp, self.trace)
+                })) {
+                    Ok(Ok(resumed)) => {
+                        out.saved = Some(cp.prefix_len());
+                        run = Some(resumed);
+                    }
+                    // Expected shapes (an expression-position call frame,
+                    // or a fault plan firing inside the prefix): run from
+                    // scratch; the checkpoint itself is not at fault.
+                    Ok(Err(ResumeError::NotResumable | ResumeError::FaultInPrefix)) => {
+                        checkpoint = None;
+                    }
+                    // The checkpoint is corrupt (failed validation) or
+                    // its resumption blew up: record it and fall back.
+                    Ok(Err(ResumeError::Invalid(_))) | Err(_) => {
+                        out.invalid_checkpoint = true;
+                        out.scratch_fallback = true;
+                        checkpoint = None;
+                    }
                 }
-                resumed
-            })
-            .unwrap_or_else(|| run_traced(self.program, self.analysis, &cfg));
-        // The switch must land at the same timestamp (identical prefix);
-        // if the run was cut off before reaching it, treat the whole
-        // re-execution as failed.
-        let run = match run.switched {
-            Some(inst) if inst == p => Some(Arc::new(SwitchedRun {
-                regions: Arc::new(RegionTree::build(&run.trace)),
-                trace: run.trace,
-            })),
-            _ => None,
-        };
-        (run, saved)
+            }
+            let run = match run {
+                Some(r) => r,
+                None => {
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        run_traced(self.program, self.analysis, &cfg)
+                    })) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // The from-scratch execution itself panicked
+                            // (an injected host fault): isolate it and
+                            // give up — retrying is deterministic.
+                            out.panic_isolated = true;
+                            out.outcome = RunOutcome::Crashed(CrashKind::Panic);
+                            out.run = None;
+                            return out;
+                        }
+                    }
+                }
+            };
+            out.input_underflows = run.input_underflows;
+            out.outcome = match run.trace.termination() {
+                Termination::Normal if run.switched == Some(p) => RunOutcome::Completed,
+                Termination::Normal => RunOutcome::SwitchNotLanded,
+                Termination::BudgetExhausted => RunOutcome::BudgetExhausted,
+                Termination::RuntimeError(kind, _) => RunOutcome::Crashed(*kind),
+            };
+            // The switch must land at the same timestamp (identical
+            // prefix); if the run was cut off before reaching it, treat
+            // the whole re-execution as failed.
+            out.run = match run.switched {
+                Some(inst) if inst == p => Some(Arc::new(SwitchedRun {
+                    regions: Arc::new(RegionTree::build(&run.trace)),
+                    trace: run.trace,
+                })),
+                _ => None,
+            };
+            if out.outcome == RunOutcome::BudgetExhausted && attempt < last {
+                continue; // escalate to the next budget rung
+            }
+            return out;
+        }
+        unreachable!("the final budget rung always returns")
     }
 
     fn verify_uncached(
@@ -444,15 +611,20 @@ impl<'a> Verifier<'a> {
         if !self.switched_runs.contains_key(&spec) {
             self.prepare_runs(&[(spec, p)]);
         }
-        let Some(run) = self.switched_runs.get(&spec).and_then(Option::as_ref) else {
-            return Verification::not_id();
+        let (memo, outcome) = self
+            .switched_runs
+            .get(&spec)
+            .expect("prepare_runs memoized this spec");
+        let outcome = *outcome;
+        let Some(run) = memo else {
+            return Verification::not_id(outcome);
         };
         let run = Arc::clone(run);
         let switched = &run.trace;
-        // The paper's timer: a switched run that does not terminate
-        // normally fails verification.
+        // The paper's timer, extended to crashes: a switched run that
+        // does not terminate normally fails verification.
         if !switched.termination().is_normal() {
-            return Verification::not_id();
+            return Verification::not_id(outcome);
         }
         let aligner = Aligner::with_regions(
             orig,
@@ -468,6 +640,7 @@ impl<'a> Verifier<'a> {
             if v == exp {
                 return Verification {
                     verdict: Verdict::StrongId,
+                    outcome,
                     matched_use: aligner.match_inst(p, u),
                     matched_failure,
                     failure_value,
@@ -479,6 +652,7 @@ impl<'a> Verifier<'a> {
         let Some(u2) = aligner.match_inst(p, u) else {
             return Verification {
                 verdict: Verdict::Id,
+                outcome,
                 matched_use: None,
                 matched_failure,
                 failure_value,
@@ -516,6 +690,7 @@ impl<'a> Verifier<'a> {
         };
         Verification {
             verdict,
+            outcome,
             matched_use: Some(u2),
             matched_failure,
             failure_value,
@@ -576,8 +751,10 @@ mod tests {
         let flags = s.analysis.index().vars().global("flags").unwrap();
         let r = v.verify(guard, out, flags, out, Some(Value::Int(2)));
         assert_eq!(r.verdict, Verdict::StrongId);
+        assert_eq!(r.outcome, RunOutcome::Completed);
         assert_eq!(r.failure_value, Some(Value::Int(2)));
         assert_eq!(v.verification_count(), 1);
+        assert_eq!(v.stats().completed_runs, 1);
     }
 
     #[test]
@@ -682,6 +859,7 @@ mod tests {
             step_budget: 10_000,
             switch: None,
             value_override: None,
+            fault: None,
         };
         let trace = run_traced(&program, &analysis, &config).trace;
         assert!(trace.termination().is_normal());
@@ -691,6 +869,8 @@ mod tests {
         let bound = analysis.index().vars().global("bound").unwrap();
         let r = v.verify(guard, out, bound, out, Some(Value::Int(99)));
         assert_eq!(r.verdict, Verdict::NotId);
+        assert_eq!(r.outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(v.stats().budget_exhausted_runs, 1);
     }
 
     #[test]
@@ -944,5 +1124,268 @@ mod tests {
         );
         let r_path = path.verify(guard, out, x, out, None);
         assert_eq!(r_path.verdict, Verdict::Id, "the dependence path exists");
+    }
+
+    /// In BATCH, `a = a + i` (S4) executes only when an S3 switch forces
+    /// the guard taken — a fault planted there fires in exactly the
+    /// switched runs and never in the base or capture run.
+    fn switched_only_fault(action: FaultAction) -> FaultPlan {
+        FaultPlan::new(StmtId(4), 0, action)
+    }
+
+    #[test]
+    fn injected_crash_is_isolated_and_deterministic() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let n_crashing = s.trace.instances_of(StmtId(3)).len();
+        assert!(n_crashing >= 2);
+        let mut reference: Option<(Vec<Verification>, Vec<usize>)> = None;
+        for jobs in [1usize, 4] {
+            for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                let mut v = Verifier::new(
+                    &s.program,
+                    &s.analysis,
+                    &s.config,
+                    &s.trace,
+                    VerifierMode::Edge,
+                )
+                .with_jobs(jobs)
+                .with_resume(resume)
+                .with_fault_plan(Some(switched_only_fault(FaultAction::Crash(
+                    CrashKind::DivByZero,
+                ))));
+                let results = v.verify_all(&requests);
+                for (r, req) in results.iter().zip(&requests) {
+                    if s.trace.event(req.p).stmt == StmtId(3) {
+                        assert_eq!(r.verdict, Verdict::NotId);
+                        assert_eq!(r.outcome, RunOutcome::Crashed(CrashKind::DivByZero));
+                    } else {
+                        assert!(r.outcome.is_usable(), "S5 runs are unaffected");
+                    }
+                }
+                let st = v.stats();
+                assert_eq!(st.crashed_runs, n_crashing);
+                assert_eq!(st.panics_isolated, 0);
+                // Verdicts and every mode-independent counter are
+                // identical across thread counts and resume modes.
+                let counters = vec![
+                    st.verifications,
+                    st.reexecutions,
+                    st.cache_hits,
+                    st.completed_runs,
+                    st.budget_exhausted_runs,
+                    st.crashed_runs,
+                    st.switch_not_landed_runs,
+                    st.escalated_runs,
+                    st.budget_retries,
+                    st.panics_isolated,
+                    st.input_underflows,
+                ];
+                match &reference {
+                    Some((r, c)) => {
+                        assert_eq!(*r, results, "jobs={jobs} resume={resume:?}");
+                        assert_eq!(*c, counters, "jobs={jobs} resume={resume:?}");
+                    }
+                    None => reference = Some((results, counters)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_never_escapes_verify_all() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let n_panicking = s.trace.instances_of(StmtId(3)).len();
+        for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+            let mut v = Verifier::new(
+                &s.program,
+                &s.analysis,
+                &s.config,
+                &s.trace,
+                VerifierMode::Edge,
+            )
+            .with_jobs(4)
+            .with_resume(resume)
+            .with_fault_plan(Some(switched_only_fault(FaultAction::Panic)));
+            // The assertion is that this call returns at all: every host
+            // panic is caught at the per-candidate isolation boundary.
+            let results = v.verify_all(&requests);
+            for (r, req) in results.iter().zip(&requests) {
+                if s.trace.event(req.p).stmt == StmtId(3) {
+                    assert_eq!(r.verdict, Verdict::NotId);
+                    assert_eq!(r.outcome, RunOutcome::Crashed(CrashKind::Panic));
+                }
+            }
+            let st = v.stats();
+            assert_eq!(st.panics_isolated, n_panicking, "resume={resume:?}");
+            assert_eq!(st.crashed_runs, n_panicking);
+            if resume == ResumeMode::Auto {
+                // The resume attempt panicked first; it was written off
+                // as an invalid checkpoint and fell back to scratch.
+                assert_eq!(st.invalid_checkpoints, n_panicking);
+                assert_eq!(st.scratch_fallbacks, n_panicking);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_scratch() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut clean = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let expected = clean.verify_all(&requests);
+
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_fault_plan(Some(FaultPlan::new(
+            StmtId(3),
+            2,
+            FaultAction::CorruptCheckpoint,
+        )));
+        let results = v.verify_all(&requests);
+        // The poisoned checkpoint is detected, its run re-executes from
+        // scratch, and every verdict matches the fault-free engine.
+        assert_eq!(results, expected);
+        let st = v.stats();
+        assert_eq!(st.invalid_checkpoints, 1);
+        assert_eq!(st.scratch_fallbacks, 1);
+        assert_eq!(st.resumed_runs, st.reexecutions - 1, "only one fell back");
+        assert_eq!(st.panics_isolated, 0);
+    }
+
+    /// The base run (input 1) takes the guard, shrinking the loop bound
+    /// to 30; switching it leaves `lim` at 300, so the switched run is
+    /// ~10× longer than the base — long enough to blow a small first
+    /// budget rung but complete comfortably at the full budget.
+    const LONG_SWITCH: &str = "\
+        global n = 0; global i = 0; global lim = 300;\
+        fn main() {\
+            let c = input();\
+            if c == 1 { n = 270; }\
+            lim = lim - n;\
+            while i < lim { i = i + 1; }\
+            print(i);\
+        }";
+
+    #[test]
+    fn budget_escalation_completes_long_runs() {
+        let program = compile(LONG_SWITCH).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig {
+            inputs: vec![1],
+            step_budget: 10_000,
+            switch: None,
+            value_override: None,
+            fault: None,
+        };
+        let trace = run_traced(&program, &analysis, &config).trace;
+        assert!(trace.termination().is_normal());
+        let mut v = Verifier::new(&program, &analysis, &config, &trace, VerifierMode::Edge)
+            .with_budget_schedule(BudgetSchedule {
+                initial: 100,
+                factor: 100,
+                attempts: 3,
+            });
+        let guard = trace.instances_of(StmtId(1))[0];
+        let out = trace.outputs()[0].inst;
+        let i = analysis.index().vars().global("i").unwrap();
+        let r = v.verify(guard, out, i, out, None);
+        // First attempt (100 steps) expires, the escalated attempt at
+        // the full budget completes and yields a judgeable run.
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        let st = v.stats();
+        assert_eq!(st.escalated_runs, 1);
+        assert_eq!(st.budget_retries, 1);
+        assert_eq!(st.completed_runs, 1);
+        assert_eq!(st.budget_exhausted_runs, 0);
+    }
+
+    #[test]
+    fn budget_escalation_gives_up_at_cap() {
+        // The nonterminating switch from `nonterminating_switch_is_not_id`
+        // under an escalating schedule: every rung expires, the final one
+        // at the configured cap, and the run settles as budget-exhausted.
+        let src = "\
+            global bound = 0;\
+            fn main() {\
+                let c = input();\
+                if c == 1 { bound = 4; }\
+                let i = 1;\
+                while i != bound { i = i + 1; }\
+                print(i);\
+            }";
+        let program = compile(src).unwrap();
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig {
+            inputs: vec![1],
+            step_budget: 10_000,
+            switch: None,
+            value_override: None,
+            fault: None,
+        };
+        let trace = run_traced(&program, &analysis, &config).trace;
+        let mut v = Verifier::new(&program, &analysis, &config, &trace, VerifierMode::Edge)
+            .with_budget_schedule(BudgetSchedule {
+                initial: 100,
+                factor: 10,
+                attempts: 3,
+            });
+        let guard = trace.instances_of(StmtId(1))[0];
+        let out = trace.outputs()[0].inst;
+        let bound = analysis.index().vars().global("bound").unwrap();
+        let r = v.verify(guard, out, bound, out, None);
+        assert_eq!(r.verdict, Verdict::NotId);
+        assert_eq!(r.outcome, RunOutcome::BudgetExhausted);
+        let st = v.stats();
+        assert_eq!(st.budget_retries, 2, "rungs 100 and 1000 both expired");
+        assert_eq!(st.escalated_runs, 1);
+        assert_eq!(st.budget_exhausted_runs, 1);
+    }
+
+    #[test]
+    fn injected_budget_fault_exhausts_every_rung() {
+        // S7 (`b = b + 1`) runs in every switched re-execution, so a
+        // budget fault there makes each one expire at every rung; the
+        // engine escalates fruitlessly and settles on BudgetExhausted
+        // without disturbing determinism.
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut v = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_jobs(2)
+        .with_fault_plan(Some(FaultPlan::new(
+            StmtId(7),
+            0,
+            FaultAction::ExhaustBudget,
+        )));
+        let results = v.verify_all(&requests);
+        for r in &results {
+            assert_eq!(r.verdict, Verdict::NotId);
+            assert_eq!(r.outcome, RunOutcome::BudgetExhausted);
+        }
+        let st = v.stats();
+        let rungs = BudgetSchedule::default()
+            .budgets(s.config.step_budget)
+            .len();
+        assert_eq!(st.budget_exhausted_runs, st.reexecutions);
+        assert_eq!(st.escalated_runs, st.reexecutions);
+        assert_eq!(st.budget_retries, st.reexecutions * (rungs - 1));
     }
 }

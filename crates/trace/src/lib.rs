@@ -25,6 +25,7 @@
 
 pub mod dot;
 pub mod event;
+pub mod outcome;
 pub mod region;
 pub mod stats;
 #[allow(clippy::module_inception)]
@@ -33,6 +34,7 @@ pub mod value;
 
 pub use dot::{ddg_to_dot, regions_to_dot};
 pub use event::{Event, InstId, OutputRecord};
+pub use outcome::{CrashKind, RunOutcome};
 pub use region::RegionTree;
 pub use stats::{TraceStats, VerificationStats};
 pub use trace::{Termination, Trace};

@@ -104,6 +104,33 @@ pub struct VerificationStats {
     /// Trace events *not* re-executed thanks to resumption (the summed
     /// prefix lengths of the resumed runs).
     pub steps_saved: usize,
+    /// Switched executions that completed normally with the switch
+    /// landed.
+    pub completed_runs: usize,
+    /// Switched executions cut off by the step budget even at the final
+    /// escalation rung (the paper's expired timer).
+    pub budget_exhausted_runs: usize,
+    /// Switched executions that crashed (structured runtime error or an
+    /// isolated panic).
+    pub crashed_runs: usize,
+    /// Switched executions that terminated normally without the switch
+    /// ever landing.
+    pub switch_not_landed_runs: usize,
+    /// Switched executions that needed at least one budget escalation
+    /// retry before settling.
+    pub escalated_runs: usize,
+    /// Total escalation retries across all switched executions.
+    pub budget_retries: usize,
+    /// Checkpoints rejected by validation (or whose resumption failed /
+    /// panicked); each one fell back to from-scratch execution.
+    pub invalid_checkpoints: usize,
+    /// From-scratch executions forced by an invalid checkpoint.
+    pub scratch_fallbacks: usize,
+    /// Panics caught at the per-candidate isolation boundary.
+    pub panics_isolated: usize,
+    /// `input()` calls that ran past the end of the input stream (and
+    /// yielded 0) across all switched executions.
+    pub input_underflows: usize,
     /// Wall time spent executing switched runs (and building their
     /// region trees).
     pub execution_wall: Duration,
@@ -134,6 +161,16 @@ impl VerificationStats {
         self.scratch_runs += other.scratch_runs;
         self.capture_runs += other.capture_runs;
         self.steps_saved += other.steps_saved;
+        self.completed_runs += other.completed_runs;
+        self.budget_exhausted_runs += other.budget_exhausted_runs;
+        self.crashed_runs += other.crashed_runs;
+        self.switch_not_landed_runs += other.switch_not_landed_runs;
+        self.escalated_runs += other.escalated_runs;
+        self.budget_retries += other.budget_retries;
+        self.invalid_checkpoints += other.invalid_checkpoints;
+        self.scratch_fallbacks += other.scratch_fallbacks;
+        self.panics_isolated += other.panics_isolated;
+        self.input_underflows += other.input_underflows;
         self.execution_wall += other.execution_wall;
         self.capture_wall += other.capture_wall;
         self.verdict_wall += other.verdict_wall;
@@ -151,6 +188,25 @@ impl fmt::Display for VerificationStats {
         )?;
         writeln!(f, "capture runs     : {}", self.capture_runs)?;
         writeln!(f, "steps saved      : {}", self.steps_saved)?;
+        writeln!(
+            f,
+            "run outcomes     : {} completed, {} budget-exhausted, {} crashed, {} switch-not-landed",
+            self.completed_runs,
+            self.budget_exhausted_runs,
+            self.crashed_runs,
+            self.switch_not_landed_runs
+        )?;
+        writeln!(
+            f,
+            "escalations      : {} runs escalated ({} retries)",
+            self.escalated_runs, self.budget_retries
+        )?;
+        writeln!(
+            f,
+            "fault isolation  : {} invalid checkpoints, {} scratch fallbacks, {} panics isolated",
+            self.invalid_checkpoints, self.scratch_fallbacks, self.panics_isolated
+        )?;
+        writeln!(f, "input underflows : {}", self.input_underflows)?;
         writeln!(
             f,
             "wall: execute {:?}, capture {:?}, verdicts {:?}",
@@ -226,6 +282,16 @@ mod tests {
             scratch_runs: 1,
             capture_runs: 1,
             steps_saved: 40,
+            completed_runs: 1,
+            budget_exhausted_runs: 1,
+            crashed_runs: 2,
+            switch_not_landed_runs: 3,
+            escalated_runs: 1,
+            budget_retries: 2,
+            invalid_checkpoints: 1,
+            scratch_fallbacks: 1,
+            panics_isolated: 1,
+            input_underflows: 5,
             execution_wall: Duration::from_millis(2),
             capture_wall: Duration::from_millis(1),
             verdict_wall: Duration::from_millis(3),
@@ -236,9 +302,28 @@ mod tests {
         assert_eq!(a.verifications, 6);
         assert_eq!(a.reexecutions, 4);
         assert_eq!(a.steps_saved, 80);
+        assert_eq!(a.completed_runs, 2);
+        assert_eq!(a.budget_exhausted_runs, 2);
+        assert_eq!(a.crashed_runs, 4);
+        assert_eq!(a.switch_not_landed_runs, 6);
+        assert_eq!(a.escalated_runs, 2);
+        assert_eq!(a.budget_retries, 4);
+        assert_eq!(a.invalid_checkpoints, 2);
+        assert_eq!(a.scratch_fallbacks, 2);
+        assert_eq!(a.panics_isolated, 2);
+        assert_eq!(a.input_underflows, 10);
         assert_eq!(a.execution_wall, Duration::from_millis(4));
         let text = a.to_string();
-        for needle in ["re-executions", "resumed", "steps saved", "capture runs"] {
+        for needle in [
+            "re-executions",
+            "resumed",
+            "steps saved",
+            "capture runs",
+            "run outcomes",
+            "escalations",
+            "fault isolation",
+            "input underflows",
+        ] {
             assert!(text.contains(needle), "{text}");
         }
         assert_eq!(VerificationStats::default().resume_ratio(), 0.0);

@@ -1,6 +1,7 @@
 //! The execution trace: the dynamic dependence graph of one run.
 
 use crate::event::{Event, InstId, OutputRecord};
+use crate::outcome::CrashKind;
 use crate::value::Value;
 use omislice_lang::StmtId;
 use std::collections::HashMap;
@@ -26,14 +27,23 @@ pub enum Termination {
     Normal,
     /// The step budget was exhausted (the paper's verification timer).
     BudgetExhausted,
-    /// A runtime error (division by zero, out-of-bounds index, ...).
-    RuntimeError(String),
+    /// A runtime error: the structured failure class plus a
+    /// human-readable message attributed to the crashing statement.
+    RuntimeError(CrashKind, String),
 }
 
 impl Termination {
     /// Whether the run completed without error or timeout.
     pub fn is_normal(&self) -> bool {
         *self == Termination::Normal
+    }
+
+    /// The failure class, for crashed runs.
+    pub fn crash_kind(&self) -> Option<CrashKind> {
+        match self {
+            Termination::RuntimeError(kind, _) => Some(*kind),
+            _ => None,
+        }
     }
 }
 
@@ -222,7 +232,10 @@ mod tests {
     fn termination_flags() {
         assert!(Termination::Normal.is_normal());
         assert!(!Termination::BudgetExhausted.is_normal());
-        assert!(!Termination::RuntimeError("x".into()).is_normal());
+        let crash = Termination::RuntimeError(CrashKind::DivByZero, "x".into());
+        assert!(!crash.is_normal());
+        assert_eq!(crash.crash_kind(), Some(CrashKind::DivByZero));
+        assert_eq!(Termination::Normal.crash_kind(), None);
     }
 
     #[test]
