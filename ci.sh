@@ -30,8 +30,28 @@ smoke() {
     echo "fault-injection smoke OK"
 }
 
+# Benchmark smoke: a scale-10 sweep must complete without panicking and
+# must exercise the verifier's verdict memo — a sweep publishing
+# `cache_hits: 0` means the memo went dead again. Run standalone with
+# `./ci.sh bench-smoke`.
+bench_smoke() {
+    echo "==> bench smoke (sweep --scales 10)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-bench
+    local out=/tmp/omislice-bench-smoke.json
+    ./target/release/sweep --scales 10 --jobs 2 --out "$out" >/dev/null
+    if grep -q '"cache_hits":0,' "$out"; then
+        echo "bench smoke FAILED: sweep reports a dead verifier memo" >&2
+        exit 1
+    fi
+    echo "bench smoke OK"
+}
+
 if [ "${1:-}" = "smoke" ]; then
     smoke
+    exit 0
+fi
+if [ "${1:-}" = "bench-smoke" ]; then
+    bench_smoke
     exit 0
 fi
 
@@ -48,5 +68,7 @@ echo "==> cargo clippy -D warnings"
 cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 
 smoke
+
+bench_smoke
 
 echo "CI OK"

@@ -131,7 +131,9 @@ impl<'a> Aligner<'a> {
         }
         // Ascend from p until the region contains u. Ancestors of p are
         // in the common prefix, so the corresponding region heads in the
-        // switched trace carry the same instance ids.
+        // switched trace carry the same instance ids. Each containment
+        // test is O(1) via the region tree's Euler-tour timestamps, so
+        // the ascent costs only the nesting depth of p.
         let mut region = self.orig_regions.parent(p);
         while let Some(head) = region {
             if self.orig_regions.in_region(head, u) {

@@ -1,257 +1,54 @@
-//! Parameter sweep: how trace size, slice sizes, and analysis costs
-//! scale with workload size — the data-series companion to the paper's
-//! tables (its evaluation has no scaling figure; this harness provides
-//! the series a replication would plot).
+//! Thin driver for the workload sweep (see `omislice_bench::sweep`).
 //!
-//! For each corpus benchmark, generated workloads of increasing size run
-//! through the tracing interpreter; the series reports trace length, DS
-//! and RS sizes for the last output, wall-clock for Plain, Graph, and RS
-//! computation, and the verification engine's cost for a LEFS-style
-//! batch of `VerifyDep` queries executed from scratch vs. resumed from
-//! checkpoints.
-//!
-//! Besides the table on stdout, the same series is written as
-//! `BENCH_sweep.json` (in the working directory) so plots and regression
-//! checks can consume it without screen-scraping.
+//! ```text
+//! sweep [--scales 10,50,250,1000] [--jobs N] [--reps N] [--out BENCH_sweep.json]
+//! ```
 
-use omislice::omislice_analysis::ProgramAnalysis;
-use omislice::omislice_interp::{run_plain, run_traced, ResumeMode, RunConfig};
-use omislice::omislice_lang::compile;
-use omislice::omislice_slicing::{relevant_slice, DepGraph};
-use omislice::omislice_trace::{Trace, VerificationStats};
-use omislice::{Verifier, VerifierMode, VerifyRequest};
-use omislice_bench::table::render;
-use omislice_corpus::{all_benchmarks, WorkloadGen};
-use std::time::Instant;
+use omislice_bench::sweep::{render_table, run_sweep, to_json, SweepOptions};
 
-/// A workload of roughly `payload` units (characters or lines; clamped
-/// to the program's buffer capacities where the format is bounded).
-fn workload_of_size(gen: &mut WorkloadGen, bench: &str, payload: usize) -> Vec<i64> {
-    gen.sized_for_benchmark(bench, payload)
-}
-
-fn micros(ns: u128) -> String {
-    format!("{:.1}", ns as f64 / 1_000.0)
-}
-
-/// The last `n` predicate instances before the final output, each paired
-/// with that output as the use under test — the same batch shape the
-/// `resume` Criterion bench runs. Empty when the trace has no output or
-/// the output statement uses no variable.
-fn verify_batch(trace: &Trace, analysis: &ProgramAnalysis, n: usize) -> Vec<VerifyRequest> {
-    let Some(last) = trace.outputs().last() else {
-        return Vec::new();
-    };
-    let u = last.inst;
-    let Some(&var) = analysis.index().stmt(trace.event(u).stmt).uses.first() else {
-        return Vec::new();
-    };
-    let preds: Vec<_> = trace
-        .insts()
-        .filter(|&i| i < u && trace.event(i).is_predicate())
-        .collect();
-    preds
-        .iter()
-        .rev()
-        .take(n)
-        .map(|&p| VerifyRequest {
-            p,
-            u,
-            var,
-            wrong_output: u,
-            expected: None,
-        })
-        .collect()
-}
-
-/// One measured point of the sweep.
-struct Sample {
-    benchmark: String,
-    scale: usize,
-    input_len: usize,
-    trace_len: usize,
-    ds_dyn: Option<usize>,
-    rs_dyn: Option<usize>,
-    plain_ns: u128,
-    graph_ns: u128,
-    rs_ns: u128,
-    verify: Option<VerifySample>,
-}
-
-/// Verification-engine cost for the sample's batch, from scratch and
-/// resumed, with the engine's own counters from the resumed run.
-struct VerifySample {
-    batch: usize,
-    scratch_ns: u128,
-    resumed_ns: u128,
-    stats: VerificationStats,
-}
-
-fn json_opt(v: Option<usize>) -> String {
-    v.map_or_else(|| "null".to_string(), |n| n.to_string())
-}
-
-fn json_us(ns: u128) -> String {
-    format!("{:.1}", ns as f64 / 1_000.0)
-}
-
-fn sample_json(s: &Sample) -> String {
-    let verify = match &s.verify {
-        None => "null".to_string(),
-        Some(v) => format!(
-            concat!(
-                "{{\"batch\":{},\"scratch_us\":{},\"resumed_us\":{},",
-                "\"capture_runs\":{},\"resumed_runs\":{},\"scratch_runs\":{},",
-                "\"steps_saved\":{},\"cache_hits\":{},\"reexecutions\":{},",
-                "\"resume_ratio\":{:.3}}}"
-            ),
-            v.batch,
-            json_us(v.scratch_ns),
-            json_us(v.resumed_ns),
-            v.stats.capture_runs,
-            v.stats.resumed_runs,
-            v.stats.scratch_runs,
-            v.stats.steps_saved,
-            v.stats.cache_hits,
-            v.stats.reexecutions,
-            v.stats.resume_ratio(),
-        ),
-    };
-    format!(
-        concat!(
-            "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
-            "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
-            "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},\"verify\":{}}}"
-        ),
-        s.benchmark,
-        s.scale,
-        s.input_len,
-        s.trace_len,
-        json_opt(s.ds_dyn),
-        json_opt(s.rs_dyn),
-        json_us(s.plain_ns),
-        json_us(s.graph_ns),
-        json_us(s.rs_ns),
-        verify,
-    )
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--scales 10,50,250,1000] [--jobs N] [--reps N] [--out BENCH_sweep.json]"
+    );
+    std::process::exit(2);
 }
 
 fn main() {
-    let mut samples = Vec::new();
-    for b in all_benchmarks() {
-        let program = compile(b.fixed_src).expect("corpus compiles");
-        let analysis = ProgramAnalysis::build(&program);
-        let mut gen = WorkloadGen::new(0x5EED);
-        for scale in [10usize, 50, 250] {
-            let inputs = workload_of_size(&mut gen, b.name, scale);
-            let config = RunConfig::with_inputs(inputs.clone());
-
-            let t = Instant::now();
-            let plain = run_plain(&program, &config);
-            let plain_ns = t.elapsed().as_nanos();
-            assert!(plain.is_normal(), "{}: {:?}", b.name, plain.termination);
-
-            let t = Instant::now();
-            let run = run_traced(&program, &analysis, &config);
-            let graph_ns = t.elapsed().as_nanos();
-
-            let (ds_dyn, rs_dyn, rs_ns) = match run.trace.outputs().last() {
-                Some(last) => {
-                    let ds = DepGraph::new(&run.trace).backward_slice(last.inst);
-                    let t = Instant::now();
-                    let rs = relevant_slice(&run.trace, &analysis, last.inst);
-                    (
-                        Some(ds.dynamic_size()),
-                        Some(rs.dynamic_size()),
-                        t.elapsed().as_nanos(),
-                    )
+    let mut opts = SweepOptions::default();
+    let mut out = "BENCH_sweep.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--scales" => {
+                opts.scales = value
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if opts.scales.is_empty() {
+                    usage();
                 }
-                None => (None, None, 0),
-            };
-
-            let requests = verify_batch(&run.trace, &analysis, 16);
-            let verify = (!requests.is_empty()).then(|| {
-                let measure = |resume: ResumeMode| {
-                    let mut v =
-                        Verifier::new(&program, &analysis, &config, &run.trace, VerifierMode::Edge)
-                            .with_resume(resume);
-                    let t = Instant::now();
-                    v.verify_all(&requests);
-                    (t.elapsed().as_nanos(), v.stats().clone())
-                };
-                let (scratch_ns, _) = measure(ResumeMode::Disabled);
-                let (resumed_ns, stats) = measure(ResumeMode::Auto);
-                VerifySample {
-                    batch: requests.len(),
-                    scratch_ns,
-                    resumed_ns,
-                    stats,
+            }
+            "--jobs" => {
+                opts.jobs = value.parse().unwrap_or_else(|_| usage());
+                if opts.jobs == 0 {
+                    usage();
                 }
-            });
-
-            samples.push(Sample {
-                benchmark: b.name.to_string(),
-                scale,
-                input_len: inputs.len(),
-                trace_len: run.trace.len(),
-                ds_dyn,
-                rs_dyn,
-                plain_ns,
-                graph_ns,
-                rs_ns,
-                verify,
-            });
+            }
+            "--reps" => {
+                opts.reps = value.parse().unwrap_or_else(|_| usage());
+                if opts.reps == 0 {
+                    usage();
+                }
+            }
+            "--out" => out = value,
+            _ => usage(),
         }
     }
 
-    let rows: Vec<Vec<String>> = samples
-        .iter()
-        .map(|s| {
-            let (scratch, resumed) = match &s.verify {
-                Some(v) => (micros(v.scratch_ns), micros(v.resumed_ns)),
-                None => ("-".to_string(), "-".to_string()),
-            };
-            vec![
-                s.benchmark.clone(),
-                format!("x{}", s.scale),
-                s.input_len.to_string(),
-                s.trace_len.to_string(),
-                s.ds_dyn.map_or_else(|| "-".to_string(), |n| n.to_string()),
-                s.rs_dyn.map_or_else(|| "-".to_string(), |n| n.to_string()),
-                micros(s.plain_ns),
-                micros(s.graph_ns),
-                micros(s.rs_ns),
-                scratch,
-                resumed,
-            ]
-        })
-        .collect();
+    let samples = run_sweep(&opts);
     println!("Workload sweep (sizes are dynamic instances; times in microseconds)");
-    println!(
-        "{}",
-        render(
-            &[
-                "Benchmark",
-                "scale",
-                "input len",
-                "trace len",
-                "DS(dyn)",
-                "RS(dyn)",
-                "Plain (us)",
-                "Graph (us)",
-                "RS (us)",
-                "Verif scratch (us)",
-                "Verif resumed (us)",
-            ],
-            &rows
-        )
-    );
-
-    let body: Vec<String> = samples.iter().map(sample_json).collect();
-    let json = format!(
-        "{{\n  \"seed\": \"0x5EED\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
-        body.join(",\n    ")
-    );
-    std::fs::write("BENCH_sweep.json", &json).expect("writes BENCH_sweep.json");
-    println!("wrote BENCH_sweep.json ({} rows)", samples.len());
+    println!("{}", render_table(&samples));
+    std::fs::write(&out, to_json(&samples)).expect("writes the sweep JSON");
+    println!("wrote {out} ({} rows)", samples.len());
 }

@@ -13,4 +13,5 @@
 //! | `ablation` | design-choice ablations (verifier mode, Alg. 2 lines 12-18) |
 
 pub mod measure;
+pub mod sweep;
 pub mod table;

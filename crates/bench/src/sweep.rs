@@ -1,0 +1,320 @@
+//! Parameter sweep: how trace size, slice sizes, and analysis costs
+//! scale with workload size — the data-series companion to the paper's
+//! tables (its evaluation has no scaling figure; this harness provides
+//! the series a replication would plot).
+//!
+//! For each corpus benchmark, generated workloads of increasing size run
+//! through the tracing interpreter; the series reports trace length, DS
+//! and RS sizes for the last output, wall-clock for Plain, Graph, and RS
+//! computation, and the verification engine's cost for a LEFS-style
+//! batch of `VerifyDep` queries executed from scratch, resumed from
+//! checkpoints, and re-submitted against the warm verdict memo.
+//!
+//! The library entry point is [`run_sweep`]; the `sweep` binary wraps it
+//! with flag parsing, prints [`render_table`], and writes [`to_json`] so
+//! plots and regression checks can consume the series without
+//! screen-scraping.
+
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_plain, run_traced, ResumeMode, RunConfig};
+use omislice::omislice_lang::compile;
+use omislice::omislice_slicing::{relevant_slice_on, DepGraph};
+use omislice::omislice_trace::{Trace, VerificationStats};
+use omislice::{Verifier, VerifierMode, VerifyRequest};
+use omislice_corpus::{all_benchmarks, WorkloadGen};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The seed every sweep run uses, recorded in the JSON header.
+pub const SWEEP_SEED: u64 = 0x5EED;
+
+/// What to sweep: workload scales (per benchmark) and the worker-thread
+/// count for index construction and frontier-parallel discovery.
+pub struct SweepOptions {
+    /// Workload payload sizes, one series point per scale.
+    pub scales: Vec<usize>,
+    /// Worker threads for the indexed slicers.
+    pub jobs: usize,
+    /// Repetitions of each timed section; the minimum is reported (the
+    /// Table 4 "best of N" methodology — every section is deterministic,
+    /// so the minimum is the least-perturbed measurement). Verification
+    /// passes run once: they take seconds and self-average.
+    pub reps: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            scales: vec![10, 50, 250, 1000],
+            jobs: 1,
+            reps: 5,
+        }
+    }
+}
+
+/// Runs `f` `reps` times (at least once), returning the last value and
+/// the minimum elapsed time. `f` must be deterministic.
+fn timed_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, u128) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_nanos());
+        out = Some(v);
+    }
+    (out.expect("at least one rep"), best)
+}
+
+/// One measured point of the sweep.
+pub struct Sample {
+    pub benchmark: String,
+    pub scale: usize,
+    pub input_len: usize,
+    pub trace_len: usize,
+    pub ds_dyn: Option<usize>,
+    pub rs_dyn: Option<usize>,
+    pub plain_ns: u128,
+    pub graph_ns: u128,
+    pub rs_ns: u128,
+    pub verify: Option<VerifySample>,
+}
+
+/// Verification-engine cost for the sample's batch: from scratch, resumed
+/// from checkpoints, and a re-submission of the identical batch to the
+/// same verifier (`memo_ns`) that must be answered entirely from the
+/// verdict cache. `stats` are the shared verifier's counters after the
+/// memo pass, so `cache_hits == batch` proves the memo is alive.
+pub struct VerifySample {
+    pub batch: usize,
+    pub scratch_ns: u128,
+    pub resumed_ns: u128,
+    pub memo_ns: u128,
+    pub stats: VerificationStats,
+}
+
+/// The last `n` predicate instances before the final output, each paired
+/// with that output as the use under test — the same batch shape the
+/// `resume` Criterion bench runs, deduplicated by `(p, u, var)`. Empty
+/// when the trace has no output or the output statement uses no variable.
+pub fn verify_batch(trace: &Trace, analysis: &ProgramAnalysis, n: usize) -> Vec<VerifyRequest> {
+    let Some(last) = trace.outputs().last() else {
+        return Vec::new();
+    };
+    let u = last.inst;
+    let Some(&var) = analysis.index().stmt(trace.event(u).stmt).uses.first() else {
+        return Vec::new();
+    };
+    let preds: Vec<_> = trace
+        .insts()
+        .filter(|&i| i < u && trace.event(i).is_predicate())
+        .collect();
+    let mut seen = HashSet::new();
+    preds
+        .iter()
+        .rev()
+        .take(n)
+        .filter(|&&p| seen.insert((p, u, var)))
+        .map(|&p| VerifyRequest {
+            p,
+            u,
+            var,
+            wrong_output: u,
+            expected: None,
+        })
+        .collect()
+}
+
+/// Runs the sweep and returns one sample per benchmark × scale.
+pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for b in all_benchmarks() {
+        let program = compile(b.fixed_src).expect("corpus compiles");
+        let analysis = ProgramAnalysis::build(&program);
+        let mut gen = WorkloadGen::new(SWEEP_SEED);
+        for &scale in &opts.scales {
+            let inputs = gen.sized_for_benchmark(b.name, scale);
+            let config = RunConfig::with_inputs(inputs.clone());
+
+            let (plain, plain_ns) = timed_min(opts.reps, || run_plain(&program, &config));
+            assert!(plain.is_normal(), "{}: {:?}", b.name, plain.termination);
+
+            let (run, graph_ns) = timed_min(opts.reps, || run_traced(&program, &analysis, &config));
+
+            // The trace index and CSR dependence graph are built once per
+            // trace and amortized over every slice/locate query on it (the
+            // locator builds both up front the same way), so their
+            // construction is charged to neither slice timing.
+            run.trace.build_index(opts.jobs);
+            let graph = DepGraph::with_jobs(&run.trace, opts.jobs);
+
+            let (ds_dyn, rs_dyn, rs_ns) = match run.trace.outputs().last() {
+                Some(last) => {
+                    let ds = graph.backward_slice(last.inst);
+                    let (rs, rs_ns) = timed_min(opts.reps, || {
+                        relevant_slice_on(&graph, &analysis, last.inst, opts.jobs)
+                    });
+                    (Some(ds.dynamic_size()), Some(rs.dynamic_size()), rs_ns)
+                }
+                None => (None, None, 0),
+            };
+
+            let requests = verify_batch(&run.trace, &analysis, 16);
+            let verify = (!requests.is_empty()).then(|| {
+                let scratch_ns = {
+                    let mut v =
+                        Verifier::new(&program, &analysis, &config, &run.trace, VerifierMode::Edge)
+                            .with_resume(ResumeMode::Disabled);
+                    let t = Instant::now();
+                    v.verify_all(&requests);
+                    t.elapsed().as_nanos()
+                };
+                // One verifier shared across the resumed pass and a
+                // re-submission of the identical batch: the second pass
+                // must be answered entirely from the verdict memo, which
+                // is what `cache_hits == batch` asserts downstream.
+                let mut v =
+                    Verifier::new(&program, &analysis, &config, &run.trace, VerifierMode::Edge)
+                        .with_resume(ResumeMode::Auto);
+                let t = Instant::now();
+                v.verify_all(&requests);
+                let resumed_ns = t.elapsed().as_nanos();
+                let t = Instant::now();
+                v.verify_all(&requests);
+                let memo_ns = t.elapsed().as_nanos();
+                VerifySample {
+                    batch: requests.len(),
+                    scratch_ns,
+                    resumed_ns,
+                    memo_ns,
+                    stats: v.stats().clone(),
+                }
+            });
+
+            samples.push(Sample {
+                benchmark: b.name.to_string(),
+                scale,
+                input_len: inputs.len(),
+                trace_len: run.trace.len(),
+                ds_dyn,
+                rs_dyn,
+                plain_ns,
+                graph_ns,
+                rs_ns,
+                verify,
+            });
+        }
+    }
+    samples
+}
+
+fn micros(ns: u128) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+fn json_opt(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |n| n.to_string())
+}
+
+fn json_us(ns: u128) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+fn sample_json(s: &Sample) -> String {
+    let verify = match &s.verify {
+        None => "null".to_string(),
+        Some(v) => format!(
+            concat!(
+                "{{\"batch\":{},\"scratch_us\":{},\"resumed_us\":{},\"memo_us\":{},",
+                "\"capture_runs\":{},\"resumed_runs\":{},\"scratch_runs\":{},",
+                "\"steps_saved\":{},\"cache_hits\":{},\"reexecutions\":{},",
+                "\"resume_ratio\":{:.3}}}"
+            ),
+            v.batch,
+            json_us(v.scratch_ns),
+            json_us(v.resumed_ns),
+            json_us(v.memo_ns),
+            v.stats.capture_runs,
+            v.stats.resumed_runs,
+            v.stats.scratch_runs,
+            v.stats.steps_saved,
+            v.stats.cache_hits,
+            v.stats.reexecutions,
+            v.stats.resume_ratio(),
+        ),
+    };
+    format!(
+        concat!(
+            "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
+            "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
+            "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},\"verify\":{}}}"
+        ),
+        s.benchmark,
+        s.scale,
+        s.input_len,
+        s.trace_len,
+        json_opt(s.ds_dyn),
+        json_opt(s.rs_dyn),
+        json_us(s.plain_ns),
+        json_us(s.graph_ns),
+        json_us(s.rs_ns),
+        verify,
+    )
+}
+
+/// Renders the sweep as the harness's aligned text table.
+pub fn render_table(samples: &[Sample]) -> String {
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            let (scratch, resumed, memo) = match &s.verify {
+                Some(v) => (
+                    micros(v.scratch_ns),
+                    micros(v.resumed_ns),
+                    micros(v.memo_ns),
+                ),
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            };
+            vec![
+                s.benchmark.clone(),
+                format!("x{}", s.scale),
+                s.input_len.to_string(),
+                s.trace_len.to_string(),
+                s.ds_dyn.map_or_else(|| "-".to_string(), |n| n.to_string()),
+                s.rs_dyn.map_or_else(|| "-".to_string(), |n| n.to_string()),
+                micros(s.plain_ns),
+                micros(s.graph_ns),
+                micros(s.rs_ns),
+                scratch,
+                resumed,
+                memo,
+            ]
+        })
+        .collect();
+    crate::table::render(
+        &[
+            "Benchmark",
+            "scale",
+            "input len",
+            "trace len",
+            "DS(dyn)",
+            "RS(dyn)",
+            "Plain (us)",
+            "Graph (us)",
+            "RS (us)",
+            "Verif scratch (us)",
+            "Verif resumed (us)",
+            "Verif memo (us)",
+        ],
+        &rows,
+    )
+}
+
+/// Serializes the sweep in the `BENCH_sweep.json` format.
+pub fn to_json(samples: &[Sample]) -> String {
+    let body: Vec<String> = samples.iter().map(sample_json).collect();
+    format!(
+        "{{\n  \"seed\": \"0x5EED\",\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        body.join(",\n    ")
+    )
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! omislice run      <file> [--input 1,2,3]
 //! omislice trace    <file> [--input 1,2,3] [--regions] [--dot] [--stats]
-//! omislice slice    <file> [--input 1,2,3] [--output N] [--relevant]
+//! omislice slice    <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
 //! omislice cfg      <file> [--function main]
 //! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
 //!                   [--profile 4,5;6,7] [--mode edge|path|value]
@@ -19,7 +19,7 @@
 use omislice::omislice_analysis::ProgramAnalysis;
 use omislice::omislice_interp::{run_plain, run_traced, BudgetSchedule, FaultPlan, RunConfig};
 use omislice::omislice_lang::{compile, printer::stmt_head, Program};
-use omislice::omislice_slicing::{relevant_slice, DepGraph, Slice, ValueProfile};
+use omislice::omislice_slicing::{relevant_slice_jobs, DepGraph, Slice, ValueProfile};
 use omislice::omislice_trace::{RegionTree, Trace};
 use omislice::{describe_inst, locate_fault, GroundTruthOracle, LocateConfig, VerifierMode};
 use omislice_corpus::all_benchmarks;
@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   omislice run     <file> [--input 1,2,3]
   omislice trace   <file> [--input 1,2,3] [--regions] [--dot] [--stats]
-  omislice slice   <file> [--input 1,2,3] [--output N] [--relevant]
+  omislice slice   <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
   omislice cfg     <file> [--function main]
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
                    [--profile 4,5;6,7] [--mode edge|path|value]
@@ -221,7 +221,7 @@ fn print_slice(trace: &Trace, analysis: &ProgramAnalysis, slice: &Slice) {
 }
 
 fn cmd_slice(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["input", "output"])?;
+    let opts = Opts::parse(args, &["input", "output", "jobs"])?;
     let path = opts
         .positional
         .first()
@@ -243,10 +243,12 @@ fn cmd_slice(args: Vec<String>) -> Result<(), String> {
         .get(idx)
         .ok_or_else(|| format!("only {} outputs", outputs.len()))?
         .inst;
+    let jobs = parse_jobs(opts.value("jobs"))?;
     let slice = if opts.has("relevant") {
-        relevant_slice(trace, &analysis, criterion)
+        relevant_slice_jobs(trace, &analysis, criterion, jobs)
     } else {
-        DepGraph::new(trace).backward_slice(criterion)
+        trace.build_index(jobs);
+        DepGraph::with_jobs(trace, jobs).backward_slice(criterion)
     };
     print_slice(trace, &analysis, &slice);
     Ok(())

@@ -18,9 +18,8 @@ use crate::store::{Frame, Globals};
 use crate::tracer::{self, TracedRun};
 use crate::{FaultAction, RunConfig, SwitchSpec};
 use omislice_analysis::ProgramAnalysis;
-use omislice_lang::{Program, StmtId};
+use omislice_lang::Program;
 use omislice_trace::{InstId, Trace};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Interpreter state captured at a candidate predicate instance, from
@@ -31,7 +30,8 @@ pub struct Checkpoint {
     pub spec: SwitchSpec,
     pub(crate) globals: Globals,
     pub(crate) frames: Vec<Frame>,
-    pub(crate) occ: HashMap<StmtId, u32>,
+    /// Per-statement execution counters, dense over `StmtId`.
+    pub(crate) occ: Vec<u32>,
     pub(crate) region_stack: Vec<InstId>,
     pub(crate) input_pos: usize,
     /// Input underflows accumulated in the prefix, restored on resume so
@@ -212,7 +212,7 @@ pub fn resume_switched(
 mod tests {
     use super::*;
     use crate::{run_traced, RunConfig};
-    use omislice_lang::compile;
+    use omislice_lang::{compile, StmtId};
 
     fn analyzed(src: &str) -> (Program, ProgramAnalysis) {
         let p = compile(src).unwrap();

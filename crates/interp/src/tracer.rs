@@ -93,7 +93,7 @@ pub(crate) fn run_traced_capturing(
         overridden: None,
         fault: config.fault,
         fault_seen: 0,
-        occ: HashMap::new(),
+        occ: vec![0; program.stmt_count() as usize],
         events: Vec::new(),
         outputs: Vec::new(),
         globals: Globals::init(program, analysis.index()),
@@ -294,8 +294,10 @@ struct Tracer<'a> {
     /// Instances of the fault statement seen so far (the plan fires on
     /// its `occurrence`-th). Seeded from the prefix on resumed runs.
     fault_seen: u32,
-    /// Per-statement execution counters (for switch occurrence matching).
-    occ: HashMap<StmtId, u32>,
+    /// Per-statement execution counters (for switch occurrence matching),
+    /// dense over `StmtId` — indexed on every recorded predicate, so a
+    /// flat array beats hashing.
+    occ: Vec<u32>,
     events: Vec<Event>,
     outputs: Vec<OutputRecord>,
     globals: Globals,
@@ -376,7 +378,7 @@ impl<'a> Tracer<'a> {
         if o.stmt != stmt || self.overridden.is_some() {
             return (computed, false);
         }
-        let c = self.occ.entry(stmt).or_insert(0);
+        let c = &mut self.occ[stmt.0 as usize];
         let occurrence = *c;
         *c += 1;
         if occurrence == o.occurrence {
@@ -788,7 +790,7 @@ impl<'a> Tracer<'a> {
         // 0-based occurrence index of this predicate instance; every
         // `while` iteration re-enters here and counts separately.
         let occurrence = {
-            let c = self.occ.entry(stmt).or_insert(0);
+            let c = &mut self.occ[stmt.0 as usize];
             let occurrence = *c;
             *c += 1;
             occurrence
@@ -820,7 +822,7 @@ impl<'a> Tracer<'a> {
         if self.capture_specs.is_empty() {
             return;
         }
-        let entry_occ = self.occ.get(&stmt).copied().unwrap_or(0);
+        let entry_occ = self.occ[stmt.0 as usize];
         let requested = self
             .capture_specs
             .get(&stmt)
@@ -985,9 +987,25 @@ impl<'a> Tracer<'a> {
     }
 }
 
-fn dedup(deps: Vec<InstId>) -> Vec<InstId> {
-    let mut seen = std::collections::HashSet::new();
-    deps.into_iter().filter(|d| seen.insert(*d)).collect()
+fn dedup(mut deps: Vec<InstId>) -> Vec<InstId> {
+    // Dependence lists are almost always a handful of operands, so an
+    // in-place first-occurrence scan beats allocating a hash set per
+    // recorded event; fall back to hashing for the rare long list.
+    if deps.len() > 32 {
+        let mut seen = std::collections::HashSet::new();
+        deps.retain(|d| seen.insert(*d));
+        return deps;
+    }
+    let mut w = 0;
+    for r in 0..deps.len() {
+        let d = deps[r];
+        if !deps[..w].contains(&d) {
+            deps[w] = d;
+            w += 1;
+        }
+    }
+    deps.truncate(w);
+    deps
 }
 
 fn missing_callee(name: &str) -> Stop {

@@ -204,7 +204,11 @@ pub fn locate_fault(
         .ok_or(LocateError::NoWrongOutput)?;
     let wrong = outputs.wrong;
 
-    let mut graph = DepGraph::new(trace);
+    // Eagerly build the trace index and CSR adjacency with the session's
+    // job count — every slice, prune, and potential-dep query below runs
+    // on them.
+    trace.build_index(lc.jobs);
+    let mut graph = DepGraph::with_jobs(trace, lc.jobs);
     let mut feedback = Feedback::default();
     let mut verifier = Verifier::new(program, analysis, config, trace, lc.mode)
         .with_jobs(lc.jobs)

@@ -148,7 +148,7 @@ pub fn analyze(params: &ConfidenceParams<'_>) -> Confidence {
         if mask == 0 {
             continue;
         }
-        for d in params.graph.backward_deps(InstId(idx as u32)) {
+        for d in params.graph.deps(InstId(idx as u32)) {
             reach[d.index()] |= mask;
         }
     }

@@ -5,11 +5,21 @@
 //! (Algorithm 2, line 15: `G = G + p → t`). Classic dynamic slicing is a
 //! backward closure over data dependences, dynamic control dependences,
 //! and any extra edges.
+//!
+//! The trace's own edges are frozen into a CSR adjacency (flat offset +
+//! edge arrays) at construction, so slicing traverses contiguous memory
+//! with a bitset visited-set instead of hashing every instance; only the
+//! mutable extra edges stay in a map.
 
+use omislice_analysis::bitset::BitSet;
 use omislice_trace::{InstId, Trace};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use omislice_lang::StmtId;
+
+/// Below this many events the serial CSR fill wins; above it, chunked
+/// parallel filling amortizes the thread spawns.
+const PARALLEL_FILL_THRESHOLD: usize = 4096;
 
 /// Extra dependence edges `from → to` (both in the same trace), where
 /// `to` precedes `from` in execution order — e.g. an implicit dependence
@@ -20,14 +30,54 @@ pub type ExtraEdges = HashMap<InstId, Vec<InstId>>;
 #[derive(Debug, Clone)]
 pub struct DepGraph<'a> {
     trace: &'a Trace,
+    /// CSR offsets: instance `i`'s base edges live at
+    /// `edges[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat base-edge array: each instance's data dependences in
+    /// evaluation order, then its dynamic control-dependence parent.
+    edges: Vec<InstId>,
     extra: ExtraEdges,
 }
 
 impl<'a> DepGraph<'a> {
-    /// A graph with only the trace's own dependences.
+    /// A graph with only the trace's own dependences, built serially.
     pub fn new(trace: &'a Trace) -> Self {
+        Self::with_jobs(trace, 1)
+    }
+
+    /// A graph with only the trace's own dependences; the CSR adjacency
+    /// is filled by up to `jobs` worker threads. Identical to
+    /// [`DepGraph::new`] for any `jobs` — chunk boundaries fall on CSR
+    /// offsets, so every worker writes a disjoint contiguous range.
+    pub fn with_jobs(trace: &'a Trace, jobs: usize) -> Self {
+        let n = trace.len();
+        let mut offsets = vec![0u32; n + 1];
+        for (i, ev) in trace.events().iter().enumerate() {
+            let deg = ev.data_deps.len() as u32 + ev.cd_parent.is_some() as u32;
+            offsets[i + 1] = offsets[i] + deg;
+        }
+        let mut edges = vec![InstId(0); offsets[n] as usize];
+        let jobs = jobs.max(1).min(n.max(1));
+        if jobs == 1 || n < PARALLEL_FILL_THRESHOLD {
+            fill_edges(trace, &offsets, 0, n, &mut edges);
+        } else {
+            let chunk = n.div_ceil(jobs);
+            std::thread::scope(|s| {
+                let offsets = &offsets;
+                let mut rest: &mut [InstId] = &mut edges;
+                for start in (0..n).step_by(chunk) {
+                    let end = (start + chunk).min(n);
+                    let len = (offsets[end] - offsets[start]) as usize;
+                    let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+                    rest = tail;
+                    s.spawn(move || fill_edges(trace, offsets, start, end, head));
+                }
+            });
+        }
         DepGraph {
             trace,
+            offsets,
+            edges,
             extra: ExtraEdges::new(),
         }
     }
@@ -50,8 +100,10 @@ impl<'a> DepGraph<'a> {
         );
         assert!(to < from, "dependence edges point backwards in time");
         let targets = self.extra.entry(from).or_default();
-        if !targets.contains(&to) {
-            targets.push(to);
+        // Sorted + binary-search insert keeps repeated Algorithm-2 edge
+        // additions O(log n) instead of a linear containment scan.
+        if let Err(pos) = targets.binary_search(&to) {
+            targets.insert(pos, to);
         }
     }
 
@@ -65,31 +117,43 @@ impl<'a> DepGraph<'a> {
         self.extra.get(&from).map_or(&[], Vec::as_slice)
     }
 
+    /// The trace's own backward dependences of `inst` (data dependences
+    /// in evaluation order, then the dynamic control-dependence parent)
+    /// as a contiguous CSR slice — no allocation.
+    pub fn base_deps(&self, inst: InstId) -> &[InstId] {
+        let i = inst.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// All backward dependences of `inst` — base CSR edges followed by
+    /// extra edges — without allocating.
+    pub fn deps(&self, inst: InstId) -> impl Iterator<Item = InstId> + '_ {
+        self.base_deps(inst)
+            .iter()
+            .copied()
+            .chain(self.extra_edges_of(inst).iter().copied())
+    }
+
     /// All backward dependences of `inst`: data, dynamic control, extra.
+    ///
+    /// Allocates a fresh `Vec`; prefer [`DepGraph::deps`] in loops.
     pub fn backward_deps(&self, inst: InstId) -> Vec<InstId> {
-        let ev = self.trace.event(inst);
-        let mut out: Vec<InstId> = ev.data_deps.clone();
-        if let Some(cd) = ev.cd_parent {
-            out.push(cd);
-        }
-        out.extend(self.extra_edges_of(inst));
-        out
+        self.deps(inst).collect()
     }
 
     /// The classic dynamic slice: the backward closure from `criterion`.
     pub fn backward_slice(&self, criterion: InstId) -> Slice {
-        let mut seen: HashSet<InstId> = HashSet::new();
-        let mut queue: VecDeque<InstId> = VecDeque::new();
-        seen.insert(criterion);
-        queue.push_back(criterion);
-        while let Some(i) = queue.pop_front() {
-            for d in self.backward_deps(i) {
-                if seen.insert(d) {
-                    queue.push_back(d);
+        let mut seen = BitSet::new(self.trace.len());
+        let mut stack = vec![criterion];
+        seen.insert(criterion.index());
+        while let Some(i) = stack.pop() {
+            for d in self.deps(i) {
+                if seen.insert(d.index()) {
+                    stack.push(d);
                 }
             }
         }
-        Slice::from_insts(self.trace, seen)
+        Slice::from_insts(self.trace, seen.iter().map(|i| InstId(i as u32)))
     }
 
     /// Dependence distance (in edges) from `criterion` to every instance
@@ -101,7 +165,7 @@ impl<'a> DepGraph<'a> {
         queue.push_back(criterion);
         while let Some(i) = queue.pop_front() {
             let d = dist[&i];
-            for dep in self.backward_deps(i) {
+            for dep in self.deps(i) {
                 dist.entry(dep).or_insert_with(|| {
                     queue.push_back(dep);
                     d + 1
@@ -116,7 +180,7 @@ impl<'a> DepGraph<'a> {
     pub fn forward_adjacency(&self) -> Vec<Vec<InstId>> {
         let mut fwd: Vec<Vec<InstId>> = vec![Vec::new(); self.trace.len()];
         for inst in self.trace.insts() {
-            for dep in self.backward_deps(inst) {
+            for dep in self.deps(inst) {
                 fwd[dep.index()].push(inst);
             }
         }
@@ -142,7 +206,7 @@ impl<'a> DepGraph<'a> {
                 path.reverse(); // from ... to
                 return Some(path);
             }
-            for dep in self.backward_deps(i) {
+            for dep in self.deps(i) {
                 parent.entry(dep).or_insert_with(|| {
                     queue.push_back(dep);
                     i
@@ -150,6 +214,22 @@ impl<'a> DepGraph<'a> {
             }
         }
         None
+    }
+}
+
+/// Fills the CSR edge ranges of instances `[start, end)` — each worker's
+/// `out` slice is the contiguous range `offsets[start]..offsets[end]`.
+fn fill_edges(trace: &Trace, offsets: &[u32], start: usize, end: usize, out: &mut [InstId]) {
+    let base = offsets[start] as usize;
+    for (i, ev) in trace.events()[start..end].iter().enumerate() {
+        let mut k = offsets[start + i] as usize - base;
+        for &d in &ev.data_deps {
+            out[k] = d;
+            k += 1;
+        }
+        if let Some(cd) = ev.cd_parent {
+            out[k] = cd;
+        }
     }
 }
 
@@ -336,6 +416,42 @@ mod tests {
         g.add_edge(InstId(1), InstId(0));
         g.add_edge(InstId(1), InstId(0));
         assert_eq!(g.extra_edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_csr_fill_matches_serial() {
+        // Long enough to cross the parallel-fill threshold.
+        let t = trace_of(
+            "global s = 0;
+             fn main() {
+                 let n = input();
+                 let i = 0;
+                 while i < n { s = s + i; i = i + 1; }
+                 print(s);
+             }",
+            vec![2000],
+        );
+        let serial = DepGraph::new(&t);
+        let parallel = DepGraph::with_jobs(&t, 4);
+        assert_eq!(serial.offsets, parallel.offsets);
+        assert_eq!(serial.edges, parallel.edges);
+        let out = t.outputs()[0].inst;
+        assert_eq!(serial.backward_slice(out), parallel.backward_slice(out));
+    }
+
+    #[test]
+    fn base_deps_order_is_data_then_cd() {
+        let t = trace_of(
+            "global x = 0; fn main() { let c = input(); if c > 0 { x = c + 1; } print(x); }",
+            vec![5],
+        );
+        let g = DepGraph::new(&t);
+        for inst in t.insts() {
+            let ev = t.event(inst);
+            let mut expect: Vec<InstId> = ev.data_deps.clone();
+            expect.extend(ev.cd_parent);
+            assert_eq!(g.base_deps(inst), expect.as_slice(), "at {inst}");
+        }
     }
 
     #[test]

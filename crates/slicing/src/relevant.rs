@@ -17,9 +17,19 @@
 //! dynamically (the paper's Table 2 RS columns).
 
 use crate::graph::{DepGraph, Slice};
+use omislice_analysis::bitset::BitSet;
 use omislice_analysis::ProgramAnalysis;
+use omislice_lang::VarId;
 use omislice_trace::{InstId, Trace};
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Frontiers smaller than this are expanded serially even when `jobs > 1`
+/// — thread spawns cost more than the work they would split.
+const PARALLEL_FRONTIER_THRESHOLD: usize = 256;
+
+/// How many frontier slots one worker claims per fetch.
+const FRONTIER_CLAIM_CHUNK: usize = 64;
 
 /// Computes the set of potential-dependence predicate instances for one
 /// use instance `u` (all four conditions of Definition 1).
@@ -47,15 +57,53 @@ pub fn potential_deps_by_var(
     trace: &Trace,
     analysis: &ProgramAnalysis,
     u: InstId,
-) -> Vec<(omislice_lang::VarId, InstId)> {
+) -> Vec<(VarId, InstId)> {
+    let idx = trace.index();
     let ev = trace.event(u);
     let info = analysis.index().stmt(ev.stmt);
-    let mut out: Vec<(omislice_lang::VarId, InstId)> = Vec::new();
+    let mut out: Vec<(VarId, InstId)> = Vec::new();
     for &var in &info.uses {
         // Condition (iii): the definition of `var` actually reaching `u`.
         // Identified as the latest data dependence of `u` that defines
         // `var`; when the value arrived through parameter passing (no
         // def_var match), fall back conservatively to "no lower bound".
+        let actual_def: Option<InstId> = ev
+            .data_deps
+            .iter()
+            .copied()
+            .filter(|&d| trace.event(d).def_var == Some(var))
+            .max();
+        let lo = actual_def.unwrap_or(InstId(0));
+        for cp in analysis.static_pd(ev.stmt, var) {
+            // Conditions (i)+(iii) and the branch filter collapse into one
+            // postings-window query: instances of `cp.pred` that took the
+            // non-defining branch inside `[actual_def, u)`. Only condition
+            // (ii) remains, as an O(1) Euler-interval test.
+            for &p_i in idx.pred_instances_between(cp.pred, !cp.branch, lo, u) {
+                if !idx.cd_is_ancestor(p_i, u) {
+                    out.push((var, p_i));
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Reference implementation of [`potential_deps_by_var`]: the original
+/// full-instance scan with the parent-pointer `cd_depends_on` walk. Kept
+/// as the oracle for the index equivalence property tests.
+#[doc(hidden)]
+pub fn potential_deps_by_var_naive(
+    trace: &Trace,
+    analysis: &ProgramAnalysis,
+    u: InstId,
+) -> Vec<(VarId, InstId)> {
+    let ev = trace.event(u);
+    let info = analysis.index().stmt(ev.stmt);
+    let mut out: Vec<(VarId, InstId)> = Vec::new();
+    for &var in &info.uses {
         let actual_def: Option<InstId> = ev
             .data_deps
             .iter()
@@ -77,7 +125,7 @@ pub fn potential_deps_by_var(
                         continue; // condition (iii): def must precede pᵢ
                     }
                 }
-                if trace.cd_depends_on(u, p_i) {
+                if trace.cd_depends_on_naive(u, p_i) {
                     continue; // condition (ii)
                 }
                 out.push((var, p_i));
@@ -134,6 +182,113 @@ pub fn is_potential_dep(
 
 /// Computes the relevant slice of `criterion`.
 pub fn relevant_slice(trace: &Trace, analysis: &ProgramAnalysis, criterion: InstId) -> Slice {
+    relevant_slice_jobs(trace, analysis, criterion, 1)
+}
+
+/// Computes the relevant slice of `criterion`, discovering dependences of
+/// large BFS frontiers on up to `jobs` worker threads. The slice is
+/// identical for any `jobs`.
+pub fn relevant_slice_jobs(
+    trace: &Trace,
+    analysis: &ProgramAnalysis,
+    criterion: InstId,
+    jobs: usize,
+) -> Slice {
+    trace.build_index(jobs);
+    relevant_slice_on(&DepGraph::with_jobs(trace, jobs), analysis, criterion, jobs)
+}
+
+/// Computes the relevant slice of `criterion` over a prebuilt dependence
+/// graph — the graph (and the trace index behind it) is built once per
+/// trace and amortized over every slice taken on it.
+pub fn relevant_slice_on(
+    graph: &DepGraph<'_>,
+    analysis: &ProgramAnalysis,
+    criterion: InstId,
+    jobs: usize,
+) -> Slice {
+    let trace = graph.trace();
+    let mut seen = BitSet::new(trace.len());
+    seen.insert(criterion.index());
+    let mut frontier = vec![criterion];
+    let mut next: Vec<InstId> = Vec::new();
+    while !frontier.is_empty() {
+        if jobs > 1 && frontier.len() >= PARALLEL_FRONTIER_THRESHOLD {
+            for d in discover_parallel(graph, trace, analysis, &frontier, jobs) {
+                if seen.insert(d.index()) {
+                    next.push(d);
+                }
+            }
+        } else {
+            for &i in &frontier {
+                for d in graph.deps(i) {
+                    if seen.insert(d.index()) {
+                        next.push(d);
+                    }
+                }
+                for (_, p) in potential_deps_by_var(trace, analysis, i) {
+                    if seen.insert(p.index()) {
+                        next.push(p);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    Slice::from_insts(trace, seen.iter().map(|i| InstId(i as u32)))
+}
+
+/// Expands one BFS frontier on worker threads: slots are claimed in
+/// chunks off a shared atomic cursor (the `Verifier::verify_all` fan-out
+/// pattern); each worker returns the raw dependence lists, deduplicated
+/// by the caller's visited bitset. The discovered *set* is independent of
+/// scheduling, so the final slice is deterministic.
+fn discover_parallel(
+    graph: &DepGraph<'_>,
+    trace: &Trace,
+    analysis: &ProgramAnalysis,
+    frontier: &[InstId],
+    jobs: usize,
+) -> Vec<InstId> {
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<InstId> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(FRONTIER_CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= frontier.len() {
+                            break;
+                        }
+                        let end = (start + FRONTIER_CLAIM_CHUNK).min(frontier.len());
+                        for &i in &frontier[start..end] {
+                            local.extend(graph.deps(i));
+                            local.extend(
+                                potential_deps_by_var(trace, analysis, i)
+                                    .into_iter()
+                                    .map(|(_, p)| p),
+                            );
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut out = Vec::new();
+        for w in workers {
+            out.append(&mut w.join().expect("frontier workers do not panic"));
+        }
+        out
+    })
+}
+
+/// Reference implementation of [`relevant_slice`]: the original hash-set
+/// BFS over allocated dependence vectors and the naive potential-dep
+/// scan. Kept as the oracle for the index equivalence property tests.
+#[doc(hidden)]
+pub fn relevant_slice_naive(trace: &Trace, analysis: &ProgramAnalysis, criterion: InstId) -> Slice {
     let graph = DepGraph::new(trace);
     let mut seen: HashSet<InstId> = HashSet::new();
     let mut queue: VecDeque<InstId> = VecDeque::new();
@@ -145,7 +300,7 @@ pub fn relevant_slice(trace: &Trace, analysis: &ProgramAnalysis, criterion: Inst
                 queue.push_back(d);
             }
         }
-        for p in potential_dep_instances(trace, analysis, i) {
+        for (_, p) in potential_deps_by_var_naive(trace, analysis, i) {
             if seen.insert(p) {
                 queue.push_back(p);
             }

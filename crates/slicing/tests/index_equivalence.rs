@@ -1,0 +1,200 @@
+//! Property: the indexed slicers are instance-for-instance identical to
+//! the naive reference implementations — for random structured programs,
+//! random inputs, and any worker-thread count:
+//!
+//!   1. `Trace::cd_depends_on` (Euler-interval test) agrees with the
+//!      original parent-pointer walk on every instance pair;
+//!   2. `potential_deps_by_var` (postings-window queries) returns exactly
+//!      the pairs of the original full-instance scan;
+//!   3. `DepGraph::backward_slice` (CSR + bitset) equals a hash-set BFS
+//!      over the allocated dependence vectors;
+//!   4. `relevant_slice_jobs` equals `relevant_slice_naive` for
+//!      `jobs ∈ {1, 2, 4}`.
+//!
+//! This is the safety net under the ISSUE's perf tentpole: every index
+//! shortcut must be invisible in results.
+
+use omislice_analysis::ProgramAnalysis;
+use omislice_interp::{run_traced, RunConfig};
+use omislice_lang::{compile, Program};
+use omislice_slicing::{
+    potential_deps_by_var, potential_deps_by_var_naive, relevant_slice_jobs, relevant_slice_naive,
+    DepGraph, Slice,
+};
+use omislice_trace::{InstId, Trace};
+use proptest::prelude::*;
+use std::collections::{HashSet, VecDeque};
+
+// --- tiny structured-program generator ----------------------------------
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, usize, i8),
+    Print(usize),
+    If(usize, Vec<S>, Vec<S>),
+    While(u8, Vec<S>),
+}
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        ((0usize..3), (0usize..3), any::<i8>()).prop_map(|(d, u, k)| S::Assign(d, u, k)),
+        (0usize..3).prop_map(S::Print),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (
+                0usize..3,
+                prop::collection::vec(inner.clone(), 1..4),
+                prop::collection::vec(inner.clone(), 0..3),
+            )
+                .prop_map(|(v, t, e)| S::If(v, t, e)),
+            ((1u8..4), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(k, b)| S::While(k, b)),
+        ]
+    })
+}
+
+fn render(stmts: &[S], out: &mut String, counter: &mut usize) {
+    for s in stmts {
+        match s {
+            S::Assign(d, u, k) => {
+                out.push_str(&format!("{} = {} + {};\n", VARS[*d], VARS[*u], k));
+            }
+            S::Print(v) => out.push_str(&format!("print({});\n", VARS[*v])),
+            S::If(v, t, e) => {
+                out.push_str(&format!("if {} > 0 {{\n", VARS[*v]));
+                render(t, out, counter);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render(e, out, counter);
+                    out.push_str("}\n");
+                }
+            }
+            S::While(k, b) => {
+                let c = *counter;
+                *counter += 1;
+                out.push_str(&format!("let w{c} = 0;\nwhile w{c} < {k} {{\n"));
+                render(b, out, counter);
+                out.push_str(&format!("w{c} = w{c} + 1;\n}}\n"));
+            }
+        }
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    prop::collection::vec(stmt_strategy(), 1..8).prop_map(|stmts| {
+        let mut body = String::new();
+        let mut counter = 0;
+        render(&stmts, &mut body, &mut counter);
+        // A trailing print guarantees a slicing criterion.
+        body.push_str("print(a + b + c);\n");
+        let src = format!("global a = 1; global b = 2; global c = 3;\nfn main() {{\n{body}}}\n");
+        compile(&src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"))
+    })
+}
+
+/// Hash-set BFS over `backward_deps` vectors: the pre-CSR slice closure.
+fn backward_slice_naive(graph: &DepGraph<'_>, trace: &Trace, criterion: InstId) -> Slice {
+    let mut seen: HashSet<InstId> = HashSet::new();
+    let mut queue: VecDeque<InstId> = VecDeque::new();
+    seen.insert(criterion);
+    queue.push_back(criterion);
+    while let Some(i) = queue.pop_front() {
+        for d in graph.backward_deps(i) {
+            if seen.insert(d) {
+                queue.push_back(d);
+            }
+        }
+    }
+    Slice::from_insts(trace, seen)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn indexed_slicers_match_naive(
+        program in program_strategy(),
+        seed_inputs in prop::collection::vec(-2i64..3, 0..4),
+        pair_picks in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 8),
+    ) {
+        let analysis = ProgramAnalysis::build(&program);
+        let config = RunConfig::with_inputs(seed_inputs);
+        let run = run_traced(&program, &analysis, &config);
+        let trace = &run.trace;
+        prop_assert!(trace.termination().is_normal());
+        prop_assert!(!trace.is_empty());
+
+        // 1. cd_depends_on: indexed == parent-pointer walk on sampled
+        // pairs (and on every self pair).
+        for (iu, ip) in &pair_picks {
+            let u = InstId(iu.index(trace.len()) as u32);
+            let p = InstId(ip.index(trace.len()) as u32);
+            prop_assert_eq!(
+                trace.cd_depends_on(u, p),
+                trace.cd_depends_on_naive(u, p),
+                "cd_depends_on({}, {}) diverged", u, p
+            );
+            prop_assert!(!trace.cd_depends_on(u, u), "self-dependence at {}", u);
+        }
+
+        // 2. Potential dependences: postings windows == full scan, for
+        // every output use.
+        for o in trace.outputs() {
+            prop_assert_eq!(
+                potential_deps_by_var(trace, &analysis, o.inst),
+                potential_deps_by_var_naive(trace, &analysis, o.inst),
+                "potential deps diverged at {}", o.inst
+            );
+        }
+
+        // 3+4. Slices, across job counts.
+        let criterion = trace.outputs().last().expect("trailing print").inst;
+        let rs_ref = relevant_slice_naive(trace, &analysis, criterion);
+        for jobs in [1usize, 2, 4] {
+            let graph = DepGraph::with_jobs(trace, jobs);
+            let ds = graph.backward_slice(criterion);
+            prop_assert_eq!(
+                &ds,
+                &backward_slice_naive(&graph, trace, criterion),
+                "backward_slice diverged (jobs={})", jobs
+            );
+            let rs = relevant_slice_jobs(trace, &analysis, criterion, jobs);
+            prop_assert_eq!(&rs, &rs_ref, "relevant_slice diverged (jobs={})", jobs);
+        }
+    }
+}
+
+/// A loop long enough that the relevant-slice BFS frontier crosses the
+/// parallel-discovery threshold: the multi-threaded path must agree with
+/// the naive slicer too (the proptest programs above stay small and
+/// exercise only the serial path).
+#[test]
+fn parallel_frontier_matches_naive_on_large_trace() {
+    let src = "\
+        global x = 0;\
+        fn main() {\
+            let i = 0;\
+            while i < 2000 {\
+                if input() == 1 { x = i; }\
+                i = i + 1;\
+            }\
+            print(x);\
+        }";
+    let program = compile(src).unwrap();
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(vec![0; 2000]);
+    let run = run_traced(&program, &analysis, &config);
+    let trace = &run.trace;
+    assert!(trace.termination().is_normal());
+    let criterion = trace.outputs().last().unwrap().inst;
+    let expected = relevant_slice_naive(trace, &analysis, criterion);
+    for jobs in [1usize, 2, 4, 8] {
+        let got = relevant_slice_jobs(trace, &analysis, criterion, jobs);
+        assert_eq!(got, expected, "jobs={jobs}");
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod dot;
 pub mod event;
+pub mod index;
 pub mod outcome;
 pub mod region;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod value;
 
 pub use dot::{ddg_to_dot, regions_to_dot};
 pub use event::{Event, InstId, OutputRecord};
+pub use index::TraceIndex;
 pub use outcome::{CrashKind, RunOutcome};
 pub use region::RegionTree;
 pub use stats::{TraceStats, VerificationStats};

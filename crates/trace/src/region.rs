@@ -25,6 +25,10 @@ pub struct RegionTree {
     /// Position of each instance within its sibling list.
     child_index: Vec<u32>,
     roots: Vec<InstId>,
+    /// Euler-tour entry timestamps: `in_region` in O(1).
+    tin: Vec<u32>,
+    /// Euler-tour exit timestamps.
+    tout: Vec<u32>,
 }
 
 impl RegionTree {
@@ -56,11 +60,38 @@ impl RegionTree {
                 }
             }
         }
+        // Euler tour over the forest: one global clock gives disjoint
+        // timestamp intervals to separate top-level regions, making
+        // `in_region` a single interval-containment test.
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(InstId, usize)> = Vec::new();
+        for &r in &roots {
+            tin[r.index()] = clock;
+            clock += 1;
+            stack.push((r, 0));
+            while let Some(top) = stack.last_mut() {
+                let node = top.0;
+                if let Some(&c) = children[node.index()].get(top.1) {
+                    top.1 += 1;
+                    tin[c.index()] = clock;
+                    clock += 1;
+                    stack.push((c, 0));
+                } else {
+                    tout[node.index()] = clock;
+                    clock += 1;
+                    stack.pop();
+                }
+            }
+        }
         RegionTree {
             parent,
             children,
             child_index,
             roots,
+            tin,
+            tout,
         }
     }
 
@@ -105,20 +136,11 @@ impl RegionTree {
 
     /// Whether `inst` lies inside the region headed by `head`
     /// (`InRegion` in Algorithm 1): true when `inst == head` or `head`
-    /// is a nesting ancestor of `inst`.
+    /// is a nesting ancestor of `inst`. O(1) via Euler-tour timestamps
+    /// (non-strict containment, unlike the strict CD-ancestor test).
     pub fn in_region(&self, head: InstId, inst: InstId) -> bool {
-        let mut cur = Some(inst);
-        while let Some(c) = cur {
-            if c == head {
-                return true;
-            }
-            // Ancestors precede descendants; stop once we pass head.
-            if c < head {
-                return false;
-            }
-            cur = self.parent(c);
-        }
-        false
+        self.tin[head.index()] <= self.tin[inst.index()]
+            && self.tout[inst.index()] <= self.tout[head.index()]
     }
 
     /// The chain of nesting ancestors of `inst`, nearest first.
@@ -254,6 +276,10 @@ mod tests {
         assert_eq!(r.roots(), &[InstId(0), InstId(1)]);
         assert_eq!(r.next_sibling(InstId(0)), Some(InstId(1)));
         assert_eq!(r.render_all(&t), "1, [2,3]");
+        // Separate trees have disjoint timestamp intervals.
+        assert!(!r.in_region(InstId(0), InstId(1)));
+        assert!(!r.in_region(InstId(0), InstId(2)));
+        assert!(r.in_region(InstId(1), InstId(2)));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The execution trace: the dynamic dependence graph of one run.
 
 use crate::event::{Event, InstId, OutputRecord};
+use crate::index::TraceIndex;
 use crate::outcome::CrashKind;
 use crate::value::Value;
 use omislice_lang::StmtId;
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A complete execution trace.
 ///
@@ -18,6 +20,8 @@ pub struct Trace {
     outputs: Vec<OutputRecord>,
     by_stmt: HashMap<StmtId, Vec<InstId>>,
     termination: Termination,
+    /// Lazily built query index (Euler-tour CD timestamps + postings).
+    index: OnceLock<TraceIndex>,
 }
 
 /// How an execution ended.
@@ -63,7 +67,21 @@ impl Trace {
             outputs,
             by_stmt,
             termination,
+            index: OnceLock::new(),
         }
+    }
+
+    /// The query index over this trace, built serially on first use.
+    pub fn index(&self) -> &TraceIndex {
+        self.index.get_or_init(|| TraceIndex::build(self))
+    }
+
+    /// Eagerly builds the query index with up to `jobs` worker threads
+    /// (a no-op if the index already exists). The index contents are
+    /// identical for any `jobs`.
+    pub fn build_index(&self, jobs: usize) -> &TraceIndex {
+        self.index
+            .get_or_init(|| TraceIndex::build_with_jobs(self, jobs))
     }
 
     /// Number of statement instances.
@@ -146,8 +164,17 @@ impl Trace {
     }
 
     /// Whether `inst` is (transitively) dynamically control dependent on
-    /// `pred_inst`.
+    /// `pred_inst`. O(1) via the Euler-tour timestamps of
+    /// [`Trace::index`].
     pub fn cd_depends_on(&self, inst: InstId, pred_inst: InstId) -> bool {
+        self.index().cd_is_ancestor(pred_inst, inst)
+    }
+
+    /// Reference implementation of [`Trace::cd_depends_on`]: the original
+    /// parent-pointer walk. Kept as the oracle for the index equivalence
+    /// property tests.
+    #[doc(hidden)]
+    pub fn cd_depends_on_naive(&self, inst: InstId, pred_inst: InstId) -> bool {
         let mut cur = self.event(inst).cd_parent;
         while let Some(p) = cur {
             if p == pred_inst {
@@ -218,6 +245,12 @@ mod tests {
         assert!(t.cd_depends_on(InstId(3), InstId(2)));
         assert!(!t.cd_depends_on(InstId(3), InstId(0)));
         assert!(!t.cd_depends_on(InstId(0), InstId(0)));
+        // The indexed test agrees with the parent-pointer walk.
+        for u in t.insts() {
+            for p in t.insts() {
+                assert_eq!(t.cd_depends_on(u, p), t.cd_depends_on_naive(u, p));
+            }
+        }
     }
 
     #[test]
