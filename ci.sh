@@ -32,8 +32,11 @@ smoke() {
 
 # Benchmark smoke: a scale-10 sweep must complete without panicking and
 # must exercise the verifier's verdict memo — a sweep publishing
-# `cache_hits: 0` means the memo went dead again. Run standalone with
-# `./ci.sh bench-smoke`.
+# `cache_hits: 0` means the memo went dead again. The overhead guard
+# then pins the observability contract: the pipeline with the recorder
+# enabled must stay within 5% of the recorder-disabled run (so the
+# disabled product path cannot have drifted from the pre-obs code).
+# Run standalone with `./ci.sh bench-smoke`.
 bench_smoke() {
     echo "==> bench smoke (sweep --scales 10)"
     cargo build "${OFFLINE[@]}" --release -p omislice-bench
@@ -43,7 +46,39 @@ bench_smoke() {
         echo "bench smoke FAILED: sweep reports a dead verifier memo" >&2
         exit 1
     fi
+    if ! grep -q '"phases":{"trace_us":' "$out"; then
+        echo "bench smoke FAILED: sweep JSON lost the per-phase span columns" >&2
+        exit 1
+    fi
+    echo "==> recorder overhead guard"
+    ./target/release/overhead_guard
     echo "bench smoke OK"
+}
+
+# Observability smoke: a corpus locate with the journal and provenance
+# surfaces on must produce a schema-valid journal whose final pruned
+# slice contains the seeded root cause, and the provenance report must
+# name that root statement. Run standalone with `./ci.sh obs-smoke`.
+obs_smoke() {
+    echo "==> obs smoke (corpus locate --obs-out --explain + schema validation)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-cli -p omislice-obs
+    local journal=/tmp/omislice-obs-smoke.jsonl
+    local out=/tmp/omislice-obs-smoke.out
+    RUST_BACKTRACE=1 ./target/release/omislice corpus locate sed V3-F2 \
+        --obs-out "$journal" --explain >"$out"
+    # The CLI prints the seeded root as `  S<id> <source>` at the end.
+    local root
+    root=$(sed -n 's/^  \(S[0-9][0-9]*\) .*/\1/p' "$out" | tail -n 1)
+    if [ -z "$root" ]; then
+        echo "obs smoke FAILED: no seeded root statement in the locate output" >&2
+        exit 1
+    fi
+    ./target/release/validate_journal "$journal" --require-root "$root"
+    if ! awk '/=== slice provenance/,/^seeded root/' "$out" | grep -q " $root "; then
+        echo "obs smoke FAILED: provenance report omits the root cause $root" >&2
+        exit 1
+    fi
+    echo "obs smoke OK ($root captured)"
 }
 
 if [ "${1:-}" = "smoke" ]; then
@@ -52,6 +87,10 @@ if [ "${1:-}" = "smoke" ]; then
 fi
 if [ "${1:-}" = "bench-smoke" ]; then
     bench_smoke
+    exit 0
+fi
+if [ "${1:-}" = "obs-smoke" ]; then
+    obs_smoke
     exit 0
 fi
 
@@ -70,5 +109,7 @@ cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 smoke
 
 bench_smoke
+
+obs_smoke
 
 echo "CI OK"

@@ -62,6 +62,7 @@ impl ProgramAnalysis {
 
     /// Runs every analysis with an explicit potential-dependence mode.
     pub fn build_with(program: &Program, pd_mode: potential::PdMode) -> Self {
+        let _span = omislice_obs::span("analyze");
         let index = ProgramIndex::build(program);
         let cfgs = Cfg::build_all(program);
         let cds: HashMap<String, ControlDeps> = cfgs

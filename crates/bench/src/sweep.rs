@@ -78,6 +78,20 @@ pub struct Sample {
     pub graph_ns: u128,
     pub rs_ns: u128,
     pub verify: Option<VerifySample>,
+    pub phases: PhaseSample,
+}
+
+/// Per-phase wall time from the recorder's span histogram, measured in
+/// one dedicated instrumented pass so the timed sections above it run
+/// with the recorder off and stay comparable across PRs. Future perf
+/// work reads these columns to attribute a win to a phase instead of
+/// re-deriving the split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSample {
+    pub trace_ns: u64,
+    pub graph_ns: u64,
+    pub slice_ns: u64,
+    pub verify_ns: u64,
 }
 
 /// Verification-engine cost for the sample's batch: from scratch, resumed
@@ -191,6 +205,8 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 }
             });
 
+            let phases = instrumented_pass(&program, &analysis, &config, opts.jobs);
+
             samples.push(Sample {
                 benchmark: b.name.to_string(),
                 scale,
@@ -202,10 +218,45 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 graph_ns,
                 rs_ns,
                 verify,
+                phases,
             });
         }
     }
     samples
+}
+
+/// Re-runs the trace → graph → slice → verify pipeline once with the
+/// span recorder on and folds the drained histogram into a
+/// [`PhaseSample`]. Kept separate from the `timed_min` sections: those
+/// measure the recorder-off product path.
+fn instrumented_pass(
+    program: &omislice::omislice_lang::Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    jobs: usize,
+) -> PhaseSample {
+    omislice_obs::reset();
+    omislice_obs::set_enabled(true);
+    let run = run_traced(program, analysis, config);
+    run.trace.build_index(jobs);
+    let graph = DepGraph::with_jobs(&run.trace, jobs);
+    if let Some(last) = run.trace.outputs().last() {
+        let _ = relevant_slice_on(&graph, analysis, last.inst, jobs);
+    }
+    let requests = verify_batch(&run.trace, analysis, 16);
+    if !requests.is_empty() {
+        let mut v = Verifier::new(program, analysis, config, &run.trace, VerifierMode::Edge)
+            .with_resume(ResumeMode::Auto);
+        v.verify_all(&requests);
+    }
+    omislice_obs::set_enabled(false);
+    let report = omislice_obs::drain();
+    PhaseSample {
+        trace_ns: report.total_ns("trace"),
+        graph_ns: report.total_ns("graph"),
+        slice_ns: report.total_ns("slice"),
+        verify_ns: report.total_ns("verify"),
+    }
 }
 
 fn micros(ns: u128) -> String {
@@ -243,11 +294,19 @@ fn sample_json(s: &Sample) -> String {
             v.stats.resume_ratio(),
         ),
     };
+    let phases = format!(
+        "{{\"trace_us\":{},\"graph_us\":{},\"slice_us\":{},\"verify_us\":{}}}",
+        json_us(s.phases.trace_ns as u128),
+        json_us(s.phases.graph_ns as u128),
+        json_us(s.phases.slice_ns as u128),
+        json_us(s.phases.verify_ns as u128),
+    );
     format!(
         concat!(
             "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
             "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
-            "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},\"verify\":{}}}"
+            "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},",
+            "\"phases\":{},\"verify\":{}}}"
         ),
         s.benchmark,
         s.scale,
@@ -258,6 +317,7 @@ fn sample_json(s: &Sample) -> String {
         json_us(s.plain_ns),
         json_us(s.graph_ns),
         json_us(s.rs_ns),
+        phases,
         verify,
     )
 }

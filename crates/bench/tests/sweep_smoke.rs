@@ -34,8 +34,20 @@ fn sweep_scale10_hits_the_verifier_memo() {
     }
     assert!(verified_rows > 0, "no row exercised the verifier");
 
+    for s in &samples {
+        assert!(
+            s.phases.trace_ns > 0 && s.phases.graph_ns > 0,
+            "{}: instrumented pass produced no phase spans",
+            s.benchmark
+        );
+    }
+
     let json = to_json(&samples);
     assert!(json.contains("\"cache_hits\":"), "JSON drops the memo stat");
+    assert!(
+        json.contains("\"phases\":{\"trace_us\":"),
+        "JSON drops the phase columns"
+    );
     assert!(
         !json.contains("\"cache_hits\":0,"),
         "published JSON would report a dead memo"

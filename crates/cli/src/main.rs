@@ -20,9 +20,13 @@ use omislice::omislice_analysis::ProgramAnalysis;
 use omislice::omislice_interp::{run_plain, run_traced, BudgetSchedule, FaultPlan, RunConfig};
 use omislice::omislice_lang::{compile, printer::stmt_head, Program};
 use omislice::omislice_slicing::{relevant_slice_jobs, DepGraph, Slice, ValueProfile};
-use omislice::omislice_trace::{RegionTree, Trace};
-use omislice::{describe_inst, locate_fault, GroundTruthOracle, LocateConfig, VerifierMode};
+use omislice::omislice_trace::{RegionTree, Trace, TraceStats};
+use omislice::{
+    build_journal, describe_inst, locate_fault, render_explain, GroundTruthOracle, JournalMeta,
+    LocateConfig, LocateOutcome, VerifierMode,
+};
 use omislice_corpus::all_benchmarks;
+use omislice_obs::{MetricSet, Reporter, SpanReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,9 +34,10 @@ fn main() -> ExitCode {
     match run(args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("omislice: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
+            let mut rep = Reporter::stderr();
+            rep.line(&format!("omislice: {msg}"));
+            rep.line("");
+            rep.line(USAGE);
             ExitCode::FAILURE
         }
     }
@@ -48,10 +53,12 @@ const USAGE: &str = "usage:
                    [--jobs N] [--no-resume] [--stats]
                    [--budget init[:factor[:attempts]]|off]
                    [--fault-plan S<id>[:occ]=<action>]
+                   [--obs-out <file.jsonl>] [--explain] [--metrics text|json]
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
   omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume]
-                   [--stats] [--budget ...] [--fault-plan ...]]
+                   [--stats] [--budget ...] [--fault-plan ...]
+                   [--obs-out <file.jsonl>] [--explain] [--metrics text|json]]
 
 fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
 uninit, budget, panic, corrupt-checkpoint";
@@ -144,10 +151,10 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
         println!("{v}");
     }
     if result.input_underflows > 0 {
-        eprintln!(
-            "omislice: warning: {} input() call(s) ran past the end of the input stream (yielded 0)",
+        Reporter::stderr().warn(&format!(
+            "{} input() call(s) ran past the end of the input stream (yielded 0)",
             result.input_underflows
-        );
+        ));
     }
     if !result.is_normal() {
         return Err(format!(
@@ -170,7 +177,9 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     let run = run_traced(&program, &analysis, &config);
     let trace = &run.trace;
     if opts.has("stats") {
-        print!("{}", omislice::omislice_trace::TraceStats::compute(trace));
+        let mut rep = Reporter::stderr();
+        rep.section("trace statistics");
+        rep.block(&TraceStats::compute(trace).to_string());
         return Ok(());
     }
     if opts.has("regions") {
@@ -330,6 +339,206 @@ fn parse_fault_plan(text: Option<&str>) -> Result<Option<FaultPlan>, String> {
     text.map(FaultPlan::parse).transpose()
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// The observability switches shared by `locate` and `corpus locate`.
+struct ObsOpts {
+    obs_out: Option<String>,
+    explain: bool,
+    metrics: Option<MetricsFormat>,
+}
+
+impl ObsOpts {
+    fn parse(opts: &Opts) -> Result<ObsOpts, String> {
+        let metrics = match opts.value("metrics") {
+            None => None,
+            Some("text") => Some(MetricsFormat::Text),
+            Some("json") => Some(MetricsFormat::Json),
+            Some(other) => {
+                return Err(format!("unknown --metrics format `{other}` (text|json)"));
+            }
+        };
+        Ok(ObsOpts {
+            obs_out: opts.value("obs-out").map(str::to_string),
+            explain: opts.has("explain"),
+            metrics,
+        })
+    }
+
+    /// Whether the span recorder needs to run at all.
+    fn recording(&self) -> bool {
+        self.obs_out.is_some() || self.metrics.is_some()
+    }
+
+    /// Turns the recorder on (before the pipeline starts, so parse and
+    /// analyze spans are captured too).
+    fn start_recorder(&self) {
+        if self.recording() {
+            omislice_obs::reset();
+            omislice_obs::set_enabled(true);
+        }
+    }
+
+    /// Turns the recorder off and collects what it saw.
+    fn stop_recorder(&self) -> Option<SpanReport> {
+        if self.recording() {
+            omislice_obs::set_enabled(false);
+            Some(omislice_obs::drain())
+        } else {
+            None
+        }
+    }
+
+    /// Routes the human-readable body: stdout normally, stderr when
+    /// `--metrics` owns stdout.
+    fn emit_human(&self, text: &str) {
+        if self.metrics.is_some() {
+            let mut rep = Reporter::stderr();
+            for line in text.lines() {
+                rep.line(line);
+            }
+        } else {
+            print!("{text}");
+        }
+    }
+
+    /// Prints the metric set to stdout in the requested format.
+    fn emit_metrics(&self, set: &MetricSet) {
+        match self.metrics {
+            Some(MetricsFormat::Text) => print!("{}", set.to_prometheus()),
+            Some(MetricsFormat::Json) => println!("{}", set.to_json()),
+            None => {}
+        }
+    }
+}
+
+/// Writes the locate journal as JSONL to `path`.
+fn write_journal_file(
+    path: &str,
+    meta: &JournalMeta,
+    lc: &LocateConfig,
+    outcome: &LocateOutcome,
+    trace: &Trace,
+    spans: Option<&SpanReport>,
+) -> Result<(), String> {
+    let records = build_journal(meta, lc, outcome, trace, spans);
+    let f = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
+    omislice_obs::write_jsonl(std::io::BufWriter::new(f), &records)
+        .map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Folds trace, locate, and verification counters — plus span
+/// aggregates when the recorder ran — into one exportable set.
+fn locate_metrics(trace: &Trace, outcome: &LocateOutcome, spans: Option<&SpanReport>) -> MetricSet {
+    let mut set = MetricSet::new();
+    let ts = TraceStats::compute(trace);
+    set.push(
+        "trace_instances",
+        "Instances in the failing trace",
+        ts.instances as f64,
+    );
+    set.push(
+        "trace_unique_stmts",
+        "Distinct statements executed",
+        ts.unique_stmts as f64,
+    );
+    set.push(
+        "trace_predicate_instances",
+        "Predicate instances in the failing trace",
+        ts.predicate_instances as f64,
+    );
+    set.push(
+        "trace_data_edges",
+        "Dynamic data-dependence edges",
+        ts.data_edges as f64,
+    );
+    set.push(
+        "trace_control_edges",
+        "Dynamic control-dependence edges",
+        ts.control_edges as f64,
+    );
+    set.push("trace_outputs", "Output events", ts.outputs as f64);
+    set.push(
+        "locate_found",
+        "1 when the root cause landed in the IPS",
+        u8::from(outcome.found) as f64,
+    );
+    set.push(
+        "locate_iterations",
+        "Algorithm 2 iterations",
+        outcome.iterations as f64,
+    );
+    set.push(
+        "locate_expanded_edges",
+        "Verified implicit edges added",
+        outcome.expanded_edges as f64,
+    );
+    set.push(
+        "locate_strong_edges",
+        "Strong implicit edges among them",
+        outcome.strong_edges as f64,
+    );
+    set.push(
+        "locate_ips_static",
+        "Statements in the final IPS",
+        outcome.ips.static_size() as f64,
+    );
+    set.push(
+        "locate_ips_dynamic",
+        "Instances in the final IPS",
+        outcome.ips.dynamic_size() as f64,
+    );
+    let vs = &outcome.stats;
+    set.push(
+        "verify_requests",
+        "VerifyDep invocations",
+        vs.verifications as f64,
+    );
+    set.push(
+        "verify_cache_hits",
+        "Verifications answered from cache",
+        vs.cache_hits as f64,
+    );
+    set.push(
+        "verify_reexecutions",
+        "Switched re-executions",
+        vs.reexecutions as f64,
+    );
+    set.push(
+        "verify_resumed_runs",
+        "Re-executions resumed from a checkpoint",
+        vs.resumed_runs as f64,
+    );
+    set.push(
+        "verify_steps_saved",
+        "Interpreter steps skipped by resuming",
+        vs.steps_saved as f64,
+    );
+    set.push(
+        "verify_budget_retries",
+        "Budget escalation retries",
+        vs.budget_retries as f64,
+    );
+    set.push(
+        "verify_crashed_runs",
+        "Switched runs that crashed (isolated)",
+        vs.crashed_runs as f64,
+    );
+    set.push(
+        "verify_panics_isolated",
+        "Interpreter panics contained",
+        vs.panics_isolated as f64,
+    );
+    if let Some(report) = spans {
+        set.push_spans(report);
+    }
+    set
+}
+
 fn cmd_locate(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(
         args,
@@ -342,10 +551,14 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
             "jobs",
             "budget",
             "fault-plan",
+            "obs-out",
+            "metrics",
         ],
     )?;
+    let obs = ObsOpts::parse(&opts)?;
     let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
     let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
+    obs.start_recorder();
     let faulty = load_program(faulty_path)?;
     let fixed = load_program(fixed_path)?;
     let inputs = parse_inputs(opts.value("input"))?;
@@ -385,16 +598,34 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
     };
     let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
         .map_err(|e| e.to_string())?;
-    println!("{}", omislice::render_report(&outcome, &trace, &analysis));
-    if opts.has("stats") {
-        println!("verification engine:");
-        print!("{}", outcome.stats);
+    let spans = obs.stop_recorder();
+    if let Some(path) = &obs.obs_out {
+        let meta = JournalMeta {
+            program: faulty_path.to_string(),
+        };
+        write_journal_file(path, &meta, &lc, &outcome, &trace, spans.as_ref())?;
     }
-    println!("seeded root statement(s):");
+
+    let mut human = omislice::render_report(&outcome, &trace, &analysis);
+    human.push('\n');
+    if obs.explain {
+        human.push_str(&render_explain(&outcome, &trace, &analysis));
+        human.push('\n');
+    }
+    human.push_str("seeded root statement(s):\n");
     for r in roots {
         if let Some(stmt) = faulty.stmt(r) {
-            println!("  {} {}", r, stmt_head(stmt));
+            human.push_str(&format!("  {r} {}\n", stmt_head(stmt)));
         }
+    }
+    obs.emit_human(&human);
+    if opts.has("stats") {
+        let mut rep = Reporter::stderr();
+        rep.section("verification engine");
+        rep.block(&outcome.stats.to_string());
+    }
+    if obs.metrics.is_some() {
+        obs.emit_metrics(&locate_metrics(&trace, &outcome, spans.as_ref()));
     }
     Ok(())
 }
@@ -486,7 +717,10 @@ fn cmd_verify(args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["jobs", "budget", "fault-plan"])?;
+    let opts = Opts::parse(
+        args,
+        &["jobs", "budget", "fault-plan", "obs-out", "metrics"],
+    )?;
     match opts.positional.first().map(String::as_str) {
         None | Some("list") => {
             for b in all_benchmarks() {
@@ -519,6 +753,8 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
             let fault = bench
                 .fault(fault_id)
                 .ok_or_else(|| format!("no fault `{fault_id}` in `{bench_name}`"))?;
+            let obs = ObsOpts::parse(&opts)?;
+            obs.start_recorder();
             let session = bench.session(fault).map_err(|e| e.to_string())?;
             let lc = LocateConfig {
                 jobs: parse_jobs(opts.value("jobs"))?,
@@ -532,17 +768,39 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 ..LocateConfig::default()
             };
             let outcome = session.locate(&lc).map_err(|e| e.to_string())?;
-            println!("{}", session.report(&outcome));
-            if opts.has("stats") {
-                println!("verification engine:");
-                print!("{}", outcome.stats);
+            let spans = obs.stop_recorder();
+            if let Some(path) = &obs.obs_out {
+                let meta = JournalMeta {
+                    program: format!("{bench_name}:{fault_id}"),
+                };
+                write_journal_file(path, &meta, &lc, &outcome, session.trace(), spans.as_ref())?;
+            }
+
+            let mut human = session.report(&outcome);
+            human.push('\n');
+            if obs.explain {
+                human.push_str(&render_explain(
+                    &outcome,
+                    session.trace(),
+                    session.analysis(),
+                ));
+                human.push('\n');
             }
             let prepared = bench.prepare(fault).map_err(|e| e.to_string())?;
-            println!("seeded root statement(s):");
+            human.push_str("seeded root statement(s):\n");
             for r in prepared.roots {
                 if let Some(stmt) = prepared.faulty.stmt(r) {
-                    println!("  {} {}", r, stmt_head(stmt));
+                    human.push_str(&format!("  {r} {}\n", stmt_head(stmt)));
                 }
+            }
+            obs.emit_human(&human);
+            if opts.has("stats") {
+                let mut rep = Reporter::stderr();
+                rep.section("verification engine");
+                rep.block(&outcome.stats.to_string());
+            }
+            if obs.metrics.is_some() {
+                obs.emit_metrics(&locate_metrics(session.trace(), &outcome, spans.as_ref()));
             }
             Ok(())
         }

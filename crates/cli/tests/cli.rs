@@ -157,7 +157,10 @@ fn trace_stats_summarizes() {
     let path = write_temp("stats", FIXED);
     let out = omislice(&["trace", path.to_str().unwrap(), "--input", "1", "--stats"]);
     assert!(out.status.success());
-    let text = String::from_utf8_lossy(&out.stdout);
+    // Stats are human diagnostics: they go to stderr, stdout stays
+    // machine-clean.
+    assert!(out.stdout.is_empty(), "stdout should stay machine-clean");
+    let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("instances        : 5"), "{text}");
     assert!(text.contains("outputs          : 1"));
 }
@@ -274,7 +277,7 @@ fn locate_survives_fault_injection_and_reports_isolation() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let text = String::from_utf8_lossy(&out.stdout);
+    let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("panics isolated"), "{text}");
     let bad = omislice(&[
         "locate",
@@ -307,11 +310,119 @@ fn corpus_locate_accepts_budget_and_fault_plan() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let text = String::from_utf8_lossy(&out.stdout);
+    let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("run outcomes"), "{text}");
     assert!(text.contains("escalations"), "{text}");
     let bad = omislice(&["corpus", "locate", "sed", "V3-F2", "--budget", "x:y"]);
     assert!(!bad.status.success());
+}
+
+#[test]
+fn locate_writes_journal_and_explains() {
+    let fixed = write_temp("fixed4", FIXED);
+    let faulty = write_temp("faulty4", FAULTY);
+    let journal = std::env::temp_dir()
+        .join("omislice-cli-tests")
+        .join(format!("journal-{}.jsonl", std::process::id()));
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--obs-out",
+        journal.to_str().unwrap(),
+        "--explain",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slice provenance"), "{text}");
+    assert!(text.contains("the wrong output o*"), "{text}");
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    assert!(jsonl.contains("\"type\":\"header\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"iteration\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"summary\""), "{jsonl}");
+    assert!(jsonl.contains("\"type\":\"spans\""), "{jsonl}");
+}
+
+#[test]
+fn locate_metrics_own_stdout() {
+    let fixed = write_temp("fixed5", FIXED);
+    let faulty = write_temp("faulty5", FAULTY);
+    let base: Vec<&str> = vec![
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+    ];
+    let mut text_args = base.clone();
+    text_args.extend(["--metrics", "text"]);
+    let out = omislice(&text_args);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# TYPE omislice_locate_found gauge"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("omislice_locate_found 1"), "{stdout}");
+    assert!(stdout.contains("omislice_span_verify_count"), "{stdout}");
+    // The human report moved to stderr so stdout is pure metrics.
+    assert!(!stdout.contains("root cause captured"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("root cause captured : yes"), "{stderr}");
+
+    let mut json_args = base;
+    json_args.extend(["--metrics", "json"]);
+    let out = omislice(&json_args);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"locate_found\":1"), "{stdout}");
+
+    let bad = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--metrics",
+        "xml",
+    ]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn corpus_locate_supports_obs_flags() {
+    let journal = std::env::temp_dir()
+        .join("omislice-cli-tests")
+        .join(format!("corpus-journal-{}.jsonl", std::process::id()));
+    let out = omislice(&[
+        "corpus",
+        "locate",
+        "sed",
+        "V3-F2",
+        "--obs-out",
+        journal.to_str().unwrap(),
+        "--explain",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("slice provenance"), "{text}");
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    assert!(jsonl.contains("\"program\":\"sed:V3-F2\""), "{jsonl}");
 }
 
 #[test]

@@ -102,11 +102,19 @@ pub(crate) fn run_traced_capturing(
         capture_specs,
         captured: Vec::new(),
     };
+    // The recorder guard sits outside the event-append loop: one
+    // `enabled()` check and one counter flush per run, never per event.
+    let span = omislice_obs::span("trace");
     let termination = match t.run_main() {
         Ok(()) => Termination::Normal,
         Err(Stop::Budget) => Termination::BudgetExhausted,
         Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
+    if omislice_obs::enabled() {
+        omislice_obs::counter_add("tracer.events", t.events.len() as u64);
+        omislice_obs::counter_add("tracer.runs", 1);
+    }
+    drop(span);
     let run = TracedRun {
         trace: Trace::from_parts(t.events, t.outputs, termination),
         switched: t.switched,

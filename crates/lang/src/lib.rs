@@ -79,6 +79,7 @@ pub use span::{SourceMap, Span};
 /// # }
 /// ```
 pub fn compile(source: &str) -> Result<Program, FrontendError> {
+    let _span = omislice_obs::span("parse");
     let program = parse_program(source)?;
     check_program(&program)?;
     Ok(program)

@@ -1,0 +1,88 @@
+//! Validates a locate event journal against the omislice-obs schema.
+//!
+//! ```text
+//! validate_journal <journal.jsonl> [--require-root S<id>]
+//! ```
+//!
+//! Exits 0 when every record validates (and, with `--require-root`, when
+//! some iteration added a verified edge landing on the given root-cause
+//! statement). Exits 1 with a diagnostic otherwise. CI's `obs-smoke`
+//! gate runs this against a fresh `locate --obs-out` journal.
+
+use omislice_obs::journal::Validator;
+use omislice_obs::json::{parse, Json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_journal: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut path = None;
+    let mut require_root: Option<i64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require-root" => {
+                let v = it.next().ok_or("--require-root needs a value")?;
+                let id: i64 = v
+                    .trim_start_matches('S')
+                    .parse()
+                    .map_err(|_| format!("bad --require-root `{v}`"))?;
+                require_root = Some(id);
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("usage: validate_journal <journal.jsonl> [--require-root S<id>]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let v = Validator::check_document(&text).map_err(|e| format!("{path}: {e}"))?;
+
+    if let Some(root) = require_root {
+        if !journal_captures_root(&text, root)? {
+            return Err(format!(
+                "{path}: the journal's final pruned slice does not contain root statement S{root}"
+            ));
+        }
+    }
+
+    Ok(format!(
+        "{path}: OK ({} records, {} iterations)",
+        v.records(),
+        v.iterations()
+    ))
+}
+
+/// Whether the summary record's final pruned slice (`ips_stmts`) holds
+/// the given root statement and reports the run as found.
+fn journal_captures_root(text: &str, root: i64) -> Result<bool, String> {
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = parse(line).map_err(|e| e.to_string())?;
+        if record.get("type").and_then(Json::as_str) != Some("summary") {
+            continue;
+        }
+        let found = record.get("found") == Some(&Json::Bool(true));
+        let in_ips = record
+            .get("ips_stmts")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .any(|s| s.as_int() == Some(root));
+        return Ok(found && in_ips);
+    }
+    Ok(false)
+}

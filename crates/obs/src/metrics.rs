@@ -1,0 +1,179 @@
+//! Metrics exporters: Prometheus-style text and JSON.
+//!
+//! A [`MetricSet`] is an ordered list of named numeric values with help
+//! strings. Producers fold whatever counters they have —
+//! `TraceStats`, `VerificationStats`, recorder counters, span
+//! aggregates — into one set; the exporters render it without knowing
+//! where the numbers came from (keeping this crate a leaf).
+
+use crate::json::Json;
+use crate::span::SpanReport;
+use std::fmt::Write as _;
+
+/// One exported metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name; exported with the `omislice_` prefix.
+    pub name: String,
+    /// One-line description for the `# HELP` header.
+    pub help: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// An ordered collection of metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Appends a counter-style metric.
+    pub fn push(&mut self, name: impl Into<String>, help: impl Into<String>, value: f64) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            help: help.into(),
+            value,
+        });
+    }
+
+    /// The metrics in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Folds a recorder report in: per-span-name `count`/`total_ns`/
+    /// `min_ns`/`max_ns` gauges plus every recorder counter.
+    pub fn push_spans(&mut self, report: &SpanReport) {
+        for (name, agg) in report.histogram() {
+            let base = format!("span_{}", sanitize(name));
+            self.push(
+                format!("{base}_count"),
+                format!("Closed `{name}` spans"),
+                agg.count as f64,
+            );
+            self.push(
+                format!("{base}_total_ns"),
+                format!("Summed wall time of `{name}` spans"),
+                agg.total_ns as f64,
+            );
+            self.push(
+                format!("{base}_min_ns"),
+                format!("Shortest `{name}` span"),
+                agg.min_ns as f64,
+            );
+            self.push(
+                format!("{base}_max_ns"),
+                format!("Longest `{name}` span"),
+                agg.max_ns as f64,
+            );
+        }
+        for (name, n) in &report.counters {
+            self.push(
+                format!("counter_{}", sanitize(name)),
+                format!("Recorder counter `{name}`"),
+                *n as f64,
+            );
+        }
+    }
+
+    /// Renders the set as Prometheus exposition text.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = format!("omislice_{}", sanitize(&m.name));
+            let _ = writeln!(out, "# HELP {name} {}", m.help);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if m.value.fract() == 0.0 && m.value.abs() < 1e15 {
+                let _ = writeln!(out, "{name} {}", m.value as i64);
+            } else {
+                let _ = writeln!(out, "{name} {}", m.value);
+            }
+        }
+        out
+    }
+
+    /// Renders the set as one JSON object (`{"name": value, ...}`).
+    pub fn to_json(&self) -> Json {
+        Json::Object(
+            self.metrics
+                .iter()
+                .map(|m| {
+                    let v = if m.value.fract() == 0.0
+                        && m.value.abs() < 9e15
+                        && m.value >= i64::MIN as f64
+                    {
+                        Json::Int(m.value as i64)
+                    } else {
+                        Json::Float(m.value)
+                    };
+                    (m.name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Maps arbitrary metric names onto the Prometheus charset.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{drain, reset, set_enabled, span};
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut set = MetricSet::new();
+        set.push("verifications", "VerifyDep invocations", 12.0);
+        set.push("resume.ratio", "Share of runs resumed", 0.75);
+        let text = set.to_prometheus();
+        assert!(text.contains("# HELP omislice_verifications VerifyDep invocations"));
+        assert!(text.contains("# TYPE omislice_verifications gauge"));
+        assert!(text.contains("omislice_verifications 12"));
+        assert!(text.contains("omislice_resume_ratio 0.75"));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let mut set = MetricSet::new();
+        set.push("a", "", 3.0);
+        set.push("b", "", 0.5);
+        let v = set.to_json();
+        assert_eq!(v.get("a"), Some(&Json::Int(3)));
+        assert_eq!(v.get("b"), Some(&Json::Float(0.5)));
+        crate::json::parse(&v.to_string()).unwrap();
+    }
+
+    #[test]
+    fn folds_span_report() {
+        let _g = crate::span::tests::test_guard();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("trace");
+        }
+        set_enabled(false);
+        let report = drain();
+        let mut set = MetricSet::new();
+        set.push_spans(&report);
+        let text = set.to_prometheus();
+        assert!(text.contains("omislice_span_trace_count 1"));
+        assert!(text.contains("omislice_span_trace_total_ns"));
+    }
+}

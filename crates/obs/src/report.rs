@@ -1,0 +1,77 @@
+//! The one stderr reporter for human-readable diagnostics.
+//!
+//! Everything a command prints *for a human* — `--stats` tables,
+//! warnings, progress notes — goes through a [`Reporter`] so stdout
+//! stays machine-clean (slices, reports, JSON, metrics only). The
+//! reporter writes sectioned `key : value` lines in the same visual
+//! style the stats `Display` impls already use.
+
+use std::io::Write;
+
+/// Writes human-readable observability output to one sink (stderr by
+/// default).
+pub struct Reporter<W: Write> {
+    out: W,
+}
+
+impl Reporter<std::io::Stderr> {
+    /// The standard reporter: stderr.
+    pub fn stderr() -> Self {
+        Reporter {
+            out: std::io::stderr(),
+        }
+    }
+}
+
+impl<W: Write> Reporter<W> {
+    /// A reporter over any sink (tests use a `Vec<u8>`).
+    pub fn new(out: W) -> Self {
+        Reporter { out }
+    }
+
+    /// Starts a titled section.
+    pub fn section(&mut self, title: &str) {
+        let _ = writeln!(self.out, "{title}:");
+    }
+
+    /// Writes one preformatted block (e.g. a stats `Display` output),
+    /// indented two spaces per line.
+    pub fn block(&mut self, text: &str) {
+        for line in text.lines() {
+            let _ = writeln!(self.out, "  {line}");
+        }
+    }
+
+    /// Writes one line verbatim.
+    pub fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text}");
+    }
+
+    /// Writes a warning with the tool prefix.
+    pub fn warn(&mut self, text: &str) {
+        let _ = writeln!(self.out, "omislice: warning: {text}");
+    }
+
+    /// Consumes the reporter, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_blocks_and_warnings() {
+        let mut r = Reporter::new(Vec::new());
+        r.section("verification engine");
+        r.block("verifications : 3\ncache hits : 1");
+        r.warn("2 input() call(s) ran past the end of the input stream");
+        let text = String::from_utf8(r.into_inner()).unwrap();
+        assert_eq!(
+            text,
+            "verification engine:\n  verifications : 3\n  cache hits : 1\nomislice: warning: 2 input() call(s) ran past the end of the input stream\n"
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Hierarchical span timing with a global on/off switch.
+//!
+//! The recorder is a process-wide static that is **disabled by default**.
+//! Every instrumentation site first asks [`enabled`] — a single relaxed
+//! atomic load — so a disabled recorder compiles the hot paths down to
+//! near-no-ops. When enabled, spans and counters append to a per-thread
+//! buffer with no cross-thread synchronization; buffers register
+//! themselves once per thread and [`drain`] merges them
+//! deterministically (sorted by start time, then by longest-first, then
+//! by name), so the merged view does not depend on which thread
+//! finished last.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the recorder is currently capturing spans and counters.
+///
+/// This is the guard every hot path checks; it is one relaxed atomic
+/// load, so leaving the recorder disabled costs nothing measurable.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder on or off. Spans opened while enabled still close
+/// correctly after a disable.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide monotonic time base: all span timestamps are
+/// nanoseconds since the first observation.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The phase name (`"parse"`, `"verify"`, …).
+    pub name: &'static str,
+    /// A per-candidate or per-iteration index, when the span is one of a
+    /// family (e.g. the per-candidate children under `verify`).
+    pub index: Option<u64>,
+    /// Nesting depth within this thread (0 = top level).
+    pub depth: u32,
+    /// Registration ordinal of the recording thread.
+    pub thread: u32,
+    /// Start, nanoseconds since the recorder epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the recorder epoch.
+    pub end_ns: u64,
+}
+
+#[derive(Default)]
+struct LocalBuf {
+    spans: Vec<SpanRecord>,
+    counters: Vec<(&'static str, u64)>,
+    open_depth: u32,
+}
+
+struct ThreadSlot {
+    ordinal: u32,
+    buf: Mutex<LocalBuf>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_ORDINAL: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static SLOT: RefCell<Option<Arc<ThreadSlot>>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(u32, &mut LocalBuf) -> R) -> R {
+    SLOT.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let slot = slot.get_or_insert_with(|| {
+            let s = Arc::new(ThreadSlot {
+                ordinal: NEXT_ORDINAL.fetch_add(1, Ordering::Relaxed),
+                buf: Mutex::new(LocalBuf::default()),
+            });
+            registry().lock().unwrap().push(Arc::clone(&s));
+            s
+        });
+        // Uncontended in steady state: only drain() ever takes the lock
+        // from another thread.
+        let mut buf = slot.buf.lock().unwrap();
+        f(slot.ordinal, &mut buf)
+    })
+}
+
+/// RAII guard for one span; records the span on drop. Inert (and free)
+/// when the recorder was disabled at open time.
+pub struct SpanGuard {
+    open: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    index: Option<u64>,
+    depth: u32,
+    thread: u32,
+    start_ns: u64,
+}
+
+/// Opens a span named `name`. Returns an inert guard when the recorder
+/// is disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_indexed(name, None)
+}
+
+/// Opens a span that is one of a family (`verify.candidate` #i).
+#[inline]
+pub fn span_indexed(name: &'static str, index: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { open: None };
+    }
+    let (depth, thread) = with_local(|ordinal, buf| {
+        let d = buf.open_depth;
+        buf.open_depth += 1;
+        (d, ordinal)
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            name,
+            index,
+            depth,
+            thread,
+            start_ns: now_ns(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        with_local(|_, buf| {
+            buf.open_depth = buf.open_depth.saturating_sub(1);
+            buf.spans.push(SpanRecord {
+                name: open.name,
+                index: open.index,
+                depth: open.depth,
+                thread: open.thread,
+                start_ns: open.start_ns,
+                end_ns,
+            });
+        });
+    }
+}
+
+/// Adds `n` to the named counter. Call sites on hot paths should batch
+/// (one call per run or chunk, not per event) and guard with
+/// [`enabled`]; the function itself is also a no-op when disabled.
+#[inline]
+pub fn counter_add(name: &'static str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_local(|_, buf| {
+        if let Some(slot) = buf.counters.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 += n;
+        } else {
+            buf.counters.push((name, n));
+        }
+    });
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanAgg {
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest instance, nanoseconds.
+    pub min_ns: u64,
+    /// Longest instance, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Everything the recorder captured since the last drain.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// Closed spans, merged deterministically across threads.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals, sorted by name.
+    pub counters: BTreeMap<&'static str, u64>,
+}
+
+impl SpanReport {
+    /// Per-name aggregates (count/total/min/max), sorted by name.
+    pub fn histogram(&self) -> BTreeMap<&'static str, SpanAgg> {
+        let mut out: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+        for s in &self.spans {
+            let dur = s.end_ns.saturating_sub(s.start_ns);
+            let agg = out.entry(s.name).or_insert(SpanAgg {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            agg.count += 1;
+            agg.total_ns += dur;
+            agg.min_ns = agg.min_ns.min(dur);
+            agg.max_ns = agg.max_ns.max(dur);
+        }
+        out
+    }
+
+    /// Total wall time of spans named `name`, nanoseconds.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.end_ns.saturating_sub(s.start_ns))
+            .sum()
+    }
+}
+
+/// Collects and clears every thread's buffer. The merge order is
+/// deterministic for a fixed set of recorded spans: sorted by start
+/// time, then longest first, then by name, then by thread ordinal.
+pub fn drain() -> SpanReport {
+    let slots: Vec<Arc<ThreadSlot>> = registry().lock().unwrap().clone();
+    let mut spans = Vec::new();
+    let mut counters: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for slot in slots {
+        let mut buf = slot.buf.lock().unwrap();
+        spans.append(&mut buf.spans);
+        for (name, n) in buf.counters.drain(..) {
+            *counters.entry(name).or_insert(0) += n;
+        }
+    }
+    spans.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.end_ns.cmp(&a.end_ns))
+            .then(a.name.cmp(b.name))
+            .then(a.thread.cmp(&b.thread))
+    });
+    SpanReport { spans, counters }
+}
+
+/// Discards everything captured so far without reporting it.
+pub fn reset() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // The recorder is process-global; every test serializes on this lock
+    // so enable/drain cycles do not interleave. Tests in other modules of
+    // this crate must do the same via `test_guard()`.
+    pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let _g = test_guard();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("parse");
+            counter_add("tracer.events", 10);
+        }
+        let report = drain();
+        assert!(report.spans.is_empty());
+        assert!(report.counters.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_merge() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("verify");
+            for i in 0..3u64 {
+                let _inner = span_indexed("verify.candidate", Some(i));
+            }
+        }
+        counter_add("frontier.claims", 2);
+        counter_add("frontier.claims", 3);
+        set_enabled(false);
+        let report = drain();
+        assert_eq!(report.spans.len(), 4);
+        let outer = report.spans.iter().find(|s| s.name == "verify").unwrap();
+        assert_eq!(outer.depth, 0);
+        let inner: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.name == "verify.candidate")
+            .collect();
+        assert_eq!(inner.len(), 3);
+        for s in &inner {
+            assert_eq!(s.depth, 1);
+            assert!(s.start_ns >= outer.start_ns && s.end_ns <= outer.end_ns);
+        }
+        assert_eq!(report.counters.get("frontier.claims"), Some(&5));
+        let hist = report.histogram();
+        assert_eq!(hist["verify.candidate"].count, 3);
+        assert!(hist["verify"].total_ns >= hist["verify.candidate"].total_ns);
+        assert!(report.total_ns("verify") >= 1);
+    }
+
+    #[test]
+    fn threads_merge_deterministically() {
+        let _g = test_guard();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _sp = span("worker");
+                    counter_add("work", 1);
+                });
+            }
+        });
+        set_enabled(false);
+        let report = drain();
+        assert_eq!(report.spans.len(), 4);
+        assert_eq!(report.counters.get("work"), Some(&4));
+        // Sorted by start time.
+        for w in report.spans.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+    }
+}

@@ -57,6 +57,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod journal;
 pub mod locate;
 pub mod oracle;
 pub mod perturb;
@@ -65,12 +66,14 @@ pub mod session;
 pub mod switching;
 pub mod verify;
 
+pub use journal::{build_journal, JournalMeta};
 pub use locate::{
-    locate_fault, ChainEdge, ChainEdgeKind, LocateConfig, LocateError, LocateOutcome,
+    locate_fault, ChainEdge, ChainEdgeKind, EdgeRecord, IterationRecord, LocateConfig, LocateError,
+    LocateOutcome, ProvenanceEntry, RequestPhase, RequestRecord,
 };
 pub use oracle::{GroundTruthOracle, OutputClassification, UserOracle};
 pub use perturb::{perturbation_candidates, verify_by_perturbation, Perturbation};
-pub use report::{describe_inst, render_report};
+pub use report::{describe_inst, render_explain, render_report};
 pub use session::{DebugSession, DebugSessionBuilder, SessionError};
 pub use switching::{
     find_critical_predicate, find_critical_predicate_with_jobs, CriticalPredicate, SearchOrder,

@@ -26,6 +26,7 @@ use omislice_slicing::{
     is_potential_dep, potential_deps_by_var, prune_slice, union_pd, DepGraph, Feedback,
     PrunedSlice, Slice, UnionGraph, ValueProfile,
 };
+use omislice_trace::RunOutcome;
 use omislice_trace::{InstId, Trace, VerificationStats};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -63,6 +64,85 @@ pub struct ChainEdge {
     pub to: InstId,
     /// How the two are connected.
     pub kind: ChainEdgeKind,
+}
+
+/// Which verification pass of Algorithm 2 issued a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPhase {
+    /// Lines 6–11: the chosen use against its candidate predicates.
+    Primary,
+    /// Lines 12–18: switched predicates against other dependent uses.
+    Secondary,
+}
+
+/// One `VerifyDep` query and its result, as the event journal records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// The switched predicate instance.
+    pub p: InstId,
+    /// `p`'s statement.
+    pub p_stmt: StmtId,
+    /// `p`'s occurrence index within its statement's instances.
+    pub p_occ: usize,
+    /// The use tested against `p`.
+    pub u: InstId,
+    /// The variable used at `u`.
+    pub var: VarId,
+    /// The judged verdict.
+    pub verdict: Verdict,
+    /// How the switched re-execution behind the verdict ended.
+    pub outcome: RunOutcome,
+    /// Which pass issued the request.
+    pub phase: RequestPhase,
+}
+
+/// One verified edge added to the dependence graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// The dependent use.
+    pub from: InstId,
+    /// The predicate it was verified to depend on.
+    pub to: InstId,
+    /// Implicit or strong implicit (the only kinds expansion adds).
+    pub kind: ChainEdgeKind,
+}
+
+/// One expansion round of Algorithm 2, recorded for the event journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// 1-based round number.
+    pub iter: usize,
+    /// The most promising use selected this round (line 5).
+    pub use_inst: InstId,
+    /// Its statement.
+    pub use_stmt: StmtId,
+    /// Every verification issued this round, in request order.
+    pub requests: Vec<RequestRecord>,
+    /// Edges added to the graph this round.
+    pub edges_added: Vec<EdgeRecord>,
+    /// Pruned-slice size (instances) entering the round.
+    pub slice_before: usize,
+    /// Pruned-slice size after re-pruning on the expanded graph.
+    pub slice_after: usize,
+    /// Budget escalation retries performed by this round's switched runs.
+    pub budget_escalations: usize,
+}
+
+/// Why one statement sits in the final pruned slice: the chain of
+/// classified dependence edges connecting the wrong output to the
+/// statement's latest in-slice instance. Implicit/strong edges in the
+/// chain were each admitted by a verifying predicate switch, recoverable
+/// via [`LocateOutcome::verification_of`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceEntry {
+    /// The statement this entry explains.
+    pub stmt: StmtId,
+    /// Its latest instance in the pruned slice.
+    pub inst: InstId,
+    /// Edges o× → … → `inst`; empty when `inst` is o× itself or no path
+    /// exists in the expanded graph (the instance entered the slice
+    /// through a potential dependence that was never expanded).
+    pub chain: Vec<ChainEdge>,
 }
 
 /// Tuning knobs for the locator (defaults reproduce the paper).
@@ -172,6 +252,12 @@ pub struct LocateOutcome {
     /// The verification engine's instrumentation counters (re-executions
     /// resumed vs. from scratch, steps saved, wall time per phase).
     pub stats: VerificationStats,
+    /// One record per expansion round, in order — the event journal's
+    /// payload. Deterministic for any `jobs`/`resume` configuration.
+    pub iteration_log: Vec<IterationRecord>,
+    /// Per-statement provenance of the final pruned slice, sorted by
+    /// statement id.
+    pub provenance: Vec<ProvenanceEntry>,
 }
 
 impl LocateOutcome {
@@ -180,6 +266,15 @@ impl LocateOutcome {
         self.os
             .as_ref()
             .map(|insts| Slice::from_insts(trace, insts.iter().copied()))
+    }
+
+    /// The verification that admitted the expanded edge `from → to`, if
+    /// the edge came out of predicate switching.
+    pub fn verification_of(&self, from: InstId, to: InstId) -> Option<&RequestRecord> {
+        self.iteration_log
+            .iter()
+            .flat_map(|it| it.requests.iter())
+            .find(|r| r.u == from && r.p == to && r.verdict.is_dependence())
     }
 }
 
@@ -253,6 +348,7 @@ pub fn locate_fault(
 
     let mut ps = prune_with_user(&graph, &mut feedback, &mut user_prunings);
     let mut iterations = 0usize;
+    let mut iteration_log: Vec<IterationRecord> = Vec::new();
     let found = loop {
         if ps
             .ranked
@@ -295,6 +391,10 @@ pub fn locate_fault(
         };
         iterations += 1;
         expanded_uses.insert(u);
+        let slice_before = ps.ranked.len();
+        let retries_before = verifier.stats().budget_retries;
+        let mut request_log: Vec<RequestRecord> = Vec::new();
+        let mut edge_log: Vec<EdgeRecord> = Vec::new();
 
         // Verify every candidate as one batch — their switched runs are
         // independent, so they resume from checkpoints and fan out across
@@ -313,6 +413,16 @@ pub fn locate_fault(
         let mut strong: Vec<(VarId, InstId)> = Vec::new();
         let mut plain: Vec<(VarId, InstId)> = Vec::new();
         for (&(var, p), v) in pd.iter().zip(verifier.verify_all(&requests)) {
+            request_log.push(RequestRecord {
+                p,
+                p_stmt: trace.event(p).stmt,
+                p_occ: trace.occurrence_index(p),
+                u,
+                var,
+                verdict: v.verdict,
+                outcome: v.outcome,
+                phase: RequestPhase::Primary,
+            });
             match v.verdict {
                 Verdict::StrongId => strong.push((var, p)),
                 Verdict::Id => plain.push((var, p)),
@@ -328,10 +438,18 @@ pub fn locate_fault(
         for (_, p) in &chosen {
             graph.add_edge(u, *p);
             expanded_edges += 1;
-            if ty == Verdict::StrongId {
+            let kind = if ty == Verdict::StrongId {
                 strong_edges += 1;
                 strong_pairs.insert((u, *p));
-            }
+                ChainEdgeKind::StrongImplicit
+            } else {
+                ChainEdgeKind::Implicit
+            };
+            edge_log.push(EdgeRecord {
+                from: u,
+                to: *p,
+                kind,
+            });
         }
 
         // Lines 12–18: verify the switched predicates against the other
@@ -361,29 +479,48 @@ pub fn locate_fault(
                 }
             }
             for (req, v) in secondary.iter().zip(verifier.verify_all(&secondary)) {
+                request_log.push(RequestRecord {
+                    p: req.p,
+                    p_stmt: trace.event(req.p).stmt,
+                    p_occ: trace.occurrence_index(req.p),
+                    u: req.u,
+                    var: req.var,
+                    verdict: v.verdict,
+                    outcome: v.outcome,
+                    phase: RequestPhase::Secondary,
+                });
                 if v.verdict.is_dependence() {
                     graph.add_edge(req.u, req.p);
                     expanded_edges += 1;
+                    edge_log.push(EdgeRecord {
+                        from: req.u,
+                        to: req.p,
+                        kind: match v.verdict {
+                            Verdict::StrongId => ChainEdgeKind::StrongImplicit,
+                            _ => ChainEdgeKind::Implicit,
+                        },
+                    });
                 }
             }
         }
 
         ps = prune_with_user(&graph, &mut feedback, &mut user_prunings);
+        iteration_log.push(IterationRecord {
+            iter: iterations,
+            use_inst: u,
+            use_stmt: trace.event(u).stmt,
+            requests: request_log,
+            edges_added: edge_log,
+            slice_before,
+            slice_after: ps.ranked.len(),
+            budget_escalations: verifier.stats().budget_retries - retries_before,
+        });
     };
 
-    // OS: the failure-inducing chain from o× to the latest root instance
-    // present in the final graph.
-    let os = if found {
-        ps.ranked
-            .iter()
-            .map(|r| r.inst)
-            .filter(|&i| oracle.is_root_cause(trace.event(i).stmt))
-            .max()
-            .and_then(|root| graph.path_between(wrong, root))
-    } else {
-        None
-    };
-    let os_edges = os.as_ref().map(|path| {
+    // Classifies a dependence path into chain edges: explicit kinds are
+    // read off the trace, everything else was added by expansion and is
+    // implicit (strong when the pair carried a StrongId verdict).
+    let classify_path = |path: &[InstId]| -> Vec<ChainEdge> {
         path.windows(2)
             .map(|w| {
                 let (from, to) = (w[0], w[1]);
@@ -400,7 +537,45 @@ pub fn locate_fault(
                 ChainEdge { from, to, kind }
             })
             .collect()
-    });
+    };
+
+    // OS: the failure-inducing chain from o× to the latest root instance
+    // present in the final graph.
+    let os = if found {
+        ps.ranked
+            .iter()
+            .map(|r| r.inst)
+            .filter(|&i| oracle.is_root_cause(trace.event(i).stmt))
+            .max()
+            .and_then(|root| graph.path_between(wrong, root))
+    } else {
+        None
+    };
+    let os_edges = os.as_ref().map(|path| classify_path(path));
+
+    // Slice provenance: for every statement of the final pruned slice,
+    // the classified chain from o× to its latest in-slice instance. Built
+    // here while the expanded graph is still alive.
+    let provenance: Vec<ProvenanceEntry> = {
+        let mut latest: HashMap<StmtId, InstId> = HashMap::new();
+        for r in &ps.ranked {
+            let e = latest.entry(trace.event(r.inst).stmt).or_insert(r.inst);
+            *e = (*e).max(r.inst);
+        }
+        let mut by_stmt: Vec<(StmtId, InstId)> = latest.into_iter().collect();
+        by_stmt.sort();
+        by_stmt
+            .into_iter()
+            .map(|(stmt, inst)| ProvenanceEntry {
+                stmt,
+                inst,
+                chain: graph
+                    .path_between(wrong, inst)
+                    .map(|p| classify_path(&p))
+                    .unwrap_or_default(),
+            })
+            .collect()
+    };
 
     Ok(LocateOutcome {
         found,
@@ -417,6 +592,8 @@ pub fn locate_fault(
         wrong_output: wrong,
         outputs,
         stats: verifier.stats().clone(),
+        iteration_log,
+        provenance,
     })
 }
 

@@ -52,6 +52,51 @@ pub fn render_report(outcome: &LocateOutcome, trace: &Trace, analysis: &ProgramA
     out
 }
 
+/// Renders the slice provenance report (`locate --explain`): for every
+/// statement of the final pruned slice, the chain of classified
+/// dependence edges connecting it to the wrong output, and — for each
+/// implicit/strong edge — the verifying predicate switch that admitted
+/// it.
+pub fn render_explain(
+    outcome: &LocateOutcome,
+    trace: &Trace,
+    analysis: &ProgramAnalysis,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== slice provenance (IPS, {} statements) ===", {
+        outcome.provenance.len()
+    });
+    for entry in &outcome.provenance {
+        let _ = writeln!(out, "{}", describe_inst(trace, analysis, entry.inst));
+        if entry.inst == outcome.wrong_output {
+            let _ = writeln!(out, "  (the wrong output o*)");
+            continue;
+        }
+        if entry.chain.is_empty() {
+            let _ = writeln!(
+                out,
+                "  (no verified path from o* — admitted by potential dependence)"
+            );
+            continue;
+        }
+        // The chain runs o* -> ... -> entry.inst; print it from the
+        // statement backwards so each line explains why its predecessor
+        // is in the slice.
+        for edge in entry.chain.iter().rev() {
+            let _ = write!(out, "  <-[{}]- ", edge.kind);
+            let _ = writeln!(out, "{}", describe_inst(trace, analysis, edge.from));
+            if let Some(req) = outcome.verification_of(edge.from, edge.to) {
+                let _ = writeln!(
+                    out,
+                    "      verified by switching {} (occurrence {} of {}): {:?}, {}",
+                    req.p, req.p_occ, req.p_stmt, req.verdict, req.outcome
+                );
+            }
+        }
+    }
+    out
+}
+
 /// One-line rendering of an instance: timestamp, statement id, source
 /// text, and observed value.
 pub fn describe_inst(trace: &Trace, analysis: &ProgramAnalysis, inst: InstId) -> String {

@@ -329,6 +329,7 @@ impl<'a> Verifier<'a> {
     /// Panics if any `p` is not a predicate instance of the original
     /// trace.
     pub fn verify_all(&mut self, requests: &[VerifyRequest]) -> Vec<Verification> {
+        let _span = omislice_obs::span("verify");
         let mut missing: Vec<(SwitchSpec, InstId)> = Vec::new();
         for r in requests {
             if self
@@ -419,7 +420,8 @@ impl<'a> Verifier<'a> {
         let jobs = self.jobs.min(missing.len());
         let mut slots: Vec<Option<ComputedRun>> = (0..missing.len()).map(|_| None).collect();
         if jobs <= 1 {
-            for (slot, &(spec, p)) in slots.iter_mut().zip(missing) {
+            for (i, (slot, &(spec, p))) in slots.iter_mut().zip(missing).enumerate() {
+                let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
                 *slot = Some(self.compute_switched(spec, p));
             }
         } else {
@@ -432,6 +434,7 @@ impl<'a> Verifier<'a> {
                     let Some(&(spec, p)) = missing.get(i) else {
                         break;
                     };
+                    let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
                     local.push((i, this.compute_switched(spec, p)));
                 }
                 local
@@ -626,6 +629,9 @@ impl<'a> Verifier<'a> {
         if !switched.termination().is_normal() {
             return Verification::not_id(outcome);
         }
+        // The span covers alignment and verdict judging: everything after
+        // the switched execution itself.
+        let _span = omislice_obs::span("align");
         let aligner = Aligner::with_regions(
             orig,
             switched,

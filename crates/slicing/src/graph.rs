@@ -50,6 +50,7 @@ impl<'a> DepGraph<'a> {
     /// [`DepGraph::new`] for any `jobs` — chunk boundaries fall on CSR
     /// offsets, so every worker writes a disjoint contiguous range.
     pub fn with_jobs(trace: &'a Trace, jobs: usize) -> Self {
+        let _span = omislice_obs::span("graph");
         let n = trace.len();
         let mut offsets = vec![0u32; n + 1];
         for (i, ev) in trace.events().iter().enumerate() {
@@ -57,6 +58,10 @@ impl<'a> DepGraph<'a> {
             offsets[i + 1] = offsets[i] + deg;
         }
         let mut edges = vec![InstId(0); offsets[n] as usize];
+        // One guarded counter flush per fill, outside the per-event loop.
+        if omislice_obs::enabled() {
+            omislice_obs::counter_add("csr.fill.edges", offsets[n] as u64);
+        }
         let jobs = jobs.max(1).min(n.max(1));
         if jobs == 1 || n < PARALLEL_FILL_THRESHOLD {
             fill_edges(trace, &offsets, 0, n, &mut edges);

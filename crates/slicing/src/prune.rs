@@ -74,6 +74,7 @@ pub fn prune_slice(
     wrong_output: InstId,
     feedback: &Feedback,
 ) -> PrunedSlice {
+    let _span = omislice_obs::span("confidence-prune");
     let slice = graph.backward_slice(wrong_output);
     let confidence = analyze(&ConfidenceParams {
         graph,

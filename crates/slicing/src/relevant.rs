@@ -207,6 +207,7 @@ pub fn relevant_slice_on(
     criterion: InstId,
     jobs: usize,
 ) -> Slice {
+    let _span = omislice_obs::span("slice");
     let trace = graph.trace();
     let mut seen = BitSet::new(trace.len());
     seen.insert(criterion.index());
@@ -257,11 +258,13 @@ fn discover_parallel(
             .map(|_| {
                 s.spawn(|| {
                     let mut local: Vec<InstId> = Vec::new();
+                    let mut claims = 0u64;
                     loop {
                         let start = cursor.fetch_add(FRONTIER_CLAIM_CHUNK, Ordering::Relaxed);
                         if start >= frontier.len() {
                             break;
                         }
+                        claims += 1;
                         let end = (start + FRONTIER_CLAIM_CHUNK).min(frontier.len());
                         for &i in &frontier[start..end] {
                             local.extend(graph.deps(i));
@@ -271,6 +274,11 @@ fn discover_parallel(
                                     .map(|(_, p)| p),
                             );
                         }
+                    }
+                    // Flush once per worker, not per claim: keeps the
+                    // recorder out of the claim loop entirely.
+                    if omislice_obs::enabled() {
+                        omislice_obs::counter_add("frontier.claims", claims);
                     }
                     local
                 })

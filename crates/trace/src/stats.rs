@@ -5,7 +5,6 @@
 
 use crate::trace::Trace;
 use omislice_lang::StmtId;
-use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
@@ -33,13 +32,19 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes statistics for `trace`.
     pub fn compute(trace: &Trace) -> Self {
-        let mut per_stmt: HashMap<StmtId, usize> = HashMap::new();
+        // Statement ids are small and dense, so per-statement counts live
+        // in a plain vector indexed by id instead of a hash map.
+        let mut per_stmt: Vec<usize> = Vec::new();
         let mut predicate_instances = 0;
         let mut data_edges = 0;
         let mut control_edges = 0;
         let mut max_call_depth = 0;
         for ev in trace.events() {
-            *per_stmt.entry(ev.stmt).or_insert(0) += 1;
+            let s = ev.stmt.0 as usize;
+            if s >= per_stmt.len() {
+                per_stmt.resize(s + 1, 0);
+            }
+            per_stmt[s] += 1;
             if ev.is_predicate() {
                 predicate_instances += 1;
             }
@@ -49,13 +54,17 @@ impl TraceStats {
             }
             max_call_depth = max_call_depth.max(ev.call_depth);
         }
-        let hottest = per_stmt
-            .iter()
-            .max_by_key(|(stmt, n)| (**n, std::cmp::Reverse(**stmt)))
-            .map(|(&s, &n)| (s, n));
+        // Scanning in id order makes strict `>` keep the lowest statement
+        // id among equally hot ones (the documented tie-break).
+        let mut hottest: Option<(StmtId, usize)> = None;
+        for (s, &n) in per_stmt.iter().enumerate() {
+            if n > 0 && hottest.is_none_or(|(_, best)| n > best) {
+                hottest = Some((StmtId(s as u32), n));
+            }
+        }
         TraceStats {
             instances: trace.len(),
-            unique_stmts: per_stmt.len(),
+            unique_stmts: per_stmt.iter().filter(|&&n| n > 0).count(),
             predicate_instances,
             data_edges,
             control_edges,
