@@ -81,8 +81,25 @@ obs_smoke() {
     echo "obs smoke OK ($root captured)"
 }
 
+# Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
+# (fixed seed set, so deterministic and bounded) must hold every
+# cross-pipeline invariant — DS ⊆ RS, pruned ⊆ DS, indexed alignment ==
+# naive oracle, verifier determinism across jobs × resume × fault plans,
+# locate finds the planted root, journals byte-identical. Run standalone
+# with `./ci.sh fuzz-smoke`.
+fuzz_smoke() {
+    echo "==> fuzz smoke (diffcheck --seeds 200 --quick)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-bench
+    RUST_BACKTRACE=1 ./target/release/diffcheck --seeds 200 --quick
+    echo "fuzz smoke OK"
+}
+
 if [ "${1:-}" = "smoke" ]; then
     smoke
+    exit 0
+fi
+if [ "${1:-}" = "fuzz-smoke" ]; then
+    fuzz_smoke
     exit 0
 fi
 if [ "${1:-}" = "bench-smoke" ]; then
@@ -107,6 +124,8 @@ echo "==> cargo clippy -D warnings"
 cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 
 smoke
+
+fuzz_smoke
 
 bench_smoke
 

@@ -108,9 +108,12 @@ impl<'a> Aligner<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not a valid instance of both traces or the two
+    /// Panics if `p` is not a valid instance of both traces, if the two
     /// traces disagree at `p` (i.e. they were not produced by switching
-    /// `p` on the same program and input).
+    /// `p` on the same program and input), or if `u` is not an instance
+    /// of the original trace. The `u` check matters: `None` is the
+    /// defining evidence of implicit dependence, so an invalid argument
+    /// must fail loudly instead of masquerading as "no counterpart".
     pub fn match_inst(&self, p: InstId, u: InstId) -> Option<InstId> {
         assert!(
             p.index() < self.orig.len() && p.index() < self.switched.len(),
@@ -121,13 +124,14 @@ impl<'a> Aligner<'a> {
             self.switched.event(p).stmt,
             "traces disagree at the switch point; not a switched re-execution"
         );
+        assert!(
+            u.index() < self.orig.len(),
+            "use {u} is not an instance of the original trace"
+        );
         // Instances before (or at) the switch point are in the common
         // prefix and correspond to themselves.
         if u <= p {
             return Some(u);
-        }
-        if u.index() >= self.orig.len() {
-            return None;
         }
         // Ascend from p until the region contains u. Ancestors of p are
         // in the common prefix, so the corresponding region heads in the
@@ -189,6 +193,95 @@ impl<'a> Aligner<'a> {
     /// switched trace.
     pub fn match_event(&self, p: InstId, u: InstId) -> Option<&omislice_trace::Event> {
         self.match_inst(p, u).map(|m| self.switched.event(m))
+    }
+
+    /// Naive containment test: walks `x`'s ancestor chain instead of
+    /// using the Euler-tour timestamps. O(depth).
+    fn naive_contains(&self, head: InstId, x: InstId) -> bool {
+        let mut cur = Some(x);
+        while let Some(i) = cur {
+            if i == head {
+                return true;
+            }
+            cur = self.orig_regions.parent(i);
+        }
+        false
+    }
+
+    /// Reference implementation of `Match(p, u, p')` — the paper's
+    /// Algorithm 1 transcribed literally: a linear lockstep walk over
+    /// sibling regions with an ancestor-chain containment test,
+    /// O(n·depth) against [`Aligner::match_inst`]'s indexed O(depth·log).
+    ///
+    /// Exists solely as the differential-testing oracle for the indexed
+    /// matcher (the `diffcheck` harness asserts agreement on every
+    /// generated program); not part of the public API.
+    ///
+    /// # Panics
+    ///
+    /// Same preconditions as [`Aligner::match_inst`].
+    #[doc(hidden)]
+    pub fn match_inst_naive(&self, p: InstId, u: InstId) -> Option<InstId> {
+        assert!(
+            p.index() < self.orig.len() && p.index() < self.switched.len(),
+            "switch point {p} must exist in both traces"
+        );
+        assert_eq!(
+            self.orig.event(p).stmt,
+            self.switched.event(p).stmt,
+            "traces disagree at the switch point; not a switched re-execution"
+        );
+        assert!(
+            u.index() < self.orig.len(),
+            "use {u} is not an instance of the original trace"
+        );
+        if u <= p {
+            return Some(u);
+        }
+        let mut region = self.orig_regions.parent(p);
+        while let Some(head) = region {
+            if self.naive_contains(head, u) {
+                break;
+            }
+            region = self.orig_regions.parent(head);
+        }
+        self.match_inside_naive(region, region, u)
+    }
+
+    /// `MatchInsideRegion(R, u, R')` as the paper writes it: advance both
+    /// sibling cursors in lockstep until the sub-region containing `u`
+    /// is found or the switched region runs out of siblings.
+    fn match_inside_naive(
+        &self,
+        r: Option<InstId>,
+        r2: Option<InstId>,
+        u: InstId,
+    ) -> Option<InstId> {
+        let kids: &[InstId] = match r {
+            Some(h) => self.orig_regions.children(h),
+            None => self.orig_regions.roots(),
+        };
+        let kids2: &[InstId] = match r2 {
+            Some(h) => self.switched_regions.children(h),
+            None => self.switched_regions.roots(),
+        };
+        for (i, &c) in kids.iter().enumerate() {
+            if !self.naive_contains(c, u) {
+                continue;
+            }
+            let c2 = *kids2.get(i)?;
+            if self.orig.event(c).stmt != self.switched.event(c2).stmt {
+                return None;
+            }
+            if c == u {
+                return Some(c2);
+            }
+            if self.orig.event(c).branch != self.switched.event(c2).branch {
+                return None;
+            }
+            return self.match_inside_naive(Some(c), Some(c2), u);
+        }
+        None
     }
 }
 
@@ -411,6 +504,64 @@ mod tests {
         let m = aligner.match_inst(p, u).expect("callee statements align");
         assert_eq!(sw.trace.event(m).stmt, StmtId(0));
         assert_eq!(sw.trace.event(m).value, Some(Value::Int(1)));
+    }
+
+    /// Found by the differential harness (diffcheck): `match_inst` used
+    /// to return `None` for a `u` beyond the original trace instead of
+    /// enforcing its documented precondition — indistinguishable from
+    /// the "no counterpart in E'" signal that Definition 2 case (i)
+    /// treats as evidence of implicit dependence.
+    #[test]
+    #[should_panic(expected = "is not an instance of the original trace")]
+    fn fuzz_regress_match_inst_rejects_out_of_range_use() {
+        let src = "fn main() { if input() > 0 { print(1); print(2); } print(9); }";
+        let (orig, sw) = run_pair(src, vec![0], 0, 0);
+        assert!(
+            sw.trace.len() > orig.trace.len(),
+            "switched run must be longer for the probe to be out of range"
+        );
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let bogus = InstId(orig.trace.len() as u32);
+        let _ = aligner.match_inst(p, bogus);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an instance of the original trace")]
+    fn naive_oracle_enforces_the_same_precondition() {
+        let src = "fn main() { if input() > 0 { print(1); print(2); } print(9); }";
+        let (orig, sw) = run_pair(src, vec![0], 0, 0);
+        let aligner = Aligner::new(&orig.trace, &sw.trace);
+        let p = orig.trace.instances_of(StmtId(0))[0];
+        let _ = aligner.match_inst_naive(p, InstId(orig.trace.len() as u32));
+    }
+
+    /// The indexed matcher and the naive Algorithm 1 transcription agree
+    /// on every (p, u) pair of the paper's figures.
+    #[test]
+    fn naive_oracle_agrees_with_indexed_matcher() {
+        for (src, inputs, pred, occ) in [
+            (FIGURE2, vec![], 0u32, 0u32),
+            (FIGURE2_VARIANT, vec![], 0, 0),
+            (
+                "fn main() { let i = 0; while i < 3 { i = i + 1; } print(i); }",
+                vec![],
+                1,
+                1,
+            ),
+        ] {
+            let (orig, sw) = run_pair(src, inputs, pred, occ);
+            let aligner = Aligner::new(&orig.trace, &sw.trace);
+            let p = orig.trace.instances_of(StmtId(pred))[occ as usize];
+            for i in 0..orig.trace.len() {
+                let u = InstId(i as u32);
+                assert_eq!(
+                    aligner.match_inst(p, u),
+                    aligner.match_inst_naive(p, u),
+                    "{src}: diverged at u={u}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@ const USAGE: &str = "usage:
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]]
 
 fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
-uninit, budget, panic, corrupt-checkpoint";
+uninit, budget, panic, panic-harness, corrupt-checkpoint";
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let mut it = args.into_iter();

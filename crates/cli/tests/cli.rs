@@ -401,6 +401,62 @@ fn locate_metrics_own_stdout() {
 }
 
 #[test]
+fn locate_combines_explain_obs_out_and_json_metrics() {
+    let fixed = write_temp("fixed6", FIXED);
+    let faulty = write_temp("faulty6", FAULTY);
+    let journal = std::env::temp_dir()
+        .join("omislice-cli-tests")
+        .join(format!("combined-journal-{}.jsonl", std::process::id()));
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--explain",
+        "--obs-out",
+        journal.to_str().unwrap(),
+        "--metrics",
+        "json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Metrics own stdout: one JSON object, nothing else.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"locate_found\":1"), "{stdout}");
+    assert_eq!(
+        stdout.trim().lines().count(),
+        1,
+        "stdout must be exactly the metrics object:\n{stdout}"
+    );
+    assert!(!stdout.contains("root cause captured"), "{stdout}");
+    assert!(!stdout.contains("slice provenance"), "{stdout}");
+
+    // All human output — the report AND the explain rendering — moved
+    // to stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("root cause captured : yes"), "{stderr}");
+    assert!(stderr.contains("slice provenance"), "{stderr}");
+    assert!(stderr.contains("the wrong output o*"), "{stderr}");
+
+    // The journal still lands on disk, valid and complete.
+    let jsonl = std::fs::read_to_string(&journal).expect("journal written");
+    for record in ["header", "iteration", "summary", "spans"] {
+        assert!(
+            jsonl.contains(&format!("\"type\":\"{record}\"")),
+            "missing {record} record:\n{jsonl}"
+        );
+    }
+}
+
+#[test]
 fn corpus_locate_supports_obs_flags() {
     let journal = std::env::temp_dir()
         .join("omislice-cli-tests")

@@ -83,6 +83,12 @@ pub enum FaultAction {
     /// Raise a host-level panic (exercises the verifier's `catch_unwind`
     /// isolation boundary).
     Panic,
+    /// Raise a panic *in the verifier harness itself*, outside the
+    /// per-run execution — before the switched run for the planned
+    /// statement/occurrence even starts (exercises the per-candidate
+    /// isolation boundary around the whole harness, not just the
+    /// interpreter). Never fires inside an interpreter.
+    PanicHarness,
     /// Emit a deliberately inconsistent [`Checkpoint`] when one is
     /// captured at the planned statement/occurrence (exercises checkpoint
     /// validation and the scratch fallback). Never perturbs the run
@@ -121,7 +127,7 @@ impl FaultPlan {
     /// Parses the CLI syntax `S<id>[:occ]=<action>`, e.g. `S4:2=panic`.
     ///
     /// Actions: `oob`, `missing-callee`, `div-zero`, `type`,
-    /// `stack-overflow`, `uninit`, `budget`, `panic`,
+    /// `stack-overflow`, `uninit`, `budget`, `panic`, `panic-harness`,
     /// `corrupt-checkpoint`.
     ///
     /// # Errors
@@ -152,6 +158,7 @@ impl FaultPlan {
             "uninit" => FaultAction::Crash(CrashKind::UninitRead),
             "budget" => FaultAction::ExhaustBudget,
             "panic" => FaultAction::Panic,
+            "panic-harness" => FaultAction::PanicHarness,
             "corrupt-checkpoint" => FaultAction::CorruptCheckpoint,
             other => return Err(format!("unknown fault action `{other}`")),
         };
@@ -169,15 +176,21 @@ pub(crate) enum InjectedFault {
 /// Shared fault-firing logic for both interpreters: counts instances of
 /// the planned statement in `seen` and, at the planned occurrence,
 /// produces the injected stop (or panics, for [`FaultAction::Panic`]).
-/// `CorruptCheckpoint` plans never fire here — they act at checkpoint
-/// capture time and leave execution untouched.
+/// `CorruptCheckpoint` and `PanicHarness` plans never fire here — the
+/// former acts at checkpoint capture time, the latter in the verifier
+/// harness; both leave execution untouched.
 pub(crate) fn fault_fires(
     seen: &mut u32,
     plan: Option<FaultPlan>,
     stmt: StmtId,
 ) -> Option<InjectedFault> {
     let plan = plan?;
-    if plan.stmt != stmt || matches!(plan.action, FaultAction::CorruptCheckpoint) {
+    if plan.stmt != stmt
+        || matches!(
+            plan.action,
+            FaultAction::CorruptCheckpoint | FaultAction::PanicHarness
+        )
+    {
         return None;
     }
     let n = *seen;
@@ -191,7 +204,7 @@ pub(crate) fn fault_fires(
         }
         FaultAction::ExhaustBudget => Some(InjectedFault::Budget),
         FaultAction::Panic => panic!("injected panic at {stmt} (occurrence {n})"),
-        FaultAction::CorruptCheckpoint => None,
+        FaultAction::PanicHarness | FaultAction::CorruptCheckpoint => None,
     }
 }
 

@@ -1,0 +1,548 @@
+//! Deterministic, seed-driven random program generation with seeded
+//! **execution-omission faults** — the generative half of the
+//! differential correctness harness (`omislice-bench`'s `diffcheck`).
+//!
+//! [`generate_case`] produces a *fixed/faulty* source pair in the style
+//! of the corpus: the two programs differ in exactly one statement (ids
+//! preserved, so [`Program::stmt_count`] agrees and positional oracles
+//! work), and the planted fault has the paper's omission shape:
+//!
+//! 1. the **trigger** statement reads the failing input and computes a
+//!    value (the faulty version corrupts this computation — the ground
+//!    truth root cause);
+//! 2. a **guard** predicate tests that value and, in the fixed run,
+//!    takes the branch that freshens the observable global `obs`;
+//! 3. in the faulty run the branch is *not taken*, the definition is
+//!    omitted, and the stale initializer value of `obs` reaches
+//!    `print(obs)` — a wrong output *value* whose classic dynamic slice
+//!    misses the root cause.
+//!
+//! Around that scaffold the generator grows random but well-typed and
+//! runtime-safe filler: bounded `while` loops (fresh counter, increment
+//! last, no `continue`), `if`/`else`, helper functions, array stores and
+//! loads with in-bounds literal indices, division by nonzero literals
+//! only, and variables that are always defined before use. Every loop
+//! bound is a small constant and helpers never recurse, so generated
+//! programs terminate on every input — including under predicate
+//! switching, which can only redirect control through code that is
+//! itself bounded.
+//!
+//! Input streams are constant vectors (`[v; 64]`): whichever dynamic
+//! read position the trigger ends up at, it sees `v`. Filler reads of
+//! `input()` are capped (and kept out of loops deeper than one level and
+//! out of helpers) so the stream can never underflow before the trigger
+//! reads.
+
+use crate::ast::{Program, StmtId};
+use crate::compile;
+use crate::printer::stmt_head;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Tuning knobs for [`generate_case`]. The defaults match what the
+/// `diffcheck` harness uses in quick mode.
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Number of top-level filler constructs in `main`.
+    pub filler_chunks: usize,
+    /// Maximum nesting depth of filler `if`/`while` constructs.
+    pub max_depth: usize,
+    /// Maximum number of helper functions (0 disables calls).
+    pub helpers: usize,
+    /// Whether to declare global arrays and generate stores/loads.
+    pub arrays: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            filler_chunks: 6,
+            max_depth: 2,
+            helpers: 2,
+            arrays: true,
+        }
+    }
+}
+
+/// One generated differential-testing case: an id-aligned fixed/faulty
+/// program pair, the ground-truth root cause, and input vectors.
+#[derive(Debug, Clone)]
+pub struct GeneratedCase {
+    /// The seed that produced this case (same seed ⇒ same case).
+    pub seed: u64,
+    /// Fault-free source.
+    pub fixed_src: String,
+    /// Source with the omission fault planted.
+    pub faulty_src: String,
+    /// Compiled fault-free program.
+    pub fixed: Program,
+    /// Compiled faulty program.
+    pub faulty: Program,
+    /// The planted root cause (the corrupted trigger statement).
+    pub root: StmtId,
+    /// Input on which the fixed run takes the guard and the faulty run
+    /// does not, exposing the stale value.
+    pub failing_input: Vec<i64>,
+    /// Inputs on which both versions agree (the profiling suite).
+    pub passing_inputs: Vec<Vec<i64>>,
+}
+
+/// Variables visible (and assignable) at a generation point. Cloned when
+/// descending into a nested block so inner `let`s never leak out.
+#[derive(Debug, Clone, Default)]
+struct Scope {
+    /// Readable integer variables.
+    vars: Vec<String>,
+    /// Assignable integer variables (excludes loop counters).
+    muts: Vec<String>,
+}
+
+struct Gen {
+    rng: StdRng,
+    opts: GenOptions,
+    next_local: usize,
+    next_loop: usize,
+    /// Remaining `input()` sites the filler may still emit.
+    input_sites: usize,
+    arrays: Vec<(String, usize)>,
+    helpers: Vec<(String, usize)>,
+}
+
+impl Gen {
+    fn pick<'a>(&mut self, items: &'a [String]) -> &'a str {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    /// A runtime-safe integer expression over `scope`.
+    ///
+    /// `loop_depth` gates `input()` (never under nested loops, so the
+    /// 64-value stream cannot underflow before the trigger reads) and
+    /// `allow_calls` gates helper calls (helpers never call helpers).
+    fn int_expr(&mut self, depth: usize, scope: &Scope, loop_depth: usize, calls: bool) -> String {
+        let leaf = depth == 0;
+        loop {
+            match self.rng.gen_range(0..10u32) {
+                0..=2 => return self.rng.gen_range(0..=9i64).to_string(),
+                3..=4 if !scope.vars.is_empty() => return self.pick(&scope.vars).to_string(),
+                5 if !leaf => {
+                    let (a, b) = (
+                        self.int_expr(depth - 1, scope, loop_depth, calls),
+                        self.int_expr(depth - 1, scope, loop_depth, calls),
+                    );
+                    let op = ["+", "-", "*"][self.rng.gen_range(0..3usize)];
+                    return format!("({a} {op} {b})");
+                }
+                6 if !leaf => {
+                    // Division and remainder only by nonzero literals.
+                    let a = self.int_expr(depth - 1, scope, loop_depth, calls);
+                    let d = self.rng.gen_range(1..=4i64);
+                    let op = ["/", "%"][self.rng.gen_range(0..2usize)];
+                    return format!("({a} {op} {d})");
+                }
+                7 if self.input_sites > 0 && loop_depth <= 1 => {
+                    self.input_sites -= 1;
+                    return "input()".to_string();
+                }
+                8 if self.opts.arrays && !self.arrays.is_empty() => {
+                    let (name, len) = self.arrays[self.rng.gen_range(0..self.arrays.len())].clone();
+                    let idx = self.rng.gen_range(0..len);
+                    return format!("{name}[{idx}]");
+                }
+                9 if calls && !self.helpers.is_empty() && !leaf => {
+                    let (name, arity) =
+                        self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
+                    let args: Vec<String> = (0..arity)
+                        .map(|_| self.int_expr(depth - 1, scope, loop_depth, false))
+                        .collect();
+                    return format!("{name}({})", args.join(", "));
+                }
+                _ => continue, // choice unavailable here; redraw
+            }
+        }
+    }
+
+    /// A runtime-safe boolean expression (conditions only).
+    fn bool_expr(&mut self, depth: usize, scope: &Scope, loop_depth: usize, calls: bool) -> String {
+        match self.rng.gen_range(0..6u32) {
+            0 | 1 => {
+                let (a, b) = (
+                    self.int_expr(depth, scope, loop_depth, calls),
+                    self.int_expr(depth, scope, loop_depth, calls),
+                );
+                let op = ["<", "<=", ">", ">=", "==", "!="][self.rng.gen_range(0..6usize)];
+                format!("({a} {op} {b})")
+            }
+            2 if depth > 0 => {
+                let (a, b) = (
+                    self.bool_expr(depth - 1, scope, loop_depth, calls),
+                    self.bool_expr(depth - 1, scope, loop_depth, calls),
+                );
+                let op = ["&&", "||"][self.rng.gen_range(0..2usize)];
+                format!("({a} {op} {b})")
+            }
+            3 if depth > 0 => {
+                format!("(!{})", self.bool_expr(depth - 1, scope, loop_depth, calls))
+            }
+            _ => {
+                let (a, b) = (
+                    self.int_expr(depth, scope, loop_depth, calls),
+                    self.int_expr(depth, scope, loop_depth, calls),
+                );
+                format!("({a} > {b})")
+            }
+        }
+    }
+
+    /// One filler construct (possibly several statements), indented by
+    /// `ind`. Extends `scope` with any top-level `let` it emits.
+    fn chunk(
+        &mut self,
+        out: &mut String,
+        ind: usize,
+        depth: usize,
+        loop_depth: usize,
+        scope: &mut Scope,
+        calls: bool,
+    ) {
+        let pad = "    ".repeat(ind);
+        match self.rng.gen_range(0..9u32) {
+            0 | 1 => {
+                let name = format!("v{}", self.next_local);
+                self.next_local += 1;
+                let e = self.int_expr(2, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}let {name} = {e};\n"));
+                scope.vars.push(name.clone());
+                scope.muts.push(name);
+            }
+            2 if !scope.muts.is_empty() => {
+                let name = self.pick(&scope.muts).to_string();
+                let e = self.int_expr(2, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}{name} = {e};\n"));
+            }
+            3 => {
+                let e = self.int_expr(1, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}print({e});\n"));
+            }
+            4 if self.opts.arrays && !self.arrays.is_empty() => {
+                let (name, len) = self.arrays[self.rng.gen_range(0..self.arrays.len())].clone();
+                let idx = self.rng.gen_range(0..len);
+                let e = self.int_expr(1, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}{name}[{idx}] = {e};\n"));
+            }
+            5 if depth < self.opts.max_depth => {
+                let cond = self.bool_expr(1, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}if {cond} {{\n"));
+                let mut inner = scope.clone();
+                for _ in 0..self.rng.gen_range(1..=2usize) {
+                    self.chunk(out, ind + 1, depth + 1, loop_depth, &mut inner, calls);
+                }
+                if self.rng.gen_range(0..2u32) == 0 {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    let mut inner = scope.clone();
+                    for _ in 0..self.rng.gen_range(1..=2usize) {
+                        self.chunk(out, ind + 1, depth + 1, loop_depth, &mut inner, calls);
+                    }
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            6 if depth < self.opts.max_depth => {
+                // Bounded loop: fresh counter, increment last, no
+                // `continue` anywhere — termination by construction.
+                let w = format!("w{}", self.next_loop);
+                self.next_loop += 1;
+                let bound = self.rng.gen_range(1..=3u32);
+                out.push_str(&format!("{pad}let {w} = 0;\n"));
+                out.push_str(&format!("{pad}while {w} < {bound} {{\n"));
+                let mut inner = scope.clone();
+                inner.vars.push(w.clone()); // readable, not assignable
+                for _ in 0..self.rng.gen_range(1..=2usize) {
+                    self.chunk(out, ind + 1, depth + 1, loop_depth + 1, &mut inner, calls);
+                }
+                if self.rng.gen_range(0..4u32) == 0 {
+                    let cond = self.bool_expr(0, &inner, loop_depth + 1, false);
+                    out.push_str(&format!("{pad}    if {cond} {{ break; }}\n"));
+                }
+                out.push_str(&format!("{pad}    {w} = ({w} + 1);\n"));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            7 if calls && !self.helpers.is_empty() => {
+                let (name, arity) = self.helpers[self.rng.gen_range(0..self.helpers.len())].clone();
+                let args: Vec<String> = (0..arity)
+                    .map(|_| self.int_expr(1, scope, loop_depth, false))
+                    .collect();
+                out.push_str(&format!("{pad}{name}({});\n", args.join(", ")));
+            }
+            _ => {
+                let name = format!("v{}", self.next_local);
+                self.next_local += 1;
+                let e = self.int_expr(1, scope, loop_depth, calls);
+                out.push_str(&format!("{pad}let {name} = {e};\n"));
+                scope.vars.push(name.clone());
+                scope.muts.push(name);
+            }
+        }
+    }
+}
+
+/// The omission-fault scaffold shapes the mutator can plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// `if trig == K { obs = S; }`
+    DirectIf,
+    /// `let trig = raw + C; if trig == K + C { obs = S; }`
+    OffsetIf,
+    /// `while trig == K { obs = S; trig = trig + 1; }`
+    GuardLoop,
+}
+
+/// Generates one fixed/faulty case from `seed`. Deterministic: the same
+/// seed and options always produce byte-identical sources.
+///
+/// # Panics
+///
+/// Panics if the generated sources fail to compile or the fault does not
+/// resolve to exactly one differing statement — both are generator
+/// invariants, so a panic here is a generator bug.
+pub fn generate_case(seed: u64, opts: &GenOptions) -> GeneratedCase {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        opts: opts.clone(),
+        next_local: 0,
+        next_loop: 0,
+        input_sites: 6,
+        arrays: Vec::new(),
+        helpers: Vec::new(),
+    };
+
+    // --- globals -------------------------------------------------------
+    let mut src = String::new();
+    let n_globals = g.rng.gen_range(2..=4usize);
+    let mut global_scope = Scope::default();
+    for i in 0..n_globals {
+        let name = format!("g{i}");
+        let init = g.rng.gen_range(0..=9i64);
+        src.push_str(&format!("global {name} = {init};\n"));
+        global_scope.vars.push(name.clone());
+        global_scope.muts.push(name);
+    }
+    if opts.arrays {
+        for i in 0..g.rng.gen_range(0..=2usize) {
+            let name = format!("arr{i}");
+            let len = g.rng.gen_range(4..=8usize);
+            let elem = g.rng.gen_range(0..=5i64);
+            src.push_str(&format!("global {name} = [{elem}; {len}];\n"));
+            g.arrays.push((name, len));
+        }
+    }
+    src.push_str("global obs = 0;\n");
+
+    // --- helper functions ---------------------------------------------
+    let n_helpers = if opts.helpers == 0 {
+        0
+    } else {
+        g.rng.gen_range(0..=opts.helpers)
+    };
+    for i in 0..n_helpers {
+        let name = format!("f{i}");
+        let arity = g.rng.gen_range(0..=2usize);
+        let params: Vec<String> = (0..arity).map(|k| format!("p{i}_{k}")).collect();
+        src.push_str(&format!("fn {name}({}) {{\n", params.join(", ")));
+        let mut scope = global_scope.clone();
+        scope.vars.extend(params.iter().cloned());
+        scope.muts.extend(params.iter().cloned());
+        // Helpers: no calls (no recursion), no input() (read-count bound).
+        let saved_sites = std::mem::take(&mut g.input_sites);
+        for _ in 0..g.rng.gen_range(1..=3usize) {
+            g.chunk(&mut src, 1, 1, 2, &mut scope, false);
+        }
+        g.input_sites = saved_sites;
+        let ret = g.int_expr(1, &scope, 2, false);
+        src.push_str(&format!("    return {ret};\n}}\n"));
+        g.helpers.push((name, arity));
+    }
+
+    // --- scaffold ------------------------------------------------------
+    let shape = match g.rng.gen_range(0..3u32) {
+        0 => Shape::DirectIf,
+        1 => Shape::OffsetIf,
+        _ => Shape::GuardLoop,
+    };
+    let fail_val = g.rng.gen_range(3..=7i64); // the failing input value
+    let offset = g.rng.gen_range(1..=5i64);
+    let sentinel = g.rng.gen_range(10..=99i64);
+    let trigger_fixed = "let trig = input();".to_string();
+    let trigger_faulty = {
+        let corrupted = match g.rng.gen_range(0..4u32) {
+            0 => "(input() - 1)",
+            1 => "(input() + 1)",
+            2 => "(input() * 0)",
+            _ => "(0 - input())",
+        };
+        format!("let trig = {corrupted};")
+    };
+    let mut scaffold: Vec<String> = vec![trigger_fixed.clone()];
+    match shape {
+        Shape::DirectIf => {
+            scaffold.push(format!("if (trig == {fail_val}) {{ obs = {sentinel}; }}"));
+        }
+        Shape::OffsetIf => {
+            scaffold.push(format!("let key = (trig + {offset});"));
+            scaffold.push(format!(
+                "if (key == {}) {{ obs = {sentinel}; }}",
+                fail_val + offset
+            ));
+        }
+        Shape::GuardLoop => {
+            scaffold.push(format!(
+                "while (trig == {fail_val}) {{ obs = {sentinel}; trig = (trig + 1); }}"
+            ));
+        }
+    }
+    scaffold.push("print(obs);".to_string());
+
+    // --- main: filler with the scaffold interleaved (order preserved) --
+    let mut filler: Vec<String> = Vec::new();
+    let mut scope = global_scope.clone();
+    for _ in 0..opts.filler_chunks {
+        let mut chunk = String::new();
+        g.chunk(&mut chunk, 1, 0, 0, &mut scope, true);
+        filler.push(chunk);
+    }
+    let mut positions: Vec<usize> = (0..scaffold.len())
+        .map(|_| g.rng.gen_range(0..=filler.len()))
+        .collect();
+    positions.sort_unstable();
+    for (stmt, pos) in scaffold.iter().zip(&positions).rev() {
+        filler.insert(*pos, format!("    {stmt}\n"));
+    }
+    src.push_str("fn main() {\n");
+    for chunk in &filler {
+        src.push_str(chunk);
+    }
+    src.push_str("}\n");
+
+    // --- the mutation: corrupt the trigger, preserving statement ids ---
+    let fixed_src = src;
+    assert_eq!(
+        fixed_src.matches(&trigger_fixed).count(),
+        1,
+        "seed {seed}: trigger must be unique in the generated source"
+    );
+    let faulty_src = fixed_src.replacen(&trigger_fixed, &trigger_faulty, 1);
+
+    let fixed = compile(&fixed_src)
+        .unwrap_or_else(|e| panic!("seed {seed}: fixed program invalid: {e}\n{fixed_src}"));
+    let faulty = compile(&faulty_src)
+        .unwrap_or_else(|e| panic!("seed {seed}: faulty program invalid: {e}\n{faulty_src}"));
+    assert_eq!(
+        fixed.stmt_count(),
+        faulty.stmt_count(),
+        "seed {seed}: the mutation must preserve statement ids"
+    );
+    let mut heads_fixed = Vec::new();
+    fixed.visit_stmts(&mut |s| heads_fixed.push((s.id, stmt_head(s))));
+    let mut heads_faulty = Vec::new();
+    faulty.visit_stmts(&mut |s| heads_faulty.push((s.id, stmt_head(s))));
+    let roots: Vec<StmtId> = heads_fixed
+        .iter()
+        .zip(&heads_faulty)
+        .filter(|((_, a), (_, b))| a != b)
+        .map(|((id, _), _)| *id)
+        .collect();
+    assert_eq!(roots.len(), 1, "seed {seed}: exactly one corrupted stmt");
+
+    // Constant input vectors: every read position sees the same value, so
+    // the trigger reads it no matter how much filler input precedes it.
+    // The passing offsets dodge every mutation's coincidence point: the
+    // ±1 mutations would re-fire the guard at fail_val∓1 and the
+    // negation at -fail_val, none of which +10/-13/+25 can reach for
+    // fail_val in 3..=7 (the -13 offset is odd, so 2·fail_val = 13 has
+    // no integer solution).
+    let failing_input = vec![fail_val; 64];
+    let passing_inputs = vec![
+        vec![fail_val + 10; 64],
+        vec![fail_val - 13; 64],
+        vec![fail_val + 25; 64],
+    ];
+
+    GeneratedCase {
+        seed,
+        fixed_src,
+        faulty_src,
+        fixed,
+        faulty,
+        root: roots[0],
+        failing_input,
+        passing_inputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_case() {
+        let opts = GenOptions::default();
+        for seed in 0..16 {
+            let a = generate_case(seed, &opts);
+            let b = generate_case(seed, &opts);
+            assert_eq!(a.fixed_src, b.fixed_src, "seed {seed}");
+            assert_eq!(a.faulty_src, b.faulty_src, "seed {seed}");
+            assert_eq!(a.root, b.root, "seed {seed}");
+            assert_eq!(a.failing_input, b.failing_input, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let opts = GenOptions::default();
+        let a = generate_case(1, &opts);
+        let distinct = (2..10)
+            .map(|s| generate_case(s, &opts))
+            .filter(|c| c.fixed_src != a.fixed_src)
+            .count();
+        assert!(distinct >= 7, "seeds should diversify programs");
+    }
+
+    #[test]
+    fn many_seeds_compile_with_aligned_ids() {
+        let opts = GenOptions::default();
+        for seed in 0..64 {
+            let c = generate_case(seed, &opts);
+            assert_eq!(c.fixed.stmt_count(), c.faulty.stmt_count());
+            assert!(c.fixed.stmt(c.root).is_some());
+            let head = stmt_head(c.fixed.stmt(c.root).unwrap());
+            assert!(
+                head.contains("input()"),
+                "seed {seed}: root is the trigger, got `{head}`"
+            );
+            assert!(c.fixed_src.contains("print(obs);"));
+        }
+    }
+
+    #[test]
+    fn scaffold_order_is_preserved() {
+        let opts = GenOptions::default();
+        for seed in 0..32 {
+            let c = generate_case(seed, &opts);
+            let trig = c.fixed_src.find("let trig").unwrap();
+            let print = c.fixed_src.find("print(obs);").unwrap();
+            assert!(trig < print, "seed {seed}: trigger precedes the output");
+        }
+    }
+
+    #[test]
+    fn options_shape_the_output() {
+        let no_extras = GenOptions {
+            helpers: 0,
+            arrays: false,
+            filler_chunks: 2,
+            max_depth: 1,
+        };
+        for seed in 0..16 {
+            let c = generate_case(seed, &no_extras);
+            assert!(!c.fixed_src.contains("fn f0"));
+            assert!(!c.fixed_src.contains("arr0"));
+        }
+    }
+}

@@ -41,6 +41,7 @@
 pub mod ast;
 pub mod check;
 pub mod diagnostics;
+pub mod generate;
 pub mod index;
 pub mod lexer;
 pub mod parser;
@@ -54,6 +55,7 @@ pub use ast::{
 };
 pub use check::{check_program, CheckError};
 pub use diagnostics::{render_diagnostic, render_frontend_error};
+pub use generate::{generate_case, GenOptions, GeneratedCase};
 pub use index::{ProgramIndex, StmtInfo, StmtRole, VarId, VarInfo, VarKind, VarTable};
 pub use parser::{parse_program, ParseError};
 pub use span::{SourceMap, Span};

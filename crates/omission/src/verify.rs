@@ -167,6 +167,27 @@ struct ComputedRun {
     input_underflows: u64,
 }
 
+impl ComputedRun {
+    /// The degraded result recorded for a candidate whose *harness-level*
+    /// computation panicked (anywhere outside the interpreter's own
+    /// isolation, e.g. while building the switched run's region tree) or
+    /// whose worker thread died before delivering a result: no memoized
+    /// run, outcome [`RunOutcome::Crashed`]([`CrashKind::Panic`]), and
+    /// the isolation counted in `panics_isolated`.
+    fn harness_panic() -> Self {
+        ComputedRun {
+            run: None,
+            outcome: RunOutcome::Crashed(CrashKind::Panic),
+            saved: None,
+            retries: 0,
+            invalid_checkpoint: false,
+            scratch_fallback: false,
+            panic_isolated: true,
+            input_underflows: 0,
+        }
+    }
+}
+
 /// One memoized switched execution: the trace plus the region tree the
 /// aligner navigates (built once, shared across alignments).
 #[derive(Debug)]
@@ -266,7 +287,10 @@ impl<'a> Verifier<'a> {
     /// switched re-execution (default none). The checkpoint-capture run
     /// only honors `corrupt-checkpoint` plans — other actions would
     /// perturb the replayed original execution rather than the switched
-    /// runs under test.
+    /// runs under test. `panic-harness` plans fire in the verifier
+    /// itself, just before the switched run whose spec matches the
+    /// planned statement/occurrence, exercising per-candidate isolation
+    /// of the harness (not just the interpreter).
     pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
         self.config.fault = plan;
         self
@@ -422,7 +446,7 @@ impl<'a> Verifier<'a> {
         if jobs <= 1 {
             for (i, (slot, &(spec, p))) in slots.iter_mut().zip(missing).enumerate() {
                 let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
-                *slot = Some(self.compute_switched(spec, p));
+                *slot = Some(self.compute_switched_isolated(spec, p));
             }
         } else {
             let this: &Verifier<'_> = self;
@@ -435,23 +459,32 @@ impl<'a> Verifier<'a> {
                         break;
                     };
                     let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
-                    local.push((i, this.compute_switched(spec, p)));
+                    local.push((i, this.compute_switched_isolated(spec, p)));
                 }
                 local
             };
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..jobs).map(|_| s.spawn(worker)).collect();
                 for h in handles {
-                    for (i, result) in h.join().expect("verification worker panicked") {
-                        slots[i] = Some(result);
+                    // Per-candidate isolation makes a worker-level panic
+                    // all but impossible, but if one does die its claimed
+                    // slots must degrade per candidate, not abort the
+                    // batch: leave them empty and let the merge below
+                    // fill them in.
+                    if let Ok(results) = h.join() {
+                        for (i, result) in results {
+                            slots[i] = Some(result);
+                        }
                     }
                 }
             });
         }
         // Merge in candidate order: memo contents and counters do not
-        // depend on which thread finished first.
+        // depend on which thread finished first. A slot left empty by a
+        // dead worker surfaces as an isolated harness panic for that
+        // candidate alone.
         for (slot, &(spec, _)) in slots.into_iter().zip(missing) {
-            let c = slot.expect("every slot is claimed exactly once");
+            let c = slot.unwrap_or_else(ComputedRun::harness_panic);
             self.stats.reexecutions += 1;
             match c.saved {
                 Some(n) => {
@@ -489,12 +522,38 @@ impl<'a> Verifier<'a> {
         self.stats.execution_wall += start.elapsed();
     }
 
+    /// [`Verifier::compute_switched`] behind a per-candidate
+    /// `catch_unwind`: a panic anywhere in the harness work for this
+    /// candidate — not just inside the interpreter — degrades to a
+    /// [`ComputedRun::harness_panic`] instead of unwinding the worker
+    /// (which would take that worker's whole claimed batch with it and
+    /// make results scheduling-dependent). `panic-harness` fault plans
+    /// fire here, before the switched run starts.
+    fn compute_switched_isolated(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = self.config.fault {
+                if matches!(plan.action, FaultAction::PanicHarness)
+                    && plan.stmt == spec.pred
+                    && plan.occurrence == spec.occurrence
+                {
+                    panic!(
+                        "injected harness panic for switch {}:{}",
+                        spec.pred, spec.occurrence
+                    );
+                }
+            }
+            self.compute_switched(spec, p)
+        }))
+        .unwrap_or_else(|_| ComputedRun::harness_panic())
+    }
+
     /// Executes one switched run: resumes from a checkpoint when allowed
     /// (falling back to from-scratch execution if the checkpoint is
     /// invalid or the resume fails), escalates the step budget through
     /// [`BudgetSchedule`] while the run keeps expiring, and isolates any
-    /// host panic behind `catch_unwind` so one hostile candidate cannot
-    /// abort the batch.
+    /// panic *of the interpreter* behind `catch_unwind`; panics in the
+    /// harness work around it are caught one level up by
+    /// [`Verifier::compute_switched_isolated`].
     fn compute_switched(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
         let full = self.config.switched(spec);
         let mut out = ComputedRun {

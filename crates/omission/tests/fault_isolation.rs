@@ -101,8 +101,94 @@ fn action_strategy() -> impl Strategy<Value = FaultAction> {
         Just(FaultAction::Crash(CrashKind::TypeError)),
         Just(FaultAction::ExhaustBudget),
         Just(FaultAction::Panic),
+        Just(FaultAction::PanicHarness),
         Just(FaultAction::CorruptCheckpoint),
     ]
+}
+
+// --- regressions pinned by the differential harness ----------------------
+
+/// Regression: a panic raised in the verifier harness itself — outside
+/// the interpreter's own `catch_unwind`, e.g. while building a switched
+/// run's region tree — unwound the worker thread, and `verify_all`
+/// aborted the whole batch through
+/// `h.join().expect("verification worker panicked")`, defeating
+/// per-candidate isolation. A harness panic must degrade only the
+/// candidate that owns it to `Crashed(Panic)` and leave every other
+/// verdict intact, identically for any jobs × resume configuration.
+#[test]
+fn fuzz_regress_worker_panic_surfaces_as_crashed() {
+    use omislice::omislice_trace::RunOutcome;
+    use omislice::Verdict;
+
+    let program = compile(
+        "fn main() {
+            let a = input();
+            if a > 0 { print(1); }
+            if a > 1 { print(2); }
+            print(a);
+        }",
+    )
+    .unwrap();
+    let analysis = ProgramAnalysis::build(&program);
+    let config = RunConfig::with_inputs(vec![2]);
+    let run = run_traced(&program, &analysis, &config);
+    let trace = &run.trace;
+
+    let u = trace.outputs().last().expect("trailing print").inst;
+    let var = *analysis
+        .index()
+        .stmt(trace.event(u).stmt)
+        .uses
+        .first()
+        .expect("print(a) uses a");
+    let preds: Vec<_> = trace
+        .insts()
+        .filter(|&i| trace.event(i).is_predicate())
+        .collect();
+    assert_eq!(preds.len(), 2, "both ifs execute under input 2");
+    let requests: Vec<VerifyRequest> = preds
+        .iter()
+        .map(|&p| VerifyRequest {
+            p,
+            u,
+            var,
+            wrong_output: u,
+            expected: None,
+        })
+        .collect();
+
+    // The plan panics the harness for the first predicate's switch spec;
+    // `panic-harness` never fires inside an interpreter, so the second
+    // candidate's switched run is untouched.
+    let plan = FaultPlan::new(trace.event(preds[0]).stmt, 0, FaultAction::PanicHarness);
+
+    let mut reference: Option<Vec<Verification>> = None;
+    for jobs in [1usize, 4] {
+        for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+            let mut v = Verifier::new(&program, &analysis, &config, trace, VerifierMode::Edge)
+                .with_jobs(jobs)
+                .with_resume(resume)
+                .with_fault_plan(Some(plan));
+            let verdicts = v.verify_all(&requests);
+            assert_eq!(
+                verdicts[0].outcome,
+                RunOutcome::Crashed(CrashKind::Panic),
+                "jobs={jobs} resume={resume:?}: harness panic must surface on its candidate"
+            );
+            assert_eq!(verdicts[0].verdict, Verdict::NotId);
+            assert_ne!(
+                verdicts[1].outcome,
+                RunOutcome::Crashed(CrashKind::Panic),
+                "jobs={jobs} resume={resume:?}: the other candidate must survive"
+            );
+            assert_eq!(v.stats().panics_isolated, 1);
+            match &reference {
+                Some(r) => assert_eq!(r, &verdicts, "jobs={jobs} resume={resume:?} diverged"),
+                None => reference = Some(verdicts),
+            }
+        }
+    }
 }
 
 // --- the property --------------------------------------------------------
