@@ -50,6 +50,10 @@ bench_smoke() {
         echo "bench smoke FAILED: sweep JSON lost the per-phase span columns" >&2
         exit 1
     fi
+    if ! grep -q '"trace_io":{"save_us":' "$out"; then
+        echo "bench smoke FAILED: sweep JSON lost the columnar trace_io columns" >&2
+        exit 1
+    fi
     echo "==> recorder overhead guard"
     ./target/release/overhead_guard
     echo "bench smoke OK"
@@ -81,6 +85,65 @@ obs_smoke() {
     echo "obs smoke OK ($root captured)"
 }
 
+# Trace round-trip smoke: a trace saved with `trace --save` and fed back
+# through `locate --trace-in` must be indistinguishable from tracing
+# in-process — identical report and identical journal (minus the
+# wall-clock `spans` record) — and corrupted or truncated trace files
+# must be rejected with a structured error, never a panic. Run
+# standalone with `./ci.sh trace-smoke`.
+trace_smoke() {
+    echo "==> trace smoke (trace --save / locate --trace-in round trip)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-cli
+    local dir
+    dir=$(mktemp -d)
+    cat > "$dir/faulty.omi" <<'EOF'
+global flags = 0;
+fn main() { let save = input() - 1; flags = 1;
+            if save == 1 { flags = 2; } print(flags); }
+EOF
+    cat > "$dir/fixed.omi" <<'EOF'
+global flags = 0;
+fn main() { let save = input(); flags = 1;
+            if save == 1 { flags = 2; } print(flags); }
+EOF
+    ./target/release/omislice trace "$dir/faulty.omi" --input 1 \
+        --save "$dir/t.omitrace" 2>/dev/null
+    ./target/release/omislice locate --faulty "$dir/faulty.omi" \
+        --fixed "$dir/fixed.omi" --input 1 \
+        --obs-out "$dir/live.jsonl" > "$dir/live.out"
+    ./target/release/omislice locate --faulty "$dir/faulty.omi" \
+        --fixed "$dir/fixed.omi" --input 1 --trace-in "$dir/t.omitrace" \
+        --obs-out "$dir/reload.jsonl" > "$dir/reload.out"
+    if ! cmp -s "$dir/live.out" "$dir/reload.out"; then
+        echo "trace smoke FAILED: reports diverge between live and reloaded trace" >&2
+        exit 1
+    fi
+    if ! diff <(grep -v '"type":"spans"' "$dir/live.jsonl") \
+              <(grep -v '"type":"spans"' "$dir/reload.jsonl") >/dev/null; then
+        echo "trace smoke FAILED: journals diverge between live and reloaded trace" >&2
+        exit 1
+    fi
+    head -c 40 "$dir/t.omitrace" > "$dir/trunc.omitrace"
+    printf 'garbage' > "$dir/bad.omitrace"
+    local f
+    for f in trunc bad; do
+        if ./target/release/omislice locate --faulty "$dir/faulty.omi" \
+            --fixed "$dir/fixed.omi" --input 1 \
+            --trace-in "$dir/$f.omitrace" >/dev/null 2>"$dir/$f.err"; then
+            echo "trace smoke FAILED: $f.omitrace was accepted" >&2
+            exit 1
+        fi
+        if ! grep -q "cannot load trace" "$dir/$f.err" \
+            || grep -q "panicked" "$dir/$f.err"; then
+            echo "trace smoke FAILED: $f.omitrace did not fail cleanly:" >&2
+            cat "$dir/$f.err" >&2
+            exit 1
+        fi
+    done
+    rm -rf "$dir"
+    echo "trace smoke OK"
+}
+
 # Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
 # (fixed seed set, so deterministic and bounded) must hold every
 # cross-pipeline invariant — DS ⊆ RS, pruned ⊆ DS, indexed alignment ==
@@ -110,6 +173,10 @@ if [ "${1:-}" = "obs-smoke" ]; then
     obs_smoke
     exit 0
 fi
+if [ "${1:-}" = "trace-smoke" ]; then
+    trace_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
@@ -130,5 +197,7 @@ fuzz_smoke
 bench_smoke
 
 obs_smoke
+
+trace_smoke
 
 echo "CI OK"

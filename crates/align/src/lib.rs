@@ -191,7 +191,7 @@ impl<'a> Aligner<'a> {
 
     /// Convenience: matches `u` and returns the corresponding event of the
     /// switched trace.
-    pub fn match_event(&self, p: InstId, u: InstId) -> Option<&omislice_trace::Event> {
+    pub fn match_event(&self, p: InstId, u: InstId) -> Option<omislice_trace::EventRef<'_>> {
         self.match_inst(p, u).map(|m| self.switched.event(m))
     }
 

@@ -1,14 +1,14 @@
 //! Thin driver for the workload sweep (see `omislice_bench::sweep`).
 //!
 //! ```text
-//! sweep [--scales 10,50,250,1000] [--jobs N] [--reps N] [--out BENCH_sweep.json]
+//! sweep [--scales 10,50,250,1000,10000] [--jobs N] [--reps N] [--out BENCH_sweep.json]
 //! ```
 
 use omislice_bench::sweep::{render_table, run_sweep, to_json, SweepOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--scales 10,50,250,1000] [--jobs N] [--reps N] [--out BENCH_sweep.json]"
+        "usage: sweep [--scales 10,50,250,1000,10000] [--jobs N] [--reps N] [--out BENCH_sweep.json]"
     );
     std::process::exit(2);
 }

@@ -19,7 +19,7 @@ use omislice::omislice_analysis::ProgramAnalysis;
 use omislice::omislice_interp::{run_plain, run_traced, ResumeMode, RunConfig};
 use omislice::omislice_lang::compile;
 use omislice::omislice_slicing::{relevant_slice_on, DepGraph};
-use omislice::omislice_trace::{Trace, VerificationStats};
+use omislice::omislice_trace::{load_trace, save_trace, Trace, VerificationStats};
 use omislice::{Verifier, VerifierMode, VerifyRequest};
 use omislice_corpus::{all_benchmarks, WorkloadGen};
 use std::collections::HashSet;
@@ -45,7 +45,7 @@ pub struct SweepOptions {
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
-            scales: vec![10, 50, 250, 1000],
+            scales: vec![10, 50, 250, 1000, 10000],
             jobs: 1,
             reps: 5,
         }
@@ -79,6 +79,19 @@ pub struct Sample {
     pub rs_ns: u128,
     pub verify: Option<VerifySample>,
     pub phases: PhaseSample,
+    pub io: IoSample,
+}
+
+/// On-disk `omitrace/v1` round-trip cost for the sample's trace:
+/// encode-and-write (`save_ns`), map-and-decode (`load_ns`), the
+/// resulting file size, and the resident columnar footprint the
+/// encoder starts from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IoSample {
+    pub save_ns: u128,
+    pub load_ns: u128,
+    pub file_bytes: u64,
+    pub columnar_bytes: usize,
 }
 
 /// Per-phase wall time from the recorder's span histogram, measured in
@@ -148,7 +161,12 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
         let mut gen = WorkloadGen::new(SWEEP_SEED);
         for &scale in &opts.scales {
             let inputs = gen.sized_for_benchmark(b.name, scale);
-            let config = RunConfig::with_inputs(inputs.clone());
+            let mut config = RunConfig::with_inputs(inputs.clone());
+            // The default step budget guards *switched* runs against
+            // infinite loops; the sweep's base runs are known-terminating
+            // and the ×10000 tier legitimately exceeds it, so let the
+            // ceiling grow with the tier.
+            config.step_budget = config.step_budget.max(scale as u64 * 1024);
 
             let (plain, plain_ns) = timed_min(opts.reps, || run_plain(&program, &config));
             assert!(plain.is_normal(), "{}: {:?}", b.name, plain.termination);
@@ -207,6 +225,29 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
 
             let phases = instrumented_pass(&program, &analysis, &config, opts.jobs);
 
+            let io = {
+                let path = std::env::temp_dir().join(format!(
+                    "omislice-sweep-{}-{}-{scale}.omitrace",
+                    std::process::id(),
+                    b.name,
+                ));
+                let (_, save_ns) = timed_min(opts.reps, || {
+                    save_trace(&run.trace, &path).expect("saves the sweep trace")
+                });
+                let file_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let (reloaded, load_ns) = timed_min(opts.reps, || {
+                    load_trace(&path).expect("reloads the sweep trace")
+                });
+                assert_eq!(reloaded.len(), run.trace.len(), "{}: reload drift", b.name);
+                std::fs::remove_file(&path).ok();
+                IoSample {
+                    save_ns,
+                    load_ns,
+                    file_bytes,
+                    columnar_bytes: run.trace.columns().bytes(),
+                }
+            };
+
             samples.push(Sample {
                 benchmark: b.name.to_string(),
                 scale,
@@ -219,6 +260,7 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 rs_ns,
                 verify,
                 phases,
+                io,
             });
         }
     }
@@ -301,12 +343,19 @@ fn sample_json(s: &Sample) -> String {
         json_us(s.phases.slice_ns as u128),
         json_us(s.phases.verify_ns as u128),
     );
+    let trace_io = format!(
+        "{{\"save_us\":{},\"load_us\":{},\"file_bytes\":{},\"columnar_bytes\":{}}}",
+        json_us(s.io.save_ns),
+        json_us(s.io.load_ns),
+        s.io.file_bytes,
+        s.io.columnar_bytes,
+    );
     format!(
         concat!(
             "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
             "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
             "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},",
-            "\"phases\":{},\"verify\":{}}}"
+            "\"phases\":{},\"trace_io\":{},\"verify\":{}}}"
         ),
         s.benchmark,
         s.scale,
@@ -318,6 +367,7 @@ fn sample_json(s: &Sample) -> String {
         json_us(s.graph_ns),
         json_us(s.rs_ns),
         phases,
+        trace_io,
         verify,
     )
 }
@@ -345,6 +395,9 @@ pub fn render_table(samples: &[Sample]) -> String {
                 micros(s.plain_ns),
                 micros(s.graph_ns),
                 micros(s.rs_ns),
+                micros(s.io.save_ns),
+                micros(s.io.load_ns),
+                format!("{:.1}", s.io.file_bytes as f64 / 1024.0),
                 scratch,
                 resumed,
                 memo,
@@ -362,6 +415,9 @@ pub fn render_table(samples: &[Sample]) -> String {
             "Plain (us)",
             "Graph (us)",
             "RS (us)",
+            "Save (us)",
+            "Load (us)",
+            "File (KB)",
             "Verif scratch (us)",
             "Verif resumed (us)",
             "Verif memo (us)",

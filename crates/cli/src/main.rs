@@ -3,9 +3,11 @@
 //! ```text
 //! omislice run      <file> [--input 1,2,3]
 //! omislice trace    <file> [--input 1,2,3] [--regions] [--dot] [--stats]
+//!                   [--save <file.omitrace>]
 //! omislice slice    <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
 //! omislice cfg      <file> [--function main]
 //! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
+//!                   [--trace-in <file.omitrace>]
 //!                   [--profile 4,5;6,7] [--mode edge|path|value]
 //!                   [--jobs N] [--no-resume] [--stats]
 //!                   [--budget init[:factor[:attempts]]|off]
@@ -46,9 +48,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   omislice run     <file> [--input 1,2,3]
   omislice trace   <file> [--input 1,2,3] [--regions] [--dot] [--stats]
+                   [--save <file.omitrace>]
   omislice slice   <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
   omislice cfg     <file> [--function main]
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
+                   [--trace-in <file.omitrace>]
                    [--profile 4,5;6,7] [--mode edge|path|value]
                    [--jobs N] [--no-resume] [--stats]
                    [--budget init[:factor[:attempts]]|off]
@@ -166,7 +170,7 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
 }
 
 fn cmd_trace(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["input"])?;
+    let opts = Opts::parse(args, &["input", "save"])?;
     let path = opts
         .positional
         .first()
@@ -176,6 +180,17 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
     let run = run_traced(&program, &analysis, &config);
     let trace = &run.trace;
+    if let Some(out) = opts.value("save") {
+        omislice::omislice_trace::save_trace(trace, std::path::Path::new(out))
+            .map_err(|e| format!("cannot save trace to `{out}`: {e}"))?;
+        let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+        Reporter::stderr().line(&format!(
+            "saved {} instance(s), {} dependence edge(s) to `{out}` ({bytes} bytes, omitrace/v1)",
+            trace.len(),
+            trace.columns().deps_len(),
+        ));
+        return Ok(());
+    }
     if opts.has("stats") {
         let mut rep = Reporter::stderr();
         rep.section("trace statistics");
@@ -546,6 +561,7 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
             "faulty",
             "fixed",
             "input",
+            "trace-in",
             "profile",
             "mode",
             "jobs",
@@ -566,7 +582,14 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
 
     let analysis = ProgramAnalysis::build(&faulty);
     let fixed_analysis = ProgramAnalysis::build(&fixed);
-    let trace = run_traced(&faulty, &analysis, &config).trace;
+    // The failing trace: reloaded from an `omitrace/v1` file when
+    // `--trace-in` is given (it must come from running the faulty
+    // program on the same inputs), freshly recorded otherwise.
+    let trace = match opts.value("trace-in") {
+        Some(p) => omislice::omislice_trace::load_trace(std::path::Path::new(p))
+            .map_err(|e| format!("cannot load trace from `{p}`: {e}"))?,
+        None => run_traced(&faulty, &analysis, &config).trace,
+    };
 
     let mut profile = ValueProfile::new();
     profile.add_trace(&trace);

@@ -481,6 +481,155 @@ fn corpus_locate_supports_obs_flags() {
     assert!(jsonl.contains("\"program\":\"sed:V3-F2\""), "{jsonl}");
 }
 
+/// Journal lines with the wall-clock `spans` record removed: spans
+/// carry real durations, so they are the one record that legitimately
+/// differs between two otherwise identical locate sessions.
+fn journal_sans_spans(path: &std::path::Path) -> String {
+    std::fs::read_to_string(path)
+        .expect("journal written")
+        .lines()
+        .filter(|l| !l.contains("\"type\":\"spans\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn trace_save_then_locate_trace_in_round_trips() {
+    let fixed = write_temp("fixed-rt", FIXED);
+    let faulty = write_temp("faulty-rt", FAULTY);
+    let dir = std::env::temp_dir().join("omislice-cli-tests");
+    let trace_file = dir.join(format!("rt-{}.omitrace", std::process::id()));
+    let saved = omislice(&[
+        "trace",
+        faulty.to_str().unwrap(),
+        "--input",
+        "1",
+        "--save",
+        trace_file.to_str().unwrap(),
+    ]);
+    assert!(
+        saved.status.success(),
+        "{}",
+        String::from_utf8_lossy(&saved.stderr)
+    );
+    assert!(saved.stdout.is_empty(), "--save keeps stdout machine-clean");
+    assert!(
+        String::from_utf8_lossy(&saved.stderr).contains("omitrace/v1"),
+        "{}",
+        String::from_utf8_lossy(&saved.stderr)
+    );
+
+    // The same locate session twice: once tracing in-process, once
+    // reloading the saved trace. Reports and journals must agree
+    // exactly — the reloaded trace is indistinguishable from the live
+    // one.
+    let journal_live = dir.join(format!("rt-live-{}.jsonl", std::process::id()));
+    let journal_reload = dir.join(format!("rt-reload-{}.jsonl", std::process::id()));
+    let run = |journal: &std::path::Path, trace_in: Option<&std::path::Path>| {
+        let mut args = vec![
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            "--input",
+            "1",
+            "--obs-out",
+            journal.to_str().unwrap(),
+        ];
+        if let Some(t) = trace_in {
+            args.extend(["--trace-in", t.to_str().unwrap()]);
+        }
+        let out = omislice(&args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let live = run(&journal_live, None);
+    let reloaded = run(&journal_reload, Some(&trace_file));
+    assert!(live.contains("root cause captured : yes"), "{live}");
+    assert_eq!(live, reloaded, "reports diverge between live and reload");
+    assert_eq!(
+        journal_sans_spans(&journal_live),
+        journal_sans_spans(&journal_reload),
+        "journals diverge between live and reload"
+    );
+}
+
+#[test]
+fn locate_trace_in_rejects_corrupt_files_without_panicking() {
+    let fixed = write_temp("fixed-corrupt", FIXED);
+    let faulty = write_temp("faulty-corrupt", FAULTY);
+    let dir = std::env::temp_dir().join("omislice-cli-tests");
+    let trace_file = dir.join(format!("corrupt-{}.omitrace", std::process::id()));
+    let saved = omislice(&[
+        "trace",
+        faulty.to_str().unwrap(),
+        "--input",
+        "1",
+        "--save",
+        trace_file.to_str().unwrap(),
+    ]);
+    assert!(saved.status.success());
+    let good = std::fs::read(&trace_file).expect("trace saved");
+
+    let locate_with = |bytes: &[u8], name: &str| {
+        let path = dir.join(format!("{name}-{}.omitrace", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        omislice(&[
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            "--input",
+            "1",
+            "--trace-in",
+            path.to_str().unwrap(),
+        ])
+    };
+
+    let mut flipped = good.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    for (out, what) in [
+        (
+            locate_with(&good[..good.len() / 2], "truncated"),
+            "truncated",
+        ),
+        (locate_with(&flipped, "bitflip"), "bit-flipped"),
+        (locate_with(b"definitely not a trace", "garbage"), "garbage"),
+        (locate_with(b"", "empty"), "empty"),
+    ] {
+        assert!(!out.status.success(), "{what} trace must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot load trace"),
+            "{what}: structured error expected, got:\n{stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{what}: the CLI must not panic:\n{stderr}"
+        );
+    }
+
+    // A missing file is an I/O error, same structured path.
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--trace-in",
+        "/nonexistent/ghost.omitrace",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load trace"));
+}
+
 #[test]
 fn locate_mode_flag_is_respected() {
     let fixed = write_temp("fixed2", FIXED);

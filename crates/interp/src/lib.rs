@@ -649,8 +649,8 @@ mod tests {
         let k = run.switched.unwrap().index();
         for i in 0..k {
             assert_eq!(
-                base.trace.events()[i],
-                run.trace.events()[i],
+                base.trace.event(InstId(i as u32)),
+                run.trace.event(InstId(i as u32)),
                 "prefix diverged at {i}"
             );
         }
@@ -707,7 +707,7 @@ mod tests {
         let cfg = RunConfig::with_inputs(vec![3, 1, 4, 1, 5, 9, 2, 6]);
         let r1 = run_traced(&p, &a, &cfg);
         let r2 = run_traced(&p, &a, &cfg);
-        assert_eq!(r1.trace.events(), r2.trace.events());
+        assert_eq!(r1.trace.events_vec(), r2.trace.events_vec());
         assert_eq!(r1.trace.output_values(), r2.trace.output_values());
     }
 
@@ -806,7 +806,10 @@ mod tests {
         let run = run_traced(&p, &an, &cfg);
         let k = run.overridden.unwrap().index();
         for i in 0..k {
-            assert_eq!(orig.trace.events()[i], run.trace.events()[i]);
+            assert_eq!(
+                orig.trace.event(InstId(i as u32)),
+                run.trace.event(InstId(i as u32))
+            );
         }
         assert_eq!(outs(&run), vec![100]);
     }

@@ -194,9 +194,9 @@ pub fn resume_switched(
         .map_err(ResumeError::Invalid)?;
     if let Some(plan) = config.fault {
         if !matches!(plan.action, FaultAction::CorruptCheckpoint) {
-            let in_prefix = base.events()[..checkpoint.trace_len]
-                .iter()
-                .filter(|e| e.stmt == plan.stmt)
+            let cols = base.columns();
+            let in_prefix = (0..checkpoint.trace_len)
+                .filter(|&i| cols.stmt_of(InstId(i as u32)) == plan.stmt)
                 .count() as u32;
             if in_prefix > plan.occurrence {
                 return Err(ResumeError::FaultInPrefix);
@@ -264,7 +264,7 @@ mod tests {
         let specs = all_specs(&p, &base);
         assert!(!specs.is_empty(), "program has predicate instances");
         let (rerun, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
-        assert_eq!(rerun.trace.events(), base.trace.events());
+        assert_eq!(rerun.trace.events_vec(), base.trace.events_vec());
         assert_eq!(checkpoints.len(), specs.len(), "one checkpoint per spec");
         let mut resumed_any = false;
         for cp in &checkpoints {
@@ -274,8 +274,8 @@ mod tests {
                 Ok(resumed) => {
                     resumed_any = true;
                     assert_eq!(
-                        resumed.trace.events(),
-                        scratch.trace.events(),
+                        resumed.trace.events_vec(),
+                        scratch.trace.events_vec(),
                         "resumed events differ for {:?}",
                         cp.spec
                     );
@@ -415,7 +415,10 @@ mod tests {
             let scratch = run_traced(&p, &a, &switched);
             let resumed = resume_switched(&p, &a, &switched, cp, &base.trace)
                 .expect("single-frame checkpoints resume");
-            assert_eq!(resumed.trace.events().len(), scratch.trace.events().len());
+            assert_eq!(
+                resumed.trace.events_vec().len(),
+                scratch.trace.events_vec().len()
+            );
             assert_eq!(resumed.trace.termination(), scratch.trace.termination());
         }
     }
@@ -441,7 +444,7 @@ mod tests {
         };
         let (rerun, checkpoints) = run_traced_with_checkpoints(&p, &a, &corrupting, &specs);
         // The corruption never perturbs the run itself.
-        assert_eq!(rerun.trace.events(), base.trace.events());
+        assert_eq!(rerun.trace.events_vec(), base.trace.events_vec());
         let bad = checkpoints
             .iter()
             .find(|c| c.spec.occurrence == 1)
@@ -457,7 +460,7 @@ mod tests {
             let sw = config.switched(cp.spec);
             let scratch = run_traced(&p, &a, &sw);
             let resumed = resume_switched(&p, &a, &sw, cp, &base.trace).unwrap();
-            assert_eq!(resumed.trace.events(), scratch.trace.events());
+            assert_eq!(resumed.trace.events_vec(), scratch.trace.events_vec());
         }
     }
 
@@ -485,8 +488,8 @@ mod tests {
             match resume_switched(&p, &a, &switched, cp, &base.trace) {
                 Ok(resumed) => {
                     assert_eq!(
-                        resumed.trace.events(),
-                        scratch.trace.events(),
+                        resumed.trace.events_vec(),
+                        scratch.trace.events_vec(),
                         "resumed+fault differs for {:?}",
                         cp.spec
                     );
@@ -516,7 +519,7 @@ mod tests {
         let specs = all_specs(&p, &base);
         let (_, checkpoints) = run_traced_with_checkpoints(&p, &a, &config, &specs);
         for cp in &checkpoints {
-            assert!(cp.prefix_len() <= base.trace.events().len());
+            assert!(cp.prefix_len() <= base.trace.events_vec().len());
         }
         // Later occurrences have longer prefixes.
         let mut by_occ: Vec<_> = checkpoints.iter().map(|c| c.prefix_len()).collect();

@@ -8,8 +8,12 @@ use crate::snapshot::Checkpoint;
 use crate::store::{Cell, Frame, Globals, Slot};
 use crate::{FaultAction, FaultPlan, OverrideSpec, RunConfig, SwitchSpec};
 use omislice_analysis::ProgramAnalysis;
-use omislice_lang::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtId, StmtKind, UnOp, VarId};
-use omislice_trace::{CrashKind, Event, InstId, OutputRecord, Termination, Trace, Value};
+use omislice_lang::{
+    BinOp, Block, Expr, ExprId, ExprKind, Program, Stmt, StmtId, StmtKind, UnOp, VarId,
+};
+use omislice_trace::{
+    CrashKind, Event, InstId, OutputRecord, RawEvent, Recorder, Termination, Trace, Value,
+};
 use std::collections::HashMap;
 
 /// Maximum call depth; deeper recursion is reported as a runtime error
@@ -94,7 +98,7 @@ pub(crate) fn run_traced_capturing(
         fault: config.fault,
         fault_seen: 0,
         occ: vec![0; program.stmt_count() as usize],
-        events: Vec::new(),
+        rec: Recorder::new(),
         outputs: Vec::new(),
         globals: Globals::init(program, analysis.index()),
         region_stack: Vec::new(),
@@ -110,13 +114,17 @@ pub(crate) fn run_traced_capturing(
         Err(Stop::Budget) => Termination::BudgetExhausted,
         Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
+    let (cols, index, stats) = t.rec.finish();
     if omislice_obs::enabled() {
-        omislice_obs::counter_add("tracer.events", t.events.len() as u64);
+        omislice_obs::counter_add("tracer.events", cols.len() as u64);
         omislice_obs::counter_add("tracer.runs", 1);
+        omislice_obs::counter_add("columnar.bytes", cols.bytes() as u64);
+        omislice_obs::counter_max("recorder.queue_depth_max", stats.queue_depth_max as u64);
+        omislice_obs::counter_add("recorder.backpressure_stalls", stats.backpressure_stalls);
     }
     drop(span);
     let run = TracedRun {
-        trace: Trace::from_parts(t.events, t.outputs, termination),
+        trace: Trace::from_recorded(cols, t.outputs, termination, index),
         switched: t.switched,
         overridden: t.overridden,
         input_underflows: t.input_underflows,
@@ -164,9 +172,11 @@ pub(crate) fn resume_switched_impl(
         }
         paths.push(steps);
     }
-    let prefix = &base.events()[..checkpoint.trace_len];
+    let cols = base.columns();
     let fault_seen = match config.fault {
-        Some(plan) => prefix.iter().filter(|e| e.stmt == plan.stmt).count() as u32,
+        Some(plan) => (0..checkpoint.trace_len)
+            .filter(|&i| cols.stmt_of(InstId(i as u32)) == plan.stmt)
+            .count() as u32,
         None => 0,
     };
     let mut t = Tracer {
@@ -183,7 +193,7 @@ pub(crate) fn resume_switched_impl(
         fault: config.fault,
         fault_seen,
         occ: checkpoint.occ.clone(),
-        events: prefix.to_vec(),
+        rec: Recorder::from_prefix(cols, checkpoint.trace_len),
         outputs: base.outputs()[..checkpoint.outputs_len].to_vec(),
         globals: checkpoint.globals.clone(),
         region_stack: checkpoint.region_stack.clone(),
@@ -196,8 +206,9 @@ pub(crate) fn resume_switched_impl(
         Err(Stop::Budget) => Termination::BudgetExhausted,
         Err(Stop::Crash(kind, msg)) => Termination::RuntimeError(kind, msg),
     };
+    let (cols, index, _stats) = t.rec.finish();
     Some(TracedRun {
-        trace: Trace::from_parts(t.events, t.outputs, termination),
+        trace: Trace::from_recorded(cols, t.outputs, termination, index),
         switched: t.switched,
         overridden: t.overridden,
         input_underflows: t.input_underflows,
@@ -306,7 +317,8 @@ struct Tracer<'a> {
     /// dense over `StmtId` — indexed on every recorded predicate, so a
     /// flat array beats hashing.
     occ: Vec<u32>,
-    events: Vec<Event>,
+    /// The streaming columnar recorder the run appends into.
+    rec: Recorder,
     outputs: Vec<OutputRecord>,
     globals: Globals,
     /// Innermost guarding predicate instances (region nesting), crossing
@@ -348,16 +360,22 @@ impl<'a> Tracer<'a> {
     /// Records an event, assigning its timestamp, region parent, and call
     /// depth. Fails when the step budget is exhausted or an injected
     /// fault fires at this instance.
-    fn record(&mut self, mut ev: Event) -> Result<InstId, Stop> {
-        if self.events.len() as u64 >= self.budget {
+    fn record(&mut self, ev: Event) -> Result<InstId, Stop> {
+        if self.rec.len() as u64 >= self.budget {
             return Err(Stop::Budget);
         }
         check_fault(&mut self.fault_seen, self.fault, ev.stmt)?;
-        ev.call_depth = (self.frames.len() - 1) as u32;
-        ev.region_parent = self.region_stack.last().copied();
-        let id = InstId(self.events.len() as u32);
-        self.events.push(ev);
-        Ok(id)
+        Ok(self.rec.push(RawEvent {
+            stmt: ev.stmt,
+            value: ev.value,
+            branch: ev.branch,
+            deps: &ev.data_deps,
+            cd_parent: ev.cd_parent,
+            region_parent: self.region_stack.last().copied(),
+            def_var: ev.def_var,
+            cell_index: ev.cell_index,
+            call_depth: (self.frames.len() - 1) as u32,
+        }))
     }
 
     /// Dynamic control-dependence parent for a statement about to execute:
@@ -396,16 +414,19 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    fn resolve(&self, name: &str) -> Result<VarId, Stop> {
+    /// Looks a `Var`/`Load` expression's name up in the parse-time
+    /// resolution table ([`ProgramIndex::resolved_var`]); one array load
+    /// instead of two string-hash lookups per read.
+    #[inline]
+    fn resolved(&self, id: ExprId, name: &str) -> Result<VarId, Stop> {
         self.analysis
             .index()
-            .vars()
-            .resolve(&self.frame().func, name)
-            .ok_or_else(|| Stop::Crash(CrashKind::TypeError, format!("unknown variable `{name}`")))
+            .resolved_var(id)
+            .ok_or_else(|| unknown_var(name))
     }
 
-    fn read_var(&self, name: &str) -> EvalResult {
-        let var = self.resolve(name)?;
+    fn read_var(&self, id: ExprId, name: &str) -> EvalResult {
+        let var = self.resolved(id, name)?;
         if let Some(cell) = self.frame().locals.get(&var) {
             let value = cell.value.ok_or_else(|| {
                 Stop::Crash(
@@ -433,8 +454,9 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    fn write_scalar(&mut self, name: &str, cell: Cell) -> Result<VarId, Stop> {
-        let var = self.resolve(name)?;
+    /// Writes a scalar through its pre-resolved slot; `name` is only for
+    /// error messages.
+    fn write_scalar(&mut self, var: VarId, name: &str, cell: Cell) -> Result<VarId, Stop> {
         if self.analysis.index().vars().is_global(var) {
             match self.globals.get_mut(var) {
                 Some(Slot::Scalar(c)) => {
@@ -453,8 +475,9 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    fn array_index(&self, name: &str, index: i64) -> Result<(VarId, usize), Stop> {
-        let var = self.resolve(name)?;
+    /// Bounds-checks an element access on a pre-resolved array variable;
+    /// `name` is only for error messages.
+    fn array_index(&self, var: VarId, name: &str, index: i64) -> Result<(VarId, usize), Stop> {
         let Some(Slot::Array(cells)) = self.globals.get(var) else {
             return Err(Stop::Crash(
                 CrashKind::TypeError,
@@ -479,11 +502,12 @@ impl<'a> Tracer<'a> {
         match &expr.kind {
             ExprKind::Int(n) => Ok((Value::Int(*n), Vec::new())),
             ExprKind::Bool(b) => Ok((Value::Bool(*b), Vec::new())),
-            ExprKind::Var(name) => self.read_var(name),
+            ExprKind::Var(name) => self.read_var(expr.id, name),
             ExprKind::Load { name, index } => {
                 let (iv, mut deps) = self.eval(index)?;
                 let idx = int_operand(iv, "array index")?;
-                let (var, i) = self.array_index(name, idx)?;
+                let arr = self.resolved(expr.id, name)?;
+                let (var, i) = self.array_index(arr, name, idx)?;
                 let Some(Slot::Array(cells)) = self.globals.get(var) else {
                     unreachable!("array_index verified the slot");
                 };
@@ -547,13 +571,7 @@ impl<'a> Tracer<'a> {
             call_site,
             ..Frame::default()
         };
-        for (param, (value, deps)) in decl.params.iter().zip(args) {
-            let var = self
-                .analysis
-                .index()
-                .vars()
-                .resolve(callee, param)
-                .expect("parameters are in the table");
+        for (&var, (value, deps)) in self.analysis.index().param_ids(callee).iter().zip(args) {
             frame.locals.insert(var, Cell::new(value, deps));
         }
         self.frames.push(frame);
@@ -617,15 +635,25 @@ impl<'a> Tracer<'a> {
                 if overridden_here {
                     self.overridden = Some(inst_placeholder);
                 }
-                let var = self.write_scalar(name, Cell::new(v, vec![inst_placeholder]))?;
-                self.events[inst_placeholder.index()].def_var = Some(var);
+                let var = match self.analysis.index().stmt(stmt.id).def {
+                    Some(var) => var,
+                    None => return Err(unknown_var(name)),
+                };
+                self.write_scalar(var, name, Cell::new(v, vec![inst_placeholder]))?;
+                self.rec.set_def_var_last(var);
                 Ok(Flow::Normal)
             }
             StmtKind::Store { name, index, value } => {
                 let (iv, ideps) = self.eval(index)?;
                 let idx = int_operand(iv, "array index")?;
                 let (v, vdeps) = self.eval(value)?;
-                let (var, i) = self.array_index(name, idx)?;
+                let arr = self
+                    .analysis
+                    .index()
+                    .stmt(stmt.id)
+                    .def
+                    .ok_or_else(|| unknown_var(name))?;
+                let (var, i) = self.array_index(arr, name, idx)?;
                 let mut ev = Event::new(stmt.id);
                 ev.value = Some(v);
                 ev.data_deps = dedup(ideps.into_iter().chain(vdeps).collect());
@@ -670,7 +698,7 @@ impl<'a> Tracer<'a> {
                 ev.data_deps = dedup(deps);
                 ev.cd_parent = cd;
                 if value.is_some() {
-                    ev.def_var = self.analysis.index().vars().ret_slot(&self.frame().func);
+                    ev.def_var = self.analysis.index().stmt(stmt.id).def;
                 }
                 let inst = self.record(ev)?;
                 match value {
@@ -849,7 +877,7 @@ impl<'a> Tracer<'a> {
         let (trace_len, outputs_len) = if corrupt {
             (usize::MAX, usize::MAX)
         } else {
-            (self.events.len(), self.outputs.len())
+            (self.rec.len(), self.outputs.len())
         };
         self.captured.push(Checkpoint {
             spec: SwitchSpec::new(stmt, entry_occ),
@@ -1018,6 +1046,10 @@ fn dedup(mut deps: Vec<InstId>) -> Vec<InstId> {
 
 fn missing_callee(name: &str) -> Stop {
     Stop::Crash(CrashKind::MissingCallee, format!("no function `{name}`"))
+}
+
+fn unknown_var(name: &str) -> Stop {
+    Stop::Crash(CrashKind::TypeError, format!("unknown variable `{name}`"))
 }
 
 /// Translates a fired [`FaultPlan`] into this interpreter's [`Stop`].

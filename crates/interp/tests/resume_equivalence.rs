@@ -148,7 +148,7 @@ proptest! {
             )));
         };
         prop_assert_eq!(resumed.switched, scratch.switched);
-        prop_assert_eq!(resumed.trace.events(), scratch.trace.events());
+        prop_assert_eq!(resumed.trace.events_vec(), scratch.trace.events_vec());
         prop_assert_eq!(resumed.trace.outputs(), scratch.trace.outputs());
         prop_assert_eq!(resumed.trace.termination(), scratch.trace.termination());
         prop_assert_eq!(resumed.input_underflows, scratch.input_underflows);

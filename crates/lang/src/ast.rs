@@ -26,6 +26,33 @@ impl fmt::Display for StmtId {
     }
 }
 
+/// Stable identifier of an expression node, assigned densely in parse
+/// order from 0. Analyses use it to attach side tables to expression
+/// nodes — most importantly the parse-time name-resolution table in
+/// [`ProgramIndex`](crate::index::ProgramIndex), which lets the
+/// interpreters turn a variable read into an array lookup instead of
+/// hashing strings on every evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+impl ExprId {
+    /// Placeholder for expressions constructed outside the parser (tests,
+    /// ad-hoc construction). Such nodes have no entry in id-keyed side
+    /// tables; lookups report them as unresolved.
+    pub const DUMMY: ExprId = ExprId(u32::MAX);
+
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ExprId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.0)
+    }
+}
+
 /// A whole program: globals and functions, in source order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
@@ -33,21 +60,34 @@ pub struct Program {
     pub items: Vec<Item>,
     /// Total number of statements; all [`StmtId`]s are `< stmt_count`.
     stmt_count: u32,
+    /// Total number of expression nodes; parser-assigned [`ExprId`]s are
+    /// `< expr_count`.
+    expr_count: u32,
 }
 
 impl Program {
-    /// Creates a program from items, declaring how many statement ids the
-    /// parser allocated.
+    /// Creates a program from items, declaring how many statement and
+    /// expression ids the parser allocated.
     ///
     /// Library users normally obtain programs via
     /// [`parse_program`](crate::parse_program) rather than this constructor.
-    pub fn new(items: Vec<Item>, stmt_count: u32) -> Self {
-        Program { items, stmt_count }
+    pub fn new(items: Vec<Item>, stmt_count: u32, expr_count: u32) -> Self {
+        Program {
+            items,
+            stmt_count,
+            expr_count,
+        }
     }
 
     /// Number of statements in the program (ids are dense `0..stmt_count`).
     pub fn stmt_count(&self) -> u32 {
         self.stmt_count
+    }
+
+    /// Number of expression nodes (parser-assigned ids are dense
+    /// `0..expr_count`).
+    pub fn expr_count(&self) -> u32 {
+        self.expr_count
     }
 
     /// Iterates over the function declarations in source order.
@@ -251,6 +291,9 @@ pub enum StmtKind {
 /// An expression with its source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Expr {
+    /// Dense parse-order id (see [`ExprId`]); [`ExprId::DUMMY`] on nodes
+    /// built outside the parser.
+    pub id: ExprId,
     /// What the expression computes.
     pub kind: ExprKind,
     /// Source location.
@@ -258,9 +301,15 @@ pub struct Expr {
 }
 
 impl Expr {
-    /// Convenience constructor.
+    /// Convenience constructor for nodes built outside the parser; the id
+    /// is [`ExprId::DUMMY`], so id-keyed side tables treat the node as
+    /// unresolved.
     pub fn new(kind: ExprKind, span: Span) -> Self {
-        Expr { kind, span }
+        Expr {
+            id: ExprId::DUMMY,
+            kind,
+            span,
+        }
     }
 
     /// Collects the names of all variables read by this expression
@@ -314,6 +363,26 @@ impl Expr {
                 rhs.collect_called(out);
             }
             _ => {}
+        }
+    }
+
+    /// Visits this expression and every sub-expression, pre-order in
+    /// source order.
+    pub fn visit<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::Int(_) | ExprKind::Bool(_) | ExprKind::Var(_) | ExprKind::Input => {}
+            ExprKind::Load { index, .. } => index.visit(f),
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            ExprKind::Unary { operand, .. } => operand.visit(f),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
         }
     }
 

@@ -236,6 +236,14 @@ pub struct ProgramIndex {
     stmts: Vec<StmtInfo>,
     outputs: Vec<StmtId>,
     predicates: Vec<StmtId>,
+    /// Parse-time name resolution: for every [`ExprId`], the [`VarId`] its
+    /// `Var`/`Load` name resolves to in the enclosing function (`None` for
+    /// non-name expressions and names that don't resolve — the latter stay
+    /// runtime errors). Indexed by `ExprId`; lets the interpreters replace
+    /// two string-hash lookups per variable read with one array load.
+    resolved_vars: Vec<Option<VarId>>,
+    /// Per-function parameter slots in declaration order, resolved once.
+    param_ids: HashMap<String, Vec<VarId>>,
 }
 
 impl ProgramIndex {
@@ -266,11 +274,41 @@ impl ProgramIndex {
             .filter(|s| s.is_predicate())
             .map(|s| s.id)
             .collect();
+        let mut resolved_vars: Vec<Option<VarId>> = vec![None; program.expr_count() as usize];
+        for f in program.functions() {
+            visit_block(&f.body, &mut |stmt| {
+                for_each_expr(stmt, &mut |expr| {
+                    let name = match &expr.kind {
+                        ExprKind::Var(name) | ExprKind::Load { name, .. } => name,
+                        _ => return,
+                    };
+                    if let Some(slot) = resolved_vars.get_mut(expr.id.index()) {
+                        *slot = vars.resolve(&f.name, name);
+                    }
+                });
+            });
+        }
+        let param_ids = program
+            .functions()
+            .map(|f| {
+                let ids = f
+                    .params
+                    .iter()
+                    .map(|p| {
+                        vars.resolve(&f.name, p)
+                            .expect("parameters are in the table")
+                    })
+                    .collect();
+                (f.name.clone(), ids)
+            })
+            .collect();
         ProgramIndex {
             vars,
             stmts,
             outputs,
             predicates,
+            resolved_vars,
+            param_ids,
         }
     }
 
@@ -306,6 +344,66 @@ impl ProgramIndex {
     /// All predicates (`if`/`while`) in id order.
     pub fn predicates(&self) -> &[StmtId] {
         &self.predicates
+    }
+
+    /// The variable a `Var` or `Load` expression resolves to, from the
+    /// parse-time resolution table. `None` for other expression kinds,
+    /// for names that don't resolve in their enclosing function, and for
+    /// [`ExprId::DUMMY`] nodes built outside the parser.
+    #[inline]
+    pub fn resolved_var(&self, id: ExprId) -> Option<VarId> {
+        self.resolved_vars.get(id.index()).copied().flatten()
+    }
+
+    /// Parameter slots of `func` in declaration order, resolved once at
+    /// index build. Empty for unknown functions.
+    pub fn param_ids(&self, func: &str) -> &[VarId] {
+        self.param_ids.get(func).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Visits every statement in a block, recursing into nested blocks.
+fn visit_block<'a>(block: &'a Block, f: &mut dyn FnMut(&'a Stmt)) {
+    for stmt in &block.stmts {
+        f(stmt);
+        match &stmt.kind {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                visit_block(then_blk, f);
+                if let Some(e) = else_blk {
+                    visit_block(e, f);
+                }
+            }
+            StmtKind::While { body, .. } => visit_block(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visits every expression node belonging to `stmt` itself (not to
+/// statements nested in its blocks).
+fn for_each_expr<'a>(stmt: &'a Stmt, f: &mut dyn FnMut(&'a Expr)) {
+    match &stmt.kind {
+        StmtKind::Let { expr, .. } | StmtKind::Assign { expr, .. } | StmtKind::Print(expr) => {
+            expr.visit(f)
+        }
+        StmtKind::Store { index, value, .. } => {
+            index.visit(f);
+            value.visit(f);
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => cond.visit(f),
+        StmtKind::Return(expr) => {
+            if let Some(e) = expr {
+                e.visit(f);
+            }
+        }
+        StmtKind::CallStmt { args, .. } => {
+            for a in args {
+                a.visit(f);
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
     }
 }
 

@@ -51,7 +51,8 @@ pub mod token;
 
 pub use ast::{BinOp, UnOp};
 pub use ast::{
-    Block, Expr, ExprKind, FnDecl, Global, GlobalInit, Item, Program, Stmt, StmtId, StmtKind,
+    Block, Expr, ExprId, ExprKind, FnDecl, Global, GlobalInit, Item, Program, Stmt, StmtId,
+    StmtKind,
 };
 pub use check::{check_program, CheckError};
 pub use diagnostics::{render_diagnostic, render_frontend_error};

@@ -59,6 +59,7 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
         tokens,
         pos: 0,
         next_stmt_id: 0,
+        next_expr_id: 0,
     }
     .program()
 }
@@ -67,6 +68,7 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_stmt_id: u32,
+    next_expr_id: u32,
 }
 
 impl Parser {
@@ -138,6 +140,13 @@ impl Parser {
         id
     }
 
+    /// Builds an expression node with the next dense [`ExprId`].
+    fn mk_expr(&mut self, kind: ExprKind, span: Span) -> Expr {
+        let id = ExprId(self.next_expr_id);
+        self.next_expr_id += 1;
+        Expr { id, kind, span }
+    }
+
     fn ident(&mut self) -> Result<(String, Span), ParseError> {
         if matches!(self.peek_kind(), TokenKind::Ident(_)) {
             match self.take_kind() {
@@ -166,7 +175,7 @@ impl Parser {
                 }
             }
         }
-        Ok(Program::new(items, self.next_stmt_id))
+        Ok(Program::new(items, self.next_stmt_id, self.next_expr_id))
     }
 
     fn global(&mut self) -> Result<Global, ParseError> {
@@ -471,7 +480,7 @@ impl Parser {
             self.bump();
             let rhs = self.expr_bp(r_bp)?;
             let span = lhs.span.to(rhs.span);
-            lhs = Expr::new(
+            lhs = self.mk_expr(
                 ExprKind::Binary {
                     op,
                     lhs: Box::new(lhs),
@@ -487,27 +496,27 @@ impl Parser {
         match self.peek_kind() {
             &TokenKind::Int(n) => {
                 let span = self.bump();
-                Ok(Expr::new(ExprKind::Int(n), span))
+                Ok(self.mk_expr(ExprKind::Int(n), span))
             }
             TokenKind::True => {
                 let span = self.bump();
-                Ok(Expr::new(ExprKind::Bool(true), span))
+                Ok(self.mk_expr(ExprKind::Bool(true), span))
             }
             TokenKind::False => {
                 let span = self.bump();
-                Ok(Expr::new(ExprKind::Bool(false), span))
+                Ok(self.mk_expr(ExprKind::Bool(false), span))
             }
             TokenKind::Input => {
                 let start = self.bump();
                 self.expect(&TokenKind::LParen)?;
                 let end = self.expect(&TokenKind::RParen)?;
-                Ok(Expr::new(ExprKind::Input, start.to(end)))
+                Ok(self.mk_expr(ExprKind::Input, start.to(end)))
             }
             TokenKind::Minus => {
                 let start = self.bump();
                 let operand = self.expr_bp(UNARY_BP)?;
                 let span = start.to(operand.span);
-                Ok(Expr::new(
+                Ok(self.mk_expr(
                     ExprKind::Unary {
                         op: UnOp::Neg,
                         operand: Box::new(operand),
@@ -519,7 +528,7 @@ impl Parser {
                 let start = self.bump();
                 let operand = self.expr_bp(UNARY_BP)?;
                 let span = start.to(operand.span);
-                Ok(Expr::new(
+                Ok(self.mk_expr(
                     ExprKind::Unary {
                         op: UnOp::Not,
                         operand: Box::new(operand),
@@ -541,7 +550,7 @@ impl Parser {
                         self.bump();
                         let index = self.expr()?;
                         let end = self.expect(&TokenKind::RBracket)?;
-                        Ok(Expr::new(
+                        Ok(self.mk_expr(
                             ExprKind::Load {
                                 name,
                                 index: Box::new(index),
@@ -563,12 +572,9 @@ impl Parser {
                             }
                         }
                         let end = self.expect(&TokenKind::RParen)?;
-                        Ok(Expr::new(
-                            ExprKind::Call { callee: name, args },
-                            start.to(end),
-                        ))
+                        Ok(self.mk_expr(ExprKind::Call { callee: name, args }, start.to(end)))
                     }
-                    _ => Ok(Expr::new(ExprKind::Var(name), start)),
+                    _ => Ok(self.mk_expr(ExprKind::Var(name), start)),
                 }
             }
             other => {

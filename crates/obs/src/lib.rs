@@ -39,6 +39,6 @@ pub use json::{parse, Json};
 pub use metrics::{Metric, MetricSet};
 pub use report::Reporter;
 pub use span::{
-    counter_add, drain, enabled, reset, set_enabled, span, span_indexed, SpanAgg, SpanGuard,
-    SpanRecord, SpanReport,
+    counter_add, counter_max, drain, enabled, reset, set_enabled, span, span_indexed, SpanAgg,
+    SpanGuard, SpanRecord, SpanReport,
 };

@@ -183,6 +183,22 @@ pub fn counter_add(name: &'static str, n: u64) {
     });
 }
 
+/// Raises the named counter to at least `n` (a high-water mark, e.g. a
+/// queue-depth maximum). Same batching guidance as [`counter_add`].
+#[inline]
+pub fn counter_max(name: &'static str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    with_local(|_, buf| {
+        if let Some(slot) = buf.counters.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = slot.1.max(n);
+        } else {
+            buf.counters.push((name, n));
+        }
+    });
+}
+
 /// Aggregate statistics for one span name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpanAgg {

@@ -577,6 +577,26 @@ impl<'a> Verifier<'a> {
                 out.retries += 1;
             }
             out.saved = None;
+            // Doomed-rung synthesis: a valid checkpoint proves the base
+            // run executed `prefix_len` events before the switch point,
+            // and a switched run replays that trajectory verbatim up to
+            // the switch (determinism; the switch is the first
+            // divergence). A rung no larger than the prefix therefore
+            // exhausts its budget before the switch can land: the
+            // attempt's outcome is fully determined, so record it and
+            // escalate without executing ~budget events for nothing.
+            // Poisoned cursors (prefix_len beyond the base trace) are
+            // excluded — those must still run so validation rejects
+            // them — and the final rung always executes.
+            if attempt < last {
+                if let Some(cp) = checkpoint {
+                    if (cp.prefix_len() as u64) >= budget && cp.prefix_len() <= self.trace.len() {
+                        out.outcome = RunOutcome::BudgetExhausted;
+                        out.run = None;
+                        continue;
+                    }
+                }
+            }
             let cfg = RunConfig {
                 step_budget: budget,
                 ..full.clone()

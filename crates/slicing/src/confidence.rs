@@ -100,8 +100,8 @@ pub fn analyze(params: &ConfidenceParams<'_>) -> Confidence {
             queue.push_back(seed);
         }
     }
+    let cols = trace.columns();
     while let Some(j) = queue.pop_front() {
-        let ev = trace.event(j);
         let mut mark = |i: InstId, queue: &mut VecDeque<InstId>| {
             if !certain[i.index()] && !pinned_zero[i.index()] {
                 certain[i.index()] = true;
@@ -112,13 +112,13 @@ pub fn analyze(params: &ConfidenceParams<'_>) -> Confidence {
         // predicates pin operands whose observed domain is binary — the
         // range-based estimate of PLDI 2006 (outcome + two-valued domain
         // determine the value).
-        if params.analysis.index().stmt(ev.stmt).invertible {
-            for &i in &ev.data_deps {
+        if params.analysis.index().stmt(cols.stmt_of(j)).invertible {
+            for &i in cols.deps_of(j) {
                 mark(i, &mut queue);
             }
-        } else if ev.is_predicate() {
-            for &i in &ev.data_deps {
-                if params.profile.range(trace.event(i).stmt) <= 2 {
+        } else if cols.branch_of(j).is_some() {
+            for &i in cols.deps_of(j) {
+                if params.profile.range(cols.stmt_of(i)) <= 2 {
                     mark(i, &mut queue);
                 }
             }
@@ -161,7 +161,7 @@ pub fn analyze(params: &ConfidenceParams<'_>) -> Confidence {
             } else if certain[idx] {
                 1.0
             } else if reach[idx] & CORRECT != 0 {
-                let stmt = trace.event(InstId(idx as u32)).stmt;
+                let stmt = cols.stmt_of(InstId(idx as u32));
                 partial_confidence(params.profile.range(stmt))
             } else {
                 0.0

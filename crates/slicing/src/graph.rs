@@ -53,8 +53,10 @@ impl<'a> DepGraph<'a> {
         let _span = omislice_obs::span("graph");
         let n = trace.len();
         let mut offsets = vec![0u32; n + 1];
-        for (i, ev) in trace.events().iter().enumerate() {
-            let deg = ev.data_deps.len() as u32 + ev.cd_parent.is_some() as u32;
+        let cols = trace.columns();
+        for i in 0..n {
+            let inst = InstId(i as u32);
+            let deg = cols.deps_of(inst).len() as u32 + cols.cd_parent_of(inst).is_some() as u32;
             offsets[i + 1] = offsets[i] + deg;
         }
         let mut edges = vec![InstId(0); offsets[n] as usize];
@@ -226,13 +228,14 @@ impl<'a> DepGraph<'a> {
 /// `out` slice is the contiguous range `offsets[start]..offsets[end]`.
 fn fill_edges(trace: &Trace, offsets: &[u32], start: usize, end: usize, out: &mut [InstId]) {
     let base = offsets[start] as usize;
-    for (i, ev) in trace.events()[start..end].iter().enumerate() {
-        let mut k = offsets[start + i] as usize - base;
-        for &d in &ev.data_deps {
-            out[k] = d;
-            k += 1;
-        }
-        if let Some(cd) = ev.cd_parent {
+    let cols = trace.columns();
+    for (i, &off) in offsets.iter().enumerate().take(end).skip(start) {
+        let inst = InstId(i as u32);
+        let mut k = off as usize - base;
+        let deps = cols.deps_of(inst);
+        out[k..k + deps.len()].copy_from_slice(deps);
+        k += deps.len();
+        if let Some(cd) = cols.cd_parent_of(inst) {
             out[k] = cd;
         }
     }
@@ -251,7 +254,7 @@ impl Slice {
         let mut insts: Vec<InstId> = insts.into_iter().collect();
         insts.sort();
         insts.dedup();
-        let stmts = insts.iter().map(|&i| trace.event(i).stmt).collect();
+        let stmts = insts.iter().map(|&i| trace.columns().stmt_of(i)).collect();
         Slice { insts, stmts }
     }
 
@@ -453,7 +456,7 @@ mod tests {
         let g = DepGraph::new(&t);
         for inst in t.insts() {
             let ev = t.event(inst);
-            let mut expect: Vec<InstId> = ev.data_deps.clone();
+            let mut expect: Vec<InstId> = ev.data_deps.to_vec();
             expect.extend(ev.cd_parent);
             assert_eq!(g.base_deps(inst), expect.as_slice(), "at {inst}");
         }

@@ -25,7 +25,7 @@ impl ValueProfile {
 
     /// Folds one trace's values into the profile.
     pub fn add_trace(&mut self, trace: &Trace) {
-        for ev in trace.events() {
+        for ev in trace.iter_events() {
             if let Some(v) = ev.value {
                 self.values.entry(ev.stmt).or_default().insert(v);
             }

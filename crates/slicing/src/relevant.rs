@@ -59,22 +59,23 @@ pub fn potential_deps_by_var(
     u: InstId,
 ) -> Vec<(VarId, InstId)> {
     let idx = trace.index();
-    let ev = trace.event(u);
-    let info = analysis.index().stmt(ev.stmt);
+    let cols = trace.columns();
+    let stmt = cols.stmt_of(u);
+    let info = analysis.index().stmt(stmt);
     let mut out: Vec<(VarId, InstId)> = Vec::new();
     for &var in &info.uses {
         // Condition (iii): the definition of `var` actually reaching `u`.
         // Identified as the latest data dependence of `u` that defines
         // `var`; when the value arrived through parameter passing (no
         // def_var match), fall back conservatively to "no lower bound".
-        let actual_def: Option<InstId> = ev
-            .data_deps
+        let actual_def: Option<InstId> = cols
+            .deps_of(u)
             .iter()
             .copied()
-            .filter(|&d| trace.event(d).def_var == Some(var))
+            .filter(|&d| cols.def_var_of(d) == Some(var))
             .max();
         let lo = actual_def.unwrap_or(InstId(0));
-        for cp in analysis.static_pd(ev.stmt, var) {
+        for cp in analysis.static_pd(stmt, var) {
             // Conditions (i)+(iii) and the branch filter collapse into one
             // postings-window query: instances of `cp.pred` that took the
             // non-defining branch inside `[actual_def, u)`. Only condition
@@ -150,26 +151,26 @@ pub fn is_potential_dep(
     if p_i >= u {
         return false; // condition (i)
     }
-    let ev = trace.event(u);
-    let p_ev = trace.event(p_i);
-    let Some(taken) = p_ev.branch else {
+    let cols = trace.columns();
+    let Some(taken) = cols.branch_of(p_i) else {
         return false;
     };
     // Condition (iv): the static relation must hold for the branch the
     // run did NOT take.
+    let p_stmt = cols.stmt_of(p_i);
     let statically_possible = analysis
-        .static_pd(ev.stmt, var)
+        .static_pd(cols.stmt_of(u), var)
         .iter()
-        .any(|cp| cp.pred == p_ev.stmt && cp.branch != taken);
+        .any(|cp| cp.pred == p_stmt && cp.branch != taken);
     if !statically_possible {
         return false;
     }
     // Condition (iii).
-    let actual_def: Option<InstId> = ev
-        .data_deps
+    let actual_def: Option<InstId> = cols
+        .deps_of(u)
         .iter()
         .copied()
-        .filter(|&d| trace.event(d).def_var == Some(var))
+        .filter(|&d| cols.def_var_of(d) == Some(var))
         .max();
     if let Some(d) = actual_def {
         if p_i < d {

@@ -36,15 +36,16 @@ impl UnionGraph {
 
     /// Folds one trace's dependences into the union.
     pub fn add_trace(&mut self, trace: &Trace) {
-        for ev in trace.events() {
-            for &d in &ev.data_deps {
-                let def = trace.event(d);
-                if let Some(var) = def.def_var {
-                    self.data.insert((ev.stmt, var, def.stmt));
+        let cols = trace.columns();
+        for i in trace.insts() {
+            let stmt = cols.stmt_of(i);
+            for &d in cols.deps_of(i) {
+                if let Some(var) = cols.def_var_of(d) {
+                    self.data.insert((stmt, var, cols.stmt_of(d)));
                 }
             }
-            if let Some(cd) = ev.cd_parent {
-                self.control.insert((ev.stmt, trace.event(cd).stmt));
+            if let Some(cd) = cols.cd_parent_of(i) {
+                self.control.insert((stmt, cols.stmt_of(cd)));
             }
         }
         self.runs += 1;

@@ -1,0 +1,420 @@
+//! Columnar (structure-of-arrays) event storage.
+//!
+//! The trace used to be a `Vec<Event>`: ~90 bytes per instance plus one
+//! heap allocation per event for its `data_deps`. At production scales
+//! (hundreds of thousands of instances per run, and the verifier
+//! re-executing dozens of runs per batch) the allocator traffic of that
+//! layout dominated tracing cost. [`ColumnarTrace`] stores each event
+//! field in its own dense parallel array and the variable-length
+//! dependence lists in one shared CSR arena, so recording an event is a
+//! handful of `Vec::push`es with amortized-zero allocation, cloning a
+//! checkpoint prefix is a few `memcpy`s, and the whole trace serializes
+//! to the `omitrace/v1` on-disk format column by column.
+//!
+//! Instance ids stay *absolute* `u32`s in memory so dependence lists can
+//! be returned as `&[InstId]` slices without decoding; delta compression
+//! is applied only at the serialization boundary (see
+//! [`crate::format`]).
+
+use crate::event::{Event, EventRef, InstId};
+use crate::value::Value;
+use omislice_lang::{StmtId, VarId};
+
+/// Sentinel for "no instance" in the optional-parent columns.
+pub(crate) const NONE_U32: u32 = u32::MAX;
+
+// `meta` column bit layout.
+const VALUE_TAG_MASK: u8 = 0b0000_0011; // 0=None, 1=Int, 2=Bool
+const VALUE_INT: u8 = 1;
+const VALUE_BOOL: u8 = 2;
+const BRANCH_SHIFT: u8 = 2; // 2-bit field: 0=None, 1=false, 2=true
+const BRANCH_MASK: u8 = 0b0000_1100;
+const HAS_CELL: u8 = 0b0001_0000;
+
+/// A borrowed, allocation-free event record: what the interpreter hands
+/// the recorder for each executed instance.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEvent<'a> {
+    /// The statement that executed.
+    pub stmt: StmtId,
+    /// The value this instance computed, if any.
+    pub value: Option<Value>,
+    /// For predicates: the branch outcome taken.
+    pub branch: Option<bool>,
+    /// Dynamic data dependences, in evaluation order, deduplicated.
+    pub deps: &'a [InstId],
+    /// Dynamic control-dependence parent.
+    pub cd_parent: Option<InstId>,
+    /// Region-nesting parent.
+    pub region_parent: Option<InstId>,
+    /// Variable defined by this instance.
+    pub def_var: Option<VarId>,
+    /// For array stores: the concrete cell index written.
+    pub cell_index: Option<i64>,
+    /// Call depth at which the instance executed.
+    pub call_depth: u32,
+}
+
+impl<'a> From<&'a Event> for RawEvent<'a> {
+    fn from(e: &'a Event) -> Self {
+        RawEvent {
+            stmt: e.stmt,
+            value: e.value,
+            branch: e.branch,
+            deps: &e.data_deps,
+            cd_parent: e.cd_parent,
+            region_parent: e.region_parent,
+            def_var: e.def_var,
+            cell_index: e.cell_index,
+            call_depth: e.call_depth,
+        }
+    }
+}
+
+/// The columnar event store: one dense array per event field, a CSR
+/// arena for dependence lists, and a sparse sorted column for the rare
+/// array-store cell indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ColumnarTrace {
+    /// Statement id per instance.
+    pub(crate) stmt: Vec<StmtId>,
+    /// Packed value/branch/cell tags per instance.
+    pub(crate) meta: Vec<u8>,
+    /// Value payload per instance (int value, or bool as 0/1; 0 if none).
+    pub(crate) value: Vec<i64>,
+    /// Call depth per instance.
+    pub(crate) call_depth: Vec<u32>,
+    /// Dynamic CD parent per instance ([`NONE_U32`] = none).
+    pub(crate) cd_parent: Vec<u32>,
+    /// Region-nesting parent per instance ([`NONE_U32`] = none).
+    pub(crate) region_parent: Vec<u32>,
+    /// Defined variable per instance ([`NONE_U32`] = none).
+    pub(crate) def_var: Vec<u32>,
+    /// CSR offsets into `deps`; `len + 1` entries.
+    pub(crate) deps_off: Vec<u32>,
+    /// CSR arena of data-dependence edges (absolute instance ids).
+    pub(crate) deps: Vec<InstId>,
+    /// Sparse `(inst, cell)` pairs for array stores, sorted by instance.
+    pub(crate) cell_index: Vec<(u32, i64)>,
+}
+
+impl ColumnarTrace {
+    /// An empty store.
+    pub fn new() -> Self {
+        let mut c = ColumnarTrace::default();
+        c.deps_off.push(0);
+        c
+    }
+
+    /// An empty store with room for `events` instances and `deps` edges.
+    pub fn with_capacity(events: usize, deps: usize) -> Self {
+        let mut c = ColumnarTrace {
+            stmt: Vec::with_capacity(events),
+            meta: Vec::with_capacity(events),
+            value: Vec::with_capacity(events),
+            call_depth: Vec::with_capacity(events),
+            cd_parent: Vec::with_capacity(events),
+            region_parent: Vec::with_capacity(events),
+            def_var: Vec::with_capacity(events),
+            deps_off: Vec::with_capacity(events + 1),
+            deps: Vec::with_capacity(deps),
+            cell_index: Vec::new(),
+        };
+        c.deps_off.push(0);
+        c
+    }
+
+    /// Number of stored instances.
+    pub fn len(&self) -> usize {
+        self.stmt.len()
+    }
+
+    /// Whether no instance is stored.
+    pub fn is_empty(&self) -> bool {
+        self.stmt.is_empty()
+    }
+
+    /// Total dependence edges across all instances.
+    pub fn deps_len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Appends one event. Ids are assigned densely in push order.
+    pub fn push(&mut self, ev: RawEvent<'_>) -> InstId {
+        let id = InstId(self.stmt.len() as u32);
+        let mut meta = match ev.value {
+            None => 0,
+            Some(Value::Int(_)) => VALUE_INT,
+            Some(Value::Bool(_)) => VALUE_BOOL,
+        };
+        meta |= match ev.branch {
+            None => 0,
+            Some(false) => 1 << BRANCH_SHIFT,
+            Some(true) => 2 << BRANCH_SHIFT,
+        };
+        let payload = match ev.value {
+            None => 0,
+            Some(Value::Int(n)) => n,
+            Some(Value::Bool(b)) => b as i64,
+        };
+        if let Some(cell) = ev.cell_index {
+            meta |= HAS_CELL;
+            self.cell_index.push((id.0, cell));
+        }
+        self.stmt.push(ev.stmt);
+        self.meta.push(meta);
+        self.value.push(payload);
+        self.call_depth.push(ev.call_depth);
+        self.cd_parent.push(ev.cd_parent.map_or(NONE_U32, |p| p.0));
+        self.region_parent
+            .push(ev.region_parent.map_or(NONE_U32, |p| p.0));
+        self.def_var.push(ev.def_var.map_or(NONE_U32, |v| v.0));
+        self.deps.extend_from_slice(ev.deps);
+        self.deps_off.push(self.deps.len() as u32);
+        id
+    }
+
+    /// Appends every event of `other` (used by the chunked recorder).
+    /// `other`'s dependence and parent ids must already be absolute;
+    /// its own instance ids (the sparse cell column) are rebased.
+    pub fn append(&mut self, other: &ColumnarTrace) {
+        let id_base = self.stmt.len() as u32;
+        self.stmt.extend_from_slice(&other.stmt);
+        self.meta.extend_from_slice(&other.meta);
+        self.value.extend_from_slice(&other.value);
+        self.call_depth.extend_from_slice(&other.call_depth);
+        self.cd_parent.extend_from_slice(&other.cd_parent);
+        self.region_parent.extend_from_slice(&other.region_parent);
+        self.def_var.extend_from_slice(&other.def_var);
+        let base = self.deps.len() as u32;
+        self.deps.extend_from_slice(&other.deps);
+        self.deps_off
+            .extend(other.deps_off[1..].iter().map(|&o| o + base));
+        self.cell_index
+            .extend(other.cell_index.iter().map(|&(i, c)| (i + id_base, c)));
+    }
+
+    /// Overwrites the defined-variable column of the most recent event
+    /// (the interpreter learns the resolved variable only after the
+    /// assignment's side effect lands).
+    pub fn set_def_var_last(&mut self, var: VarId) {
+        *self.def_var.last_mut().expect("set_def_var on empty trace") = var.0;
+    }
+
+    /// The event at `inst`, as a borrowed view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is out of range.
+    pub fn event(&self, inst: InstId) -> EventRef<'_> {
+        let i = inst.index();
+        let meta = self.meta[i];
+        let value = match meta & VALUE_TAG_MASK {
+            VALUE_INT => Some(Value::Int(self.value[i])),
+            VALUE_BOOL => Some(Value::Bool(self.value[i] != 0)),
+            _ => None,
+        };
+        let branch = match (meta & BRANCH_MASK) >> BRANCH_SHIFT {
+            1 => Some(false),
+            2 => Some(true),
+            _ => None,
+        };
+        let cell_index = if meta & HAS_CELL != 0 {
+            self.cell_of(inst.0)
+        } else {
+            None
+        };
+        let deps = &self.deps[self.deps_off[i] as usize..self.deps_off[i + 1] as usize];
+        EventRef {
+            stmt: self.stmt[i],
+            value,
+            branch,
+            data_deps: deps,
+            cd_parent: opt(self.cd_parent[i]),
+            region_parent: opt(self.region_parent[i]),
+            def_var: match self.def_var[i] {
+                NONE_U32 => None,
+                v => Some(VarId(v)),
+            },
+            cell_index,
+            call_depth: self.call_depth[i],
+        }
+    }
+
+    /// The statement of `inst` (cheaper than materializing the full view).
+    pub fn stmt_of(&self, inst: InstId) -> StmtId {
+        self.stmt[inst.index()]
+    }
+
+    /// The variable defined by `inst`, if any.
+    pub fn def_var_of(&self, inst: InstId) -> Option<VarId> {
+        match self.def_var[inst.index()] {
+            NONE_U32 => None,
+            v => Some(VarId(v)),
+        }
+    }
+
+    /// The branch outcome of `inst`, if it is a predicate instance.
+    pub fn branch_of(&self, inst: InstId) -> Option<bool> {
+        match (self.meta[inst.index()] & BRANCH_MASK) >> BRANCH_SHIFT {
+            1 => Some(false),
+            2 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The CD parent of `inst`.
+    pub fn cd_parent_of(&self, inst: InstId) -> Option<InstId> {
+        opt(self.cd_parent[inst.index()])
+    }
+
+    /// The region parent of `inst`.
+    pub fn region_parent_of(&self, inst: InstId) -> Option<InstId> {
+        opt(self.region_parent[inst.index()])
+    }
+
+    /// The dependence list of `inst`.
+    pub fn deps_of(&self, inst: InstId) -> &[InstId] {
+        let i = inst.index();
+        &self.deps[self.deps_off[i] as usize..self.deps_off[i + 1] as usize]
+    }
+
+    fn cell_of(&self, inst: u32) -> Option<i64> {
+        self.cell_index
+            .binary_search_by_key(&inst, |&(i, _)| i)
+            .ok()
+            .map(|k| self.cell_index[k].1)
+    }
+
+    /// A new store holding the first `len` events (a checkpoint prefix):
+    /// column-wise truncating copies, no per-event work.
+    pub fn clone_prefix(&self, len: usize) -> ColumnarTrace {
+        assert!(len <= self.len(), "prefix beyond trace");
+        let deps_end = self.deps_off[len] as usize;
+        let cells = self
+            .cell_index
+            .partition_point(|&(i, _)| (i as usize) < len);
+        ColumnarTrace {
+            stmt: self.stmt[..len].to_vec(),
+            meta: self.meta[..len].to_vec(),
+            value: self.value[..len].to_vec(),
+            call_depth: self.call_depth[..len].to_vec(),
+            cd_parent: self.cd_parent[..len].to_vec(),
+            region_parent: self.region_parent[..len].to_vec(),
+            def_var: self.def_var[..len].to_vec(),
+            deps_off: self.deps_off[..len + 1].to_vec(),
+            deps: self.deps[..deps_end].to_vec(),
+            cell_index: self.cell_index[..cells].to_vec(),
+        }
+    }
+
+    /// Materializes the legacy owned-event representation (tests and the
+    /// equivalence oracle; not a hot path).
+    pub fn to_events(&self) -> Vec<Event> {
+        (0..self.len() as u32)
+            .map(|i| self.event(InstId(i)).to_owned())
+            .collect()
+    }
+
+    /// Resident column bytes (the `columnar.bytes` observability counter).
+    pub fn bytes(&self) -> usize {
+        self.stmt.len() * std::mem::size_of::<StmtId>()
+            + self.meta.len()
+            + self.value.len() * 8
+            + self.call_depth.len() * 4
+            + self.cd_parent.len() * 4
+            + self.region_parent.len() * 4
+            + self.def_var.len() * 4
+            + self.deps_off.len() * 4
+            + self.deps.len() * 4
+            + self.cell_index.len() * 12
+    }
+}
+
+fn opt(raw: u32) -> Option<InstId> {
+    if raw == NONE_U32 {
+        None
+    } else {
+        Some(InstId(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mut a = Event::new(StmtId(0));
+        a.value = Some(Value::Bool(true));
+        a.branch = Some(true);
+        let mut b = Event::new(StmtId(3));
+        b.value = Some(Value::Int(-7));
+        b.data_deps = vec![InstId(0)];
+        b.cd_parent = Some(InstId(0));
+        b.region_parent = Some(InstId(0));
+        b.def_var = Some(VarId(2));
+        b.call_depth = 1;
+        let mut c = Event::new(StmtId(4));
+        c.cell_index = Some(9);
+        c.data_deps = vec![InstId(0), InstId(1)];
+        vec![a, b, c]
+    }
+
+    fn build(events: &[Event]) -> ColumnarTrace {
+        let mut cols = ColumnarTrace::new();
+        for e in events {
+            cols.push(RawEvent::from(e));
+        }
+        cols
+    }
+
+    #[test]
+    fn push_then_view_round_trips() {
+        let events = sample_events();
+        let cols = build(&events);
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.deps_len(), 3);
+        assert_eq!(cols.to_events(), events);
+        assert_eq!(cols.event(InstId(1)).data_deps, &[InstId(0)]);
+        assert_eq!(cols.event(InstId(2)).cell_index, Some(9));
+        assert_eq!(cols.event(InstId(0)).cell_index, None);
+        assert!(cols.event(InstId(0)).is_predicate());
+    }
+
+    #[test]
+    fn prefix_clone_is_column_exact() {
+        let events = sample_events();
+        let cols = build(&events);
+        for len in 0..=events.len() {
+            let prefix = cols.clone_prefix(len);
+            assert_eq!(prefix.to_events(), events[..len].to_vec());
+        }
+    }
+
+    #[test]
+    fn append_rebases_offsets() {
+        let events = sample_events();
+        let mut whole = build(&events[..1]);
+        let mut tail = ColumnarTrace::new();
+        for e in &events[1..] {
+            // Recreate with absolute ids (they already are).
+            tail.push(RawEvent::from(e));
+        }
+        whole.append(&tail);
+        assert_eq!(whole.to_events(), events);
+    }
+
+    #[test]
+    fn def_var_patch_hits_last_event() {
+        let mut cols = build(&sample_events());
+        cols.set_def_var_last(VarId(11));
+        assert_eq!(cols.event(InstId(2)).def_var, Some(VarId(11)));
+    }
+
+    #[test]
+    fn bytes_grow_with_events() {
+        let cols = build(&sample_events());
+        assert!(cols.bytes() > 0);
+        assert!(cols.bytes() < 400);
+    }
+}

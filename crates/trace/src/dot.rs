@@ -12,7 +12,7 @@ fn escape(s: &str) -> String {
 }
 
 fn node_label(trace: &Trace, index: &ProgramIndex, i: usize) -> String {
-    let ev = &trace.events()[i];
+    let ev = trace.event(crate::event::InstId(i as u32));
     let head = &index.stmt(ev.stmt).head;
     let value = ev.value.map(|v| format!(" = {v}")).unwrap_or_default();
     escape(&format!("t{i} {}\n{}{}", ev.stmt, head, value))
@@ -22,9 +22,9 @@ fn node_label(trace: &Trace, index: &ProgramIndex, i: usize) -> String {
 /// dependences, dashed edges dynamic control dependences.
 pub fn ddg_to_dot(trace: &Trace, index: &ProgramIndex) -> String {
     let mut out = String::from("digraph ddg {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
-    for (i, ev) in trace.events().iter().enumerate() {
+    for (i, ev) in trace.iter_events().enumerate() {
         let _ = writeln!(out, "  n{i} [label=\"{}\"];", node_label(trace, index, i));
-        for d in &ev.data_deps {
+        for d in ev.data_deps {
             let _ = writeln!(out, "  n{i} -> n{};", d.index());
         }
         if let Some(cd) = ev.cd_parent {

@@ -90,6 +90,56 @@ impl Event {
     }
 }
 
+/// A borrowed view of one statement instance, assembled on demand from
+/// the columnar store (see [`crate::columnar::ColumnarTrace`]).
+///
+/// Field names and meanings match [`Event`], so query code reads the
+/// same whether it holds an owned event or a view; `data_deps` borrows
+/// the CSR arena instead of owning a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRef<'a> {
+    /// The statement that executed.
+    pub stmt: StmtId,
+    /// The value this instance computed.
+    pub value: Option<Value>,
+    /// For predicates: the branch outcome taken.
+    pub branch: Option<bool>,
+    /// Dynamic data dependences, in evaluation order, deduplicated.
+    pub data_deps: &'a [InstId],
+    /// Dynamic control-dependence parent (slicing edge).
+    pub cd_parent: Option<InstId>,
+    /// Region-nesting parent (alignment structure).
+    pub region_parent: Option<InstId>,
+    /// Variable defined by this instance, if any.
+    pub def_var: Option<VarId>,
+    /// For array stores: the concrete cell index written.
+    pub cell_index: Option<i64>,
+    /// Call depth at which the instance executed (0 = `main`).
+    pub call_depth: u32,
+}
+
+impl EventRef<'_> {
+    /// Whether this instance is a predicate evaluation.
+    pub fn is_predicate(&self) -> bool {
+        self.branch.is_some()
+    }
+
+    /// Materializes an owned [`Event`].
+    pub fn to_owned(&self) -> Event {
+        Event {
+            stmt: self.stmt,
+            value: self.value,
+            branch: self.branch,
+            data_deps: self.data_deps.to_vec(),
+            cd_parent: self.cd_parent,
+            region_parent: self.region_parent,
+            def_var: self.def_var,
+            cell_index: self.cell_index,
+            call_depth: self.call_depth,
+        }
+    }
+}
+
 /// An observable output: a `print` instance and the value it emitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OutputRecord {

@@ -22,6 +22,7 @@
 //! build postings over contiguous trace chunks that are merged in trace
 //! order, so the result is identical for any thread count.
 
+use crate::columnar::ColumnarTrace;
 use crate::event::InstId;
 use crate::trace::Trace;
 use omislice_lang::{StmtId, VarId};
@@ -62,8 +63,8 @@ impl TraceIndex {
         let n = trace.len();
         let jobs = jobs.max(1).min(n.max(1));
         if jobs == 1 || n < PARALLEL_BUILD_THRESHOLD {
-            let (cd_tin, cd_tout) = euler_tour(trace);
-            let (preds, defs) = postings(trace, 0, n);
+            let (cd_tin, cd_tout) = euler_tour(trace.columns());
+            let (preds, defs) = postings(trace.columns(), 0, n);
             return TraceIndex {
                 cd_tin,
                 cd_tout,
@@ -72,13 +73,13 @@ impl TraceIndex {
             };
         }
         std::thread::scope(|s| {
-            let euler = s.spawn(|| euler_tour(trace));
+            let euler = s.spawn(|| euler_tour(trace.columns()));
             let chunk = n.div_ceil(jobs);
             let handles: Vec<_> = (0..n)
                 .step_by(chunk)
                 .map(|start| {
                     let end = (start + chunk).min(n);
-                    s.spawn(move || postings(trace, start, end))
+                    s.spawn(move || postings(trace.columns(), start, end))
                 })
                 .collect();
             // Chunks join in trace order, so every postings list stays
@@ -102,6 +103,24 @@ impl TraceIndex {
                 defs,
             }
         })
+    }
+
+    /// Assembles an index from parts the pipelined recorder built
+    /// incrementally. The parts must match what [`TraceIndex::build`]
+    /// would produce for the same trace (the columnar-equivalence
+    /// property tests pin this down).
+    pub(crate) fn assemble(
+        cd_tin: Vec<u32>,
+        cd_tout: Vec<u32>,
+        preds: HashMap<(StmtId, bool), Vec<InstId>>,
+        defs: HashMap<VarId, Vec<InstId>>,
+    ) -> Self {
+        TraceIndex {
+            cd_tin,
+            cd_tout,
+            preds,
+            defs,
+        }
     }
 
     /// Whether `anc` is a *proper* CD ancestor of `desc` — i.e. `desc` is
@@ -151,12 +170,12 @@ impl TraceIndex {
 /// global clock across the roots (in trace order) gives disjoint
 /// intervals to separate trees, so the containment test needs no
 /// root bookkeeping.
-fn euler_tour(trace: &Trace) -> (Vec<u32>, Vec<u32>) {
-    let n = trace.len();
+pub(crate) fn euler_tour(cols: &ColumnarTrace) -> (Vec<u32>, Vec<u32>) {
+    let n = cols.len();
     // Children in CSR form: counting pass, prefix sums, fill pass.
     let mut counts = vec![0u32; n];
-    for ev in trace.events() {
-        if let Some(p) = ev.cd_parent {
+    for i in 0..n {
+        if let Some(p) = cols.cd_parent_of(InstId(i as u32)) {
             counts[p.index()] += 1;
         }
     }
@@ -167,8 +186,8 @@ fn euler_tour(trace: &Trace) -> (Vec<u32>, Vec<u32>) {
     let mut cursor: Vec<u32> = offsets[..n].to_vec();
     let mut children = vec![0u32; offsets[n] as usize];
     let mut roots: Vec<u32> = Vec::new();
-    for (i, ev) in trace.events().iter().enumerate() {
-        match ev.cd_parent {
+    for i in 0..n {
+        match cols.cd_parent_of(InstId(i as u32)) {
             Some(p) => {
                 assert!(p.index() < i, "cd parent {p} not before child t{i}");
                 children[cursor[p.index()] as usize] = i as u32;
@@ -203,17 +222,18 @@ fn euler_tour(trace: &Trace) -> (Vec<u32>, Vec<u32>) {
     (tin, tout)
 }
 
-type Postings = (
+pub(crate) type Postings = (
     HashMap<(StmtId, bool), Vec<InstId>>,
     HashMap<VarId, Vec<InstId>>,
 );
 
 /// Predicate and definition postings for the chunk `[start, end)`.
-fn postings(trace: &Trace, start: usize, end: usize) -> Postings {
+pub(crate) fn postings(cols: &ColumnarTrace, start: usize, end: usize) -> Postings {
     let mut preds: HashMap<(StmtId, bool), Vec<InstId>> = HashMap::new();
     let mut defs: HashMap<VarId, Vec<InstId>> = HashMap::new();
-    for (i, ev) in trace.events()[start..end].iter().enumerate() {
-        let inst = InstId((start + i) as u32);
+    for i in start..end {
+        let inst = InstId(i as u32);
+        let ev = cols.event(inst);
         if let Some(b) = ev.branch {
             preds.entry((ev.stmt, b)).or_default().push(inst);
         }

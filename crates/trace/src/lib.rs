@@ -23,20 +23,27 @@
 //! assert!(regions.in_region(InstId(0), InstId(1)));
 //! ```
 
+pub mod columnar;
 pub mod dot;
 pub mod event;
+pub mod format;
 pub mod index;
+mod mmap;
 pub mod outcome;
+pub mod recorder;
 pub mod region;
 pub mod stats;
 #[allow(clippy::module_inception)]
 pub mod trace;
 pub mod value;
 
+pub use columnar::{ColumnarTrace, RawEvent};
 pub use dot::{ddg_to_dot, regions_to_dot};
-pub use event::{Event, InstId, OutputRecord};
+pub use event::{Event, EventRef, InstId, OutputRecord};
+pub use format::{decode_trace, encode_trace, load_trace, save_trace, TraceFileError};
 pub use index::TraceIndex;
 pub use outcome::{CrashKind, RunOutcome};
+pub use recorder::{Recorder, RecorderStats};
 pub use region::RegionTree;
 pub use stats::{TraceStats, VerificationStats};
 pub use trace::{Termination, Trace};

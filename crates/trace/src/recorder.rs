@@ -1,0 +1,395 @@
+//! The pipelined trace recorder.
+//!
+//! The interpreter is a single-threaded producer: it appends compact
+//! [`RawEvent`]s into fixed-size columnar chunks. Full chunks travel
+//! over a **bounded SPSC queue** (`std::sync::mpsc::sync_channel`, one
+//! producer, one consumer) to a builder thread that, *concurrently with
+//! execution*, appends them to the global [`ColumnarTrace`] and
+//! accumulates the [`TraceIndex`] postings. At [`Recorder::finish`] the
+//! tail chunk is shipped, the builder joins, and the Euler tour over the
+//! completed CD forest is stamped — so a freshly recorded trace comes
+//! back with its query index already built.
+//!
+//! # Determinism
+//!
+//! The queue preserves chunk order and a single builder consumes chunks
+//! FIFO, so the assembled columns and postings are byte-identical to a
+//! serial build no matter how producer and builder interleave in time.
+//! Only the *stats* ([`RecorderStats::queue_depth_max`],
+//! [`RecorderStats::backpressure_stalls`]) depend on scheduling; they
+//! are surfaced as observability counters and are deliberately kept out
+//! of the deterministically-compared journal records.
+//!
+//! Short runs never pay for the pipeline: the builder thread is spawned
+//! only once the first chunk fills, so the thousands of small switched
+//! re-executions the verifier launches stay single-threaded, and resumed
+//! runs (seeded from a checkpoint prefix via [`Recorder::from_prefix`])
+//! stay inline as well because their suffixes are typically short.
+
+use crate::columnar::{ColumnarTrace, RawEvent};
+use crate::event::InstId;
+use crate::index::{self, TraceIndex};
+use omislice_lang::{StmtId, VarId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Events per chunk. Chunks are the queue's unit of transfer; the tail
+/// of the current chunk always stays producer-resident so the
+/// interpreter can patch the defined variable of the event it just
+/// recorded.
+pub(crate) const CHUNK_EVENTS: usize = 4096;
+
+/// Bounded queue capacity, in chunks. A full queue stalls the producer
+/// (recorded in [`RecorderStats::backpressure_stalls`]).
+const QUEUE_CHUNKS: usize = 8;
+
+/// Scheduling-dependent recorder measurements. Observability-only: these
+/// vary run to run and must never feed deterministically-compared
+/// output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Deepest the chunk queue ever got (producer-side view).
+    pub queue_depth_max: usize,
+    /// Times the producer found the queue full and had to block.
+    pub backpressure_stalls: u64,
+    /// Whether the builder thread was spawned at all.
+    pub pipelined: bool,
+}
+
+/// Incremental postings accumulator: the builder-thread half of
+/// [`TraceIndex`] construction. Chunks absorb in trace order, so the
+/// lists match a serial build exactly.
+#[derive(Default)]
+struct PostingsAcc {
+    preds: HashMap<(StmtId, bool), Vec<InstId>>,
+    defs: HashMap<VarId, Vec<InstId>>,
+}
+
+impl PostingsAcc {
+    fn absorb(&mut self, chunk: &ColumnarTrace, base: u32) {
+        for i in 0..chunk.len() {
+            let inst = InstId(base + i as u32);
+            let ev = chunk.event(InstId(i as u32));
+            if let Some(b) = ev.branch {
+                self.preds.entry((ev.stmt, b)).or_default().push(inst);
+            }
+            if let Some(v) = ev.def_var {
+                self.defs.entry(v).or_default().push(inst);
+            }
+        }
+    }
+}
+
+/// What the builder thread hands back when the channel closes.
+struct BuiltParts {
+    cols: ColumnarTrace,
+    postings: PostingsAcc,
+}
+
+struct Pipeline {
+    tx: SyncSender<ColumnarTrace>,
+    handle: JoinHandle<BuiltParts>,
+    depth: Arc<AtomicUsize>,
+}
+
+/// The streaming recorder the interpreter feeds.
+pub struct Recorder {
+    /// Completed columns: the checkpoint prefix plus chunks drained
+    /// inline while the pipeline was not (or never) running.
+    cols: ColumnarTrace,
+    /// Postings for everything in `cols` (fresh recordings only; prefix
+    /// seeding switches postings accumulation off — see `index_live`).
+    postings: PostingsAcc,
+    /// The chunk currently being filled.
+    chunk: ColumnarTrace,
+    /// Events recorded overall (== next instance id).
+    total: usize,
+    /// Builder thread, once the first chunk fills.
+    pipeline: Option<Pipeline>,
+    /// Whether postings are being accumulated. Prefix-seeded recorders
+    /// skip index prebuilding: their consumers (switched re-executions)
+    /// touch at most a few index queries, which the lazy path serves.
+    index_live: bool,
+    stats: RecorderStats,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An empty recorder for a fresh run.
+    pub fn new() -> Self {
+        Recorder {
+            cols: ColumnarTrace::new(),
+            postings: PostingsAcc::default(),
+            chunk: ColumnarTrace::with_capacity(CHUNK_EVENTS, CHUNK_EVENTS),
+            total: 0,
+            pipeline: None,
+            index_live: true,
+            stats: RecorderStats::default(),
+        }
+    }
+
+    /// A recorder seeded with the first `len` events of `base` — the
+    /// checkpoint-resume fast path. Column-wise memcpys; no per-event
+    /// work, where the row-major trace used to clone every `Event` (and
+    /// its dependence vector) in the prefix.
+    pub fn from_prefix(base: &ColumnarTrace, len: usize) -> Self {
+        Recorder {
+            cols: base.clone_prefix(len),
+            postings: PostingsAcc::default(),
+            chunk: ColumnarTrace::with_capacity(CHUNK_EVENTS, CHUNK_EVENTS),
+            total: len,
+            pipeline: None,
+            index_live: false,
+            stats: RecorderStats::default(),
+        }
+    }
+
+    /// Events recorded so far (== the id the next event will get).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Records one event, returning its instance id.
+    pub fn push(&mut self, ev: RawEvent<'_>) -> InstId {
+        if self.chunk.len() == CHUNK_EVENTS {
+            self.rotate_chunk();
+        }
+        self.chunk.push(ev);
+        let id = InstId(self.total as u32);
+        self.total += 1;
+        id
+    }
+
+    /// Patches the defined variable of the event just pushed. The tail
+    /// chunk is never shipped before the next push, so the target is
+    /// always resident.
+    pub fn set_def_var_last(&mut self, var: VarId) {
+        self.chunk.set_def_var_last(var);
+    }
+
+    /// Ships the filled chunk to the builder, spawning it on first use;
+    /// prefix-seeded recorders drain inline instead.
+    fn rotate_chunk(&mut self) {
+        let full = std::mem::replace(
+            &mut self.chunk,
+            ColumnarTrace::with_capacity(CHUNK_EVENTS, CHUNK_EVENTS),
+        );
+        if !self.index_live {
+            // Resumed run: stay inline.
+            self.cols.append(&full);
+            return;
+        }
+        if self.pipeline.is_none() {
+            self.spawn_builder();
+        }
+        let p = self.pipeline.as_mut().expect("just spawned");
+        let depth = p.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        match p.tx.try_send(full) {
+            Ok(()) => {}
+            Err(TrySendError::Full(chunk)) => {
+                self.stats.backpressure_stalls += 1;
+                p.tx.send(chunk).expect("builder outlives the producer");
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                unreachable!("builder holds the receiver until the channel closes")
+            }
+        }
+    }
+
+    fn spawn_builder(&mut self) {
+        let (tx, rx): (SyncSender<ColumnarTrace>, Receiver<ColumnarTrace>) =
+            sync_channel(QUEUE_CHUNKS);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let consumer_depth = Arc::clone(&depth);
+        // Everything recorded so far (the inline head) moves to the
+        // builder, which owns column assembly from here on.
+        let head = std::mem::take(&mut self.cols);
+        let mut postings = std::mem::take(&mut self.postings);
+        let handle = std::thread::spawn(move || {
+            let mut cols = head;
+            while let Ok(chunk) = rx.recv() {
+                consumer_depth.fetch_sub(1, Ordering::Relaxed);
+                postings.absorb(&chunk, cols.len() as u32);
+                cols.append(&chunk);
+            }
+            BuiltParts { cols, postings }
+        });
+        self.stats.pipelined = true;
+        self.pipeline = Some(Pipeline { tx, handle, depth });
+    }
+
+    /// Closes the recorder: ships the tail, joins the builder, stamps
+    /// the Euler tour. Returns the assembled columns, the query index
+    /// when one was built (fresh pipelined recordings), and the
+    /// scheduling stats.
+    pub fn finish(mut self) -> (ColumnarTrace, Option<TraceIndex>, RecorderStats) {
+        let tail = std::mem::take(&mut self.chunk);
+        match self.pipeline.take() {
+            Some(p) => {
+                if !tail.is_empty() {
+                    let depth = p.depth.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+                    p.tx.send(tail).expect("builder outlives the producer");
+                }
+                drop(p.tx);
+                let BuiltParts { cols, mut postings } =
+                    p.handle.join().expect("builder does not panic");
+                let (tin, tout) = index::euler_tour(&cols);
+                let index = TraceIndex::assemble(
+                    tin,
+                    tout,
+                    std::mem::take(&mut postings.preds),
+                    std::mem::take(&mut postings.defs),
+                );
+                (cols, Some(index), self.stats)
+            }
+            None => {
+                let mut cols = self.cols;
+                if self.index_live {
+                    self.postings.absorb(&tail, cols.len() as u32);
+                }
+                cols.append(&tail);
+                if self.index_live && !cols.is_empty() {
+                    let (tin, tout) = index::euler_tour(&cols);
+                    let index =
+                        TraceIndex::assemble(tin, tout, self.postings.preds, self.postings.defs);
+                    (cols, Some(index), self.stats)
+                } else {
+                    (cols, None, self.stats)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::trace::{Termination, Trace};
+    use crate::value::Value;
+
+    /// A synthetic well-formed event stream: a predicate every 7 events,
+    /// children hanging off the latest predicate, defs cycling over a
+    /// few variables.
+    fn synthetic(n: usize) -> Vec<Event> {
+        let mut out = Vec::with_capacity(n);
+        let mut last_pred: Option<InstId> = None;
+        for i in 0..n {
+            let mut e = Event::new(StmtId((i % 13) as u32));
+            if i % 7 == 0 {
+                e.branch = Some(i % 2 == 0);
+                e.value = Some(Value::Bool(i % 2 == 0));
+                last_pred = Some(InstId(i as u32));
+            } else {
+                e.cd_parent = last_pred;
+                e.region_parent = last_pred;
+                e.value = Some(Value::Int(i as i64));
+                e.def_var = Some(VarId((i % 5) as u32));
+                if i > 0 {
+                    e.data_deps = vec![InstId((i - 1) as u32)];
+                }
+            }
+            out.push(e);
+        }
+        out
+    }
+
+    fn record(events: &[Event]) -> (ColumnarTrace, Option<TraceIndex>, RecorderStats) {
+        let mut r = Recorder::new();
+        for e in events {
+            r.push(RawEvent::from(e));
+        }
+        r.finish()
+    }
+
+    #[test]
+    fn small_runs_stay_inline_and_match_oracle() {
+        let events = synthetic(100);
+        let (cols, index, stats) = record(&events);
+        assert!(!stats.pipelined);
+        assert!(index.is_some());
+        assert_eq!(cols.to_events(), events);
+    }
+
+    #[test]
+    fn pipelined_run_matches_oracle_exactly() {
+        let events = synthetic(3 * CHUNK_EVENTS + 17);
+        let (cols, index, stats) = record(&events);
+        assert!(stats.pipelined);
+        assert_eq!(cols.to_events(), events);
+
+        // The prebuilt index answers exactly like a fresh serial build.
+        let recorded = Trace::from_recorded(cols, vec![], Termination::Normal, index);
+        let oracle = Trace::from_parts(events, vec![], Termination::Normal);
+        oracle.build_index(1);
+        for inst in oracle.insts() {
+            let ev = oracle.event(inst);
+            if let Some(b) = ev.branch {
+                assert_eq!(
+                    recorded.index().pred_instances(ev.stmt, b),
+                    oracle.index().pred_instances(ev.stmt, b)
+                );
+            }
+            if let Some(v) = ev.def_var {
+                assert_eq!(recorded.index().defs_of(v), oracle.index().defs_of(v));
+            }
+        }
+        for u in (0..oracle.len() as u32).step_by(97) {
+            for p in (0..oracle.len() as u32).step_by(89) {
+                assert_eq!(
+                    recorded.cd_depends_on(InstId(u), InstId(p)),
+                    oracle.cd_depends_on(InstId(u), InstId(p)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_seeded_recorder_resumes_mid_chunk() {
+        let events = synthetic(CHUNK_EVENTS + 500);
+        let (base_cols, _, _) = record(&events);
+        for cut in [0, 1, CHUNK_EVENTS - 1, CHUNK_EVENTS, CHUNK_EVENTS + 499] {
+            let mut r = Recorder::from_prefix(&base_cols, cut);
+            assert_eq!(r.len(), cut);
+            for e in &events[cut..] {
+                r.push(RawEvent::from(e));
+            }
+            let (cols, index, stats) = r.finish();
+            assert!(index.is_none());
+            assert!(!stats.pipelined);
+            assert_eq!(cols.to_events(), events);
+        }
+    }
+
+    #[test]
+    fn def_var_patch_survives_chunk_rotation() {
+        let mut r = Recorder::new();
+        let events = synthetic(CHUNK_EVENTS);
+        for e in &events {
+            r.push(RawEvent::from(e));
+        }
+        // The chunk is exactly full but not yet shipped: the patch must
+        // still land on the final event.
+        r.set_def_var_last(VarId(77));
+        let (cols, _, _) = r.finish();
+        assert_eq!(
+            cols.event(InstId(CHUNK_EVENTS as u32 - 1)).def_var,
+            Some(VarId(77))
+        );
+    }
+}

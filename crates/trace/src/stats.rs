@@ -39,7 +39,7 @@ impl TraceStats {
         let mut data_edges = 0;
         let mut control_edges = 0;
         let mut max_call_depth = 0;
-        for ev in trace.events() {
+        for ev in trace.iter_events() {
             let s = ev.stmt.0 as usize;
             if s >= per_stmt.len() {
                 per_stmt.resize(s + 1, 0);

@@ -1,11 +1,11 @@
 //! The execution trace: the dynamic dependence graph of one run.
 
-use crate::event::{Event, InstId, OutputRecord};
+use crate::columnar::{ColumnarTrace, RawEvent};
+use crate::event::{Event, EventRef, InstId, OutputRecord};
 use crate::index::TraceIndex;
 use crate::outcome::CrashKind;
 use crate::value::Value;
 use omislice_lang::StmtId;
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// A complete execution trace.
@@ -13,15 +13,62 @@ use std::sync::OnceLock;
 /// The events *are* the dynamic dependence graph: each event carries its
 /// data-dependence edges and its dynamic control-dependence parent. The
 /// trace additionally records the observable outputs and how the run
-/// ended.
+/// ended. Events live in a columnar store ([`ColumnarTrace`]); queries
+/// go through the [`EventRef`] view, which borrows the columns.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    events: Vec<Event>,
+    cols: ColumnarTrace,
     outputs: Vec<OutputRecord>,
-    by_stmt: HashMap<StmtId, Vec<InstId>>,
+    by_stmt: ByStmt,
     termination: Termination,
     /// Lazily built query index (Euler-tour CD timestamps + postings).
     index: OnceLock<TraceIndex>,
+}
+
+/// Statement → instances, as a CSR over dense statement ids (statement
+/// ids are dense per program, so a flat offset table replaces the old
+/// per-statement `HashMap<StmtId, Vec<InstId>>` of heap-allocated
+/// vectors).
+#[derive(Debug, Clone, Default)]
+struct ByStmt {
+    off: Vec<u32>,
+    insts: Vec<InstId>,
+}
+
+impl ByStmt {
+    /// Counting sort of instance ids by statement; preserves execution
+    /// order within each statement.
+    fn build(cols: &ColumnarTrace) -> ByStmt {
+        let n_stmts = cols
+            .stmt
+            .iter()
+            .map(|s| s.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut off = vec![0u32; n_stmts + 1];
+        for s in &cols.stmt {
+            off[s.0 as usize + 1] += 1;
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        let mut insts = vec![InstId(0); cols.len()];
+        let mut cursor = off.clone();
+        for (i, s) in cols.stmt.iter().enumerate() {
+            let c = &mut cursor[s.0 as usize];
+            insts[*c as usize] = InstId(i as u32);
+            *c += 1;
+        }
+        ByStmt { off, insts }
+    }
+
+    fn instances_of(&self, stmt: StmtId) -> &[InstId] {
+        let s = stmt.0 as usize;
+        if s + 1 >= self.off.len() {
+            return &[];
+        }
+        &self.insts[self.off[s] as usize..self.off[s + 1] as usize]
+    }
 }
 
 /// How an execution ended.
@@ -52,23 +99,50 @@ impl Termination {
 }
 
 impl Trace {
-    /// Assembles a trace from its parts (used by the interpreter).
+    /// Assembles a trace from owned events — the legacy row-major
+    /// builder, kept as the differential oracle for the columnar path
+    /// (see the `columnar_equivalence` property tests) and as the
+    /// convenient constructor for hand-written test traces. Hidden from
+    /// docs: product code records through [`Recorder`](crate::Recorder)
+    /// and loads through [`load_trace`](crate::load_trace).
+    #[doc(hidden)]
     pub fn from_parts(
         events: Vec<Event>,
         outputs: Vec<OutputRecord>,
         termination: Termination,
     ) -> Self {
-        let mut by_stmt: HashMap<StmtId, Vec<InstId>> = HashMap::new();
-        for (i, e) in events.iter().enumerate() {
-            by_stmt.entry(e.stmt).or_default().push(InstId(i as u32));
+        let mut cols = ColumnarTrace::with_capacity(events.len(), 0);
+        for e in &events {
+            cols.push(RawEvent::from(e));
+        }
+        Trace::from_recorded(cols, outputs, termination, None)
+    }
+
+    /// Assembles a trace directly from a columnar store, optionally with
+    /// a query index the recorder already built concurrently.
+    pub fn from_recorded(
+        cols: ColumnarTrace,
+        outputs: Vec<OutputRecord>,
+        termination: Termination,
+        index: Option<TraceIndex>,
+    ) -> Self {
+        let by_stmt = ByStmt::build(&cols);
+        let cell = OnceLock::new();
+        if let Some(idx) = index {
+            cell.set(idx).ok();
         }
         Trace {
-            events,
+            cols,
             outputs,
             by_stmt,
             termination,
-            index: OnceLock::new(),
+            index: cell,
         }
+    }
+
+    /// The columnar event store.
+    pub fn columns(&self) -> &ColumnarTrace {
+        &self.cols
     }
 
     /// The query index over this trace, built serially on first use.
@@ -84,38 +158,50 @@ impl Trace {
             .get_or_init(|| TraceIndex::build_with_jobs(self, jobs))
     }
 
+    /// Whether the query index has already been built (or prebuilt by
+    /// the pipelined recorder).
+    pub fn has_index(&self) -> bool {
+        self.index.get().is_some()
+    }
+
     /// Number of statement instances.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.cols.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.cols.is_empty()
     }
 
-    /// The event for instance `inst`.
+    /// The event for instance `inst`, as a borrowed columnar view.
     ///
     /// # Panics
     ///
     /// Panics if `inst` is out of range.
-    pub fn event(&self, inst: InstId) -> &Event {
-        &self.events[inst.index()]
+    pub fn event(&self, inst: InstId) -> EventRef<'_> {
+        self.cols.event(inst)
     }
 
-    /// All events in execution order.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    /// Iterates all events in execution order.
+    pub fn iter_events(&self) -> impl Iterator<Item = EventRef<'_>> {
+        (0..self.cols.len() as u32).map(|i| self.cols.event(InstId(i)))
+    }
+
+    /// Materializes all events as owned rows (tests and oracles; the
+    /// query paths use [`Trace::event`] / [`Trace::iter_events`]).
+    pub fn events_vec(&self) -> Vec<Event> {
+        self.cols.to_events()
     }
 
     /// Iterates instance ids in execution order.
     pub fn insts(&self) -> impl Iterator<Item = InstId> {
-        (0..self.events.len() as u32).map(InstId)
+        (0..self.cols.len() as u32).map(InstId)
     }
 
     /// The instances of a statement, in execution order.
     pub fn instances_of(&self, stmt: StmtId) -> &[InstId] {
-        self.by_stmt.get(&stmt).map_or(&[], Vec::as_slice)
+        self.by_stmt.instances_of(stmt)
     }
 
     /// The k-th (0-based) instance of a statement, if it executed that
@@ -127,7 +213,7 @@ impl Trace {
     /// Which occurrence of its statement `inst` is (0-based): the inverse
     /// of [`Trace::nth_instance`].
     pub fn occurrence_index(&self, inst: InstId) -> usize {
-        let stmt = self.event(inst).stmt;
+        let stmt = self.cols.stmt_of(inst);
         self.instances_of(stmt)
             .binary_search(&inst)
             .expect("instance belongs to its statement's list")
@@ -155,10 +241,10 @@ impl Trace {
     /// chain), nearest first.
     pub fn cd_ancestors(&self, inst: InstId) -> Vec<InstId> {
         let mut out = Vec::new();
-        let mut cur = self.event(inst).cd_parent;
+        let mut cur = self.cols.cd_parent_of(inst);
         while let Some(p) = cur {
             out.push(p);
-            cur = self.event(p).cd_parent;
+            cur = self.cols.cd_parent_of(p);
         }
         out
     }
@@ -175,7 +261,7 @@ impl Trace {
     /// property tests.
     #[doc(hidden)]
     pub fn cd_depends_on_naive(&self, inst: InstId, pred_inst: InstId) -> bool {
-        let mut cur = self.event(inst).cd_parent;
+        let mut cur = self.cols.cd_parent_of(inst);
         while let Some(p) = cur {
             if p == pred_inst {
                 return true;
@@ -184,7 +270,7 @@ impl Trace {
             if p < pred_inst {
                 return false;
             }
-            cur = self.event(p).cd_parent;
+            cur = self.cols.cd_parent_of(p);
         }
         false
     }
@@ -277,5 +363,18 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
         assert_eq!(t.insts().count(), 0);
+    }
+
+    #[test]
+    fn events_round_trip_through_columns() {
+        let t = sample();
+        let events = t.events_vec();
+        assert_eq!(events.len(), 4);
+        let rebuilt = Trace::from_parts(events.clone(), t.outputs().to_vec(), Termination::Normal);
+        assert_eq!(rebuilt.events_vec(), events);
+        assert_eq!(
+            t.iter_events().map(|e| e.stmt).collect::<Vec<_>>(),
+            events.iter().map(|e| e.stmt).collect::<Vec<_>>()
+        );
     }
 }

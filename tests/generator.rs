@@ -1,0 +1,182 @@
+//! Shared structured-program generator for the cross-crate property
+//! tests: terminating programs (loops are bounded counters) over a few
+//! global scalars, one eight-slot array, and a helper procedure.
+//!
+//! Included via `mod generator;` by each property-test target
+//! ([`pipeline.rs`](./pipeline.rs),
+//! [`columnar_equivalence.rs`](./columnar_equivalence.rs)); the file is
+//! not a test target itself.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+pub enum GenStmt {
+    Assign(usize, GenExpr),
+    Store(GenExpr, GenExpr),
+    Print(GenExpr),
+    If(GenExpr, Vec<GenStmt>, Vec<GenStmt>),
+    /// Bounded loop: a fresh counter runs to a small constant.
+    Loop(u8, Vec<GenStmt>),
+    Call(GenExpr),
+}
+
+#[derive(Debug, Clone)]
+pub enum GenExpr {
+    Lit(i8),
+    Var(usize),
+    Load(Box<GenExpr>),
+    Add(Box<GenExpr>, Box<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Rem(Box<GenExpr>, u8),
+    Input,
+}
+
+const GLOBALS: [&str; 4] = ["g0", "g1", "g2", "g3"];
+
+fn expr_strategy() -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (-5i8..10).prop_map(GenExpr::Lit),
+        (0usize..GLOBALS.len()).prop_map(GenExpr::Var),
+        Just(GenExpr::Input),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), 1u8..7).prop_map(|(a, k)| GenExpr::Rem(Box::new(a), k)),
+            inner.prop_map(|a| GenExpr::Load(Box::new(a))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = GenStmt> {
+    let leaf = prop_oneof![
+        ((0usize..GLOBALS.len()), expr_strategy()).prop_map(|(v, e)| GenStmt::Assign(v, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GenStmt::Store(i, e)),
+        expr_strategy().prop_map(GenStmt::Print),
+        expr_strategy().prop_map(GenStmt::Call),
+    ];
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| GenStmt::If(c, t, e)),
+            ((0u8..4), prop::collection::vec(inner, 1..4))
+                .prop_map(|(k, body)| GenStmt::Loop(k, body)),
+        ]
+    })
+}
+
+pub fn program_strategy() -> impl Strategy<Value = (String, Vec<i64>)> {
+    (
+        prop::collection::vec(stmt_strategy(), 1..8),
+        prop::collection::vec(-20i64..20, 0..12),
+    )
+        .prop_map(|(stmts, inputs)| (render_program(&stmts), inputs))
+}
+
+fn render_expr(e: &GenExpr, out: &mut String) {
+    match e {
+        GenExpr::Lit(n) => {
+            if *n < 0 {
+                out.push_str(&format!("(0 - {})", -(*n as i64)));
+            } else {
+                out.push_str(&n.to_string());
+            }
+        }
+        GenExpr::Var(v) => out.push_str(GLOBALS[*v]),
+        GenExpr::Load(i) => {
+            out.push_str("arr[((");
+            render_expr(i, out);
+            out.push_str(") % 8 + 8) % 8]");
+        }
+        GenExpr::Add(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" + ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GenExpr::Sub(a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(" - ");
+            render_expr(b, out);
+            out.push(')');
+        }
+        GenExpr::Rem(a, k) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" % {k})"));
+        }
+        GenExpr::Input => out.push_str("input()"),
+    }
+}
+
+fn render_stmts(stmts: &[GenStmt], out: &mut String, counter: &mut usize) {
+    for s in stmts {
+        match s {
+            GenStmt::Assign(v, e) => {
+                out.push_str(GLOBALS[*v]);
+                out.push_str(" = ");
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            GenStmt::Store(i, e) => {
+                out.push_str("arr[((");
+                render_expr(i, out);
+                out.push_str(") % 8 + 8) % 8] = ");
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            GenStmt::Print(e) => {
+                out.push_str("print(");
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            GenStmt::Call(e) => {
+                out.push_str("note(");
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            GenStmt::If(c, t, e) => {
+                out.push_str("if (");
+                render_expr(c, out);
+                out.push_str(") % 2 == 0 {\n");
+                render_stmts(t, out, counter);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render_stmts(e, out, counter);
+                    out.push_str("}\n");
+                }
+            }
+            GenStmt::Loop(k, body) => {
+                let c = *counter;
+                *counter += 1;
+                out.push_str(&format!("let w{c} = 0;\nwhile w{c} < {k} {{\n"));
+                render_stmts(body, out, counter);
+                out.push_str(&format!("w{c} = w{c} + 1;\n}}\n"));
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[GenStmt]) -> String {
+    let mut body = String::new();
+    let mut counter = 0usize;
+    render_stmts(stmts, &mut body, &mut counter);
+    format!(
+        "global g0 = 0; global g1 = 1; global g2 = 2; global g3 = 3;\n\
+         global arr = [0; 8];\n\
+         global noted = 0;\n\
+         fn note(v) {{ noted = noted + v; return noted; }}\n\
+         fn main() {{\n{body}print(noted);\n}}\n"
+    )
+}
