@@ -89,8 +89,8 @@ obs_smoke() {
 # through `locate --trace-in` must be indistinguishable from tracing
 # in-process — identical report and identical journal (minus the
 # wall-clock `spans` record) — and corrupted or truncated trace files
-# must be rejected with a structured error, never a panic. Run
-# standalone with `./ci.sh trace-smoke`.
+# must climb the load ladder (warn, re-trace from source, same report),
+# never panic. Run standalone with `./ci.sh trace-smoke`.
 trace_smoke() {
     echo "==> trace smoke (trace --save / locate --trace-in round trip)"
     cargo build "${OFFLINE[@]}" --release -p omislice-cli
@@ -127,21 +127,146 @@ EOF
     printf 'garbage' > "$dir/bad.omitrace"
     local f
     for f in trunc bad; do
-        if ./target/release/omislice locate --faulty "$dir/faulty.omi" \
+        if ! ./target/release/omislice locate --faulty "$dir/faulty.omi" \
             --fixed "$dir/fixed.omi" --input 1 \
-            --trace-in "$dir/$f.omitrace" >/dev/null 2>"$dir/$f.err"; then
-            echo "trace smoke FAILED: $f.omitrace was accepted" >&2
+            --trace-in "$dir/$f.omitrace" >"$dir/$f.out" 2>"$dir/$f.err"; then
+            echo "trace smoke FAILED: $f.omitrace did not recover:" >&2
+            cat "$dir/$f.err" >&2
             exit 1
         fi
         if ! grep -q "cannot load trace" "$dir/$f.err" \
+            || ! grep -q "re-tracing from source" "$dir/$f.err" \
             || grep -q "panicked" "$dir/$f.err"; then
-            echo "trace smoke FAILED: $f.omitrace did not fail cleanly:" >&2
+            echo "trace smoke FAILED: $f.omitrace did not degrade cleanly:" >&2
             cat "$dir/$f.err" >&2
+            exit 1
+        fi
+        if ! cmp -s "$dir/live.out" "$dir/$f.out"; then
+            echo "trace smoke FAILED: $f.omitrace recovery changed the report" >&2
             exit 1
         fi
     done
     rm -rf "$dir"
     echo "trace smoke OK"
+}
+
+# Chaos smoke: every injectable pipeline fault — recorder builder panic,
+# channel disconnect, queue stall, encode/decode corruption, short
+# writes, ENOSPC, mmap failure — must be absorbed by the supervisor's
+# degradation ladders with zero effect on the localization verdict: the
+# report stays byte-identical to the clean run, the journal carries a
+# schema-valid `recovery` record, and saved traces come out bit-exact.
+# A pinned deadline expiry must exit 3 with a partial report, and the
+# differential harness's chaos mode (invariant 7) must hold over a seed
+# window. Run standalone with `./ci.sh chaos-smoke`.
+chaos_smoke() {
+    echo "==> chaos smoke (supervised recovery sweep)"
+    cargo build "${OFFLINE[@]}" --release \
+        -p omislice-cli -p omislice-obs -p omislice-bench
+    local dir
+    dir=$(mktemp -d)
+    # Loop-heavy pair (>4096 trace events) so the recorder spills chunks
+    # to its builder thread — otherwise the recorder chaos sites
+    # (builder/channel/queue) never fire.
+    cat > "$dir/faulty.omi" <<'EOF'
+global acc = 0;
+fn main() {
+  let n = input();
+  let i = 0;
+  while i < 1200 {
+    acc = acc + i;
+    let j = acc / 7;
+    let k = j * 3;
+    acc = acc - k / 9;
+    i = i + 1;
+  }
+  let flag = input();
+  if flag == 1 { acc = 0; }
+  print(acc);
+}
+EOF
+    sed 's/flag == 1/flag == 2/' "$dir/faulty.omi" > "$dir/fixed.omi"
+    local locate=(./target/release/omislice locate \
+        --faulty "$dir/faulty.omi" --fixed "$dir/fixed.omi" --input 5,2)
+    "${locate[@]}" > "$dir/clean.out"
+    if ! grep -q "root cause captured : yes" "$dir/clean.out"; then
+        echo "chaos smoke FAILED: clean baseline did not locate the root" >&2
+        exit 1
+    fi
+    ./target/release/omislice trace "$dir/faulty.omi" --input 5,2 \
+        --save "$dir/clean.omitrace" 2>/dev/null
+
+    # Save-side sites go through `trace --save`: the retried save must
+    # produce a bit-exact trace file.
+    local plan
+    for plan in encode=corrupt save=short-write save=enospc; do
+        echo "   -- $plan (trace --save)"
+        if ! ./target/release/omislice trace "$dir/faulty.omi" --input 5,2 \
+            --save "$dir/chaos.omitrace" --chaos "$plan" \
+            >/dev/null 2>"$dir/chaos.err"; then
+            echo "chaos smoke FAILED: $plan did not recover:" >&2
+            cat "$dir/chaos.err" >&2
+            exit 1
+        fi
+        if ! grep -q "pipeline recovered" "$dir/chaos.err"; then
+            echo "chaos smoke FAILED: $plan recovery left no trail" >&2
+            exit 1
+        fi
+        if ! cmp -s "$dir/clean.omitrace" "$dir/chaos.omitrace"; then
+            echo "chaos smoke FAILED: $plan corrupted the saved trace" >&2
+            exit 1
+        fi
+    done
+
+    # Recorder and load sites go through `locate`: the recovered report
+    # must be byte-identical to the clean one, and the journal must
+    # carry a schema-valid recovery record.
+    for plan in builder=panic channel=disconnect queue=stall \
+                decode=corrupt mmap=fail; do
+        echo "   -- $plan (locate)"
+        local extra=(--chaos "$plan" --obs-out "$dir/chaos.jsonl")
+        case "$plan" in
+            decode=*|mmap=*) extra+=(--trace-in "$dir/clean.omitrace") ;;
+        esac
+        if ! "${locate[@]}" "${extra[@]}" \
+            > "$dir/chaos.out" 2> "$dir/chaos.err"; then
+            echo "chaos smoke FAILED: $plan did not recover:" >&2
+            cat "$dir/chaos.err" >&2
+            exit 1
+        fi
+        if ! cmp -s "$dir/clean.out" "$dir/chaos.out"; then
+            echo "chaos smoke FAILED: $plan changed the report" >&2
+            diff "$dir/clean.out" "$dir/chaos.out" >&2 || true
+            exit 1
+        fi
+        if ! grep -q "pipeline recovered" "$dir/chaos.err"; then
+            echo "chaos smoke FAILED: $plan recovery left no trail" >&2
+            exit 1
+        fi
+        if ! grep -q '"type":"recovery"' "$dir/chaos.jsonl"; then
+            echo "chaos smoke FAILED: $plan journal has no recovery record" >&2
+            exit 1
+        fi
+        ./target/release/validate_journal "$dir/chaos.jsonl"
+    done
+
+    echo "   -- deadline:1=expire (exit 3, partial report)"
+    local code=0
+    "${locate[@]}" --chaos deadline:1=expire \
+        > "$dir/partial.out" 2>/dev/null || code=$?
+    if [ "$code" -ne 3 ]; then
+        echo "chaos smoke FAILED: deadline expiry exited $code, want 3" >&2
+        exit 1
+    fi
+    if ! grep -q "omislice fault localization report" "$dir/partial.out"; then
+        echo "chaos smoke FAILED: no partial report after deadline expiry" >&2
+        exit 1
+    fi
+
+    echo "   -- diffcheck --chaos (invariant 7 over a seed window)"
+    RUST_BACKTRACE=1 ./target/release/diffcheck --seeds 25 --quick --chaos
+    rm -rf "$dir"
+    echo "chaos smoke OK"
 }
 
 # Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
@@ -177,6 +302,10 @@ if [ "${1:-}" = "trace-smoke" ]; then
     trace_smoke
     exit 0
 fi
+if [ "${1:-}" = "chaos-smoke" ]; then
+    chaos_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
@@ -199,5 +328,7 @@ bench_smoke
 obs_smoke
 
 trace_smoke
+
+chaos_smoke
 
 echo "CI OK"

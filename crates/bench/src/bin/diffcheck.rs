@@ -2,7 +2,7 @@
 //! and check every pipeline invariant (see `omislice_bench::diffcheck`).
 //!
 //! ```text
-//! diffcheck [--seeds N] [--start S] [--quick]
+//! diffcheck [--seeds N] [--start S] [--quick] [--chaos]
 //! ```
 //!
 //! Exits nonzero (after printing every divergence) if any invariant
@@ -19,8 +19,9 @@ fn main() {
             "--seeds" => opts.seeds = parse_num(args.next(), "--seeds"),
             "--start" => opts.start_seed = parse_num(args.next(), "--start"),
             "--quick" => opts.quick = true,
+            "--chaos" => opts.chaos = true,
             "--help" | "-h" => {
-                println!("usage: diffcheck [--seeds N] [--start S] [--quick]");
+                println!("usage: diffcheck [--seeds N] [--start S] [--quick] [--chaos]");
                 return;
             }
             other => {
@@ -30,16 +31,19 @@ fn main() {
         }
     }
 
-    // The sweep injects `panic`/`panic-harness` faults on purpose; keep
-    // their (caught) panics from spraying backtraces over the report
-    // while leaving genuine panics visible.
+    // The sweep injects `panic`/`panic-harness` faults (and, with
+    // `--chaos`, builder-thread panics) on purpose; keep their (caught)
+    // panics from spraying backtraces over the report while leaving
+    // genuine panics visible. Literal panics carry `&str` payloads,
+    // formatted ones carry `String` — check both.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let injected = info
-            .payload()
+        let payload = info.payload();
+        let message = payload
             .downcast_ref::<String>()
-            .is_some_and(|m| m.starts_with("injected"));
-        if !injected {
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied());
+        if !message.is_some_and(|m| m.starts_with("injected")) {
             default_hook(info);
         }
     }));
@@ -61,6 +65,16 @@ fn main() {
         summary.verifier_configs,
         summary.journals_compared,
     );
+    if opts.chaos {
+        println!(
+            "  chaos pipelines {} · recoveries exercised {}",
+            summary.chaos_pipelines, summary.chaos_recoveries
+        );
+        if summary.chaos_pipelines > 0 && summary.chaos_recoveries == 0 {
+            eprintln!("FAIL chaos sweep was vacuous: no recovery was exercised");
+            std::process::exit(1);
+        }
+    }
     if summary.failures.is_empty() {
         println!("  all invariants held");
     } else {

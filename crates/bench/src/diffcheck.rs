@@ -24,7 +24,11 @@
 //! 6. **Locate + journal** — [`locate_fault`] terminates, finds the
 //!    planted root cause (the oracle knows `v_exp` by construction),
 //!    its final slice contains the root statement, and the normalized
-//!    `--obs-out` journal is byte-identical across `jobs` × resume.
+//!    `--obs-out` journal is byte-identical across `jobs` × resume;
+//! 7. **Chaos recovery** (`--chaos`) — the full pipeline (trace →
+//!    save → load → locate) run under every injected-fault plan of the
+//!    [`omislice_trace::ChaosPlan`] sweep recovers without aborting and
+//!    produces the *same* normalized journal as the clean pipeline.
 //!
 //! Divergences are returned as human-readable failure strings carrying
 //! the seed, so every finding is reproducible with
@@ -39,10 +43,10 @@ use omislice_analysis::ProgramAnalysis;
 use omislice_interp::{
     run_plain, run_traced, FaultAction, FaultPlan, ResumeMode, RunConfig, SwitchSpec,
 };
-use omislice_lang::{generate_case, GenOptions};
+use omislice_lang::{generate_case, GenOptions, GeneratedCase};
 use omislice_obs::{parse, strip_timing, to_jsonl, Json};
 use omislice_slicing::{prune_slice, relevant_slice, DepGraph, Feedback, ValueProfile};
-use omislice_trace::{InstId, Trace, Value};
+use omislice_trace::{take_recovery, ChaosPlan, InstId, Supervisor, Trace, Value};
 
 /// What to run. `seeds` cases are checked, starting at `start_seed`;
 /// `quick` trades probe density for speed (CI smoke mode) without
@@ -55,6 +59,9 @@ pub struct DiffcheckOptions {
     pub start_seed: u64,
     /// Sample fewer alignment probes and verifier configurations.
     pub quick: bool,
+    /// Also run invariant 7: the chaos-plan sweep cross-checking
+    /// faulted-and-recovered pipelines against the clean oracle.
+    pub chaos: bool,
 }
 
 impl Default for DiffcheckOptions {
@@ -63,6 +70,7 @@ impl Default for DiffcheckOptions {
             seeds: 50,
             start_seed: 0,
             quick: false,
+            chaos: false,
         }
     }
 }
@@ -85,6 +93,12 @@ pub struct DiffcheckSummary {
     pub located: usize,
     /// Normalized journals compared byte-for-byte.
     pub journals_compared: usize,
+    /// Faulted pipelines cross-checked against the clean oracle
+    /// (`--chaos` only).
+    pub chaos_pipelines: usize,
+    /// Recovery actions the chaos pipelines performed (`--chaos` only;
+    /// must be nonzero or the chaos sweep was vacuous).
+    pub chaos_recoveries: u64,
     /// Human-readable divergence reports (empty ⇔ all invariants held).
     pub failures: Vec<String>,
 }
@@ -95,6 +109,8 @@ struct CaseStats {
     alignment_switches: usize,
     verifier_configs: usize,
     journals_compared: usize,
+    chaos_pipelines: usize,
+    chaos_recoveries: u64,
 }
 
 /// Runs the harness over `opts.seeds` consecutive seeds. Never panics on
@@ -104,7 +120,7 @@ pub fn run_diffcheck(opts: &DiffcheckOptions) -> DiffcheckSummary {
     let mut summary = DiffcheckSummary::default();
     for seed in opts.start_seed..opts.start_seed + opts.seeds {
         summary.cases += 1;
-        match check_case(seed, opts.quick) {
+        match check_case(seed, opts.quick, opts.chaos) {
             Ok(stats) => {
                 summary.exposed += 1;
                 summary.alignment_probes += stats.alignment_probes;
@@ -112,6 +128,8 @@ pub fn run_diffcheck(opts: &DiffcheckOptions) -> DiffcheckSummary {
                 summary.verifier_configs += stats.verifier_configs;
                 summary.located += 1;
                 summary.journals_compared += stats.journals_compared;
+                summary.chaos_pipelines += stats.chaos_pipelines;
+                summary.chaos_recoveries += stats.chaos_recoveries;
             }
             Err(report) => summary.failures.push(format!("seed {seed}: {report}")),
         }
@@ -121,7 +139,7 @@ pub fn run_diffcheck(opts: &DiffcheckOptions) -> DiffcheckSummary {
 
 /// Checks every invariant on the case generated by `seed`; the error
 /// string names the first invariant that failed.
-fn check_case(seed: u64, quick: bool) -> Result<CaseStats, String> {
+fn check_case(seed: u64, quick: bool, chaos: bool) -> Result<CaseStats, String> {
     let case = generate_case(seed, &GenOptions::default());
     let fixed_analysis = ProgramAnalysis::build(&case.fixed);
     let analysis = ProgramAnalysis::build(&case.faulty);
@@ -201,6 +219,8 @@ fn check_case(seed: u64, quick: bool) -> Result<CaseStats, String> {
         alignment_switches: 0,
         verifier_configs: 0,
         journals_compared: 0,
+        chaos_pipelines: 0,
+        chaos_recoveries: 0,
     };
     let max_switches = if quick { 3 } else { 8 };
     let stride = (preds.len() / max_switches).max(1);
@@ -329,7 +349,9 @@ fn check_case(seed: u64, quick: bool) -> Result<CaseStats, String> {
                     case.root
                 ));
             }
-            let journal = normalize(&to_jsonl(&build_journal(&meta, &lc, &outcome, trace, None)))?;
+            let journal = normalize(&to_jsonl(&build_journal(
+                &meta, &lc, &outcome, trace, None, None,
+            )))?;
             stats.journals_compared += 1;
             match &reference {
                 Some(r) if r != &journal => {
@@ -341,7 +363,102 @@ fn check_case(seed: u64, quick: bool) -> Result<CaseStats, String> {
         }
     }
 
+    // --- invariant 7 (--chaos): faulted pipelines match the clean one ---
+    if chaos {
+        let clean = reference.as_deref().expect("invariant 6 set the reference");
+        check_chaos_pipelines(
+            &case, &analysis, &config, &profile, &oracle, &meta, clean, seed, quick, &mut stats,
+        )?;
+    }
+
     Ok(stats)
+}
+
+/// Invariant 7: for every chaos plan of the sweep, run the *whole*
+/// pipeline — supervised trace, atomic save, supervised load, locate —
+/// with the plan installed, and require the normalized journal to be
+/// byte-identical to the clean pipeline's. The injected faults must be
+/// absorbed by the degradation ladders, never change a verdict, and
+/// never abort the process.
+#[allow(clippy::too_many_arguments)]
+fn check_chaos_pipelines(
+    case: &GeneratedCase,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    profile: &ValueProfile,
+    oracle: &GroundTruthOracle,
+    meta: &JournalMeta,
+    clean_journal: &str,
+    seed: u64,
+    quick: bool,
+    stats: &mut CaseStats,
+) -> Result<(), String> {
+    // Recorder-side sites only fire on traces long enough to rotate a
+    // chunk; the file-side sites (encode/save/decode/mmap) fire on every
+    // save/load roundtrip, so the sweep is never vacuous.
+    let plans: &[&str] = if quick {
+        &[
+            "builder=panic",
+            "encode=corrupt,decode=corrupt",
+            "save=short-write,mmap=fail",
+        ]
+    } else {
+        &[
+            "builder=panic",
+            "channel=disconnect",
+            "queue=stall",
+            "encode=corrupt,decode=corrupt",
+            "save=short-write",
+            "save=enospc,mmap=fail",
+        ]
+    };
+    let tmp = std::env::temp_dir().join(format!(
+        "omislice-diffcheck-{}-{seed}.omitrace",
+        std::process::id()
+    ));
+    for text in plans {
+        let plan =
+            ChaosPlan::parse(text).map_err(|e| format!("chaos plan `{text}` rejected: {e}"))?;
+        let sup = Supervisor::new().with_chaos(Some(plan));
+        let _ = take_recovery();
+        let chaos_run = sup.run(|| run_traced(&case.faulty, analysis, config));
+        sup.save_trace(&chaos_run.trace, &tmp)
+            .map_err(|e| format!("chaos `{text}`: supervised save failed: {e}"))?;
+        let loaded = sup
+            .load_trace(&tmp)
+            .map_err(|e| format!("chaos `{text}`: supervised load failed: {e}"))?;
+        let lc = LocateConfig::default();
+        let outcome = locate_fault(
+            &case.faulty,
+            analysis,
+            config,
+            &loaded,
+            profile,
+            oracle,
+            &lc,
+        )
+        .map_err(|e| format!("chaos `{text}`: locate on the recovered trace failed: {e}"))?;
+        if !outcome.found {
+            std::fs::remove_file(&tmp).ok();
+            return Err(format!(
+                "chaos `{text}`: recovered pipeline missed the planted root {}",
+                case.root
+            ));
+        }
+        let journal = normalize(&to_jsonl(&build_journal(
+            meta, &lc, &outcome, &loaded, None, None,
+        )))?;
+        if journal != clean_journal {
+            std::fs::remove_file(&tmp).ok();
+            return Err(format!(
+                "chaos `{text}`: recovered pipeline's journal differs from the clean one"
+            ));
+        }
+        stats.chaos_pipelines += 1;
+        stats.chaos_recoveries += take_recovery().total();
+    }
+    std::fs::remove_file(&tmp).ok();
+    Ok(())
 }
 
 /// The printed values of a traced run, in order.
@@ -383,6 +500,7 @@ mod tests {
             seeds: 2,
             start_seed: 0,
             quick: true,
+            chaos: false,
         });
         assert_eq!(summary.failures, Vec::<String>::new());
         assert_eq!(summary.cases, 2);
@@ -391,5 +509,27 @@ mod tests {
         assert!(summary.alignment_probes > 0);
         assert!(summary.verifier_configs > 0);
         assert!(summary.journals_compared > 0);
+        assert_eq!(summary.chaos_pipelines, 0);
+    }
+
+    #[test]
+    fn chaos_mode_recovers_and_matches_the_clean_pipeline() {
+        let summary = run_diffcheck(&DiffcheckOptions {
+            seeds: 1,
+            start_seed: 0,
+            quick: true,
+            chaos: true,
+        });
+        assert_eq!(summary.failures, Vec::<String>::new());
+        assert_eq!(
+            summary.chaos_pipelines, 3,
+            "every plan of the quick sweep ran"
+        );
+        // The file-side chaos sites fire on every save/load roundtrip,
+        // so a sweep with zero recoveries means injection is broken.
+        assert!(
+            summary.chaos_recoveries > 0,
+            "chaos sweep was vacuous: no recovery was exercised"
+        );
     }
 }

@@ -12,6 +12,7 @@ fn fixed_seed_window_holds_and_is_deterministic() {
         seeds: 12,
         start_seed: 0,
         quick: true,
+        chaos: false,
     };
     let first = run_diffcheck(&opts);
     assert_eq!(first.failures, Vec::<String>::new());
@@ -37,8 +38,25 @@ proptest! {
             seeds: 2,
             start_seed: start,
             quick: true,
+            chaos: false,
         });
         prop_assert_eq!(summary.failures, Vec::<String>::new());
         prop_assert_eq!(summary.located, 2);
+    }
+
+    /// The chaos sweep (invariant 7) must hold for arbitrary seeds: a
+    /// pipeline that absorbed injected faults produces the same journal
+    /// as the clean one, for random programs — not just the fixtures.
+    #[test]
+    fn random_seeds_survive_chaos(start in 0u64..100_000) {
+        let summary = run_diffcheck(&DiffcheckOptions {
+            seeds: 1,
+            start_seed: start,
+            quick: true,
+            chaos: true,
+        });
+        prop_assert_eq!(summary.failures, Vec::<String>::new());
+        prop_assert_eq!(summary.chaos_pipelines, 3);
+        prop_assert!(summary.chaos_recoveries > 0, "chaos sweep was vacuous");
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! omislice run      <file> [--input 1,2,3]
 //! omislice trace    <file> [--input 1,2,3] [--regions] [--dot] [--stats]
-//!                   [--save <file.omitrace>]
+//!                   [--save <file.omitrace>] [--chaos <plan>] [--deadline <ms>]
 //! omislice slice    <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
 //! omislice cfg      <file> [--function main]
 //! omislice locate   --faulty <file> --fixed <file> [--input 1,2,3]
@@ -12,17 +12,22 @@
 //!                   [--jobs N] [--no-resume] [--stats]
 //!                   [--budget init[:factor[:attempts]]|off]
 //!                   [--fault-plan S<id>[:occ]=<action>]
+//!                   [--chaos <site>[:occ]=<action>] [--deadline <ms>]
 //! omislice verify   <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
 //!                   [--var name] [--expected v] [--mode edge|path|value]
 //! omislice corpus   [list | locate <bench> <fault> [--jobs N] [--no-resume]
-//!                   [--stats] [--budget ...] [--fault-plan ...]]
+//!                   [--stats] [--budget ...] [--fault-plan ...]
+//!                   [--chaos ...] [--deadline <ms>]]
 //! ```
 
 use omislice::omislice_analysis::ProgramAnalysis;
 use omislice::omislice_interp::{run_plain, run_traced, BudgetSchedule, FaultPlan, RunConfig};
 use omislice::omislice_lang::{compile, printer::stmt_head, Program};
 use omislice::omislice_slicing::{relevant_slice_jobs, DepGraph, Slice, ValueProfile};
-use omislice::omislice_trace::{RegionTree, Trace, TraceStats};
+use omislice::omislice_trace::{
+    note_recovery, take_recovery, ChaosPlan, RecoveryKind, RecoveryLog, RegionTree, Supervisor,
+    Trace, TraceStats,
+};
 use omislice::{
     build_journal, describe_inst, locate_fault, render_explain, GroundTruthOracle, JournalMeta,
     LocateConfig, LocateOutcome, VerifierMode,
@@ -31,10 +36,15 @@ use omislice_corpus::all_benchmarks;
 use omislice_obs::{MetricSet, Reporter, SpanReport};
 use std::process::ExitCode;
 
+/// Exit code for a run cut short by `--deadline`: the report is partial
+/// but well-formed, distinct from both success (0) and usage/pipeline
+/// failure (1).
+const EXIT_DEADLINE: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             let mut rep = Reporter::stderr();
             rep.line(&format!("omislice: {msg}"));
@@ -48,7 +58,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   omislice run     <file> [--input 1,2,3]
   omislice trace   <file> [--input 1,2,3] [--regions] [--dot] [--stats]
-                   [--save <file.omitrace>]
+                   [--save <file.omitrace>] [--chaos <plan>] [--deadline <ms>]
   omislice slice   <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
   omislice cfg     <file> [--function main]
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
@@ -57,17 +67,27 @@ const USAGE: &str = "usage:
                    [--jobs N] [--no-resume] [--stats]
                    [--budget init[:factor[:attempts]]|off]
                    [--fault-plan S<id>[:occ]=<action>]
+                   [--chaos <plan>] [--deadline <ms>]
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
   omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume]
                    [--stats] [--budget ...] [--fault-plan ...]
+                   [--chaos <plan>] [--deadline <ms>]
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]]
 
 fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
-uninit, budget, panic, panic-harness, corrupt-checkpoint";
+uninit, budget, panic, panic-harness, corrupt-checkpoint
 
-fn run(args: Vec<String>) -> Result<(), String> {
+chaos plans are comma-separated <site>[:occ]=<action> entries injecting
+one pipeline fault each (the pipeline must recover, not abort):
+  builder=panic      channel=disconnect  queue=stall      encode=corrupt
+  decode=corrupt     save=short-write    save=enospc      mmap=fail
+  deadline[:K]=expire
+--deadline <ms> cancels the run cooperatively; exit code 3 marks the
+partial report.";
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let mut it = args.into_iter();
     match it.next().as_deref() {
         Some("run") => cmd_run(it.collect()),
@@ -145,7 +165,7 @@ fn load_program(path: &str) -> Result<Program, String> {
     })
 }
 
-fn cmd_run(args: Vec<String>) -> Result<(), String> {
+fn cmd_run(args: Vec<String>) -> Result<ExitCode, String> {
     let opts = Opts::parse(args, &["input"])?;
     let path = opts.positional.first().ok_or("run needs a program file")?;
     let program = load_program(path)?;
@@ -166,11 +186,11 @@ fn cmd_run(args: Vec<String>) -> Result<(), String> {
             result.termination
         ));
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_trace(args: Vec<String>) -> Result<(), String> {
-    let opts = Opts::parse(args, &["input", "save"])?;
+fn cmd_trace(args: Vec<String>) -> Result<ExitCode, String> {
+    let opts = Opts::parse(args, &["input", "save", "chaos", "deadline"])?;
     let path = opts
         .positional
         .first()
@@ -178,10 +198,11 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
     let program = load_program(path)?;
     let analysis = ProgramAnalysis::build(&program);
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
-    let run = run_traced(&program, &analysis, &config);
+    let sup = parse_supervisor(&opts)?;
+    let run = sup.run(|| run_traced(&program, &analysis, &config));
     let trace = &run.trace;
     if let Some(out) = opts.value("save") {
-        omislice::omislice_trace::save_trace(trace, std::path::Path::new(out))
+        sup.save_trace(trace, std::path::Path::new(out))
             .map_err(|e| format!("cannot save trace to `{out}`: {e}"))?;
         let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
         Reporter::stderr().line(&format!(
@@ -189,13 +210,13 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
             trace.len(),
             trace.columns().deps_len(),
         ));
-        return Ok(());
+        return Ok(trace_exit(&sup));
     }
     if opts.has("stats") {
         let mut rep = Reporter::stderr();
         rep.section("trace statistics");
         rep.block(&TraceStats::compute(trace).to_string());
-        return Ok(());
+        return Ok(trace_exit(&sup));
     }
     if opts.has("regions") {
         if opts.has("dot") {
@@ -207,14 +228,14 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
             let regions = RegionTree::build(trace);
             println!("{}", regions.render_all(trace));
         }
-        return Ok(());
+        return Ok(trace_exit(&sup));
     }
     if opts.has("dot") {
         print!(
             "{}",
             omislice::omislice_trace::ddg_to_dot(trace, analysis.index())
         );
-        return Ok(());
+        return Ok(trace_exit(&sup));
     }
     for inst in trace.insts() {
         println!("{}", describe_inst(trace, &analysis, inst));
@@ -230,7 +251,27 @@ fn cmd_trace(args: Vec<String>) -> Result<(), String> {
             run.input_underflows
         );
     }
-    Ok(())
+    Ok(trace_exit(&sup))
+}
+
+/// Final exit for `trace`: reports any recoveries the supervised run
+/// absorbed and maps an expired deadline to the partial-result code.
+fn trace_exit(sup: &Supervisor) -> ExitCode {
+    let log = take_recovery();
+    if !log.is_empty() {
+        let mut rep = Reporter::stderr();
+        rep.warn(&format!(
+            "pipeline recovered from {} fault(s): {}",
+            log.total(),
+            log.events().join(", ")
+        ));
+    }
+    if sup.deadline_expired() {
+        Reporter::stderr().warn("deadline expired: the trace is partial");
+        ExitCode::from(EXIT_DEADLINE)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn print_slice(trace: &Trace, analysis: &ProgramAnalysis, slice: &Slice) {
@@ -244,7 +285,7 @@ fn print_slice(trace: &Trace, analysis: &ProgramAnalysis, slice: &Slice) {
     );
 }
 
-fn cmd_slice(args: Vec<String>) -> Result<(), String> {
+fn cmd_slice(args: Vec<String>) -> Result<ExitCode, String> {
     let opts = Opts::parse(args, &["input", "output", "jobs"])?;
     let path = opts
         .positional
@@ -275,10 +316,10 @@ fn cmd_slice(args: Vec<String>) -> Result<(), String> {
         DepGraph::with_jobs(trace, jobs).backward_slice(criterion)
     };
     print_slice(trace, &analysis, &slice);
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_cfg(args: Vec<String>) -> Result<(), String> {
+fn cmd_cfg(args: Vec<String>) -> Result<ExitCode, String> {
     let opts = Opts::parse(args, &["function"])?;
     let path = opts.positional.first().ok_or("cfg needs a program file")?;
     let program = load_program(path)?;
@@ -289,7 +330,7 @@ fn cmd_cfg(args: Vec<String>) -> Result<(), String> {
         .ok_or_else(|| format!("no function `{func}` in `{path}`"))?;
     let index = analysis.index();
     print!("{}", cfg.to_dot(|s| index.stmt(s).head.clone()));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_mode(text: Option<&str>) -> Result<VerifierMode, String> {
@@ -352,6 +393,32 @@ fn parse_budget(text: Option<&str>) -> Result<BudgetSchedule, String> {
 /// Parses `--fault-plan S<id>[:occ]=<action>` into a [`FaultPlan`].
 fn parse_fault_plan(text: Option<&str>) -> Result<Option<FaultPlan>, String> {
     text.map(FaultPlan::parse).transpose()
+}
+
+/// Parses `--chaos <site>[:occ]=<action>,...` into a [`ChaosPlan`].
+fn parse_chaos(text: Option<&str>) -> Result<Option<ChaosPlan>, String> {
+    text.map(ChaosPlan::parse).transpose()
+}
+
+/// Builds the supervisor for one command from `--chaos`/`--deadline`.
+fn parse_supervisor(opts: &Opts) -> Result<Supervisor, String> {
+    let mut sup = Supervisor::new().with_chaos(parse_chaos(opts.value("chaos"))?);
+    if let Some(t) = opts.value("deadline") {
+        let ms = t
+            .parse::<u64>()
+            .map_err(|_| format!("bad --deadline `{t}` (need milliseconds)"))?;
+        sup = sup.with_deadline_ms(ms);
+    }
+    Ok(sup)
+}
+
+/// Renders the recovery ledger for `--stats` output.
+fn render_recovery(log: &RecoveryLog) -> String {
+    let mut out = String::new();
+    for (name, count) in log.counters() {
+        out.push_str(&format!("{name:<26}: {count}\n"));
+    }
+    out
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -438,9 +505,10 @@ fn write_journal_file(
     lc: &LocateConfig,
     outcome: &LocateOutcome,
     trace: &Trace,
+    recovery: Option<&RecoveryLog>,
     spans: Option<&SpanReport>,
 ) -> Result<(), String> {
-    let records = build_journal(meta, lc, outcome, trace, spans);
+    let records = build_journal(meta, lc, outcome, trace, recovery, spans);
     let f = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
     omislice_obs::write_jsonl(std::io::BufWriter::new(f), &records)
         .map_err(|e| format!("cannot write `{path}`: {e}"))
@@ -554,7 +622,7 @@ fn locate_metrics(trace: &Trace, outcome: &LocateOutcome, spans: Option<&SpanRep
     set
 }
 
-fn cmd_locate(args: Vec<String>) -> Result<(), String> {
+fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
     let opts = Opts::parse(
         args,
         &[
@@ -567,11 +635,14 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
             "jobs",
             "budget",
             "fault-plan",
+            "chaos",
+            "deadline",
             "obs-out",
             "metrics",
         ],
     )?;
     let obs = ObsOpts::parse(&opts)?;
+    let sup = parse_supervisor(&opts)?;
     let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
     let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
     obs.start_recorder();
@@ -584,11 +655,21 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
     let fixed_analysis = ProgramAnalysis::build(&fixed);
     // The failing trace: reloaded from an `omitrace/v1` file when
     // `--trace-in` is given (it must come from running the faulty
-    // program on the same inputs), freshly recorded otherwise.
+    // program on the same inputs), freshly recorded otherwise. A file
+    // that stays unreadable after the supervisor's retry climbs the last
+    // rung of the degradation ladder: re-trace from source.
     let trace = match opts.value("trace-in") {
-        Some(p) => omislice::omislice_trace::load_trace(std::path::Path::new(p))
-            .map_err(|e| format!("cannot load trace from `{p}`: {e}"))?,
-        None => run_traced(&faulty, &analysis, &config).trace,
+        Some(p) => match sup.load_trace(std::path::Path::new(p)) {
+            Ok(t) => t,
+            Err(e) => {
+                note_recovery(RecoveryKind::RetraceFallback);
+                Reporter::stderr().warn(&format!(
+                    "cannot load trace from `{p}` ({e}); re-tracing from source"
+                ));
+                sup.run(|| run_traced(&faulty, &analysis, &config).trace)
+            }
+        },
+        None => sup.run(|| run_traced(&faulty, &analysis, &config).trace),
     };
 
     let mut profile = ValueProfile::new();
@@ -617,16 +698,26 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
         },
         budget: parse_budget(opts.value("budget"))?,
         fault: parse_fault_plan(opts.value("fault-plan"))?,
+        deadline: sup.deadline(),
         ..LocateConfig::default()
     };
     let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
         .map_err(|e| e.to_string())?;
+    let recovery = take_recovery();
     let spans = obs.stop_recorder();
     if let Some(path) = &obs.obs_out {
         let meta = JournalMeta {
             program: faulty_path.to_string(),
         };
-        write_journal_file(path, &meta, &lc, &outcome, &trace, spans.as_ref())?;
+        write_journal_file(
+            path,
+            &meta,
+            &lc,
+            &outcome,
+            &trace,
+            Some(&recovery),
+            spans.as_ref(),
+        )?;
     }
 
     let mut human = omislice::render_report(&outcome, &trace, &analysis);
@@ -646,11 +737,33 @@ fn cmd_locate(args: Vec<String>) -> Result<(), String> {
         let mut rep = Reporter::stderr();
         rep.section("verification engine");
         rep.block(&outcome.stats.to_string());
+        if !recovery.is_empty() {
+            rep.section("recovery");
+            rep.block(&render_recovery(&recovery));
+        }
     }
     if obs.metrics.is_some() {
         obs.emit_metrics(&locate_metrics(&trace, &outcome, spans.as_ref()));
     }
-    Ok(())
+    Ok(locate_exit(&outcome, &recovery))
+}
+
+/// Final exit for `locate`-style commands: an expired deadline means the
+/// report above is partial, signalled by the dedicated exit code.
+fn locate_exit(outcome: &LocateOutcome, recovery: &RecoveryLog) -> ExitCode {
+    if !recovery.is_empty() {
+        Reporter::stderr().warn(&format!(
+            "pipeline recovered from {} fault(s): {}",
+            recovery.total(),
+            recovery.events().join(", ")
+        ));
+    }
+    if outcome.deadline_expired {
+        Reporter::stderr().warn("deadline expired: the report is partial");
+        ExitCode::from(EXIT_DEADLINE)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Parses `N` or `N:occ` into a statement id and occurrence index.
@@ -670,7 +783,7 @@ fn parse_stmt_spec(text: &str) -> Result<(omislice::omislice_lang::StmtId, usize
     Ok((omislice::omislice_lang::StmtId(id), occ))
 }
 
-fn cmd_verify(args: Vec<String>) -> Result<(), String> {
+fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
     use omislice::omislice_trace::Value;
     let opts = Opts::parse(args, &["input", "pred", "use", "var", "expected", "mode"])?;
     let path = opts
@@ -736,13 +849,21 @@ fn cmd_verify(args: Vec<String>) -> Result<(), String> {
     if let Some(v) = result.failure_value {
         println!("value at the matched failure point: {v}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
+fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
     let opts = Opts::parse(
         args,
-        &["jobs", "budget", "fault-plan", "obs-out", "metrics"],
+        &[
+            "jobs",
+            "budget",
+            "fault-plan",
+            "chaos",
+            "deadline",
+            "obs-out",
+            "metrics",
+        ],
     )?;
     match opts.positional.first().map(String::as_str) {
         None | Some("list") => {
@@ -757,7 +878,7 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                     println!("  {:8} [{}] {}", f.id, f.kind, f.description);
                 }
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some("locate") => {
             let bench_name = opts
@@ -777,8 +898,13 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 .fault(fault_id)
                 .ok_or_else(|| format!("no fault `{fault_id}` in `{bench_name}`"))?;
             let obs = ObsOpts::parse(&opts)?;
+            let sup = parse_supervisor(&opts)?;
             obs.start_recorder();
-            let session = bench.session(fault).map_err(|e| e.to_string())?;
+            // The session builder records the failing trace, so it runs
+            // under the supervisor's chaos scope like `locate`'s.
+            let session = sup
+                .run(|| bench.session(fault))
+                .map_err(|e| e.to_string())?;
             let lc = LocateConfig {
                 jobs: parse_jobs(opts.value("jobs"))?,
                 resume: if opts.has("no-resume") {
@@ -788,15 +914,25 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 },
                 budget: parse_budget(opts.value("budget"))?,
                 fault: parse_fault_plan(opts.value("fault-plan"))?,
+                deadline: sup.deadline(),
                 ..LocateConfig::default()
             };
             let outcome = session.locate(&lc).map_err(|e| e.to_string())?;
+            let recovery = take_recovery();
             let spans = obs.stop_recorder();
             if let Some(path) = &obs.obs_out {
                 let meta = JournalMeta {
                     program: format!("{bench_name}:{fault_id}"),
                 };
-                write_journal_file(path, &meta, &lc, &outcome, session.trace(), spans.as_ref())?;
+                write_journal_file(
+                    path,
+                    &meta,
+                    &lc,
+                    &outcome,
+                    session.trace(),
+                    Some(&recovery),
+                    spans.as_ref(),
+                )?;
             }
 
             let mut human = session.report(&outcome);
@@ -821,11 +957,15 @@ fn cmd_corpus(args: Vec<String>) -> Result<(), String> {
                 let mut rep = Reporter::stderr();
                 rep.section("verification engine");
                 rep.block(&outcome.stats.to_string());
+                if !recovery.is_empty() {
+                    rep.section("recovery");
+                    rep.block(&render_recovery(&recovery));
+                }
             }
             if obs.metrics.is_some() {
                 obs.emit_metrics(&locate_metrics(session.trace(), &outcome, spans.as_ref()));
             }
-            Ok(())
+            Ok(locate_exit(&outcome, &recovery))
         }
         Some(other) => Err(format!("unknown corpus subcommand `{other}`")),
     }

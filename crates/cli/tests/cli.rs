@@ -560,7 +560,7 @@ fn trace_save_then_locate_trace_in_round_trips() {
 }
 
 #[test]
-fn locate_trace_in_rejects_corrupt_files_without_panicking() {
+fn locate_trace_in_recovers_from_corrupt_files_by_retracing() {
     let fixed = write_temp("fixed-corrupt", FIXED);
     let faulty = write_temp("faulty-corrupt", FAULTY);
     let dir = std::env::temp_dir().join("omislice-cli-tests");
@@ -592,6 +592,9 @@ fn locate_trace_in_rejects_corrupt_files_without_panicking() {
         ])
     };
 
+    // A trace file that stays unreadable is the last rung of the load
+    // ladder: warn, re-trace from source, and still produce the full
+    // report — never a panic, never an abort.
     let mut flipped = good.clone();
     let mid = flipped.len() / 2;
     flipped[mid] ^= 0x40;
@@ -604,30 +607,46 @@ fn locate_trace_in_rejects_corrupt_files_without_panicking() {
         (locate_with(b"definitely not a trace", "garbage"), "garbage"),
         (locate_with(b"", "empty"), "empty"),
     ] {
-        assert!(!out.status.success(), "{what} trace must be rejected");
+        assert!(
+            out.status.success(),
+            "{what}: the pipeline must recover, got:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(
-            stderr.contains("cannot load trace"),
-            "{what}: structured error expected, got:\n{stderr}"
+            stderr.contains("cannot load trace") && stderr.contains("re-tracing from source"),
+            "{what}: the degradation must be reported, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("pipeline recovered"),
+            "{what}: the recovery ledger must surface, got:\n{stderr}"
         );
         assert!(
             !stderr.contains("panicked"),
             "{what}: the CLI must not panic:\n{stderr}"
         );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("root cause captured : yes"),
+            "{what}: the recovered run must still locate the root:\n{stdout}"
+        );
     }
 
-    // A missing file is an I/O error, same structured path.
+    // A missing file climbs the same ladder.
     let out = omislice(&[
         "locate",
         "--faulty",
         faulty.to_str().unwrap(),
         "--fixed",
         fixed.to_str().unwrap(),
+        "--input",
+        "1",
         "--trace-in",
         "/nonexistent/ghost.omitrace",
     ]);
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot load trace"));
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load trace") && stderr.contains("re-tracing from source"));
 }
 
 #[test]
@@ -658,4 +677,214 @@ fn locate_mode_flag_is_respected() {
         "bogus",
     ]);
     assert!(!out.status.success());
+}
+
+// Loop-heavy pair (>4096 trace events) so the recorder actually spills
+// chunks across the builder thread — the recorder chaos sites (builder,
+// channel, queue) only fire once chunking kicks in. The fix moves the
+// `acc = 0` reset under the right guard; with inputs `5,2` the faulty
+// program omits it.
+const FIXED_LONG: &str = "global acc = 0;\n\
+    fn main() {\n\
+      let n = input();\n\
+      let i = 0;\n\
+      while i < 1200 {\n\
+        acc = acc + i;\n\
+        let j = acc / 7;\n\
+        let k = j * 3;\n\
+        acc = acc - k / 9;\n\
+        i = i + 1;\n\
+      }\n\
+      let flag = input();\n\
+      if flag == 2 { acc = 0; }\n\
+      print(acc);\n\
+    }\n";
+const FAULTY_LONG: &str = "global acc = 0;\n\
+    fn main() {\n\
+      let n = input();\n\
+      let i = 0;\n\
+      while i < 1200 {\n\
+        acc = acc + i;\n\
+        let j = acc / 7;\n\
+        let k = j * 3;\n\
+        acc = acc - k / 9;\n\
+        i = i + 1;\n\
+      }\n\
+      let flag = input();\n\
+      if flag == 1 { acc = 0; }\n\
+      print(acc);\n\
+    }\n";
+
+#[test]
+fn locate_chaos_sweep_recovers_every_site() {
+    let fixed = write_temp("fixed-chaos", FIXED_LONG);
+    let faulty = write_temp("faulty-chaos", FAULTY_LONG);
+
+    // Clean baseline: the report every chaos run must reproduce.
+    let clean = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "5,2",
+    ]);
+    assert!(clean.status.success());
+    let clean_report = String::from_utf8_lossy(&clean.stdout).to_string();
+    assert!(clean_report.contains("root cause captured : yes"));
+
+    for (plan, counter) in [
+        ("builder=panic", "recovery.inline_fallbacks"),
+        ("channel=disconnect", "recovery.inline_fallbacks"),
+        ("queue=stall", "recovery.queue_stalls"),
+    ] {
+        let out = omislice(&[
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            "--input",
+            "5,2",
+            "--chaos",
+            plan,
+        ]);
+        assert!(
+            out.status.success(),
+            "{plan}: must recover, got:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("pipeline recovered") && stderr.contains(counter),
+            "{plan}: expected `{counter}` in the recovery warning, got:\n{stderr}"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            clean_report,
+            "{plan}: the recovered report must match the clean one"
+        );
+    }
+}
+
+#[test]
+fn locate_chaos_load_faults_recover_and_journal_the_recovery() {
+    let fixed = write_temp("fixed-chaosload", FIXED);
+    let faulty = write_temp("faulty-chaosload", FAULTY);
+    let dir = std::env::temp_dir().join("omislice-cli-tests");
+    let trace_file = dir.join(format!("chaosload-{}.omitrace", std::process::id()));
+    let journal = dir.join(format!("chaosload-{}.jsonl", std::process::id()));
+    let saved = omislice(&[
+        "trace",
+        faulty.to_str().unwrap(),
+        "--input",
+        "1",
+        "--save",
+        trace_file.to_str().unwrap(),
+    ]);
+    assert!(saved.status.success());
+
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--trace-in",
+        trace_file.to_str().unwrap(),
+        "--chaos",
+        "decode=corrupt,mmap=fail",
+        "--obs-out",
+        journal.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "load chaos must recover:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("root cause captured : yes"));
+    let text = std::fs::read_to_string(&journal).expect("journal written");
+    let recovery = text
+        .lines()
+        .find(|l| l.contains("\"type\":\"recovery\""))
+        .expect("journal carries a recovery record");
+    assert!(recovery.contains("\"deadline_expired\":false"));
+    assert!(
+        recovery.contains("recovery.load_retries") && recovery.contains("recovery.mmap_fallbacks"),
+        "recovery counters journaled: {recovery}"
+    );
+}
+
+#[test]
+fn locate_deadline_expiry_exits_3_with_partial_report() {
+    let fixed = write_temp("fixed-deadline", FIXED);
+    let faulty = write_temp("faulty-deadline", FAULTY);
+    // Pinned expiry at the first counted check — deterministic, unlike a
+    // wall-clock `--deadline 0` race (also covered, below).
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--chaos",
+        "deadline:1=expire",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "deadline expiry is exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline expired") && stderr.contains("partial"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("omislice fault localization report"),
+        "a partial report must still render:\n{stdout}"
+    );
+
+    let wall = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+        "--deadline",
+        "0",
+    ]);
+    assert_eq!(
+        wall.status.code(),
+        Some(3),
+        "--deadline 0 expires immediately"
+    );
+}
+
+#[test]
+fn chaos_and_deadline_flags_reject_bad_values() {
+    let fixed = write_temp("fixed-badflags", FIXED);
+    let faulty = write_temp("faulty-badflags", FAULTY);
+    for (flag, value, expected) in [
+        ("--chaos", "bogus", "bad chaos entry"),
+        ("--chaos", "builder=fly", "unknown chaos action"),
+        ("--chaos", "nowhere=panic", "unknown chaos site"),
+        ("--deadline", "nope", "bad --deadline"),
+    ] {
+        let out = omislice(&[
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            flag,
+            value,
+        ]);
+        assert!(!out.status.success(), "{flag} {value} must be rejected");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(expected),
+            "{flag} {value}: expected `{expected}`"
+        );
+    }
 }

@@ -10,6 +10,9 @@
 //!   the edges added by kind, budget escalations, and the pruned-slice
 //!   size before/after the round;
 //! * a `summary` record — the final counters of the run;
+//! * an optional `recovery` record — present only when the pipeline
+//!   absorbed injected or real faults (or its deadline expired), with
+//!   the `recovery.*` counter totals and the ordered event list;
 //! * an optional trailing `spans` record — the merged span timeline and
 //!   counter totals of the recorder.
 //!
@@ -25,7 +28,7 @@ use std::io::Write;
 pub const SCHEMA: &str = "omislice-obs/v1";
 
 /// The record types a journal may contain, in order of appearance.
-pub const RECORD_TYPES: [&str; 4] = ["header", "iteration", "summary", "spans"];
+pub const RECORD_TYPES: [&str; 5] = ["header", "iteration", "summary", "recovery", "spans"];
 
 /// Valid `verdict` strings.
 pub const VERDICTS: [&str; 3] = ["not-id", "id", "strong-id"];
@@ -181,6 +184,24 @@ impl Validator {
                         "summary: `iterations` {n:?} does not match the {} iteration records",
                         self.iterations
                     ));
+                }
+            }
+            "recovery" => {
+                if !self.saw_summary {
+                    return Err("recovery record before summary".to_string());
+                }
+                if record
+                    .get("deadline_expired")
+                    .and_then(Json::as_bool)
+                    .is_none()
+                {
+                    return Err("recovery: missing boolean `deadline_expired`".to_string());
+                }
+                if !matches!(record.get("counters"), Some(Json::Object(_))) {
+                    return Err("recovery: missing `counters` object".to_string());
+                }
+                if record.get("events").and_then(Json::as_array).is_none() {
+                    return Err("recovery: missing `events` array".to_string());
                 }
             }
             "spans" => self.check_spans(record)?,
@@ -416,6 +437,35 @@ mod tests {
     fn accepts_crashed_outcome_with_kind_suffix() {
         let doc = minimal().replace("\"outcome\":\"completed\"", "\"outcome\":\"crashed:panic\"");
         Validator::check_document(&doc).unwrap();
+    }
+
+    #[test]
+    fn accepts_and_validates_recovery_records() {
+        let good = minimal()
+            + r#"{"type":"recovery","deadline_expired":false,"counters":{"recovery.save_retries":1},"events":["save-retry"]}"#
+            + "\n";
+        Validator::check_document(&good).unwrap();
+        // Recovery must follow the summary and carry its three fields.
+        let early: String = {
+            let lines: Vec<&str> = good.lines().collect();
+            format!("{}\n{}\n{}\n{}\n", lines[0], lines[3], lines[1], lines[2])
+        };
+        assert!(Validator::check_document(&early)
+            .unwrap_err()
+            .contains("before summary"));
+        for (needle, expect) in [
+            ("\"deadline_expired\":false,", "deadline_expired"),
+            ("\"counters\":{\"recovery.save_retries\":1},", "counters"),
+            (",\"events\":[\"save-retry\"]", "events"),
+        ] {
+            let doc = good.replace(needle, "");
+            let err = Validator::check_document(&doc).unwrap_err();
+            assert!(err.contains(expect), "{needle}: {err}");
+        }
+        // Recovery records survive timing stripping — they are facts
+        // about the run, not timing.
+        let stripped = strip_timing(&good).unwrap();
+        assert!(stripped.contains("\"type\":\"recovery\""));
     }
 
     #[test]

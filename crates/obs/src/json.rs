@@ -52,6 +52,14 @@ impl Json {
         }
     }
 
+    /// The boolean content, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The integer content, when this is a number without a fraction.
     pub fn as_int(&self) -> Option<i64> {
         match self {

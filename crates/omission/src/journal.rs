@@ -10,7 +10,7 @@
 use crate::locate::{ChainEdgeKind, IterationRecord, LocateConfig, LocateOutcome, RequestPhase};
 use crate::verify::Verdict;
 use omislice_obs::{Json, SpanReport};
-use omislice_trace::{RunOutcome, Trace};
+use omislice_trace::{RecoveryLog, RunOutcome, Trace};
 
 /// Journal-stable name of a verdict.
 pub fn verdict_str(v: Verdict) -> &'static str {
@@ -106,13 +106,20 @@ fn iteration_record(it: &IterationRecord) -> Json {
 }
 
 /// Builds the full journal for one run: header, one record per
-/// iteration, the summary, and — when a drained [`SpanReport`] is given —
-/// a trailing spans record.
+/// iteration, the summary, a recovery record when faults were absorbed
+/// or the deadline expired, and — when a drained [`SpanReport`] is
+/// given — a trailing spans record.
+///
+/// The recovery record carries no timing fields, so it survives
+/// [`omislice_obs::strip_timing`]: journals from a faulted-and-recovered
+/// run intentionally *differ* from clean ones there, and chaos
+/// comparisons must drop `"recovery"` records before diffing.
 pub fn build_journal(
     meta: &JournalMeta,
     lc: &LocateConfig,
     outcome: &LocateOutcome,
     trace: &Trace,
+    recovery: Option<&RecoveryLog>,
     spans: Option<&SpanReport>,
 ) -> Vec<Json> {
     let mut records = Vec::with_capacity(outcome.iteration_log.len() + 3);
@@ -161,6 +168,28 @@ pub fn build_journal(
             Json::UInt(outcome.os.as_ref().map_or(0, Vec::len) as u64),
         ),
     ]));
+
+    let degraded = outcome.deadline_expired || recovery.is_some_and(|log| !log.is_empty());
+    if degraded {
+        let log = recovery.filter(|log| !log.is_empty());
+        let counters: Vec<(String, Json)> = log
+            .map(|log| {
+                log.counters()
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), Json::UInt(v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let events: Vec<Json> = log
+            .map(|log| log.events().iter().map(|&e| Json::str(e)).collect())
+            .unwrap_or_default();
+        records.push(Json::object([
+            ("type", Json::str("recovery")),
+            ("deadline_expired", Json::Bool(outcome.deadline_expired)),
+            ("counters", Json::Object(counters)),
+            ("events", Json::Array(events)),
+        ]));
+    }
 
     if let Some(report) = spans {
         let spans_json: Vec<Json> = report
@@ -232,7 +261,7 @@ mod tests {
         let meta = JournalMeta {
             program: "sample".to_string(),
         };
-        let records = build_journal(&meta, &lc, &outcome, &trace, None);
+        let records = build_journal(&meta, &lc, &outcome, &trace, None, None);
         let doc = to_jsonl(&records);
         let v = Validator::check_document(&doc).unwrap();
         assert_eq!(v.iterations(), outcome.iterations);
@@ -244,7 +273,7 @@ mod tests {
         let meta = JournalMeta {
             program: "sample".to_string(),
         };
-        let records = build_journal(&meta, &lc, &outcome, &trace, None);
+        let records = build_journal(&meta, &lc, &outcome, &trace, None, None);
         let mut from_journal = 0usize;
         for r in &records {
             if r.get("type").and_then(Json::as_str) == Some("iteration") {

@@ -27,7 +27,7 @@ use omislice_slicing::{
     PrunedSlice, Slice, UnionGraph, ValueProfile,
 };
 use omislice_trace::RunOutcome;
-use omislice_trace::{InstId, Trace, VerificationStats};
+use omislice_trace::{Deadline, InstId, Trace, VerificationStats};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -181,6 +181,13 @@ pub struct LocateConfig {
     /// Deterministic fault injection applied to the verifier's switched
     /// re-executions (robustness testing; `None` in normal operation).
     pub fault: Option<FaultPlan>,
+    /// Cooperative cancellation: checked at serial points only (loop
+    /// tops, per-candidate dispatch), so the work performed under a given
+    /// check count is identical for any `jobs`/`resume` configuration.
+    /// Candidates cancelled mid-round resolve as `NotId` (the paper's
+    /// expired-timer rule) and the outcome is marked partial via
+    /// [`LocateOutcome::deadline_expired`].
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for LocateConfig {
@@ -195,6 +202,7 @@ impl Default for LocateConfig {
             resume: ResumeMode::Auto,
             budget: BudgetSchedule::default(),
             fault: None,
+            deadline: None,
         }
     }
 }
@@ -258,6 +266,10 @@ pub struct LocateOutcome {
     /// Per-statement provenance of the final pruned slice, sorted by
     /// statement id.
     pub provenance: Vec<ProvenanceEntry>,
+    /// Whether the run's deadline expired before the locator converged.
+    /// When `true` every other field is still well-defined — it describes
+    /// the partial exploration completed before cancellation.
+    pub deadline_expired: bool,
 }
 
 impl LocateOutcome {
@@ -309,7 +321,8 @@ pub fn locate_fault(
         .with_jobs(lc.jobs)
         .with_resume(lc.resume)
         .with_budget_schedule(lc.budget)
-        .with_fault_plan(lc.fault);
+        .with_fault_plan(lc.fault)
+        .with_deadline(lc.deadline.clone());
     let mut user_prunings = 0usize;
     let mut expanded_edges = 0usize;
     let mut strong_edges = 0usize;
@@ -350,6 +363,11 @@ pub fn locate_fault(
     let mut iterations = 0usize;
     let mut iteration_log: Vec<IterationRecord> = Vec::new();
     let found = loop {
+        // Counted deadline check at the only serial point of the round;
+        // a hit ends the exploration with whatever the graph holds.
+        if lc.deadline.as_ref().is_some_and(|d| d.check()) {
+            break false;
+        }
         if ps
             .ranked
             .iter()
@@ -594,6 +612,7 @@ pub fn locate_fault(
         stats: verifier.stats().clone(),
         iteration_log,
         provenance,
+        deadline_expired: lc.deadline.as_ref().is_some_and(|d| d.expired()),
     })
 }
 

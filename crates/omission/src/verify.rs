@@ -52,7 +52,8 @@ use omislice_interp::{
 use omislice_lang::{Program, VarId};
 use omislice_slicing::DepGraph;
 use omislice_trace::{
-    CrashKind, InstId, RegionTree, RunOutcome, Termination, Trace, Value, VerificationStats,
+    CrashKind, Deadline, InstId, RegionTree, RunOutcome, Termination, Trace, Value,
+    VerificationStats,
 };
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -163,6 +164,9 @@ struct ComputedRun {
     scratch_fallback: bool,
     /// A host panic was caught at the isolation boundary.
     panic_isolated: bool,
+    /// The candidate was cancelled by an expired deadline before its
+    /// switched run was dispatched (it never executed).
+    deadline_cancelled: bool,
     /// `input()` underflows of the final execution attempt.
     input_underflows: u64,
 }
@@ -183,6 +187,26 @@ impl ComputedRun {
             invalid_checkpoint: false,
             scratch_fallback: false,
             panic_isolated: true,
+            deadline_cancelled: false,
+            input_underflows: 0,
+        }
+    }
+
+    /// The result recorded for a candidate cancelled by an expired
+    /// deadline before dispatch: no run, outcome
+    /// [`RunOutcome::BudgetExhausted`] — the paper's expired-timer rule
+    /// ("we aggressively conclude the verification fails") applied at
+    /// the batch level.
+    fn cancelled() -> Self {
+        ComputedRun {
+            run: None,
+            outcome: RunOutcome::BudgetExhausted,
+            saved: None,
+            retries: 0,
+            invalid_checkpoint: false,
+            scratch_fallback: false,
+            panic_isolated: false,
+            deadline_cancelled: true,
             input_underflows: 0,
         }
     }
@@ -215,6 +239,9 @@ pub struct Verifier<'a> {
     resume: ResumeMode,
     jobs: usize,
     budget: BudgetSchedule,
+    /// Cooperative deadline, checked only at serial batch boundaries so
+    /// cancellation decisions are identical for any thread count.
+    deadline: Option<Deadline>,
     /// The original trace's region tree, shared by every alignment.
     orig_regions: Arc<RegionTree>,
     /// Switched runs keyed by switch spec, with the outcome of the
@@ -253,6 +280,7 @@ impl<'a> Verifier<'a> {
             resume: ResumeMode::default(),
             jobs: 1,
             budget: BudgetSchedule::default(),
+            deadline: None,
             orig_regions: Arc::new(RegionTree::build(trace)),
             switched_runs: HashMap::new(),
             checkpoints: HashMap::new(),
@@ -280,6 +308,18 @@ impl<'a> Verifier<'a> {
     /// [`BudgetSchedule::disabled`] for a single full-budget attempt).
     pub fn with_budget_schedule(mut self, budget: BudgetSchedule) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets a cooperative deadline (default none). Checks are counted
+    /// and happen only at serial points — batch entry and per-candidate
+    /// dispatch — so under a chaos-forced expiry the set of cancelled
+    /// candidates is deterministic across thread counts and resume
+    /// modes. Cancelled candidates never execute; their verdict follows
+    /// the paper's expired-timer rule
+    /// ([`RunOutcome::BudgetExhausted`] ⇒ NotId).
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -354,6 +394,11 @@ impl<'a> Verifier<'a> {
     /// trace.
     pub fn verify_all(&mut self, requests: &[VerifyRequest]) -> Vec<Verification> {
         let _span = omislice_obs::span("verify");
+        // One counted deadline check per batch; expiry cancels the whole
+        // batch's executions (verdicts still resolve, as NotId).
+        if let Some(d) = &self.deadline {
+            d.check();
+        }
         let mut missing: Vec<(SwitchSpec, InstId)> = Vec::new();
         for r in requests {
             if self
@@ -400,7 +445,8 @@ impl<'a> Verifier<'a> {
         if missing.is_empty() {
             return;
         }
-        if self.resume == ResumeMode::Auto {
+        let expired = self.deadline.as_ref().is_some_and(|d| d.expired());
+        if self.resume == ResumeMode::Auto && !expired {
             let uncaptured: Vec<SwitchSpec> = missing
                 .iter()
                 .map(|&(s, _)| s)
@@ -441,15 +487,29 @@ impl<'a> Verifier<'a> {
         }
 
         let start = Instant::now();
+        // The cancellation mask is decided serially *before* dispatch:
+        // one counted deadline check per candidate, in candidate order.
+        // Workers never consult the clock, so the set of cancelled
+        // candidates — and therefore every verdict and counter — is
+        // identical for any thread count.
+        let cancelled: Vec<bool> = missing
+            .iter()
+            .map(|_| self.deadline.as_ref().is_some_and(|d| d.check()))
+            .collect();
         let jobs = self.jobs.min(missing.len());
         let mut slots: Vec<Option<ComputedRun>> = (0..missing.len()).map(|_| None).collect();
         if jobs <= 1 {
             for (i, (slot, &(spec, p))) in slots.iter_mut().zip(missing).enumerate() {
+                if cancelled[i] {
+                    *slot = Some(ComputedRun::cancelled());
+                    continue;
+                }
                 let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
                 *slot = Some(self.compute_switched_isolated(spec, p));
             }
         } else {
             let this: &Verifier<'_> = self;
+            let cancelled = &cancelled;
             let next = AtomicUsize::new(0);
             let worker = || {
                 let mut local = Vec::new();
@@ -458,6 +518,10 @@ impl<'a> Verifier<'a> {
                     let Some(&(spec, p)) = missing.get(i) else {
                         break;
                     };
+                    if cancelled[i] {
+                        local.push((i, ComputedRun::cancelled()));
+                        continue;
+                    }
                     let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
                     local.push((i, this.compute_switched_isolated(spec, p)));
                 }
@@ -485,6 +549,13 @@ impl<'a> Verifier<'a> {
         // candidate alone.
         for (slot, &(spec, _)) in slots.into_iter().zip(missing) {
             let c = slot.unwrap_or_else(ComputedRun::harness_panic);
+            if c.deadline_cancelled {
+                // The candidate never ran: record the expired-timer
+                // outcome without touching the execution counters.
+                self.stats.deadline_cancelled += 1;
+                self.switched_runs.insert(spec, (c.run, c.outcome));
+                continue;
+            }
             self.stats.reexecutions += 1;
             match c.saved {
                 Some(n) => {
@@ -564,6 +635,7 @@ impl<'a> Verifier<'a> {
             invalid_checkpoint: false,
             scratch_fallback: false,
             panic_isolated: false,
+            deadline_cancelled: false,
             input_underflows: 0,
         };
         let mut checkpoint = match self.resume {

@@ -617,15 +617,84 @@ pub fn decode_trace(bytes: &[u8]) -> Result<Trace, TraceFileError> {
 
 // --- file i/o ----------------------------------------------------------
 
-/// Writes `trace` to `path` in `omitrace/v1` format.
+/// The crash-safe sibling a save writes before renaming into place:
+/// same directory (so the rename cannot cross filesystems), hidden, and
+/// pid-tagged so concurrent processes never collide.
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "omitrace".to_string());
+    path.with_file_name(format!(".{name}.{}.tmp", std::process::id()))
+}
+
+/// Writes `bytes` to `tmp`, honouring injected save faults: a
+/// `save=short-write` plan persists only half the image (a torn write),
+/// `save=enospc` fails with a simulated out-of-space error.
+fn write_with_chaos(tmp: &Path, bytes: &[u8]) -> Result<(), TraceFileError> {
+    match crate::supervisor::chaos_hit(crate::supervisor::ChaosSite::Save) {
+        Some(crate::supervisor::ChaosAction::ShortWrite) => {
+            std::fs::write(tmp, &bytes[..bytes.len() / 2])?;
+            Ok(())
+        }
+        Some(crate::supervisor::ChaosAction::Enospc) => Err(TraceFileError::Io(
+            std::io::Error::other("no space left on device (injected)"),
+        )),
+        _ => {
+            std::fs::write(tmp, bytes)?;
+            Ok(())
+        }
+    }
+}
+
+/// Verifies that the bytes that reached the disk are exactly the bytes
+/// we meant to write: full length and a trailer checksum that matches a
+/// recomputation over the body. Catches torn writes *and* in-memory
+/// encode corruption before the file can replace a good one.
+fn verify_written(tmp: &Path, expected_len: usize) -> Result<(), TraceFileError> {
+    let back = std::fs::read(tmp)?;
+    if back.len() != expected_len || back.len() < MAGIC.len() + 8 {
+        return Err(TraceFileError::Truncated {
+            context: "save verification read-back",
+        });
+    }
+    let body = back.len() - 8;
+    let stored = u64::from_le_bytes(back[body..].try_into().expect("8 bytes"));
+    let computed = fnv1a(&back[..body]);
+    if stored != computed {
+        return Err(TraceFileError::ChecksumMismatch { stored, computed });
+    }
+    Ok(())
+}
+
+/// Writes `trace` to `path` in `omitrace/v1` format, **atomically and
+/// verified**: the image is written to a temp sibling in the target
+/// directory, read back and checksum-verified, and only then renamed
+/// over `path`. A crash (or injected fault) at any point leaves either
+/// the old file or no file — never a partial `.omitrace`.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors as [`TraceFileError::Io`].
+/// Propagates filesystem errors as [`TraceFileError::Io`]; a torn write
+/// caught by verification surfaces as [`TraceFileError::Truncated`] or
+/// [`TraceFileError::ChecksumMismatch`]. The temp sibling is removed on
+/// every failure path.
 pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), TraceFileError> {
-    let bytes = encode_trace(trace);
-    std::fs::write(path, bytes)?;
-    Ok(())
+    let mut bytes = encode_trace(trace);
+    if crate::supervisor::chaos_hit(crate::supervisor::ChaosSite::Encode).is_some() {
+        // Injected encode corruption: flip one body bit so the
+        // read-back verification must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+    }
+    let tmp = temp_sibling(path);
+    let result = write_with_chaos(&tmp, &bytes)
+        .and_then(|()| verify_written(&tmp, bytes.len()))
+        .and_then(|()| std::fs::rename(&tmp, path).map_err(TraceFileError::from));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads a trace from `path`, memory-mapping the file where supported
@@ -637,6 +706,16 @@ pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), TraceFileError> {
 /// structured decode errors of [`decode_trace`] for corrupt contents.
 pub fn load_trace(path: &Path) -> Result<Trace, TraceFileError> {
     let bytes = crate::mmap::read_file(path)?;
+    if crate::supervisor::chaos_hit(crate::supervisor::ChaosSite::Decode).is_some() {
+        // Injected decode corruption: flip one bit in a private copy of
+        // the image (the file itself is untouched, so a retry is clean).
+        let mut owned = bytes.to_vec();
+        if !owned.is_empty() {
+            let mid = owned.len() / 2;
+            owned[mid] ^= 0x40;
+        }
+        return decode_trace(&owned);
+    }
     decode_trace(&bytes)
 }
 
@@ -771,5 +850,184 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let err = load_trace(Path::new("/nonexistent/trace.omitrace")).unwrap_err();
         assert!(matches!(err, TraceFileError::Io(_)));
+    }
+
+    /// No entry in `dir` looks like a leftover partial save.
+    fn no_partials(dir: &Path) -> bool {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .all(|e| !e.unwrap().file_name().to_string_lossy().ends_with(".tmp"))
+    }
+
+    #[test]
+    fn torn_write_never_leaves_a_partial_omitrace() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-torn");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        {
+            // A mid-write crash, simulated as a torn (half-length) write.
+            let plan = ChaosPlan::parse("save=short-write").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            let err = save_trace(&t, &path).unwrap_err();
+            assert!(matches!(err, TraceFileError::Truncated { .. }));
+        }
+        // The crash-only contract: no target file, no temp litter.
+        assert!(!path.exists());
+        assert!(no_partials(&dir));
+        // And a clean retry (the entry fired once) fully succeeds.
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back.events_vec(), t.events_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_write_never_clobbers_an_existing_good_file() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-clobber");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        save_trace(&t, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        {
+            let plan = ChaosPlan::parse("save=short-write").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            assert!(save_trace(&t, &path).is_err());
+        }
+        // The previous good bytes survive untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), good);
+        assert!(no_partials(&dir));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_fails_cleanly_and_retry_succeeds() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-enospc");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        {
+            let plan = ChaosPlan::parse("save=enospc").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            let err = save_trace(&t, &path).unwrap_err();
+            assert!(matches!(err, TraceFileError::Io(_)));
+            assert!(!path.exists());
+            assert!(no_partials(&dir));
+            // Retry inside the same scope: the entry already fired.
+            save_trace(&t, &path).unwrap();
+        }
+        assert_eq!(load_trace(&path).unwrap().events_vec(), t.events_vec());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn encode_corruption_is_caught_before_rename() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-encode");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        {
+            let plan = ChaosPlan::parse("encode=corrupt").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            let err = save_trace(&t, &path).unwrap_err();
+            assert!(matches!(err, TraceFileError::ChecksumMismatch { .. }));
+        }
+        assert!(!path.exists());
+        assert!(no_partials(&dir));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_corruption_is_rejected_and_file_stays_clean() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-decode");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        save_trace(&t, &path).unwrap();
+        {
+            let plan = ChaosPlan::parse("decode=corrupt").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            assert!(load_trace(&path).is_err());
+            // The corruption lived in a private copy: a second load in
+            // the same scope (the entry fired) reads the intact file.
+            assert_eq!(load_trace(&path).unwrap().events_vec(), t.events_vec());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_chaos_falls_back_to_buffered_read() {
+        use crate::supervisor::{take_recovery, ChaosPlan, ChaosScope, RecoveryKind};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-mmap");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        save_trace(&t, &path).unwrap();
+        let _ = take_recovery();
+        {
+            let plan = ChaosPlan::parse("mmap=fail").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            assert_eq!(load_trace(&path).unwrap().events_vec(), t.events_vec());
+        }
+        let log = take_recovery();
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert_eq!(log.count(RecoveryKind::MmapFallback), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervisor_save_retries_once_and_matches_clean_bytes() {
+        use crate::supervisor::{take_recovery, ChaosPlan, RecoveryKind, Supervisor};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-supervised");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample();
+        let clean = dir.join("clean.omitrace");
+        Supervisor::new().save_trace(&t, &clean).unwrap();
+        let _ = take_recovery();
+        for chaos in ["save=short-write", "save=enospc", "encode=corrupt"] {
+            let faulted = dir.join("faulted.omitrace");
+            let sup = Supervisor::new().with_chaos(Some(ChaosPlan::parse(chaos).unwrap()));
+            sup.save_trace(&t, &faulted).unwrap();
+            assert_eq!(
+                std::fs::read(&faulted).unwrap(),
+                std::fs::read(&clean).unwrap(),
+                "retried save must equal clean save under `{chaos}`"
+            );
+            std::fs::remove_file(&faulted).ok();
+        }
+        let log = take_recovery();
+        assert_eq!(log.count(RecoveryKind::SaveRetry), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn supervisor_load_retries_decode_corruption() {
+        use crate::supervisor::{take_recovery, ChaosPlan, RecoveryKind, Supervisor};
+        let dir = std::env::temp_dir().join("omitrace-atomic-test-loadretry");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.omitrace");
+        let t = sample();
+        save_trace(&t, &path).unwrap();
+        let _ = take_recovery();
+        let sup = Supervisor::new().with_chaos(Some(ChaosPlan::parse("decode=corrupt").unwrap()));
+        let back = sup.load_trace(&path).unwrap();
+        assert_eq!(back.events_vec(), t.events_vec());
+        assert_eq!(take_recovery().count(RecoveryKind::LoadRetry), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -33,6 +33,7 @@ pub mod outcome;
 pub mod recorder;
 pub mod region;
 pub mod stats;
+pub mod supervisor;
 #[allow(clippy::module_inception)]
 pub mod trace;
 pub mod value;
@@ -43,8 +44,12 @@ pub use event::{Event, EventRef, InstId, OutputRecord};
 pub use format::{decode_trace, encode_trace, load_trace, save_trace, TraceFileError};
 pub use index::TraceIndex;
 pub use outcome::{CrashKind, RunOutcome};
-pub use recorder::{Recorder, RecorderStats};
+pub use recorder::{Recorder, RecorderError, RecorderStats};
 pub use region::RegionTree;
 pub use stats::{TraceStats, VerificationStats};
+pub use supervisor::{
+    note_recovery, take_recovery, ChaosAction, ChaosPlan, ChaosSite, Deadline, PipelineError,
+    RecoveryKind, RecoveryLog, Supervisor,
+};
 pub use trace::{Termination, Trace};
 pub use value::Value;

@@ -25,16 +25,69 @@
 //! re-executions the verifier launches stay single-threaded, and resumed
 //! runs (seeded from a checkpoint prefix via [`Recorder::from_prefix`])
 //! stay inline as well because their suffixes are typically short.
+//!
+//! # Failure handling
+//!
+//! The builder thread is allowed to die. A panic or a dropped receiver
+//! surfaces from [`Recorder::finish`] as a structured
+//! [`RecorderError`] — never a process abort: the producer marks the
+//! pipeline dead on a failed send and keeps accepting events, and
+//! `finish` maps the join result instead of unwrapping it. Callers
+//! (see `run_traced_capturing`) recover by re-running the deterministic
+//! execution with [`Recorder::inline_only`], which never spawns a
+//! builder and therefore cannot lose one. Chaos plans
+//! ([`crate::supervisor::ChaosPlan`]) inject builder panics, channel
+//! disconnects, and queue stalls deterministically at chunk-rotation
+//! boundaries to exercise exactly these paths.
 
 use crate::columnar::{ColumnarTrace, RawEvent};
 use crate::event::InstId;
 use crate::index::{self, TraceIndex};
+use crate::supervisor::{self, ChaosSite, RecoveryKind};
 use omislice_lang::{StmtId, VarId};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How a pipelined recording can fail. Both variants leave the already
+/// shipped chunks unrecoverable (the builder owned them), so the caller
+/// re-traces inline; determinism makes the re-run exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecorderError {
+    /// The builder thread panicked (its join returned `Err`).
+    BuilderPanicked,
+    /// The builder's receiver disappeared mid-stream.
+    BuilderDisconnected,
+}
+
+impl fmt::Display for RecorderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecorderError::BuilderPanicked => write!(f, "trace builder thread panicked"),
+            RecorderError::BuilderDisconnected => {
+                write!(f, "trace builder channel disconnected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecorderError {}
+
+/// What travels over the chunk queue. The chaos variants let the
+/// supervisor kill the builder deterministically from the producer side.
+/// `Chunk` is ~100% of traffic, so boxing it to shrink the enum would
+/// trade one allocation per 4096 events for nothing.
+#[allow(clippy::large_enum_variant)]
+enum ChunkMsg {
+    Chunk(ColumnarTrace),
+    /// Injected fault: the builder panics on receipt.
+    Panic,
+    /// Injected fault: the builder drops the receiver and exits early.
+    Stop,
+}
 
 /// Events per chunk. Chunks are the queue's unit of transfer; the tail
 /// of the current chunk always stays producer-resident so the
@@ -90,9 +143,15 @@ struct BuiltParts {
 }
 
 struct Pipeline {
-    tx: SyncSender<ColumnarTrace>,
-    handle: JoinHandle<BuiltParts>,
+    tx: SyncSender<ChunkMsg>,
+    /// `None` means the builder exited early (injected disconnect).
+    handle: JoinHandle<Option<BuiltParts>>,
     depth: Arc<AtomicUsize>,
+    /// Set once a send fails: the builder is gone and further chunks
+    /// are dropped (they are unrecoverable anyway — the builder owned
+    /// the assembled head). `finish` turns this into a
+    /// [`RecorderError`].
+    dead: bool,
 }
 
 /// The streaming recorder the interpreter feeds.
@@ -113,6 +172,12 @@ pub struct Recorder {
     /// skip index prebuilding: their consumers (switched re-executions)
     /// touch at most a few index queries, which the lazy path serves.
     index_live: bool,
+    /// Never spawn the builder: chunks drain inline (with postings) on
+    /// the producer thread. The recovery mode after a builder failure.
+    inline_only: bool,
+    /// A scoped deadline expired at a chunk boundary; the interpreter
+    /// polls this per event and stops with a budget-style termination.
+    deadline_hit: bool,
     stats: RecorderStats,
 }
 
@@ -132,7 +197,20 @@ impl Recorder {
             total: 0,
             pipeline: None,
             index_live: true,
+            inline_only: false,
+            deadline_hit: false,
             stats: RecorderStats::default(),
+        }
+    }
+
+    /// A fresh recorder that never spawns the builder thread: chunks
+    /// (and postings) drain inline, so [`Recorder::finish`] cannot fail.
+    /// The degraded mode the supervisor falls back to after a builder
+    /// failure.
+    pub fn inline_only() -> Self {
+        Recorder {
+            inline_only: true,
+            ..Recorder::new()
         }
     }
 
@@ -148,8 +226,16 @@ impl Recorder {
             total: len,
             pipeline: None,
             index_live: false,
+            inline_only: false,
+            deadline_hit: false,
             stats: RecorderStats::default(),
         }
+    }
+
+    /// Whether a scoped deadline expired at a chunk boundary. One field
+    /// read: cheap enough for the interpreter's per-event gate.
+    pub fn deadline_hit(&self) -> bool {
+        self.deadline_hit
     }
 
     /// Events recorded so far (== the id the next event will get).
@@ -181,8 +267,13 @@ impl Recorder {
     }
 
     /// Ships the filled chunk to the builder, spawning it on first use;
-    /// prefix-seeded recorders drain inline instead.
+    /// prefix-seeded and inline-only recorders drain inline instead. A
+    /// failed send marks the pipeline dead instead of panicking; the
+    /// loss surfaces from [`Recorder::finish`].
     fn rotate_chunk(&mut self) {
+        if supervisor::scoped_deadline_check() {
+            self.deadline_hit = true;
+        }
         let full = std::mem::replace(
             &mut self.chunk,
             ColumnarTrace::with_capacity(CHUNK_EVENTS, CHUNK_EVENTS),
@@ -192,27 +283,55 @@ impl Recorder {
             self.cols.append(&full);
             return;
         }
+        if self.inline_only {
+            // Degraded mode: build columns and postings on this thread.
+            self.postings.absorb(&full, self.cols.len() as u32);
+            self.cols.append(&full);
+            return;
+        }
         if self.pipeline.is_none() {
             self.spawn_builder();
         }
         let p = self.pipeline.as_mut().expect("just spawned");
+        if p.dead {
+            return;
+        }
+        // Injected faults fire at chunk-rotation boundaries, counted
+        // per site: kill the builder, drop the receiver, or force the
+        // backpressure path.
+        if supervisor::chaos_hit(ChaosSite::Builder).is_some() {
+            let _ = p.tx.send(ChunkMsg::Panic);
+        }
+        if supervisor::chaos_hit(ChaosSite::Channel).is_some() {
+            let _ = p.tx.send(ChunkMsg::Stop);
+        }
+        let stall = supervisor::chaos_hit(ChaosSite::Queue).is_some();
         let depth = p.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
-        match p.tx.try_send(full) {
+        if stall {
+            supervisor::note_recovery(RecoveryKind::QueueStall);
+            self.stats.backpressure_stalls += 1;
+            if p.tx.send(ChunkMsg::Chunk(full)).is_err() {
+                p.dead = true;
+            }
+            return;
+        }
+        match p.tx.try_send(ChunkMsg::Chunk(full)) {
             Ok(()) => {}
-            Err(TrySendError::Full(chunk)) => {
+            Err(TrySendError::Full(msg)) => {
                 self.stats.backpressure_stalls += 1;
-                p.tx.send(chunk).expect("builder outlives the producer");
+                if p.tx.send(msg).is_err() {
+                    p.dead = true;
+                }
             }
             Err(TrySendError::Disconnected(_)) => {
-                unreachable!("builder holds the receiver until the channel closes")
+                p.dead = true;
             }
         }
     }
 
     fn spawn_builder(&mut self) {
-        let (tx, rx): (SyncSender<ColumnarTrace>, Receiver<ColumnarTrace>) =
-            sync_channel(QUEUE_CHUNKS);
+        let (tx, rx): (SyncSender<ChunkMsg>, Receiver<ChunkMsg>) = sync_channel(QUEUE_CHUNKS);
         let depth = Arc::new(AtomicUsize::new(0));
         let consumer_depth = Arc::clone(&depth);
         // Everything recorded so far (the inline head) moves to the
@@ -221,41 +340,64 @@ impl Recorder {
         let mut postings = std::mem::take(&mut self.postings);
         let handle = std::thread::spawn(move || {
             let mut cols = head;
-            while let Ok(chunk) = rx.recv() {
-                consumer_depth.fetch_sub(1, Ordering::Relaxed);
-                postings.absorb(&chunk, cols.len() as u32);
-                cols.append(&chunk);
+            loop {
+                match rx.recv() {
+                    Ok(ChunkMsg::Chunk(chunk)) => {
+                        consumer_depth.fetch_sub(1, Ordering::Relaxed);
+                        postings.absorb(&chunk, cols.len() as u32);
+                        cols.append(&chunk);
+                    }
+                    Ok(ChunkMsg::Panic) => panic!("injected trace builder panic"),
+                    Ok(ChunkMsg::Stop) => return None,
+                    Err(_) => break,
+                }
             }
-            BuiltParts { cols, postings }
+            Some(BuiltParts { cols, postings })
         });
         self.stats.pipelined = true;
-        self.pipeline = Some(Pipeline { tx, handle, depth });
+        self.pipeline = Some(Pipeline {
+            tx,
+            handle,
+            depth,
+            dead: false,
+        });
     }
 
     /// Closes the recorder: ships the tail, joins the builder, stamps
     /// the Euler tour. Returns the assembled columns, the query index
-    /// when one was built (fresh pipelined recordings), and the
-    /// scheduling stats.
-    pub fn finish(mut self) -> (ColumnarTrace, Option<TraceIndex>, RecorderStats) {
+    /// when one was built (fresh recordings), and the scheduling stats
+    /// — or a [`RecorderError`] when the builder died, in which case the
+    /// caller re-traces with [`Recorder::inline_only`]. Inline runs
+    /// (never pipelined) cannot fail.
+    pub fn finish(
+        mut self,
+    ) -> Result<(ColumnarTrace, Option<TraceIndex>, RecorderStats), RecorderError> {
         let tail = std::mem::take(&mut self.chunk);
         match self.pipeline.take() {
             Some(p) => {
-                if !tail.is_empty() {
+                let mut dead = p.dead;
+                if !tail.is_empty() && !dead {
                     let depth = p.depth.fetch_add(1, Ordering::Relaxed) + 1;
                     self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
-                    p.tx.send(tail).expect("builder outlives the producer");
+                    if p.tx.send(ChunkMsg::Chunk(tail)).is_err() {
+                        dead = true;
+                    }
                 }
                 drop(p.tx);
-                let BuiltParts { cols, mut postings } =
-                    p.handle.join().expect("builder does not panic");
-                let (tin, tout) = index::euler_tour(&cols);
-                let index = TraceIndex::assemble(
-                    tin,
-                    tout,
-                    std::mem::take(&mut postings.preds),
-                    std::mem::take(&mut postings.defs),
-                );
-                (cols, Some(index), self.stats)
+                match p.handle.join() {
+                    Ok(Some(BuiltParts { cols, mut postings })) if !dead => {
+                        let (tin, tout) = index::euler_tour(&cols);
+                        let index = TraceIndex::assemble(
+                            tin,
+                            tout,
+                            std::mem::take(&mut postings.preds),
+                            std::mem::take(&mut postings.defs),
+                        );
+                        Ok((cols, Some(index), self.stats))
+                    }
+                    Ok(_) => Err(RecorderError::BuilderDisconnected),
+                    Err(_) => Err(RecorderError::BuilderPanicked),
+                }
             }
             None => {
                 let mut cols = self.cols;
@@ -267,9 +409,9 @@ impl Recorder {
                     let (tin, tout) = index::euler_tour(&cols);
                     let index =
                         TraceIndex::assemble(tin, tout, self.postings.preds, self.postings.defs);
-                    (cols, Some(index), self.stats)
+                    Ok((cols, Some(index), self.stats))
                 } else {
-                    (cols, None, self.stats)
+                    Ok((cols, None, self.stats))
                 }
             }
         }
@@ -314,7 +456,7 @@ mod tests {
         for e in events {
             r.push(RawEvent::from(e));
         }
-        r.finish()
+        r.finish().expect("no chaos in scope")
     }
 
     #[test]
@@ -369,11 +511,96 @@ mod tests {
             for e in &events[cut..] {
                 r.push(RawEvent::from(e));
             }
-            let (cols, index, stats) = r.finish();
+            let (cols, index, stats) = r.finish().expect("resumed recorders never pipeline");
             assert!(index.is_none());
             assert!(!stats.pipelined);
             assert_eq!(cols.to_events(), events);
         }
+    }
+
+    #[test]
+    fn builder_panic_surfaces_as_error_not_abort() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let plan = ChaosPlan::parse("builder=panic").unwrap();
+        let _scope = ChaosScope::install(Some(&plan), None);
+        let mut r = Recorder::new();
+        for e in synthetic(3 * CHUNK_EVENTS + 17) {
+            r.push(RawEvent::from(&e));
+        }
+        assert_eq!(r.finish().unwrap_err(), RecorderError::BuilderPanicked);
+    }
+
+    #[test]
+    fn channel_disconnect_surfaces_as_error_not_abort() {
+        use crate::supervisor::{ChaosPlan, ChaosScope};
+        let plan = ChaosPlan::parse("channel:1=disconnect").unwrap();
+        let _scope = ChaosScope::install(Some(&plan), None);
+        let mut r = Recorder::new();
+        for e in synthetic(4 * CHUNK_EVENTS) {
+            r.push(RawEvent::from(&e));
+        }
+        assert_eq!(r.finish().unwrap_err(), RecorderError::BuilderDisconnected);
+    }
+
+    #[test]
+    fn queue_stall_chaos_recovers_and_matches_oracle() {
+        use crate::supervisor::{take_recovery, ChaosPlan, ChaosScope, RecoveryKind};
+        let _ = take_recovery();
+        let events = synthetic(3 * CHUNK_EVENTS + 17);
+        let cols = {
+            let plan = ChaosPlan::parse("queue:1=stall").unwrap();
+            let _scope = ChaosScope::install(Some(&plan), None);
+            let mut r = Recorder::new();
+            for e in &events {
+                r.push(RawEvent::from(e));
+            }
+            let (cols, index, stats) = r.finish().expect("stall is survivable");
+            assert!(index.is_some());
+            assert!(stats.backpressure_stalls >= 1);
+            cols
+        };
+        assert_eq!(cols.to_events(), events);
+        assert_eq!(take_recovery().count(RecoveryKind::QueueStall), 1);
+    }
+
+    #[test]
+    fn inline_only_recorder_matches_pipelined_output() {
+        let events = synthetic(3 * CHUNK_EVENTS + 17);
+        let mut r = Recorder::inline_only();
+        for e in &events {
+            r.push(RawEvent::from(e));
+        }
+        let (cols, index, stats) = r.finish().expect("inline recorders cannot fail");
+        assert!(!stats.pipelined);
+        assert_eq!(cols.to_events(), events);
+        // The index still gets prebuilt, matching the pipelined run.
+        let (p_cols, p_index, _) = record(&events);
+        assert_eq!(cols.to_events(), p_cols.to_events());
+        let index = index.expect("inline-only builds the index");
+        let p_index = p_index.expect("pipelined builds the index");
+        for v in 0..5 {
+            assert_eq!(index.defs_of(VarId(v)), p_index.defs_of(VarId(v)));
+        }
+    }
+
+    #[test]
+    fn scoped_deadline_expiry_sets_deadline_hit() {
+        use crate::supervisor::{take_recovery, ChaosScope, Deadline};
+        let _ = take_recovery();
+        let d = Deadline::unlimited().with_force_expire(1);
+        let _scope = ChaosScope::install(None, Some(&d));
+        let mut r = Recorder::new();
+        for e in synthetic(3 * CHUNK_EVENTS) {
+            if r.deadline_hit() {
+                break;
+            }
+            r.push(RawEvent::from(&e));
+        }
+        assert!(r.deadline_hit());
+        // The run still finishes cleanly with whatever was recorded.
+        let (cols, _, _) = r.finish().expect("deadline is cooperative, not fatal");
+        assert!(cols.len() <= 2 * CHUNK_EVENTS + 1);
+        let _ = take_recovery();
     }
 
     #[test]
@@ -386,7 +613,7 @@ mod tests {
         // The chunk is exactly full but not yet shipped: the patch must
         // still land on the final event.
         r.set_def_var_last(VarId(77));
-        let (cols, _, _) = r.finish();
+        let (cols, _, _) = r.finish().expect("no chaos in scope");
         assert_eq!(
             cols.event(InstId(CHUNK_EVENTS as u32 - 1)).def_var,
             Some(VarId(77))

@@ -137,6 +137,10 @@ pub struct VerificationStats {
     pub scratch_fallbacks: usize,
     /// Panics caught at the per-candidate isolation boundary.
     pub panics_isolated: usize,
+    /// Candidates cancelled by an expired cooperative deadline before
+    /// their switched run was dispatched (verdict: NotId, the paper's
+    /// expired-timer rule applied at the batch level).
+    pub deadline_cancelled: usize,
     /// `input()` calls that ran past the end of the input stream (and
     /// yielded 0) across all switched executions.
     pub input_underflows: usize,
@@ -179,6 +183,7 @@ impl VerificationStats {
         self.invalid_checkpoints += other.invalid_checkpoints;
         self.scratch_fallbacks += other.scratch_fallbacks;
         self.panics_isolated += other.panics_isolated;
+        self.deadline_cancelled += other.deadline_cancelled;
         self.input_underflows += other.input_underflows;
         self.execution_wall += other.execution_wall;
         self.capture_wall += other.capture_wall;
@@ -215,6 +220,7 @@ impl fmt::Display for VerificationStats {
             "fault isolation  : {} invalid checkpoints, {} scratch fallbacks, {} panics isolated",
             self.invalid_checkpoints, self.scratch_fallbacks, self.panics_isolated
         )?;
+        writeln!(f, "deadline cancels : {}", self.deadline_cancelled)?;
         writeln!(f, "input underflows : {}", self.input_underflows)?;
         writeln!(
             f,
@@ -300,6 +306,7 @@ mod tests {
             invalid_checkpoints: 1,
             scratch_fallbacks: 1,
             panics_isolated: 1,
+            deadline_cancelled: 1,
             input_underflows: 5,
             execution_wall: Duration::from_millis(2),
             capture_wall: Duration::from_millis(1),
@@ -320,6 +327,7 @@ mod tests {
         assert_eq!(a.invalid_checkpoints, 2);
         assert_eq!(a.scratch_fallbacks, 2);
         assert_eq!(a.panics_isolated, 2);
+        assert_eq!(a.deadline_cancelled, 2);
         assert_eq!(a.input_underflows, 10);
         assert_eq!(a.execution_wall, Duration::from_millis(4));
         let text = a.to_string();
