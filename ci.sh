@@ -269,6 +269,50 @@ EOF
     echo "chaos smoke OK"
 }
 
+# Verification-scheduler smoke: the checkpoint-forest scheduler must
+# actually pay off, not just pass its unit tests. Two probes: (1) a
+# 2-iteration corpus locate must answer some switched runs from the
+# cross-iteration memo (memo_hits == 0 means the persistent memo went
+# dead); (2) a sed ×250 sweep's resumed verification pass must beat the
+# from-scratch pass by at least 2× (the published sed ×1000 ratio is
+# ~0.09; the 0.5 gate leaves headroom for noisy CI hosts while still
+# catching a disabled or regressed resume path). Run standalone with
+# `./ci.sh verify-smoke`.
+verify_smoke() {
+    echo "==> verify smoke (checkpoint-forest scheduler gate)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-cli -p omislice-bench
+    local metrics=/tmp/omislice-verify-smoke.metrics
+    RUST_BACKTRACE=1 ./target/release/omislice corpus locate sed V3-F2 \
+        --metrics text >"$metrics"
+    local iters hits
+    iters=$(awk '$1 == "omislice_locate_iterations" {print int($2)}' "$metrics")
+    hits=$(awk '$1 == "omislice_verify_memo_hits" {print int($2)}' "$metrics")
+    if [ "${iters:-0}" -lt 2 ]; then
+        echo "verify smoke FAILED: locate took ${iters:-0} iterations, want >= 2 (memo reuse untestable)" >&2
+        exit 1
+    fi
+    if [ "${hits:-0}" -lt 1 ]; then
+        echo "verify smoke FAILED: cross-iteration memo never hit over $iters iterations" >&2
+        exit 1
+    fi
+    echo "   locate: iterations=$iters memo_hits=$hits"
+    local out=/tmp/omislice-verify-smoke.json
+    ./target/release/sweep --scales 250 --out "$out" >/dev/null
+    local ratio
+    ratio=$(grep '"benchmark":"sed"' "$out" \
+        | sed -n 's/.*"scratch_us":\([0-9.]*\),"resumed_us":\([0-9.]*\).*/\1 \2/p' \
+        | awk '{printf "%.3f", $2 / $1}')
+    if [ -z "$ratio" ]; then
+        echo "verify smoke FAILED: sweep JSON lost the scratch/resumed verify columns" >&2
+        exit 1
+    fi
+    if ! awk "BEGIN{exit !($ratio < 0.5)}"; then
+        echo "verify smoke FAILED: sed x250 resumed/scratch verify ratio $ratio, want < 0.5" >&2
+        exit 1
+    fi
+    echo "verify smoke OK (resumed/scratch ratio $ratio)"
+}
+
 # Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
 # (fixed seed set, so deterministic and bounded) must hold every
 # cross-pipeline invariant — DS ⊆ RS, pruned ⊆ DS, indexed alignment ==
@@ -306,6 +350,10 @@ if [ "${1:-}" = "chaos-smoke" ]; then
     chaos_smoke
     exit 0
 fi
+if [ "${1:-}" = "verify-smoke" ]; then
+    verify_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
@@ -330,5 +378,7 @@ obs_smoke
 trace_smoke
 
 chaos_smoke
+
+verify_smoke
 
 echo "CI OK"

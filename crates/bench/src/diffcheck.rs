@@ -28,15 +28,21 @@
 //! 7. **Chaos recovery** (`--chaos`) — the full pipeline (trace →
 //!    save → load → locate) run under every injected-fault plan of the
 //!    [`omislice_trace::ChaosPlan`] sweep recovers without aborting and
-//!    produces the *same* normalized journal as the clean pipeline.
+//!    produces the *same* normalized journal as the clean pipeline;
+//! 8. **Scheduler equivalence** — the checkpoint-trie verification
+//!    scheduler is a pure execution-plan optimization: locate journals
+//!    under the trie scheduler (dense and sparse capture thresholds)
+//!    and the legacy flat scheduler are byte-identical to the
+//!    invariant-6 reference across `jobs` × resume, and (`--chaos`)
+//!    both schedulers agree on every recovered chaos pipeline.
 //!
 //! Divergences are returned as human-readable failure strings carrying
 //! the seed, so every finding is reproducible with
 //! `diffcheck --start <seed> --seeds 1`.
 
 use omislice::{
-    build_journal, locate_fault, GroundTruthOracle, JournalMeta, LocateConfig, UserOracle,
-    Verification, Verifier, VerifierMode, VerifyRequest,
+    build_journal, locate_fault, GroundTruthOracle, JournalMeta, LocateConfig, SchedulerMode,
+    UserOracle, Verification, Verifier, VerifierMode, VerifyRequest,
 };
 use omislice_align::Aligner;
 use omislice_analysis::ProgramAnalysis;
@@ -93,6 +99,9 @@ pub struct DiffcheckSummary {
     pub located: usize,
     /// Normalized journals compared byte-for-byte.
     pub journals_compared: usize,
+    /// Scheduler configurations (trie thresholds × flat) whose journals
+    /// matched the invariant-6 reference byte-for-byte.
+    pub scheduler_configs: usize,
     /// Faulted pipelines cross-checked against the clean oracle
     /// (`--chaos` only).
     pub chaos_pipelines: usize,
@@ -109,6 +118,7 @@ struct CaseStats {
     alignment_switches: usize,
     verifier_configs: usize,
     journals_compared: usize,
+    scheduler_configs: usize,
     chaos_pipelines: usize,
     chaos_recoveries: u64,
 }
@@ -128,6 +138,7 @@ pub fn run_diffcheck(opts: &DiffcheckOptions) -> DiffcheckSummary {
                 summary.verifier_configs += stats.verifier_configs;
                 summary.located += 1;
                 summary.journals_compared += stats.journals_compared;
+                summary.scheduler_configs += stats.scheduler_configs;
                 summary.chaos_pipelines += stats.chaos_pipelines;
                 summary.chaos_recoveries += stats.chaos_recoveries;
             }
@@ -219,6 +230,7 @@ fn check_case(seed: u64, quick: bool, chaos: bool) -> Result<CaseStats, String> 
         alignment_switches: 0,
         verifier_configs: 0,
         journals_compared: 0,
+        scheduler_configs: 0,
         chaos_pipelines: 0,
         chaos_recoveries: 0,
     };
@@ -363,6 +375,58 @@ fn check_case(seed: u64, quick: bool, chaos: bool) -> Result<CaseStats, String> 
         }
     }
 
+    // --- invariant 8: the trie scheduler is a pure plan optimization ---
+    // The invariant-6 reference ran the default configuration (trie,
+    // default threshold). Every other scheduler shape must reproduce it
+    // byte for byte: a dense trie (capture everything), a sparse trie
+    // (ancestor resumes only), and the legacy flat scheduler.
+    let clean = reference
+        .clone()
+        .expect("invariant 6 set the journal reference");
+    let shapes: &[(SchedulerMode, Option<usize>)] = if quick {
+        &[(SchedulerMode::Trie, Some(1)), (SchedulerMode::Flat, None)]
+    } else {
+        &[
+            (SchedulerMode::Trie, Some(1)),
+            (SchedulerMode::Trie, Some(1000)),
+            (SchedulerMode::Flat, None),
+            (SchedulerMode::Flat, Some(1)),
+        ]
+    };
+    for &(scheduler, capture_threshold) in shapes {
+        for &jobs in jobs_set {
+            for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                let lc = LocateConfig {
+                    jobs,
+                    resume,
+                    scheduler,
+                    capture_threshold,
+                    ..LocateConfig::default()
+                };
+                let outcome = locate_fault(
+                    &case.faulty,
+                    &analysis,
+                    &config,
+                    trace,
+                    &profile,
+                    &oracle,
+                    &lc,
+                )
+                .map_err(|e| format!("locate_fault ({scheduler:?}) failed: {e}"))?;
+                let journal = normalize(&to_jsonl(&build_journal(
+                    &meta, &lc, &outcome, trace, None, None,
+                )))?;
+                if journal != clean {
+                    return Err(format!(
+                        "journal diverged from the reference under {scheduler:?} \
+                         threshold={capture_threshold:?} jobs={jobs} resume={resume:?}"
+                    ));
+                }
+                stats.scheduler_configs += 1;
+            }
+        }
+    }
+
     // --- invariant 7 (--chaos): faulted pipelines match the clean one ---
     if chaos {
         let clean = reference.as_deref().expect("invariant 6 set the reference");
@@ -427,32 +491,42 @@ fn check_chaos_pipelines(
         let loaded = sup
             .load_trace(&tmp)
             .map_err(|e| format!("chaos `{text}`: supervised load failed: {e}"))?;
-        let lc = LocateConfig::default();
-        let outcome = locate_fault(
-            &case.faulty,
-            analysis,
-            config,
-            &loaded,
-            profile,
-            oracle,
-            &lc,
-        )
-        .map_err(|e| format!("chaos `{text}`: locate on the recovered trace failed: {e}"))?;
-        if !outcome.found {
-            std::fs::remove_file(&tmp).ok();
-            return Err(format!(
-                "chaos `{text}`: recovered pipeline missed the planted root {}",
-                case.root
-            ));
-        }
-        let journal = normalize(&to_jsonl(&build_journal(
-            meta, &lc, &outcome, &loaded, None, None,
-        )))?;
-        if journal != clean_journal {
-            std::fs::remove_file(&tmp).ok();
-            return Err(format!(
-                "chaos `{text}`: recovered pipeline's journal differs from the clean one"
-            ));
+        // Invariant 8 under chaos: both verification schedulers must
+        // agree with the clean pipeline on the recovered trace.
+        for scheduler in [SchedulerMode::Trie, SchedulerMode::Flat] {
+            let lc = LocateConfig {
+                scheduler,
+                ..LocateConfig::default()
+            };
+            let outcome = locate_fault(
+                &case.faulty,
+                analysis,
+                config,
+                &loaded,
+                profile,
+                oracle,
+                &lc,
+            )
+            .map_err(|e| {
+                format!("chaos `{text}`: locate ({scheduler:?}) on the recovered trace failed: {e}")
+            })?;
+            if !outcome.found {
+                std::fs::remove_file(&tmp).ok();
+                return Err(format!(
+                    "chaos `{text}`: recovered pipeline ({scheduler:?}) missed the planted root {}",
+                    case.root
+                ));
+            }
+            let journal = normalize(&to_jsonl(&build_journal(
+                meta, &lc, &outcome, &loaded, None, None,
+            )))?;
+            if journal != clean_journal {
+                std::fs::remove_file(&tmp).ok();
+                return Err(format!(
+                    "chaos `{text}`: recovered pipeline's journal ({scheduler:?}) differs \
+                     from the clean one"
+                ));
+            }
         }
         stats.chaos_pipelines += 1;
         stats.chaos_recoveries += take_recovery().total();
@@ -509,6 +583,7 @@ mod tests {
         assert!(summary.alignment_probes > 0);
         assert!(summary.verifier_configs > 0);
         assert!(summary.journals_compared > 0);
+        assert!(summary.scheduler_configs > 0, "invariant 8 must run");
         assert_eq!(summary.chaos_pipelines, 0);
     }
 

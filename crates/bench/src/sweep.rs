@@ -112,13 +112,33 @@ pub struct PhaseSample {
 /// same verifier (`memo_ns`) that must be answered entirely from the
 /// verdict cache. `stats` are the shared verifier's counters after the
 /// memo pass, so `cache_hits == batch` proves the memo is alive.
+/// `batches` is the batch-size scaling series: one cold trie-scheduled
+/// `verify_all` per requested batch size, the data behind the
+/// "verify_us grows sublinearly in batch size" acceptance check
+/// (shared-prefix checkpoints amortize the replay cost across leaves).
 pub struct VerifySample {
     pub batch: usize,
     pub scratch_ns: u128,
     pub resumed_ns: u128,
     pub memo_ns: u128,
     pub stats: VerificationStats,
+    pub batches: Vec<BatchPoint>,
 }
+
+/// One point of the batch-size scaling series.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint {
+    /// Batch size asked of [`verify_batch`].
+    pub requested: usize,
+    /// Requests actually available at this scale (the trace may not have
+    /// `requested` distinct predicate instances).
+    pub batch: usize,
+    /// Cold-verifier `verify_all` wall time for the batch.
+    pub wall_ns: u128,
+}
+
+/// The batch sizes of the scaling series.
+pub const BATCH_SIZES: [usize; 4] = [4, 16, 64, 256];
 
 /// The last `n` predicate instances before the final output, each paired
 /// with that output as the use under test — the same batch shape the
@@ -137,7 +157,7 @@ pub fn verify_batch(trace: &Trace, analysis: &ProgramAnalysis, n: usize) -> Vec<
         .filter(|&i| i < u && trace.event(i).is_predicate())
         .collect();
     let mut seen = HashSet::new();
-    preds
+    let mut reqs: Vec<VerifyRequest> = preds
         .iter()
         .rev()
         .take(n)
@@ -149,7 +169,12 @@ pub fn verify_batch(trace: &Trace, analysis: &ProgramAnalysis, n: usize) -> Vec<
             wrong_output: u,
             expected: None,
         })
-        .collect()
+        .collect();
+    // Ascending trace position: each verification wave's spine then
+    // resumes from the previous wave's deepest checkpoint instead of
+    // replaying the whole prefix from scratch.
+    reqs.reverse();
+    reqs
 }
 
 /// Runs the sweep and returns one sample per benchmark × scale.
@@ -214,12 +239,34 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 let t = Instant::now();
                 v.verify_all(&requests);
                 let memo_ns = t.elapsed().as_nanos();
+                let batches = BATCH_SIZES
+                    .iter()
+                    .map(|&n| {
+                        let reqs = verify_batch(&run.trace, &analysis, n);
+                        let mut v = Verifier::new(
+                            &program,
+                            &analysis,
+                            &config,
+                            &run.trace,
+                            VerifierMode::Edge,
+                        )
+                        .with_resume(ResumeMode::Auto);
+                        let t = Instant::now();
+                        v.verify_all(&reqs);
+                        BatchPoint {
+                            requested: n,
+                            batch: reqs.len(),
+                            wall_ns: t.elapsed().as_nanos(),
+                        }
+                    })
+                    .collect();
                 VerifySample {
                     batch: requests.len(),
                     scratch_ns,
                     resumed_ns,
                     memo_ns,
                     stats: v.stats().clone(),
+                    batches,
                 }
             });
 
@@ -316,25 +363,43 @@ fn json_us(ns: u128) -> String {
 fn sample_json(s: &Sample) -> String {
     let verify = match &s.verify {
         None => "null".to_string(),
-        Some(v) => format!(
-            concat!(
-                "{{\"batch\":{},\"scratch_us\":{},\"resumed_us\":{},\"memo_us\":{},",
-                "\"capture_runs\":{},\"resumed_runs\":{},\"scratch_runs\":{},",
-                "\"steps_saved\":{},\"cache_hits\":{},\"reexecutions\":{},",
-                "\"resume_ratio\":{:.3}}}"
-            ),
-            v.batch,
-            json_us(v.scratch_ns),
-            json_us(v.resumed_ns),
-            json_us(v.memo_ns),
-            v.stats.capture_runs,
-            v.stats.resumed_runs,
-            v.stats.scratch_runs,
-            v.stats.steps_saved,
-            v.stats.cache_hits,
-            v.stats.reexecutions,
-            v.stats.resume_ratio(),
-        ),
+        Some(v) => {
+            let scaling: Vec<String> = v
+                .batches
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{\"requested\":{},\"batch\":{},\"verify_us\":{}}}",
+                        b.requested,
+                        b.batch,
+                        json_us(b.wall_ns),
+                    )
+                })
+                .collect();
+            format!(
+                concat!(
+                    "{{\"batch\":{},\"scratch_us\":{},\"resumed_us\":{},\"memo_us\":{},",
+                    "\"capture_runs\":{},\"inline_captures\":{},\"captures_skipped\":{},",
+                    "\"resumed_runs\":{},\"scratch_runs\":{},",
+                    "\"steps_saved\":{},\"cache_hits\":{},\"reexecutions\":{},",
+                    "\"resume_ratio\":{:.3},\"batch_scaling\":[{}]}}"
+                ),
+                v.batch,
+                json_us(v.scratch_ns),
+                json_us(v.resumed_ns),
+                json_us(v.memo_ns),
+                v.stats.capture_runs,
+                v.stats.inline_captures,
+                v.stats.captures_skipped,
+                v.stats.resumed_runs,
+                v.stats.scratch_runs,
+                v.stats.steps_saved,
+                v.stats.cache_hits,
+                v.stats.reexecutions,
+                v.stats.resume_ratio(),
+                scaling.join(","),
+            )
+        }
     };
     let phases = format!(
         "{{\"trace_us\":{},\"graph_us\":{},\"slice_us\":{},\"verify_us\":{}}}",
@@ -377,13 +442,23 @@ pub fn render_table(samples: &[Sample]) -> String {
     let rows: Vec<Vec<String>> = samples
         .iter()
         .map(|s| {
-            let (scratch, resumed, memo) = match &s.verify {
+            let (scratch, resumed, memo, scaling) = match &s.verify {
                 Some(v) => (
                     micros(v.scratch_ns),
                     micros(v.resumed_ns),
                     micros(v.memo_ns),
+                    v.batches
+                        .iter()
+                        .map(|b| micros(b.wall_ns))
+                        .collect::<Vec<_>>()
+                        .join("/"),
                 ),
-                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+                None => (
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ),
             };
             vec![
                 s.benchmark.clone(),
@@ -401,6 +476,7 @@ pub fn render_table(samples: &[Sample]) -> String {
                 scratch,
                 resumed,
                 memo,
+                scaling,
             ]
         })
         .collect();
@@ -421,6 +497,7 @@ pub fn render_table(samples: &[Sample]) -> String {
             "Verif scratch (us)",
             "Verif resumed (us)",
             "Verif memo (us)",
+            "Verif batch 4/16/64/256 (us)",
         ],
         &rows,
     )

@@ -30,6 +30,19 @@ fn sweep_scale10_hits_the_verifier_memo() {
                 "{}: re-submitted batch must hit the memo for every request",
                 s.benchmark
             );
+            assert_eq!(
+                v.batches.len(),
+                4,
+                "{}: batch-size scaling series is incomplete",
+                s.benchmark
+            );
+            for b in &v.batches {
+                assert!(
+                    b.batch <= b.requested,
+                    "{}: scaling batch exceeds the requested size",
+                    s.benchmark
+                );
+            }
         }
     }
     assert!(verified_rows > 0, "no row exercised the verifier");
@@ -44,6 +57,10 @@ fn sweep_scale10_hits_the_verifier_memo() {
 
     let json = to_json(&samples);
     assert!(json.contains("\"cache_hits\":"), "JSON drops the memo stat");
+    assert!(
+        json.contains("\"batch_scaling\":[{\"requested\":4,"),
+        "JSON drops the batch-size scaling series"
+    );
     assert!(
         json.contains("\"phases\":{\"trace_us\":"),
         "JSON drops the phase columns"

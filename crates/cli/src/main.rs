@@ -10,13 +10,16 @@
 //!                   [--trace-in <file.omitrace>]
 //!                   [--profile 4,5;6,7] [--mode edge|path|value]
 //!                   [--jobs N] [--no-resume] [--stats]
+//!                   [--scheduler trie|flat] [--capture-threshold N]
+//!                   [--early-exit]
 //!                   [--budget init[:factor[:attempts]]|off]
 //!                   [--fault-plan S<id>[:occ]=<action>]
 //!                   [--chaos <site>[:occ]=<action>] [--deadline <ms>]
 //! omislice verify   <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
 //!                   [--var name] [--expected v] [--mode edge|path|value]
 //! omislice corpus   [list | locate <bench> <fault> [--jobs N] [--no-resume]
-//!                   [--stats] [--budget ...] [--fault-plan ...]
+//!                   [--scheduler trie|flat] [--capture-threshold N]
+//!                   [--early-exit] [--stats] [--budget ...] [--fault-plan ...]
 //!                   [--chaos ...] [--deadline <ms>]]
 //! ```
 
@@ -30,7 +33,7 @@ use omislice::omislice_trace::{
 };
 use omislice::{
     build_journal, describe_inst, locate_fault, render_explain, GroundTruthOracle, JournalMeta,
-    LocateConfig, LocateOutcome, VerifierMode,
+    LocateConfig, LocateOutcome, SchedulerMode, VerifierMode, VerifyMemo,
 };
 use omislice_corpus::all_benchmarks;
 use omislice_obs::{MetricSet, Reporter, SpanReport};
@@ -65,6 +68,8 @@ const USAGE: &str = "usage:
                    [--trace-in <file.omitrace>]
                    [--profile 4,5;6,7] [--mode edge|path|value]
                    [--jobs N] [--no-resume] [--stats]
+                   [--scheduler trie|flat] [--capture-threshold N]
+                   [--early-exit]
                    [--budget init[:factor[:attempts]]|off]
                    [--fault-plan S<id>[:occ]=<action>]
                    [--chaos <plan>] [--deadline <ms>]
@@ -72,7 +77,8 @@ const USAGE: &str = "usage:
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
   omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume]
-                   [--stats] [--budget ...] [--fault-plan ...]
+                   [--scheduler trie|flat] [--capture-threshold N]
+                   [--early-exit] [--stats] [--budget ...] [--fault-plan ...]
                    [--chaos <plan>] [--deadline <ms>]
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]]
 
@@ -342,6 +348,23 @@ fn parse_mode(text: Option<&str>) -> Result<VerifierMode, String> {
     })
 }
 
+/// Parses `--scheduler trie|flat` (default: trie).
+fn parse_scheduler(text: Option<&str>) -> Result<SchedulerMode, String> {
+    text.map_or(Ok(SchedulerMode::default()), SchedulerMode::parse)
+}
+
+/// Parses `--capture-threshold N`: the minimum replay-gap (in events)
+/// that justifies snapshotting a checkpoint. `None` keeps the built-in
+/// break-even default.
+fn parse_capture_threshold(text: Option<&str>) -> Result<Option<usize>, String> {
+    text.map(|t| {
+        t.parse().map_err(|_| {
+            format!("bad --capture-threshold `{t}` (need a non-negative integer of events)")
+        })
+    })
+    .transpose()
+}
+
 fn parse_jobs(text: Option<&str>) -> Result<usize, String> {
     match text {
         None => Ok(1),
@@ -602,6 +625,36 @@ fn locate_metrics(trace: &Trace, outcome: &LocateOutcome, spans: Option<&SpanRep
         vs.steps_saved as f64,
     );
     set.push(
+        "verify_memo_hits",
+        "Switched runs answered from the cross-iteration memo",
+        vs.memo_hits as f64,
+    );
+    set.push(
+        "verify_memo_evictions",
+        "Memo entries evicted by the size-bounded LRU",
+        vs.memo_evictions as f64,
+    );
+    set.push(
+        "verify_checkpoint_bytes",
+        "Peak bytes of memoized checkpoints (gauge)",
+        vs.checkpoint_bytes as f64,
+    );
+    set.push(
+        "verify_inline_captures",
+        "Checkpoints captured en route by spine/resumed runs",
+        vs.inline_captures as f64,
+    );
+    set.push(
+        "verify_captures_skipped",
+        "Checkpoint captures declined by the cost break-even",
+        vs.captures_skipped as f64,
+    );
+    set.push(
+        "verify_early_exit_cancelled",
+        "Requests cancelled by batch-level early exit",
+        vs.early_exit_cancelled as f64,
+    );
+    set.push(
         "verify_budget_retries",
         "Budget escalation retries",
         vs.budget_retries as f64,
@@ -633,6 +686,8 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
             "profile",
             "mode",
             "jobs",
+            "scheduler",
+            "capture-threshold",
             "budget",
             "fault-plan",
             "chaos",
@@ -696,6 +751,10 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
         } else {
             omislice::omislice_interp::ResumeMode::Auto
         },
+        scheduler: parse_scheduler(opts.value("scheduler"))?,
+        capture_threshold: parse_capture_threshold(opts.value("capture-threshold"))?,
+        early_exit: opts.has("early-exit"),
+        memo: Some(VerifyMemo::shared()),
         budget: parse_budget(opts.value("budget"))?,
         fault: parse_fault_plan(opts.value("fault-plan"))?,
         deadline: sup.deadline(),
@@ -857,6 +916,8 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
         args,
         &[
             "jobs",
+            "scheduler",
+            "capture-threshold",
             "budget",
             "fault-plan",
             "chaos",
@@ -912,6 +973,12 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
                 } else {
                     omislice::omislice_interp::ResumeMode::Auto
                 },
+                scheduler: parse_scheduler(opts.value("scheduler"))?,
+                capture_threshold: parse_capture_threshold(opts.value("capture-threshold"))?,
+                early_exit: opts.has("early-exit"),
+                // One memo for the whole corpus invocation: every locate
+                // this process runs shares switched runs and checkpoints.
+                memo: Some(VerifyMemo::shared()),
                 budget: parse_budget(opts.value("budget"))?,
                 fault: parse_fault_plan(opts.value("fault-plan"))?,
                 deadline: sup.deadline(),

@@ -25,7 +25,8 @@ pub mod tracer;
 
 pub use plain::{run_plain, PlainRun};
 pub use snapshot::{
-    resume_switched, run_traced_with_checkpoints, Checkpoint, ResumeError, ResumeMode,
+    resume_switched, resume_switched_capturing, run_traced_with_checkpoints, Checkpoint,
+    ResumeError, ResumeMode,
 };
 pub use tracer::{run_traced, TracedRun, MAX_CALL_DEPTH};
 

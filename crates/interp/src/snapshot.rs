@@ -51,6 +51,19 @@ impl Checkpoint {
         self.trace_len
     }
 
+    /// Approximate footprint of this checkpoint in bytes — snapshot
+    /// state (globals, frames, counters) plus fixed fields. Used by the
+    /// verification memo's size-bounded LRU and the `checkpoint.bytes`
+    /// gauge. Deterministic: computed from element counts, not from
+    /// allocator state, so eviction decisions replay identically.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Checkpoint>()
+            + self.globals.approx_bytes()
+            + self.frames.iter().map(Frame::approx_bytes).sum::<usize>()
+            + self.occ.len() * std::mem::size_of::<u32>()
+            + self.region_stack.len() * std::mem::size_of::<InstId>()
+    }
+
     /// Whether a switched run can resume from this checkpoint.
     ///
     /// Resumption rebuilds the suspended call stack from static AST
@@ -169,11 +182,14 @@ pub fn run_traced_with_checkpoints(
 /// [`ResumeError::Invalid`] instead of slicing out of range.
 ///
 /// The result is byte-identical — events, outputs, termination — to
-/// `run_traced` with the same config and `config.switch =
-/// Some(checkpoint.spec)`, including step-budget behavior (the budget
-/// counts prefix events exactly as a from-scratch run would) and
-/// fault-injection behavior (a plan that would fire inside the prefix
-/// refuses with [`ResumeError::FaultInPrefix`] rather than diverge).
+/// `run_traced` with the same config, including step-budget behavior
+/// (the budget counts prefix events exactly as a from-scratch run
+/// would) and fault-injection behavior (a plan that would fire inside
+/// the prefix refuses with [`ResumeError::FaultInPrefix`] rather than
+/// diverge). When `config.switch` is unset the checkpoint's own spec is
+/// armed; setting it to a spec *downstream* of the checkpoint resumes
+/// the shared prefix and re-executes the original run up to that deeper
+/// switch point (the checkpoint-trie ancestor resume).
 ///
 /// # Errors
 ///
@@ -186,6 +202,30 @@ pub fn resume_switched(
     checkpoint: &Checkpoint,
     base: &Trace,
 ) -> Result<TracedRun, ResumeError> {
+    resume_switched_capturing(program, analysis, config, checkpoint, base, &[]).map(|(run, _)| run)
+}
+
+/// Like [`resume_switched`], but additionally captures a [`Checkpoint`]
+/// at every requested predicate instance the re-executed suffix reaches
+/// *before* the armed switch fires. Combined with an ancestor resume
+/// (`config.switch` armed downstream of `checkpoint`), this is how the
+/// checkpoint trie grows new nodes incrementally: the replayed segment
+/// between two divergence points is original execution, so its snapshots
+/// are exactly what a dedicated full capture run would have produced.
+/// Capture requests at or past the switch point are skipped, never
+/// corrupted.
+///
+/// # Errors
+///
+/// Same refusal reasons as [`resume_switched`].
+pub fn resume_switched_capturing(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    config: &RunConfig,
+    checkpoint: &Checkpoint,
+    base: &Trace,
+    capture: &[SwitchSpec],
+) -> Result<(TracedRun, Vec<Checkpoint>), ResumeError> {
     if !checkpoint.is_resumable() {
         return Err(ResumeError::NotResumable);
     }
@@ -203,9 +243,9 @@ pub fn resume_switched(
             }
         }
     }
-    tracer::resume_switched_impl(program, analysis, config, checkpoint, base).ok_or_else(|| {
-        ResumeError::Invalid("suspended call stack cannot be re-entered".to_string())
-    })
+    tracer::resume_switched_impl(program, analysis, config, checkpoint, base, capture).ok_or_else(
+        || ResumeError::Invalid("suspended call stack cannot be re-entered".to_string()),
+    )
 }
 
 #[cfg(test)]

@@ -26,6 +26,13 @@ impl Cell {
             defs,
         }
     }
+
+    /// Approximate heap + inline footprint in bytes, used for the
+    /// checkpoint store's size-bounded eviction. Deterministic: derived
+    /// from element counts and `size_of`, never from allocator state.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Cell>() + self.defs.len() * std::mem::size_of::<InstId>()
+    }
 }
 
 /// A global slot: scalar or array.
@@ -79,6 +86,21 @@ impl Globals {
     pub fn contains(&self, var: VarId) -> bool {
         self.slots.contains_key(&var)
     }
+
+    /// Approximate footprint in bytes (see [`Cell::approx_bytes`]).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let slots: usize = self
+            .slots
+            .values()
+            .map(|slot| match slot {
+                Slot::Scalar(c) => c.approx_bytes(),
+                Slot::Array(cells) => cells.iter().map(Cell::approx_bytes).sum(),
+            })
+            .sum();
+        std::mem::size_of::<Globals>()
+            + self.slots.len() * std::mem::size_of::<(VarId, Slot)>()
+            + slots
+    }
 }
 
 /// One call frame: local cells plus dynamic-control-dependence context.
@@ -100,6 +122,20 @@ pub struct Frame {
     /// continuation includes a pending expression value the snapshot
     /// cannot capture).
     pub call_site: Option<omislice_lang::StmtId>,
+}
+
+impl Frame {
+    /// Approximate footprint in bytes (see [`Cell::approx_bytes`]).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Frame>()
+            + self.func.len()
+            + self
+                .locals
+                .values()
+                .map(|c| std::mem::size_of::<VarId>() + c.approx_bytes())
+                .sum::<usize>()
+            + self.preds.len() * std::mem::size_of::<(omislice_lang::StmtId, (InstId, bool))>()
+    }
 }
 
 #[cfg(test)]

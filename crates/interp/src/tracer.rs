@@ -158,13 +158,19 @@ fn try_run_traced_capturing(
     Ok((run, t.captured))
 }
 
-/// Resumes the suspended base run from `checkpoint` with the checkpoint's
-/// switch armed, re-executing only the suffix. Returns `None` when the
-/// suspended call stack cannot be re-entered (a frame's function or the
-/// static path to its suspension point no longer resolves) — the caller
-/// reports the checkpoint invalid and falls back to a from-scratch run.
-/// Resumability and structural validity are checked by the caller
-/// ([`crate::resume_switched`]) before this runs.
+/// Resumes the suspended base run from `checkpoint` with `config.switch`
+/// armed (falling back to the checkpoint's own spec when unset),
+/// re-executing only the suffix. The armed switch is allowed to sit
+/// *deeper* in the trace than the checkpoint: the segment between the
+/// suspension point and the switch replays the original execution by
+/// determinism, which is what lets one checkpoint serve every candidate
+/// downstream of it (the checkpoint-trie ancestor resume) and lets that
+/// replayed segment capture further checkpoints en route (`capture`).
+/// Returns `None` when the suspended call stack cannot be re-entered (a
+/// frame's function or the static path to its suspension point no longer
+/// resolves) — the caller reports the checkpoint invalid and falls back
+/// to a from-scratch run. Resumability and structural validity are
+/// checked by the caller ([`crate::resume_switched`]) before this runs.
 ///
 /// The resumed trace is byte-identical to `run_traced` under
 /// `config.switched(checkpoint.spec)`: the recorded prefix of `base` is
@@ -181,7 +187,8 @@ pub(crate) fn resume_switched_impl(
     config: &RunConfig,
     checkpoint: &Checkpoint,
     base: &Trace,
-) -> Option<TracedRun> {
+    capture: &[SwitchSpec],
+) -> Option<(TracedRun, Vec<Checkpoint>)> {
     // Reconstruct, per frame, the static path from the function body to
     // the statement the frame is suspended at: the call site of the next
     // frame, or the switched predicate itself for the innermost frame.
@@ -205,6 +212,13 @@ pub(crate) fn resume_switched_impl(
             .count() as u32,
         None => 0,
     };
+    let mut capture_specs: HashMap<StmtId, Vec<u32>> = HashMap::new();
+    for spec in capture {
+        capture_specs
+            .entry(spec.pred)
+            .or_default()
+            .push(spec.occurrence);
+    }
     let mut t = Tracer {
         program,
         analysis,
@@ -212,19 +226,19 @@ pub(crate) fn resume_switched_impl(
         input_pos: checkpoint.input_pos,
         input_underflows: checkpoint.input_underflows,
         budget: config.step_budget,
-        switch: Some(checkpoint.spec),
+        switch: config.switch.or(Some(checkpoint.spec)),
         switched: None,
         value_override: None,
         overridden: None,
         fault: config.fault,
         fault_seen,
         occ: checkpoint.occ.clone(),
-        rec: Recorder::from_prefix(cols, checkpoint.trace_len),
+        rec: Recorder::from_prefix(&base.columns_arc(), checkpoint.trace_len),
         outputs: base.outputs()[..checkpoint.outputs_len].to_vec(),
         globals: checkpoint.globals.clone(),
         region_stack: checkpoint.region_stack.clone(),
         frames: vec![checkpoint.frames[0].clone()],
-        capture_specs: HashMap::new(),
+        capture_specs,
         captured: Vec::new(),
     };
     let termination = match t.resume_main(checkpoint, &paths) {
@@ -236,12 +250,15 @@ pub(crate) fn resume_switched_impl(
         .rec
         .finish()
         .expect("prefix-seeded recorders never pipeline");
-    Some(TracedRun {
-        trace: Trace::from_recorded(cols, t.outputs, termination, index),
-        switched: t.switched,
-        overridden: t.overridden,
-        input_underflows: t.input_underflows,
-    })
+    Some((
+        TracedRun {
+            trace: Trace::from_recorded(cols, t.outputs, termination, index),
+            switched: t.switched,
+            overridden: t.overridden,
+            input_underflows: t.input_underflows,
+        },
+        t.captured,
+    ))
 }
 
 /// One step of a static resume path: which statement of the current block
@@ -885,8 +902,15 @@ impl<'a> Tracer<'a> {
     /// current occurrence count is a requested capture point. Runs before
     /// the condition is evaluated, so the snapshot precedes every side
     /// effect of this predicate instance.
+    ///
+    /// Captures stop the moment a switch has fired: past the divergence
+    /// point the state no longer equals the original run's, so a snapshot
+    /// there would resume into the wrong execution. The guard is what
+    /// lets a *switched* run double as a capture run for every checkpoint
+    /// position before its own switch point (the trie spine), because its
+    /// pre-switch prefix is the original execution verbatim.
     fn maybe_capture(&mut self, stmt: StmtId, loop_ctx: Option<bool>) {
-        if self.capture_specs.is_empty() {
+        if self.capture_specs.is_empty() || self.switched.is_some() {
             return;
         }
         let entry_occ = self.occ[stmt.0 as usize];

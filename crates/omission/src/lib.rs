@@ -59,6 +59,7 @@
 
 pub mod journal;
 pub mod locate;
+pub mod memo;
 pub mod oracle;
 pub mod perturb;
 pub mod report;
@@ -71,6 +72,7 @@ pub use locate::{
     locate_fault, ChainEdge, ChainEdgeKind, EdgeRecord, IterationRecord, LocateConfig, LocateError,
     LocateOutcome, ProvenanceEntry, RequestPhase, RequestRecord,
 };
+pub use memo::{MemoSnapshot, VerifyMemo, DEFAULT_MEMO_CAPACITY};
 pub use oracle::{GroundTruthOracle, OutputClassification, UserOracle};
 pub use perturb::{perturbation_candidates, verify_by_perturbation, Perturbation};
 pub use report::{describe_inst, render_explain, render_report};
@@ -78,7 +80,10 @@ pub use session::{DebugSession, DebugSessionBuilder, SessionError};
 pub use switching::{
     find_critical_predicate, find_critical_predicate_with_jobs, CriticalPredicate, SearchOrder,
 };
-pub use verify::{Verdict, Verification, Verifier, VerifierMode, VerifyRequest};
+pub use verify::{
+    SchedulerMode, Verdict, Verification, Verifier, VerifierMode, VerifyRequest,
+    DEFAULT_CAPTURE_THRESHOLD,
+};
 
 // Re-export the whole stack so downstream users depend on one crate.
 pub use omislice_align;

@@ -17,8 +17,9 @@
 //! 4. add the verified edges to the dependence graph, re-prune, and
 //!    repeat until the root cause appears in the pruned slice.
 
+use crate::memo::VerifyMemo;
 use crate::oracle::{OutputClassification, UserOracle};
-use crate::verify::{Verdict, Verifier, VerifierMode, VerifyRequest};
+use crate::verify::{SchedulerMode, Verdict, Verifier, VerifierMode, VerifyRequest};
 use omislice_analysis::ProgramAnalysis;
 use omislice_interp::{BudgetSchedule, FaultPlan, ResumeMode, RunConfig};
 use omislice_lang::{Program, StmtId, VarId};
@@ -30,6 +31,7 @@ use omislice_trace::RunOutcome;
 use omislice_trace::{Deadline, InstId, Trace, VerificationStats};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// How one step of the failure-inducing chain is connected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,6 +190,24 @@ pub struct LocateConfig {
     /// expired-timer rule) and the outcome is marked partial via
     /// [`LocateOutcome::deadline_expired`].
     pub deadline: Option<Deadline>,
+    /// Which batch scheduler the verifier runs
+    /// ([`SchedulerMode::Trie`] by default; [`SchedulerMode::Flat`] keeps
+    /// the pre-trie engine alive as a differential oracle — verdicts and
+    /// normalized journals are byte-identical either way).
+    pub scheduler: SchedulerMode,
+    /// Capture break-even override in gap events (`None`: the cost
+    /// model's static default,
+    /// [`crate::verify::DEFAULT_CAPTURE_THRESHOLD`]).
+    pub capture_threshold: Option<usize>,
+    /// Cancel each batch's tail once its first StrongId resolves the
+    /// top-ranked use (off by default; cancelled candidates verify NotId
+    /// under the expired-timer rule, which can suppress non-root edges).
+    pub early_exit: bool,
+    /// A persistent run/checkpoint memo shared with other locate calls
+    /// (corpus/fleet jobs, repeated sessions); `None` gives the verifier
+    /// a private one. Entries are keyed by configuration fingerprint, so
+    /// sharing across unrelated programs or inputs is always safe.
+    pub memo: Option<Arc<VerifyMemo>>,
 }
 
 impl Default for LocateConfig {
@@ -203,6 +223,10 @@ impl Default for LocateConfig {
             budget: BudgetSchedule::default(),
             fault: None,
             deadline: None,
+            scheduler: SchedulerMode::default(),
+            capture_threshold: None,
+            early_exit: false,
+            memo: None,
         }
     }
 }
@@ -320,9 +344,15 @@ pub fn locate_fault(
     let mut verifier = Verifier::new(program, analysis, config, trace, lc.mode)
         .with_jobs(lc.jobs)
         .with_resume(lc.resume)
+        .with_scheduler(lc.scheduler)
+        .with_capture_threshold(lc.capture_threshold)
+        .with_early_exit(lc.early_exit)
         .with_budget_schedule(lc.budget)
         .with_fault_plan(lc.fault)
         .with_deadline(lc.deadline.clone());
+    if let Some(memo) = &lc.memo {
+        verifier = verifier.with_memo(Arc::clone(memo));
+    }
     let mut user_prunings = 0usize;
     let mut expanded_edges = 0usize;
     let mut strong_edges = 0usize;

@@ -70,10 +70,13 @@ pub fn find_critical_predicate(
 /// The candidates are tried in chunks: every instance of a chunk is
 /// re-executed concurrently, then the chunk is scanned *in candidate
 /// order*, so the instance reported is always the one the serial search
-/// finds first. `reexecutions` counts whole chunks — the price of
-/// speculation: up to `chunk − 1` extra runs past the hit (with `jobs =
-/// 1` the chunks have size 1 and the count matches the serial search
-/// exactly).
+/// finds first. Within a chunk, a hit cancels every not-yet-started
+/// candidate *behind* it in candidate order (they cannot change the
+/// answer), so `reexecutions` counts the runs actually performed: at
+/// least as many as the serial search, at most `chunk − 1` past the hit
+/// (with `jobs = 1` the chunks have size 1 and the count matches the
+/// serial search exactly; with more, the exact count depends on thread
+/// timing — only the reported instance is deterministic).
 pub fn find_critical_predicate_with_jobs(
     program: &Program,
     analysis: &ProgramAnalysis,
@@ -98,8 +101,14 @@ pub fn find_critical_predicate_with_jobs(
         let mut hits = vec![false; chunk.len()];
         if jobs == 1 {
             hits[0] = is_critical(chunk[0]);
+            reexecutions += 1;
         } else {
             let next = AtomicUsize::new(0);
+            let executed = AtomicUsize::new(0);
+            // Lowest hit index seen so far: candidates behind it cannot
+            // change the reported instance (the serial scan below takes
+            // the lowest hit), so workers skip them instead of running.
+            let best_hit = AtomicUsize::new(usize::MAX);
             let slots: Vec<AtomicUsize> = (0..chunk.len()).map(|_| AtomicUsize::new(0)).collect();
             std::thread::scope(|s| {
                 for _ in 0..jobs.min(chunk.len()) {
@@ -108,8 +117,13 @@ pub fn find_critical_predicate_with_jobs(
                         let Some(&inst) = chunk.get(i) else {
                             break;
                         };
+                        if i > best_hit.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        executed.fetch_add(1, Ordering::Relaxed);
                         if is_critical(inst) {
                             slots[i].store(1, Ordering::Relaxed);
+                            best_hit.fetch_min(i, Ordering::Relaxed);
                         }
                     });
                 }
@@ -117,8 +131,8 @@ pub fn find_critical_predicate_with_jobs(
             for (hit, slot) in hits.iter_mut().zip(&slots) {
                 *hit = slot.load(Ordering::Relaxed) == 1;
             }
+            reexecutions += executed.load(Ordering::Relaxed);
         }
-        reexecutions += chunk.len();
         if let Some(i) = hits.iter().position(|&h| h) {
             return CriticalPredicate {
                 instance: Some(chunk[i]),

@@ -22,31 +22,49 @@
 //! or a value-comparison extension — the latter two exist for the
 //! ablation study.
 //!
-//! ## Execution strategy
+//! ## Execution strategy: the checkpoint trie
 //!
 //! Switched runs dominate the cost of verification, so the engine avoids
 //! and shortens them aggressively:
 //!
-//! * switched runs are memoized per [`SwitchSpec`] and verdicts per
-//!   `(p, u, var)` — verifying `p` against many uses re-executes once;
-//! * a batch of candidates ([`Verifier::verify_all`]) first captures a
-//!   [`Checkpoint`] at every candidate predicate instance with **one**
-//!   instrumented re-run of the original input, then each switched run
-//!   *resumes* from its checkpoint, replaying the recorded prefix
-//!   verbatim and re-executing only the suffix;
-//! * independent switched runs of a batch fan out across threads
-//!   ([`Verifier::with_jobs`]); results land in per-candidate slots and
-//!   are merged in candidate order, so verdicts, memo contents, and
-//!   counters are identical to a serial run.
+//! * switched runs are memoized per [`SwitchSpec`] in a persistent,
+//!   size-bounded [`VerifyMemo`] shared across locate iterations and
+//!   (opt-in) across verifiers and corpus jobs, and verdicts per
+//!   `(p, u, var)` — verifying `p` against many uses re-executes once,
+//!   and iteration N+1 reuses iteration N's runs;
+//! * a batch's switch specs are organized by shared execution prefix
+//!   into a **checkpoint trie** (with a single base execution the
+//!   prefix-sharing order is total, so the trie is a chain of divergence
+//!   points): the deepest uncaptured spec becomes the *spine*, one
+//!   switched run that doubles as the capture run — its pre-switch
+//!   prefix is the original execution verbatim, so it snapshots a
+//!   [`Checkpoint`] at every other planned divergence point en route,
+//!   replacing the old dedicated full replay;
+//! * every other leaf *resumes* from the deepest checkpoint at or before
+//!   its own position — its own if captured, otherwise an ancestor's,
+//!   re-executing only the gap (see
+//!   `omislice_interp::resume_switched_capturing`);
+//! * leaves are dispatched across threads ([`Verifier::with_jobs`])
+//!   through work-stealing deques seeded in predicted-cost order
+//!   (longest remaining suffix first; an online [`CostModel`] refines
+//!   the estimate from observed per-rung costs but only ever reorders
+//!   dispatch); results land in per-candidate slots and are merged in
+//!   candidate order, so verdicts, memo contents, and counters are
+//!   identical to a serial run.
 //!
 //! Resumed and from-scratch switched runs are byte-identical (see
 //! `omislice_interp::snapshot`), so [`ResumeMode::Disabled`] exists only
-//! as an escape hatch to make that equivalence checkable.
+//! as an escape hatch to make that equivalence checkable, and
+//! [`SchedulerMode::Flat`] keeps the pre-trie scheduler (dedicated
+//! capture run, own-checkpoint resumes, claim-order dispatch) alive as a
+//! differential oracle — verdicts and normalized journals are
+//! byte-identical across schedulers, thread counts, and resume modes.
 
+use crate::memo::{RunEntry, VerifyMemo};
 use omislice_align::Aligner;
 use omislice_analysis::ProgramAnalysis;
 use omislice_interp::{
-    resume_switched, run_traced, run_traced_with_checkpoints, BudgetSchedule, Checkpoint,
+    resume_switched_capturing, run_traced_with_checkpoints, BudgetSchedule, Checkpoint,
     FaultAction, FaultPlan, ResumeError, ResumeMode, RunConfig, SwitchSpec, TracedRun,
 };
 use omislice_lang::{Program, VarId};
@@ -55,11 +73,169 @@ use omislice_trace::{
     CrashKind, Deadline, InstId, RegionTree, RunOutcome, Termination, Trace, Value,
     VerificationStats,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Which batch scheduler [`Verifier::verify_all`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// The checkpoint trie: the deepest uncaptured spec doubles as the
+    /// capture run (the *spine*), every other leaf resumes from its
+    /// deepest available checkpoint (own or ancestor), and leaves
+    /// dispatch through cost-ordered work-stealing deques.
+    #[default]
+    Trie,
+    /// The pre-trie scheduler — dedicated capture run, own-checkpoint
+    /// resumes only, claim-order dispatch — kept as a differential
+    /// oracle: verdicts and normalized journals must be byte-identical
+    /// to [`SchedulerMode::Trie`].
+    Flat,
+}
+
+impl SchedulerMode {
+    /// Parses the CLI syntax `trie` / `flat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "trie" => Ok(SchedulerMode::Trie),
+            "flat" => Ok(SchedulerMode::Flat),
+            other => Err(format!("unknown scheduler `{other}` (expected trie|flat)")),
+        }
+    }
+}
+
+/// Default capture break-even, in gap events: a checkpoint is captured
+/// only when resuming from the best otherwise-available donor would
+/// re-execute at least this many extra events. The constant is the cost
+/// model's static estimate of one snapshot's cost (state clone ≈ a few
+/// µs) divided by the per-event execution cost (~0.1 µs); the online
+/// model refines dispatch *ordering* but deliberately not this decision,
+/// which must replay identically run to run (capture choices change
+/// resume counters, and those are part of the determinism contract
+/// within a configuration).
+pub const DEFAULT_CAPTURE_THRESHOLD: usize = 32;
+
+/// Chunk size of the early-exit ladder: candidates are prepared and
+/// judged in fixed-size chunks (independent of the thread count, so the
+/// cut-off point is identical across `--jobs`), and once a chunk yields
+/// the batch's first StrongId — Algorithm 2's top-ranked use is resolved
+/// — every later candidate is cancelled under the paper's expired-timer
+/// rule instead of executed.
+const EARLY_EXIT_CHUNK: usize = 8;
+
+/// Wave size of `verify_all`: a batch's candidates are prepared, judged,
+/// and released in fixed-size waves so no more than this many switched
+/// runs (each pinning O(trace) bytes of columns and region tree) are
+/// live at once. Checkpoints captured by earlier waves persist in the
+/// memo, so a later wave's spine resumes instead of replaying from
+/// scratch. Like [`EARLY_EXIT_CHUNK`], boundaries depend only on the
+/// request order, never on the thread count.
+const VERIFY_WAVE: usize = 32;
+
+/// Online per-rung cost model. Observes `ns / executed event` for each
+/// budget-escalation rung and folds it into an exponentially-weighted
+/// moving average (atomics, so workers update it lock-free). Predictions
+/// order work-stealing dispatch (longest predicted remaining suffix
+/// first) — they never influence a verdict, a capture decision, or a
+/// counter, keeping every observable output timing-independent.
+struct CostModel {
+    /// EWMA of ns-per-event per rung index, stored as `f64` bits; 0
+    /// means "no observation yet".
+    rung_ns_per_event: Vec<AtomicU64>,
+}
+
+/// EWMA smoothing factor: new observations move the estimate 1/4 of the
+/// way, damping scheduling jitter without going stale.
+const COST_EWMA_ALPHA: f64 = 0.25;
+
+impl CostModel {
+    fn new(rungs: usize) -> Self {
+        CostModel {
+            rung_ns_per_event: (0..rungs.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Folds one observed attempt (rung index, events re-executed, wall
+    /// nanoseconds) into the model.
+    fn observe(&self, rung: usize, events: usize, ns: u64) {
+        if events == 0 {
+            return;
+        }
+        let Some(slot) = self.rung_ns_per_event.get(rung) else {
+            return;
+        };
+        let sample = ns as f64 / events as f64;
+        // Racy read-modify-write is fine: the model only orders work.
+        let old = f64::from_bits(slot.load(Ordering::Relaxed));
+        let next = if old == 0.0 {
+            sample
+        } else {
+            old + COST_EWMA_ALPHA * (sample - old)
+        };
+        slot.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Predicted cost of re-executing `events` events at the first rung,
+    /// in model-nanoseconds. Falls back to a flat per-event unit before
+    /// the first observation, which still orders leaves by remaining
+    /// suffix length.
+    fn predict(&self, events: usize) -> u64 {
+        let per_event = self
+            .rung_ns_per_event
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+            .find(|&v| v > 0.0)
+            .unwrap_or(100.0);
+        (events as f64 * per_event) as u64
+    }
+}
+
+/// Work-stealing deques for one batch dispatch: each worker owns a deque
+/// seeded round-robin from the cost-ordered leaf list, pops its own from
+/// the front, and steals from the back of a victim's when empty. Steal
+/// counts surface through the `verify.sched.steals` obs counter (timing
+/// dependent by nature; the journal stripper drops the spans record, so
+/// they never leak into determinism-checked output).
+struct WorkQueues {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueues {
+    /// Distributes `order` (leaf indices, most expensive first) over
+    /// `workers` deques round-robin, so every worker starts with a
+    /// balanced share of predicted cost.
+    fn seed(order: &[usize], workers: usize) -> Self {
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, &leaf) in order.iter().enumerate() {
+            deques[i % workers].push_back(leaf);
+        }
+        WorkQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next leaf for `worker`: its own front, else the back of the first
+    /// victim that has work. Returns the leaf and whether it was stolen.
+    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+        if let Some(leaf) = self.deques[worker].lock().unwrap().pop_front() {
+            return Some((leaf, false));
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (worker + k) % n;
+            if let Some(leaf) = self.deques[victim].lock().unwrap().pop_back() {
+                return Some((leaf, true));
+            }
+        }
+        None
+    }
+}
 
 /// Outcome of one implicit-dependence verification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -225,9 +401,12 @@ pub struct SwitchedRun {
 /// Verifies implicit dependences for one failing execution by re-running
 /// the program with predicates switched.
 ///
-/// Results are memoized per `(p, u, var)`, and the switched *traces* are
-/// memoized per switch spec, so verifying `p` against many uses
-/// (Algorithm 2 lines 12–18) re-executes the program only once. Batches
+/// Results are memoized per `(p, u, var)`, and the switched *traces* and
+/// checkpoints are memoized per switch spec in a size-bounded
+/// [`VerifyMemo`] — private by default, shareable across verifiers and
+/// corpus jobs via [`Verifier::with_memo`] — so verifying `p` against
+/// many uses (Algorithm 2 lines 12–18) re-executes the program only
+/// once, and later locate iterations reuse earlier ones' runs. Batches
 /// submitted through [`Verifier::verify_all`] additionally resume
 /// switched runs from checkpoints and fan them out across threads.
 pub struct Verifier<'a> {
@@ -237,6 +416,7 @@ pub struct Verifier<'a> {
     trace: &'a Trace,
     mode: VerifierMode,
     resume: ResumeMode,
+    scheduler: SchedulerMode,
     jobs: usize,
     budget: BudgetSchedule,
     /// Cooperative deadline, checked only at serial batch boundaries so
@@ -244,12 +424,27 @@ pub struct Verifier<'a> {
     deadline: Option<Deadline>,
     /// The original trace's region tree, shared by every alignment.
     orig_regions: Arc<RegionTree>,
-    /// Switched runs keyed by switch spec, with the outcome of the
-    /// execution; the run is `None` when the switch failed to land
-    /// (budget cut-off, crash, isolated panic, or a path change).
-    switched_runs: HashMap<SwitchSpec, (Option<Arc<SwitchedRun>>, RunOutcome)>,
-    /// Checkpoints captured at candidate predicate entries.
-    checkpoints: HashMap<SwitchSpec, Checkpoint>,
+    /// The persistent run/checkpoint store, with the configuration
+    /// fingerprint this verifier's entries live under.
+    memo: Arc<VerifyMemo>,
+    memo_key: u64,
+    /// The current batch's pinned view of its switched runs: every run
+    /// the batch needs is held here from preparation to judging, so a
+    /// concurrent memo eviction can never invalidate a result mid-batch.
+    /// Cleared at each [`Verifier::verify_all`] entry — the memo, not
+    /// this map, owns entry lifetime. Cancelled candidates (deadline or
+    /// early-exit) also land here, and *only* here: their synthetic
+    /// expired-timer outcomes must never poison the shared memo.
+    runs: HashMap<SwitchSpec, RunEntry>,
+    /// Capture break-even in gap events; `None` uses the cost model's
+    /// static estimate [`DEFAULT_CAPTURE_THRESHOLD`].
+    capture_threshold: Option<usize>,
+    /// Cancel a batch's tail once its first StrongId resolves the
+    /// top-ranked use (off by default: it trades completeness of the
+    /// non-root verdicts for wall time).
+    early_exit: bool,
+    /// Online dispatch-ordering model (never affects results).
+    cost: CostModel,
     /// Memoized verdicts keyed by (p, u, var, strong-check-enabled).
     cache: HashMap<(InstId, InstId, VarId, bool), Verification>,
     stats: VerificationStats,
@@ -265,28 +460,43 @@ impl<'a> Verifier<'a> {
         trace: &'a Trace,
         mode: VerifierMode,
     ) -> Self {
+        let config = RunConfig {
+            inputs: config.inputs.clone(),
+            step_budget: config.step_budget,
+            switch: None,
+            value_override: None,
+            fault: config.fault,
+        };
+        let budget = BudgetSchedule::default();
+        let rungs = budget.budgets(config.step_budget).len();
         Verifier {
+            memo_key: VerifyMemo::fingerprint(program, &config, &budget, trace.len()),
             program,
             analysis,
-            config: RunConfig {
-                inputs: config.inputs.clone(),
-                step_budget: config.step_budget,
-                switch: None,
-                value_override: None,
-                fault: config.fault,
-            },
+            config,
             trace,
             mode,
             resume: ResumeMode::default(),
+            scheduler: SchedulerMode::default(),
             jobs: 1,
-            budget: BudgetSchedule::default(),
+            budget,
             deadline: None,
             orig_regions: Arc::new(RegionTree::build(trace)),
-            switched_runs: HashMap::new(),
-            checkpoints: HashMap::new(),
+            memo: VerifyMemo::shared(),
+            runs: HashMap::new(),
+            capture_threshold: None,
+            early_exit: false,
+            cost: CostModel::new(rungs),
             cache: HashMap::new(),
             stats: VerificationStats::default(),
         }
+    }
+
+    /// Recomputes the memo fingerprint after a builder changed something
+    /// it covers (fault plan or budget schedule).
+    fn rekey(&mut self) {
+        self.memo_key =
+            VerifyMemo::fingerprint(self.program, &self.config, &self.budget, self.trace.len());
     }
 
     /// Sets how many threads [`Verifier::verify_all`] may use for the
@@ -303,11 +513,49 @@ impl<'a> Verifier<'a> {
         self
     }
 
+    /// Sets the batch scheduler (default [`SchedulerMode::Trie`]).
+    pub fn with_scheduler(mut self, scheduler: SchedulerMode) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Shares a persistent run/checkpoint memo with this verifier
+    /// (default: a private one). Entries are keyed by configuration
+    /// fingerprint, so sharing one memo across different programs,
+    /// inputs, or fault plans is always safe — they simply never
+    /// collide.
+    pub fn with_memo(mut self, memo: Arc<VerifyMemo>) -> Self {
+        self.memo = memo;
+        self
+    }
+
+    /// Overrides the capture break-even (minimum gap, in events, between
+    /// a checkpoint and its best otherwise-available donor for the
+    /// capture to pay for itself; default
+    /// [`DEFAULT_CAPTURE_THRESHOLD`]).
+    pub fn with_capture_threshold(mut self, threshold: Option<usize>) -> Self {
+        self.capture_threshold = threshold;
+        self
+    }
+
+    /// Enables batch-level early exit: once a batch whose requests all
+    /// target the same use yields its first StrongId, the remaining
+    /// candidates are cancelled under the paper's expired-timer rule
+    /// (they verify NotId without executing). The cut-off is decided in
+    /// fixed-size chunks of the serial candidate order, so it is
+    /// identical across thread counts and schedulers.
+    pub fn with_early_exit(mut self, early_exit: bool) -> Self {
+        self.early_exit = early_exit;
+        self
+    }
+
     /// Sets the adaptive budget escalation schedule for switched runs
     /// (default [`BudgetSchedule::default`]; use
     /// [`BudgetSchedule::disabled`] for a single full-budget attempt).
     pub fn with_budget_schedule(mut self, budget: BudgetSchedule) -> Self {
         self.budget = budget;
+        self.cost = CostModel::new(budget.budgets(self.config.step_budget).len());
+        self.rekey();
         self
     }
 
@@ -333,6 +581,7 @@ impl<'a> Verifier<'a> {
     /// of the harness (not just the interpreter).
     pub fn with_fault_plan(mut self, plan: Option<FaultPlan>) -> Self {
         self.config.fault = plan;
+        self.rekey();
         self
     }
 
@@ -381,12 +630,14 @@ impl<'a> Verifier<'a> {
     /// Answers a batch of verification queries.
     ///
     /// The batch's distinct, not-yet-memoized switch specs are executed
-    /// together: one instrumented re-run captures a checkpoint per spec
-    /// (when resumption is enabled and at least two runs would amortize
-    /// it), then the switched runs execute — resumed from their
-    /// checkpoints where possible — across up to `jobs` threads. Verdicts
-    /// are then judged serially in request order, so results, memo
-    /// contents, and counters are identical for any thread count.
+    /// together through the configured [`SchedulerMode`]: the persistent
+    /// memo is probed first (a hit pins the run for the batch without
+    /// executing anything), the trie scheduler then captures missing
+    /// checkpoints on the spine run and resumes every other leaf from
+    /// its deepest available checkpoint, fanning out across up to `jobs`
+    /// threads through cost-ordered work-stealing deques. Verdicts are
+    /// judged serially in request order, so results, memo contents, and
+    /// counters are identical for any thread count.
     ///
     /// # Panics
     ///
@@ -399,6 +650,96 @@ impl<'a> Verifier<'a> {
         if let Some(d) = &self.deadline {
             d.check();
         }
+        // The batch re-pins everything it needs from the memo; stale
+        // pins from earlier batches would keep evicted entries alive.
+        self.runs.clear();
+        let out = if self.early_exit_applicable(requests) {
+            self.verify_all_early_exit(requests)
+        } else {
+            // Waves bound the batch's live memory: each switched run
+            // pins O(trace) bytes (its trace plus region tree), so a
+            // 256-candidate batch over a 200k-event trace would
+            // otherwise hold gigabytes at once. Judging and releasing
+            // per wave keeps at most `VERIFY_WAVE` runs live (plus
+            // whatever the memo retains under its byte cap), while
+            // checkpoints persist in the memo so later waves' spines
+            // resume from earlier waves' captures rather than replaying
+            // from scratch. Wave boundaries depend only on the request
+            // order, so verdicts and counters stay identical across
+            // jobs, resume modes, and schedulers.
+            let mut out = Vec::with_capacity(requests.len());
+            for (w, wave) in requests.chunks(VERIFY_WAVE).enumerate() {
+                if w > 0 {
+                    self.runs.clear();
+                }
+                let missing = self.missing_specs(wave);
+                self.prepare_runs(&missing);
+                out.append(&mut self.judge(wave));
+            }
+            out
+        };
+        let snap = self.memo.snapshot();
+        self.stats.checkpoint_bytes = self.stats.checkpoint_bytes.max(snap.checkpoint_bytes);
+        if omislice_obs::enabled() {
+            omislice_obs::counter_max("verify.checkpoint.bytes", snap.checkpoint_bytes as u64);
+            omislice_obs::counter_max(
+                "verify.memo.bytes",
+                (snap.run_bytes + snap.checkpoint_bytes) as u64,
+            );
+        }
+        out
+    }
+
+    /// Early exit applies to batches that all target one use with a
+    /// known expected value — Algorithm 2's primary batch shape, where a
+    /// StrongId resolves the top-ranked use outright.
+    fn early_exit_applicable(&self, requests: &[VerifyRequest]) -> bool {
+        self.early_exit
+            && requests.len() > EARLY_EXIT_CHUNK
+            && requests
+                .iter()
+                .all(|r| r.u == requests[0].u && r.expected.is_some())
+    }
+
+    /// The early-exit ladder: prepare and judge fixed-size chunks of the
+    /// request order; once a chunk yields the batch's first StrongId,
+    /// every candidate not yet executed is cancelled under the paper's
+    /// expired-timer rule (a synthetic [`RunOutcome::BudgetExhausted`]
+    /// entry pinned for this batch only, never memoized) and judged to
+    /// NotId without running. Chunk boundaries depend only on the
+    /// request order, so the cut-off is identical across thread counts,
+    /// resume modes, and schedulers.
+    fn verify_all_early_exit(&mut self, requests: &[VerifyRequest]) -> Vec<Verification> {
+        let mut out = Vec::with_capacity(requests.len());
+        let mut resolved = false;
+        for chunk in requests.chunks(EARLY_EXIT_CHUNK) {
+            if resolved {
+                for r in chunk {
+                    let spec = self.spec_of(r.p);
+                    if !self
+                        .cache
+                        .contains_key(&(r.p, r.u, r.var, r.expected.is_some()))
+                        && !self.runs.contains_key(&spec)
+                    {
+                        self.runs.insert(spec, (None, RunOutcome::BudgetExhausted));
+                        self.stats.early_exit_cancelled += 1;
+                    }
+                }
+            } else {
+                let missing = self.missing_specs(chunk);
+                self.prepare_runs(&missing);
+            }
+            let verdicts = self.judge(chunk);
+            resolved = resolved || verdicts.iter().any(|v| v.verdict == Verdict::StrongId);
+            out.extend(verdicts);
+        }
+        out
+    }
+
+    /// The batch's distinct switch specs with no usable run yet: verdict
+    /// cache, batch pins, and the persistent memo are consulted in that
+    /// order (a memo hit pins the run and counts in `memo_hits`).
+    fn missing_specs(&mut self, requests: &[VerifyRequest]) -> Vec<(SwitchSpec, InstId)> {
         let mut missing: Vec<(SwitchSpec, InstId)> = Vec::new();
         for r in requests {
             if self
@@ -408,12 +749,21 @@ impl<'a> Verifier<'a> {
                 continue;
             }
             let spec = self.spec_of(r.p);
-            if !self.switched_runs.contains_key(&spec) && !missing.iter().any(|&(s, _)| s == spec) {
-                missing.push((spec, r.p));
+            if self.runs.contains_key(&spec) || missing.iter().any(|&(s, _)| s == spec) {
+                continue;
             }
+            if let Some(entry) = self.memo.get_run(self.memo_key, spec) {
+                self.stats.memo_hits += 1;
+                self.runs.insert(spec, entry);
+                continue;
+            }
+            missing.push((spec, r.p));
         }
-        self.prepare_runs(&missing);
+        missing
+    }
 
+    /// Judges `requests` serially in order against the pinned runs.
+    fn judge(&mut self, requests: &[VerifyRequest]) -> Vec<Verification> {
         let verdict_start = Instant::now();
         let mut out = Vec::with_capacity(requests.len());
         for r in requests {
@@ -439,22 +789,265 @@ impl<'a> Verifier<'a> {
         SwitchSpec::new(ev.stmt, self.trace.occurrence_index(p) as u32)
     }
 
-    /// Executes (and memoizes) the switched runs for `missing`, capturing
-    /// checkpoints first when that pays for itself.
+    /// Executes (and memoizes) the switched runs for `missing` through
+    /// the configured scheduler.
     fn prepare_runs(&mut self, missing: &[(SwitchSpec, InstId)]) {
         if missing.is_empty() {
             return;
         }
+        match self.scheduler {
+            SchedulerMode::Trie => self.prepare_runs_trie(missing),
+            SchedulerMode::Flat => self.prepare_runs_flat(missing),
+        }
+    }
+
+    /// The checkpoint-trie scheduler.
+    ///
+    /// With one base execution every divergence point lies on a single
+    /// prefix chain, so the trie's structure reduces to positions along
+    /// the original trace. Phase A runs the *spine* — the deepest
+    /// uncaptured divergence point — as an ordinary switched run whose
+    /// pre-switch prefix replays the original execution and therefore
+    /// snapshots checkpoints at every planned shallower divergence point
+    /// en route (see `Tracer::maybe_capture`: captures are valid only
+    /// before the switch fires). Phase B resumes every remaining leaf
+    /// from the deepest checkpoint at or before its own position (its
+    /// own, a phase-A capture, or an earlier iteration's via the memo)
+    /// and dispatches them across workers through cost-ordered
+    /// work-stealing deques.
+    fn prepare_runs_trie(&mut self, missing: &[(SwitchSpec, InstId)]) {
         let expired = self.deadline.as_ref().is_some_and(|d| d.expired());
-        if self.resume == ResumeMode::Auto && !expired {
-            let uncaptured: Vec<SwitchSpec> = missing
-                .iter()
-                .map(|&(s, _)| s)
-                .filter(|s| !self.checkpoints.contains_key(s))
+        // The cancellation mask is decided serially *before* any
+        // execution: one counted deadline check per candidate, in
+        // candidate order — the same count and order as the flat
+        // scheduler, so a chaos-forced expiry cancels the identical set
+        // of candidates under either scheduler and any thread count.
+        let cancelled: Vec<bool> = missing
+            .iter()
+            .map(|_| self.deadline.as_ref().is_some_and(|d| d.check()))
+            .collect();
+        let resume_on = self.resume == ResumeMode::Auto && !expired;
+        let threshold = self.capture_threshold.unwrap_or(DEFAULT_CAPTURE_THRESHOLD);
+        let start = Instant::now();
+        // Checkpoints already known for this configuration, ascending by
+        // prefix length (poisoned cursors sort past the trace end and are
+        // excluded from ancestor donation below; an exact-spec match
+        // still finds them, so corrupt-checkpoint plans keep exercising
+        // the validate-and-fall-back path).
+        let mut avail: Vec<Arc<Checkpoint>> = if resume_on {
+            self.memo.checkpoints_for(self.memo_key)
+        } else {
+            Vec::new()
+        };
+        // Capture plan: walk the batch's uncaptured divergence points in
+        // ascending position and capture only where resuming from the
+        // best otherwise-available donor (a known checkpoint or an
+        // earlier planned capture) would re-execute at least `threshold`
+        // extra events. The decision is static — the online cost model
+        // never feeds it — so it replays identically run to run.
+        let mut capture_list: Vec<SwitchSpec> = Vec::new();
+        let mut min_capture_pos = usize::MAX;
+        let mut spine: Option<usize> = None;
+        if resume_on {
+            let mut uncaptured: Vec<usize> = (0..missing.len())
+                .filter(|&i| !cancelled[i] && !avail.iter().any(|cp| cp.spec == missing[i].0))
                 .collect();
-            // The capture run re-executes the original input once; worth
-            // it only when at least two switched runs amortize it.
-            if uncaptured.len() >= 2 {
+            uncaptured.sort_by_key(|&i| missing[i].1 .0);
+            spine = uncaptured.last().copied();
+            let known: Vec<usize> = avail
+                .iter()
+                .map(|cp| cp.prefix_len())
+                .filter(|&p| p <= self.trace.len())
+                .collect();
+            let mut planned_pos: Option<usize> = None;
+            for &i in &uncaptured {
+                let pos = missing[i].1 .0 as usize;
+                let donor = known
+                    .iter()
+                    .rev()
+                    .find(|&&p| p <= pos)
+                    .copied()
+                    .into_iter()
+                    .chain(planned_pos)
+                    .max();
+                if pos - donor.unwrap_or(0) >= threshold {
+                    capture_list.push(missing[i].0);
+                    min_capture_pos = min_capture_pos.min(pos);
+                    planned_pos = Some(pos);
+                } else {
+                    self.stats.captures_skipped += 1;
+                }
+            }
+            if capture_list.is_empty() {
+                // Nothing worth capturing: no spine, every candidate is
+                // an ordinary phase-B leaf.
+                spine = None;
+            }
+        }
+        let mut slots: Vec<Option<ComputedRun>> = (0..missing.len()).map(|_| None).collect();
+        // Phase A: the spine run captures the planned checkpoints while
+        // computing its own switched run. Its donor must not replay past
+        // the shallowest planned capture (captures never fire inside a
+        // resumed prefix — that segment is restored, not executed).
+        if let Some(si) = spine {
+            let (spec, p) = missing[si];
+            let donor = avail
+                .iter()
+                .filter(|cp| {
+                    cp.prefix_len() <= self.trace.len() && cp.prefix_len() <= min_capture_pos
+                })
+                .last()
+                .cloned();
+            let _c = omislice_obs::span_indexed("verify.candidate", Some(si as u64));
+            let (run, captured) =
+                self.compute_switched_isolated(spec, p, donor.as_deref(), &capture_list);
+            slots[si] = Some(run);
+            for cp in captured {
+                // Recursion through a condition can capture the same spec
+                // more than once; any of them resumes to the identical
+                // switched run, keep the first.
+                if avail.iter().any(|have| have.spec == cp.spec) {
+                    continue;
+                }
+                let cp = Arc::new(cp);
+                self.stats.inline_captures += 1;
+                self.stats.memo_evictions +=
+                    self.memo.insert_checkpoint(self.memo_key, Arc::clone(&cp)) as usize;
+                avail.push(cp);
+            }
+            avail.sort_by_key(|cp| (cp.prefix_len(), cp.spec.pred.0, cp.spec.occurrence));
+        }
+        // Phase B: plan donors serially (the memo's LRU clock must tick
+        // in a deterministic order, so workers never touch it), then
+        // dispatch.
+        let mut leaves: Vec<(usize, Option<Arc<Checkpoint>>)> = Vec::new();
+        for (i, &(spec, p)) in missing.iter().enumerate() {
+            if slots[i].is_some() {
+                continue;
+            }
+            if cancelled[i] {
+                slots[i] = Some(ComputedRun::cancelled());
+                continue;
+            }
+            let pos = p.0 as usize;
+            let donor = if resume_on {
+                avail
+                    .iter()
+                    .find(|cp| cp.spec == spec)
+                    .cloned()
+                    .or_else(|| {
+                        avail
+                            .iter()
+                            .filter(|cp| {
+                                cp.prefix_len() <= self.trace.len() && cp.prefix_len() <= pos
+                            })
+                            .last()
+                            .cloned()
+                    })
+            } else {
+                None
+            };
+            leaves.push((i, donor));
+        }
+        // Longest predicted remaining suffix first; ties break on batch
+        // order so the seeded deques are deterministic (execution order
+        // affects nothing observable, but determinism is cheap here).
+        let mut order: Vec<usize> = (0..leaves.len()).collect();
+        order.sort_by_key(|&k| {
+            let saved = leaves[k]
+                .1
+                .as_ref()
+                .map_or(0, |cp| cp.prefix_len().min(self.trace.len()));
+            (
+                std::cmp::Reverse(self.cost.predict(self.trace.len().saturating_sub(saved))),
+                k,
+            )
+        });
+        let jobs = self.jobs.min(leaves.len());
+        if jobs <= 1 {
+            for &k in &order {
+                let (i, donor) = &leaves[k];
+                let (spec, p) = missing[*i];
+                let _c = omislice_obs::span_indexed("verify.candidate", Some(*i as u64));
+                slots[*i] = Some(
+                    self.compute_switched_isolated(spec, p, donor.as_deref(), &[])
+                        .0,
+                );
+            }
+        } else {
+            let queues = WorkQueues::seed(&order, jobs);
+            let this: &Verifier<'_> = self;
+            let leaves = &leaves;
+            let steals = AtomicUsize::new(0);
+            let mut results: Vec<(usize, ComputedRun)> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        let queues = &queues;
+                        let steals = &steals;
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            while let Some((k, stolen)) = queues.pop(w) {
+                                if stolen {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                }
+                                let (i, donor) = &leaves[k];
+                                let (spec, p) = missing[*i];
+                                let _c =
+                                    omislice_obs::span_indexed("verify.candidate", Some(*i as u64));
+                                local.push((
+                                    *i,
+                                    this.compute_switched_isolated(spec, p, donor.as_deref(), &[])
+                                        .0,
+                                ));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // Per-candidate isolation makes a worker-level panic
+                    // all but impossible, but if one does die its claimed
+                    // slots must degrade per candidate, not abort the
+                    // batch: leave them empty and let the merge below
+                    // fill them in.
+                    if let Ok(r) = h.join() {
+                        results.extend(r);
+                    }
+                }
+            });
+            for (i, r) in results {
+                slots[i] = Some(r);
+            }
+            if omislice_obs::enabled() {
+                omislice_obs::counter_add(
+                    "verify.sched.steals",
+                    steals.load(Ordering::Relaxed) as u64,
+                );
+            }
+        }
+        self.merge_slots(missing, slots);
+        self.stats.execution_wall += start.elapsed();
+    }
+
+    /// The pre-trie scheduler, kept as a differential oracle: a dedicated
+    /// capture run (when the break-even allows it), own-checkpoint
+    /// resumes only, claim-order dispatch. Verdicts and memo contents are
+    /// byte-identical to the trie's.
+    fn prepare_runs_flat(&mut self, missing: &[(SwitchSpec, InstId)]) {
+        let expired = self.deadline.as_ref().is_some_and(|d| d.expired());
+        let threshold = self.capture_threshold.unwrap_or(DEFAULT_CAPTURE_THRESHOLD);
+        if self.resume == ResumeMode::Auto && !expired {
+            let uncaptured: Vec<(SwitchSpec, usize)> = missing
+                .iter()
+                .filter(|&&(s, _)| self.memo.get_checkpoint(self.memo_key, s).is_none())
+                .map(|&(s, p)| (s, p.0 as usize))
+                .collect();
+            // The capture run re-executes the original input once (~trace
+            // length), plus one snapshot per spec: worth it only when the
+            // prefixes the resumes will skip cover that bill.
+            let saving: usize = uncaptured.iter().map(|&(_, pos)| pos).sum();
+            if uncaptured.len() >= 2 && saving >= self.trace.len() + uncaptured.len() * threshold {
                 let start = Instant::now();
                 // The capture run replays the *original* execution; a
                 // fault plan targets the switched runs, so it is stripped
@@ -469,20 +1062,18 @@ impl<'a> Verifier<'a> {
                         ..self.config.clone()
                     },
                 };
-                let (_, captured) = run_traced_with_checkpoints(
-                    self.program,
-                    self.analysis,
-                    &capture_cfg,
-                    &uncaptured,
-                );
+                let specs: Vec<SwitchSpec> = uncaptured.iter().map(|&(s, _)| s).collect();
+                let (_, captured) =
+                    run_traced_with_checkpoints(self.program, self.analysis, &capture_cfg, &specs);
                 for cp in captured {
-                    // Recursion through a condition can capture the same
-                    // spec more than once; any of them resumes to the
-                    // identical switched run, keep the first.
-                    self.checkpoints.entry(cp.spec).or_insert(cp);
+                    // First capture wins (see the memo's insert contract).
+                    self.stats.memo_evictions +=
+                        self.memo.insert_checkpoint(self.memo_key, Arc::new(cp)) as usize;
                 }
                 self.stats.capture_runs += 1;
                 self.stats.capture_wall += start.elapsed();
+            } else {
+                self.stats.captures_skipped += uncaptured.len();
             }
         }
 
@@ -496,6 +1087,20 @@ impl<'a> Verifier<'a> {
             .iter()
             .map(|_| self.deadline.as_ref().is_some_and(|d| d.check()))
             .collect();
+        // Donors are fetched serially so the memo's LRU clock ticks in a
+        // deterministic order; the flat scheduler only ever resumes a
+        // spec from its own checkpoint.
+        let donors: Vec<Option<Arc<Checkpoint>>> = missing
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, _))| {
+                if !cancelled[i] && self.resume == ResumeMode::Auto {
+                    self.memo.get_checkpoint(self.memo_key, s)
+                } else {
+                    None
+                }
+            })
+            .collect();
         let jobs = self.jobs.min(missing.len());
         let mut slots: Vec<Option<ComputedRun>> = (0..missing.len()).map(|_| None).collect();
         if jobs <= 1 {
@@ -505,11 +1110,15 @@ impl<'a> Verifier<'a> {
                     continue;
                 }
                 let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
-                *slot = Some(self.compute_switched_isolated(spec, p));
+                *slot = Some(
+                    self.compute_switched_isolated(spec, p, donors[i].as_deref(), &[])
+                        .0,
+                );
             }
         } else {
             let this: &Verifier<'_> = self;
             let cancelled = &cancelled;
+            let donors = &donors;
             let next = AtomicUsize::new(0);
             let worker = || {
                 let mut local = Vec::new();
@@ -523,18 +1132,19 @@ impl<'a> Verifier<'a> {
                         continue;
                     }
                     let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
-                    local.push((i, this.compute_switched_isolated(spec, p)));
+                    local.push((
+                        i,
+                        this.compute_switched_isolated(spec, p, donors[i].as_deref(), &[])
+                            .0,
+                    ));
                 }
                 local
             };
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..jobs).map(|_| s.spawn(worker)).collect();
                 for h in handles {
-                    // Per-candidate isolation makes a worker-level panic
-                    // all but impossible, but if one does die its claimed
-                    // slots must degrade per candidate, not abort the
-                    // batch: leave them empty and let the merge below
-                    // fill them in.
+                    // A dead worker's claimed slots degrade per candidate
+                    // in the merge below, not the whole batch.
                     if let Ok(results) = h.join() {
                         for (i, result) in results {
                             slots[i] = Some(result);
@@ -543,17 +1153,25 @@ impl<'a> Verifier<'a> {
                 }
             });
         }
-        // Merge in candidate order: memo contents and counters do not
-        // depend on which thread finished first. A slot left empty by a
-        // dead worker surfaces as an isolated harness panic for that
-        // candidate alone.
+        self.merge_slots(missing, slots);
+        self.stats.execution_wall += start.elapsed();
+    }
+
+    /// Merges computed runs into stats, the batch's pinned view, and the
+    /// persistent memo — in candidate order, so memo contents and
+    /// counters do not depend on which thread finished first. A slot left
+    /// empty by a dead worker surfaces as an isolated harness panic for
+    /// that candidate alone.
+    fn merge_slots(&mut self, missing: &[(SwitchSpec, InstId)], slots: Vec<Option<ComputedRun>>) {
         for (slot, &(spec, _)) in slots.into_iter().zip(missing) {
             let c = slot.unwrap_or_else(ComputedRun::harness_panic);
             if c.deadline_cancelled {
                 // The candidate never ran: record the expired-timer
-                // outcome without touching the execution counters.
+                // outcome without touching the execution counters, and
+                // only in the per-batch view — a synthetic verdict must
+                // never poison the shared memo.
                 self.stats.deadline_cancelled += 1;
-                self.switched_runs.insert(spec, (c.run, c.outcome));
+                self.runs.insert(spec, (c.run, c.outcome));
                 continue;
             }
             self.stats.reexecutions += 1;
@@ -588,9 +1206,11 @@ impl<'a> Verifier<'a> {
                 // the event itself is counted in `invalid_checkpoints`.
                 RunOutcome::CheckpointInvalid => {}
             }
-            self.switched_runs.insert(spec, (c.run, c.outcome));
+            let entry: RunEntry = (c.run, c.outcome);
+            self.stats.memo_evictions +=
+                self.memo.insert_run(self.memo_key, spec, entry.clone()) as usize;
+            self.runs.insert(spec, entry);
         }
-        self.stats.execution_wall += start.elapsed();
     }
 
     /// [`Verifier::compute_switched`] behind a per-candidate
@@ -599,8 +1219,17 @@ impl<'a> Verifier<'a> {
     /// [`ComputedRun::harness_panic`] instead of unwinding the worker
     /// (which would take that worker's whole claimed batch with it and
     /// make results scheduling-dependent). `panic-harness` fault plans
-    /// fire here, before the switched run starts.
-    fn compute_switched_isolated(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
+    /// fire here, before the switched run starts. Checkpoints captured
+    /// before a caught panic are lost with it — losing a capture is
+    /// always safe (the leaf falls back to a deeper donor or scratch);
+    /// keeping a possibly-torn one would not be.
+    fn compute_switched_isolated(
+        &self,
+        spec: SwitchSpec,
+        p: InstId,
+        donor: Option<&Checkpoint>,
+        capture: &[SwitchSpec],
+    ) -> (ComputedRun, Vec<Checkpoint>) {
         catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = self.config.fault {
                 if matches!(plan.action, FaultAction::PanicHarness)
@@ -613,19 +1242,33 @@ impl<'a> Verifier<'a> {
                     );
                 }
             }
-            self.compute_switched(spec, p)
+            self.compute_switched(spec, p, donor, capture)
         }))
-        .unwrap_or_else(|_| ComputedRun::harness_panic())
+        .unwrap_or_else(|_| (ComputedRun::harness_panic(), Vec::new()))
     }
 
-    /// Executes one switched run: resumes from a checkpoint when allowed
-    /// (falling back to from-scratch execution if the checkpoint is
-    /// invalid or the resume fails), escalates the step budget through
-    /// [`BudgetSchedule`] while the run keeps expiring, and isolates any
-    /// panic *of the interpreter* behind `catch_unwind`; panics in the
-    /// harness work around it are caught one level up by
-    /// [`Verifier::compute_switched_isolated`].
-    fn compute_switched(&self, spec: SwitchSpec, p: InstId) -> ComputedRun {
+    /// Executes one switched run: resumes from the planned `donor`
+    /// checkpoint when given (its own or an ancestor's — the resumed
+    /// segment between the donor and the switch point replays the
+    /// original execution by determinism, so the switch lands at its
+    /// exact original position either way; falls back to from-scratch
+    /// execution if the checkpoint is invalid or the resume fails),
+    /// escalates the step budget through [`BudgetSchedule`] while the run
+    /// keeps expiring, captures a [`Checkpoint`] at each spec in
+    /// `capture` passed on the way to the switch (the spine's phase-A
+    /// role), and isolates any panic *of the interpreter* behind
+    /// `catch_unwind`; panics in the harness work around it are caught
+    /// one level up by [`Verifier::compute_switched_isolated`].
+    ///
+    /// Per-attempt wall time feeds the [`CostModel`] (dispatch ordering
+    /// only — it never influences a verdict or counter).
+    fn compute_switched(
+        &self,
+        spec: SwitchSpec,
+        p: InstId,
+        donor: Option<&Checkpoint>,
+        capture: &[SwitchSpec],
+    ) -> (ComputedRun, Vec<Checkpoint>) {
         let full = self.config.switched(spec);
         let mut out = ComputedRun {
             run: None,
@@ -638,10 +1281,8 @@ impl<'a> Verifier<'a> {
             deadline_cancelled: false,
             input_underflows: 0,
         };
-        let mut checkpoint = match self.resume {
-            ResumeMode::Auto => self.checkpoints.get(&spec),
-            ResumeMode::Disabled => None,
-        };
+        let mut captured: Vec<Checkpoint> = Vec::new();
+        let mut checkpoint = donor;
         let budgets = self.budget.budgets(self.config.step_budget);
         let last = budgets.len() - 1;
         for (attempt, &budget) in budgets.iter().enumerate() {
@@ -681,15 +1322,24 @@ impl<'a> Verifier<'a> {
             // the base trace is a poisoned cursor, not a long prefix —
             // those still go through resumption so validation rejects
             // them.
+            let attempt_start = Instant::now();
             let mut run: Option<TracedRun> = None;
             if let Some(cp) = checkpoint.filter(|cp| {
                 (cp.prefix_len() as u64) < budget || cp.prefix_len() > self.trace.len()
             }) {
                 match catch_unwind(AssertUnwindSafe(|| {
-                    resume_switched(self.program, self.analysis, &cfg, cp, self.trace)
+                    resume_switched_capturing(
+                        self.program,
+                        self.analysis,
+                        &cfg,
+                        cp,
+                        self.trace,
+                        capture,
+                    )
                 })) {
-                    Ok(Ok(resumed)) => {
+                    Ok(Ok((resumed, cps))) => {
                         out.saved = Some(cp.prefix_len());
+                        captured = cps;
                         run = Some(resumed);
                     }
                     // Expected shapes (an expression-position call frame,
@@ -711,9 +1361,12 @@ impl<'a> Verifier<'a> {
                 Some(r) => r,
                 None => {
                     match catch_unwind(AssertUnwindSafe(|| {
-                        run_traced(self.program, self.analysis, &cfg)
+                        run_traced_with_checkpoints(self.program, self.analysis, &cfg, capture)
                     })) {
-                        Ok(r) => r,
+                        Ok((r, cps)) => {
+                            captured = cps;
+                            r
+                        }
                         Err(_) => {
                             // The from-scratch execution itself panicked
                             // (an injected host fault): isolate it and
@@ -721,11 +1374,16 @@ impl<'a> Verifier<'a> {
                             out.panic_isolated = true;
                             out.outcome = RunOutcome::Crashed(CrashKind::Panic);
                             out.run = None;
-                            return out;
+                            return (out, captured);
                         }
                     }
                 }
             };
+            self.cost.observe(
+                attempt,
+                run.trace.len().saturating_sub(out.saved.unwrap_or(0)),
+                attempt_start.elapsed().as_nanos() as u64,
+            );
             out.input_underflows = run.input_underflows;
             out.outcome = match run.trace.termination() {
                 Termination::Normal if run.switched == Some(p) => RunOutcome::Completed,
@@ -746,7 +1404,7 @@ impl<'a> Verifier<'a> {
             if out.outcome == RunOutcome::BudgetExhausted && attempt < last {
                 continue; // escalate to the next budget rung
             }
-            return out;
+            return (out, captured);
         }
         unreachable!("the final budget rung always returns")
     }
@@ -762,11 +1420,18 @@ impl<'a> Verifier<'a> {
         let mode = self.mode;
         let orig = self.trace;
         let spec = self.spec_of(p);
-        if !self.switched_runs.contains_key(&spec) {
-            self.prepare_runs(&[(spec, p)]);
+        if !self.runs.contains_key(&spec) {
+            // Lazy single-spec path (plain `verify`): probe the
+            // persistent memo before executing, same as a batch would.
+            if let Some(entry) = self.memo.get_run(self.memo_key, spec) {
+                self.stats.memo_hits += 1;
+                self.runs.insert(spec, entry);
+            } else {
+                self.prepare_runs(&[(spec, p)]);
+            }
         }
         let (memo, outcome) = self
-            .switched_runs
+            .runs
             .get(&spec)
             .expect("prepare_runs memoized this spec");
         let outcome = *outcome;
@@ -1157,7 +1822,10 @@ mod tests {
                     VerifierMode::Edge,
                 )
                 .with_jobs(jobs)
-                .with_resume(resume);
+                .with_resume(resume)
+                // BATCH's trace is short; force the break-even so the
+                // capture/resume machinery actually engages.
+                .with_capture_threshold(Some(1));
                 let results = v.verify_all(&requests);
                 let counts = (
                     v.verification_count(),
@@ -1178,7 +1846,12 @@ mod tests {
                     assert_eq!(v.stats().resumed_runs, 0);
                     assert_eq!(v.stats().capture_runs, 0);
                 } else {
-                    assert_eq!(v.stats().capture_runs, 1, "one capture run per batch");
+                    assert_eq!(
+                        v.stats().capture_runs,
+                        0,
+                        "the spine replaces the dedicated capture run"
+                    );
+                    assert!(v.stats().inline_captures > 0, "the spine captured en route");
                     assert!(v.stats().resumed_runs > 0, "checkpoints are used");
                     assert!(v.stats().steps_saved > 0, "prefixes are skipped");
                 }
@@ -1196,7 +1869,8 @@ mod tests {
             &s.config,
             &s.trace,
             VerifierMode::Edge,
-        );
+        )
+        .with_capture_threshold(Some(1));
         let _ = v.verify_all(&requests);
         let st = v.stats();
         // Later loop iterations carry most of the trace as their prefix:
@@ -1204,7 +1878,11 @@ mod tests {
         // events. (Total from-scratch work is reexecutions × trace len,
         // minus the suffix divergence — steps_saved counts the verbatim
         // prefixes.)
-        assert_eq!(st.resumed_runs, st.reexecutions, "every run resumes");
+        assert_eq!(
+            st.resumed_runs,
+            st.reexecutions - 1,
+            "every leaf but the spine resumes"
+        );
         assert!(
             st.steps_saved > s.trace.len(),
             "saved {} events over {} runs (trace len {})",
@@ -1233,6 +1911,236 @@ mod tests {
         assert_eq!(single, batch[0]);
         assert_eq!(v.reexecution_count(), reexec, "no new execution");
         assert_eq!(v.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn trie_and_flat_schedulers_agree() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut reference: Option<(Vec<Verification>, (usize, usize, usize))> = None;
+        for scheduler in [SchedulerMode::Trie, SchedulerMode::Flat] {
+            for jobs in [1usize, 4] {
+                for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+                    let mut v = Verifier::new(
+                        &s.program,
+                        &s.analysis,
+                        &s.config,
+                        &s.trace,
+                        VerifierMode::Edge,
+                    )
+                    .with_scheduler(scheduler)
+                    .with_jobs(jobs)
+                    .with_resume(resume)
+                    .with_capture_threshold(Some(1));
+                    let results = v.verify_all(&requests);
+                    let counts = (
+                        v.verification_count(),
+                        v.reexecution_count(),
+                        v.stats().cache_hits,
+                    );
+                    match &reference {
+                        Some((r, c)) => {
+                            assert_eq!(*r, results, "{scheduler:?} jobs={jobs} {resume:?}");
+                            assert_eq!(*c, counts, "{scheduler:?} jobs={jobs} {resume:?}");
+                        }
+                        None => reference = Some((results, counts)),
+                    }
+                    if resume == ResumeMode::Auto {
+                        match scheduler {
+                            SchedulerMode::Trie => {
+                                assert_eq!(v.stats().capture_runs, 0);
+                                assert!(v.stats().inline_captures > 0);
+                            }
+                            SchedulerMode::Flat => {
+                                assert_eq!(v.stats().capture_runs, 1);
+                                assert_eq!(v.stats().inline_captures, 0);
+                            }
+                        }
+                        assert!(v.stats().resumed_runs > 0, "{scheduler:?} resumes");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_memo_answers_later_verifiers_without_reexecution() {
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let memo = VerifyMemo::shared();
+        let mut a = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_memo(Arc::clone(&memo))
+        .with_capture_threshold(Some(1));
+        let first = a.verify_all(&requests);
+        assert!(a.reexecution_count() > 0);
+        assert_eq!(a.stats().memo_hits, 0, "a cold memo has nothing to offer");
+        assert!(
+            a.stats().checkpoint_bytes > 0,
+            "the gauge sees the captures"
+        );
+
+        // A second verifier over the same configuration answers every
+        // switched run from the memo: zero executions.
+        let mut b = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_memo(Arc::clone(&memo));
+        let second = b.verify_all(&requests);
+        assert_eq!(first, second);
+        assert_eq!(b.reexecution_count(), 0, "all runs came from the memo");
+        assert_eq!(b.stats().memo_hits, a.reexecution_count());
+
+        // A different budget schedule is a different fingerprint: the
+        // shared memo never answers across configurations that could
+        // disagree.
+        let mut c = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_memo(Arc::clone(&memo))
+        .with_budget_schedule(BudgetSchedule {
+            initial: 7,
+            factor: 100,
+            attempts: 3,
+        });
+        let _ = c.verify_all(&requests);
+        assert_eq!(c.stats().memo_hits, 0, "fingerprints separate configs");
+        assert!(c.reexecution_count() > 0);
+    }
+
+    #[test]
+    fn early_exit_cancels_the_batch_tail_after_strong_id() {
+        // One real guard (switching it fixes the output) followed by a
+        // dozen decoys: with early exit on, the StrongId in the first
+        // chunk cancels every candidate not yet executed.
+        let src = "\
+            global flags = 0; global junk = 0;\
+            fn main() {\
+                let save = input();\
+                flags = 1;\
+                let i = 0;\
+                while i < 12 {\
+                    if i == 50 { junk = junk + 1; }\
+                    i = i + 1;\
+                }\
+                if save == 1 { flags = 2; }\
+                print(flags);\
+            }";
+        let s = setup(src, vec![0]);
+        let flags = s.analysis.index().vars().global("flags").unwrap();
+        let out = s.trace.outputs()[0].inst;
+        let req = |p| VerifyRequest {
+            p,
+            u: out,
+            var: flags,
+            wrong_output: out,
+            expected: Some(Value::Int(2)),
+        };
+        let mut requests = vec![req(s.trace.instances_of(StmtId(7))[0])];
+        requests.extend(s.trace.instances_of(StmtId(4)).iter().map(|&g| req(g)));
+        assert_eq!(requests.len(), 13, "guard + 12 decoys");
+
+        let mut full = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        );
+        let full_results = full.verify_all(&requests);
+        assert_eq!(full_results[0].verdict, Verdict::StrongId);
+        assert_eq!(full.reexecution_count(), 13, "no early exit by default");
+        assert_eq!(full.stats().early_exit_cancelled, 0);
+
+        let mut reference: Option<Vec<Verification>> = None;
+        for jobs in [1usize, 4] {
+            let mut v = Verifier::new(
+                &s.program,
+                &s.analysis,
+                &s.config,
+                &s.trace,
+                VerifierMode::Edge,
+            )
+            .with_jobs(jobs)
+            .with_early_exit(true);
+            let results = v.verify_all(&requests);
+            assert_eq!(results[0], full_results[0], "the StrongId is untouched");
+            assert_eq!(
+                v.reexecution_count(),
+                EARLY_EXIT_CHUNK,
+                "only the first chunk executed (jobs={jobs})"
+            );
+            assert_eq!(
+                v.stats().early_exit_cancelled,
+                requests.len() - EARLY_EXIT_CHUNK
+            );
+            for r in &results[EARLY_EXIT_CHUNK..] {
+                assert_eq!(r.verdict, Verdict::NotId, "expired-timer rule");
+                assert_eq!(r.outcome, RunOutcome::BudgetExhausted);
+            }
+            match &reference {
+                Some(r) => assert_eq!(*r, results, "jobs={jobs}"),
+                None => reference = Some(results),
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_checkpoints_substitute_for_skipped_captures() {
+        // A high capture threshold declines most snapshots; leaves then
+        // resume from the nearest *ancestor* checkpoint and re-execute
+        // the gap. Verdicts must match the densely-captured engine
+        // exactly (resumed and from-scratch runs are byte-identical).
+        let s = setup(BATCH, vec![0]);
+        let requests = batch_requests(&s);
+        let mut dense = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_capture_threshold(Some(1));
+        let expected = dense.verify_all(&requests);
+
+        let mut sparse = Verifier::new(
+            &s.program,
+            &s.analysis,
+            &s.config,
+            &s.trace,
+            VerifierMode::Edge,
+        )
+        .with_capture_threshold(Some(10));
+        let results = sparse.verify_all(&requests);
+        assert_eq!(results, expected);
+        let st = sparse.stats();
+        assert!(st.captures_skipped > 0, "the break-even declined captures");
+        assert!(
+            st.inline_captures < dense.stats().inline_captures,
+            "fewer snapshots taken ({} vs {})",
+            st.inline_captures,
+            dense.stats().inline_captures
+        );
+        assert!(st.resumed_runs > 0, "ancestor donors still resume leaves");
+        assert!(
+            st.steps_saved < dense.stats().steps_saved,
+            "shallower donors save less ({} vs {})",
+            st.steps_saved,
+            dense.stats().steps_saved
+        );
     }
 
     #[test]
@@ -1364,6 +2272,7 @@ mod tests {
             )
             .with_jobs(4)
             .with_resume(resume)
+            .with_capture_threshold(Some(1))
             .with_fault_plan(Some(switched_only_fault(FaultAction::Panic)));
             // The assertion is that this call returns at all: every host
             // panic is caught at the per-candidate isolation boundary.
@@ -1406,6 +2315,7 @@ mod tests {
             &s.trace,
             VerifierMode::Edge,
         )
+        .with_capture_threshold(Some(1))
         .with_fault_plan(Some(FaultPlan::new(
             StmtId(3),
             2,
@@ -1418,7 +2328,11 @@ mod tests {
         let st = v.stats();
         assert_eq!(st.invalid_checkpoints, 1);
         assert_eq!(st.scratch_fallbacks, 1);
-        assert_eq!(st.resumed_runs, st.reexecutions - 1, "only one fell back");
+        assert_eq!(
+            st.resumed_runs,
+            st.reexecutions - 2,
+            "the spine and the poisoned leaf run from scratch"
+        );
         assert_eq!(st.panics_isolated, 0);
     }
 

@@ -19,6 +19,7 @@
 use crate::event::{Event, EventRef, InstId};
 use crate::value::Value;
 use omislice_lang::{StmtId, VarId};
+use std::sync::Arc;
 
 /// Sentinel for "no instance" in the optional-parent columns.
 pub(crate) const NONE_U32: u32 = u32::MAX;
@@ -71,11 +72,38 @@ impl<'a> From<&'a Event> for RawEvent<'a> {
     }
 }
 
+/// A shared checkpoint prefix: the head of this store is the first
+/// `len` events of a donor trace, held by reference count instead of
+/// copied. Resuming a switched re-execution from a deep checkpoint used
+/// to memcpy every column of the prefix (megabytes per verification
+/// leaf at production scales); sharing makes seeding a resumed recorder
+/// O(1) regardless of checkpoint depth. The donor's columns are
+/// immutable once its run finishes, so the borrow is sound by
+/// construction — all writes land in the owning store's tail columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Prefix {
+    /// Donor columns. May itself be prefix-shared; chains stay shallow
+    /// because [`ColumnarTrace::share_prefix`] collapses onto the
+    /// donor's own prefix whenever the requested length fits inside it.
+    cols: Arc<ColumnarTrace>,
+    /// Events taken from the donor.
+    len: u32,
+    /// Dependence edges within those events (the logical CSR base of
+    /// the tail's `deps_off`, which stays tail-local).
+    deps: u32,
+}
+
 /// The columnar event store: one dense array per event field, a CSR
 /// arena for dependence lists, and a sparse sorted column for the rare
-/// array-store cell indices.
+/// array-store cell indices. Optionally the first events are a shared
+/// [`Prefix`] into a donor trace (checkpoint resume); the dense arrays
+/// then hold only the tail recorded past the prefix, and every accessor
+/// routes prefix instances to the donor.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColumnarTrace {
+    /// Shared immutable head, if this store was seeded from a
+    /// checkpoint prefix of another trace.
+    prefix: Option<Prefix>,
     /// Statement id per instance.
     pub(crate) stmt: Vec<StmtId>,
     /// Packed value/branch/cell tags per instance.
@@ -90,11 +118,13 @@ pub struct ColumnarTrace {
     pub(crate) region_parent: Vec<u32>,
     /// Defined variable per instance ([`NONE_U32`] = none).
     pub(crate) def_var: Vec<u32>,
-    /// CSR offsets into `deps`; `len + 1` entries.
+    /// CSR offsets into `deps`; `tail len + 1` entries, tail-local (the
+    /// shared prefix's edge count is cached in [`Prefix::deps`]).
     pub(crate) deps_off: Vec<u32>,
     /// CSR arena of data-dependence edges (absolute instance ids).
     pub(crate) deps: Vec<InstId>,
-    /// Sparse `(inst, cell)` pairs for array stores, sorted by instance.
+    /// Sparse `(inst, cell)` pairs for array stores, sorted by instance
+    /// (absolute ids, also when a prefix is shared).
     pub(crate) cell_index: Vec<(u32, i64)>,
 }
 
@@ -109,6 +139,7 @@ impl ColumnarTrace {
     /// An empty store with room for `events` instances and `deps` edges.
     pub fn with_capacity(events: usize, deps: usize) -> Self {
         let mut c = ColumnarTrace {
+            prefix: None,
             stmt: Vec::with_capacity(events),
             meta: Vec::with_capacity(events),
             value: Vec::with_capacity(events),
@@ -124,24 +155,50 @@ impl ColumnarTrace {
         c
     }
 
-    /// Number of stored instances.
+    /// Number of stored instances (shared prefix included).
     pub fn len(&self) -> usize {
-        self.stmt.len()
+        self.prefix_len() + self.stmt.len()
     }
 
     /// Whether no instance is stored.
     pub fn is_empty(&self) -> bool {
-        self.stmt.is_empty()
+        self.len() == 0
     }
 
     /// Total dependence edges across all instances.
     pub fn deps_len(&self) -> usize {
-        self.deps.len()
+        self.prefix_deps() + self.deps.len()
+    }
+
+    /// Events held by the shared prefix (0 when the store is flat).
+    #[inline]
+    fn prefix_len(&self) -> usize {
+        self.prefix.as_ref().map_or(0, |p| p.len as usize)
+    }
+
+    /// Dependence edges held by the shared prefix.
+    #[inline]
+    fn prefix_deps(&self) -> usize {
+        self.prefix.as_ref().map_or(0, |p| p.deps as usize)
+    }
+
+    /// Whether this store shares its head with a donor trace.
+    pub(crate) fn has_prefix(&self) -> bool {
+        self.prefix.is_some()
+    }
+
+    /// Dependence edges recorded before event `i` (the logical CSR
+    /// offset; `i` may equal `len()`).
+    fn deps_start(&self, i: usize) -> usize {
+        match &self.prefix {
+            Some(p) if i <= p.len as usize => p.cols.deps_start(i),
+            _ => self.prefix_deps() + self.deps_off[i - self.prefix_len()] as usize,
+        }
     }
 
     /// Appends one event. Ids are assigned densely in push order.
     pub fn push(&mut self, ev: RawEvent<'_>) -> InstId {
-        let id = InstId(self.stmt.len() as u32);
+        let id = InstId(self.len() as u32);
         let mut meta = match ev.value {
             None => 0,
             Some(Value::Int(_)) => VALUE_INT,
@@ -178,7 +235,8 @@ impl ColumnarTrace {
     /// `other`'s dependence and parent ids must already be absolute;
     /// its own instance ids (the sparse cell column) are rebased.
     pub fn append(&mut self, other: &ColumnarTrace) {
-        let id_base = self.stmt.len() as u32;
+        assert!(other.prefix.is_none(), "appended chunks are always flat");
+        let id_base = self.len() as u32;
         self.stmt.extend_from_slice(&other.stmt);
         self.meta.extend_from_slice(&other.meta);
         self.value.extend_from_slice(&other.value);
@@ -208,6 +266,12 @@ impl ColumnarTrace {
     /// Panics if `inst` is out of range.
     pub fn event(&self, inst: InstId) -> EventRef<'_> {
         let i = inst.index();
+        if let Some(p) = &self.prefix {
+            if i < p.len as usize {
+                return p.cols.event(inst);
+            }
+        }
+        let i = i - self.prefix_len();
         let meta = self.meta[i];
         let value = match meta & VALUE_TAG_MASK {
             VALUE_INT => Some(Value::Int(self.value[i])),
@@ -241,70 +305,199 @@ impl ColumnarTrace {
         }
     }
 
+    /// Routes `inst` to its home store: the donor for prefix instances
+    /// (`Err`), the local tail index otherwise (`Ok`).
+    #[inline]
+    fn route(&self, inst: InstId) -> Result<usize, &ColumnarTrace> {
+        let i = inst.index();
+        if let Some(p) = &self.prefix {
+            if i < p.len as usize {
+                return Err(&p.cols);
+            }
+        }
+        Ok(i - self.prefix_len())
+    }
+
     /// The statement of `inst` (cheaper than materializing the full view).
     pub fn stmt_of(&self, inst: InstId) -> StmtId {
-        self.stmt[inst.index()]
+        match self.route(inst) {
+            Ok(i) => self.stmt[i],
+            Err(donor) => donor.stmt_of(inst),
+        }
     }
 
     /// The variable defined by `inst`, if any.
     pub fn def_var_of(&self, inst: InstId) -> Option<VarId> {
-        match self.def_var[inst.index()] {
-            NONE_U32 => None,
-            v => Some(VarId(v)),
+        match self.route(inst) {
+            Ok(i) => match self.def_var[i] {
+                NONE_U32 => None,
+                v => Some(VarId(v)),
+            },
+            Err(donor) => donor.def_var_of(inst),
         }
     }
 
     /// The branch outcome of `inst`, if it is a predicate instance.
     pub fn branch_of(&self, inst: InstId) -> Option<bool> {
-        match (self.meta[inst.index()] & BRANCH_MASK) >> BRANCH_SHIFT {
-            1 => Some(false),
-            2 => Some(true),
-            _ => None,
+        match self.route(inst) {
+            Ok(i) => match (self.meta[i] & BRANCH_MASK) >> BRANCH_SHIFT {
+                1 => Some(false),
+                2 => Some(true),
+                _ => None,
+            },
+            Err(donor) => donor.branch_of(inst),
         }
     }
 
     /// The CD parent of `inst`.
     pub fn cd_parent_of(&self, inst: InstId) -> Option<InstId> {
-        opt(self.cd_parent[inst.index()])
+        match self.route(inst) {
+            Ok(i) => opt(self.cd_parent[i]),
+            Err(donor) => donor.cd_parent_of(inst),
+        }
     }
 
     /// The region parent of `inst`.
     pub fn region_parent_of(&self, inst: InstId) -> Option<InstId> {
-        opt(self.region_parent[inst.index()])
+        match self.route(inst) {
+            Ok(i) => opt(self.region_parent[i]),
+            Err(donor) => donor.region_parent_of(inst),
+        }
     }
 
     /// The dependence list of `inst`.
     pub fn deps_of(&self, inst: InstId) -> &[InstId] {
-        let i = inst.index();
-        &self.deps[self.deps_off[i] as usize..self.deps_off[i + 1] as usize]
+        match self.route(inst) {
+            Ok(i) => &self.deps[self.deps_off[i] as usize..self.deps_off[i + 1] as usize],
+            Err(donor) => donor.deps_of(inst),
+        }
     }
 
     fn cell_of(&self, inst: u32) -> Option<i64> {
+        if let Some(p) = &self.prefix {
+            if inst < p.len {
+                return p.cols.cell_of(inst);
+            }
+        }
         self.cell_index
             .binary_search_by_key(&inst, |&(i, _)| i)
             .ok()
             .map(|k| self.cell_index[k].1)
     }
 
-    /// A new store holding the first `len` events (a checkpoint prefix):
-    /// column-wise truncating copies, no per-event work.
+    /// A new *flat* store holding the first `len` events (a checkpoint
+    /// prefix): column-wise truncating copies, no per-event work. On a
+    /// prefix-shared store the donor's head is materialized too, so the
+    /// result always owns its columns (the serializer and the oracle
+    /// tests want contiguous arrays).
     pub fn clone_prefix(&self, len: usize) -> ColumnarTrace {
         assert!(len <= self.len(), "prefix beyond trace");
-        let deps_end = self.deps_off[len] as usize;
-        let cells = self
-            .cell_index
-            .partition_point(|&(i, _)| (i as usize) < len);
-        ColumnarTrace {
-            stmt: self.stmt[..len].to_vec(),
-            meta: self.meta[..len].to_vec(),
-            value: self.value[..len].to_vec(),
-            call_depth: self.call_depth[..len].to_vec(),
-            cd_parent: self.cd_parent[..len].to_vec(),
-            region_parent: self.region_parent[..len].to_vec(),
-            def_var: self.def_var[..len].to_vec(),
-            deps_off: self.deps_off[..len + 1].to_vec(),
-            deps: self.deps[..deps_end].to_vec(),
-            cell_index: self.cell_index[..cells].to_vec(),
+        let Some(p) = &self.prefix else {
+            let deps_end = self.deps_off[len] as usize;
+            let cells = self
+                .cell_index
+                .partition_point(|&(i, _)| (i as usize) < len);
+            return ColumnarTrace {
+                prefix: None,
+                stmt: self.stmt[..len].to_vec(),
+                meta: self.meta[..len].to_vec(),
+                value: self.value[..len].to_vec(),
+                call_depth: self.call_depth[..len].to_vec(),
+                cd_parent: self.cd_parent[..len].to_vec(),
+                region_parent: self.region_parent[..len].to_vec(),
+                def_var: self.def_var[..len].to_vec(),
+                deps_off: self.deps_off[..len + 1].to_vec(),
+                deps: self.deps[..deps_end].to_vec(),
+                cell_index: self.cell_index[..cells].to_vec(),
+            };
+        };
+        let plen = p.len as usize;
+        let mut out = p.cols.clone_prefix(len.min(plen));
+        if len > plen {
+            let t = len - plen; // tail events to copy
+            let deps_end = self.deps_off[t] as usize;
+            let cells = self
+                .cell_index
+                .partition_point(|&(i, _)| (i as usize) < len);
+            out.stmt.extend_from_slice(&self.stmt[..t]);
+            out.meta.extend_from_slice(&self.meta[..t]);
+            out.value.extend_from_slice(&self.value[..t]);
+            out.call_depth.extend_from_slice(&self.call_depth[..t]);
+            out.cd_parent.extend_from_slice(&self.cd_parent[..t]);
+            out.region_parent
+                .extend_from_slice(&self.region_parent[..t]);
+            out.def_var.extend_from_slice(&self.def_var[..t]);
+            let base = out.deps.len() as u32;
+            out.deps.extend_from_slice(&self.deps[..deps_end]);
+            out.deps_off
+                .extend(self.deps_off[1..=t].iter().map(|&o| o + base));
+            out.cell_index.extend_from_slice(&self.cell_index[..cells]);
+        }
+        out
+    }
+
+    /// A new store whose first `len` events are *shared* with `base` by
+    /// reference count instead of copied — how a resumed recorder is
+    /// seeded. O(1) regardless of prefix depth, where [`clone_prefix`]
+    /// memcpys every column (megabytes per verification leaf at
+    /// production scales).
+    ///
+    /// When `base` itself shares a prefix and the requested length fits
+    /// inside it, the new store references the deeper donor directly,
+    /// so chains stay as shallow as the checkpoint trie allows and
+    /// access cost does not grow with resume generations.
+    ///
+    /// [`clone_prefix`]: ColumnarTrace::clone_prefix
+    pub fn share_prefix(base: &Arc<ColumnarTrace>, len: usize) -> ColumnarTrace {
+        assert!(len <= base.len(), "prefix beyond trace");
+        if len == 0 {
+            return ColumnarTrace::new();
+        }
+        if let Some(p) = &base.prefix {
+            if len <= p.len as usize {
+                return ColumnarTrace::share_prefix(&p.cols, len);
+            }
+        }
+        let deps = base.deps_start(len) as u32;
+        let mut c = ColumnarTrace {
+            prefix: Some(Prefix {
+                cols: Arc::clone(base),
+                len: len as u32,
+                deps,
+            }),
+            ..ColumnarTrace::default()
+        };
+        c.deps_off.push(0);
+        c
+    }
+
+    /// Calls `f(i, raw_region_parent)` for the first `n` instances in
+    /// execution order ([`NONE_U32`] = top level): the prefix-aware
+    /// replacement for iterating the raw column, used by the region-tree
+    /// build's hot pass.
+    pub(crate) fn for_each_region_parent(&self, n: usize, f: &mut impl FnMut(usize, u32)) {
+        let plen = self.prefix_len();
+        if let Some(p) = &self.prefix {
+            p.cols.for_each_region_parent(n.min(plen), f);
+        }
+        for (j, &rp) in self.region_parent[..n.saturating_sub(plen)]
+            .iter()
+            .enumerate()
+        {
+            f(plen + j, rp);
+        }
+    }
+
+    /// Calls `f(i, stmt)` for the first `n` instances in execution
+    /// order: the prefix-aware replacement for iterating the raw
+    /// statement column (statement → instances map construction).
+    pub(crate) fn for_each_stmt(&self, n: usize, f: &mut impl FnMut(usize, StmtId)) {
+        let plen = self.prefix_len();
+        if let Some(p) = &self.prefix {
+            p.cols.for_each_stmt(n.min(plen), f);
+        }
+        for (j, &s) in self.stmt[..n.saturating_sub(plen)].iter().enumerate() {
+            f(plen + j, s);
         }
     }
 
@@ -316,7 +509,11 @@ impl ColumnarTrace {
             .collect()
     }
 
-    /// Resident column bytes (the `columnar.bytes` observability counter).
+    /// Resident column bytes *owned by this store* (the
+    /// `columnar.bytes` observability counter). A shared checkpoint
+    /// prefix is charged to its donor, not double-counted: the memo's
+    /// capacity accounting would otherwise bill the same resident
+    /// arrays once per resumed run that borrows them.
     pub fn bytes(&self) -> usize {
         self.stmt.len() * std::mem::size_of::<StmtId>()
             + self.meta.len()
@@ -402,6 +599,70 @@ mod tests {
         }
         whole.append(&tail);
         assert_eq!(whole.to_events(), events);
+    }
+
+    #[test]
+    fn shared_prefix_matches_cloned_prefix() {
+        let events = sample_events();
+        let base = Arc::new(build(&events));
+        for len in 0..=events.len() {
+            let shared = ColumnarTrace::share_prefix(&base, len);
+            assert_eq!(shared.len(), len);
+            assert_eq!(shared.to_events(), events[..len].to_vec());
+            assert_eq!(shared.deps_len(), base.clone_prefix(len).deps_len());
+            // Flattening a shared store reproduces the owned copy.
+            assert_eq!(shared.clone_prefix(len), base.clone_prefix(len));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_extends_like_a_flat_store() {
+        let events = sample_events();
+        let base = Arc::new(build(&events));
+        for cut in 0..events.len() {
+            let mut shared = ColumnarTrace::share_prefix(&base, cut);
+            let mut flat = base.clone_prefix(cut);
+            for e in &events[cut..] {
+                assert_eq!(shared.push(RawEvent::from(e)), flat.push(RawEvent::from(e)));
+            }
+            assert_eq!(shared.to_events(), events);
+            assert_eq!(shared.len(), flat.len());
+            assert_eq!(shared.deps_len(), flat.deps_len());
+            for i in 0..events.len() as u32 {
+                let inst = InstId(i);
+                assert_eq!(shared.stmt_of(inst), flat.stmt_of(inst));
+                assert_eq!(shared.deps_of(inst), flat.deps_of(inst));
+                assert_eq!(shared.def_var_of(inst), flat.def_var_of(inst));
+                assert_eq!(shared.branch_of(inst), flat.branch_of(inst));
+                assert_eq!(shared.cd_parent_of(inst), flat.cd_parent_of(inst));
+                assert_eq!(shared.region_parent_of(inst), flat.region_parent_of(inst));
+            }
+            // Mid-prefix re-cuts (an ancestor resume off a resumed run).
+            for recut in 0..=events.len() {
+                assert_eq!(
+                    shared.clone_prefix(recut).to_events(),
+                    events[..recut].to_vec()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_share_collapses_onto_deepest_donor() {
+        let events = sample_events();
+        let base = Arc::new(build(&events));
+        let mut mid = ColumnarTrace::share_prefix(&base, 2);
+        mid.push(RawEvent::from(&events[2]));
+        let mid = Arc::new(mid);
+        // Cut inside mid's own prefix: the new store must reference the
+        // base columns directly, not chain through mid.
+        let leaf = ColumnarTrace::share_prefix(&mid, 1);
+        assert!(Arc::ptr_eq(&leaf.prefix.as_ref().unwrap().cols, &base));
+        assert_eq!(leaf.to_events(), events[..1].to_vec());
+        // Cut past mid's prefix: chains one level through mid.
+        let deep = ColumnarTrace::share_prefix(&mid, 3);
+        assert_eq!(deep.to_events(), events[..3].to_vec());
+        assert_eq!(deep.deps_len(), base.clone_prefix(3).deps_len());
     }
 
     #[test]

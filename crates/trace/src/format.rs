@@ -235,7 +235,17 @@ fn push_section(out: &mut Vec<u8>, tag: u16, encoding: u8, payload: &[u8]) {
 
 /// Serializes a trace to `omitrace/v1` bytes.
 pub fn encode_trace(trace: &Trace) -> Vec<u8> {
-    let cols = trace.columns();
+    // The encoder walks raw contiguous columns; a prefix-shared trace
+    // (checkpoint resume) is materialized first. Base traces — the only
+    // ones saved on hot paths — are always flat, so this copy is only
+    // paid when explicitly persisting a resumed run.
+    let flat;
+    let cols = if trace.columns().has_prefix() {
+        flat = trace.columns().clone_prefix(trace.len());
+        &flat
+    } else {
+        trace.columns()
+    };
     let n = cols.len();
     let mut out = Vec::with_capacity(64 + cols.bytes() / 4);
     out.extend_from_slice(MAGIC);

@@ -215,12 +215,14 @@ impl Recorder {
     }
 
     /// A recorder seeded with the first `len` events of `base` — the
-    /// checkpoint-resume fast path. Column-wise memcpys; no per-event
-    /// work, where the row-major trace used to clone every `Event` (and
-    /// its dependence vector) in the prefix.
-    pub fn from_prefix(base: &ColumnarTrace, len: usize) -> Self {
+    /// checkpoint-resume fast path. The prefix is *shared* with the
+    /// base trace by reference count ([`ColumnarTrace::share_prefix`]):
+    /// seeding is O(1) regardless of checkpoint depth, where even the
+    /// column-wise memcpy of the old clone cost megabytes per resumed
+    /// verification leaf at production scales.
+    pub fn from_prefix(base: &Arc<ColumnarTrace>, len: usize) -> Self {
         Recorder {
-            cols: base.clone_prefix(len),
+            cols: ColumnarTrace::share_prefix(base, len),
             postings: PostingsAcc::default(),
             chunk: ColumnarTrace::with_capacity(CHUNK_EVENTS, CHUNK_EVENTS),
             total: len,
@@ -505,6 +507,7 @@ mod tests {
     fn prefix_seeded_recorder_resumes_mid_chunk() {
         let events = synthetic(CHUNK_EVENTS + 500);
         let (base_cols, _, _) = record(&events);
+        let base_cols = Arc::new(base_cols);
         for cut in [0, 1, CHUNK_EVENTS - 1, CHUNK_EVENTS, CHUNK_EVENTS + 499] {
             let mut r = Recorder::from_prefix(&base_cols, cut);
             assert_eq!(r.len(), cut);

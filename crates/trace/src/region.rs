@@ -13,23 +13,43 @@
 //! Every statement instance heads a region: a leaf region for
 //! non-predicates, a subtree for predicates.
 
+use crate::columnar::NONE_U32;
 use crate::event::InstId;
 use crate::trace::Trace;
 use std::fmt::Write as _;
 
 /// The region tree of one trace.
+///
+/// Stored as flat columns plus a CSR child arena — no per-node heap
+/// vectors. The verifier builds one of these per *switched run*, so for
+/// a 200k-event trace the old `Vec<Vec<InstId>>` layout cost ~200k
+/// small allocations (and as many frees on eviction) per verified
+/// candidate; the CSR layout is seven flat allocations total.
 #[derive(Debug, Clone)]
 pub struct RegionTree {
-    parent: Vec<Option<InstId>>,
-    children: Vec<Vec<InstId>>,
+    /// Region-nesting parent per instance; [`NO_PARENT`] at top level.
+    parent: Vec<u32>,
+    /// CSR offsets into `child_arena`; `len + 1` entries.
+    child_off: Vec<u32>,
+    /// Children of every instance, grouped by parent, execution order
+    /// within each group.
+    child_arena: Vec<InstId>,
     /// Position of each instance within its sibling list.
     child_index: Vec<u32>,
     roots: Vec<InstId>,
-    /// Euler-tour entry timestamps: `in_region` in O(1).
-    tin: Vec<u32>,
-    /// Euler-tour exit timestamps.
-    tout: Vec<u32>,
+    /// Subtree size (self included) per instance: `in_region` in O(1).
+    ///
+    /// The interpreter maintains `region_parent` as a stack — a child's
+    /// parent is always the innermost *open* region, parents strictly
+    /// precede children, and a region never reopens once control leaves
+    /// it — so every region's descendants form the contiguous instance
+    /// interval `[head, head + size)`. Containment is an interval test,
+    /// with no Euler tour to build.
+    size: Vec<u32>,
 }
+
+/// Sentinel in `RegionTree::parent` for top-level instances.
+const NO_PARENT: u32 = u32::MAX;
 
 impl RegionTree {
     /// Builds the region tree of `trace` from its `region_parent`
@@ -41,57 +61,57 @@ impl RegionTree {
     /// must precede children in execution order).
     pub fn build(trace: &Trace) -> Self {
         let n = trace.len();
-        let mut parent = vec![None; n];
-        let mut children: Vec<Vec<InstId>> = vec![Vec::new(); n];
+        let mut parent = vec![NO_PARENT; n];
+        let mut child_off = vec![0u32; n + 1];
         let mut child_index = vec![0u32; n];
         let mut roots = Vec::new();
-        for inst in trace.insts() {
-            let p = trace.event(inst).region_parent;
-            parent[inst.index()] = p;
-            match p {
-                Some(p) => {
-                    assert!(p < inst, "region parent {p} not before child {inst}");
-                    child_index[inst.index()] = children[p.index()].len() as u32;
-                    children[p.index()].push(inst);
-                }
-                None => {
-                    child_index[inst.index()] = roots.len() as u32;
-                    roots.push(inst);
-                }
+        // Pass 1: parent pointers and per-parent child counts, straight
+        // off the raw column (materializing an event view per instance
+        // costs more than the whole rest of the build); prefix-shared
+        // traces iterate the donor's slice then their own tail.
+        trace.columns().for_each_region_parent(n, &mut |i, rp| {
+            if rp == NONE_U32 {
+                child_index[i] = roots.len() as u32;
+                roots.push(InstId(i as u32));
+            } else {
+                assert!((rp as usize) < i, "region parent {rp} not before child {i}");
+                parent[i] = rp;
+                child_off[rp as usize + 1] += 1;
+            }
+        });
+        for i in 1..=n {
+            child_off[i] += child_off[i - 1];
+        }
+        // Pass 2: counting sort of children into the arena. Instances
+        // are visited in execution order, so each parent's children land
+        // in execution order within its CSR slice.
+        let mut child_arena = vec![InstId(0); child_off[n] as usize];
+        let mut cursor = child_off[..n].to_vec();
+        for (i, &p) in parent.iter().enumerate() {
+            if p != NO_PARENT {
+                let c = &mut cursor[p as usize];
+                child_index[i] = *c - child_off[p as usize];
+                child_arena[*c as usize] = InstId(i as u32);
+                *c += 1;
             }
         }
-        // Euler tour over the forest: one global clock gives disjoint
-        // timestamp intervals to separate top-level regions, making
-        // `in_region` a single interval-containment test.
-        let mut tin = vec![0u32; n];
-        let mut tout = vec![0u32; n];
-        let mut clock = 0u32;
-        let mut stack: Vec<(InstId, usize)> = Vec::new();
-        for &r in &roots {
-            tin[r.index()] = clock;
-            clock += 1;
-            stack.push((r, 0));
-            while let Some(top) = stack.last_mut() {
-                let node = top.0;
-                if let Some(&c) = children[node.index()].get(top.1) {
-                    top.1 += 1;
-                    tin[c.index()] = clock;
-                    clock += 1;
-                    stack.push((c, 0));
-                } else {
-                    tout[node.index()] = clock;
-                    clock += 1;
-                    stack.pop();
-                }
+        // Pass 3: subtree sizes, one reverse sweep. Children have larger
+        // instance ids than their parents, so by the time `i` is folded
+        // into its parent, `size[i]` is already complete.
+        let mut size = vec![1u32; n];
+        for i in (0..n).rev() {
+            let p = parent[i];
+            if p != NO_PARENT {
+                size[p as usize] += size[i];
             }
         }
         RegionTree {
             parent,
-            children,
+            child_off,
+            child_arena,
             child_index,
             roots,
-            tin,
-            tout,
+            size,
         }
     }
 
@@ -103,12 +123,16 @@ impl RegionTree {
 
     /// The region-nesting parent of `inst`, or `None` at top level.
     pub fn parent(&self, inst: InstId) -> Option<InstId> {
-        self.parent[inst.index()]
+        match self.parent[inst.index()] {
+            NO_PARENT => None,
+            p => Some(InstId(p)),
+        }
     }
 
     /// The sub-regions of the region headed by `inst`, in execution order.
     pub fn children(&self, inst: InstId) -> &[InstId] {
-        &self.children[inst.index()]
+        let i = inst.index();
+        &self.child_arena[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// The first sub-region of `inst`'s region (`FirstSubRegion` in
@@ -136,11 +160,13 @@ impl RegionTree {
 
     /// Whether `inst` lies inside the region headed by `head`
     /// (`InRegion` in Algorithm 1): true when `inst == head` or `head`
-    /// is a nesting ancestor of `inst`. O(1) via Euler-tour timestamps
-    /// (non-strict containment, unlike the strict CD-ancestor test).
+    /// is a nesting ancestor of `inst`. O(1): a region's descendants are
+    /// the contiguous instance interval `[head, head + size)` (non-strict
+    /// containment, unlike the strict CD-ancestor test).
     pub fn in_region(&self, head: InstId, inst: InstId) -> bool {
-        self.tin[head.index()] <= self.tin[inst.index()]
-            && self.tout[inst.index()] <= self.tout[head.index()]
+        let h = head.index();
+        let i = inst.index();
+        h <= i && i < h + self.size[h] as usize
     }
 
     /// The chain of nesting ancestors of `inst`, nearest first.
@@ -251,6 +277,45 @@ mod tests {
             !r.in_region(InstId(2), InstId(1)),
             "child region excludes parent"
         );
+    }
+
+    /// The O(1) interval containment test must agree with the defining
+    /// ancestor-chain walk on every pair — this is what licenses storing
+    /// subtree sizes instead of Euler-tour timestamps.
+    #[test]
+    fn in_region_matches_ancestor_walk_on_every_pair() {
+        // Two top-level regions and a call-shaped nesting chain.
+        let events = vec![
+            mk(1, None),
+            mk(2, Some(0)),
+            mk(3, Some(1)),
+            mk(4, Some(2)),
+            mk(5, Some(0)),
+            mk(6, None),
+            mk(7, Some(5)),
+            mk(8, Some(5)),
+        ];
+        let n = events.len() as u32;
+        let t = Trace::from_parts(events, vec![], Termination::Normal);
+        let r = RegionTree::build(&t);
+        for h in 0..n {
+            for i in 0..n {
+                let mut cur = Some(InstId(i));
+                let mut walked = false;
+                while let Some(x) = cur {
+                    if x == InstId(h) {
+                        walked = true;
+                        break;
+                    }
+                    cur = r.parent(x);
+                }
+                assert_eq!(
+                    r.in_region(InstId(h), InstId(i)),
+                    walked,
+                    "in_region({h}, {i}) disagrees with the ancestor walk"
+                );
+            }
+        }
     }
 
     #[test]

@@ -144,6 +144,25 @@ pub struct VerificationStats {
     /// `input()` calls that ran past the end of the input stream (and
     /// yielded 0) across all switched executions.
     pub input_underflows: usize,
+    /// Switched runs answered from the persistent cross-iteration memo
+    /// without executing anything.
+    pub memo_hits: usize,
+    /// Entries (runs or checkpoints) evicted from the persistent memo to
+    /// stay inside its byte budget.
+    pub memo_evictions: usize,
+    /// High-water mark of bytes held by memoized checkpoints (a gauge,
+    /// not a counter: `absorb` takes the max).
+    pub checkpoint_bytes: usize,
+    /// Checkpoint captures declined by the cost model's break-even (the
+    /// gap to the best available donor was under the capture threshold).
+    pub captures_skipped: usize,
+    /// Checkpoints captured inline by spine runs on their way to the
+    /// switch (the trie's replacement for dedicated capture runs).
+    pub inline_captures: usize,
+    /// Candidates cancelled by batch-level early exit after the batch's
+    /// top-ranked use resolved StrongId (expired-timer rule: NotId
+    /// without executing).
+    pub early_exit_cancelled: usize,
     /// Wall time spent executing switched runs (and building their
     /// region trees).
     pub execution_wall: Duration,
@@ -185,6 +204,12 @@ impl VerificationStats {
         self.panics_isolated += other.panics_isolated;
         self.deadline_cancelled += other.deadline_cancelled;
         self.input_underflows += other.input_underflows;
+        self.memo_hits += other.memo_hits;
+        self.memo_evictions += other.memo_evictions;
+        self.checkpoint_bytes = self.checkpoint_bytes.max(other.checkpoint_bytes);
+        self.captures_skipped += other.captures_skipped;
+        self.inline_captures += other.inline_captures;
+        self.early_exit_cancelled += other.early_exit_cancelled;
         self.execution_wall += other.execution_wall;
         self.capture_wall += other.capture_wall;
         self.verdict_wall += other.verdict_wall;
@@ -200,8 +225,17 @@ impl fmt::Display for VerificationStats {
             "re-executions    : {} ({} resumed, {} from scratch)",
             self.reexecutions, self.resumed_runs, self.scratch_runs
         )?;
-        writeln!(f, "capture runs     : {}", self.capture_runs)?;
+        writeln!(
+            f,
+            "capture runs     : {} ({} inline, {} skipped)",
+            self.capture_runs, self.inline_captures, self.captures_skipped
+        )?;
         writeln!(f, "steps saved      : {}", self.steps_saved)?;
+        writeln!(
+            f,
+            "memo             : {} hits, {} evictions, {} checkpoint bytes",
+            self.memo_hits, self.memo_evictions, self.checkpoint_bytes
+        )?;
         writeln!(
             f,
             "run outcomes     : {} completed, {} budget-exhausted, {} crashed, {} switch-not-landed",
@@ -220,7 +254,11 @@ impl fmt::Display for VerificationStats {
             "fault isolation  : {} invalid checkpoints, {} scratch fallbacks, {} panics isolated",
             self.invalid_checkpoints, self.scratch_fallbacks, self.panics_isolated
         )?;
-        writeln!(f, "deadline cancels : {}", self.deadline_cancelled)?;
+        writeln!(
+            f,
+            "deadline cancels : {} (+ {} early-exit)",
+            self.deadline_cancelled, self.early_exit_cancelled
+        )?;
         writeln!(f, "input underflows : {}", self.input_underflows)?;
         writeln!(
             f,
@@ -308,6 +346,12 @@ mod tests {
             panics_isolated: 1,
             deadline_cancelled: 1,
             input_underflows: 5,
+            memo_hits: 2,
+            memo_evictions: 1,
+            checkpoint_bytes: 4096,
+            captures_skipped: 3,
+            inline_captures: 2,
+            early_exit_cancelled: 1,
             execution_wall: Duration::from_millis(2),
             capture_wall: Duration::from_millis(1),
             verdict_wall: Duration::from_millis(3),
@@ -329,6 +373,12 @@ mod tests {
         assert_eq!(a.panics_isolated, 2);
         assert_eq!(a.deadline_cancelled, 2);
         assert_eq!(a.input_underflows, 10);
+        assert_eq!(a.memo_hits, 4);
+        assert_eq!(a.memo_evictions, 2);
+        assert_eq!(a.checkpoint_bytes, 4096, "gauge takes the max, not the sum");
+        assert_eq!(a.captures_skipped, 6);
+        assert_eq!(a.inline_captures, 4);
+        assert_eq!(a.early_exit_cancelled, 2);
         assert_eq!(a.execution_wall, Duration::from_millis(4));
         let text = a.to_string();
         for needle in [
@@ -340,6 +390,8 @@ mod tests {
             "escalations",
             "fault isolation",
             "input underflows",
+            "memo",
+            "early-exit",
         ] {
             assert!(text.contains(needle), "{text}");
         }

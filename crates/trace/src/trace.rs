@@ -6,7 +6,7 @@ use crate::index::TraceIndex;
 use crate::outcome::CrashKind;
 use crate::value::Value;
 use omislice_lang::StmtId;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A complete execution trace.
 ///
@@ -17,9 +17,16 @@ use std::sync::OnceLock;
 /// go through the [`EventRef`] view, which borrows the columns.
 #[derive(Debug, Clone)]
 pub struct Trace {
-    cols: ColumnarTrace,
+    /// Shared so checkpoint resumes can borrow this trace's columns as
+    /// their prefix ([`ColumnarTrace::share_prefix`]) instead of
+    /// copying them; the store is immutable once the trace exists.
+    cols: Arc<ColumnarTrace>,
     outputs: Vec<OutputRecord>,
-    by_stmt: ByStmt,
+    /// Lazily built statement → instances map. Switched re-executions
+    /// (hundreds per verification batch) never query it — only the base
+    /// trace and test oracles do — so building it eagerly would cost an
+    /// O(trace) pass per verified candidate for nothing.
+    by_stmt: OnceLock<ByStmt>,
     termination: Termination,
     /// Lazily built query index (Euler-tour CD timestamps + postings).
     index: OnceLock<TraceIndex>,
@@ -39,26 +46,21 @@ impl ByStmt {
     /// Counting sort of instance ids by statement; preserves execution
     /// order within each statement.
     fn build(cols: &ColumnarTrace) -> ByStmt {
-        let n_stmts = cols
-            .stmt
-            .iter()
-            .map(|s| s.0 as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let n = cols.len();
+        let mut n_stmts = 0usize;
+        cols.for_each_stmt(n, &mut |_, s| n_stmts = n_stmts.max(s.0 as usize + 1));
         let mut off = vec![0u32; n_stmts + 1];
-        for s in &cols.stmt {
-            off[s.0 as usize + 1] += 1;
-        }
+        cols.for_each_stmt(n, &mut |_, s| off[s.0 as usize + 1] += 1);
         for i in 1..off.len() {
             off[i] += off[i - 1];
         }
-        let mut insts = vec![InstId(0); cols.len()];
+        let mut insts = vec![InstId(0); n];
         let mut cursor = off.clone();
-        for (i, s) in cols.stmt.iter().enumerate() {
+        cols.for_each_stmt(n, &mut |i, s| {
             let c = &mut cursor[s.0 as usize];
             insts[*c as usize] = InstId(i as u32);
             *c += 1;
-        }
+        });
         ByStmt { off, insts }
     }
 
@@ -126,15 +128,14 @@ impl Trace {
         termination: Termination,
         index: Option<TraceIndex>,
     ) -> Self {
-        let by_stmt = ByStmt::build(&cols);
         let cell = OnceLock::new();
         if let Some(idx) = index {
             cell.set(idx).ok();
         }
         Trace {
-            cols,
+            cols: Arc::new(cols),
             outputs,
-            by_stmt,
+            by_stmt: OnceLock::new(),
             termination,
             index: cell,
         }
@@ -143,6 +144,13 @@ impl Trace {
     /// The columnar event store.
     pub fn columns(&self) -> &ColumnarTrace {
         &self.cols
+    }
+
+    /// The columnar store behind its shared handle — what a checkpoint
+    /// resume passes to [`ColumnarTrace::share_prefix`] so the resumed
+    /// run borrows this trace's head instead of copying it.
+    pub fn columns_arc(&self) -> Arc<ColumnarTrace> {
+        Arc::clone(&self.cols)
     }
 
     /// The query index over this trace, built serially on first use.
@@ -199,9 +207,12 @@ impl Trace {
         (0..self.cols.len() as u32).map(InstId)
     }
 
-    /// The instances of a statement, in execution order.
+    /// The instances of a statement, in execution order. The underlying
+    /// map is built serially on first use.
     pub fn instances_of(&self, stmt: StmtId) -> &[InstId] {
-        self.by_stmt.instances_of(stmt)
+        self.by_stmt
+            .get_or_init(|| ByStmt::build(&self.cols))
+            .instances_of(stmt)
     }
 
     /// The k-th (0-based) instance of a statement, if it executed that
