@@ -313,6 +313,30 @@ verify_smoke() {
     echo "verify smoke OK (resumed/scratch ratio $ratio)"
 }
 
+# Timeline-profiler smoke: a parallel corpus locate with `--profile-out`
+# must emit a Chrome-trace JSON that parses, names every worker track,
+# carries the memo/checkpoint-bytes counter tracks, and reports a
+# utilization sum no larger than the worker count — plus a non-empty
+# collapsed-stack flamegraph next to it. The overhead guard then holds
+# the profiled pipeline to the same <=5% contract as the span recorder.
+# Run standalone with `./ci.sh profile-smoke`.
+profile_smoke() {
+    echo "==> profile smoke (corpus locate --profile-out + Chrome-trace validation)"
+    cargo build "${OFFLINE[@]}" --release \
+        -p omislice-cli -p omislice-obs -p omislice-bench
+    local prof=/tmp/omislice-profile-smoke.json
+    RUST_BACKTRACE=1 ./target/release/omislice corpus locate sed V3-F2 \
+        --jobs 4 --profile-out "$prof" >/dev/null 2>&1
+    ./target/release/validate_profile "$prof" --jobs 4
+    if [ ! -s "$prof.folded" ]; then
+        echo "profile smoke FAILED: empty flamegraph at $prof.folded" >&2
+        exit 1
+    fi
+    echo "==> profiled overhead guard"
+    ./target/release/overhead_guard
+    echo "profile smoke OK"
+}
+
 # Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
 # (fixed seed set, so deterministic and bounded) must hold every
 # cross-pipeline invariant — DS ⊆ RS, pruned ⊆ DS, indexed alignment ==
@@ -354,6 +378,10 @@ if [ "${1:-}" = "verify-smoke" ]; then
     verify_smoke
     exit 0
 fi
+if [ "${1:-}" = "profile-smoke" ]; then
+    profile_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
@@ -380,5 +408,7 @@ trace_smoke
 chaos_smoke
 
 verify_smoke
+
+profile_smoke
 
 echo "CI OK"

@@ -6,12 +6,14 @@
 //! ```
 //!
 //! Default mode runs the sed trace → graph → slice → verify pipeline
-//! back-to-back with the recorder disabled and enabled (min of N reps
-//! each) and fails if the enabled run exceeds the disabled run by more
-//! than the tolerance. Because the disabled path costs one relaxed
-//! atomic load per guarded site, *enabled* staying within tolerance of
-//! *disabled* bounds the disabled path's drift from the pre-obs code
-//! far tighter than the 5% budget.
+//! back-to-back with the recorder disabled, enabled, and enabled with
+//! the timeline profiler armed (min of N reps each) and fails if either
+//! instrumented run exceeds the disabled run by more than the
+//! tolerance. Because the disabled path costs one relaxed atomic load
+//! per guarded site, *enabled* staying within tolerance of *disabled*
+//! bounds the disabled path's drift from the pre-obs code far tighter
+//! than the 5% budget; the profiled pass holds `--profile-out` to the
+//! same contract.
 //!
 //! `--against` compares two `BENCH_sweep.json` files row by row:
 //! deterministic columns must match exactly; timing columns of the new
@@ -110,38 +112,50 @@ fn in_process_guard(tolerance: f64, reps: usize) -> Result<String, String> {
 
     // Three attempts damp scheduler noise: one flaky spike must not
     // fail CI, a systematic regression fails all three.
-    let mut last = (0.0, 0u128, 0u128);
+    let mut last = (0.0, 0.0, 0u128, 0u128, 0u128);
     for attempt in 1..=3 {
         omislice_obs::set_enabled(false);
         let mut disabled = u128::MAX;
         let mut enabled = u128::MAX;
-        // Interleave the two modes so drift (thermal, cache warmup)
-        // hits both equally.
+        let mut profiled = u128::MAX;
+        // Interleave the three modes so drift (thermal, cache warmup)
+        // hits all equally. The third mode arms the timeline profiler on
+        // top of the span recorder — the `--profile-out` configuration.
         for _ in 0..reps {
             omislice_obs::set_enabled(false);
             disabled = disabled.min(pipeline_ns(&program, &analysis, &config));
             omislice_obs::set_enabled(true);
             enabled = enabled.min(pipeline_ns(&program, &analysis, &config));
+            omislice_obs::profile::profile_reset();
+            omislice_obs::profile::set_profiling(true);
+            profiled = profiled.min(pipeline_ns(&program, &analysis, &config));
+            omislice_obs::profile::set_profiling(false);
+            let _ = omislice_obs::profile::profile_drain();
         }
         omislice_obs::set_enabled(false);
         let _ = omislice_obs::drain();
         let ratio = enabled as f64 / disabled as f64;
-        last = (ratio, disabled, enabled);
-        if ratio <= 1.0 + tolerance {
+        let prof_ratio = profiled as f64 / disabled as f64;
+        last = (ratio, prof_ratio, disabled, enabled, profiled);
+        if ratio <= 1.0 + tolerance && prof_ratio <= 1.0 + tolerance {
             return Ok(format!(
-                "overhead OK (attempt {attempt}): disabled {:.1}us, enabled {:.1}us, ratio {:.3} <= {:.2}",
+                "overhead OK (attempt {attempt}): disabled {:.1}us, enabled {:.1}us (ratio {:.3}), profiled {:.1}us (ratio {:.3}) <= {:.2}",
                 disabled as f64 / 1e3,
                 enabled as f64 / 1e3,
                 ratio,
+                profiled as f64 / 1e3,
+                prof_ratio,
                 1.0 + tolerance
             ));
         }
     }
     Err(format!(
-        "recorder overhead out of budget: disabled {:.1}us, enabled {:.1}us, ratio {:.3} > {:.2}",
-        last.1 as f64 / 1e3,
+        "recorder overhead out of budget: disabled {:.1}us, enabled {:.1}us (ratio {:.3}), profiled {:.1}us (ratio {:.3}) > {:.2}",
         last.2 as f64 / 1e3,
+        last.3 as f64 / 1e3,
         last.0,
+        last.4 as f64 / 1e3,
+        last.1,
         1.0 + tolerance
     ))
 }

@@ -362,7 +362,7 @@ fn check_case(seed: u64, quick: bool, chaos: bool) -> Result<CaseStats, String> 
                 ));
             }
             let journal = normalize(&to_jsonl(&build_journal(
-                &meta, &lc, &outcome, trace, None, None,
+                &meta, &lc, &outcome, trace, None, None, None,
             )))?;
             stats.journals_compared += 1;
             match &reference {
@@ -414,7 +414,7 @@ fn check_case(seed: u64, quick: bool, chaos: bool) -> Result<CaseStats, String> 
                 )
                 .map_err(|e| format!("locate_fault ({scheduler:?}) failed: {e}"))?;
                 let journal = normalize(&to_jsonl(&build_journal(
-                    &meta, &lc, &outcome, trace, None, None,
+                    &meta, &lc, &outcome, trace, None, None, None,
                 )))?;
                 if journal != clean {
                     return Err(format!(
@@ -518,7 +518,7 @@ fn check_chaos_pipelines(
                 ));
             }
             let journal = normalize(&to_jsonl(&build_journal(
-                meta, &lc, &outcome, &loaded, None, None,
+                meta, &lc, &outcome, &loaded, None, None, None,
             )))?;
             if journal != clean_journal {
                 std::fs::remove_file(&tmp).ok();

@@ -79,6 +79,7 @@ pub struct Sample {
     pub rs_ns: u128,
     pub verify: Option<VerifySample>,
     pub phases: PhaseSample,
+    pub sched: SchedSample,
     pub io: IoSample,
 }
 
@@ -105,6 +106,27 @@ pub struct PhaseSample {
     pub graph_ns: u64,
     pub slice_ns: u64,
     pub verify_ns: u64,
+    /// Self time per phase: wall time exclusive of child spans, so the
+    /// four columns attribute each nanosecond to exactly one phase.
+    pub trace_self_ns: u64,
+    pub graph_self_ns: u64,
+    pub slice_self_ns: u64,
+    pub verify_self_ns: u64,
+}
+
+/// Scheduler-level counters from the timeline profiler, captured in the
+/// same instrumented pass as [`PhaseSample`].
+#[derive(Debug, Clone, Default)]
+pub struct SchedSample {
+    /// Per-worker busy fraction of the profiled window (verify workers
+    /// only; the coordinating thread is excluded).
+    pub utilization: Vec<f64>,
+    /// Verification tasks completed across all workers.
+    pub tasks: u64,
+    /// Tasks taken from another worker's queue.
+    pub steals: u64,
+    /// Profiler events lost to ring overflow or drain contention.
+    pub drops: u64,
 }
 
 /// Verification-engine cost for the sample's batch: from scratch, resumed
@@ -270,7 +292,7 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 }
             });
 
-            let phases = instrumented_pass(&program, &analysis, &config, opts.jobs);
+            let (phases, sched) = instrumented_pass(&program, &analysis, &config, opts.jobs);
 
             let io = {
                 let path = std::env::temp_dir().join(format!(
@@ -307,6 +329,7 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 rs_ns,
                 verify,
                 phases,
+                sched,
                 io,
             });
         }
@@ -323,9 +346,11 @@ fn instrumented_pass(
     analysis: &ProgramAnalysis,
     config: &RunConfig,
     jobs: usize,
-) -> PhaseSample {
+) -> (PhaseSample, SchedSample) {
     omislice_obs::reset();
     omislice_obs::set_enabled(true);
+    omislice_obs::profile::profile_reset();
+    omislice_obs::profile::set_profiling(true);
     let run = run_traced(program, analysis, config);
     run.trace.build_index(jobs);
     let graph = DepGraph::with_jobs(&run.trace, jobs);
@@ -338,14 +363,35 @@ fn instrumented_pass(
             .with_resume(ResumeMode::Auto);
         v.verify_all(&requests);
     }
+    omislice_obs::profile::set_profiling(false);
+    let profile = omislice_obs::profile::profile_drain();
     omislice_obs::set_enabled(false);
     let report = omislice_obs::drain();
-    PhaseSample {
+    let self_times = report.self_times();
+    let self_of = |name: &str| self_times.get(name).copied().unwrap_or(0);
+    let summary = profile.summarize();
+    let sched = SchedSample {
+        utilization: summary
+            .workers
+            .iter()
+            .filter(|w| w.worker != omislice_obs::profile::WORKER_MAIN)
+            .map(|w| summary.utilization(w))
+            .collect(),
+        tasks: summary.workers.iter().map(|w| w.tasks).sum(),
+        steals: summary.workers.iter().map(|w| w.steals).sum(),
+        drops: summary.drops,
+    };
+    let phases = PhaseSample {
         trace_ns: report.total_ns("trace"),
         graph_ns: report.total_ns("graph"),
         slice_ns: report.total_ns("slice"),
         verify_ns: report.total_ns("verify"),
-    }
+        trace_self_ns: self_of("trace"),
+        graph_self_ns: self_of("graph"),
+        slice_self_ns: self_of("slice"),
+        verify_self_ns: self_of("verify"),
+    };
+    (phases, sched)
 }
 
 fn micros(ns: u128) -> String {
@@ -401,12 +447,37 @@ fn sample_json(s: &Sample) -> String {
             )
         }
     };
+    // `trace_us` stays the first phases key: `bench_smoke` greps for the
+    // literal prefix `"phases":{"trace_us":`.
     let phases = format!(
-        "{{\"trace_us\":{},\"graph_us\":{},\"slice_us\":{},\"verify_us\":{}}}",
+        concat!(
+            "{{\"trace_us\":{},\"graph_us\":{},\"slice_us\":{},\"verify_us\":{},",
+            "\"trace_self_us\":{},\"graph_self_us\":{},\"slice_self_us\":{},",
+            "\"verify_self_us\":{}}}"
+        ),
         json_us(s.phases.trace_ns as u128),
         json_us(s.phases.graph_ns as u128),
         json_us(s.phases.slice_ns as u128),
         json_us(s.phases.verify_ns as u128),
+        json_us(s.phases.trace_self_ns as u128),
+        json_us(s.phases.graph_self_ns as u128),
+        json_us(s.phases.slice_self_ns as u128),
+        json_us(s.phases.verify_self_ns as u128),
+    );
+    let sched = format!(
+        concat!(
+            "{{\"sched_utilization\":[{}],\"tasks\":{},\"steals\":{},",
+            "\"profile_drops\":{}}}"
+        ),
+        s.sched
+            .utilization
+            .iter()
+            .map(|u| format!("{u:.3}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        s.sched.tasks,
+        s.sched.steals,
+        s.sched.drops,
     );
     let trace_io = format!(
         "{{\"save_us\":{},\"load_us\":{},\"file_bytes\":{},\"columnar_bytes\":{}}}",
@@ -420,7 +491,7 @@ fn sample_json(s: &Sample) -> String {
             "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
             "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
             "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},",
-            "\"phases\":{},\"trace_io\":{},\"verify\":{}}}"
+            "\"phases\":{},\"sched\":{},\"trace_io\":{},\"verify\":{}}}"
         ),
         s.benchmark,
         s.scale,
@@ -432,6 +503,7 @@ fn sample_json(s: &Sample) -> String {
         json_us(s.graph_ns),
         json_us(s.rs_ns),
         phases,
+        sched,
         trace_io,
         verify,
     )
@@ -470,6 +542,16 @@ pub fn render_table(samples: &[Sample]) -> String {
                 micros(s.plain_ns),
                 micros(s.graph_ns),
                 micros(s.rs_ns),
+                if s.sched.utilization.is_empty() {
+                    "-".to_string()
+                } else {
+                    s.sched
+                        .utilization
+                        .iter()
+                        .map(|u| format!("{:.0}%", u * 100.0))
+                        .collect::<Vec<_>>()
+                        .join("/")
+                },
                 micros(s.io.save_ns),
                 micros(s.io.load_ns),
                 format!("{:.1}", s.io.file_bytes as f64 / 1024.0),
@@ -491,6 +573,7 @@ pub fn render_table(samples: &[Sample]) -> String {
             "Plain (us)",
             "Graph (us)",
             "RS (us)",
+            "Sched util",
             "Save (us)",
             "Load (us)",
             "File (KB)",

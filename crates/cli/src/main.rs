@@ -62,6 +62,7 @@ const USAGE: &str = "usage:
   omislice run     <file> [--input 1,2,3]
   omislice trace   <file> [--input 1,2,3] [--regions] [--dot] [--stats]
                    [--save <file.omitrace>] [--chaos <plan>] [--deadline <ms>]
+                   [--profile-out <file.json>]
   omislice slice   <file> [--input 1,2,3] [--output N] [--relevant] [--jobs N]
   omislice cfg     <file> [--function main]
   omislice locate  --faulty <file> --fixed <file> [--input 1,2,3]
@@ -74,13 +75,15 @@ const USAGE: &str = "usage:
                    [--fault-plan S<id>[:occ]=<action>]
                    [--chaos <plan>] [--deadline <ms>]
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]
+                   [--profile-out <file.json>]
   omislice verify  <file> [--input 1,2,3] --pred N[:occ] --use N[:occ]
                    [--var name] [--expected v] [--mode edge|path|value]
   omislice corpus  [list | locate <bench> <fault> [--jobs N] [--no-resume]
                    [--scheduler trie|flat] [--capture-threshold N]
                    [--early-exit] [--stats] [--budget ...] [--fault-plan ...]
                    [--chaos <plan>] [--deadline <ms>]
-                   [--obs-out <file.jsonl>] [--explain] [--metrics text|json]]
+                   [--obs-out <file.jsonl>] [--explain] [--metrics text|json]
+                   [--profile-out <file.json>]]
 
 fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
 uninit, budget, panic, panic-harness, corrupt-checkpoint
@@ -196,16 +199,22 @@ fn cmd_run(args: Vec<String>) -> Result<ExitCode, String> {
 }
 
 fn cmd_trace(args: Vec<String>) -> Result<ExitCode, String> {
-    let opts = Opts::parse(args, &["input", "save", "chaos", "deadline"])?;
+    let opts = Opts::parse(args, &["input", "save", "chaos", "deadline", "profile-out"])?;
     let path = opts
         .positional
         .first()
         .ok_or("trace needs a program file")?;
+    let obs = ObsOpts::parse(&opts)?;
+    obs.start_recorder();
     let program = load_program(path)?;
     let analysis = ProgramAnalysis::build(&program);
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
     let sup = parse_supervisor(&opts)?;
     let run = sup.run(|| run_traced(&program, &analysis, &config));
+    // The traced run is this command's whole pipeline: close the profile
+    // here so the early returns below all see it written.
+    let (spans, prof) = obs.stop_recorder();
+    obs.write_profile(prof.as_ref(), spans.as_ref())?;
     let trace = &run.trace;
     if let Some(out) = opts.value("save") {
         sup.save_trace(trace, std::path::Path::new(out))
@@ -453,6 +462,7 @@ enum MetricsFormat {
 /// The observability switches shared by `locate` and `corpus locate`.
 struct ObsOpts {
     obs_out: Option<String>,
+    profile_out: Option<String>,
     explain: bool,
     metrics: Option<MetricsFormat>,
 }
@@ -469,6 +479,7 @@ impl ObsOpts {
         };
         Ok(ObsOpts {
             obs_out: opts.value("obs-out").map(str::to_string),
+            profile_out: opts.value("profile-out").map(str::to_string),
             explain: opts.has("explain"),
             metrics,
         })
@@ -476,26 +487,71 @@ impl ObsOpts {
 
     /// Whether the span recorder needs to run at all.
     fn recording(&self) -> bool {
-        self.obs_out.is_some() || self.metrics.is_some()
+        self.obs_out.is_some() || self.metrics.is_some() || self.profile_out.is_some()
     }
 
     /// Turns the recorder on (before the pipeline starts, so parse and
-    /// analyze spans are captured too).
+    /// analyze spans are captured too). `--profile-out` additionally
+    /// arms the scheduler event rings.
     fn start_recorder(&self) {
         if self.recording() {
             omislice_obs::reset();
             omislice_obs::set_enabled(true);
         }
+        if self.profile_out.is_some() {
+            omislice_obs::profile::profile_reset();
+            omislice_obs::profile::set_profiling(true);
+        }
     }
 
-    /// Turns the recorder off and collects what it saw.
-    fn stop_recorder(&self) -> Option<SpanReport> {
-        if self.recording() {
+    /// Turns the recorder off and collects what it saw. The profiler is
+    /// drained first so its drop count can land in the span counters
+    /// while they are still recording.
+    fn stop_recorder(
+        &self,
+    ) -> (
+        Option<SpanReport>,
+        Option<omislice_obs::profile::ProfileReport>,
+    ) {
+        let profile = if self.profile_out.is_some() {
+            omislice_obs::profile::set_profiling(false);
+            let report = omislice_obs::profile::profile_drain();
+            omislice_obs::counter_add("profile.drops", report.drops);
+            Some(report)
+        } else {
+            None
+        };
+        let spans = if self.recording() {
             omislice_obs::set_enabled(false);
             Some(omislice_obs::drain())
         } else {
             None
-        }
+        };
+        (spans, profile)
+    }
+
+    /// Writes the Chrome-trace JSON and collapsed-stack flamegraph, and
+    /// narrates the aggregate scheduler report on stderr.
+    fn write_profile(
+        &self,
+        profile: Option<&omislice_obs::profile::ProfileReport>,
+        spans: Option<&SpanReport>,
+    ) -> Result<(), String> {
+        let (Some(path), Some(report)) = (&self.profile_out, profile) else {
+            return Ok(());
+        };
+        let empty = SpanReport::default();
+        let spans = spans.unwrap_or(&empty);
+        let doc = omislice_obs::profile::chrome_trace(report, spans);
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        let folded = format!("{path}.folded");
+        std::fs::write(&folded, omislice_obs::profile::flamegraph(spans))
+            .map_err(|e| format!("cannot write `{folded}`: {e}"))?;
+        let mut rep = Reporter::stderr();
+        rep.section("timeline profile");
+        rep.block(&omislice_obs::profile::render_profile(report));
+        Ok(())
     }
 
     /// Routes the human-readable body: stdout normally, stderr when
@@ -522,6 +578,7 @@ impl ObsOpts {
 }
 
 /// Writes the locate journal as JSONL to `path`.
+#[allow(clippy::too_many_arguments)]
 fn write_journal_file(
     path: &str,
     meta: &JournalMeta,
@@ -529,9 +586,10 @@ fn write_journal_file(
     outcome: &LocateOutcome,
     trace: &Trace,
     recovery: Option<&RecoveryLog>,
+    profile: Option<&omislice_obs::profile::ProfileSummary>,
     spans: Option<&SpanReport>,
 ) -> Result<(), String> {
-    let records = build_journal(meta, lc, outcome, trace, recovery, spans);
+    let records = build_journal(meta, lc, outcome, trace, recovery, profile, spans);
     let f = std::fs::File::create(path).map_err(|e| format!("cannot create `{path}`: {e}"))?;
     omislice_obs::write_jsonl(std::io::BufWriter::new(f), &records)
         .map_err(|e| format!("cannot write `{path}`: {e}"))
@@ -693,6 +751,7 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
             "chaos",
             "deadline",
             "obs-out",
+            "profile-out",
             "metrics",
         ],
     )?;
@@ -763,7 +822,9 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
     let outcome = locate_fault(&faulty, &analysis, &config, &trace, &profile, &oracle, &lc)
         .map_err(|e| e.to_string())?;
     let recovery = take_recovery();
-    let spans = obs.stop_recorder();
+    let (spans, prof) = obs.stop_recorder();
+    let prof_summary = prof.as_ref().map(|p| p.summarize());
+    obs.write_profile(prof.as_ref(), spans.as_ref())?;
     if let Some(path) = &obs.obs_out {
         let meta = JournalMeta {
             program: faulty_path.to_string(),
@@ -775,6 +836,7 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
             &outcome,
             &trace,
             Some(&recovery),
+            prof_summary.as_ref(),
             spans.as_ref(),
         )?;
     }
@@ -923,6 +985,7 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
             "chaos",
             "deadline",
             "obs-out",
+            "profile-out",
             "metrics",
         ],
     )?;
@@ -986,7 +1049,9 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
             };
             let outcome = session.locate(&lc).map_err(|e| e.to_string())?;
             let recovery = take_recovery();
-            let spans = obs.stop_recorder();
+            let (spans, prof) = obs.stop_recorder();
+            let prof_summary = prof.as_ref().map(|p| p.summarize());
+            obs.write_profile(prof.as_ref(), spans.as_ref())?;
             if let Some(path) = &obs.obs_out {
                 let meta = JournalMeta {
                     program: format!("{bench_name}:{fault_id}"),
@@ -998,6 +1063,7 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
                     &outcome,
                     session.trace(),
                     Some(&recovery),
+                    prof_summary.as_ref(),
                     spans.as_ref(),
                 )?;
             }

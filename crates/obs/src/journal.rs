@@ -13,13 +13,17 @@
 //! * an optional `recovery` record — present only when the pipeline
 //!   absorbed injected or real faults (or its deadline expired), with
 //!   the `recovery.*` counter totals and the ordered event list;
+//! * an optional `profile` record — present only when the timeline
+//!   profiler was on (`--profile-out`), with per-worker utilization
+//!   aggregates and ring drop counts;
 //! * an optional trailing `spans` record — the merged span timeline and
 //!   counter totals of the recorder.
 //!
-//! Everything except fields ending in `_ns` (and the `spans` record,
-//! which is pure timing) is deterministic: the journal is byte-identical
-//! across `--jobs` values and resume modes once timing fields are
-//! stripped with [`strip_timing`].
+//! Everything except fields ending in `_ns` (and the `spans` and
+//! `profile` records, which describe timing and scheduling) is
+//! deterministic: the journal is byte-identical across `--jobs` values
+//! and resume modes once timing fields are stripped with
+//! [`strip_timing`].
 
 use crate::json::{parse, Json};
 use std::io::Write;
@@ -28,7 +32,14 @@ use std::io::Write;
 pub const SCHEMA: &str = "omislice-obs/v1";
 
 /// The record types a journal may contain, in order of appearance.
-pub const RECORD_TYPES: [&str; 5] = ["header", "iteration", "summary", "recovery", "spans"];
+pub const RECORD_TYPES: [&str; 6] = [
+    "header",
+    "iteration",
+    "summary",
+    "recovery",
+    "profile",
+    "spans",
+];
 
 /// Valid `verdict` strings.
 pub const VERDICTS: [&str; 3] = ["not-id", "id", "strong-id"];
@@ -64,8 +75,10 @@ pub fn to_jsonl(records: &[Json]) -> String {
 }
 
 /// Strips the timing content from a journal text: removes every object
-/// key ending in `_ns` and drops `spans` records entirely. What remains
-/// must be byte-identical across thread counts and resume modes.
+/// key ending in `_ns` and drops `spans` and `profile` records entirely
+/// (a profile's worker assignments and drop counts are scheduling
+/// facts, not run facts). What remains must be byte-identical across
+/// thread counts and resume modes.
 pub fn strip_timing(jsonl: &str) -> Result<String, String> {
     let mut out = String::new();
     for (i, line) in jsonl.lines().enumerate() {
@@ -73,7 +86,10 @@ pub fn strip_timing(jsonl: &str) -> Result<String, String> {
             continue;
         }
         let mut v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
-        if v.get("type").and_then(Json::as_str) == Some("spans") {
+        if matches!(
+            v.get("type").and_then(Json::as_str),
+            Some("spans") | Some("profile")
+        ) {
             continue;
         }
         v.strip_keys(&|k| k.ends_with("_ns"));
@@ -202,6 +218,30 @@ impl Validator {
                 }
                 if record.get("events").and_then(Json::as_array).is_none() {
                     return Err("recovery: missing `events` array".to_string());
+                }
+            }
+            "profile" => {
+                if !self.saw_summary {
+                    return Err("profile record before summary".to_string());
+                }
+                for key in ["events", "drops"] {
+                    if record.get(key).and_then(Json::as_int).is_none() {
+                        return Err(format!("profile: missing integer `{key}`"));
+                    }
+                }
+                let workers = record
+                    .get("workers")
+                    .and_then(Json::as_array)
+                    .ok_or("profile: missing `workers` array")?;
+                for (i, w) in workers.iter().enumerate() {
+                    for key in ["tasks", "steals", "busy_ns"] {
+                        if w.get(key).and_then(Json::as_int).is_none() {
+                            return Err(format!("profile: workers[{i}] missing integer `{key}`"));
+                        }
+                    }
+                    if w.get("worker").is_none() {
+                        return Err(format!("profile: workers[{i}] missing `worker`"));
+                    }
                 }
             }
             "spans" => self.check_spans(record)?,
@@ -466,6 +506,37 @@ mod tests {
         // about the run, not timing.
         let stripped = strip_timing(&good).unwrap();
         assert!(stripped.contains("\"type\":\"recovery\""));
+    }
+
+    #[test]
+    fn accepts_and_validates_profile_records() {
+        let good = minimal()
+            + r#"{"type":"profile","events":42,"drops":0,"window_ns":9000,"workers":[{"worker":0,"tasks":20,"steals":2,"busy_ns":8000,"utilization":0.88}]}"#
+            + "\n";
+        Validator::check_document(&good).unwrap();
+        // Profile must follow the summary.
+        let early: String = {
+            let lines: Vec<&str> = good.lines().collect();
+            format!("{}\n{}\n{}\n{}\n", lines[0], lines[3], lines[1], lines[2])
+        };
+        assert!(Validator::check_document(&early)
+            .unwrap_err()
+            .contains("before summary"));
+        for (needle, expect) in [
+            ("\"events\":42,", "events"),
+            ("\"drops\":0,", "drops"),
+            ("\"tasks\":20,", "tasks"),
+            ("\"steals\":2,", "steals"),
+        ] {
+            let doc = good.replace(needle, "");
+            let err = Validator::check_document(&doc).unwrap_err();
+            assert!(err.contains(expect), "{needle}: {err}");
+        }
+        // Profiles are scheduling facts: stripped alongside spans, so
+        // clean determinism comparisons never see them.
+        let stripped = strip_timing(&good).unwrap();
+        assert!(!stripped.contains("\"type\":\"profile\""));
+        assert_eq!(stripped, strip_timing(&minimal()).unwrap());
     }
 
     #[test]

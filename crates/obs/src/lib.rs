@@ -28,6 +28,7 @@
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod span;
 
@@ -36,7 +37,8 @@ pub use journal::{
     VERDICTS,
 };
 pub use json::{parse, Json};
-pub use metrics::{Metric, MetricSet};
+pub use metrics::{Metric, MetricSet, KNOWN_COUNTERS};
+pub use profile::{profiling, set_profiling, ProfileReport, ProfileSummary};
 pub use report::Reporter;
 pub use span::{
     counter_add, counter_max, drain, enabled, reset, set_enabled, span, span_indexed, SpanAgg,

@@ -10,6 +10,32 @@ use crate::json::Json;
 use crate::span::SpanReport;
 use std::fmt::Write as _;
 
+/// Every counter name an instrumentation site in the workspace can
+/// emit. [`MetricSet::push_spans`] zero-fills any name missing from a
+/// report, so both `--metrics text` and `--metrics json` always carry
+/// the complete key set — a counter that never fired exports as 0
+/// instead of silently disappearing from one run's output.
+pub const KNOWN_COUNTERS: &[&str] = &[
+    "columnar.bytes",
+    "csr.fill.edges",
+    "frontier.claims",
+    "profile.drops",
+    "recorder.backpressure_stalls",
+    "recorder.queue_depth_max",
+    "recovery.deadline_expirations",
+    "recovery.inline_fallbacks",
+    "recovery.load_retries",
+    "recovery.mmap_fallbacks",
+    "recovery.queue_stalls",
+    "recovery.retrace_fallbacks",
+    "recovery.save_retries",
+    "tracer.events",
+    "tracer.runs",
+    "verify.checkpoint.bytes",
+    "verify.memo.bytes",
+    "verify.sched.steals",
+];
+
 /// One exported metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metric {
@@ -72,6 +98,21 @@ impl MetricSet {
                 format!("Longest `{name}` span"),
                 agg.max_ns as f64,
             );
+            self.push(
+                format!("{base}_p50_ns"),
+                format!("Median `{name}` span duration (log-bucket estimate)"),
+                agg.p50_ns() as f64,
+            );
+            self.push(
+                format!("{base}_p90_ns"),
+                format!("90th-percentile `{name}` span duration (log-bucket estimate)"),
+                agg.p90_ns() as f64,
+            );
+            self.push(
+                format!("{base}_p99_ns"),
+                format!("99th-percentile `{name}` span duration (log-bucket estimate)"),
+                agg.p99_ns() as f64,
+            );
         }
         for (name, n) in &report.counters {
             self.push(
@@ -79,6 +120,17 @@ impl MetricSet {
                 format!("Recorder counter `{name}`"),
                 *n as f64,
             );
+        }
+        // Completeness: a counter that never fired still exports (as 0)
+        // in both text and JSON, keeping the key set stable run to run.
+        for &name in KNOWN_COUNTERS {
+            if !report.counters.contains_key(name) {
+                self.push(
+                    format!("counter_{}", sanitize(name)),
+                    format!("Recorder counter `{name}`"),
+                    0.0,
+                );
+            }
         }
     }
 
@@ -175,5 +227,53 @@ mod tests {
         let text = set.to_prometheus();
         assert!(text.contains("omislice_span_trace_count 1"));
         assert!(text.contains("omislice_span_trace_total_ns"));
+        assert!(text.contains("omislice_span_trace_p50_ns"));
+        assert!(text.contains("omislice_span_trace_p99_ns"));
+    }
+
+    #[test]
+    fn text_and_json_exporters_carry_identical_key_sets() {
+        let _g = crate::span::tests::test_guard();
+        set_enabled(true);
+        reset();
+        {
+            let _s = span("verify");
+        }
+        crate::span::counter_add("tracer.events", 5);
+        set_enabled(false);
+        let report = drain();
+        let mut set = MetricSet::new();
+        set.push_spans(&report);
+
+        // Key set of the Prometheus text export.
+        let text_keys: std::collections::BTreeSet<String> = set
+            .to_prometheus()
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter_map(|l| l.split_whitespace().next())
+            .map(str::to_string)
+            .collect();
+        // Key set of the JSON export, mapped through the same prefixing.
+        let Json::Object(pairs) = set.to_json() else {
+            panic!("json export is an object");
+        };
+        let json_keys: std::collections::BTreeSet<String> = pairs
+            .iter()
+            .map(|(k, _)| format!("omislice_{}", sanitize(k)))
+            .collect();
+        assert_eq!(text_keys, json_keys, "exporters must agree on keys");
+
+        // Every registered counter appears, fired or not.
+        for name in KNOWN_COUNTERS {
+            let key = format!("omislice_counter_{}", sanitize(name));
+            assert!(text_keys.contains(&key), "missing {key} in text export");
+        }
+        // The one that fired kept its value; an unfired one reads 0.
+        let json = set.to_json();
+        assert_eq!(json.get("counter_tracer_events"), Some(&Json::Int(5)));
+        assert_eq!(
+            json.get("counter_recovery_save_retries"),
+            Some(&Json::Int(0))
+        );
     }
 }

@@ -40,7 +40,9 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the recorder epoch — shared with the timeline
+/// profiler so span and scheduler-event timestamps align on one axis.
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -199,8 +201,13 @@ pub fn counter_max(name: &'static str, n: u64) {
     });
 }
 
+/// Number of log2 duration buckets in [`SpanAgg`]: bucket `i` counts
+/// durations in `[2^(i-1), 2^i)` ns, with the last bucket absorbing
+/// everything from ~9 minutes up.
+pub const DURATION_BUCKETS: usize = 40;
+
 /// Aggregate statistics for one span name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanAgg {
     /// Closed spans with this name.
     pub count: u64,
@@ -210,6 +217,62 @@ pub struct SpanAgg {
     pub min_ns: u64,
     /// Longest instance, nanoseconds.
     pub max_ns: u64,
+    /// Log2-bucketed duration histogram (see [`DURATION_BUCKETS`]);
+    /// powers the p50/p90/p99 estimates in `--metrics`.
+    pub buckets: [u64; DURATION_BUCKETS],
+}
+
+impl Default for SpanAgg {
+    fn default() -> Self {
+        SpanAgg {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; DURATION_BUCKETS],
+        }
+    }
+}
+
+impl SpanAgg {
+    fn bucket(dur_ns: u64) -> usize {
+        ((64 - dur_ns.leading_zeros()) as usize).min(DURATION_BUCKETS - 1)
+    }
+
+    /// Estimated `q`-quantile duration (`0.0 < q <= 1.0`): walks the
+    /// cumulative histogram to the bucket containing the target rank and
+    /// returns its upper bound, clamped to the observed `[min, max]`
+    /// range so single-sample aggregates are exact.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return upper.clamp(self.min_ns.min(self.max_ns), self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median duration estimate, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 90th-percentile duration estimate, nanoseconds.
+    pub fn p90_ns(&self) -> u64 {
+        self.quantile_ns(0.90)
+    }
+
+    /// 99th-percentile duration estimate, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
 }
 
 /// Everything the recorder captured since the last drain.
@@ -227,18 +290,36 @@ impl SpanReport {
         let mut out: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
         for s in &self.spans {
             let dur = s.end_ns.saturating_sub(s.start_ns);
-            let agg = out.entry(s.name).or_insert(SpanAgg {
-                count: 0,
-                total_ns: 0,
-                min_ns: u64::MAX,
-                max_ns: 0,
-            });
+            let agg = out.entry(s.name).or_default();
             agg.count += 1;
             agg.total_ns += dur;
             agg.min_ns = agg.min_ns.min(dur);
             agg.max_ns = agg.max_ns.max(dur);
+            agg.buckets[SpanAgg::bucket(dur)] += 1;
         }
         out
+    }
+
+    /// Per-name *self* time — wall time exclusive of nested child spans,
+    /// reconstructed from the per-thread timeline. This is what the
+    /// sweep's per-phase attribution columns report: a regression in
+    /// `verify` self time is scheduler overhead, not candidate work.
+    pub fn self_times(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, i128> = BTreeMap::new();
+        let mut stacks: BTreeMap<u32, Vec<(&'static str, u64)>> = BTreeMap::new();
+        for s in &self.spans {
+            let stack = stacks.entry(s.thread).or_default();
+            while stack.last().is_some_and(|(_, end)| *end <= s.start_ns) {
+                stack.pop();
+            }
+            let dur = s.end_ns.saturating_sub(s.start_ns) as i128;
+            *out.entry(s.name).or_insert(0) += dur;
+            if let Some((parent, _)) = stack.last() {
+                *out.entry(parent).or_insert(0) -= dur;
+            }
+            stack.push((s.name, s.end_ns));
+        }
+        out.into_iter().map(|(k, v)| (k, v.max(0) as u64)).collect()
     }
 
     /// Total wall time of spans named `name`, nanoseconds.
@@ -339,6 +420,67 @@ pub(crate) mod tests {
         assert_eq!(hist["verify.candidate"].count, 3);
         assert!(hist["verify"].total_ns >= hist["verify.candidate"].total_ns);
         assert!(report.total_ns("verify") >= 1);
+    }
+
+    #[test]
+    fn quantiles_walk_log_buckets_and_clamp_to_range() {
+        let mut agg = SpanAgg::default();
+        // 90 fast spans near 1 µs, 10 slow near 1 ms.
+        for _ in 0..90 {
+            let dur = 1_000u64;
+            agg.count += 1;
+            agg.total_ns += dur;
+            agg.min_ns = agg.min_ns.min(dur);
+            agg.max_ns = agg.max_ns.max(dur);
+            agg.buckets[SpanAgg::bucket(dur)] += 1;
+        }
+        for _ in 0..10 {
+            let dur = 1_000_000u64;
+            agg.count += 1;
+            agg.total_ns += dur;
+            agg.max_ns = agg.max_ns.max(dur);
+            agg.buckets[SpanAgg::bucket(dur)] += 1;
+        }
+        let p50 = agg.p50_ns();
+        let p99 = agg.p99_ns();
+        assert!((1_000..4_096).contains(&p50), "p50 = {p50}");
+        assert!((524_288..=1_000_000).contains(&p99), "p99 = {p99}");
+        assert_eq!(SpanAgg::default().p50_ns(), 0, "empty aggregate");
+        // A single sample is exact: clamped to [min, max].
+        let mut one = SpanAgg {
+            count: 1,
+            total_ns: 777,
+            min_ns: 777,
+            max_ns: 777,
+            ..Default::default()
+        };
+        one.buckets[SpanAgg::bucket(777)] += 1;
+        assert_eq!(one.p50_ns(), 777);
+        assert_eq!(one.p99_ns(), 777);
+    }
+
+    #[test]
+    fn self_times_exclude_children() {
+        let mk = |name, start, end| SpanRecord {
+            name,
+            index: None,
+            depth: 0,
+            thread: 0,
+            start_ns: start,
+            end_ns: end,
+        };
+        let report = SpanReport {
+            spans: vec![
+                mk("locate", 0, 1000),
+                mk("verify", 100, 900),
+                mk("verify.candidate", 200, 700),
+            ],
+            counters: BTreeMap::new(),
+        };
+        let self_times = report.self_times();
+        assert_eq!(self_times["locate"], 200);
+        assert_eq!(self_times["verify"], 300);
+        assert_eq!(self_times["verify.candidate"], 500);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::locate::{ChainEdgeKind, IterationRecord, LocateConfig, LocateOutcome, RequestPhase};
 use crate::verify::Verdict;
-use omislice_obs::{Json, SpanReport};
+use omislice_obs::{Json, ProfileSummary, SpanReport};
 use omislice_trace::{RecoveryLog, RunOutcome, Trace};
 
 /// Journal-stable name of a verdict.
@@ -107,19 +107,24 @@ fn iteration_record(it: &IterationRecord) -> Json {
 
 /// Builds the full journal for one run: header, one record per
 /// iteration, the summary, a recovery record when faults were absorbed
-/// or the deadline expired, and — when a drained [`SpanReport`] is
-/// given — a trailing spans record.
+/// or the deadline expired, a profile record when the timeline profiler
+/// was on, and — when a drained [`SpanReport`] is given — a trailing
+/// spans record.
 ///
 /// The recovery record carries no timing fields, so it survives
 /// [`omislice_obs::strip_timing`]: journals from a faulted-and-recovered
 /// run intentionally *differ* from clean ones there, and chaos
-/// comparisons must drop `"recovery"` records before diffing.
+/// comparisons must drop `"recovery"` records before diffing. The
+/// profile record is the opposite — scheduling facts — and is stripped
+/// alongside `spans`; a run without `--profile-out` emits no profile
+/// record at all, keeping clean journals byte-unchanged.
 pub fn build_journal(
     meta: &JournalMeta,
     lc: &LocateConfig,
     outcome: &LocateOutcome,
     trace: &Trace,
     recovery: Option<&RecoveryLog>,
+    profile: Option<&ProfileSummary>,
     spans: Option<&SpanReport>,
 ) -> Vec<Json> {
     let mut records = Vec::with_capacity(outcome.iteration_log.len() + 3);
@@ -188,6 +193,34 @@ pub fn build_journal(
             ("deadline_expired", Json::Bool(outcome.deadline_expired)),
             ("counters", Json::Object(counters)),
             ("events", Json::Array(events)),
+        ]));
+    }
+
+    if let Some(ps) = profile {
+        let workers: Vec<Json> = ps
+            .workers
+            .iter()
+            .map(|w| {
+                let label = if w.worker == omislice_obs::profile::WORKER_MAIN {
+                    Json::str("main")
+                } else {
+                    Json::UInt(w.worker as u64)
+                };
+                Json::object([
+                    ("worker", label),
+                    ("tasks", Json::UInt(w.tasks)),
+                    ("steals", Json::UInt(w.steals)),
+                    ("busy_ns", Json::UInt(w.busy_ns)),
+                    ("utilization", Json::Float(ps.utilization(w))),
+                ])
+            })
+            .collect();
+        records.push(Json::object([
+            ("type", Json::str("profile")),
+            ("events", Json::UInt(ps.events)),
+            ("drops", Json::UInt(ps.drops)),
+            ("window_ns", Json::UInt(ps.window_ns)),
+            ("workers", Json::Array(workers)),
         ]));
     }
 
@@ -261,7 +294,7 @@ mod tests {
         let meta = JournalMeta {
             program: "sample".to_string(),
         };
-        let records = build_journal(&meta, &lc, &outcome, &trace, None, None);
+        let records = build_journal(&meta, &lc, &outcome, &trace, None, None, None);
         let doc = to_jsonl(&records);
         let v = Validator::check_document(&doc).unwrap();
         assert_eq!(v.iterations(), outcome.iterations);
@@ -273,7 +306,7 @@ mod tests {
         let meta = JournalMeta {
             program: "sample".to_string(),
         };
-        let records = build_journal(&meta, &lc, &outcome, &trace, None, None);
+        let records = build_journal(&meta, &lc, &outcome, &trace, None, None, None);
         let mut from_journal = 0usize;
         for r in &records {
             if r.get("type").and_then(Json::as_str) == Some("iteration") {

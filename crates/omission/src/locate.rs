@@ -438,6 +438,11 @@ pub fn locate_fault(
             break false; // nothing left to expand
         };
         iterations += 1;
+        omislice_obs::profile::mark(
+            omislice_obs::profile::EventKind::Mark,
+            "locate.iteration",
+            iterations as u64,
+        );
         expanded_uses.insert(u);
         let slice_before = ps.ranked.len();
         let retries_before = verifier.stats().budget_retries;

@@ -266,6 +266,18 @@ impl Inner {
             evicted += 1;
         }
         self.evictions += evicted;
+        if evicted > 0 {
+            // Timeline marker for memory-pressure analysis; eviction
+            // timing depends on byte pressure, so this event kind is
+            // excluded from the deterministic profile projection.
+            omislice_obs::profile::record(
+                omislice_obs::profile::EventKind::Evict,
+                "memo.evictions",
+                omislice_obs::profile::WORKER_MAIN,
+                0,
+                evicted,
+            );
+        }
         evicted
     }
 }

@@ -668,9 +668,20 @@ impl<'a> Verifier<'a> {
             // order, so verdicts and counters stay identical across
             // jobs, resume modes, and schedulers.
             let mut out = Vec::with_capacity(requests.len());
+            // One wave-boundary id per batch: the profiler's sequence
+            // counter only advances while profiling and resets with it,
+            // so wave ids are stable across jobs/resume/scheduler.
+            let batch = omislice_obs::profile::profiling().then(omislice_obs::profile::next_seq);
             for (w, wave) in requests.chunks(VERIFY_WAVE).enumerate() {
                 if w > 0 {
                     self.runs.clear();
+                }
+                if let Some(b) = batch {
+                    omislice_obs::profile::mark(
+                        omislice_obs::profile::EventKind::Wave,
+                        "verify.wave",
+                        (b << 16) | w as u64,
+                    );
                 }
                 let missing = self.missing_specs(wave);
                 self.prepare_runs(&missing);
@@ -683,6 +694,18 @@ impl<'a> Verifier<'a> {
         if omislice_obs::enabled() {
             omislice_obs::counter_max("verify.checkpoint.bytes", snap.checkpoint_bytes as u64);
             omislice_obs::counter_max(
+                "verify.memo.bytes",
+                (snap.run_bytes + snap.checkpoint_bytes) as u64,
+            );
+        }
+        if omislice_obs::profile::profiling() {
+            // Per-batch gauge samples: the counter tracks in the Chrome
+            // trace show how live bytes evolve wave over wave.
+            omislice_obs::profile::counter_sample(
+                "verify.checkpoint.bytes",
+                snap.checkpoint_bytes as u64,
+            );
+            omislice_obs::profile::counter_sample(
                 "verify.memo.bytes",
                 (snap.run_bytes + snap.checkpoint_bytes) as u64,
             );
@@ -754,9 +777,19 @@ impl<'a> Verifier<'a> {
             }
             if let Some(entry) = self.memo.get_run(self.memo_key, spec) {
                 self.stats.memo_hits += 1;
+                omislice_obs::profile::mark(
+                    omislice_obs::profile::EventKind::MemoHit,
+                    "verify.memo",
+                    r.p.0 as u64,
+                );
                 self.runs.insert(spec, entry);
                 continue;
             }
+            omislice_obs::profile::mark(
+                omislice_obs::profile::EventKind::MemoMiss,
+                "verify.memo",
+                r.p.0 as u64,
+            );
             missing.push((spec, r.p));
         }
         missing
@@ -816,6 +849,14 @@ impl<'a> Verifier<'a> {
     /// and dispatches them across workers through cost-ordered
     /// work-stealing deques.
     fn prepare_runs_trie(&mut self, missing: &[(SwitchSpec, InstId)]) {
+        // Stable task-id base for this dispatch: `seq << 16 | candidate`.
+        // Allocated at the same point in both schedulers (after the
+        // empty-batch early return), so ids agree across trie and flat.
+        let seq = if omislice_obs::profile::profiling() {
+            omislice_obs::profile::next_seq()
+        } else {
+            0
+        };
         let expired = self.deadline.as_ref().is_some_and(|d| d.expired());
         // The cancellation mask is decided serially *before* any
         // execution: one counted deadline check per candidate, in
@@ -876,6 +917,11 @@ impl<'a> Verifier<'a> {
                     planned_pos = Some(pos);
                 } else {
                     self.stats.captures_skipped += 1;
+                    omislice_obs::profile::mark(
+                        omislice_obs::profile::EventKind::CaptureSkip,
+                        "verify.capture",
+                        pos as u64,
+                    );
                 }
             }
             if capture_list.is_empty() {
@@ -899,8 +945,20 @@ impl<'a> Verifier<'a> {
                 .last()
                 .cloned();
             let _c = omislice_obs::span_indexed("verify.candidate", Some(si as u64));
+            let t0 = omislice_obs::profile::profiling().then(omislice_obs::profile::timestamp_ns);
             let (run, captured) =
                 self.compute_switched_isolated(spec, p, donor.as_deref(), &capture_list);
+            if let Some(t0) = t0 {
+                // The spine runs on the coordinating thread; it shows up
+                // on the scheduler track, not a worker track.
+                omislice_obs::profile::task(
+                    "verify.candidate",
+                    omislice_obs::profile::WORKER_MAIN,
+                    (seq << 16) | si as u64,
+                    t0,
+                    omislice_obs::profile::timestamp_ns(),
+                );
+            }
             slots[si] = Some(run);
             for cp in captured {
                 // Recursion through a condition can capture the same spec
@@ -911,6 +969,11 @@ impl<'a> Verifier<'a> {
                 }
                 let cp = Arc::new(cp);
                 self.stats.inline_captures += 1;
+                omislice_obs::profile::mark(
+                    omislice_obs::profile::EventKind::Capture,
+                    "verify.capture",
+                    cp.prefix_len() as u64,
+                );
                 self.stats.memo_evictions +=
                     self.memo.insert_checkpoint(self.memo_key, Arc::clone(&cp)) as usize;
                 avail.push(cp);
@@ -969,10 +1032,21 @@ impl<'a> Verifier<'a> {
                 let (i, donor) = &leaves[k];
                 let (spec, p) = missing[*i];
                 let _c = omislice_obs::span_indexed("verify.candidate", Some(*i as u64));
+                let t0 =
+                    omislice_obs::profile::profiling().then(omislice_obs::profile::timestamp_ns);
                 slots[*i] = Some(
                     self.compute_switched_isolated(spec, p, donor.as_deref(), &[])
                         .0,
                 );
+                if let Some(t0) = t0 {
+                    omislice_obs::profile::task(
+                        "verify.candidate",
+                        0,
+                        (seq << 16) | *i as u64,
+                        t0,
+                        omislice_obs::profile::timestamp_ns(),
+                    );
+                }
             }
         } else {
             let queues = WorkQueues::seed(&order, jobs);
@@ -988,18 +1062,37 @@ impl<'a> Verifier<'a> {
                         s.spawn(move || {
                             let mut local = Vec::new();
                             while let Some((k, stolen)) = queues.pop(w) {
+                                let (i, donor) = &leaves[k];
+                                let id = (seq << 16) | *i as u64;
                                 if stolen {
                                     steals.fetch_add(1, Ordering::Relaxed);
+                                    omislice_obs::profile::record(
+                                        omislice_obs::profile::EventKind::Steal,
+                                        "verify.steal",
+                                        w as u32,
+                                        id,
+                                        0,
+                                    );
                                 }
-                                let (i, donor) = &leaves[k];
                                 let (spec, p) = missing[*i];
                                 let _c =
                                     omislice_obs::span_indexed("verify.candidate", Some(*i as u64));
+                                let t0 = omislice_obs::profile::profiling()
+                                    .then(omislice_obs::profile::timestamp_ns);
                                 local.push((
                                     *i,
                                     this.compute_switched_isolated(spec, p, donor.as_deref(), &[])
                                         .0,
                                 ));
+                                if let Some(t0) = t0 {
+                                    omislice_obs::profile::task(
+                                        "verify.candidate",
+                                        w as u32,
+                                        id,
+                                        t0,
+                                        omislice_obs::profile::timestamp_ns(),
+                                    );
+                                }
                             }
                             local
                         })
@@ -1035,6 +1128,12 @@ impl<'a> Verifier<'a> {
     /// resumes only, claim-order dispatch. Verdicts and memo contents are
     /// byte-identical to the trie's.
     fn prepare_runs_flat(&mut self, missing: &[(SwitchSpec, InstId)]) {
+        // Same id base scheme as the trie (see `prepare_runs_trie`).
+        let seq = if omislice_obs::profile::profiling() {
+            omislice_obs::profile::next_seq()
+        } else {
+            0
+        };
         let expired = self.deadline.as_ref().is_some_and(|d| d.expired());
         let threshold = self.capture_threshold.unwrap_or(DEFAULT_CAPTURE_THRESHOLD);
         if self.resume == ResumeMode::Auto && !expired {
@@ -1074,6 +1173,15 @@ impl<'a> Verifier<'a> {
                 self.stats.capture_wall += start.elapsed();
             } else {
                 self.stats.captures_skipped += uncaptured.len();
+                if omislice_obs::profile::profiling() {
+                    for &(_, pos) in &uncaptured {
+                        omislice_obs::profile::mark(
+                            omislice_obs::profile::EventKind::CaptureSkip,
+                            "verify.capture",
+                            pos as u64,
+                        );
+                    }
+                }
             }
         }
 
@@ -1110,17 +1218,28 @@ impl<'a> Verifier<'a> {
                     continue;
                 }
                 let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
+                let t0 =
+                    omislice_obs::profile::profiling().then(omislice_obs::profile::timestamp_ns);
                 *slot = Some(
                     self.compute_switched_isolated(spec, p, donors[i].as_deref(), &[])
                         .0,
                 );
+                if let Some(t0) = t0 {
+                    omislice_obs::profile::task(
+                        "verify.candidate",
+                        0,
+                        (seq << 16) | i as u64,
+                        t0,
+                        omislice_obs::profile::timestamp_ns(),
+                    );
+                }
             }
         } else {
             let this: &Verifier<'_> = self;
             let cancelled = &cancelled;
             let donors = &donors;
             let next = AtomicUsize::new(0);
-            let worker = || {
+            let worker = |w: u32| {
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -1132,16 +1251,30 @@ impl<'a> Verifier<'a> {
                         continue;
                     }
                     let _c = omislice_obs::span_indexed("verify.candidate", Some(i as u64));
+                    let t0 = omislice_obs::profile::profiling()
+                        .then(omislice_obs::profile::timestamp_ns);
                     local.push((
                         i,
                         this.compute_switched_isolated(spec, p, donors[i].as_deref(), &[])
                             .0,
                     ));
+                    if let Some(t0) = t0 {
+                        omislice_obs::profile::task(
+                            "verify.candidate",
+                            w,
+                            (seq << 16) | i as u64,
+                            t0,
+                            omislice_obs::profile::timestamp_ns(),
+                        );
+                    }
                 }
                 local
             };
             std::thread::scope(|s| {
-                let handles: Vec<_> = (0..jobs).map(|_| s.spawn(worker)).collect();
+                let worker = &worker;
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| s.spawn(move || worker(w as u32)))
+                    .collect();
                 for h in handles {
                     // A dead worker's claimed slots degrade per candidate
                     // in the merge below, not the whole batch.

@@ -166,7 +166,7 @@ fn figure1_journal_is_identical_across_jobs_and_resume() {
                 .expect("figure 1 locates");
             assert!(outcome.found);
             let got = normalize(&to_jsonl(&build_journal(
-                &meta, &lc, &outcome, &trace, None, None,
+                &meta, &lc, &outcome, &trace, None, None, None,
             )));
             match &reference {
                 Some(r) => assert_eq!(r, &got, "jobs={jobs} resume={resume:?} journal diverged"),
@@ -210,7 +210,7 @@ proptest! {
                         return Ok(());
                     }
                 };
-                let got = normalize(&to_jsonl(&build_journal(&meta, &lc, &outcome, &trace, None, None)));
+                let got = normalize(&to_jsonl(&build_journal(&meta, &lc, &outcome, &trace, None, None, None)));
                 match &reference {
                     Some(r) => prop_assert_eq!(
                         r, &got,

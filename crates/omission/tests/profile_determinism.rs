@@ -1,0 +1,240 @@
+//! Property: the timeline profiler's *normalized* structure is
+//! deterministic — for a fixed workload, the projection that keeps only
+//! scheduling-independent events (tasks, waves, memo probes, marks) is
+//! byte-identical across `--jobs {1, 2, 4}`, resume on/off, and both
+//! batch schedulers, and the Chrome-trace export always passes the
+//! structural validator. Steals, checkpoint captures, evictions, and
+//! counter samples are excluded from the projection by design: they
+//! legitimately vary with scheduling and resume mode.
+//!
+//! The profiler is global state, so every test here serializes on one
+//! mutex and resets the rings (and the stable-id counter) per
+//! configuration.
+
+use omislice::omislice_analysis::ProgramAnalysis;
+use omislice::omislice_interp::{run_traced, ResumeMode, RunConfig};
+use omislice::omislice_lang::{compile, printer::stmt_head, Program, StmtId};
+use omislice::omislice_slicing::ValueProfile;
+use omislice::{locate_fault, GroundTruthOracle, LocateConfig, SchedulerMode};
+use omislice_obs::profile::{
+    check_chrome_trace, chrome_trace, normalized_structure, profile_drain, profile_reset,
+    set_profiling,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes profiler use across the harness's test threads.
+static PROFILER: Mutex<()> = Mutex::new(());
+
+struct Workload {
+    faulty: Program,
+    analysis: ProgramAnalysis,
+    config: RunConfig,
+    profile: ValueProfile,
+    oracle: GroundTruthOracle,
+    trace: omislice::omislice_trace::Trace,
+}
+
+/// Statement ids whose rendered heads differ between the two programs.
+fn diff_roots(fixed: &Program, faulty: &Program) -> Vec<StmtId> {
+    (0..)
+        .map(StmtId)
+        .take_while(|&s| fixed.stmt(s).is_some() && faulty.stmt(s).is_some())
+        .filter(|&s| stmt_head(fixed.stmt(s).unwrap()) != stmt_head(faulty.stmt(s).unwrap()))
+        .collect()
+}
+
+fn workload(fixed: Program, faulty: Program, inputs: Vec<i64>) -> Option<Workload> {
+    let roots = diff_roots(&fixed, &faulty);
+    if roots.is_empty() {
+        return None;
+    }
+    let fixed_analysis = ProgramAnalysis::build(&fixed);
+    let analysis = ProgramAnalysis::build(&faulty);
+    let config = RunConfig::with_inputs(inputs);
+    let trace = run_traced(&faulty, &analysis, &config).trace;
+    let mut profile = ValueProfile::new();
+    profile.add_trace(&trace);
+    let oracle = GroundTruthOracle::new(&fixed, &fixed_analysis, &config, roots);
+    Some(Workload {
+        faulty,
+        analysis,
+        config,
+        profile,
+        oracle,
+        trace,
+    })
+}
+
+/// Runs one locate under the profiler and returns the normalized
+/// structure plus the drained report's validator verdict. `None` when
+/// locate itself fails (the caller decides whether that is acceptable).
+fn profiled_locate(w: &Workload, lc: &LocateConfig) -> Option<(String, usize)> {
+    profile_reset();
+    set_profiling(true);
+    let result = locate_fault(
+        &w.faulty,
+        &w.analysis,
+        &w.config,
+        &w.trace,
+        &w.profile,
+        &w.oracle,
+        lc,
+    );
+    set_profiling(false);
+    let report = profile_drain();
+    result.ok()?;
+    let normalized = normalized_structure(&report);
+    let doc = chrome_trace(&report, &omislice_obs::SpanReport::default());
+    let check = check_chrome_trace(&doc).expect("profiled locate exports a valid Chrome trace");
+    Some((normalized, check.slices))
+}
+
+fn configurations() -> Vec<LocateConfig> {
+    let mut out = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        for resume in [ResumeMode::Auto, ResumeMode::Disabled] {
+            for scheduler in [SchedulerMode::Trie, SchedulerMode::Flat] {
+                out.push(LocateConfig {
+                    jobs,
+                    resume,
+                    scheduler,
+                    ..LocateConfig::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The non-vacuous anchor: the Figure 1 pair produces a non-empty
+/// profile whose normalized structure is identical across all twelve
+/// configurations.
+#[test]
+fn figure1_profile_structure_is_identical_across_configs() {
+    let _guard = PROFILER.lock().unwrap();
+    let fixed = compile(
+        "global flags = 0; fn main() { let save = input(); flags = 1;\
+         if save == 1 { flags = 2; } print(flags); }",
+    )
+    .unwrap();
+    let faulty = compile(
+        "global flags = 0; fn main() { let save = input() - 1; flags = 1;\
+         if save == 1 { flags = 2; } print(flags); }",
+    )
+    .unwrap();
+    let w = workload(fixed, faulty, vec![1]).expect("figure 1 differs");
+
+    let mut reference: Option<String> = None;
+    for lc in configurations() {
+        let (normalized, slices) =
+            profiled_locate(&w, &lc).expect("figure 1 locates under every config");
+        assert!(slices > 0, "profiled locate produced no slices");
+        assert!(
+            !normalized.is_empty(),
+            "normalized structure must not be empty"
+        );
+        match &reference {
+            Some(r) => assert_eq!(
+                r, &normalized,
+                "jobs={} resume={:?} scheduler={:?} profile structure diverged",
+                lc.jobs, lc.resume, lc.scheduler
+            ),
+            None => reference = Some(normalized),
+        }
+    }
+}
+
+// --- tiny structured-program generator (journal_determinism.rs idiom) ---
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(usize, usize, i8),
+    Print(usize),
+    If(usize, Vec<S>, Vec<S>),
+}
+
+const VARS: [&str; 3] = ["a", "b", "c"];
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let leaf = prop_oneof![
+        ((0usize..3), (0usize..3), any::<i8>()).prop_map(|(d, u, k)| S::Assign(d, u, k)),
+        (0usize..3).prop_map(S::Print),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        (
+            0usize..3,
+            prop::collection::vec(inner.clone(), 1..3),
+            prop::collection::vec(inner, 0..2),
+        )
+            .prop_map(|(v, t, e)| S::If(v, t, e))
+    })
+}
+
+fn render(stmts: &[S], out: &mut String) {
+    for s in stmts {
+        match s {
+            S::Assign(d, u, k) => {
+                out.push_str(&format!("{} = {} + {};\n", VARS[*d], VARS[*u], k));
+            }
+            S::Print(v) => out.push_str(&format!("print({});\n", VARS[*v])),
+            S::If(v, t, e) => {
+                out.push_str(&format!("if {} > 0 {{\n", VARS[*v]));
+                render(t, out);
+                if e.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render(e, out);
+                    out.push_str("}\n");
+                }
+            }
+        }
+    }
+}
+
+fn pair_strategy() -> impl Strategy<Value = (Program, Program)> {
+    prop::collection::vec(stmt_strategy(), 1..5).prop_map(|stmts| {
+        let mut body = String::new();
+        render(&stmts, &mut body);
+        body.push_str("print(a + b + c);\n");
+        let make = |seed: &str| {
+            let src = format!(
+                "global a = 1; global b = 2; global c = 3;\nfn main() {{\na = a {seed} 1;\n{body}}}\n"
+            );
+            compile(&src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"))
+        };
+        (make("+"), make("-"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn profile_structure_is_identical_across_configs(
+        (fixed, faulty) in pair_strategy(),
+    ) {
+        let _guard = PROFILER.lock().unwrap();
+        let Some(w) = workload(fixed, faulty, vec![]) else {
+            return Ok(());
+        };
+        let mut reference: Option<String> = None;
+        for lc in configurations() {
+            let Some((normalized, _)) = profiled_locate(&w, &lc) else {
+                // Some pairs produce no observable failure; skip them,
+                // but the skip must not depend on the configuration.
+                prop_assert!(reference.is_none(), "locate error depends on config");
+                return Ok(());
+            };
+            match &reference {
+                Some(r) => prop_assert_eq!(
+                    r, &normalized,
+                    "jobs={} resume={:?} scheduler={:?} profile structure diverged",
+                    lc.jobs, lc.resume, lc.scheduler
+                ),
+                None => reference = Some(normalized),
+            }
+        }
+    }
+}

@@ -310,6 +310,9 @@ impl Recorder {
         let stall = supervisor::chaos_hit(ChaosSite::Queue).is_some();
         let depth = p.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
+        // One gauge sample per chunk rotation: the builder queue's depth
+        // over time becomes a counter track in `--profile-out` traces.
+        omislice_obs::profile::counter_sample("recorder.queue.depth", depth as u64);
         if stall {
             supervisor::note_recovery(RecoveryKind::QueueStall);
             self.stats.backpressure_stalls += 1;
