@@ -337,6 +337,46 @@ profile_smoke() {
     echo "profile smoke OK"
 }
 
+# Serve smoke: a resident `omislice serve` instance must come up on an
+# ephemeral port, answer every endpoint (liveness, slice, cold locate,
+# warm cache-hit locate with a byte-identical report, structured 400/404
+# errors, metrics), isolate an injected handler panic as a structured
+# 500 while concurrent clean requests stay byte-identical, and feed the
+# sweep's `--via` client mode so published rows carry served-latency
+# columns next to the cold CLI baseline. Run standalone with
+# `./ci.sh serve-smoke`.
+serve_smoke() {
+    echo "==> serve smoke (omislice serve + serveprobe + sweep --via)"
+    cargo build "${OFFLINE[@]}" --release -p omislice-cli -p omislice-bench
+    local log=/tmp/omislice-serve-smoke.log
+    ./target/release/omislice serve --addr 127.0.0.1:0 --workers 4 >"$log" 2>&1 &
+    SERVE_PID=$!
+    trap 'kill "${SERVE_PID:-0}" 2>/dev/null || true' EXIT
+    # The server prints `omislice serve listening on <addr> (N workers)`
+    # once bound; poll for it to learn the ephemeral port.
+    local addr="" i
+    for i in $(seq 1 50); do
+        addr=$(sed -n 's/^omislice serve listening on \([^ ]*\).*/\1/p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "serve smoke FAILED: server never reported its bound address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    RUST_BACKTRACE=1 ./target/release/serveprobe --addr "$addr" --chaos-check
+    local out=/tmp/omislice-serve-smoke.json
+    ./target/release/sweep --scales 10 --reps 1 --via "$addr" --out "$out" >/dev/null
+    if ! grep -q '"serve":{"fault":' "$out"; then
+        echo "serve smoke FAILED: sweep --via published no serve columns" >&2
+        exit 1
+    fi
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+    echo "serve smoke OK ($addr)"
+}
+
 # Differential-harness smoke: the 200-seed quick sweep of `diffcheck`
 # (fixed seed set, so deterministic and bounded) must hold every
 # cross-pipeline invariant — DS ⊆ RS, pruned ⊆ DS, indexed alignment ==
@@ -382,6 +422,10 @@ if [ "${1:-}" = "profile-smoke" ]; then
     profile_smoke
     exit 0
 fi
+if [ "${1:-}" = "serve-smoke" ]; then
+    serve_smoke
+    exit 0
+fi
 
 echo "==> cargo build --release"
 cargo build "${OFFLINE[@]}" --release --workspace
@@ -410,5 +454,7 @@ chaos_smoke
 verify_smoke
 
 profile_smoke
+
+serve_smoke
 
 echo "CI OK"

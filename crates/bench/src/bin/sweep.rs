@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! sweep [--scales 10,50,250,1000,10000] [--jobs N] [--reps N] [--out BENCH_sweep.json]
+//!       [--via host:port]
 //! ```
+//!
+//! `--via` points at a running `omislice serve` instance; each sample
+//! then carries served locate latency (cold cache, warm cache) next to
+//! the cold process-start CLI baseline.
 
 use omislice_bench::sweep::{render_table, run_sweep, to_json, SweepOptions};
 
-fn usage() -> ! {
+fn usage(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
     eprintln!(
-        "usage: sweep [--scales 10,50,250,1000,10000] [--jobs N] [--reps N] [--out BENCH_sweep.json]"
+        "usage: sweep [--scales 10,50,250,1000,10000] [--jobs N] [--reps N] \
+         [--out BENCH_sweep.json] [--via host:port]"
     );
     std::process::exit(2);
 }
@@ -18,31 +25,43 @@ fn main() {
     let mut out = "BENCH_sweep.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let Some(value) = args.next() else { usage() };
+        let Some(value) = args.next() else {
+            usage(&format!("{flag} needs a value"));
+        };
         match flag.as_str() {
             "--scales" => {
                 opts.scales = value
                     .split(',')
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            usage(&format!("bad --scales `{value}` (need integers)"))
+                        })
+                    })
                     .collect();
                 if opts.scales.is_empty() {
-                    usage();
+                    usage("bad --scales `` (need at least one integer)");
                 }
             }
             "--jobs" => {
-                opts.jobs = value.parse().unwrap_or_else(|_| usage());
+                opts.jobs = value.parse().unwrap_or(0);
                 if opts.jobs == 0 {
-                    usage();
+                    usage(&format!("bad --jobs `{value}` (need a positive integer)"));
                 }
             }
             "--reps" => {
-                opts.reps = value.parse().unwrap_or_else(|_| usage());
+                opts.reps = value.parse().unwrap_or(0);
                 if opts.reps == 0 {
-                    usage();
+                    usage(&format!("bad --reps `{value}` (need a positive integer)"));
                 }
             }
             "--out" => out = value,
-            _ => usage(),
+            "--via" => {
+                if !value.contains(':') {
+                    usage(&format!("bad --via `{value}` (need host:port)"));
+                }
+                opts.via = Some(value);
+            }
+            other => usage(&format!("unknown flag `{other}`")),
         }
     }
 

@@ -1,0 +1,147 @@
+//! Minimal HTTP/1.1 client for the `omislice serve` endpoints.
+//!
+//! Hand-rolled over `std::net::TcpStream` for the same reason the server
+//! is hand-rolled: the build environment is offline. One request per
+//! connection (the server answers `Connection: close`), so the client is
+//! a thin `request` wrapper plus JSON helpers. Used by the sweep's
+//! `--via` client mode, the `serveprobe` smoke binary, and the serve
+//! crate's own integration tests.
+
+use omislice_obs::Json;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response: status code and decoded JSON body (or raw text
+/// for non-JSON endpoints like the Prometheus exporter).
+#[derive(Debug)]
+pub struct ServeResponse {
+    pub status: u16,
+    pub body: String,
+}
+
+impl ServeResponse {
+    /// Decodes the body as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error when the body is not valid JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        omislice_obs::json::parse(&self.body)
+    }
+}
+
+/// A client bound to one server address.
+pub struct ServeClient {
+    addr: String,
+    timeout: Duration,
+}
+
+impl ServeClient {
+    pub fn new(addr: impl Into<String>) -> ServeClient {
+        ServeClient {
+            addr: addr.into(),
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the per-request read/write timeout (default 120 s).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> ServeClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Sends one request and reads the response to EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connect/read/write failures or an
+    /// unparsable response head.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<ServeResponse, String> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| format!("cannot connect to `{}`: {e}", self.addr))?;
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            payload.len(),
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(payload.as_bytes()))
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("cannot read response: {e}"))?;
+        parse_response(&raw)
+    }
+
+    /// `GET path`, returning the response whatever its status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from [`request`](Self::request).
+    pub fn get(&self, path: &str) -> Result<ServeResponse, String> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures from [`request`](Self::request).
+    pub fn post(&self, path: &str, body: &Json) -> Result<ServeResponse, String> {
+        self.request("POST", path, Some(&body.to_string()))
+    }
+}
+
+fn parse_response(raw: &[u8]) -> Result<ServeResponse, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_string())?;
+    let mut lines = text[..head_end].lines();
+    let status_line = lines.next().ok_or_else(|| "empty response".to_string())?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+    Ok(ServeResponse {
+        status,
+        body: text[head_end + 4..].to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\r\n{\"ok\":true}\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.json().unwrap().get("ok").is_some());
+    }
+
+    #[test]
+    fn rejects_a_truncated_head() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n").is_err());
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+    }
+}

@@ -12,6 +12,7 @@
 //! | `table4` | Table 4 — Plain/Graph/Verif timings |
 //! | `ablation` | design-choice ablations (verifier mode, Alg. 2 lines 12-18) |
 
+pub mod client;
 pub mod diffcheck;
 pub mod measure;
 pub mod sweep;

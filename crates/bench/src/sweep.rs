@@ -21,7 +21,8 @@ use omislice::omislice_lang::compile;
 use omislice::omislice_slicing::{relevant_slice_on, DepGraph};
 use omislice::omislice_trace::{load_trace, save_trace, Trace, VerificationStats};
 use omislice::{Verifier, VerifierMode, VerifyRequest};
-use omislice_corpus::{all_benchmarks, WorkloadGen};
+use omislice_corpus::{all_benchmarks, Benchmark, WorkloadGen};
+use omislice_obs::Json;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -40,6 +41,10 @@ pub struct SweepOptions {
     /// so the minimum is the least-perturbed measurement). Verification
     /// passes run once: they take seconds and self-average.
     pub reps: usize,
+    /// Address of a running `omislice serve` instance. When set, each
+    /// sample additionally measures served locate latency (cold cache,
+    /// warm cache) against the cold process-start CLI baseline.
+    pub via: Option<String>,
 }
 
 impl Default for SweepOptions {
@@ -48,6 +53,7 @@ impl Default for SweepOptions {
             scales: vec![10, 50, 250, 1000, 10000],
             jobs: 1,
             reps: 5,
+            via: None,
         }
     }
 }
@@ -81,6 +87,30 @@ pub struct Sample {
     pub phases: PhaseSample,
     pub sched: SchedSample,
     pub io: IoSample,
+    pub serve: Option<ServeSample>,
+}
+
+/// Served-locate latency for the sample's workload, measured when
+/// [`SweepOptions::via`] names a running server: the cold process-start
+/// CLI baseline (spawn + parse + trace + locate), the first served
+/// request (cold `ArtifactCache`), and the best warm repeat, all for the
+/// first benchmark fault the scaled workload exposes.
+#[derive(Debug, Clone)]
+pub struct ServeSample {
+    /// The fault id the workload exposes.
+    pub fault: String,
+    /// Cold CLI baseline: best-of-reps wall time of one full `omislice
+    /// locate` process.
+    pub cli_cold_ns: u128,
+    /// First served request, artifact cache cold for this version.
+    pub served_cold_ns: u128,
+    /// Best-of-reps served repeat, artifact cache warm.
+    pub served_warm_ns: u128,
+    /// The `cache` field of the first served response (`miss` proves the
+    /// cold measurement really built artifacts).
+    pub cold_cache: String,
+    /// `cli_cold_ns / served_warm_ns`.
+    pub warm_speedup: f64,
 }
 
 /// On-disk `omitrace/v1` round-trip cost for the sample's trace:
@@ -197,6 +227,169 @@ pub fn verify_batch(trace: &Trace, analysis: &ProgramAnalysis, n: usize) -> Vec<
     // replaying the whole prefix from scratch.
     reqs.reverse();
     reqs
+}
+
+/// Locates the sibling `omislice` binary next to the current executable
+/// (`target/{debug,release}` directly, or one level up from `deps/`).
+fn sibling_omislice() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let name = format!("omislice{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..2 {
+        let candidate = dir.join(&name);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// Measures served locate latency for one benchmark × workload against
+/// a server at `via`, using the first fault the workload exposes under
+/// the same default budgets the CLI and server run with. Returns `None`
+/// (with a note on stderr, so the dropped column is never silent) when
+/// no fault is exposed or a leg of the measurement fails.
+fn serve_sample(via: &str, b: &Benchmark, inputs: &[i64], reps: usize) -> Option<ServeSample> {
+    let skip = |why: String| {
+        eprintln!("sweep: no serve columns for {} ({why})", b.name);
+    };
+    let fixed = match compile(b.fixed_src) {
+        Ok(p) => p,
+        Err(_) => return None,
+    };
+    let plain_cfg = RunConfig::with_inputs(inputs.to_vec());
+    let want = run_plain(&fixed, &plain_cfg);
+    if !want.is_normal() {
+        skip("fixed run not normal at this scale".to_string());
+        return None;
+    }
+    let mut chosen = None;
+    for f in &b.faults {
+        let faulty_src = f.apply(b.fixed_src);
+        let Ok(faulty) = compile(&faulty_src) else {
+            continue;
+        };
+        let got = run_plain(&faulty, &plain_cfg);
+        if got.is_normal() && got.outputs != want.outputs {
+            chosen = Some((f.id.to_string(), faulty_src));
+            break;
+        }
+    }
+    let Some((fault, faulty_src)) = chosen else {
+        skip("no fault exposed by this workload".to_string());
+        return None;
+    };
+
+    // Cold CLI baseline: a fresh process per run, parsing and tracing
+    // from scratch — what a one-shot invocation actually costs.
+    let cli = match sibling_omislice() {
+        Some(p) => p,
+        None => {
+            skip("no sibling omislice binary".to_string());
+            return None;
+        }
+    };
+    let dir = std::env::temp_dir();
+    let tag = format!("omislice-sweep-serve-{}-{}", std::process::id(), b.name);
+    let faulty_path = dir.join(format!("{tag}-faulty.oml"));
+    let fixed_path = dir.join(format!("{tag}-fixed.oml"));
+    if std::fs::write(&faulty_path, &faulty_src).is_err()
+        || std::fs::write(&fixed_path, b.fixed_src).is_err()
+    {
+        skip("cannot write temp sources".to_string());
+        return None;
+    }
+    let csv = inputs
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut cli_cold_ns = u128::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let out = std::process::Command::new(&cli)
+            .args(["locate", "--faulty"])
+            .arg(&faulty_path)
+            .arg("--fixed")
+            .arg(&fixed_path)
+            .args(["--input", &csv])
+            .output();
+        let elapsed = t.elapsed().as_nanos();
+        match out {
+            Ok(o) if o.status.success() => cli_cold_ns = cli_cold_ns.min(elapsed),
+            Ok(o) => {
+                skip(format!("cli locate failed with {:?}", o.status.code()));
+                return None;
+            }
+            Err(e) => {
+                skip(format!("cannot spawn cli: {e}"));
+                return None;
+            }
+        }
+    }
+    std::fs::remove_file(&faulty_path).ok();
+    std::fs::remove_file(&fixed_path).ok();
+
+    // Served legs: the first request for this (sources, input) version
+    // misses the artifact cache and builds; the repeats hit it.
+    let client = crate::client::ServeClient::new(via);
+    let body = Json::object([
+        ("faulty", Json::str(&faulty_src)),
+        ("fixed", Json::str(b.fixed_src)),
+        (
+            "input",
+            Json::Array(inputs.iter().map(|&v| Json::Int(v)).collect()),
+        ),
+    ]);
+    let cache_of = |r: &crate::client::ServeResponse| {
+        r.json()
+            .ok()
+            .and_then(|v| v.get("cache").and_then(|c| c.as_str().map(str::to_string)))
+            .unwrap_or_default()
+    };
+    let t = Instant::now();
+    let cold = match client.post("/locate", &body) {
+        Ok(r) if r.status == 200 => r,
+        Ok(r) => {
+            skip(format!("served cold request failed with {}", r.status));
+            return None;
+        }
+        Err(e) => {
+            skip(e);
+            return None;
+        }
+    };
+    let served_cold_ns = t.elapsed().as_nanos();
+    let cold_cache = cache_of(&cold);
+    let mut served_warm_ns = u128::MAX;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        match client.post("/locate", &body) {
+            Ok(r) if r.status == 200 && cache_of(&r) == "hit" => {
+                served_warm_ns = served_warm_ns.min(t.elapsed().as_nanos());
+            }
+            Ok(r) => {
+                skip(format!(
+                    "served warm request was not a 200 cache hit (status {})",
+                    r.status
+                ));
+                return None;
+            }
+            Err(e) => {
+                skip(e);
+                return None;
+            }
+        }
+    }
+    Some(ServeSample {
+        fault,
+        cli_cold_ns,
+        served_cold_ns,
+        served_warm_ns,
+        cold_cache,
+        warm_speedup: cli_cold_ns as f64 / served_warm_ns.max(1) as f64,
+    })
 }
 
 /// Runs the sweep and returns one sample per benchmark × scale.
@@ -317,6 +510,11 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 }
             };
 
+            let serve = opts
+                .via
+                .as_deref()
+                .and_then(|via| serve_sample(via, &b, &inputs, opts.reps));
+
             samples.push(Sample {
                 benchmark: b.name.to_string(),
                 scale,
@@ -331,6 +529,7 @@ pub fn run_sweep(opts: &SweepOptions) -> Vec<Sample> {
                 phases,
                 sched,
                 io,
+                serve,
             });
         }
     }
@@ -486,12 +685,27 @@ fn sample_json(s: &Sample) -> String {
         s.io.file_bytes,
         s.io.columnar_bytes,
     );
+    let serve = match &s.serve {
+        None => "null".to_string(),
+        Some(v) => format!(
+            concat!(
+                "{{\"fault\":\"{}\",\"cli_cold_us\":{},\"served_cold_us\":{},",
+                "\"served_warm_us\":{},\"cold_cache\":\"{}\",\"warm_speedup\":{:.1}}}"
+            ),
+            v.fault,
+            json_us(v.cli_cold_ns),
+            json_us(v.served_cold_ns),
+            json_us(v.served_warm_ns),
+            v.cold_cache,
+            v.warm_speedup,
+        ),
+    };
     format!(
         concat!(
             "{{\"benchmark\":\"{}\",\"scale\":{},\"input_len\":{},",
             "\"trace_len\":{},\"ds_dyn\":{},\"rs_dyn\":{},",
             "\"plain_us\":{},\"graph_us\":{},\"rs_us\":{},",
-            "\"phases\":{},\"sched\":{},\"trace_io\":{},\"verify\":{}}}"
+            "\"phases\":{},\"sched\":{},\"trace_io\":{},\"serve\":{},\"verify\":{}}}"
         ),
         s.benchmark,
         s.scale,
@@ -505,6 +719,7 @@ fn sample_json(s: &Sample) -> String {
         phases,
         sched,
         trace_io,
+        serve,
         verify,
     )
 }
@@ -559,6 +774,16 @@ pub fn render_table(samples: &[Sample]) -> String {
                 resumed,
                 memo,
                 scaling,
+                match &s.serve {
+                    Some(v) => format!(
+                        "{}/{}/{} ({:.1}x)",
+                        micros(v.cli_cold_ns),
+                        micros(v.served_cold_ns),
+                        micros(v.served_warm_ns),
+                        v.warm_speedup,
+                    ),
+                    None => "-".to_string(),
+                },
             ]
         })
         .collect();
@@ -581,6 +806,7 @@ pub fn render_table(samples: &[Sample]) -> String {
             "Verif resumed (us)",
             "Verif memo (us)",
             "Verif batch 4/16/64/256 (us)",
+            "Serve cli/cold/warm (us)",
         ],
         &rows,
     )

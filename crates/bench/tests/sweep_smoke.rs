@@ -12,6 +12,7 @@ fn sweep_scale10_hits_the_verifier_memo() {
         scales: vec![10],
         jobs: 2,
         reps: 1,
+        via: None,
     });
     assert!(!samples.is_empty(), "sweep produced no samples");
 
@@ -68,5 +69,9 @@ fn sweep_scale10_hits_the_verifier_memo() {
     assert!(
         !json.contains("\"cache_hits\":0,"),
         "published JSON would report a dead memo"
+    );
+    assert!(
+        json.contains("\"serve\":null"),
+        "a sweep without --via must publish explicit null serve columns"
     );
 }

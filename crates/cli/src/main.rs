@@ -44,15 +44,52 @@ use std::process::ExitCode;
 /// failure (1).
 const EXIT_DEADLINE: u8 = 3;
 
+/// Exit code for malformed invocations: unknown commands, missing
+/// required flags, and unparsable flag values. Distinct from pipeline
+/// failures (1) so scripts can tell "you called it wrong" from "it ran
+/// and failed".
+const EXIT_USAGE: u8 = 2;
+
+/// A command failure, split by whose fault it is: `Usage` is a
+/// malformed invocation (exit 2, help printed), `Failure` is a pipeline
+/// or input-file problem (exit 1). Plain `String`/`&str` errors from
+/// helpers convert to `Failure`, so only usage sites need to opt in.
+enum CliError {
+    Usage(String),
+    Failure(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failure(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Failure(msg.to_string())
+    }
+}
+
+/// Shorthand for flagging a malformed invocation.
+fn usage_err(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(args) {
         Ok(code) => code,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             let mut rep = Reporter::stderr();
             rep.line(&format!("omislice: {msg}"));
             rep.line("");
             rep.line(USAGE);
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(CliError::Failure(msg)) => {
+            let mut rep = Reporter::stderr();
+            rep.line(&format!("omislice: {msg}"));
             ExitCode::FAILURE
         }
     }
@@ -84,6 +121,8 @@ const USAGE: &str = "usage:
                    [--chaos <plan>] [--deadline <ms>]
                    [--obs-out <file.jsonl>] [--explain] [--metrics text|json]
                    [--profile-out <file.json>]]
+  omislice serve   --addr <host:port> [--workers N] [--queue N]
+                   [--cache-mb N]
 
 fault-plan actions: oob, missing-callee, div-zero, type, stack-overflow,
 uninit, budget, panic, panic-harness, corrupt-checkpoint
@@ -92,11 +131,11 @@ chaos plans are comma-separated <site>[:occ]=<action> entries injecting
 one pipeline fault each (the pipeline must recover, not abort):
   builder=panic      channel=disconnect  queue=stall      encode=corrupt
   decode=corrupt     save=short-write    save=enospc      mmap=fail
-  deadline[:K]=expire
+  deadline[:K]=expire  handler=panic
 --deadline <ms> cancels the run cooperatively; exit code 3 marks the
-partial report.";
+partial report. Malformed invocations exit with code 2.";
 
-fn run(args: Vec<String>) -> Result<ExitCode, String> {
+fn run(args: Vec<String>) -> Result<ExitCode, CliError> {
     let mut it = args.into_iter();
     match it.next().as_deref() {
         Some("run") => cmd_run(it.collect()),
@@ -106,8 +145,9 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         Some("locate") => cmd_locate(it.collect()),
         Some("verify") => cmd_verify(it.collect()),
         Some("corpus") => cmd_corpus(it.collect()),
-        Some(other) => Err(format!("unknown command `{other}`")),
-        None => Err("no command given".to_string()),
+        Some("serve") => cmd_serve(it.collect()),
+        Some(other) => Err(usage_err(format!("unknown command `{other}`"))),
+        None => Err(usage_err("no command given")),
     }
 }
 
@@ -118,14 +158,16 @@ struct Opts {
 }
 
 impl Opts {
-    fn parse(args: Vec<String>, value_flags: &[&str]) -> Result<Opts, String> {
+    fn parse(args: Vec<String>, value_flags: &[&str]) -> Result<Opts, CliError> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if value_flags.contains(&name) {
-                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| usage_err(format!("--{name} needs a value")))?;
                     flags.push((name.to_string(), Some(v)));
                 } else {
                     flags.push((name.to_string(), None));
@@ -149,7 +191,24 @@ impl Opts {
     }
 }
 
-fn parse_inputs(text: Option<&str>) -> Result<Vec<i64>, String> {
+/// The single chokepoint every numeric flag parses through: a malformed
+/// value becomes a usage error (exit 2) naming the flag and the expected
+/// shape — never a panic or a silent default.
+fn parse_flag<T: std::str::FromStr>(
+    opts: &Opts,
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, CliError> {
+    match opts.value(name) {
+        None => Ok(None),
+        Some(t) => t
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| usage_err(format!("bad --{name} `{t}` (need {what})"))),
+    }
+}
+
+fn parse_inputs(text: Option<&str>) -> Result<Vec<i64>, CliError> {
     match text {
         None => Ok(Vec::new()),
         Some(t) if t.trim().is_empty() => Ok(Vec::new()),
@@ -158,7 +217,7 @@ fn parse_inputs(text: Option<&str>) -> Result<Vec<i64>, String> {
             .map(|s| {
                 s.trim()
                     .parse::<i64>()
-                    .map_err(|_| format!("bad input value `{s}`"))
+                    .map_err(|_| usage_err(format!("bad input value `{s}`")))
             })
             .collect(),
     }
@@ -174,9 +233,12 @@ fn load_program(path: &str) -> Result<Program, String> {
     })
 }
 
-fn cmd_run(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_run(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(args, &["input"])?;
-    let path = opts.positional.first().ok_or("run needs a program file")?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| usage_err("run needs a program file"))?;
     let program = load_program(path)?;
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
     let result = run_plain(&program, &config);
@@ -190,20 +252,20 @@ fn cmd_run(args: Vec<String>) -> Result<ExitCode, String> {
         ));
     }
     if !result.is_normal() {
-        return Err(format!(
+        return Err(CliError::Failure(format!(
             "program did not terminate normally: {:?}",
             result.termination
-        ));
+        )));
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_trace(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_trace(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(args, &["input", "save", "chaos", "deadline", "profile-out"])?;
     let path = opts
         .positional
         .first()
-        .ok_or("trace needs a program file")?;
+        .ok_or_else(|| usage_err("trace needs a program file"))?;
     let obs = ObsOpts::parse(&opts)?;
     obs.start_recorder();
     let program = load_program(path)?;
@@ -300,12 +362,12 @@ fn print_slice(trace: &Trace, analysis: &ProgramAnalysis, slice: &Slice) {
     );
 }
 
-fn cmd_slice(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_slice(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(args, &["input", "output", "jobs"])?;
     let path = opts
         .positional
         .first()
-        .ok_or("slice needs a program file")?;
+        .ok_or_else(|| usage_err("slice needs a program file"))?;
     let program = load_program(path)?;
     let analysis = ProgramAnalysis::build(&program);
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
@@ -313,17 +375,15 @@ fn cmd_slice(args: Vec<String>) -> Result<ExitCode, String> {
     let trace = &run.trace;
     let outputs = trace.outputs();
     if outputs.is_empty() {
-        return Err("the program printed nothing; no slicing criterion".to_string());
+        return Err("the program printed nothing; no slicing criterion".into());
     }
-    let idx: usize = match opts.value("output") {
-        Some(n) => n.parse().map_err(|_| "bad --output index".to_string())?,
-        None => outputs.len() - 1,
-    };
+    let idx: usize =
+        parse_flag::<usize>(&opts, "output", "an output index")?.unwrap_or(outputs.len() - 1);
     let criterion = outputs
         .get(idx)
         .ok_or_else(|| format!("only {} outputs", outputs.len()))?
         .inst;
-    let jobs = parse_jobs(opts.value("jobs"))?;
+    let jobs = parse_jobs(&opts)?;
     let slice = if opts.has("relevant") {
         relevant_slice_jobs(trace, &analysis, criterion, jobs)
     } else {
@@ -334,9 +394,12 @@ fn cmd_slice(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_cfg(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_cfg(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(args, &["function"])?;
-    let path = opts.positional.first().ok_or("cfg needs a program file")?;
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| usage_err("cfg needs a program file"))?;
     let program = load_program(path)?;
     let analysis = ProgramAnalysis::build(&program);
     let func = opts.value("function").unwrap_or("main");
@@ -348,97 +411,69 @@ fn cmd_cfg(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn parse_mode(text: Option<&str>) -> Result<VerifierMode, String> {
+fn parse_mode(text: Option<&str>) -> Result<VerifierMode, CliError> {
     Ok(match text {
         None | Some("edge") => VerifierMode::Edge,
         Some("path") => VerifierMode::Path,
         Some("value") => VerifierMode::ValueChange,
-        Some(other) => return Err(format!("unknown --mode `{other}`")),
+        Some(other) => return Err(usage_err(format!("unknown --mode `{other}`"))),
     })
 }
 
 /// Parses `--scheduler trie|flat` (default: trie).
-fn parse_scheduler(text: Option<&str>) -> Result<SchedulerMode, String> {
-    text.map_or(Ok(SchedulerMode::default()), SchedulerMode::parse)
+fn parse_scheduler(text: Option<&str>) -> Result<SchedulerMode, CliError> {
+    text.map_or(Ok(SchedulerMode::default()), |t| {
+        SchedulerMode::parse(t).map_err(usage_err)
+    })
 }
 
 /// Parses `--capture-threshold N`: the minimum replay-gap (in events)
 /// that justifies snapshotting a checkpoint. `None` keeps the built-in
 /// break-even default.
-fn parse_capture_threshold(text: Option<&str>) -> Result<Option<usize>, String> {
-    text.map(|t| {
-        t.parse().map_err(|_| {
-            format!("bad --capture-threshold `{t}` (need a non-negative integer of events)")
-        })
-    })
-    .transpose()
+fn parse_capture_threshold(opts: &Opts) -> Result<Option<usize>, CliError> {
+    parse_flag::<usize>(
+        opts,
+        "capture-threshold",
+        "a non-negative integer of events",
+    )
 }
 
-fn parse_jobs(text: Option<&str>) -> Result<usize, String> {
-    match text {
+fn parse_jobs(opts: &Opts) -> Result<usize, CliError> {
+    match parse_flag::<usize>(opts, "jobs", "a positive integer")? {
         None => Ok(1),
-        Some(t) => match t.parse::<usize>() {
-            Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("bad --jobs `{t}` (need a positive integer)")),
-        },
+        Some(0) => Err(usage_err("bad --jobs `0` (need a positive integer)")),
+        Some(n) => Ok(n),
     }
 }
 
 /// Parses `--budget init[:factor[:attempts]]` (or `off` to disable
-/// escalation) into a [`BudgetSchedule`].
-fn parse_budget(text: Option<&str>) -> Result<BudgetSchedule, String> {
-    let Some(t) = text else {
-        return Ok(BudgetSchedule::default());
-    };
-    if t == "off" {
-        return Ok(BudgetSchedule::disabled());
+/// escalation) into a [`BudgetSchedule`]. The grammar lives with the
+/// type ([`BudgetSchedule::parse`]); this wrapper only names the flag.
+fn parse_budget(text: Option<&str>) -> Result<BudgetSchedule, CliError> {
+    match text {
+        None => Ok(BudgetSchedule::default()),
+        Some(t) => {
+            BudgetSchedule::parse(t).map_err(|e| usage_err(e.replacen("budget", "--budget", 1)))
+        }
     }
-    let mut parts = t.split(':');
-    let default = BudgetSchedule::default();
-    let initial = parts
-        .next()
-        .unwrap_or_default()
-        .parse::<u64>()
-        .map_err(|_| format!("bad --budget `{t}` (expected init[:factor[:attempts]] or off)"))?;
-    let factor = match parts.next() {
-        Some(p) => p
-            .parse::<u64>()
-            .map_err(|_| format!("bad factor in --budget `{t}`"))?,
-        None => default.factor,
-    };
-    let attempts = match parts.next() {
-        Some(p) => p
-            .parse::<u32>()
-            .map_err(|_| format!("bad attempts in --budget `{t}`"))?,
-        None => default.attempts,
-    };
-    if parts.next().is_some() {
-        return Err(format!("bad --budget `{t}` (too many fields)"));
-    }
-    Ok(BudgetSchedule {
-        initial,
-        factor,
-        attempts,
-    })
 }
 
 /// Parses `--fault-plan S<id>[:occ]=<action>` into a [`FaultPlan`].
-fn parse_fault_plan(text: Option<&str>) -> Result<Option<FaultPlan>, String> {
-    text.map(FaultPlan::parse).transpose()
+fn parse_fault_plan(text: Option<&str>) -> Result<Option<FaultPlan>, CliError> {
+    text.map(|t| FaultPlan::parse(t).map_err(usage_err))
+        .transpose()
 }
 
 /// Parses `--chaos <site>[:occ]=<action>,...` into a [`ChaosPlan`].
-fn parse_chaos(text: Option<&str>) -> Result<Option<ChaosPlan>, String> {
-    text.map(ChaosPlan::parse).transpose()
+fn parse_chaos(text: Option<&str>) -> Result<Option<ChaosPlan>, CliError> {
+    text.map(|t| ChaosPlan::parse(t).map_err(usage_err))
+        .transpose()
 }
 
 /// Builds the supervisor for one command from `--chaos`/`--deadline`.
-fn parse_supervisor(opts: &Opts) -> Result<Supervisor, String> {
+fn parse_supervisor(opts: &Opts) -> Result<Supervisor, CliError> {
     let mut sup = Supervisor::new().with_chaos(parse_chaos(opts.value("chaos"))?);
-    if let Some(t) = opts.value("deadline") {
-        let ms = t
-            .parse::<u64>()
-            .map_err(|_| format!("bad --deadline `{t}` (need milliseconds)"))?;
+    if let Some(ms) = parse_flag::<u64>(opts, "deadline", "milliseconds")? {
         sup = sup.with_deadline_ms(ms);
     }
     Ok(sup)
@@ -468,13 +503,15 @@ struct ObsOpts {
 }
 
 impl ObsOpts {
-    fn parse(opts: &Opts) -> Result<ObsOpts, String> {
+    fn parse(opts: &Opts) -> Result<ObsOpts, CliError> {
         let metrics = match opts.value("metrics") {
             None => None,
             Some("text") => Some(MetricsFormat::Text),
             Some("json") => Some(MetricsFormat::Json),
             Some(other) => {
-                return Err(format!("unknown --metrics format `{other}` (text|json)"));
+                return Err(usage_err(format!(
+                    "unknown --metrics format `{other}` (text|json)"
+                )));
             }
         };
         Ok(ObsOpts {
@@ -733,7 +770,7 @@ fn locate_metrics(trace: &Trace, outcome: &LocateOutcome, spans: Option<&SpanRep
     set
 }
 
-fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_locate(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(
         args,
         &[
@@ -757,8 +794,12 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
     )?;
     let obs = ObsOpts::parse(&opts)?;
     let sup = parse_supervisor(&opts)?;
-    let faulty_path = opts.value("faulty").ok_or("locate needs --faulty")?;
-    let fixed_path = opts.value("fixed").ok_or("locate needs --fixed")?;
+    let faulty_path = opts
+        .value("faulty")
+        .ok_or_else(|| usage_err("locate needs --faulty"))?;
+    let fixed_path = opts
+        .value("fixed")
+        .ok_or_else(|| usage_err("locate needs --fixed"))?;
     obs.start_recorder();
     let faulty = load_program(faulty_path)?;
     let fixed = load_program(fixed_path)?;
@@ -785,6 +826,10 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
         },
         None => sup.run(|| run_traced(&faulty, &analysis, &config).trace),
     };
+    // A `--trace-in` load skips the supervised trace run, so the deadline
+    // would otherwise go unchecked until deep inside verification; one
+    // counted check here keeps `--deadline` effective on that path too.
+    let _ = sup.check_deadline();
 
     let mut profile = ValueProfile::new();
     profile.add_trace(&trace);
@@ -797,21 +842,21 @@ fn cmd_locate(args: Vec<String>) -> Result<ExitCode, String> {
     }
 
     // Roots from the structural diff between the two programs.
-    let roots = omislice_corpus::seeded_roots(&fixed, &faulty);
+    let roots = omislice_corpus::try_seeded_roots(&fixed, &faulty)?;
     if roots.is_empty() {
-        return Err("fixed and faulty programs are identical".to_string());
+        return Err("fixed and faulty programs are identical".into());
     }
     let oracle = GroundTruthOracle::new(&fixed, &fixed_analysis, &config, roots.clone());
     let lc = LocateConfig {
         mode: parse_mode(opts.value("mode"))?,
-        jobs: parse_jobs(opts.value("jobs"))?,
+        jobs: parse_jobs(&opts)?,
         resume: if opts.has("no-resume") {
             omislice::omislice_interp::ResumeMode::Disabled
         } else {
             omislice::omislice_interp::ResumeMode::Auto
         },
         scheduler: parse_scheduler(opts.value("scheduler"))?,
-        capture_threshold: parse_capture_threshold(opts.value("capture-threshold"))?,
+        capture_threshold: parse_capture_threshold(&opts)?,
         early_exit: opts.has("early-exit"),
         memo: Some(VerifyMemo::shared()),
         budget: parse_budget(opts.value("budget"))?,
@@ -888,36 +933,42 @@ fn locate_exit(outcome: &LocateOutcome, recovery: &RecoveryLog) -> ExitCode {
 }
 
 /// Parses `N` or `N:occ` into a statement id and occurrence index.
-fn parse_stmt_spec(text: &str) -> Result<(omislice::omislice_lang::StmtId, usize), String> {
+fn parse_stmt_spec(text: &str) -> Result<(omislice::omislice_lang::StmtId, usize), CliError> {
     let (id, occ) = match text.split_once(':') {
         Some((a, b)) => (
             a,
             b.parse()
-                .map_err(|_| format!("bad occurrence in `{text}`"))?,
+                .map_err(|_| usage_err(format!("bad occurrence in `{text}`")))?,
         ),
         None => (text, 0),
     };
     let id: u32 = id
         .trim_start_matches('S')
         .parse()
-        .map_err(|_| format!("bad statement id in `{text}`"))?;
+        .map_err(|_| usage_err(format!("bad statement id in `{text}`")))?;
     Ok((omislice::omislice_lang::StmtId(id), occ))
 }
 
-fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_verify(args: Vec<String>) -> Result<ExitCode, CliError> {
     use omislice::omislice_trace::Value;
     let opts = Opts::parse(args, &["input", "pred", "use", "var", "expected", "mode"])?;
     let path = opts
         .positional
         .first()
-        .ok_or("verify needs a program file")?;
+        .ok_or_else(|| usage_err("verify needs a program file"))?;
     let program = load_program(path)?;
     let analysis = ProgramAnalysis::build(&program);
     let config = RunConfig::with_inputs(parse_inputs(opts.value("input"))?);
     let trace = run_traced(&program, &analysis, &config).trace;
 
-    let (pred_stmt, pred_occ) = parse_stmt_spec(opts.value("pred").ok_or("verify needs --pred")?)?;
-    let (use_stmt, use_occ) = parse_stmt_spec(opts.value("use").ok_or("verify needs --use")?)?;
+    let (pred_stmt, pred_occ) = parse_stmt_spec(
+        opts.value("pred")
+            .ok_or_else(|| usage_err("verify needs --pred"))?,
+    )?;
+    let (use_stmt, use_occ) = parse_stmt_spec(
+        opts.value("use")
+            .ok_or_else(|| usage_err("verify needs --use"))?,
+    )?;
     let p = trace
         .nth_instance(pred_stmt, pred_occ)
         .ok_or_else(|| format!("{pred_stmt} did not execute {} time(s)", pred_occ + 1))?;
@@ -937,14 +988,7 @@ fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
             .first()
             .ok_or_else(|| format!("{use_stmt} uses no variables; pass --var"))?,
     };
-    let expected = opts
-        .value("expected")
-        .map(|t| {
-            t.parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| format!("bad --expected `{t}`"))
-        })
-        .transpose()?;
+    let expected = parse_flag::<i64>(&opts, "expected", "an integer value")?.map(Value::Int);
 
     let mut verifier = omislice::Verifier::new(
         &program,
@@ -973,7 +1017,7 @@ fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
+fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, CliError> {
     let opts = Opts::parse(
         args,
         &[
@@ -1008,19 +1052,20 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
             let bench_name = opts
                 .positional
                 .get(1)
-                .ok_or("corpus locate needs a benchmark name")?;
+                .ok_or_else(|| usage_err("corpus locate needs a benchmark name"))?;
             let fault_id = opts
                 .positional
                 .get(2)
-                .ok_or("corpus locate needs a fault id")?;
+                .ok_or_else(|| usage_err("corpus locate needs a fault id"))?;
             let benchmarks = all_benchmarks();
+            // Unknown names are usage errors: `corpus list` is the menu.
             let bench = benchmarks
                 .iter()
                 .find(|b| b.name == bench_name)
-                .ok_or_else(|| format!("no benchmark `{bench_name}`"))?;
+                .ok_or_else(|| usage_err(format!("no benchmark `{bench_name}`")))?;
             let fault = bench
                 .fault(fault_id)
-                .ok_or_else(|| format!("no fault `{fault_id}` in `{bench_name}`"))?;
+                .ok_or_else(|| usage_err(format!("no fault `{fault_id}` in `{bench_name}`")))?;
             let obs = ObsOpts::parse(&opts)?;
             let sup = parse_supervisor(&opts)?;
             obs.start_recorder();
@@ -1030,14 +1075,14 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
                 .run(|| bench.session(fault))
                 .map_err(|e| e.to_string())?;
             let lc = LocateConfig {
-                jobs: parse_jobs(opts.value("jobs"))?,
+                jobs: parse_jobs(&opts)?,
                 resume: if opts.has("no-resume") {
                     omislice::omislice_interp::ResumeMode::Disabled
                 } else {
                     omislice::omislice_interp::ResumeMode::Auto
                 },
                 scheduler: parse_scheduler(opts.value("scheduler"))?,
-                capture_threshold: parse_capture_threshold(opts.value("capture-threshold"))?,
+                capture_threshold: parse_capture_threshold(&opts)?,
                 early_exit: opts.has("early-exit"),
                 // One memo for the whole corpus invocation: every locate
                 // this process runs shares switched runs and checkpoints.
@@ -1100,6 +1145,45 @@ fn cmd_corpus(args: Vec<String>) -> Result<ExitCode, String> {
             }
             Ok(locate_exit(&outcome, &recovery))
         }
-        Some(other) => Err(format!("unknown corpus subcommand `{other}`")),
+        Some(other) => Err(usage_err(format!("unknown corpus subcommand `{other}`"))),
     }
+}
+
+/// `omislice serve --addr <host:port>`: runs the resident localization
+/// service until killed. The bound address is printed (and flushed)
+/// before blocking, so scripts binding port 0 can read the real port.
+fn cmd_serve(args: Vec<String>) -> Result<ExitCode, CliError> {
+    let opts = Opts::parse(args, &["addr", "workers", "queue", "cache-mb"])?;
+    let addr = opts
+        .value("addr")
+        .ok_or_else(|| usage_err("serve needs --addr <host:port>"))?;
+    let mut config = omislice_serve::ServeConfig {
+        addr: addr.to_string(),
+        ..omislice_serve::ServeConfig::default()
+    };
+    if let Some(n) = parse_flag::<usize>(&opts, "workers", "a positive integer")? {
+        if n == 0 {
+            return Err(usage_err("bad --workers `0` (need a positive integer)"));
+        }
+        config.workers = n;
+    }
+    if let Some(n) = parse_flag::<usize>(&opts, "queue", "a positive integer")? {
+        if n == 0 {
+            return Err(usage_err("bad --queue `0` (need a positive integer)"));
+        }
+        config.queue = n;
+    }
+    if let Some(mb) = parse_flag::<usize>(&opts, "cache-mb", "a cache size in MiB")? {
+        config.cache_bytes = mb.saturating_mul(1024 * 1024).max(1);
+    }
+    let workers = config.workers;
+    let handle = omislice_serve::start(config)?;
+    println!(
+        "omislice serve listening on {} ({workers} workers)",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    Ok(ExitCode::SUCCESS)
 }

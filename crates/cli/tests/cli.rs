@@ -888,3 +888,215 @@ fn chaos_and_deadline_flags_reject_bad_values() {
         );
     }
 }
+
+#[test]
+fn malformed_numeric_flags_exit_2_with_usage() {
+    let fixed = write_temp("fixed-num", FIXED);
+    let faulty = write_temp("faulty-num", FAULTY);
+    let f = faulty.to_str().unwrap();
+    let g = fixed.to_str().unwrap();
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (
+            vec!["locate", "--faulty", f, "--fixed", g, "--jobs", "x"],
+            "bad --jobs `x`",
+        ),
+        (
+            vec!["locate", "--faulty", f, "--fixed", g, "--jobs", "0"],
+            "bad --jobs `0`",
+        ),
+        (
+            vec![
+                "locate",
+                "--faulty",
+                f,
+                "--fixed",
+                g,
+                "--capture-threshold",
+                "soon",
+            ],
+            "bad --capture-threshold `soon`",
+        ),
+        (
+            vec!["locate", "--faulty", f, "--fixed", g, "--budget", "x:y"],
+            "bad --budget `x:y`",
+        ),
+        (
+            vec!["locate", "--faulty", f, "--fixed", g, "--deadline", "nope"],
+            "bad --deadline `nope`",
+        ),
+        (vec!["slice", f, "--output", "last"], "bad --output `last`"),
+        (vec!["slice", f, "--jobs", "-2"], "bad --jobs `-2`"),
+        (
+            vec![
+                "verify",
+                f,
+                "--input",
+                "1",
+                "--pred",
+                "2",
+                "--use",
+                "4",
+                "--var",
+                "flags",
+                "--expected",
+                "two",
+            ],
+            "bad --expected `two`",
+        ),
+        (
+            vec!["serve", "--addr", "127.0.0.1:0", "--workers", "many"],
+            "bad --workers `many`",
+        ),
+        (
+            vec!["serve", "--addr", "127.0.0.1:0", "--queue", "0"],
+            "bad --queue `0`",
+        ),
+        (
+            vec!["corpus", "locate", "sed", "V3-F3", "--jobs", "x"],
+            "bad --jobs `x`",
+        ),
+    ];
+    for (args, expected) in cases {
+        let out = omislice(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(expected),
+            "{args:?}: expected `{expected}` in:\n{stderr}"
+        );
+        assert!(stderr.contains("usage:"), "{args:?}: usage block printed");
+    }
+}
+
+#[test]
+fn usage_errors_exit_2_but_pipeline_failures_exit_1() {
+    // Malformed invocations: exit 2.
+    for args in [
+        &["frobnicate"] as &[&str],
+        &["locate"],
+        &["corpus", "locate", "nope", "X"],
+        &["corpus", "explode"],
+        &["serve"],
+        &["verify"],
+    ] {
+        let out = omislice(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} is a usage error");
+    }
+    // A well-formed invocation that fails in the pipeline: exit 1, and
+    // no usage block (the caller did nothing wrong).
+    let out = omislice(&["run", "/nonexistent/program.omi"]);
+    assert_eq!(out.status.code(), Some(1), "pipeline failure is exit 1");
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn locate_structural_mismatch_reports_instead_of_panicking() {
+    let fixed = write_temp("fixed-mism", FIXED);
+    let faulty = write_temp(
+        "faulty-mism",
+        "fn main() { let a = input(); print(a); print(a + 1); print(a + 2); }",
+    );
+    let out = omislice(&[
+        "locate",
+        "--faulty",
+        faulty.to_str().unwrap(),
+        "--fixed",
+        fixed.to_str().unwrap(),
+        "--input",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "mismatch is a pipeline failure");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("structurally incompatible"),
+        "structured error, not a panic:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "no panic output:\n{stderr}");
+}
+
+#[test]
+fn locate_trace_in_with_deadline_exits_3_with_partial_report() {
+    let fixed = write_temp("fixed-tid", FIXED);
+    let faulty = write_temp("faulty-tid", FAULTY);
+    let dir = std::env::temp_dir().join("omislice-cli-tests");
+    let trace_file = dir.join(format!("tid-{}.omitrace", std::process::id()));
+    let saved = omislice(&[
+        "trace",
+        faulty.to_str().unwrap(),
+        "--input",
+        "1",
+        "--save",
+        trace_file.to_str().unwrap(),
+    ]);
+    assert!(saved.status.success());
+
+    // A preloaded trace skips the supervised trace run; the pipeline-top
+    // deadline check must still see the expiry on both the wall-clock
+    // and the chaos-pinned path.
+    for extra in [
+        &["--deadline", "0"] as &[&str],
+        &["--chaos", "deadline:1=expire"],
+    ] {
+        let mut args = vec![
+            "locate",
+            "--faulty",
+            faulty.to_str().unwrap(),
+            "--fixed",
+            fixed.to_str().unwrap(),
+            "--input",
+            "1",
+            "--trace-in",
+            trace_file.to_str().unwrap(),
+        ];
+        args.extend(extra);
+        let out = omislice(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{extra:?}: --trace-in + deadline is exit 3, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("omislice fault localization report"),
+            "{extra:?}: a partial report must still render:\n{stdout}"
+        );
+        assert!(String::from_utf8_lossy(&out.stderr).contains("partial"));
+    }
+}
+
+#[test]
+fn serve_starts_serves_and_dies_cleanly() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_omislice"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reads the bind line");
+    let addr = line
+        .trim()
+        .strip_prefix("omislice serve listening on ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected bind line: {line}"))
+        .to_string();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connects");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("sends");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("reads");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    child.kill().expect("kills the server");
+    child.wait().expect("reaps the server");
+}

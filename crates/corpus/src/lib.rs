@@ -193,21 +193,36 @@ pub struct PreparedFault {
 /// Panics if the programs do not have the same number of statements
 /// (fault seeding must preserve statement structure).
 pub fn seeded_roots(fixed: &Program, faulty: &Program) -> Vec<StmtId> {
-    assert_eq!(
-        fixed.stmt_count(),
-        faulty.stmt_count(),
-        "fault seeding must preserve statement ids"
-    );
+    try_seeded_roots(fixed, faulty).expect("fault seeding must preserve statement ids")
+}
+
+/// Fallible form of [`seeded_roots`] for callers whose program pair comes
+/// from untrusted input (the CLI's `--fixed`/`--faulty` files, a serve
+/// request body) rather than the corpus seeding machinery.
+///
+/// # Errors
+///
+/// Returns a description of the structural mismatch when the two programs
+/// do not have the same number of statements.
+pub fn try_seeded_roots(fixed: &Program, faulty: &Program) -> Result<Vec<StmtId>, String> {
+    if fixed.stmt_count() != faulty.stmt_count() {
+        return Err(format!(
+            "fixed and faulty programs are structurally incompatible: \
+             {} vs {} statements (fault seeding must preserve statement ids)",
+            fixed.stmt_count(),
+            faulty.stmt_count()
+        ));
+    }
     let mut heads_fixed = Vec::new();
     fixed.visit_stmts(&mut |s| heads_fixed.push((s.id, stmt_head(s))));
     let mut heads_faulty = Vec::new();
     faulty.visit_stmts(&mut |s| heads_faulty.push((s.id, stmt_head(s))));
-    heads_fixed
+    Ok(heads_fixed
         .iter()
         .zip(&heads_faulty)
         .filter(|((_, a), (_, b))| a != b)
         .map(|((id, _), _)| *id)
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -220,6 +235,16 @@ mod tests {
         assert_eq!(names, vec!["flex", "grep", "gzip", "sed"]);
         let counts: Vec<usize> = all_benchmarks().iter().map(|b| b.faults.len()).collect();
         assert_eq!(counts, vec![5, 1, 1, 2], "fault counts match Table 2");
+    }
+
+    #[test]
+    fn try_seeded_roots_reports_structural_mismatch() {
+        let a = compile("fn main() { print(1); }").unwrap();
+        let b = compile("fn main() { print(1); print(2); }").unwrap();
+        let err = try_seeded_roots(&a, &b).unwrap_err();
+        assert!(err.contains("structurally incompatible"), "{err}");
+        assert!(err.contains("1 vs 2"), "{err}");
+        assert_eq!(try_seeded_roots(&a, &a).unwrap(), Vec::<StmtId>::new());
     }
 
     #[test]

@@ -249,6 +249,48 @@ impl BudgetSchedule {
         }
     }
 
+    /// Parses the textual schedule form shared by the CLI `--budget`
+    /// flag and serve request bodies: `init[:factor[:attempts]]`, or
+    /// `off` to disable escalation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text == "off" {
+            return Ok(BudgetSchedule::disabled());
+        }
+        let mut parts = text.split(':');
+        let default = BudgetSchedule::default();
+        let initial = parts
+            .next()
+            .unwrap_or_default()
+            .parse::<u64>()
+            .map_err(|_| {
+                format!("bad budget `{text}` (expected init[:factor[:attempts]] or off)")
+            })?;
+        let factor = match parts.next() {
+            Some(p) => p
+                .parse::<u64>()
+                .map_err(|_| format!("bad factor in budget `{text}`"))?,
+            None => default.factor,
+        };
+        let attempts = match parts.next() {
+            Some(p) => p
+                .parse::<u32>()
+                .map_err(|_| format!("bad attempts in budget `{text}`"))?,
+            None => default.attempts,
+        };
+        if parts.next().is_some() {
+            return Err(format!("bad budget `{text}` (too many fields)"));
+        }
+        Ok(BudgetSchedule {
+            initial,
+            factor,
+            attempts,
+        })
+    }
+
     /// The strictly increasing budgets to try, ending at `cap` (the full
     /// configured step budget). Rungs at or above `cap` are dropped, so
     /// the final attempt always runs with exactly `cap`.

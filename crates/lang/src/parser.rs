@@ -60,15 +60,22 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
         pos: 0,
         next_stmt_id: 0,
         next_expr_id: 0,
+        depth: 0,
     }
     .program()
 }
+
+/// Maximum statement/expression nesting depth. Recursive descent puts one
+/// stack frame per level; the cap keeps hostile input (e.g. ten thousand
+/// `(`s) from overflowing the stack instead of returning a `ParseError`.
+const MAX_NESTING_DEPTH: usize = 256;
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     next_stmt_id: u32,
     next_expr_id: u32,
+    depth: usize,
 }
 
 impl Parser {
@@ -131,6 +138,20 @@ impl Parser {
         ParseError {
             span: self.peek().span,
             message: message.to_string(),
+        }
+    }
+
+    /// Bumps the nesting depth before a recursive production; errors out
+    /// instead of overflowing the stack. The parser aborts on the first
+    /// error, so the counter never needs unwinding on the failure path.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            Err(self.error_here(&format!(
+                "nesting too deep (more than {MAX_NESTING_DEPTH} levels)"
+            )))
+        } else {
+            Ok(())
         }
     }
 
@@ -295,6 +316,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let stmt = self.stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         match self.peek_kind() {
             TokenKind::Let => {
                 let id = self.fresh_stmt_id();
@@ -436,6 +464,13 @@ impl Parser {
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let stmt = self.if_stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn if_stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let id = self.fresh_stmt_id();
         let start = self.expect(&TokenKind::If)?;
         let cond = self.expr()?;
@@ -472,6 +507,13 @@ impl Parser {
     }
 
     fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let expr = self.expr_bp_inner(min_bp);
+        self.depth -= 1;
+        expr
+    }
+
+    fn expr_bp_inner(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.prefix()?;
         while let Some((op, l_bp, r_bp)) = binary_binding(self.peek_kind()) {
             if l_bp < min_bp {
@@ -760,6 +802,37 @@ mod tests {
     fn input_expression() {
         let e = expr_of("input() + 1");
         assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn hostile_paren_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("fn main() { let x = ");
+        src.push_str(&"(".repeat(20_000));
+        src.push('1');
+        src.push_str(&")".repeat(20_000));
+        src.push_str("; }");
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    }
+
+    #[test]
+    fn hostile_unary_chain_errors_instead_of_overflowing() {
+        let mut src = String::from("fn main() { let x = ");
+        src.push_str(&"-".repeat(20_000));
+        src.push_str("1; }");
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    }
+
+    #[test]
+    fn hostile_if_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("fn main() { ");
+        src.push_str(&"if true { ".repeat(20_000));
+        src.push_str("print(1);");
+        src.push_str(&"}".repeat(20_000));
+        src.push('}');
+        let err = parse_program(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
     }
 
     #[test]

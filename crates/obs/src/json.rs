@@ -179,11 +179,14 @@ impl Json {
     }
 }
 
-/// Parses one JSON document. Rejects trailing garbage.
+/// Parses one JSON document. Rejects trailing garbage and nesting deeper
+/// than [`MAX_PARSE_DEPTH`] (a hostile `[[[[...` would otherwise overflow
+/// the stack — the parser may see network request bodies).
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -194,9 +197,14 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Maximum container nesting the parser accepts. Journals nest three or
+/// four levels; 128 leaves generous headroom without risking the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -325,7 +333,26 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(format!(
+                "nesting deeper than {MAX_PARSE_DEPTH} levels at byte {}",
+                self.pos
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
     fn array(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let v = self.array_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn array_inner(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -349,6 +376,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.enter()?;
+        let v = self.object_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn object_inner(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -408,6 +442,23 @@ mod tests {
         assert!(parse("[1,2,]garbage").is_err());
         assert!(parse("nulL").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn hostile_deep_nesting_errors_instead_of_overflowing() {
+        let deep_arrays = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = parse(&deep_arrays).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+
+        let deep_objects = format!("{}1{}", "{\"k\":".repeat(100_000), "}".repeat(100_000));
+        let err = parse(&deep_objects).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let nested = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&nested).is_ok());
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! The build environment is offline, so the server hand-rolls its wire
+//! protocol exactly like the journal hand-rolls JSON: requests are read
+//! with hard caps on head and body size, responses always carry
+//! `Content-Length` and `Connection: close`, and anything the reader
+//! cannot frame becomes a status code instead of a panic.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard cap on the request body. Corpus sources are a few kilobytes;
+/// 8 MiB leaves room for large synthetic programs without letting one
+/// request exhaust memory.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Query string after `?`, when present.
+    pub query: Option<String>,
+    pub body: Vec<u8>,
+}
+
+/// A framing failure, carrying the status the response should use.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads and frames one request from the stream.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] when the head or body cannot be framed
+/// (malformed request line, missing or oversized `Content-Length`, a
+/// body larger than [`MAX_BODY_BYTES`], or a closed/timed-out socket).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let head_text =
+        std::str::from_utf8(&head).map_err(|_| HttpError::bad("request head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::bad("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad("request line has no target"))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::bad("expected an HTTP/1.x version")),
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    HttpError::bad(format!("bad Content-Length `{}`", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        });
+    }
+
+    let mut body = std::mem::take(&mut leftover);
+    if body.len() > content_length {
+        return Err(HttpError::bad("body longer than Content-Length"));
+    }
+    while body.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let want = (content_length - body.len()).min(buf.len());
+        match stream.read(&mut buf[..want]) {
+            Ok(0) => return Err(HttpError::bad("connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(HttpError::bad(format!("read error: {e}"))),
+        }
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+/// Reads until the blank line ending the head; returns the head bytes
+/// and any body bytes that arrived in the same read.
+fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let leftover = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, leftover));
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError {
+                status: 431,
+                message: format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            });
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HttpError::bad("connection closed before the head ended"));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::bad(format!("read error: {e}"))),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes. Errors are returned so the
+/// worker can drop the connection; they never propagate further.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_is_found() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn reasons_cover_emitted_codes() {
+        for s in [200, 400, 404, 405, 413, 422, 431, 500, 503] {
+            assert_ne!(reason(s), "Unknown", "{s}");
+        }
+    }
+}

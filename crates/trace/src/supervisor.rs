@@ -61,9 +61,12 @@ pub enum ChaosSite {
     Mmap,
     /// The cooperative deadline clock (action: `expire`).
     Deadline,
+    /// A serve request handler, after parsing but before the pipeline
+    /// runs (action: `panic`) — exercises the server's fault isolation.
+    Handler,
 }
 
-const SITES: [(ChaosSite, &str); 8] = [
+const SITES: [(ChaosSite, &str); 9] = [
     (ChaosSite::Builder, "builder"),
     (ChaosSite::Channel, "channel"),
     (ChaosSite::Queue, "queue"),
@@ -72,6 +75,7 @@ const SITES: [(ChaosSite, &str); 8] = [
     (ChaosSite::Save, "save"),
     (ChaosSite::Mmap, "mmap"),
     (ChaosSite::Deadline, "deadline"),
+    (ChaosSite::Handler, "handler"),
 ];
 
 impl ChaosSite {
@@ -137,6 +141,7 @@ fn compatible(site: ChaosSite, action: ChaosAction) -> bool {
             | (Save, Enospc)
             | (Mmap, Fail)
             | (Deadline, Expire)
+            | (Handler, Panic)
     )
 }
 
@@ -728,6 +733,15 @@ mod tests {
         // Incompatible site/action pairs are caught at parse time.
         assert!(ChaosPlan::parse("builder=corrupt").is_err());
         assert!(ChaosPlan::parse("save=panic").is_err());
+    }
+
+    #[test]
+    fn handler_site_parses_and_fires() {
+        let plan = ChaosPlan::parse("handler=panic").unwrap();
+        assert!(ChaosPlan::parse("handler=corrupt").is_err());
+        let _scope = ChaosScope::install(Some(&plan), None);
+        assert_eq!(chaos_hit(ChaosSite::Handler), Some(ChaosAction::Panic));
+        assert_eq!(chaos_hit(ChaosSite::Handler), None); // fired already
     }
 
     #[test]
